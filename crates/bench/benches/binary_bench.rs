@@ -1,0 +1,56 @@
+//! B2 — executable analysis throughput: ELF build/parse, `strings`, `nm`,
+//! and full three-view feature extraction (the per-sample cost of the
+//! paper's feature-extraction stage).
+
+use binary::elf::{ElfBuilder, ElfFile};
+use binary::strings::strings_blob;
+use binary::symbols::symbols_blob;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fhc::features::SampleFeatures;
+use fhc_bench::synthetic_bytes;
+use std::hint::black_box;
+
+fn build_sample_elf() -> Vec<u8> {
+    let mut b = ElfBuilder::new();
+    b.add_text_section(synthetic_bytes(96_000, 3));
+    let mut rodata = Vec::new();
+    for i in 0..200 {
+        rodata.extend_from_slice(format!("diagnostic message number {i} with detail %s\0").as_bytes());
+    }
+    b.add_rodata_section(rodata);
+    for i in 0..250 {
+        b.add_global_function(&format!("application_kernel_routine_{i}"), (i * 380) as u64, 380);
+    }
+    b.build()
+}
+
+fn bench_elf(c: &mut Criterion) {
+    let bytes = build_sample_elf();
+    let mut group = c.benchmark_group("binary/elf");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| ElfFile::parse(black_box(&bytes)).expect("parse"))
+    });
+    group.bench_function("build", |b| b.iter(build_sample_elf));
+    group.finish();
+}
+
+fn bench_views(c: &mut Criterion) {
+    let bytes = build_sample_elf();
+    let elf = ElfFile::parse(&bytes).unwrap();
+    let mut group = c.benchmark_group("binary/views");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("strings_blob", |b| b.iter(|| strings_blob(black_box(&bytes), 4)));
+    group.bench_function("symbols_blob", |b| b.iter(|| symbols_blob(black_box(&elf))));
+    group.bench_function("full_feature_extraction", |b| {
+        b.iter(|| SampleFeatures::extract(black_box(&bytes)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_elf, bench_views
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B3 — random-forest training and prediction cost on similarity-style
+//! feature matrices (the model behind Tables 4 and 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcore::dataset::Dataset;
+use mlcore::forest::{RandomForest, RandomForestParams};
+use mlcore::knn::{KNearestNeighbors, Metric};
+use mlcore::naive_bayes::GaussianNaiveBayes;
+use std::hint::black_box;
+
+/// A dataset shaped like the classifier's feature matrix: `n` samples over
+/// `classes * 3` similarity columns in 0..=100, where each sample's own-class
+/// columns carry high values.
+fn similarity_like_dataset(n: usize, classes: usize) -> Dataset {
+    let n_cols = classes * 3;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        let mut row = vec![0.0f64; n_cols];
+        for (j, value) in row.iter_mut().enumerate() {
+            let col_class = j % classes;
+            let noise = ((i * 31 + j * 17) % 23) as f64;
+            *value = if col_class == class { 70.0 + noise } else { noise };
+        }
+        rows.push(row);
+        labels.push(class);
+    }
+    let class_names = (0..classes).map(|c| format!("class{c}")).collect();
+    Dataset::from_rows(rows, labels, vec![], class_names).unwrap()
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlcore/forest_fit");
+    group.sample_size(10);
+    for (n, classes) in [(300usize, 20usize), (600, 40)] {
+        let ds = similarity_like_dataset(n, classes);
+        let params = RandomForestParams { n_estimators: 30, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{}", classes * 3)),
+            &ds,
+            |b, ds| b.iter(|| RandomForest::fit(black_box(ds), &params, 7).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let ds = similarity_like_dataset(400, 30);
+    let params = RandomForestParams { n_estimators: 30, ..Default::default() };
+    let forest = RandomForest::fit(&ds, &params, 3).unwrap();
+    let knn = KNearestNeighbors::fit(&ds, 5, Metric::Euclidean).unwrap();
+    let nb = GaussianNaiveBayes::fit(&ds).unwrap();
+    let query: Vec<f64> = ds.features().row(11).to_vec();
+
+    let mut group = c.benchmark_group("mlcore/predict_proba");
+    group.bench_function("random_forest", |b| b.iter(|| forest.predict_proba(black_box(&query))));
+    group.bench_function("knn5", |b| b.iter(|| knn.predict_proba(black_box(&query))));
+    group.bench_function("gaussian_nb", |b| b.iter(|| nb.predict_proba(black_box(&query))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_forest_fit, bench_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! B5 — the end-to-end pipeline behind Tables 3–5 and Figure 3: feature
+//! extraction plus the full split / threshold-tuning / training / prediction
+//! run, measured on a small corpus so a single iteration stays fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhc::pipeline::FuzzyHashClassifier;
+use fhc_bench::{bench_config, bench_corpus, extract_all};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = bench_corpus(0.02, 42);
+    let config = bench_config(42);
+    let classifier = FuzzyHashClassifier::new(config.clone());
+    let features = extract_all(&corpus, &config);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("extract_features_full_corpus", |b| {
+        b.iter(|| extract_all(black_box(&corpus), &config))
+    });
+    group.bench_function("split_train_threshold_predict", |b| {
+        b.iter(|| {
+            classifier
+                .run_with_features(black_box(&corpus), black_box(&features))
+                .expect("pipeline runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! B4 — similarity-feature-matrix construction: the dominant cost of the
+//! whole pipeline (`n_samples x n_train x 3` fuzzy-hash comparisons), and the
+//! corpus generation + feature extraction that feeds it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhc::similarity::ReferenceSet;
+use fhc_bench::{bench_config, bench_corpus, extract_all};
+use fhc::features::FeatureKind;
+use std::hint::black_box;
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let corpus = bench_corpus(0.02, 5);
+    let spec = corpus.samples()[0].clone();
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(20);
+    group.bench_function("generate_one_executable", |b| {
+        b.iter(|| corpus.generate_bytes(black_box(&spec)))
+    });
+    group.finish();
+}
+
+fn bench_feature_matrix(c: &mut Criterion) {
+    let corpus = bench_corpus(0.02, 5);
+    let config = bench_config(5);
+    let features = extract_all(&corpus, &config);
+
+    // Use the first 200 samples as the reference ("training") set and score a
+    // single query sample against it, per feature kind and for all three.
+    let n_ref = features.len().min(200);
+    let labels: Vec<usize> = (0..n_ref).map(|i| corpus.samples()[i].class_index).collect();
+    let class_names: Vec<String> = corpus.class_names().to_vec();
+    let query = features[features.len() - 1].clone();
+
+    let mut group = c.benchmark_group("similarity/feature_vector");
+    group.sample_size(10);
+    for kinds in [FeatureKind::ALL.to_vec(), vec![FeatureKind::Symbols]] {
+        let reference = ReferenceSet::new(class_names.clone(), &features[..n_ref], &labels, &kinds);
+        let label = if kinds.len() == 3 { "all_views_vs_200_train" } else { "symbols_only_vs_200_train" };
+        group.bench_function(label, |b| {
+            b.iter(|| reference.feature_vector(black_box(&query)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_corpus_generation, bench_feature_matrix
+}
+criterion_main!(benches);

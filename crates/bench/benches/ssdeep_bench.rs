@@ -1,0 +1,59 @@
+//! B1 — fuzzy-hash generation and comparison throughput.
+//!
+//! Underpins Table 2 (hash similarity example) and every similarity-matrix
+//! experiment: the cost of `fuzzy_hash_bytes` scales with executable size,
+//! the cost of `compare` is bounded by the 64-character signature length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fhc_bench::synthetic_bytes;
+use ssdeep::{compare, damerau_levenshtein, fuzzy_hash_bytes, weighted_edit_distance};
+use std::hint::black_box;
+
+fn bench_hash_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssdeep/hash_bytes");
+    for size in [4_096usize, 65_536, 1_048_576] {
+        let data = synthetic_bytes(size, 7);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| fuzzy_hash_bytes(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_comparison(c: &mut Criterion) {
+    let base = synthetic_bytes(262_144, 11);
+    let mut variant = base.clone();
+    for byte in variant.iter_mut().skip(100_000).take(4_000) {
+        *byte ^= 0x77;
+    }
+    let unrelated = synthetic_bytes(262_144, 997);
+    let ha = fuzzy_hash_bytes(&base);
+    let hb = fuzzy_hash_bytes(&variant);
+    let hc = fuzzy_hash_bytes(&unrelated);
+
+    let mut group = c.benchmark_group("ssdeep/compare");
+    group.bench_function("similar_pair", |b| b.iter(|| compare(black_box(&ha), black_box(&hb))));
+    group.bench_function("unrelated_pair", |b| b.iter(|| compare(black_box(&ha), black_box(&hc))));
+    group.finish();
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let a = "lnkVZEyLhOQGxkVZEyLhOQGAbCdEfGhIjKlMnOpQrStUvWxYz0123456789abcd";
+    let b = "lnkVZEyLhOQGklVZEyLhOQGAbCdEfGhIjKlMnOpQrStUvWxYz9876543210abcd";
+    let mut group = c.benchmark_group("ssdeep/edit_distance");
+    group.bench_function("damerau_levenshtein_64", |bch| {
+        bch.iter(|| damerau_levenshtein(black_box(a), black_box(b)))
+    });
+    group.bench_function("weighted_64", |bch| {
+        bch.iter(|| weighted_edit_distance(black_box(a), black_box(b)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hash_generation, bench_comparison, bench_edit_distance
+}
+criterion_main!(benches);

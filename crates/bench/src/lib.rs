@@ -1,0 +1,60 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every bench regenerates a piece of the paper's evaluation (see
+//! `DESIGN.md`, experiments E1–E9 and B1–B5). The helpers here build small
+//! deterministic corpora and feature sets so individual benches stay fast on
+//! a single-core machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use corpus::{Catalog, Corpus, CorpusBuilder};
+use fhc::features::SampleFeatures;
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+
+/// Deterministic pseudo-random bytes with local structure (stand-in for an
+/// executable of `len` bytes).
+pub fn synthetic_bytes(len: usize, salt: u64) -> Vec<u8> {
+    (0..len as u64)
+        .map(|i| {
+            let x = (i.wrapping_add(salt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (x >> 29) as u8
+        })
+        .collect()
+}
+
+/// A small benchmark corpus (all 92 classes, few samples each).
+pub fn bench_corpus(scale: f64, seed: u64) -> Corpus {
+    CorpusBuilder::new(seed).build(&Catalog::paper().scaled(scale))
+}
+
+/// Pipeline configuration used by the benchmark harness (modest forest so a
+/// single iteration stays in the tens-of-seconds range at bench scale).
+pub fn bench_config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        seed,
+        forest: mlcore::forest::RandomForestParams { n_estimators: 30, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Extract features for every sample of a corpus.
+pub fn extract_all(corpus: &Corpus, config: &PipelineConfig) -> Vec<SampleFeatures> {
+    FuzzyHashClassifier::new(config.clone()).extract_features(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(synthetic_bytes(128, 1), synthetic_bytes(128, 1));
+        assert_ne!(synthetic_bytes(128, 1), synthetic_bytes(128, 2));
+        let corpus = bench_corpus(0.02, 3);
+        assert_eq!(corpus.n_classes(), 92);
+        let config = bench_config(3);
+        let features = extract_all(&corpus, &config);
+        assert_eq!(features.len(), corpus.n_samples());
+    }
+}

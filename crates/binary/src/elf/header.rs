@@ -1,0 +1,174 @@
+//! The ELF64 file header.
+
+use super::types::*;
+use crate::error::BinaryError;
+
+/// Parsed ELF64 file header (only the fields the pipeline interprets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfHeader {
+    /// Object file type (`ET_EXEC`, `ET_DYN`, ...).
+    pub e_type: u16,
+    /// Target machine (`EM_X86_64`, ...).
+    pub e_machine: u16,
+    /// Entry point virtual address.
+    pub e_entry: u64,
+    /// Program header table offset.
+    pub e_phoff: u64,
+    /// Section header table offset.
+    pub e_shoff: u64,
+    /// Processor-specific flags.
+    pub e_flags: u32,
+    /// Number of program headers.
+    pub e_phnum: u16,
+    /// Number of section headers.
+    pub e_shnum: u16,
+    /// Index of the section-header string table.
+    pub e_shstrndx: u16,
+}
+
+impl ElfHeader {
+    /// Parse the 64-byte header from the start of `data`.
+    pub fn parse(data: &[u8]) -> Result<Self, BinaryError> {
+        // Report a wrong-magic file as BadMagic even when it is also shorter
+        // than a full header (e.g. a small shell script), since that is the
+        // more actionable diagnosis.
+        if data.len() >= 4 && data[0..4] != ELF_MAGIC {
+            return Err(BinaryError::BadMagic);
+        }
+        if data.len() < EHDR_SIZE {
+            return Err(BinaryError::Truncated {
+                context: "ELF header",
+                needed: EHDR_SIZE,
+                available: data.len(),
+            });
+        }
+        if data[0..4] != ELF_MAGIC {
+            return Err(BinaryError::BadMagic);
+        }
+        if data[4] != ELFCLASS64 {
+            return Err(BinaryError::UnsupportedClass(data[4]));
+        }
+        if data[5] != ELFDATA2LSB {
+            return Err(BinaryError::UnsupportedEndianness(data[5]));
+        }
+        if data[6] != EV_CURRENT {
+            return Err(BinaryError::UnsupportedVersion(data[6]));
+        }
+        Ok(Self {
+            e_type: read_u16(data, 16),
+            e_machine: read_u16(data, 18),
+            e_entry: read_u64(data, 24),
+            e_phoff: read_u64(data, 32),
+            e_shoff: read_u64(data, 40),
+            e_flags: read_u32(data, 48),
+            e_phnum: read_u16(data, 56),
+            e_shnum: read_u16(data, 60),
+            e_shstrndx: read_u16(data, 62),
+        })
+    }
+
+    /// Serialize the header to its 64-byte on-disk form.
+    pub fn to_bytes(&self) -> [u8; EHDR_SIZE] {
+        let mut out = [0u8; EHDR_SIZE];
+        out[0..4].copy_from_slice(&ELF_MAGIC);
+        out[4] = ELFCLASS64;
+        out[5] = ELFDATA2LSB;
+        out[6] = EV_CURRENT;
+        out[7] = ELFOSABI_SYSV;
+        // bytes 8..16 (ABI version + padding) stay zero
+        out[16..18].copy_from_slice(&self.e_type.to_le_bytes());
+        out[18..20].copy_from_slice(&self.e_machine.to_le_bytes());
+        out[20..24].copy_from_slice(&1u32.to_le_bytes()); // e_version
+        out[24..32].copy_from_slice(&self.e_entry.to_le_bytes());
+        out[32..40].copy_from_slice(&self.e_phoff.to_le_bytes());
+        out[40..48].copy_from_slice(&self.e_shoff.to_le_bytes());
+        out[48..52].copy_from_slice(&self.e_flags.to_le_bytes());
+        out[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes()); // e_ehsize
+        out[54..56].copy_from_slice(&(PHDR_SIZE as u16).to_le_bytes()); // e_phentsize
+        out[56..58].copy_from_slice(&self.e_phnum.to_le_bytes());
+        out[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes()); // e_shentsize
+        out[60..62].copy_from_slice(&self.e_shnum.to_le_bytes());
+        out[62..64].copy_from_slice(&self.e_shstrndx.to_le_bytes());
+        out
+    }
+
+    /// Whether this header describes an executable or shared-object file
+    /// (the two forms application executables take in practice).
+    pub fn is_executable_like(&self) -> bool {
+        self.e_type == ET_EXEC || self.e_type == ET_DYN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ElfHeader {
+        ElfHeader {
+            e_type: ET_EXEC,
+            e_machine: EM_X86_64,
+            e_entry: 0x40_1000,
+            e_phoff: 64,
+            e_shoff: 4096,
+            e_flags: 0,
+            e_phnum: 1,
+            e_shnum: 7,
+            e_shstrndx: 6,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let bytes = h.to_bytes();
+        let parsed = ElfHeader::parse(&bytes).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        // Starts with the correct magic but is cut off mid-header.
+        let err = ElfHeader::parse(&sample().to_bytes()[..10]).unwrap_err();
+        assert!(matches!(err, BinaryError::Truncated { .. }));
+        // A short blob with the wrong magic is diagnosed as BadMagic instead.
+        assert_eq!(ElfHeader::parse(&[0u8; 10]).unwrap_err(), BinaryError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x00;
+        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_32bit_class() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 1;
+        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::UnsupportedClass(1));
+    }
+
+    #[test]
+    fn rejects_big_endian() {
+        let mut bytes = sample().to_bytes();
+        bytes[5] = 2;
+        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::UnsupportedEndianness(2));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[6] = 0;
+        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::UnsupportedVersion(0));
+    }
+
+    #[test]
+    fn executable_like_detection() {
+        let mut h = sample();
+        assert!(h.is_executable_like());
+        h.e_type = ET_DYN;
+        assert!(h.is_executable_like());
+        h.e_type = 1; // ET_REL
+        assert!(!h.is_executable_like());
+    }
+}

@@ -1,0 +1,117 @@
+//! ELF constants and small helpers for reading little-endian fields.
+
+/// The four ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7F, b'E', b'L', b'F'];
+/// 64-bit class.
+pub const ELFCLASS64: u8 = 2;
+/// Little-endian data encoding.
+pub const ELFDATA2LSB: u8 = 1;
+/// Current ELF version.
+pub const EV_CURRENT: u8 = 1;
+/// System V ABI.
+pub const ELFOSABI_SYSV: u8 = 0;
+
+/// Executable file type.
+pub const ET_EXEC: u16 = 2;
+/// Shared object / position-independent executable type.
+pub const ET_DYN: u16 = 3;
+/// x86-64 machine type.
+pub const EM_X86_64: u16 = 62;
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size of one ELF64 section header.
+pub const SHDR_SIZE: usize = 64;
+/// Size of one ELF64 program header.
+pub const PHDR_SIZE: usize = 56;
+/// Size of one ELF64 symbol entry.
+pub const SYM_SIZE: usize = 24;
+
+/// Section type: inactive.
+pub const SHT_NULL: u32 = 0;
+/// Section type: program-defined contents.
+pub const SHT_PROGBITS: u32 = 1;
+/// Section type: symbol table.
+pub const SHT_SYMTAB: u32 = 2;
+/// Section type: string table.
+pub const SHT_STRTAB: u32 = 3;
+/// Section type: uninitialized data.
+pub const SHT_NOBITS: u32 = 8;
+/// Section type: dynamic symbol table.
+pub const SHT_DYNSYM: u32 = 11;
+
+/// Section flag: occupies memory at run time.
+pub const SHF_ALLOC: u64 = 0x2;
+/// Section flag: executable machine instructions.
+pub const SHF_EXECINSTR: u64 = 0x4;
+/// Section flag: writable data.
+pub const SHF_WRITE: u64 = 0x1;
+
+/// Symbol binding: local.
+pub const STB_LOCAL: u8 = 0;
+/// Symbol binding: global.
+pub const STB_GLOBAL: u8 = 1;
+/// Symbol binding: weak.
+pub const STB_WEAK: u8 = 2;
+
+/// Symbol type: unspecified.
+pub const STT_NOTYPE: u8 = 0;
+/// Symbol type: data object.
+pub const STT_OBJECT: u8 = 1;
+/// Symbol type: function.
+pub const STT_FUNC: u8 = 2;
+/// Symbol type: section.
+pub const STT_SECTION: u8 = 3;
+/// Symbol type: file name.
+pub const STT_FILE: u8 = 4;
+
+/// Special section index: undefined.
+pub const SHN_UNDEF: u16 = 0;
+/// Special section index: absolute value.
+pub const SHN_ABS: u16 = 0xFFF1;
+
+/// Read a `u16` at `offset` (little-endian). Caller guarantees bounds.
+#[inline]
+pub fn read_u16(data: &[u8], offset: usize) -> u16 {
+    u16::from_le_bytes([data[offset], data[offset + 1]])
+}
+
+/// Read a `u32` at `offset` (little-endian). Caller guarantees bounds.
+#[inline]
+pub fn read_u32(data: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes([data[offset], data[offset + 1], data[offset + 2], data[offset + 3]])
+}
+
+/// Read a `u64` at `offset` (little-endian). Caller guarantees bounds.
+#[inline]
+pub fn read_u64(data: &[u8], offset: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[offset..offset + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_are_little_endian() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        assert_eq!(read_u16(&data, 0), 0x0201);
+        assert_eq!(read_u32(&data, 0), 0x0403_0201);
+        assert_eq!(read_u64(&data, 1), 0x0908_0706_0504_0302);
+    }
+
+    #[test]
+    fn structure_sizes_match_spec() {
+        assert_eq!(EHDR_SIZE, 64);
+        assert_eq!(SHDR_SIZE, 64);
+        assert_eq!(SYM_SIZE, 24);
+        assert_eq!(PHDR_SIZE, 56);
+    }
+
+    #[test]
+    fn magic_is_7f_elf() {
+        assert_eq!(&ELF_MAGIC, b"\x7fELF");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for ELF parsing.
+
+use std::fmt;
+
+/// Reasons an ELF file can fail to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinaryError {
+    /// The file is shorter than the structure being read requires.
+    Truncated {
+        /// What was being read when the data ran out.
+        context: &'static str,
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// The file does not start with the ELF magic bytes.
+    BadMagic,
+    /// The ELF class is not ELFCLASS64.
+    UnsupportedClass(u8),
+    /// The data encoding is not little-endian (ELFDATA2LSB).
+    UnsupportedEndianness(u8),
+    /// The ELF version field is not 1.
+    UnsupportedVersion(u8),
+    /// A section header referenced data outside the file.
+    SectionOutOfBounds {
+        /// Index of the offending section.
+        index: usize,
+    },
+    /// A string-table index pointed outside its string table.
+    BadStringOffset(usize),
+    /// A symbol-table section had an unexpected entry size.
+    BadSymbolEntrySize(u64),
+    /// The section-header string table index was invalid.
+    BadShStrNdx(u16),
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryError::Truncated { context, needed, available } => write!(
+                f,
+                "truncated ELF while reading {context}: needed {needed} bytes, had {available}"
+            ),
+            BinaryError::BadMagic => write!(f, "missing ELF magic (\\x7fELF)"),
+            BinaryError::UnsupportedClass(c) => {
+                write!(f, "unsupported ELF class {c} (only ELFCLASS64 is supported)")
+            }
+            BinaryError::UnsupportedEndianness(e) => {
+                write!(f, "unsupported ELF data encoding {e} (only little-endian is supported)")
+            }
+            BinaryError::UnsupportedVersion(v) => write!(f, "unsupported ELF version {v}"),
+            BinaryError::SectionOutOfBounds { index } => {
+                write!(f, "section {index} references data outside the file")
+            }
+            BinaryError::BadStringOffset(o) => {
+                write!(f, "string offset {o} is outside its string table")
+            }
+            BinaryError::BadSymbolEntrySize(s) => {
+                write!(f, "symbol table entry size {s} is not the ELF64 symbol size (24)")
+            }
+            BinaryError::BadShStrNdx(i) => {
+                write!(f, "section header string table index {i} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BinaryError::Truncated { context: "header", needed: 64, available: 10 };
+        let s = e.to_string();
+        assert!(s.contains("header") && s.contains("64") && s.contains("10"));
+        assert!(BinaryError::BadMagic.to_string().contains("ELF"));
+        assert!(BinaryError::UnsupportedClass(1).to_string().contains('1'));
+        assert!(BinaryError::SectionOutOfBounds { index: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(BinaryError::BadMagic);
+        assert!(!e.to_string().is_empty());
+    }
+}

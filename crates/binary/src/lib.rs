@@ -1,0 +1,51 @@
+//! Executable analysis substrate: ELF64 parsing and construction, printable
+//! string extraction (the `strings(1)` equivalent), and global-symbol
+//! extraction (the `nm(1)` equivalent).
+//!
+//! The Fuzzy Hash Classifier paper extracts three views of each application
+//! executable and fuzzy-hashes each of them:
+//!
+//! 1. the raw binary content of the file,
+//! 2. the continuous printable characters (what `strings` prints), and
+//! 3. the global text symbols from the symbol table (what `nm` prints).
+//!
+//! This crate provides both directions of that pipeline:
+//!
+//! * [`elf`] parses real ELF64 files ([`elf::ElfFile::parse`]) and *builds*
+//!   them ([`elf::ElfBuilder`]), which the corpus generator uses to emit
+//!   synthetic-but-valid application executables.
+//! * [`strings`] extracts printable runs exactly like `strings -n 4`.
+//! * [`symbols`] lists defined global symbols like `nm -g --defined-only`,
+//!   including the single-letter symbol class (`T`, `D`, `B`, ...).
+//!
+//! # Quick start
+//!
+//! ```
+//! use binary::elf::{ElfBuilder, ElfFile};
+//! use binary::{strings, symbols};
+//!
+//! let mut builder = ElfBuilder::new();
+//! builder.add_text_section(b"\x55\x48\x89\xe5\x90\xc3".repeat(64));
+//! builder.add_rodata_section(b"OpenMalaria simulation engine v46.0\0".to_vec());
+//! builder.add_global_function("run_simulation", 0x40, 64);
+//! builder.add_global_function("parse_scenario", 0x80, 32);
+//! let bytes = builder.build();
+//!
+//! let elf = ElfFile::parse(&bytes).expect("built ELF must parse");
+//! let text = strings::extract_strings(&bytes, 4);
+//! let syms = symbols::global_defined_symbols(&elf);
+//!
+//! assert!(text.iter().any(|s| s.contains("OpenMalaria")));
+//! assert_eq!(syms.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elf;
+pub mod error;
+pub mod strings;
+pub mod symbols;
+
+pub use elf::{ElfBuilder, ElfFile};
+pub use error::BinaryError;

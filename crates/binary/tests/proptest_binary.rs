@@ -1,0 +1,109 @@
+//! Property-based tests for the ELF build/parse round trip and the
+//! strings/symbols extractors.
+
+use binary::elf::{ElfBuilder, ElfFile};
+use binary::strings::{extract_strings, is_printable, strings_blob};
+use binary::symbols::{global_defined_symbols, symbols_blob};
+use proptest::prelude::*;
+
+/// A strategy for plausible C-style identifiers.
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_]{0,30}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the builder produces, the parser accepts, and section
+    /// contents survive the round trip byte-for-byte.
+    #[test]
+    fn build_parse_roundtrip(
+        text in proptest::collection::vec(any::<u8>(), 0..4096),
+        rodata in proptest::collection::vec(any::<u8>(), 0..2048),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut b = ElfBuilder::new();
+        b.add_text_section(text.clone());
+        b.add_rodata_section(rodata.clone());
+        b.add_data_section(data.clone());
+        let bytes = b.build();
+        let elf = ElfFile::parse(&bytes).expect("built ELF must parse");
+        prop_assert_eq!(&elf.section_by_name(".text").unwrap().data, &text);
+        prop_assert_eq!(&elf.section_by_name(".rodata").unwrap().data, &rodata);
+        prop_assert_eq!(&elf.section_by_name(".data").unwrap().data, &data);
+    }
+
+    /// Every global function added to the builder appears exactly once in the
+    /// nm-style global symbol list, and the list is sorted.
+    #[test]
+    fn symbols_survive_roundtrip(names in proptest::collection::hash_set(identifier(), 1..40)) {
+        let mut b = ElfBuilder::new();
+        b.add_text_section(vec![0x90; 4096]);
+        for (i, name) in names.iter().enumerate() {
+            b.add_global_function(name, (i * 16) as u64, 16);
+        }
+        let elf = ElfFile::parse(&b.build()).unwrap();
+        let syms = global_defined_symbols(&elf);
+        prop_assert_eq!(syms.len(), names.len());
+        let listed: Vec<&str> = syms.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        prop_assert_eq!(&listed, &sorted);
+        for name in &names {
+            prop_assert!(listed.contains(&name.as_str()));
+        }
+    }
+
+    /// The symbols blob is newline-joined and contains every name.
+    #[test]
+    fn symbols_blob_contains_all_names(names in proptest::collection::hash_set(identifier(), 0..20)) {
+        let mut b = ElfBuilder::new();
+        b.add_text_section(vec![0x90; 1024]);
+        for (i, name) in names.iter().enumerate() {
+            b.add_global_function(name, (i * 8) as u64, 8);
+        }
+        let elf = ElfFile::parse(&b.build()).unwrap();
+        let blob = String::from_utf8(symbols_blob(&elf)).unwrap();
+        for name in &names {
+            prop_assert!(blob.lines().any(|l| l == name));
+        }
+        prop_assert_eq!(blob.lines().count(), names.len());
+    }
+
+    /// Every extracted string is printable, at least min_len long, and
+    /// actually present in the input.
+    #[test]
+    fn extracted_strings_are_printable_substrings(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        min_len in 1usize..8,
+    ) {
+        let runs = extract_strings(&data, min_len);
+        for run in &runs {
+            prop_assert!(run.len() >= min_len);
+            prop_assert!(run.bytes().all(is_printable));
+            let needle = run.as_bytes();
+            prop_assert!(data.windows(needle.len()).any(|w| w == needle));
+        }
+    }
+
+    /// The strings blob decomposes back into exactly the extracted runs.
+    #[test]
+    fn blob_matches_runs(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let runs = extract_strings(&data, 4);
+        let blob = strings_blob(&data, 4);
+        let joined: Vec<&str> = std::str::from_utf8(&blob)
+            .unwrap()
+            .lines()
+            .collect();
+        prop_assert_eq!(joined.len(), runs.len());
+        for (a, b) in joined.iter().zip(runs.iter()) {
+            prop_assert_eq!(*a, b.as_str());
+        }
+    }
+
+    /// Parsing arbitrary bytes never panics: it returns Ok or a clean error.
+    #[test]
+    fn parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = ElfFile::parse(&data);
+    }
+}

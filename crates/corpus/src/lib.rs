@@ -1,0 +1,50 @@
+//! Synthetic HPC application corpus generator.
+//!
+//! The paper evaluates on 5333 application executables scraped from the
+//! sciCORE production cluster's preinstalled-software tree, grouped into 92
+//! application classes (root folder), versions (sub-folders such as
+//! `46.0-iomkl-2019.01`), and samples (executables that exist in all
+//! versions). That dataset is not publicly available, so this crate builds
+//! the closest synthetic equivalent that exercises the same code paths:
+//!
+//! * [`catalog`] reproduces the 92 class names and per-class sample counts
+//!   derived from the paper's Tables 3 and 4, including multi-executable
+//!   classes (e.g. Velvet's `velveth`/`velvetg`, Table 1).
+//! * [`appmodel`] gives every class a synthetic "code base" — pools of
+//!   function names, embedded strings, and per-function machine-code blocks
+//!   — and a version-drift model that mutates a small, localized fraction of
+//!   it per version (code edits, added/removed symbols, changed version
+//!   strings, different "compiler" tags), which is exactly the variation
+//!   SSDeep-style fuzzy hashing is designed to absorb.
+//! * [`builder`] turns specs into real ELF64 executables via
+//!   [`binary::ElfBuilder`], so the downstream parsing / `strings` / `nm`
+//!   pipeline runs unmodified.
+//! * [`manifest`] and [`stats`] provide serializable metadata and the
+//!   summary statistics behind the paper's Table 1 and Figure 2.
+//!
+//! # Quick start
+//!
+//! ```
+//! use corpus::catalog::Catalog;
+//! use corpus::builder::CorpusBuilder;
+//!
+//! // A scaled-down corpus for quick experiments (full scale = 1.0).
+//! let catalog = Catalog::paper().scaled(0.05);
+//! let corpus = CorpusBuilder::new(42).build(&catalog);
+//! assert_eq!(corpus.class_names().len(), 92);
+//! let sample = &corpus.samples()[0];
+//! let bytes = corpus.generate_bytes(sample);
+//! assert!(binary::ElfFile::parse(&bytes).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appmodel;
+pub mod builder;
+pub mod catalog;
+pub mod manifest;
+pub mod stats;
+
+pub use builder::{Corpus, CorpusBuilder, SampleSpec};
+pub use catalog::{Catalog, ClassSpec};

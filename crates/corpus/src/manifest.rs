@@ -1,0 +1,148 @@
+//! Serializable corpus manifests.
+//!
+//! The manifest records, for every sample, its class, version, executable
+//! name, install path, and generated file size — everything the evaluation
+//! needs except the bytes themselves. It can be written as JSON (for tools)
+//! or TSV (for quick inspection / spreadsheets).
+
+use crate::builder::Corpus;
+use serde::{Deserialize, Serialize};
+
+/// One manifest row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Sample index within the corpus.
+    pub sample_index: usize,
+    /// Application class name.
+    pub class_name: String,
+    /// Version folder name.
+    pub version_name: String,
+    /// Executable file name.
+    pub executable_name: String,
+    /// Install path (`Class/version/executable`).
+    pub install_path: String,
+    /// Size of the generated executable in bytes.
+    pub file_size: usize,
+}
+
+/// A corpus manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Root seed the corpus was generated from.
+    pub seed_note: String,
+    /// Total number of classes.
+    pub n_classes: usize,
+    /// All entries, in sample order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Build the manifest for `corpus`, generating each sample once to
+    /// record its file size.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let entries = corpus
+            .samples()
+            .iter()
+            .map(|spec| {
+                let bytes = corpus.generate_bytes(spec);
+                ManifestEntry {
+                    sample_index: spec.sample_index,
+                    class_name: spec.class_name.clone(),
+                    version_name: spec.version_name.clone(),
+                    executable_name: spec.executable_name.clone(),
+                    install_path: spec.install_path(),
+                    file_size: bytes.len(),
+                }
+            })
+            .collect();
+        Self {
+            seed_note: "deterministic synthetic corpus".to_string(),
+            n_classes: corpus.n_classes(),
+            entries,
+        }
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+    }
+
+    /// Parse back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize as a TSV table (header + one line per entry).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("sample_index\tclass\tversion\texecutable\tpath\tsize\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                e.sample_index, e.class_name, e.version_name, e.executable_name, e.install_path, e.file_size
+            ));
+        }
+        out
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the manifest has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CorpusBuilder;
+    use crate::catalog::{Catalog, ClassSpec};
+
+    fn tiny_corpus() -> Corpus {
+        let catalog = Catalog::from_classes(vec![
+            ClassSpec {
+                name: "Velvet".into(),
+                n_versions: 3,
+                executables: vec!["velveth".into(), "velvetg".into()],
+            },
+            ClassSpec { name: "OpenMalaria".into(), n_versions: 3, executables: vec!["openmalaria".into()] },
+        ]);
+        CorpusBuilder::new(1).build(&catalog)
+    }
+
+    #[test]
+    fn manifest_covers_every_sample() {
+        let corpus = tiny_corpus();
+        let manifest = Manifest::from_corpus(&corpus);
+        assert_eq!(manifest.len(), corpus.n_samples());
+        assert!(!manifest.is_empty());
+        assert_eq!(manifest.n_classes, 2);
+        assert!(manifest.entries.iter().all(|e| e.file_size > 1000));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let manifest = Manifest::from_corpus(&tiny_corpus());
+        let json = manifest.to_json();
+        let parsed = Manifest::from_json(&json).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let manifest = Manifest::from_corpus(&tiny_corpus());
+        let tsv = manifest.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), manifest.len() + 1);
+        assert!(lines[0].starts_with("sample_index\tclass"));
+        assert!(lines[1].contains("Velvet"));
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        assert!(Manifest::from_json("{not json").is_err());
+    }
+}

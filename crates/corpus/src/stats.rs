@@ -1,0 +1,168 @@
+//! Corpus summary statistics behind the paper's Table 1 and Figure 2.
+
+use crate::builder::Corpus;
+use hpcutil::table::{Align, TextTable};
+use std::collections::BTreeMap;
+
+/// Per-class statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStat {
+    /// Class name.
+    pub name: String,
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Number of versions.
+    pub n_versions: usize,
+    /// Number of executables per version.
+    pub n_executables: usize,
+}
+
+/// Compute per-class statistics, sorted by descending sample count (the
+/// order Figure 2 of the paper plots them in).
+pub fn class_stats(corpus: &Corpus) -> Vec<ClassStat> {
+    let mut versions: BTreeMap<usize, std::collections::BTreeSet<usize>> = BTreeMap::new();
+    let mut executables: BTreeMap<usize, std::collections::BTreeSet<String>> = BTreeMap::new();
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for s in corpus.samples() {
+        *counts.entry(s.class_index).or_default() += 1;
+        versions.entry(s.class_index).or_default().insert(s.version_index);
+        executables.entry(s.class_index).or_default().insert(s.executable_name.clone());
+    }
+    let mut stats: Vec<ClassStat> = counts
+        .iter()
+        .map(|(&class_index, &n_samples)| ClassStat {
+            name: corpus.class_names()[class_index].clone(),
+            n_samples,
+            n_versions: versions[&class_index].len(),
+            n_executables: executables[&class_index].len(),
+        })
+        .collect();
+    stats.sort_by(|a, b| b.n_samples.cmp(&a.n_samples).then(a.name.cmp(&b.name)));
+    stats
+}
+
+/// Render the Table-1-style "versions and executables" breakdown for one
+/// class: one row per version listing the executables it ships.
+pub fn version_table(corpus: &Corpus, class_name: &str) -> Option<String> {
+    let class_index = corpus.class_names().iter().position(|n| n == class_name)?;
+    let mut by_version: BTreeMap<usize, (String, Vec<String>)> = BTreeMap::new();
+    for s in corpus.samples().iter().filter(|s| s.class_index == class_index) {
+        by_version
+            .entry(s.version_index)
+            .or_insert_with(|| (s.version_name.clone(), Vec::new()))
+            .1
+            .push(s.executable_name.clone());
+    }
+    let mut table = TextTable::new(vec!["Class", "Application Version", "Samples"]);
+    for (_, (version_name, mut exes)) in by_version {
+        exes.sort();
+        table.add_row(vec![class_name.to_string(), version_name, exes.join(", ")]);
+    }
+    Some(table.render())
+}
+
+/// Render the Figure-2 data series: classes ordered by descending sample
+/// count with their counts (the paper plots this on a log scale).
+pub fn sample_distribution_table(corpus: &Corpus) -> String {
+    let stats = class_stats(corpus);
+    let mut table = TextTable::new(vec!["Rank", "Application Class", "Samples", "Versions", "Executables"])
+        .with_alignment(vec![Align::Right, Align::Left, Align::Right, Align::Right, Align::Right]);
+    for (rank, s) in stats.iter().enumerate() {
+        table.add_row(vec![
+            (rank + 1).to_string(),
+            s.name.clone(),
+            s.n_samples.to_string(),
+            s.n_versions.to_string(),
+            s.n_executables.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Summary numbers for the corpus (classes, samples, largest/smallest class,
+/// imbalance ratio).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSummary {
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Largest class size.
+    pub max_class_size: usize,
+    /// Smallest class size.
+    pub min_class_size: usize,
+    /// Ratio of largest to smallest class size.
+    pub imbalance_ratio: f64,
+}
+
+/// Compute the [`CorpusSummary`].
+pub fn summarize(corpus: &Corpus) -> CorpusSummary {
+    let counts = corpus.class_counts();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    CorpusSummary {
+        n_classes: corpus.n_classes(),
+        n_samples: corpus.n_samples(),
+        max_class_size: max,
+        min_class_size: min,
+        imbalance_ratio: if min == 0 { 0.0 } else { max as f64 / min as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CorpusBuilder;
+    use crate::catalog::Catalog;
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new(3).build(&Catalog::paper().scaled(0.02))
+    }
+
+    #[test]
+    fn stats_cover_all_classes_sorted_descending() {
+        let c = corpus();
+        let stats = class_stats(&c);
+        assert_eq!(stats.len(), 92);
+        for w in stats.windows(2) {
+            assert!(w[0].n_samples >= w[1].n_samples);
+        }
+        let total: usize = stats.iter().map(|s| s.n_samples).sum();
+        assert_eq!(total, c.n_samples());
+    }
+
+    #[test]
+    fn velvet_version_table_matches_structure() {
+        let c = corpus();
+        let table = version_table(&c, "Velvet").unwrap();
+        assert!(table.contains("Velvet"));
+        assert!(table.contains("velveth"));
+        assert!(table.contains("velvetg"));
+        // 3 versions -> header + separator + 3 rows
+        assert_eq!(table.lines().count(), 5);
+    }
+
+    #[test]
+    fn unknown_class_version_table_is_none() {
+        assert!(version_table(&corpus(), "DoesNotExist").is_none());
+    }
+
+    #[test]
+    fn distribution_table_renders_all_rows() {
+        let c = corpus();
+        let table = sample_distribution_table(&c);
+        assert_eq!(table.lines().count(), 92 + 2);
+        assert!(table.contains("Application Class"));
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let c = corpus();
+        let s = summarize(&c);
+        assert_eq!(s.n_classes, 92);
+        assert_eq!(s.n_samples, c.n_samples());
+        assert!(s.max_class_size >= s.min_class_size);
+        assert!(s.min_class_size >= 3);
+        assert!(s.imbalance_ratio >= 1.0);
+    }
+}

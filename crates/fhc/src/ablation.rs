@@ -1,0 +1,81 @@
+//! Feature ablations.
+//!
+//! The paper's Table 5 shows that the symbols view dominates the forest's
+//! feature importance. The ablation study makes that concrete by re-running
+//! the full pipeline with subsets of the three fuzzy-hash views and
+//! comparing the resulting F1 scores — the experiment DESIGN.md lists as E8.
+
+use crate::error::FhcError;
+use crate::features::{FeatureKind, SampleFeatures};
+use crate::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use corpus::Corpus;
+
+/// Result of one ablation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Human-readable name of the configuration (e.g. `symbols-only`).
+    pub name: String,
+    /// The feature kinds used.
+    pub kinds: Vec<FeatureKind>,
+    /// Macro-averaged F1 on the test set.
+    pub macro_f1: f64,
+    /// Micro-averaged F1 on the test set.
+    pub micro_f1: f64,
+    /// Support-weighted F1 on the test set.
+    pub weighted_f1: f64,
+}
+
+/// The ablation configurations: all features, each view alone, and each view
+/// dropped.
+pub fn ablation_configurations() -> Vec<(String, Vec<FeatureKind>)> {
+    use FeatureKind::{File, Strings, Symbols};
+    vec![
+        ("all-features".to_string(), vec![File, Strings, Symbols]),
+        ("file-only".to_string(), vec![File]),
+        ("strings-only".to_string(), vec![Strings]),
+        ("symbols-only".to_string(), vec![Symbols]),
+        ("drop-file".to_string(), vec![Strings, Symbols]),
+        ("drop-strings".to_string(), vec![File, Symbols]),
+        ("drop-symbols".to_string(), vec![File, Strings]),
+    ]
+}
+
+/// Run the pipeline once per ablation configuration, reusing the extracted
+/// features (the expensive part) across runs.
+pub fn run_ablation(
+    corpus: &Corpus,
+    features: &[SampleFeatures],
+    base_config: &PipelineConfig,
+) -> Result<Vec<AblationResult>, FhcError> {
+    let mut results = Vec::new();
+    for (name, kinds) in ablation_configurations() {
+        let config = PipelineConfig { feature_kinds: kinds.clone(), ..base_config.clone() };
+        let outcome = FuzzyHashClassifier::new(config).run_with_features(corpus, features)?;
+        results.push(AblationResult {
+            name,
+            kinds,
+            macro_f1: outcome.report.macro_avg().f1,
+            micro_f1: outcome.report.micro().f1,
+            weighted_f1: outcome.report.weighted_avg().f1,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_cover_all_and_singletons_and_drops() {
+        let configs = ablation_configurations();
+        assert_eq!(configs.len(), 7);
+        assert_eq!(configs[0].1.len(), 3);
+        assert!(configs.iter().any(|(n, k)| n == "symbols-only" && k == &[FeatureKind::Symbols]));
+        assert!(configs
+            .iter()
+            .any(|(n, k)| n == "drop-symbols" && !k.contains(&FeatureKind::Symbols)));
+        // Every configuration is non-empty.
+        assert!(configs.iter().all(|(_, k)| !k.is_empty()));
+    }
+}

@@ -1,0 +1,207 @@
+//! Comparison baselines.
+//!
+//! * [`sha256`] + [`ExactHashBaseline`] — the cryptographic-hash approach the
+//!   paper contrasts against (Section 1/2): exact hashes recognize repeated
+//!   executions of the *identical* file but cannot match new versions of the
+//!   same application, so on a test set of unseen versions it labels
+//!   essentially everything unknown.
+//! * k-nearest-neighbours and Gaussian naive Bayes on the same similarity
+//!   feature matrix — the alternative models the paper defers to future work
+//!   (Section 6).
+
+use crate::error::FhcError;
+use crate::features::SampleFeatures;
+use crate::pipeline::PipelineConfig;
+use crate::similarity::ReferenceSet;
+use crate::split::two_phase_split;
+use crate::threshold::{apply_threshold, known_to_eval, UNKNOWN_LABEL};
+use corpus::Corpus;
+use hpcutil::SeedSequence;
+use mlcore::dataset::Dataset;
+use mlcore::knn::{KNearestNeighbors, Metric};
+use mlcore::metrics::{f1_score, Average};
+use mlcore::naive_bayes::GaussianNaiveBayes;
+use std::collections::HashMap;
+
+pub mod sha256;
+
+/// Exact-match baseline: a map from SHA-256 digest to class label.
+#[derive(Debug, Clone, Default)]
+pub struct ExactHashBaseline {
+    by_digest: HashMap<[u8; 32], usize>,
+}
+
+impl ExactHashBaseline {
+    /// Memorize the digests of the training executables.
+    pub fn fit(training: &[(Vec<u8>, usize)]) -> Self {
+        let mut by_digest = HashMap::with_capacity(training.len());
+        for (bytes, label) in training {
+            by_digest.insert(sha256::sha256(bytes), *label);
+        }
+        Self { by_digest }
+    }
+
+    /// Predict the evaluation-space label of an executable: the memorized
+    /// class on an exact digest match, otherwise unknown.
+    pub fn predict(&self, bytes: &[u8]) -> usize {
+        match self.by_digest.get(&sha256::sha256(bytes)) {
+            Some(&label) => known_to_eval(label),
+            None => UNKNOWN_LABEL,
+        }
+    }
+
+    /// Number of memorized digests.
+    pub fn len(&self) -> usize {
+        self.by_digest.len()
+    }
+
+    /// Whether no digests have been memorized.
+    pub fn is_empty(&self) -> bool {
+        self.by_digest.is_empty()
+    }
+}
+
+/// Scores of one baseline on the test set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Baseline name.
+    pub name: String,
+    /// Micro-averaged F1.
+    pub micro_f1: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Support-weighted F1.
+    pub weighted_f1: f64,
+}
+
+/// Evaluate the exact-hash, k-NN, and naive-Bayes baselines on the same
+/// two-phase split and similarity features the main pipeline uses.
+///
+/// `threshold` is the confidence threshold applied to the probabilistic
+/// baselines (typically the one the main pipeline tuned).
+pub fn run_baselines(
+    corpus: &Corpus,
+    features: &[SampleFeatures],
+    config: &PipelineConfig,
+    threshold: f64,
+) -> Result<Vec<BaselineResult>, FhcError> {
+    let seeds = SeedSequence::new(config.seed);
+    let split = two_phase_split(corpus, config.split, seeds.derive("split"))?;
+    let known_class_names: Vec<String> = split
+        .known_classes
+        .iter()
+        .map(|&c| corpus.class_names()[c].clone())
+        .collect();
+    let mut known_id = vec![usize::MAX; corpus.n_classes()];
+    for (id, &class) in split.known_classes.iter().enumerate() {
+        known_id[class] = id;
+    }
+
+    let train_features: Vec<SampleFeatures> =
+        split.train.iter().map(|&i| features[i].clone()).collect();
+    let train_labels: Vec<usize> = split
+        .train
+        .iter()
+        .map(|&i| known_id[corpus.samples()[i].class_index])
+        .collect();
+    let reference = ReferenceSet::new(
+        known_class_names.clone(),
+        &train_features,
+        &train_labels,
+        &config.feature_kinds,
+    );
+    let x_train = reference.feature_matrix(&train_features);
+    let train_ds = Dataset::from_rows(
+        x_train,
+        train_labels.clone(),
+        reference.column_names(),
+        known_class_names.clone(),
+    )?;
+
+    let test_features: Vec<SampleFeatures> =
+        split.test.iter().map(|&i| features[i].clone()).collect();
+    let x_test = reference.feature_matrix(&test_features);
+    let y_true: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| {
+            let class = corpus.samples()[i].class_index;
+            if known_id[class] == usize::MAX {
+                UNKNOWN_LABEL
+            } else {
+                known_to_eval(known_id[class])
+            }
+        })
+        .collect();
+    let n_eval_classes = 1 + known_class_names.len();
+    let score = |name: &str, y_pred: &[usize]| BaselineResult {
+        name: name.to_string(),
+        micro_f1: f1_score(&y_true, y_pred, n_eval_classes, Average::Micro),
+        macro_f1: f1_score(&y_true, y_pred, n_eval_classes, Average::Macro),
+        weighted_f1: f1_score(&y_true, y_pred, n_eval_classes, Average::Weighted),
+    };
+
+    let mut results = Vec::new();
+
+    // --- Exact cryptographic hash -----------------------------------------
+    let training_bytes: Vec<(Vec<u8>, usize)> = split
+        .train
+        .iter()
+        .map(|&i| {
+            (
+                corpus.generate_bytes(&corpus.samples()[i]),
+                known_id[corpus.samples()[i].class_index],
+            )
+        })
+        .collect();
+    let exact = ExactHashBaseline::fit(&training_bytes);
+    let y_exact: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| exact.predict(&corpus.generate_bytes(&corpus.samples()[i])))
+        .collect();
+    results.push(score("exact-sha256", &y_exact));
+
+    // --- k-nearest neighbours ------------------------------------------------
+    let knn = KNearestNeighbors::fit(&train_ds, 5, Metric::Euclidean)?;
+    let y_knn: Vec<usize> = x_test
+        .iter()
+        .map(|row| apply_threshold(&knn.predict_proba(row), threshold))
+        .collect();
+    results.push(score("knn-5", &y_knn));
+
+    // --- Gaussian naive Bayes ---------------------------------------------------
+    let nb = GaussianNaiveBayes::fit(&train_ds)?;
+    let y_nb: Vec<usize> = x_test
+        .iter()
+        .map(|row| apply_threshold(&nb.predict_proba(row), threshold))
+        .collect();
+    results.push(score("gaussian-nb", &y_nb));
+
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hash_matches_only_identical_bytes() {
+        let training = vec![(b"file one contents".to_vec(), 0), (b"file two contents".to_vec(), 1)];
+        let baseline = ExactHashBaseline::fit(&training);
+        assert_eq!(baseline.len(), 2);
+        assert!(!baseline.is_empty());
+        assert_eq!(baseline.predict(b"file one contents"), known_to_eval(0));
+        assert_eq!(baseline.predict(b"file two contents"), known_to_eval(1));
+        // A single changed byte breaks the match — the paper's core argument
+        // for fuzzy hashes over cryptographic hashes.
+        assert_eq!(baseline.predict(b"file one contentz"), UNKNOWN_LABEL);
+    }
+
+    #[test]
+    fn empty_baseline_predicts_unknown() {
+        let baseline = ExactHashBaseline::default();
+        assert!(baseline.is_empty());
+        assert_eq!(baseline.predict(b"anything"), UNKNOWN_LABEL);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the classification pipeline.
+
+use std::fmt;
+
+/// Errors raised by the Fuzzy Hash Classifier pipeline.
+#[derive(Debug)]
+pub enum FhcError {
+    /// The corpus is too small for the requested split.
+    CorpusTooSmall(String),
+    /// An underlying machine-learning operation failed.
+    Ml(mlcore::MlError),
+    /// An executable could not be analyzed.
+    Binary(binary::BinaryError),
+    /// Configuration problem (e.g. empty threshold grid).
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for FhcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FhcError::CorpusTooSmall(msg) => write!(f, "corpus too small: {msg}"),
+            FhcError::Ml(e) => write!(f, "machine-learning error: {e}"),
+            FhcError::Binary(e) => write!(f, "binary analysis error: {e}"),
+            FhcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FhcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FhcError::Ml(e) => Some(e),
+            FhcError::Binary(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mlcore::MlError> for FhcError {
+    fn from(e: mlcore::MlError) -> Self {
+        FhcError::Ml(e)
+    }
+}
+
+impl From<binary::BinaryError> for FhcError {
+    fn from(e: binary::BinaryError) -> Self {
+        FhcError::Binary(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FhcError::from(mlcore::MlError::EmptyDataset);
+        assert!(e.to_string().contains("machine-learning"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FhcError::from(binary::BinaryError::BadMagic);
+        assert!(e.to_string().contains("binary"));
+        let e = FhcError::CorpusTooSmall("only 2 classes".into());
+        assert!(e.to_string().contains("2 classes"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(FhcError::InvalidConfig("x").to_string().contains('x'));
+    }
+}

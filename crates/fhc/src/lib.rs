@@ -1,0 +1,59 @@
+//! # Fuzzy Hash Classifier
+//!
+//! A Rust implementation of the system described in *"Using Malware
+//! Detection Techniques for HPC Application Classification"* (Jakobsche &
+//! Ciorba): classify HPC application executables into application classes by
+//! comparing SSDeep-style fuzzy hashes of three views of each executable —
+//! the raw bytes, the printable strings, and the global symbols — and
+//! training a Random Forest on the resulting similarity features. Samples
+//! whose prediction confidence falls below a tuned threshold are labeled
+//! `"-1"` (unknown), which is how the classifier flags software that does not
+//! belong to any known application class.
+//!
+//! The crate ties together the workspace substrates:
+//!
+//! * [`features`] — extract the three fuzzy-hash features from executable
+//!   bytes (using [`binary`] for parsing / `strings` / `nm` and [`ssdeep`]
+//!   for hashing).
+//! * [`similarity`] — turn per-sample hashes into the per-class
+//!   max-similarity feature matrix the forest consumes.
+//! * [`split`] — the paper's two-phase train/test split (80/20 class-level
+//!   known/unknown split, then a stratified 60/40 sample split).
+//! * [`threshold`] — confidence thresholding and the threshold sweep behind
+//!   the paper's Figure 3.
+//! * [`pipeline`] — the end-to-end classifier: feature extraction, grid
+//!   search, threshold tuning, final training, prediction, evaluation.
+//! * [`experiments`] — one driver per table/figure of the paper.
+//! * [`ablation`] and [`baselines`] — feature ablations and the
+//!   cryptographic-hash / k-NN / naive-Bayes comparison models.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use corpus::{Catalog, CorpusBuilder};
+//! use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+//!
+//! let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.1));
+//! let outcome = FuzzyHashClassifier::new(PipelineConfig::default())
+//!     .run(&corpus)
+//!     .expect("pipeline runs");
+//! println!("{}", outcome.report.render());
+//! println!("macro f1 = {:.2}", outcome.report.macro_avg().f1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod baselines;
+pub mod error;
+pub mod experiments;
+pub mod features;
+pub mod pipeline;
+pub mod similarity;
+pub mod split;
+pub mod threshold;
+
+pub use error::FhcError;
+pub use features::{FeatureKind, SampleFeatures};
+pub use pipeline::{FuzzyHashClassifier, PipelineConfig, PipelineOutcome};

@@ -1,0 +1,446 @@
+//! The end-to-end Fuzzy Hash Classifier pipeline.
+//!
+//! Mirrors the paper's methodology section:
+//!
+//! 1. extract the three SSDeep features of every sample,
+//! 2. split classes 80/20 into known/unknown and known-class samples 60/40
+//!    into train/test (the two-phase split),
+//! 3. build the per-class max-similarity feature matrix against the
+//!    training samples,
+//! 4. tune the Random Forest hyper-parameters and the confidence threshold
+//!    by grid search *within the training set* (holding out part of the
+//!    known classes as pseudo-unknown for the threshold sweep),
+//! 5. train the final forest, predict the test set, route low-confidence
+//!    predictions to the `"-1"` unknown class,
+//! 6. report per-class precision / recall / F1 plus micro / macro /
+//!    weighted averages, and the per-feature importances.
+
+use crate::error::FhcError;
+use crate::features::{FeatureKind, SampleFeatures};
+use crate::similarity::ReferenceSet;
+use crate::split::{two_phase_split, SplitConfig, TwoPhaseSplit};
+use crate::threshold::{
+    apply_threshold_batch, best_threshold, default_threshold_grid, known_to_eval, sweep_thresholds,
+    ThresholdPoint, UNKNOWN_LABEL,
+};
+use corpus::Corpus;
+use hpcutil::{par_map_indexed, ParallelConfig, SeedSequence};
+use mlcore::dataset::Dataset;
+use mlcore::forest::{RandomForest, RandomForestParams};
+use mlcore::gridsearch::{GridSearch, ParamGrid};
+use mlcore::report::ClassificationReport;
+use mlcore::split::{split_groups, stratified_split};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Root seed controlling the split, the forest, and the grid search.
+    pub seed: u64,
+    /// Train/test split fractions (defaults follow the paper: 20% unknown
+    /// classes, 40% of known-class samples for testing).
+    pub split: SplitConfig,
+    /// Forest parameters used when no grid is given (and as the base for the
+    /// grid).
+    pub forest: RandomForestParams,
+    /// Optional hyper-parameter grid evaluated by cross-validation within
+    /// the training set.
+    pub grid: Option<ParamGrid>,
+    /// Cross-validation folds for the grid search.
+    pub grid_folds: usize,
+    /// Candidate confidence thresholds (paper Figure 3 sweeps these).
+    pub thresholds: Vec<f64>,
+    /// Which fuzzy-hash views to use (ablations restrict this).
+    pub feature_kinds: Vec<FeatureKind>,
+    /// Fraction of known classes held out as pseudo-unknown while tuning the
+    /// threshold inside the training set.
+    pub inner_unknown_fraction: f64,
+    /// Fraction of inner-known training samples used to validate the
+    /// threshold.
+    pub inner_validation_fraction: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            split: SplitConfig::default(),
+            forest: RandomForestParams { n_estimators: 80, ..Default::default() },
+            grid: None,
+            grid_folds: 3,
+            thresholds: default_threshold_grid(),
+            feature_kinds: FeatureKind::ALL.to_vec(),
+            inner_unknown_fraction: 0.2,
+            inner_validation_fraction: 0.4,
+        }
+    }
+}
+
+/// Aggregated importance of one fuzzy-hash view (paper Table 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// The fuzzy-hash view.
+    pub kind: FeatureKind,
+    /// Normalized importance (all views sum to 1).
+    pub importance: f64,
+}
+
+/// Everything the pipeline produces for one run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Per-class and averaged precision / recall / F1 (paper Table 4).
+    pub report: ClassificationReport,
+    /// Evaluation label space: index 0 is `"-1"`, the rest are known classes.
+    pub eval_class_names: Vec<String>,
+    /// True evaluation labels of the test samples.
+    pub y_true: Vec<usize>,
+    /// Predicted evaluation labels of the test samples.
+    pub y_pred: Vec<usize>,
+    /// The tuned confidence threshold.
+    pub confidence_threshold: f64,
+    /// The threshold sweep measured on the internal validation set
+    /// (paper Figure 3).
+    pub threshold_curve: Vec<ThresholdPoint>,
+    /// Importance of each fuzzy-hash view (paper Table 5).
+    pub feature_importance: Vec<FeatureImportance>,
+    /// Names of the known classes (the forest's label space).
+    pub known_class_names: Vec<String>,
+    /// Names of the unknown classes (paper Table 3).
+    pub unknown_class_names: Vec<String>,
+    /// The forest parameters actually used (after grid search, if any).
+    pub forest_params: RandomForestParams,
+    /// The two-phase split that produced the train/test sets.
+    pub split: TwoPhaseSplit,
+    /// Number of training samples.
+    pub n_train: usize,
+    /// Number of test samples.
+    pub n_test: usize,
+    /// Number of test samples belonging to unknown classes.
+    pub n_unknown_test: usize,
+}
+
+/// The end-to-end classifier.
+#[derive(Debug, Clone)]
+pub struct FuzzyHashClassifier {
+    config: PipelineConfig,
+}
+
+impl FuzzyHashClassifier {
+    /// Create a classifier with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Extract the fuzzy-hash features of every sample of `corpus`
+    /// (in parallel, generating each executable's bytes on demand).
+    pub fn extract_features(&self, corpus: &Corpus) -> Vec<SampleFeatures> {
+        par_map_indexed(corpus.n_samples(), ParallelConfig { threads: 0, chunk: 4 }, |i| {
+            let bytes = corpus.generate_bytes(&corpus.samples()[i]);
+            SampleFeatures::extract(&bytes)
+        })
+    }
+
+    /// Run the full pipeline on `corpus`.
+    pub fn run(&self, corpus: &Corpus) -> Result<PipelineOutcome, FhcError> {
+        let features = self.extract_features(corpus);
+        self.run_with_features(corpus, &features)
+    }
+
+    /// Run the pipeline on pre-extracted features (lets experiments reuse the
+    /// expensive feature extraction across runs, e.g. for ablations).
+    pub fn run_with_features(
+        &self,
+        corpus: &Corpus,
+        features: &[SampleFeatures],
+    ) -> Result<PipelineOutcome, FhcError> {
+        if features.len() != corpus.n_samples() {
+            return Err(FhcError::InvalidConfig("features must cover every corpus sample"));
+        }
+        if self.config.feature_kinds.is_empty() {
+            return Err(FhcError::InvalidConfig("at least one feature kind is required"));
+        }
+        if self.config.thresholds.is_empty() {
+            return Err(FhcError::InvalidConfig("threshold grid must not be empty"));
+        }
+        let seeds = SeedSequence::new(self.config.seed);
+
+        // ---- Phase 1+2 split ------------------------------------------------
+        let split = two_phase_split(corpus, self.config.split, seeds.derive("split"))?;
+        let known_class_names: Vec<String> = split
+            .known_classes
+            .iter()
+            .map(|&c| corpus.class_names()[c].clone())
+            .collect();
+        let unknown_class_names: Vec<String> = split
+            .unknown_classes
+            .iter()
+            .map(|&c| corpus.class_names()[c].clone())
+            .collect();
+        // Map corpus class index -> known-class id (forest label space).
+        let mut known_id = vec![usize::MAX; corpus.n_classes()];
+        for (id, &class) in split.known_classes.iter().enumerate() {
+            known_id[class] = id;
+        }
+
+        let train_features: Vec<SampleFeatures> =
+            split.train.iter().map(|&i| features[i].clone()).collect();
+        let train_labels: Vec<usize> = split
+            .train
+            .iter()
+            .map(|&i| known_id[corpus.samples()[i].class_index])
+            .collect();
+
+        // ---- Similarity feature matrix --------------------------------------
+        let reference = ReferenceSet::new(
+            known_class_names.clone(),
+            &train_features,
+            &train_labels,
+            &self.config.feature_kinds,
+        );
+        let x_train = reference.feature_matrix(&train_features);
+        let train_ds = Dataset::from_rows(
+            x_train,
+            train_labels.clone(),
+            reference.column_names(),
+            known_class_names.clone(),
+        )?;
+
+        // ---- Hyper-parameter grid search (within the training set) ----------
+        let forest_params = match &self.config.grid {
+            Some(grid) => {
+                let search = GridSearch { n_folds: self.config.grid_folds, base: self.config.forest.clone() };
+                search.best_params(&train_ds, grid, seeds.derive("grid"))?
+            }
+            None => self.config.forest.clone(),
+        };
+
+        // ---- Confidence-threshold tuning (within the training set) ----------
+        let (threshold_curve, confidence_threshold) = self.tune_threshold(
+            corpus,
+            &split,
+            features,
+            &known_id,
+            &forest_params,
+            &seeds,
+        )?;
+
+        // ---- Final model ------------------------------------------------------
+        let forest = RandomForest::fit(&train_ds, &forest_params, seeds.derive("forest"))?;
+
+        // ---- Test-set prediction ----------------------------------------------
+        let test_features: Vec<SampleFeatures> =
+            split.test.iter().map(|&i| features[i].clone()).collect();
+        let x_test = reference.feature_matrix(&test_features);
+        let probas = forest.predict_proba_batch(&x_test);
+        let y_pred = apply_threshold_batch(&probas, confidence_threshold);
+        let y_true: Vec<usize> = split
+            .test
+            .iter()
+            .map(|&i| {
+                let class = corpus.samples()[i].class_index;
+                if known_id[class] == usize::MAX {
+                    UNKNOWN_LABEL
+                } else {
+                    known_to_eval(known_id[class])
+                }
+            })
+            .collect();
+
+        // ---- Report and feature importance --------------------------------------
+        let mut eval_class_names = vec!["-1".to_string()];
+        eval_class_names.extend(known_class_names.iter().cloned());
+        let report = ClassificationReport::compute(&y_true, &y_pred, &eval_class_names);
+        let feature_importance =
+            aggregate_importance(forest.feature_importances(), &reference.column_kinds());
+
+        Ok(PipelineOutcome {
+            report,
+            eval_class_names,
+            y_true,
+            y_pred,
+            confidence_threshold,
+            threshold_curve,
+            feature_importance,
+            known_class_names,
+            unknown_class_names,
+            forest_params,
+            n_train: split.train.len(),
+            n_test: split.test.len(),
+            n_unknown_test: split.n_unknown_test_samples(corpus),
+            split,
+        })
+    }
+
+    /// Tune the confidence threshold inside the training set by holding out
+    /// part of the known classes as pseudo-unknown.
+    #[allow(clippy::too_many_arguments)]
+    fn tune_threshold(
+        &self,
+        corpus: &Corpus,
+        split: &TwoPhaseSplit,
+        features: &[SampleFeatures],
+        known_id: &[usize],
+        forest_params: &RandomForestParams,
+        seeds: &SeedSequence,
+    ) -> Result<(Vec<ThresholdPoint>, f64), FhcError> {
+        let n_known = split.known_classes.len();
+        // Hold out a fraction of the known classes as pseudo-unknown.
+        let (inner_known, pseudo_unknown) =
+            split_groups(n_known, self.config.inner_unknown_fraction, seeds.derive("inner-classes"));
+        let mut inner_known = inner_known;
+        inner_known.sort_unstable();
+        let mut pseudo_unknown = pseudo_unknown;
+        pseudo_unknown.sort_unstable();
+        // Map known-class id -> inner-known id.
+        let mut inner_id = vec![usize::MAX; n_known];
+        for (id, &k) in inner_known.iter().enumerate() {
+            inner_id[k] = id;
+        }
+
+        // Training samples belonging to inner-known classes get a stratified
+        // split into inner-train and inner-validation; pseudo-unknown
+        // training samples all go to inner-validation.
+        let mut inner_known_samples: Vec<usize> = Vec::new();
+        let mut pseudo_unknown_samples: Vec<usize> = Vec::new();
+        for &sample in &split.train {
+            let k = known_id[corpus.samples()[sample].class_index];
+            if inner_id[k] == usize::MAX {
+                pseudo_unknown_samples.push(sample);
+            } else {
+                inner_known_samples.push(sample);
+            }
+        }
+        if inner_known_samples.is_empty() {
+            return Err(FhcError::CorpusTooSmall(
+                "no inner-known training samples for threshold tuning".to_string(),
+            ));
+        }
+        let inner_labels: Vec<usize> = inner_known_samples
+            .iter()
+            .map(|&i| inner_id[known_id[corpus.samples()[i].class_index]])
+            .collect();
+        let inner_split = stratified_split(
+            &inner_labels,
+            self.config.inner_validation_fraction,
+            seeds.derive("inner-split"),
+        )?;
+
+        let inner_train_samples: Vec<usize> =
+            inner_split.train.iter().map(|&i| inner_known_samples[i]).collect();
+        let mut inner_val_samples: Vec<usize> =
+            inner_split.test.iter().map(|&i| inner_known_samples[i]).collect();
+        inner_val_samples.extend_from_slice(&pseudo_unknown_samples);
+
+        let inner_train_features: Vec<SampleFeatures> =
+            inner_train_samples.iter().map(|&i| features[i].clone()).collect();
+        let inner_train_labels: Vec<usize> = inner_train_samples
+            .iter()
+            .map(|&i| inner_id[known_id[corpus.samples()[i].class_index]])
+            .collect();
+        let inner_class_names: Vec<String> = inner_known
+            .iter()
+            .map(|&k| corpus.class_names()[split.known_classes[k]].clone())
+            .collect();
+
+        let inner_reference = ReferenceSet::new(
+            inner_class_names.clone(),
+            &inner_train_features,
+            &inner_train_labels,
+            &self.config.feature_kinds,
+        );
+        let x_inner_train = inner_reference.feature_matrix(&inner_train_features);
+        let inner_ds = Dataset::from_rows(
+            x_inner_train,
+            inner_train_labels,
+            inner_reference.column_names(),
+            inner_class_names,
+        )?;
+        let inner_forest = RandomForest::fit(&inner_ds, forest_params, seeds.derive("inner-forest"))?;
+
+        let inner_val_features: Vec<SampleFeatures> =
+            inner_val_samples.iter().map(|&i| features[i].clone()).collect();
+        let x_val = inner_reference.feature_matrix(&inner_val_features);
+        let probas = inner_forest.predict_proba_batch(&x_val);
+        let y_val: Vec<usize> = inner_val_samples
+            .iter()
+            .map(|&i| {
+                let k = known_id[corpus.samples()[i].class_index];
+                if inner_id[k] == usize::MAX {
+                    UNKNOWN_LABEL
+                } else {
+                    known_to_eval(inner_id[k])
+                }
+            })
+            .collect();
+        let n_eval_classes = 1 + inner_reference.n_classes();
+        let curve = sweep_thresholds(&y_val, &probas, n_eval_classes, &self.config.thresholds);
+        let best = best_threshold(&curve).unwrap_or(0.0);
+        Ok((curve, best))
+    }
+}
+
+/// Aggregate per-column forest importances into one number per fuzzy-hash
+/// view and normalize them to sum to 1 (the paper's Table 5 normalization).
+pub fn aggregate_importance(
+    column_importances: &[f64],
+    column_kinds: &[FeatureKind],
+) -> Vec<FeatureImportance> {
+    let mut totals: Vec<(FeatureKind, f64)> = Vec::new();
+    for (&imp, &kind) in column_importances.iter().zip(column_kinds) {
+        match totals.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, total)) => *total += imp,
+            None => totals.push((kind, imp)),
+        }
+    }
+    let sum: f64 = totals.iter().map(|(_, v)| v).sum();
+    totals
+        .into_iter()
+        .map(|(kind, v)| FeatureImportance {
+            kind,
+            importance: if sum > 0.0 { v / sum } else { 0.0 },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_importance_normalizes_per_kind() {
+        let importances = vec![0.1, 0.1, 0.2, 0.2, 0.2, 0.2];
+        let kinds = vec![
+            FeatureKind::File,
+            FeatureKind::File,
+            FeatureKind::Strings,
+            FeatureKind::Strings,
+            FeatureKind::Symbols,
+            FeatureKind::Symbols,
+        ];
+        let agg = aggregate_importance(&importances, &kinds);
+        assert_eq!(agg.len(), 3);
+        let total: f64 = agg.iter().map(|a| a.importance).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let file = agg.iter().find(|a| a.kind == FeatureKind::File).unwrap();
+        assert!((file.importance - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_importance_of_zeros_is_zero() {
+        let agg = aggregate_importance(&[0.0, 0.0], &[FeatureKind::File, FeatureKind::Symbols]);
+        assert!(agg.iter().all(|a| a.importance == 0.0));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.feature_kinds.len(), 3);
+        assert!(!cfg.thresholds.is_empty());
+        assert!(cfg.inner_unknown_fraction > 0.0 && cfg.inner_unknown_fraction < 1.0);
+        assert!(cfg.forest.n_estimators > 0);
+    }
+}

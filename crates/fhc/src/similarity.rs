@@ -1,0 +1,248 @@
+//! The similarity feature matrix.
+//!
+//! The paper: "We compute a feature matrix for our dataset based on the
+//! SSDeep fuzzy hash similarity between sample features." Concretely, the
+//! Random Forest needs a fixed-length numeric vector per sample. We give it,
+//! for every *known* application class and every hash view, the maximum
+//! SSDeep similarity between the sample and that class's training samples:
+//!
+//! ```text
+//! x[sample] = [ max_sim(file,   class_0), ..., max_sim(file,   class_K-1),
+//!               max_sim(strings,class_0), ..., max_sim(strings,class_K-1),
+//!               max_sim(symbols,class_0), ..., max_sim(symbols,class_K-1) ]
+//! ```
+//!
+//! Grouping columns by hash view is what lets the pipeline aggregate the
+//! forest's per-column importances into the three per-feature numbers of the
+//! paper's Table 5.
+
+use crate::features::{FeatureKind, SampleFeatures};
+use hpcutil::{par_map_indexed, ParallelConfig};
+
+/// Reference hashes the feature matrix is computed against: the training
+/// samples of each known class.
+#[derive(Debug, Clone)]
+pub struct ReferenceSet {
+    /// Known class names, indexed by known-class id (the forest's label
+    /// space).
+    class_names: Vec<String>,
+    /// Training sample features grouped by known-class id.
+    by_class: Vec<Vec<SampleFeatures>>,
+    /// Which feature kinds are active (ablations disable some).
+    kinds: Vec<FeatureKind>,
+}
+
+impl ReferenceSet {
+    /// Group training samples by their known-class label.
+    ///
+    /// `labels[i]` is the known-class id of `features[i]` and must be
+    /// `< class_names.len()`.
+    pub fn new(
+        class_names: Vec<String>,
+        features: &[SampleFeatures],
+        labels: &[usize],
+        kinds: &[FeatureKind],
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "features and labels must align");
+        let mut by_class: Vec<Vec<SampleFeatures>> = vec![Vec::new(); class_names.len()];
+        for (f, &l) in features.iter().zip(labels) {
+            by_class[l].push(f.clone());
+        }
+        Self { class_names, by_class, kinds: kinds.to_vec() }
+    }
+
+    /// Known class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Number of known classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Active feature kinds.
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// Number of columns in the feature matrix
+    /// (`n_classes * active feature kinds`).
+    pub fn n_columns(&self) -> usize {
+        self.n_classes() * self.kinds.len()
+    }
+
+    /// Column names, grouped by feature kind then class
+    /// (e.g. `ssdeep-symbols/Velvet`).
+    pub fn column_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.n_columns());
+        for kind in &self.kinds {
+            for class in &self.class_names {
+                names.push(format!("{}/{}", kind.paper_name(), class));
+            }
+        }
+        names
+    }
+
+    /// The feature kind each column belongs to (for importance aggregation).
+    pub fn column_kinds(&self) -> Vec<FeatureKind> {
+        let mut kinds = Vec::with_capacity(self.n_columns());
+        for kind in &self.kinds {
+            for _ in 0..self.n_classes() {
+                kinds.push(*kind);
+            }
+        }
+        kinds
+    }
+
+    /// Feature vector of one sample: per active kind, per known class, the
+    /// maximum similarity against that class's training samples, scaled to
+    /// `0.0..=100.0`.
+    pub fn feature_vector(&self, sample: &SampleFeatures) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.n_columns());
+        for &kind in &self.kinds {
+            for class_samples in &self.by_class {
+                let best = class_samples
+                    .iter()
+                    .map(|train| sample.similarity(train, kind))
+                    .max()
+                    .unwrap_or(0);
+                row.push(f64::from(best));
+            }
+        }
+        row
+    }
+
+    /// Feature matrix of a batch of samples (rows computed in parallel — the
+    /// dominant cost of the whole pipeline).
+    pub fn feature_matrix(&self, samples: &[SampleFeatures]) -> Vec<Vec<f64>> {
+        par_map_indexed(samples.len(), ParallelConfig { threads: 0, chunk: 4 }, |i| {
+            self.feature_vector(&samples[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binary::elf::ElfBuilder;
+
+    fn make_sample(class_tag: &str, variant: u64) -> SampleFeatures {
+        let mut b = ElfBuilder::new();
+        // Class-specific code with a small variant-specific region.
+        let mut code: Vec<u8> = class_tag
+            .bytes()
+            .cycle()
+            .take(24_000)
+            .enumerate()
+            .map(|(i, c)| c.wrapping_mul(17).wrapping_add((i / 96) as u8))
+            .collect();
+        for (i, byte) in code.iter_mut().skip((variant as usize * 512) % 20_000).take(256).enumerate() {
+            *byte ^= (variant as u8).wrapping_add(i as u8);
+        }
+        b.add_text_section(code);
+        b.add_rodata_section(format!("{class_tag} tool messages and usage\0v{variant}\0").into_bytes());
+        for i in 0..30 {
+            b.add_global_function(&format!("{class_tag}_routine_{i}"), (i * 128) as u64, 128);
+        }
+        b.add_global_function(&format!("{class_tag}_extra_{variant}"), 30 * 128, 64);
+        SampleFeatures::extract(&b.build())
+    }
+
+    fn reference() -> (ReferenceSet, Vec<SampleFeatures>) {
+        let train = vec![
+            make_sample("velvet", 0),
+            make_sample("velvet", 1),
+            make_sample("openmalaria", 0),
+            make_sample("openmalaria", 1),
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let rs = ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train,
+            &labels,
+            &FeatureKind::ALL,
+        );
+        (rs, train)
+    }
+
+    #[test]
+    fn column_layout_is_kind_major() {
+        let (rs, _) = reference();
+        assert_eq!(rs.n_columns(), 6);
+        let names = rs.column_names();
+        assert_eq!(names[0], "ssdeep-file/Velvet");
+        assert_eq!(names[1], "ssdeep-file/OpenMalaria");
+        assert_eq!(names[4], "ssdeep-symbols/Velvet");
+        let kinds = rs.column_kinds();
+        assert_eq!(kinds[0], FeatureKind::File);
+        assert_eq!(kinds[5], FeatureKind::Symbols);
+    }
+
+    #[test]
+    fn training_sample_scores_100_against_its_own_class() {
+        let (rs, train) = reference();
+        let row = rs.feature_vector(&train[0]);
+        // Column 0 = file similarity to Velvet (contains this exact sample).
+        assert_eq!(row[0], 100.0);
+        // Symbols column for Velvet likewise.
+        assert_eq!(row[4], 100.0);
+    }
+
+    #[test]
+    fn new_version_scores_higher_for_its_class() {
+        let (rs, _) = reference();
+        let unseen_velvet = make_sample("velvet", 7);
+        let row = rs.feature_vector(&unseen_velvet);
+        let velvet_sym = row[4];
+        let malaria_sym = row[5];
+        assert!(
+            velvet_sym > malaria_sym,
+            "velvet sample should be closer to Velvet ({velvet_sym}) than OpenMalaria ({malaria_sym})"
+        );
+    }
+
+    #[test]
+    fn unknown_application_scores_low_everywhere() {
+        let (rs, _) = reference();
+        let stranger = make_sample("quantumespresso", 3);
+        let row = rs.feature_vector(&stranger);
+        // The symbols columns are the discriminative ones; a never-seen
+        // application should not reach a high symbol similarity with either
+        // known class.
+        assert!(row[4] < 60.0, "symbols vs Velvet: {}", row[4]);
+        assert!(row[5] < 60.0, "symbols vs OpenMalaria: {}", row[5]);
+    }
+
+    #[test]
+    fn feature_matrix_matches_vectors() {
+        let (rs, train) = reference();
+        let matrix = rs.feature_matrix(&train);
+        assert_eq!(matrix.len(), 4);
+        for (i, row) in matrix.iter().enumerate() {
+            assert_eq!(*row, rs.feature_vector(&train[i]));
+            assert_eq!(row.len(), rs.n_columns());
+            assert!(row.iter().all(|&v| (0.0..=100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn ablated_reference_has_fewer_columns() {
+        let train = vec![make_sample("velvet", 0)];
+        let rs = ReferenceSet::new(
+            vec!["Velvet".into()],
+            &train,
+            &[0],
+            &[FeatureKind::Symbols],
+        );
+        assert_eq!(rs.n_columns(), 1);
+        assert_eq!(rs.column_names(), vec!["ssdeep-symbols/Velvet"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_labels_panic() {
+        let train = vec![make_sample("velvet", 0)];
+        let _ = ReferenceSet::new(vec!["Velvet".into()], &train, &[0, 1], &FeatureKind::ALL);
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's two-phase train/test split.
+//!
+//! Phase one splits the *application classes* 80/20 into known and unknown
+//! classes, so the test set contains samples of classes the model has never
+//! seen (the situation a production deployment faces). Phase two splits the
+//! samples of the known classes 60/40 (stratified) into training and test
+//! samples. The final test set is the union of the 40% known-class samples
+//! and *all* samples of the unknown classes.
+
+use crate::error::FhcError;
+use corpus::Corpus;
+use mlcore::split::{split_groups, stratified_split};
+
+/// Outcome of the two-phase split, expressed as corpus sample indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPhaseSplit {
+    /// Corpus class indices of the known classes (the model's label space).
+    pub known_classes: Vec<usize>,
+    /// Corpus class indices of the unknown classes.
+    pub unknown_classes: Vec<usize>,
+    /// Corpus sample indices used for training (known classes only).
+    pub train: Vec<usize>,
+    /// Corpus sample indices used for testing (40% of known-class samples
+    /// plus every unknown-class sample).
+    pub test: Vec<usize>,
+}
+
+/// Configuration of the split fractions (defaults match the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitConfig {
+    /// Fraction of classes placed in the unknown set (paper: 0.2).
+    pub unknown_class_fraction: f64,
+    /// Fraction of known-class samples placed in the test set (paper: 0.4).
+    pub test_sample_fraction: f64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self { unknown_class_fraction: 0.2, test_sample_fraction: 0.4 }
+    }
+}
+
+/// Perform the two-phase split on `corpus` with the given seed.
+pub fn two_phase_split(
+    corpus: &Corpus,
+    config: SplitConfig,
+    seed: u64,
+) -> Result<TwoPhaseSplit, FhcError> {
+    let n_classes = corpus.n_classes();
+    if n_classes < 2 {
+        return Err(FhcError::CorpusTooSmall(format!(
+            "need at least 2 classes for a known/unknown split, have {n_classes}"
+        )));
+    }
+
+    // Phase 1: class-level known/unknown split.
+    let (mut known_classes, mut unknown_classes) =
+        split_groups(n_classes, config.unknown_class_fraction, seed);
+    known_classes.sort_unstable();
+    unknown_classes.sort_unstable();
+
+    // Phase 2: stratified sample split within the known classes.
+    let known_sample_indices: Vec<usize> = corpus
+        .samples()
+        .iter()
+        .filter(|s| known_classes.binary_search(&s.class_index).is_ok())
+        .map(|s| s.sample_index)
+        .collect();
+    if known_sample_indices.is_empty() {
+        return Err(FhcError::CorpusTooSmall("no samples in the known classes".to_string()));
+    }
+    let known_labels: Vec<usize> = known_sample_indices
+        .iter()
+        .map(|&i| corpus.samples()[i].class_index)
+        .collect();
+    let split = stratified_split(&known_labels, config.test_sample_fraction, seed ^ 0xA5A5)?;
+
+    let train: Vec<usize> = split.train.iter().map(|&i| known_sample_indices[i]).collect();
+    let mut test: Vec<usize> = split.test.iter().map(|&i| known_sample_indices[i]).collect();
+
+    // All samples of the unknown classes go to the test set.
+    test.extend(
+        corpus
+            .samples()
+            .iter()
+            .filter(|s| unknown_classes.binary_search(&s.class_index).is_ok())
+            .map(|s| s.sample_index),
+    );
+    test.sort_unstable();
+
+    Ok(TwoPhaseSplit { known_classes, unknown_classes, train, test })
+}
+
+impl TwoPhaseSplit {
+    /// Number of test samples that belong to unknown classes.
+    pub fn n_unknown_test_samples(&self, corpus: &Corpus) -> usize {
+        self.test
+            .iter()
+            .filter(|&&i| {
+                self.unknown_classes
+                    .binary_search(&corpus.samples()[i].class_index)
+                    .is_ok()
+            })
+            .count()
+    }
+
+    /// Whether a corpus class index is in the known set.
+    pub fn is_known_class(&self, class_index: usize) -> bool {
+        self.known_classes.binary_search(&class_index).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::{Catalog, CorpusBuilder};
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new(5).build(&Catalog::paper().scaled(0.02))
+    }
+
+    #[test]
+    fn split_fractions_match_paper_shape() {
+        let corpus = corpus();
+        let split = two_phase_split(&corpus, SplitConfig::default(), 42).unwrap();
+        // ~20% of 92 classes unknown.
+        assert!((14..=23).contains(&split.unknown_classes.len()));
+        assert_eq!(split.known_classes.len() + split.unknown_classes.len(), 92);
+        // Training only contains known-class samples.
+        for &i in &split.train {
+            assert!(split.is_known_class(corpus.samples()[i].class_index));
+        }
+        // Test contains every unknown-class sample.
+        let unknown_total: usize = corpus
+            .samples()
+            .iter()
+            .filter(|s| !split.is_known_class(s.class_index))
+            .count();
+        assert_eq!(split.n_unknown_test_samples(&corpus), unknown_total);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_cover_known_plus_unknown() {
+        let corpus = corpus();
+        let split = two_phase_split(&corpus, SplitConfig::default(), 7).unwrap();
+        for &i in &split.train {
+            assert!(split.test.binary_search(&i).is_err());
+        }
+        // Every sample is in train, test, or belongs to a known class
+        // singleton kept in training; no sample is lost.
+        assert_eq!(split.train.len() + split.test.len(), corpus.n_samples());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = corpus();
+        let a = two_phase_split(&corpus, SplitConfig::default(), 3).unwrap();
+        let b = two_phase_split(&corpus, SplitConfig::default(), 3).unwrap();
+        assert_eq!(a, b);
+        let c = two_phase_split(&corpus, SplitConfig::default(), 4).unwrap();
+        assert_ne!(a.unknown_classes, c.unknown_classes);
+    }
+
+    #[test]
+    fn every_known_class_has_training_samples() {
+        let corpus = corpus();
+        let split = two_phase_split(&corpus, SplitConfig::default(), 11).unwrap();
+        for &class in &split.known_classes {
+            let has_train = split
+                .train
+                .iter()
+                .any(|&i| corpus.samples()[i].class_index == class);
+            assert!(has_train, "known class {class} has no training samples");
+        }
+    }
+
+    #[test]
+    fn custom_fractions_respected() {
+        let corpus = corpus();
+        let config = SplitConfig { unknown_class_fraction: 0.5, test_sample_fraction: 0.25 };
+        let split = two_phase_split(&corpus, config, 1).unwrap();
+        assert!((40..=52).contains(&split.unknown_classes.len()));
+    }
+}

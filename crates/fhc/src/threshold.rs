@@ -1,0 +1,179 @@
+//! Confidence thresholding and the threshold sweep (paper Figure 3).
+//!
+//! The forest predicts a probability distribution over the *known* classes.
+//! If the winning class's probability is below the confidence threshold the
+//! sample is labeled `"-1"` (unknown). The threshold is a hyper-parameter
+//! tuned inside the training set: a portion of the known classes is held out
+//! as pseudo-unknown, and the threshold that maximizes the combined micro /
+//! macro / weighted F1 on that internal validation set is chosen — which is
+//! exactly the curve the paper plots in Figure 3.
+
+use mlcore::metrics::{f1_score, Average};
+use serde::{Deserialize, Serialize};
+
+/// Evaluation-space label of the unknown class. The evaluation label space
+/// is `0 = "-1" (unknown)` followed by the known classes, mirroring the
+/// paper's report where the unknown class is listed as `-1`.
+pub const UNKNOWN_LABEL: usize = 0;
+
+/// Convert a known-class id (forest label space) to the evaluation label
+/// space (shifted by one to make room for the unknown label).
+pub fn known_to_eval(known_class: usize) -> usize {
+    known_class + 1
+}
+
+/// Apply a confidence threshold to one probability vector over known
+/// classes, returning an evaluation-space label.
+pub fn apply_threshold(proba: &[f64], threshold: f64) -> usize {
+    let mut best = 0usize;
+    let mut best_p = f64::NEG_INFINITY;
+    for (i, &p) in proba.iter().enumerate() {
+        if p > best_p {
+            best_p = p;
+            best = i;
+        }
+    }
+    if best_p < threshold {
+        UNKNOWN_LABEL
+    } else {
+        known_to_eval(best)
+    }
+}
+
+/// Apply a threshold to a batch of probability vectors.
+pub fn apply_threshold_batch(probas: &[Vec<f64>], threshold: f64) -> Vec<usize> {
+    probas.iter().map(|p| apply_threshold(p, threshold)).collect()
+}
+
+/// One point of the threshold sweep: the three averaged F1 scores at a given
+/// confidence threshold (the series plotted in Figure 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// The confidence threshold.
+    pub threshold: f64,
+    /// Micro-averaged F1 at this threshold.
+    pub micro_f1: f64,
+    /// Macro-averaged F1 at this threshold.
+    pub macro_f1: f64,
+    /// Support-weighted F1 at this threshold.
+    pub weighted_f1: f64,
+}
+
+impl ThresholdPoint {
+    /// The selection criterion: the sum of the three F1 scores (the paper
+    /// chooses "the confidence threshold that maximizes the combined micro,
+    /// macro, and weighted f1-scores").
+    pub fn combined(&self) -> f64 {
+        self.micro_f1 + self.macro_f1 + self.weighted_f1
+    }
+}
+
+/// Sweep a set of candidate thresholds against validation predictions.
+///
+/// `y_true` is in evaluation space (0 = unknown), `probas` are the forest's
+/// probability vectors over known classes for the same samples, and
+/// `n_eval_classes` is `1 + number of known classes`.
+pub fn sweep_thresholds(
+    y_true: &[usize],
+    probas: &[Vec<f64>],
+    n_eval_classes: usize,
+    thresholds: &[f64],
+) -> Vec<ThresholdPoint> {
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let y_pred = apply_threshold_batch(probas, threshold);
+            ThresholdPoint {
+                threshold,
+                micro_f1: f1_score(y_true, &y_pred, n_eval_classes, Average::Micro),
+                macro_f1: f1_score(y_true, &y_pred, n_eval_classes, Average::Macro),
+                weighted_f1: f1_score(y_true, &y_pred, n_eval_classes, Average::Weighted),
+            }
+        })
+        .collect()
+}
+
+/// The threshold with the best combined score (ties go to the lower
+/// threshold, which keeps more samples classified).
+pub fn best_threshold(points: &[ThresholdPoint]) -> Option<f64> {
+    points
+        .iter()
+        .max_by(|a, b| {
+            a.combined()
+                .partial_cmp(&b.combined())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.threshold.partial_cmp(&a.threshold).unwrap_or(std::cmp::Ordering::Equal))
+        })
+        .map(|p| p.threshold)
+}
+
+/// The default candidate grid used by the pipeline (0.0 to 0.9).
+pub fn default_threshold_grid() -> Vec<f64> {
+    (0..10).map(|i| i as f64 * 0.1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_confidence_keeps_class_low_confidence_goes_unknown() {
+        let proba = vec![0.1, 0.7, 0.2];
+        assert_eq!(apply_threshold(&proba, 0.5), known_to_eval(1));
+        assert_eq!(apply_threshold(&proba, 0.8), UNKNOWN_LABEL);
+        assert_eq!(apply_threshold(&proba, 0.0), known_to_eval(1));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let probas = vec![vec![0.9, 0.1], vec![0.4, 0.6], vec![0.5, 0.5]];
+        let batch = apply_threshold_batch(&probas, 0.55);
+        assert_eq!(batch, vec![known_to_eval(0), known_to_eval(1), UNKNOWN_LABEL]);
+    }
+
+    #[test]
+    fn sweep_reports_one_point_per_threshold() {
+        // Two known classes; sample 0 truly class 1 (eval 2), sample 1 truly
+        // unknown.
+        let y_true = vec![2, UNKNOWN_LABEL];
+        let probas = vec![vec![0.2, 0.8], vec![0.55, 0.45]];
+        let points = sweep_thresholds(&y_true, &probas, 3, &[0.0, 0.6, 0.9]);
+        assert_eq!(points.len(), 3);
+        // At threshold 0.0 the unknown sample is mislabeled as class 0.
+        assert!(points[0].micro_f1 < 1.0);
+        // At threshold 0.6 both are right: class 1 kept, unknown rejected.
+        assert!((points[1].micro_f1 - 1.0).abs() < 1e-9);
+        assert!((points[1].macro_f1 - 1.0).abs() < 1e-9);
+        // At threshold 0.9 everything is unknown; class 1 recall collapses.
+        assert!(points[2].macro_f1 < points[1].macro_f1);
+    }
+
+    #[test]
+    fn best_threshold_maximizes_combined_score() {
+        let y_true = vec![2, UNKNOWN_LABEL, 1];
+        let probas = vec![vec![0.2, 0.8], vec![0.55, 0.45], vec![0.95, 0.05]];
+        let grid = default_threshold_grid();
+        let points = sweep_thresholds(&y_true, &probas, 3, &grid);
+        let best = best_threshold(&points).unwrap();
+        assert!(best > 0.55 && best < 0.81, "best threshold {best}");
+    }
+
+    #[test]
+    fn best_threshold_of_empty_sweep_is_none() {
+        assert_eq!(best_threshold(&[]), None);
+    }
+
+    #[test]
+    fn default_grid_is_sorted_in_unit_interval() {
+        let grid = default_threshold_grid();
+        assert_eq!(grid.len(), 10);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(grid.iter().all(|&t| (0.0..1.0).contains(&t)));
+    }
+
+    #[test]
+    fn combined_is_sum_of_scores() {
+        let p = ThresholdPoint { threshold: 0.3, micro_f1: 0.5, macro_f1: 0.25, weighted_f1: 0.75 };
+        assert!((p.combined() - 1.5).abs() < 1e-12);
+    }
+}

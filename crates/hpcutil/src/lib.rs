@@ -1,0 +1,28 @@
+//! Shared HPC-style utilities for the Fuzzy Hash Classifier workspace.
+//!
+//! This crate provides the small, dependency-light building blocks that the
+//! rest of the workspace relies on:
+//!
+//! * [`par`] — data-parallel helpers built on crossbeam scoped threads
+//!   (parallel map over slices and index ranges with chunked work stealing),
+//!   used to hash corpora, fill similarity matrices, and train forest trees
+//!   without data races.
+//! * [`table`] — plain-text table rendering used by the experiment binaries
+//!   to print the paper's tables in a readable, diff-friendly format.
+//! * [`rngseq`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single root seed.
+//! * [`timing`] — a tiny stopwatch/section timer for reporting wall-clock
+//!   cost of pipeline stages.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod par;
+pub mod rngseq;
+pub mod table;
+pub mod timing;
+
+pub use par::{par_map, par_map_indexed, ParallelConfig};
+pub use rngseq::SeedSequence;
+pub use table::TextTable;
+pub use timing::SectionTimer;

@@ -1,0 +1,176 @@
+//! Plain-text table rendering.
+//!
+//! The experiment binaries print the paper's tables (classification report,
+//! feature importance, unknown-class membership, ...) as aligned ASCII
+//! tables so results are readable in a terminal and diff-friendly when
+//! written to `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// Column alignment for [`TextTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (text columns).
+    Left,
+    /// Pad on the left (numeric columns).
+    Right,
+}
+
+/// A simple text table with a header row and aligned columns.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    align: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers; all columns default to
+    /// left alignment.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let align = vec![Align::Left; header.len()];
+        Self { header, align, rows: Vec::new() }
+    }
+
+    /// Set per-column alignment. Extra entries are ignored; missing entries
+    /// keep the default.
+    pub fn with_alignment(mut self, align: Vec<Align>) -> Self {
+        for (i, a) in align.into_iter().enumerate() {
+            if i < self.align.len() {
+                self.align[i] = a;
+            }
+        }
+        self
+    }
+
+    /// Append a data row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows currently in the table.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table to a `String`, one line per row, columns separated by
+    /// two spaces, with a dashed separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        self.render_row(&mut out, &self.header, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            self.render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Render the table as a GitHub-flavoured Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let seps: Vec<&str> = self
+            .align
+            .iter()
+            .map(|a| match a {
+                Align::Left => "---",
+                Align::Right => "---:",
+            })
+            .collect();
+        let _ = writeln!(out, "| {} |", seps.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    fn render_row(&self, out: &mut String, row: &[String], widths: &[usize]) {
+        let mut parts: Vec<String> = Vec::with_capacity(row.len());
+        for (i, cell) in row.iter().enumerate() {
+            let width = widths[i];
+            let pad = width.saturating_sub(cell.chars().count());
+            let padded = match self.align[i] {
+                Align::Left => format!("{}{}", cell, " ".repeat(pad)),
+                Align::Right => format!("{}{}", " ".repeat(pad), cell),
+            };
+            parts.push(padded);
+        }
+        let _ = writeln!(out, "{}", parts.join("  ").trim_end());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = TextTable::new(vec!["Class", "F1"]);
+        t.add_row(vec!["Velvet", "1.00"]);
+        t.add_row(vec!["FSL", "0.99"]);
+        let s = t.render();
+        assert!(s.contains("Class"));
+        assert!(s.contains("Velvet"));
+        assert!(s.contains("FSL"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn alignment_right_pads_left() {
+        let mut t = TextTable::new(vec!["name", "count"])
+            .with_alignment(vec![Align::Left, Align::Right]);
+        t.add_row(vec!["a", "5"]);
+        t.add_row(vec!["bb", "500"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // "500" and "  5" should right-align in the same column.
+        assert!(lines[2].ends_with("  5") || lines[2].ends_with(" 5"));
+        assert!(lines[3].ends_with("500"));
+    }
+
+    #[test]
+    fn short_rows_are_padded_long_rows_truncated() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        t.add_row(vec!["1", "2", "3", "4"]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains('4'));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = TextTable::new(vec!["x", "y"]).with_alignment(vec![Align::Left, Align::Right]);
+        t.add_row(vec!["foo", "1"]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| x | y |"));
+        assert!(md.contains("| --- | ---: |"));
+        assert!(md.contains("| foo | 1 |"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(vec!["only", "header"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

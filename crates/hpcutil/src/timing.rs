@@ -1,0 +1,95 @@
+//! Lightweight section timing for pipeline stages.
+
+use std::time::{Duration, Instant};
+
+/// Records named sections of wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use hpcutil::SectionTimer;
+/// let mut timer = SectionTimer::new();
+/// timer.start("hash");
+/// // ... work ...
+/// timer.stop();
+/// assert_eq!(timer.sections().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SectionTimer {
+    sections: Vec<(String, Duration)>,
+    current: Option<(String, Instant)>,
+}
+
+impl SectionTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a named section, finishing any section already in progress.
+    pub fn start(&mut self, name: &str) {
+        self.stop();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    /// Finish the section in progress, if any.
+    pub fn stop(&mut self) {
+        if let Some((name, started)) = self.current.take() {
+            self.sections.push((name, started.elapsed()));
+        }
+    }
+
+    /// All finished sections in start order.
+    pub fn sections(&self) -> &[(String, Duration)] {
+        &self.sections
+    }
+
+    /// Total time across all finished sections.
+    pub fn total(&self) -> Duration {
+        self.sections.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Render a short human-readable summary, one line per section.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, dur) in &self.sections {
+            out.push_str(&format!("{:<24} {:>10.3} s\n", name, dur.as_secs_f64()));
+        }
+        out.push_str(&format!("{:<24} {:>10.3} s\n", "total", self.total().as_secs_f64()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_sections_in_order() {
+        let mut t = SectionTimer::new();
+        t.start("a");
+        t.start("b");
+        t.stop();
+        assert_eq!(t.sections().len(), 2);
+        assert_eq!(t.sections()[0].0, "a");
+        assert_eq!(t.sections()[1].0, "b");
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut t = SectionTimer::new();
+        t.stop();
+        assert!(t.sections().is_empty());
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let mut t = SectionTimer::new();
+        t.start("x");
+        t.stop();
+        t.start("y");
+        t.stop();
+        assert!(t.total() >= t.sections()[0].1);
+        assert!(t.summary().contains("total"));
+    }
+}

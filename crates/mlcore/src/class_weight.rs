@@ -1,0 +1,87 @@
+//! Balanced class weighting.
+//!
+//! The paper addresses its highly imbalanced 92-class dataset by "assigning
+//! balanced weights to classes inversely proportional to class frequencies"
+//! — scikit-learn's `class_weight="balanced"`. The weight of class `c` is
+//! `n_samples / (n_classes_present * count_c)`, so the total weight assigned
+//! to each *present* class is equal.
+
+/// Per-class balanced weights (indexed by label). Absent classes get weight
+/// 0 — they contribute no samples anyway.
+pub fn balanced_class_weights(labels: &[usize], n_classes: usize) -> Vec<f64> {
+    let mut counts = vec![0usize; n_classes];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let present = counts.iter().filter(|&&c| c > 0).count();
+    let n = labels.len() as f64;
+    counts
+        .iter()
+        .map(|&c| if c == 0 { 0.0 } else { n / (present as f64 * c as f64) })
+        .collect()
+}
+
+/// Per-sample weights obtained by looking up each sample's class weight.
+pub fn balanced_sample_weights(labels: &[usize], n_classes: usize) -> Vec<f64> {
+    let class_w = balanced_class_weights(labels, n_classes);
+    labels.iter().map(|&l| class_w[l]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_dataset_gets_unit_weights() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let w = balanced_class_weights(&labels, 3);
+        for x in w {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minority_class_weighted_up() {
+        // class 0: 8 samples, class 1: 2 samples
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let w = balanced_class_weights(&labels, 2);
+        assert!((w[0] - 10.0 / (2.0 * 8.0)).abs() < 1e-12);
+        assert!((w[1] - 10.0 / (2.0 * 2.0)).abs() < 1e-12);
+        assert!(w[1] > w[0]);
+    }
+
+    #[test]
+    fn total_weight_per_class_is_equal() {
+        let labels = vec![0, 0, 0, 0, 0, 0, 1, 1, 2];
+        let sw = balanced_sample_weights(&labels, 3);
+        let mut per_class = [0.0f64; 3];
+        for (&l, &w) in labels.iter().zip(&sw) {
+            per_class[l] += w;
+        }
+        assert!((per_class[0] - per_class[1]).abs() < 1e-9);
+        assert!((per_class[1] - per_class[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_class_gets_zero() {
+        let labels = vec![0, 0, 2];
+        let w = balanced_class_weights(&labels, 4);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[3], 0.0);
+        assert!(w[0] > 0.0 && w[2] > 0.0);
+    }
+
+    #[test]
+    fn sample_weights_sum_to_n_samples() {
+        let labels = vec![0, 0, 0, 1, 1, 2, 2, 2, 2, 2];
+        let sw = balanced_sample_weights(&labels, 3);
+        let total: f64 = sw.iter().sum();
+        assert!((total - labels.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_labels_yield_zero_weights() {
+        let w = balanced_class_weights(&[], 3);
+        assert_eq!(w, vec![0.0, 0.0, 0.0]);
+    }
+}

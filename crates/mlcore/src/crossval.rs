@@ -1,0 +1,122 @@
+//! Stratified k-fold cross-validation.
+//!
+//! The paper tunes hyper-parameters "through grid search only within the
+//! training set"; cross-validation inside the training set is the standard
+//! way to score each grid point without touching the test set.
+
+use crate::error::MlError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// One fold: the sample indices used for validation; everything else trains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training indices for this fold.
+    pub train: Vec<usize>,
+    /// Validation indices for this fold.
+    pub validation: Vec<usize>,
+}
+
+/// Produce `k` stratified folds over `labels`.
+///
+/// Every sample appears in exactly one validation fold. Classes with fewer
+/// samples than `k` still work: their samples are spread over as many folds
+/// as they have members.
+pub fn stratified_k_fold(labels: &[usize], k: usize, seed: u64) -> Result<Vec<Fold>, MlError> {
+    if k < 2 {
+        return Err(MlError::InvalidParameter("k must be >= 2"));
+    }
+    if labels.len() < k {
+        return Err(MlError::InvalidSplit(format!(
+            "cannot make {k} folds from {} samples",
+            labels.len()
+        )));
+    }
+    let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &label) in labels.iter().enumerate() {
+        by_class.entry(label).or_default().push(i);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut fold_validation: Vec<Vec<usize>> = vec![Vec::new(); k];
+    // Deal each class's samples round-robin into the folds, starting from a
+    // rotating offset so small classes don't all pile into fold 0.
+    let mut offset = 0usize;
+    for (_, mut indices) in by_class {
+        indices.shuffle(&mut rng);
+        for (j, idx) in indices.into_iter().enumerate() {
+            fold_validation[(offset + j) % k].push(idx);
+        }
+        offset += 1;
+    }
+    let all: Vec<usize> = (0..labels.len()).collect();
+    let folds = fold_validation
+        .into_iter()
+        .map(|mut validation| {
+            validation.sort_unstable();
+            let train: Vec<usize> =
+                all.iter().copied().filter(|i| validation.binary_search(i).is_err()).collect();
+            Fold { train, validation }
+        })
+        .collect();
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_the_samples() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 5).collect();
+        let folds = stratified_k_fold(&labels, 4, 1).unwrap();
+        assert_eq!(folds.len(), 4);
+        let mut seen = vec![0usize; 100];
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.validation.len(), 100);
+            for &i in &fold.validation {
+                seen[i] += 1;
+            }
+            for &i in &fold.train {
+                assert!(!fold.validation.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each sample validates exactly once");
+    }
+
+    #[test]
+    fn folds_are_roughly_stratified() {
+        // 40 samples of class 0, 8 of class 1, 4 folds.
+        let mut labels = vec![0usize; 40];
+        labels.extend(vec![1usize; 8]);
+        let folds = stratified_k_fold(&labels, 4, 2).unwrap();
+        for fold in &folds {
+            let c1 = fold.validation.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(c1, 2, "class 1 spread evenly across folds");
+        }
+    }
+
+    #[test]
+    fn tiny_classes_do_not_panic() {
+        let labels = vec![0, 0, 0, 0, 0, 1, 2, 3];
+        let folds = stratified_k_fold(&labels, 3, 0).unwrap();
+        let total_validation: usize = folds.iter().map(|f| f.validation.len()).sum();
+        assert_eq!(total_validation, labels.len());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(stratified_k_fold(&[0, 1, 2], 1, 0).is_err());
+        assert!(stratified_k_fold(&[0, 1], 3, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let labels: Vec<usize> = (0..60).map(|i| i % 6).collect();
+        assert_eq!(
+            stratified_k_fold(&labels, 5, 9).unwrap(),
+            stratified_k_fold(&labels, 5, 9).unwrap()
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Labeled datasets: a feature matrix plus integer class labels and names.
+
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// A labeled dataset.
+///
+/// Labels are class *indices* into `class_names`; the Fuzzy Hash Classifier
+/// reserves an extra synthetic class for "unknown" at a higher layer, so this
+/// type stays agnostic of that convention.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    feature_names: Vec<String>,
+    class_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset from row vectors.
+    ///
+    /// `feature_names` may be empty, in which case names `f0..fN` are
+    /// generated. `class_names` must cover every label used.
+    pub fn from_rows(
+        rows: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+    ) -> Result<Self, MlError> {
+        let features = Matrix::from_rows(rows)?;
+        Self::new(features, labels, feature_names, class_names)
+    }
+
+    /// Build a dataset from an existing matrix.
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        mut feature_names: Vec<String>,
+        class_names: Vec<String>,
+    ) -> Result<Self, MlError> {
+        if features.n_rows() != labels.len() {
+            return Err(MlError::LengthMismatch { rows: features.n_rows(), labels: labels.len() });
+        }
+        if feature_names.is_empty() {
+            feature_names = (0..features.n_cols()).map(|i| format!("f{i}")).collect();
+        }
+        if feature_names.len() != features.n_cols() {
+            return Err(MlError::RaggedRows {
+                expected: features.n_cols(),
+                found: feature_names.len(),
+                row: 0,
+            });
+        }
+        let n_classes = class_names.len();
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(MlError::LabelOutOfRange { label: bad, n_classes });
+        }
+        Ok(Self { features, labels, feature_names, class_names })
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label of each row.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Column names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Class names, indexed by label value.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.features.n_rows()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.features.n_cols()
+    }
+
+    /// Number of declared classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Per-class sample counts (indexed by label).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing only the given rows (indices may repeat).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            class_names: self.class_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5], vec![0.9, 0.1]],
+            vec![0, 1, 0, 1],
+            vec!["a".into(), "b".into()],
+            vec!["zero".into(), "one".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.n_samples(), 4);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![2, 2]);
+        assert_eq!(ds.feature_names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn generated_feature_names() {
+        let ds = Dataset::from_rows(
+            vec![vec![1.0, 2.0, 3.0]],
+            vec![0],
+            vec![],
+            vec!["only".into()],
+        )
+        .unwrap();
+        assert_eq!(ds.feature_names(), &["f0".to_string(), "f1".into(), "f2".into()]);
+    }
+
+    #[test]
+    fn label_length_mismatch_rejected() {
+        let err = Dataset::from_rows(vec![vec![1.0]], vec![0, 1], vec![], vec!["c".into()])
+            .unwrap_err();
+        assert!(matches!(err, MlError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let err = Dataset::from_rows(vec![vec![1.0]], vec![3], vec![], vec!["c".into()])
+            .unwrap_err();
+        assert!(matches!(err, MlError::LabelOutOfRange { label: 3, n_classes: 1 }));
+    }
+
+    #[test]
+    fn feature_name_count_must_match() {
+        let err = Dataset::from_rows(
+            vec![vec![1.0, 2.0]],
+            vec![0],
+            vec!["only_one".into()],
+            vec!["c".into()],
+        )
+        .unwrap_err();
+        assert!(matches!(err, MlError::RaggedRows { .. }));
+    }
+
+    #[test]
+    fn subset_selects_rows_and_labels() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0, 3]);
+        assert_eq!(sub.n_samples(), 3);
+        assert_eq!(sub.labels(), &[1, 0, 1]);
+        assert_eq!(sub.features().row(0), ds.features().row(3));
+        assert_eq!(sub.class_names(), ds.class_names());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by the ML substrate.
+
+use std::fmt;
+
+/// Errors raised while building datasets or fitting models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// The feature matrix and label vector have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Rows of the feature matrix have inconsistent widths.
+    RaggedRows {
+        /// Width of the first row.
+        expected: usize,
+        /// Width of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A label index is outside the declared class set.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of declared classes.
+        n_classes: usize,
+    },
+    /// The operation requires a non-empty dataset.
+    EmptyDataset,
+    /// A hyper-parameter value is invalid (e.g. zero trees).
+    InvalidParameter(&'static str),
+    /// A split was requested that cannot be satisfied (e.g. a fold count
+    /// larger than the smallest class).
+    InvalidSplit(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::LengthMismatch { rows, labels } => {
+                write!(f, "feature matrix has {rows} rows but {labels} labels were supplied")
+            }
+            MlError::RaggedRows { expected, found, row } => {
+                write!(f, "row {row} has {found} features but {expected} were expected")
+            }
+            MlError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} is out of range for {n_classes} classes")
+            }
+            MlError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            MlError::InvalidParameter(p) => write!(f, "invalid hyper-parameter: {p}"),
+            MlError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_numbers() {
+        assert!(MlError::LengthMismatch { rows: 3, labels: 5 }.to_string().contains('3'));
+        assert!(MlError::RaggedRows { expected: 2, found: 4, row: 1 }.to_string().contains('4'));
+        assert!(MlError::LabelOutOfRange { label: 9, n_classes: 3 }.to_string().contains('9'));
+        assert!(!MlError::EmptyDataset.to_string().is_empty());
+        assert!(MlError::InvalidParameter("n_estimators").to_string().contains("n_estimators"));
+        assert!(MlError::InvalidSplit("too few samples".into()).to_string().contains("too few"));
+    }
+}

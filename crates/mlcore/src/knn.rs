@@ -1,0 +1,172 @@
+//! k-nearest-neighbours classifier.
+//!
+//! The paper lists K-Nearest Neighbors as a future-work comparison model
+//! (Section 6). Because the Fuzzy Hash Classifier's features are similarity
+//! scores, a distance-based baseline is a natural sanity check: if the
+//! forest were not adding value over "find the most similar training
+//! sample", KNN would match its F1.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::tree::argmax;
+
+/// Distance metric between feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+}
+
+impl Metric {
+    fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+        }
+    }
+}
+
+/// A fitted (memorized) k-NN classifier.
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+    metric: Metric,
+}
+
+impl KNearestNeighbors {
+    /// Memorize the training set.
+    pub fn fit(ds: &Dataset, k: usize, metric: Metric) -> Result<Self, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidParameter("k must be >= 1"));
+        }
+        if ds.n_samples() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        Ok(Self {
+            rows: ds.features().rows().map(|r| r.to_vec()).collect(),
+            labels: ds.labels().to_vec(),
+            n_classes: ds.n_classes(),
+            k: k.min(ds.n_samples()),
+            metric,
+        })
+    }
+
+    /// Class-probability estimate: the vote share of each class among the k
+    /// nearest neighbours.
+    pub fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(row, &label)| (self.metric.distance(sample, row), label))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = vec![0.0; self.n_classes];
+        for (_, label) in dists.iter().take(self.k) {
+            votes[*label] += 1.0;
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in &mut votes {
+                *v /= total;
+            }
+        }
+        votes
+    }
+
+    /// Predicted class for one sample.
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        argmax(&self.predict_proba(sample))
+    }
+
+    /// The `k` actually in use (clamped to the training-set size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.1],
+                vec![0.2, 0.0],
+                vec![5.0, 5.0],
+                vec![5.1, 5.2],
+                vec![4.9, 5.0],
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+            vec![],
+            vec!["near".into(), "far".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nearest_neighbour_classifies() {
+        let knn = KNearestNeighbors::fit(&toy(), 1, Metric::Euclidean).unwrap();
+        assert_eq!(knn.predict(&[0.05, 0.05]), 0);
+        assert_eq!(knn.predict(&[5.05, 5.05]), 1);
+    }
+
+    #[test]
+    fn k3_probabilities() {
+        let knn = KNearestNeighbors::fit(&toy(), 3, Metric::Euclidean).unwrap();
+        let p = knn.predict_proba(&[0.1, 0.0]);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let knn = KNearestNeighbors::fit(&toy(), 100, Metric::Euclidean).unwrap();
+        assert_eq!(knn.k(), 6);
+        // With all samples voting, the tie on this symmetric dataset resolves
+        // to an argmax that is still a valid class.
+        let p = knn.predict_proba(&[2.5, 2.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manhattan_metric_works() {
+        let knn = KNearestNeighbors::fit(&toy(), 1, Metric::Manhattan).unwrap();
+        assert_eq!(knn.predict(&[4.5, 4.5]), 1);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(matches!(
+            KNearestNeighbors::fit(&toy(), 0, Metric::Euclidean),
+            Err(MlError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::from_rows(vec![], vec![], vec![], vec!["c".into()]).unwrap();
+        assert!(matches!(
+            KNearestNeighbors::fit(&ds, 1, Metric::Euclidean),
+            Err(MlError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn metric_distances() {
+        assert!((Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((Metric::Manhattan.distance(&[0.0, 0.0], &[3.0, 4.0]) - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! From-scratch machine-learning substrate for the Fuzzy Hash Classifier.
+//!
+//! The paper trains a scikit-learn `RandomForestClassifier` on fuzzy-hash
+//! similarity features, tunes it with a grid search inside the training set,
+//! handles class imbalance with balanced class weights, and reports
+//! micro/macro/weighted precision, recall and F1. This crate reimplements
+//! everything that pipeline needs:
+//!
+//! * [`matrix`] / [`dataset`] — dense row-major feature matrices and labeled
+//!   datasets with named classes.
+//! * [`tree`] — CART decision trees (Gini or entropy impurity, depth and
+//!   leaf-size controls, per-split random feature subsampling, sample
+//!   weights).
+//! * [`forest`] — bootstrap-aggregated random forests with balanced class
+//!   weights, probability prediction, and mean-decrease-in-impurity feature
+//!   importances; trees grow in parallel.
+//! * [`knn`] and [`naive_bayes`] — the baseline models the paper lists as
+//!   future-work comparisons (k-nearest-neighbours, Gaussian naive Bayes).
+//! * [`metrics`] / [`report`] — confusion matrices, per-class precision /
+//!   recall / F1, micro / macro / weighted averages, and a
+//!   scikit-learn-style classification report.
+//! * [`split`] / [`crossval`] — stratified train/test splits, class-level
+//!   (group) splits, and stratified k-fold cross-validation.
+//! * [`gridsearch`] — exhaustive hyper-parameter search over random-forest
+//!   configurations scored by cross-validated F1.
+//! * [`class_weight`] — `class_weight="balanced"` sample weighting.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mlcore::dataset::Dataset;
+//! use mlcore::forest::{RandomForest, RandomForestParams};
+//!
+//! // A toy two-class problem: class 0 lives near the origin, class 1 away.
+//! let mut rows = Vec::new();
+//! let mut labels = Vec::new();
+//! for i in 0..40 {
+//!     let offset = if i % 2 == 0 { 0.0 } else { 5.0 };
+//!     rows.push(vec![offset + (i % 7) as f64 * 0.1, offset - (i % 5) as f64 * 0.1]);
+//!     labels.push(i % 2);
+//! }
+//! let ds = Dataset::from_rows(rows, labels, vec!["f0".into(), "f1".into()],
+//!                             vec!["near".into(), "far".into()]).unwrap();
+//! let forest = RandomForest::fit(&ds, &RandomForestParams { n_estimators: 20, ..Default::default() }, 7).unwrap();
+//! let pred = forest.predict(&[5.05, 4.9]);
+//! assert_eq!(pred, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod class_weight;
+pub mod crossval;
+pub mod dataset;
+pub mod error;
+pub mod forest;
+pub mod gridsearch;
+pub mod knn;
+pub mod matrix;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod report;
+pub mod split;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use error::MlError;
+pub use forest::{RandomForest, RandomForestParams};
+pub use matrix::Matrix;
+pub use metrics::{f1_score, precision_recall_f1, Average};
+pub use report::ClassificationReport;

@@ -1,0 +1,157 @@
+//! A minimal dense row-major matrix of `f64` features.
+//!
+//! The similarity feature matrices in this project are dense (every test
+//! sample has a similarity score against every known class for every hash
+//! type), moderately sized (thousands of rows, a few hundred columns), and
+//! only ever read row-wise or column-wise. A flat `Vec<f64>` with row-major
+//! indexing keeps the hot training loops cache-friendly and avoids the
+//! per-row allocations of a `Vec<Vec<f64>>`.
+
+use crate::error::MlError;
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self { data: vec![0.0; n_rows * n_cols], n_rows, n_cols }
+    }
+
+    /// Build a matrix from row vectors, checking that all rows have equal
+    /// width.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Ok(Self { data: Vec::new(), n_rows: 0, n_cols: 0 });
+        }
+        let n_cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n_cols {
+                return Err(MlError::RaggedRows { expected: n_cols, found: row.len(), row: i });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { data, n_rows: rows.len(), n_cols })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.n_rows);
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Read the element at (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Write the element at (`row`, `col`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n_cols + col] = value;
+    }
+
+    /// Copy column `col` into a new vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Build a new matrix containing only the listed rows (in the given
+    /// order). Indices may repeat, which is how bootstrap samples are formed.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.n_cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { data, n_rows: indices.len(), n_cols: self.n_cols }
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.n_rows).map(move |i| self.row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.row(2), &[0.0; 4]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 2);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+        assert_eq!(m.column(0), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, MlError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = Matrix::from_rows(vec![]).unwrap();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+        assert_eq!(m.rows().count(), 0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 7.5);
+        m.set(1, 0, -2.0);
+        assert_eq!(m.get(0, 1), 7.5);
+        assert_eq!(m.get(1, 0), -2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn select_rows_with_repeats() {
+        let m = Matrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let sub = m.select_rows(&[2, 0, 2]);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.column(0), vec![3.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn rows_iterator_matches_row_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let collected: Vec<Vec<f64>> = m.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(collected, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+}

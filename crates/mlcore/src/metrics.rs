@@ -1,0 +1,301 @@
+//! Classification metrics: confusion matrix, precision, recall, F1, and the
+//! micro / macro / weighted averaging schemes the paper reports.
+
+/// Averaging scheme for multi-class precision / recall / F1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Average {
+    /// Aggregate true/false positives over all classes first
+    /// (equals accuracy in single-label multi-class problems).
+    Micro,
+    /// Unweighted mean of per-class scores — every class counts equally,
+    /// which is why the paper emphasizes the macro F1 on its imbalanced
+    /// dataset.
+    Macro,
+    /// Mean of per-class scores weighted by class support.
+    Weighted,
+}
+
+/// Per-class counts derived from predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// Number of true instances of the class.
+    pub support: usize,
+}
+
+/// Precision, recall and F1 for one class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrecisionRecallF1 {
+    /// Precision = tp / (tp + fp); 0 when the denominator is 0.
+    pub precision: f64,
+    /// Recall = tp / (tp + fn); 0 when the denominator is 0.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (Equation 2 of the paper).
+    pub f1: f64,
+    /// Number of true instances of the class.
+    pub support: usize,
+}
+
+/// Dense confusion matrix: `matrix[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Build the confusion matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label vectors have different lengths or contain labels
+    /// `>= n_classes`.
+    pub fn compute(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "label vectors must align");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            counts[t][p] += 1;
+        }
+        Self { counts, n_classes }
+    }
+
+    /// Number of samples with true class `t` predicted as class `p`.
+    pub fn get(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-class tp / fp / fn / support.
+    pub fn class_counts(&self) -> Vec<ClassCounts> {
+        (0..self.n_classes)
+            .map(|c| {
+                let tp = self.counts[c][c];
+                let fp: usize = (0..self.n_classes).filter(|&t| t != c).map(|t| self.counts[t][c]).sum();
+                let fn_: usize = (0..self.n_classes).filter(|&p| p != c).map(|p| self.counts[c][p]).sum();
+                let support: usize = self.counts[c].iter().sum();
+                ClassCounts { tp, fp, fn_, support }
+            })
+            .collect()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().map(|row| row.iter().sum::<usize>()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+fn safe_div(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Precision / recall / F1 for every class.
+pub fn per_class_metrics(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<PrecisionRecallF1> {
+    let cm = ConfusionMatrix::compute(y_true, y_pred, n_classes);
+    cm.class_counts()
+        .iter()
+        .map(|c| {
+            let precision = safe_div(c.tp as f64, (c.tp + c.fp) as f64);
+            let recall = safe_div(c.tp as f64, (c.tp + c.fn_) as f64);
+            let f1 = safe_div(2.0 * precision * recall, precision + recall);
+            PrecisionRecallF1 { precision, recall, f1, support: c.support }
+        })
+        .collect()
+}
+
+/// Averaged precision / recall / F1 under the chosen scheme.
+///
+/// Classes with zero support are excluded from the macro average (they carry
+/// no information about the evaluation set), matching how the paper's report
+/// only lists classes present in the test set.
+pub fn precision_recall_f1(
+    y_true: &[usize],
+    y_pred: &[usize],
+    n_classes: usize,
+    average: Average,
+) -> PrecisionRecallF1 {
+    let per_class = per_class_metrics(y_true, y_pred, n_classes);
+    let total_support: usize = per_class.iter().map(|c| c.support).sum();
+    match average {
+        Average::Micro => {
+            let cm = ConfusionMatrix::compute(y_true, y_pred, n_classes);
+            let counts = cm.class_counts();
+            let tp: usize = counts.iter().map(|c| c.tp).sum();
+            let fp: usize = counts.iter().map(|c| c.fp).sum();
+            let fn_: usize = counts.iter().map(|c| c.fn_).sum();
+            let precision = safe_div(tp as f64, (tp + fp) as f64);
+            let recall = safe_div(tp as f64, (tp + fn_) as f64);
+            let f1 = safe_div(2.0 * precision * recall, precision + recall);
+            PrecisionRecallF1 { precision, recall, f1, support: total_support }
+        }
+        Average::Macro => {
+            let present: Vec<&PrecisionRecallF1> =
+                per_class.iter().filter(|c| c.support > 0).collect();
+            let n = present.len().max(1) as f64;
+            PrecisionRecallF1 {
+                precision: present.iter().map(|c| c.precision).sum::<f64>() / n,
+                recall: present.iter().map(|c| c.recall).sum::<f64>() / n,
+                f1: present.iter().map(|c| c.f1).sum::<f64>() / n,
+                support: total_support,
+            }
+        }
+        Average::Weighted => {
+            let denom = total_support.max(1) as f64;
+            PrecisionRecallF1 {
+                precision: per_class.iter().map(|c| c.precision * c.support as f64).sum::<f64>() / denom,
+                recall: per_class.iter().map(|c| c.recall * c.support as f64).sum::<f64>() / denom,
+                f1: per_class.iter().map(|c| c.f1 * c.support as f64).sum::<f64>() / denom,
+                support: total_support,
+            }
+        }
+    }
+}
+
+/// The F1 score under the chosen averaging scheme.
+pub fn f1_score(y_true: &[usize], y_pred: &[usize], n_classes: usize, average: Average) -> f64 {
+    precision_recall_f1(y_true, y_pred, n_classes, average).f1
+}
+
+/// Plain accuracy.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
+    correct as f64 / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // y_true / y_pred fixture with known counts:
+    // class 0: 3 true, 2 predicted correctly
+    // class 1: 2 true, 1 predicted correctly
+    // class 2: 1 true, predicted correctly
+    fn fixture() -> (Vec<usize>, Vec<usize>) {
+        let y_true = vec![0, 0, 0, 1, 1, 2];
+        let y_pred = vec![0, 0, 1, 1, 2, 2];
+        (y_true, y_pred)
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let (t, p) = fixture();
+        let cm = ConfusionMatrix::compute(&t, &p, 3);
+        assert_eq!(cm.get(0, 0), 2);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 2), 1);
+        assert_eq!(cm.get(2, 2), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_values() {
+        let (t, p) = fixture();
+        let m = per_class_metrics(&t, &p, 3);
+        // class 0: tp=2, fp=0, fn=1 -> precision 1.0, recall 2/3
+        assert!((m[0].precision - 1.0).abs() < 1e-12);
+        assert!((m[0].recall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m[0].support, 3);
+        // class 2: tp=1, fp=1, fn=0 -> precision 0.5, recall 1.0
+        assert!((m[2].precision - 0.5).abs() < 1e-12);
+        assert!((m[2].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_average_equals_accuracy() {
+        let (t, p) = fixture();
+        let micro = precision_recall_f1(&t, &p, 3, Average::Micro);
+        let acc = accuracy(&t, &p);
+        assert!((micro.precision - acc).abs() < 1e-12);
+        assert!((micro.recall - acc).abs() < 1e-12);
+        assert!((micro.f1 - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_is_unweighted_mean() {
+        let (t, p) = fixture();
+        let per = per_class_metrics(&t, &p, 3);
+        let macro_ = precision_recall_f1(&t, &p, 3, Average::Macro);
+        let mean_f1: f64 = per.iter().map(|c| c.f1).sum::<f64>() / 3.0;
+        assert!((macro_.f1 - mean_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_weights_by_support() {
+        let (t, p) = fixture();
+        let per = per_class_metrics(&t, &p, 3);
+        let weighted = precision_recall_f1(&t, &p, 3, Average::Weighted);
+        let expect: f64 = per.iter().map(|c| c.f1 * c.support as f64).sum::<f64>() / 6.0;
+        assert!((weighted.f1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_are_all_one() {
+        let y = vec![0, 1, 2, 1, 0];
+        for avg in [Average::Micro, Average::Macro, Average::Weighted] {
+            let m = precision_recall_f1(&y, &y, 3, avg);
+            assert!((m.precision - 1.0).abs() < 1e-12);
+            assert!((m.recall - 1.0).abs() < 1e-12);
+            assert!((m.f1 - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(accuracy(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_macro() {
+        // Class 2 never appears in y_true.
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![0, 0, 1, 0];
+        let m = precision_recall_f1(&y_true, &y_pred, 3, Average::Macro);
+        // Macro average over classes 0 and 1 only.
+        let per = per_class_metrics(&y_true, &y_pred, 3);
+        let expected = (per[0].f1 + per[1].f1) / 2.0;
+        assert!((m.f1 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_yields_zero() {
+        // Class 1 predicted never and present never -> all zeros, no NaN.
+        let y_true = vec![0, 0];
+        let y_pred = vec![0, 0];
+        let per = per_class_metrics(&y_true, &y_pred, 2);
+        assert_eq!(per[1].precision, 0.0);
+        assert_eq!(per[1].recall, 0.0);
+        assert_eq!(per[1].f1, 0.0);
+        assert!(per[1].f1.is_finite());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        let cm = ConfusionMatrix::compute(&[], &[], 2);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = ConfusionMatrix::compute(&[0, 1], &[0], 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Gaussian naive Bayes classifier.
+//!
+//! A second lightweight baseline (alongside k-NN) for the comparisons the
+//! paper defers to future work. Each feature is modelled as an independent
+//! Gaussian per class; priors come from (optionally balanced) class counts.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::tree::argmax;
+
+/// Variance floor added to every per-class feature variance for numerical
+/// stability (scikit-learn's `var_smoothing` plays the same role).
+const VAR_SMOOTHING: f64 = 1e-9;
+
+/// A fitted Gaussian naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct GaussianNaiveBayes {
+    /// Per-class log prior.
+    log_priors: Vec<f64>,
+    /// Per-class per-feature mean.
+    means: Vec<Vec<f64>>,
+    /// Per-class per-feature variance.
+    variances: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl GaussianNaiveBayes {
+    /// Fit the model.
+    pub fn fit(ds: &Dataset) -> Result<Self, MlError> {
+        if ds.n_samples() == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        let n_classes = ds.n_classes();
+        let n_features = ds.n_features();
+        let mut counts = vec![0usize; n_classes];
+        let mut means = vec![vec![0.0; n_features]; n_classes];
+        for (i, &label) in ds.labels().iter().enumerate() {
+            counts[label] += 1;
+            for (j, &v) in ds.features().row(i).iter().enumerate() {
+                means[label][j] += v;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                for j in 0..n_features {
+                    means[c][j] /= *count as f64;
+                }
+            }
+        }
+        let mut variances = vec![vec![0.0; n_features]; n_classes];
+        for (i, &label) in ds.labels().iter().enumerate() {
+            for (j, &v) in ds.features().row(i).iter().enumerate() {
+                let d = v - means[label][j];
+                variances[label][j] += d * d;
+            }
+        }
+        // Global variance scale for smoothing.
+        let mut global_var = 0.0f64;
+        for c in 0..n_classes {
+            for j in 0..n_features {
+                if counts[c] > 0 {
+                    variances[c][j] = variances[c][j] / counts[c] as f64;
+                    global_var = global_var.max(variances[c][j]);
+                }
+            }
+        }
+        let smoothing = VAR_SMOOTHING * global_var.max(1.0);
+        for var_row in &mut variances {
+            for v in var_row.iter_mut() {
+                *v += smoothing;
+            }
+        }
+        let n = ds.n_samples() as f64;
+        let log_priors = counts
+            .iter()
+            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / n).ln() })
+            .collect();
+        Ok(Self { log_priors, means, variances, n_classes })
+    }
+
+    /// Per-class log joint likelihood of one sample.
+    fn joint_log_likelihood(&self, sample: &[f64]) -> Vec<f64> {
+        (0..self.n_classes)
+            .map(|c| {
+                if self.log_priors[c] == f64::NEG_INFINITY {
+                    return f64::NEG_INFINITY;
+                }
+                let mut ll = self.log_priors[c];
+                for (j, &x) in sample.iter().enumerate() {
+                    let var = self.variances[c][j];
+                    let mean = self.means[c][j];
+                    ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln())
+                        - (x - mean) * (x - mean) / (2.0 * var);
+                }
+                ll
+            })
+            .collect()
+    }
+
+    /// Class probabilities for one sample (softmax of the joint log
+    /// likelihood).
+    pub fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        let jll = self.joint_log_likelihood(sample);
+        let max = jll.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if max == f64::NEG_INFINITY {
+            return vec![1.0 / self.n_classes as f64; self.n_classes];
+        }
+        let exp: Vec<f64> = jll.iter().map(|&v| (v - max).exp()).collect();
+        let total: f64 = exp.iter().sum();
+        exp.into_iter().map(|v| v / total).collect()
+    }
+
+    /// Predicted class for one sample.
+    pub fn predict(&self, sample: &[f64]) -> usize {
+        argmax(&self.joint_log_likelihood(sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let t = (i as f64) * 0.1;
+            rows.push(vec![t.sin() * 0.2, t.cos() * 0.2]);
+            labels.push(0);
+            rows.push(vec![4.0 + t.sin() * 0.2, 4.0 + t.cos() * 0.2]);
+            labels.push(1);
+        }
+        Dataset::from_rows(rows, labels, vec![], vec!["a".into(), "b".into()]).unwrap()
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let nb = GaussianNaiveBayes::fit(&gaussian_blobs()).unwrap();
+        assert_eq!(nb.predict(&[0.0, 0.1]), 0);
+        assert_eq!(nb.predict(&[4.1, 3.9]), 1);
+    }
+
+    #[test]
+    fn probabilities_normalized_and_confident() {
+        let nb = GaussianNaiveBayes::fit(&gaussian_blobs()).unwrap();
+        let p = nb.predict_proba(&[0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset::from_rows(vec![], vec![], vec![], vec!["c".into()]).unwrap();
+        assert!(matches!(GaussianNaiveBayes::fit(&ds), Err(MlError::EmptyDataset)));
+    }
+
+    #[test]
+    fn absent_class_never_predicted() {
+        // Declare 3 classes but only provide samples for 2.
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]],
+            vec![0, 0, 2, 2],
+            vec![],
+            vec!["a".into(), "b".into(), "c".into()],
+        )
+        .unwrap();
+        let nb = GaussianNaiveBayes::fit(&ds).unwrap();
+        assert_ne!(nb.predict(&[0.05]), 1);
+        assert_ne!(nb.predict(&[5.05]), 1);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let ds = Dataset::from_rows(
+            vec![vec![1.0, 0.0], vec![1.0, 0.2], vec![1.0, 5.0], vec![1.0, 5.2]],
+            vec![0, 0, 1, 1],
+            vec![],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let nb = GaussianNaiveBayes::fit(&ds).unwrap();
+        let p = nb.predict_proba(&[1.0, 0.1]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert_eq!(nb.predict(&[1.0, 0.1]), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! A scikit-learn-style classification report.
+//!
+//! Table 4 of the paper is the verbatim output of scikit-learn's
+//! `classification_report`: one row per class with precision, recall, F1 and
+//! support, followed by micro / macro / weighted average rows.
+//! [`ClassificationReport`] reproduces that structure and renders it as a
+//! text table.
+
+use crate::metrics::{per_class_metrics, precision_recall_f1, Average, PrecisionRecallF1};
+use hpcutil::table::{Align, TextTable};
+
+/// One row of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Class name (or "-1" for the unknown class, following the paper).
+    pub class_name: String,
+    /// Metrics for this class.
+    pub metrics: PrecisionRecallF1,
+}
+
+/// A full classification report.
+#[derive(Debug, Clone)]
+pub struct ClassificationReport {
+    rows: Vec<ReportRow>,
+    micro: PrecisionRecallF1,
+    macro_: PrecisionRecallF1,
+    weighted: PrecisionRecallF1,
+    total_support: usize,
+}
+
+impl ClassificationReport {
+    /// Build the report. `class_names[label]` names each label value; classes
+    /// absent from `y_true` are omitted from the per-class rows (exactly as
+    /// in the paper's Table 4, where unknown-member classes do not appear).
+    pub fn compute(y_true: &[usize], y_pred: &[usize], class_names: &[String]) -> Self {
+        let n_classes = class_names.len();
+        let per_class = per_class_metrics(y_true, y_pred, n_classes);
+        let rows: Vec<ReportRow> = per_class
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.support > 0)
+            .map(|(label, m)| ReportRow { class_name: class_names[label].clone(), metrics: *m })
+            .collect();
+        let micro = precision_recall_f1(y_true, y_pred, n_classes, Average::Micro);
+        let macro_ = precision_recall_f1(y_true, y_pred, n_classes, Average::Macro);
+        let weighted = precision_recall_f1(y_true, y_pred, n_classes, Average::Weighted);
+        Self { rows, micro, macro_, weighted, total_support: y_true.len() }
+    }
+
+    /// Per-class rows (classes with non-zero support, in label order).
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// Micro-averaged metrics.
+    pub fn micro(&self) -> PrecisionRecallF1 {
+        self.micro
+    }
+
+    /// Macro-averaged metrics.
+    pub fn macro_avg(&self) -> PrecisionRecallF1 {
+        self.macro_
+    }
+
+    /// Support-weighted metrics.
+    pub fn weighted_avg(&self) -> PrecisionRecallF1 {
+        self.weighted
+    }
+
+    /// Total number of evaluated samples.
+    pub fn total_support(&self) -> usize {
+        self.total_support
+    }
+
+    /// Look up a class row by name.
+    pub fn row_by_name(&self, name: &str) -> Option<&ReportRow> {
+        self.rows.iter().find(|r| r.class_name == name)
+    }
+
+    /// Render as a text table shaped like the paper's Table 4.
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec!["Class", "Precision", "Recall", "f1-Score", "Support"])
+            .with_alignment(vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+        for row in &self.rows {
+            table.add_row(vec![
+                row.class_name.clone(),
+                format!("{:.2}", row.metrics.precision),
+                format!("{:.2}", row.metrics.recall),
+                format!("{:.2}", row.metrics.f1),
+                row.metrics.support.to_string(),
+            ]);
+        }
+        for (name, m) in [
+            ("micro avg", self.micro),
+            ("macro avg", self.macro_),
+            ("weighted avg", self.weighted),
+        ] {
+            table.add_row(vec![
+                name.to_string(),
+                format!("{:.2}", m.precision),
+                format!("{:.2}", m.recall),
+                format!("{:.2}", m.f1),
+                self.total_support.to_string(),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["unknown".into(), "Velvet".into(), "FSL".into()]
+    }
+
+    #[test]
+    fn rows_only_for_present_classes() {
+        let y_true = vec![1, 1, 2, 2, 2];
+        let y_pred = vec![1, 2, 2, 2, 2];
+        let report = ClassificationReport::compute(&y_true, &y_pred, &names());
+        assert_eq!(report.rows().len(), 2);
+        assert!(report.row_by_name("Velvet").is_some());
+        assert!(report.row_by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn averages_match_metrics_module() {
+        let y_true = vec![0, 0, 1, 1, 2];
+        let y_pred = vec![0, 1, 1, 1, 0];
+        let report = ClassificationReport::compute(&y_true, &y_pred, &names());
+        let macro_direct = precision_recall_f1(&y_true, &y_pred, 3, Average::Macro);
+        assert!((report.macro_avg().f1 - macro_direct.f1).abs() < 1e-12);
+        assert_eq!(report.total_support(), 5);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let y_true = vec![0, 1, 2, 2];
+        let y_pred = vec![0, 1, 2, 1];
+        let rendered = ClassificationReport::compute(&y_true, &y_pred, &names()).render();
+        assert!(rendered.contains("Class"));
+        assert!(rendered.contains("Velvet"));
+        assert!(rendered.contains("micro avg"));
+        assert!(rendered.contains("macro avg"));
+        assert!(rendered.contains("weighted avg"));
+    }
+
+    #[test]
+    fn perfect_prediction_rows_are_one() {
+        let y = vec![1, 1, 2];
+        let report = ClassificationReport::compute(&y, &y, &names());
+        for row in report.rows() {
+            assert!((row.metrics.f1 - 1.0).abs() < 1e-12);
+        }
+        assert!((report.micro().f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_renders_without_panicking() {
+        let report = ClassificationReport::compute(&[], &[], &names());
+        assert!(report.rows().is_empty());
+        assert_eq!(report.total_support(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("macro avg"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Train/test splitting utilities.
+//!
+//! The paper's two-phase split needs two primitives:
+//!
+//! 1. [`split_groups`] — an 80/20 split of the *class labels themselves*
+//!    into "known" and "unknown" classes (phase one).
+//! 2. [`stratified_split`] — a stratified 60/40 split of the samples of the
+//!    known classes (phase two), preserving per-class proportions.
+//!
+//! Both are deterministic given a seed.
+
+use crate::error::MlError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Result of a sample-level split: indices into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitIndices {
+    /// Indices of the training samples.
+    pub train: Vec<usize>,
+    /// Indices of the test samples.
+    pub test: Vec<usize>,
+}
+
+/// Split the values `0..n_groups` (e.g. class ids) into two disjoint sets,
+/// with `test_fraction` of them in the second set. At least one group lands
+/// on each side whenever `n_groups >= 2`.
+pub fn split_groups(n_groups: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut groups: Vec<usize> = (0..n_groups).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    groups.shuffle(&mut rng);
+    let mut n_test = (n_groups as f64 * test_fraction).round() as usize;
+    if n_groups >= 2 {
+        n_test = n_test.clamp(1, n_groups - 1);
+    } else {
+        n_test = n_test.min(n_groups);
+    }
+    let test = groups[..n_test].to_vec();
+    let train = groups[n_test..].to_vec();
+    (train, test)
+}
+
+/// Stratified train/test split of sample indices.
+///
+/// Each class contributes `test_fraction` of its samples (rounded) to the
+/// test set; classes with a single sample keep it in the training set so the
+/// model has at least one example of every known class (mirroring the way
+/// the paper keeps singleton application classes recognizable).
+pub fn stratified_split(
+    labels: &[usize],
+    test_fraction: f64,
+    seed: u64,
+) -> Result<SplitIndices, MlError> {
+    if labels.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if !(0.0..1.0).contains(&test_fraction) {
+        return Err(MlError::InvalidSplit(format!(
+            "test_fraction {test_fraction} must be in [0, 1)"
+        )));
+    }
+    // Group indices by class, in deterministic class order.
+    let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &label) in labels.iter().enumerate() {
+        by_class.entry(label).or_default().push(i);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (_, mut indices) in by_class {
+        indices.shuffle(&mut rng);
+        let n = indices.len();
+        let mut n_test = (n as f64 * test_fraction).round() as usize;
+        if n <= 1 {
+            n_test = 0;
+        } else {
+            n_test = n_test.min(n - 1);
+        }
+        test.extend_from_slice(&indices[..n_test]);
+        train.extend_from_slice(&indices[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Ok(SplitIndices { train, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_split_is_disjoint_and_complete() {
+        let (train, test) = split_groups(92, 0.2, 42);
+        assert_eq!(train.len() + test.len(), 92);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..92).collect::<Vec<_>>());
+        // ~20% of 92 classes
+        assert!((15..=22).contains(&test.len()), "test classes: {}", test.len());
+    }
+
+    #[test]
+    fn group_split_deterministic() {
+        assert_eq!(split_groups(50, 0.2, 7), split_groups(50, 0.2, 7));
+        assert_ne!(split_groups(50, 0.2, 7).1, split_groups(50, 0.2, 8).1);
+    }
+
+    #[test]
+    fn group_split_always_keeps_one_on_each_side() {
+        let (train, test) = split_groups(2, 0.9, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = split_groups(5, 0.0, 0);
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.len(), 4);
+    }
+
+    #[test]
+    fn stratified_split_preserves_proportions() {
+        // 100 of class 0, 10 of class 1.
+        let mut labels = vec![0usize; 100];
+        labels.extend(vec![1usize; 10]);
+        let split = stratified_split(&labels, 0.4, 3).unwrap();
+        let test_class0 = split.test.iter().filter(|&&i| labels[i] == 0).count();
+        let test_class1 = split.test.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(test_class0, 40);
+        assert_eq!(test_class1, 4);
+        assert_eq!(split.train.len() + split.test.len(), 110);
+    }
+
+    #[test]
+    fn singleton_class_stays_in_training() {
+        let labels = vec![0, 0, 0, 0, 1];
+        let split = stratified_split(&labels, 0.5, 1).unwrap();
+        assert!(split.train.contains(&4));
+        assert!(!split.test.contains(&4));
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 7).collect();
+        let split = stratified_split(&labels, 0.4, 9).unwrap();
+        for i in &split.train {
+            assert!(!split.test.contains(i));
+        }
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        assert!(stratified_split(&[0, 1], 1.0, 0).is_err());
+        assert!(stratified_split(&[0, 1], -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_labels_rejected() {
+        assert!(matches!(stratified_split(&[], 0.4, 0), Err(MlError::EmptyDataset)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let labels: Vec<usize> = (0..300).map(|i| i % 11).collect();
+        assert_eq!(
+            stratified_split(&labels, 0.4, 5).unwrap(),
+            stratified_split(&labels, 0.4, 5).unwrap()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! The base64 alphabet used for SSDeep signature characters.
+//!
+//! SSDeep signatures are strings over the standard base64 alphabet
+//! (`A–Z a–z 0–9 + /`). Each chunk contributes a single character: the
+//! alphabet entry selected by the low six bits of the chunk's FNV hash.
+
+/// The 64-character alphabet, in SSDeep/spamsum order.
+pub const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Map a 6-bit index to its signature character.
+///
+/// # Panics
+///
+/// Panics if `index >= 64`.
+#[inline]
+pub fn encode(index: usize) -> char {
+    B64[index] as char
+}
+
+/// Whether `c` is a valid signature character.
+pub fn is_valid_char(c: char) -> bool {
+    c.is_ascii() && B64.contains(&(c as u8))
+}
+
+/// Whether an entire signature string consists only of valid characters.
+pub fn is_valid_signature(s: &str) -> bool {
+    s.chars().all(is_valid_char)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_has_64_unique_chars() {
+        use std::collections::HashSet;
+        let set: HashSet<u8> = B64.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn encode_first_and_last() {
+        assert_eq!(encode(0), 'A');
+        assert_eq!(encode(25), 'Z');
+        assert_eq!(encode(26), 'a');
+        assert_eq!(encode(63), '/');
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_out_of_range_panics() {
+        let _ = encode(64);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(is_valid_char('A'));
+        assert!(is_valid_char('/'));
+        assert!(!is_valid_char(':'));
+        assert!(!is_valid_char(' '));
+        assert!(is_valid_signature("AbC123+/"));
+        assert!(!is_valid_signature("AbC 123"));
+        assert!(is_valid_signature(""));
+    }
+}

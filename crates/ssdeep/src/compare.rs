@@ -1,0 +1,291 @@
+//! Scoring the similarity of two fuzzy hashes on the 0–100 scale.
+//!
+//! Following SSDeep, two hashes are compared by:
+//!
+//! 1. Checking block-size compatibility (equal or factor-of-two).
+//! 2. Collapsing runs of more than three identical characters in each
+//!    signature (long runs carry almost no information and would otherwise
+//!    inflate similarity).
+//! 3. Requiring a common substring of at least
+//!    [`MIN_COMMON_SUBSTRING`] characters — without one the score is 0,
+//!    which suppresses coincidental low-level matches.
+//! 4. Computing the weighted Damerau–Levenshtein distance
+//!    ([`weighted_edit_distance`](crate::edit_distance::weighted_edit_distance))
+//!    between the matching-block-size signatures and scaling it to 0–100,
+//!    where 100 means identical signatures.
+//! 5. Capping the score for very small block sizes, where short inputs can
+//!    produce spuriously confident matches.
+
+use crate::blocksize::MIN_BLOCKSIZE;
+use crate::edit_distance::weighted_edit_distance;
+use crate::generate::{FuzzyHash, SPAM_SUM_LENGTH};
+
+/// Minimum length of a common substring required for a non-zero score
+/// (equal to the rolling-hash window length, as in SSDeep).
+pub const MIN_COMMON_SUBSTRING: usize = 7;
+
+/// Collapse runs of more than three identical characters down to three.
+///
+/// Sequences like `AAAAAAA` arise from large homogeneous regions (e.g.
+/// zero-padding in executables) and carry little identity information.
+pub fn eliminate_long_runs(sig: &str) -> String {
+    let bytes = sig.as_bytes();
+    let mut out = String::with_capacity(sig.len());
+    let mut run_char = 0u8;
+    let mut run_len = 0usize;
+    for &b in bytes {
+        if b == run_char {
+            run_len += 1;
+        } else {
+            run_char = b;
+            run_len = 1;
+        }
+        if run_len <= 3 {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Whether `a` and `b` share a common substring of length at least
+/// [`MIN_COMMON_SUBSTRING`].
+///
+/// This check runs for every candidate pair in the similarity feature
+/// matrix (millions of times per experiment), and most pairs fail it, so it
+/// is the hot path of the whole classifier. Each 7-byte window fits in a
+/// `u64` (base64 characters are 7-bit), so the windows of the shorter string
+/// are packed and sorted once and the other string's windows are found by
+/// binary search — far cheaper than the quadratic slice comparison.
+pub fn has_common_substring(a: &str, b: &str) -> bool {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if a.len() < MIN_COMMON_SUBSTRING || b.len() < MIN_COMMON_SUBSTRING {
+        return false;
+    }
+    #[inline]
+    fn pack(window: &[u8]) -> u64 {
+        let mut v = 0u64;
+        for &byte in window {
+            v = (v << 8) | u64::from(byte);
+        }
+        v
+    }
+    // Pack the shorter string's windows (at most 58 of them) on the stack.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut keys = [0u64; crate::generate::SPAM_SUM_LENGTH];
+    let n = short.len() - MIN_COMMON_SUBSTRING + 1;
+    for (i, key) in keys.iter_mut().enumerate().take(n) {
+        *key = pack(&short[i..i + MIN_COMMON_SUBSTRING]);
+    }
+    let keys = &mut keys[..n];
+    keys.sort_unstable();
+    long.windows(MIN_COMMON_SUBSTRING)
+        .any(|w| keys.binary_search(&pack(w)).is_ok())
+}
+
+/// Score two signatures that were generated with the same block size.
+///
+/// Returns 0–100. `block_size` is used only for the small-block-size cap.
+pub fn score_strings(s1: &str, s2: &str, block_size: u64) -> u32 {
+    let s1 = eliminate_long_runs(s1);
+    let s2 = eliminate_long_runs(s2);
+    if s1.is_empty() || s2.is_empty() {
+        return 0;
+    }
+    if !has_common_substring(&s1, &s2) {
+        return 0;
+    }
+    let dist = weighted_edit_distance(&s1, &s2) as u64;
+    let len1 = s1.len() as u64;
+    let len2 = s2.len() as u64;
+
+    // Scale the distance by the signature lengths onto 0..=100, mirroring
+    // spamsum: first rescale to a "proportional" distance relative to
+    // SPAM_SUM_LENGTH, then convert to a similarity.
+    let mut score = dist * (SPAM_SUM_LENGTH as u64) / (len1 + len2);
+    score = (100 * score) / (SPAM_SUM_LENGTH as u64);
+    let mut score = 100u64.saturating_sub(score);
+
+    // For small block sizes, cap the score: short, low-entropy inputs can
+    // otherwise look deceptively similar.
+    let cap = (block_size / MIN_BLOCKSIZE) * len1.min(len2);
+    if block_size < 99 * MIN_BLOCKSIZE && score > cap {
+        score = cap;
+    }
+    score.min(100) as u32
+}
+
+/// Compare two fuzzy hashes and return a similarity score in `0..=100`.
+///
+/// Returns 0 when the block sizes are not comparable (neither equal nor a
+/// factor of two apart).
+///
+/// # Examples
+///
+/// ```
+/// use ssdeep::{fuzzy_hash_bytes, compare};
+/// let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+/// let same = compare(&fuzzy_hash_bytes(&data), &fuzzy_hash_bytes(&data));
+/// assert_eq!(same, 100);
+/// ```
+pub fn compare(a: &FuzzyHash, b: &FuzzyHash) -> u32 {
+    let b1 = a.block_size();
+    let b2 = b.block_size();
+
+    if b1 == b2 && a.signature() == b.signature() && a.signature_double() == b.signature_double()
+    {
+        // Identical hashes of non-trivial inputs are a perfect match; for
+        // extremely short signatures fall through to the scoring (which caps
+        // low-information matches).
+        if a.signature().len() >= MIN_COMMON_SUBSTRING {
+            return 100;
+        }
+    }
+
+    if b1 == b2 {
+        let s1 = score_strings(a.signature(), b.signature(), b1);
+        let s2 = score_strings(a.signature_double(), b.signature_double(), b1 * 2);
+        s1.max(s2)
+    } else if b1 == b2 * 2 {
+        // a's primary block size equals b's double block size.
+        score_strings(a.signature(), b.signature_double(), b1)
+    } else if b2 == b1 * 2 {
+        score_strings(a.signature_double(), b.signature(), b2)
+    } else {
+        0
+    }
+}
+
+/// Convenience wrapper: parse two textual hashes and compare them.
+///
+/// Returns `None` if either string fails to parse.
+pub fn compare_strings(a: &str, b: &str) -> Option<u32> {
+    let ha: FuzzyHash = a.parse().ok()?;
+    let hb: FuzzyHash = b.parse().ok()?;
+    Some(compare(&ha, &hb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::fuzzy_hash_bytes;
+
+    fn patterned(len: usize, stride: u64) -> Vec<u8> {
+        (0..len as u64).map(|i| ((i * stride + i / 11) % 249) as u8).collect()
+    }
+
+    #[test]
+    fn identical_inputs_score_100() {
+        let d = patterned(80_000, 17);
+        let h = fuzzy_hash_bytes(&d);
+        assert_eq!(compare(&h, &h), 100);
+    }
+
+    #[test]
+    fn unrelated_inputs_score_low() {
+        let a = fuzzy_hash_bytes(&patterned(60_000, 17));
+        let b = fuzzy_hash_bytes(&patterned(60_000, 101));
+        assert!(compare(&a, &b) < 40, "got {}", compare(&a, &b));
+    }
+
+    #[test]
+    fn similar_inputs_score_between() {
+        // A realistic "new version" edit: one contiguous region changes while
+        // the rest of the file stays identical. Scattering single-byte edits
+        // into every chunk would (correctly) destroy CTPH similarity, so the
+        // edit here is localized, as code changes in executables are.
+        let base = patterned(100_000, 17);
+        let mut variant = base.clone();
+        for item in variant.iter_mut().skip(48_000).take(2_000) {
+            *item ^= 0x5A;
+        }
+        let ha = fuzzy_hash_bytes(&base);
+        let hb = fuzzy_hash_bytes(&variant);
+        let s = compare(&ha, &hb);
+        assert!(s > 40, "modified copy should still look similar, got {s}");
+        assert!(s <= 100);
+    }
+
+    #[test]
+    fn comparison_is_symmetric() {
+        let a = fuzzy_hash_bytes(&patterned(70_000, 13));
+        let b = fuzzy_hash_bytes(&patterned(70_000, 19));
+        assert_eq!(compare(&a, &b), compare(&b, &a));
+    }
+
+    #[test]
+    fn incompatible_block_sizes_score_zero() {
+        let a = FuzzyHash::from_parts(3, "ABCDEFGHIJKL".into(), "ABCDEF".into()).unwrap();
+        let b = FuzzyHash::from_parts(48, "ABCDEFGHIJKL".into(), "ABCDEF".into()).unwrap();
+        assert_eq!(compare(&a, &b), 0);
+    }
+
+    #[test]
+    fn eliminate_long_runs_collapses() {
+        assert_eq!(eliminate_long_runs("AAAAAABBBCC"), "AAABBBCC");
+        assert_eq!(eliminate_long_runs(""), "");
+        assert_eq!(eliminate_long_runs("ABAB"), "ABAB");
+        assert_eq!(eliminate_long_runs("AAAA"), "AAA");
+    }
+
+    #[test]
+    fn common_substring_requirement() {
+        assert!(has_common_substring("ABCDEFGHIJ", "xxxABCDEFGyyy"));
+        assert!(!has_common_substring("ABCDEFG", "GFEDCBA"));
+        assert!(!has_common_substring("short", "short"));
+        // Exactly 7 shared characters is enough.
+        assert!(has_common_substring("1234567", "1234567"));
+    }
+
+    #[test]
+    fn score_strings_zero_without_common_substring() {
+        assert_eq!(score_strings("ABCDEFGHIJKLMNOP", "qrstuvwxyz012345", 192), 0);
+    }
+
+    #[test]
+    fn score_strings_identical_is_high() {
+        let sig = "QZXCVBNMASDFGHJKLPOIUYTREWQ";
+        assert!(score_strings(sig, sig, 3072) >= 99);
+    }
+
+    #[test]
+    fn small_blocksize_cap_applies() {
+        // With block size == MIN_BLOCKSIZE the cap is min(len1, len2), so two
+        // identical 8-char signatures cannot score above 8.
+        let sig = "ABCDEFGH";
+        let s = score_strings(sig, sig, MIN_BLOCKSIZE);
+        assert!(s <= 8, "cap should limit score, got {s}");
+    }
+
+    #[test]
+    fn factor_two_block_sizes_can_match() {
+        // Build an input, hash it, then hash a doubled version: their block
+        // sizes often differ by x2 but the comparison path must not panic and
+        // must return a bounded score.
+        let a = patterned(100_000, 7);
+        let mut b = a.clone();
+        b.extend_from_slice(&patterned(120_000, 7));
+        let ha = fuzzy_hash_bytes(&a);
+        let hb = fuzzy_hash_bytes(&b);
+        let s = compare(&ha, &hb);
+        assert!(s <= 100);
+    }
+
+    #[test]
+    fn compare_strings_parses_and_scores() {
+        let d = patterned(50_000, 29);
+        let h = fuzzy_hash_bytes(&d).to_string();
+        assert_eq!(compare_strings(&h, &h), Some(100));
+        assert_eq!(compare_strings("garbage", &h), None);
+    }
+
+    #[test]
+    fn truncation_of_input_retains_similarity() {
+        let a = patterned(200_000, 23);
+        let b = &a[..150_000];
+        let ha = fuzzy_hash_bytes(&a);
+        let hb = fuzzy_hash_bytes(b);
+        let s = compare(&ha, &hb);
+        assert!(s > 0, "a 75% prefix should retain some similarity");
+    }
+}

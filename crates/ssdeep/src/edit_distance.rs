@@ -1,0 +1,203 @@
+//! Edit distances used to score fuzzy-hash similarity.
+//!
+//! The paper (Section 3) defines the Damerau–Levenshtein distance via the
+//! recurrence in Equation 1 and explains that SSDeep scales this distance
+//! into a 0–100 similarity score. Three variants are provided:
+//!
+//! * [`levenshtein`] — unit-cost insertions, deletions, substitutions.
+//! * [`damerau_levenshtein`] — Equation 1: unit-cost operations plus
+//!   transpositions of adjacent characters (optimal string alignment form).
+//! * [`weighted_edit_distance`] — the SSDeep scoring distance: insertions and
+//!   deletions cost 1, substitutions cost 2, adjacent transpositions cost 1.
+//!   With these weights the distance between two strings of lengths `m` and
+//!   `n` is at most `m + n`, which is what lets SSDeep map it linearly onto
+//!   the 0–100 scale.
+//!
+//! All three run in `O(m * n)` time and `O(min(m, n))`-ish space (three
+//! reusable rows), which matters because the classifier computes millions of
+//! pairwise comparisons when filling the similarity feature matrix.
+
+/// Unit-cost Levenshtein distance between `a` and `b`.
+///
+/// # Examples
+///
+/// ```
+/// use ssdeep::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("same", "same"), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    generic_distance(a.as_bytes(), b.as_bytes(), 1, 1, 1, None)
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment): unit-cost
+/// insertions, deletions, substitutions, and adjacent transpositions.
+///
+/// This is the distance defined by Equation 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use ssdeep::damerau_levenshtein;
+/// assert_eq!(damerau_levenshtein("ca", "ac"), 1);     // one transposition
+/// assert_eq!(damerau_levenshtein("abcd", "abdc"), 1); // one transposition
+/// assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    generic_distance(a.as_bytes(), b.as_bytes(), 1, 1, 1, Some(1))
+}
+
+/// The SSDeep scoring distance: insert/delete cost 1, substitution cost 2,
+/// adjacent transposition cost 1.
+///
+/// The result is at most `a.len() + b.len()`, which SSDeep maps linearly to
+/// the 0–100 similarity scale.
+///
+/// # Examples
+///
+/// ```
+/// use ssdeep::weighted_edit_distance;
+/// assert_eq!(weighted_edit_distance("abc", "abc"), 0);
+/// assert_eq!(weighted_edit_distance("abc", "abd"), 2);  // substitution costs 2
+/// assert_eq!(weighted_edit_distance("abc", "ab"), 1);   // deletion costs 1
+/// assert_eq!(weighted_edit_distance("ab", "ba"), 1);    // transposition costs 1
+/// ```
+pub fn weighted_edit_distance(a: &str, b: &str) -> usize {
+    generic_distance(a.as_bytes(), b.as_bytes(), 1, 1, 2, Some(1))
+}
+
+/// Shared dynamic program over byte strings.
+///
+/// `ins`, `del`, and `sub` are the per-operation costs; `transpose` enables
+/// the Damerau transposition case with the given cost when `Some`.
+fn generic_distance(
+    a: &[u8],
+    b: &[u8],
+    ins: usize,
+    del: usize,
+    sub: usize,
+    transpose: Option<usize>,
+) -> usize {
+    if a.is_empty() {
+        return b.len() * ins;
+    }
+    if b.is_empty() {
+        return a.len() * del;
+    }
+    // Keep three rows: i-2, i-1, i. Row index j runs over b.
+    let n = b.len();
+    let mut prev2: Vec<usize> = vec![0; n + 1];
+    let mut prev: Vec<usize> = (0..=n).map(|j| j * ins).collect();
+    let mut cur: Vec<usize> = vec![0; n + 1];
+
+    for i in 1..=a.len() {
+        cur[0] = i * del;
+        for j in 1..=n {
+            let cost_sub = if a[i - 1] == b[j - 1] { 0 } else { sub };
+            let mut best = (prev[j] + del) // delete a[i-1]
+                .min(cur[j - 1] + ins) // insert b[j-1]
+                .min(prev[j - 1] + cost_sub); // match / substitute
+            if let Some(tcost) = transpose {
+                if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                    best = best.min(prev2[j - 2] + tcost);
+                }
+            }
+            cur[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+    }
+
+    #[test]
+    fn damerau_counts_transpositions() {
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("a cat", "an act"), 2);
+        assert_eq!(damerau_levenshtein("abcdef", "abcdfe"), 1);
+    }
+
+    #[test]
+    fn damerau_equals_levenshtein_without_transpositions() {
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein("abc", "xyz"), 3);
+    }
+
+    #[test]
+    fn weighted_substitution_costs_two() {
+        assert_eq!(weighted_edit_distance("a", "b"), 2);
+        assert_eq!(weighted_edit_distance("abc", "axc"), 2);
+        // With sub=2 a substitution is never cheaper than delete+insert, so
+        // the distance is bounded by len(a) + len(b).
+        assert_eq!(weighted_edit_distance("abcd", "wxyz"), 8);
+    }
+
+    #[test]
+    fn weighted_bounded_by_sum_of_lengths() {
+        let a = "AAAABBBBCCCC";
+        let b = "xyzxyzxyz";
+        assert!(weighted_edit_distance(a, b) <= a.len() + b.len());
+    }
+
+    #[test]
+    fn identity_is_zero_for_all_variants() {
+        for s in ["", "a", "hello world", "z/\u{7f}"] {
+            assert_eq!(levenshtein(s, s), 0);
+            assert_eq!(damerau_levenshtein(s, s), 0);
+            assert_eq!(weighted_edit_distance(s, s), 0);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [("abcde", "xbcdz"), ("fuzzy", "hash"), ("", "nonempty")];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+            assert_eq!(weighted_edit_distance(a, b), weighted_edit_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        let pairs = [
+            ("ABCDEF", "ABDCEF"),
+            ("signature", "singature"),
+            ("0123456789", "9876543210"),
+        ];
+        for (a, b) in pairs {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let strs = ["abc", "abd", "bcd", "xyz", ""];
+        for a in strs {
+            for b in strs {
+                for c in strs {
+                    assert!(
+                        levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c),
+                        "triangle inequality violated for ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+}

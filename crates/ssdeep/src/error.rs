@@ -1,0 +1,56 @@
+//! Errors for parsing fuzzy-hash strings.
+
+use std::fmt;
+
+/// Why a textual fuzzy hash could not be parsed back into a [`FuzzyHash`].
+///
+/// [`FuzzyHash`]: crate::FuzzyHash
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The string did not contain the expected `blocksize:sig1:sig2` shape.
+    MissingSeparator,
+    /// The leading block-size field was not a positive integer.
+    InvalidBlockSize(String),
+    /// A signature contained a character outside the base64 alphabet.
+    InvalidCharacter(char),
+    /// A signature was longer than the maximum SSDeep emits.
+    SignatureTooLong(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingSeparator => {
+                write!(f, "fuzzy hash must have the form 'blocksize:sig1:sig2'")
+            }
+            ParseError::InvalidBlockSize(s) => write!(f, "invalid block size '{s}'"),
+            ParseError::InvalidCharacter(c) => {
+                write!(f, "invalid signature character '{c}' (not in the base64 alphabet)")
+            }
+            ParseError::SignatureTooLong(n) => {
+                write!(f, "signature of length {n} exceeds the maximum fuzzy-hash signature length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(ParseError::MissingSeparator.to_string().contains("blocksize"));
+        assert!(ParseError::InvalidBlockSize("x".into()).to_string().contains('x'));
+        assert!(ParseError::InvalidCharacter('!').to_string().contains('!'));
+        assert!(ParseError::SignatureTooLong(99).to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ParseError::MissingSeparator);
+        assert!(!e.to_string().is_empty());
+    }
+}

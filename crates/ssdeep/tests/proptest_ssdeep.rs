@@ -1,0 +1,84 @@
+//! Property-based tests for the fuzzy-hashing engine.
+
+use proptest::prelude::*;
+use ssdeep::{
+    compare, damerau_levenshtein, fuzzy_hash_bytes, levenshtein, weighted_edit_distance, FuzzyHash,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hashing is deterministic and the textual form round-trips.
+    #[test]
+    fn hash_roundtrips_through_text(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let h = fuzzy_hash_bytes(&data);
+        let text = h.to_string();
+        let parsed: FuzzyHash = text.parse().expect("generated hash must parse");
+        prop_assert_eq!(parsed, h);
+    }
+
+    /// Signature lengths never exceed the SSDeep bounds.
+    #[test]
+    fn signature_lengths_bounded(data in proptest::collection::vec(any::<u8>(), 0..50_000)) {
+        let h = fuzzy_hash_bytes(&data);
+        prop_assert!(h.signature().len() <= ssdeep::SPAM_SUM_LENGTH);
+        prop_assert!(h.signature_double().len() <= ssdeep::SPAM_SUM_LENGTH / 2);
+        prop_assert!(h.block_size() >= 3);
+    }
+
+    /// Self-comparison of a non-trivial input is the maximum score and every
+    /// comparison stays within 0..=100.
+    #[test]
+    fn self_similarity_is_max(data in proptest::collection::vec(any::<u8>(), 2_000..20_000)) {
+        let h = fuzzy_hash_bytes(&data);
+        let s = compare(&h, &h);
+        prop_assert!(s <= 100);
+        // Inputs this long always produce signatures >= 7 chars unless the
+        // data is pathologically uniform; allow the capped case.
+        if h.signature().len() >= 7 {
+            prop_assert_eq!(s, 100);
+        }
+    }
+
+    /// Comparison is symmetric.
+    #[test]
+    fn comparison_symmetric(
+        a in proptest::collection::vec(any::<u8>(), 0..15_000),
+        b in proptest::collection::vec(any::<u8>(), 0..15_000),
+    ) {
+        let ha = fuzzy_hash_bytes(&a);
+        let hb = fuzzy_hash_bytes(&b);
+        prop_assert_eq!(compare(&ha, &hb), compare(&hb, &ha));
+    }
+
+    /// Levenshtein axioms: identity, symmetry, bounded by max length,
+    /// Damerau never exceeds Levenshtein, weighted never below Levenshtein.
+    #[test]
+    fn edit_distance_axioms(a in "[A-Za-z0-9+/]{0,48}", b in "[A-Za-z0-9+/]{0,48}") {
+        let lev = levenshtein(&a, &b);
+        let dl = damerau_levenshtein(&a, &b);
+        let w = weighted_edit_distance(&a, &b);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(lev <= a.len().max(b.len()));
+        prop_assert!(dl <= lev);
+        prop_assert!(w >= lev);
+        prop_assert!(w <= a.len() + b.len());
+        prop_assert_eq!(dl == 0, a == b);
+    }
+
+    /// Appending a small suffix to a large input keeps the block size
+    /// comparable and the comparison bounded.
+    #[test]
+    fn append_small_suffix_bounded(
+        data in proptest::collection::vec(any::<u8>(), 5_000..30_000),
+        suffix in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut extended = data.clone();
+        extended.extend_from_slice(&suffix);
+        let ha = fuzzy_hash_bytes(&data);
+        let hb = fuzzy_hash_bytes(&extended);
+        let s = compare(&ha, &hb);
+        prop_assert!(s <= 100);
+    }
+}

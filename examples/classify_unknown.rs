@@ -1,0 +1,116 @@
+//! Detecting software that deviates from allocation purpose.
+//!
+//! The paper's motivating scenario: a user's project allocation normally runs
+//! a known set of scientific applications; one day executables appear that do
+//! not belong to any known class (e.g. a cryptocurrency miner). This example
+//! trains the classifier on a corpus of known applications and then shows how
+//! previously unseen binaries are flagged as `"-1"` (unknown), while new
+//! *versions* of known applications are still recognized.
+//!
+//! ```text
+//! cargo run --release --example classify_unknown
+//! ```
+
+use binary::elf::ElfBuilder;
+use corpus::{Catalog, CorpusBuilder};
+use fhc::features::SampleFeatures;
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::similarity::ReferenceSet;
+use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
+use mlcore::dataset::Dataset;
+use mlcore::forest::RandomForest;
+
+/// Build an executable that imitates an unauthorized workload: none of its
+/// symbols, strings, or code come from the known application corpus.
+fn rogue_miner() -> Vec<u8> {
+    let mut b = ElfBuilder::new();
+    let code: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 21) as u8).collect();
+    b.add_text_section(code);
+    b.add_rodata_section(
+        b"stratum+tcp://pool.example.org:3333\0submitting share\0hashrate %f MH/s\0".to_vec(),
+    );
+    for name in ["scanhash_loop", "stratum_connect", "submit_share", "difficulty_adjust"] {
+        b.add_global_function(name, 0x100, 0x400);
+    }
+    b.build()
+}
+
+fn main() {
+    // Train on a small synthetic corpus of known HPC applications.
+    let corpus = CorpusBuilder::new(7).build(&Catalog::paper().scaled(0.04));
+    let config = PipelineConfig { seed: 7, ..Default::default() };
+    let classifier = FuzzyHashClassifier::new(config.clone());
+    let features = classifier.extract_features(&corpus);
+    let outcome = classifier
+        .run_with_features(&corpus, &features)
+        .expect("pipeline should run");
+    println!(
+        "trained on {} samples of {} known classes (threshold {:.2})",
+        outcome.n_train,
+        outcome.known_class_names.len(),
+        outcome.confidence_threshold
+    );
+
+    // Rebuild the reference set and forest exactly as the pipeline did, so we
+    // can score new, out-of-corpus binaries.
+    let mut known_id = vec![usize::MAX; corpus.n_classes()];
+    for (id, &class) in outcome.split.known_classes.iter().enumerate() {
+        known_id[class] = id;
+    }
+    let train_features: Vec<SampleFeatures> =
+        outcome.split.train.iter().map(|&i| features[i].clone()).collect();
+    let train_labels: Vec<usize> = outcome
+        .split
+        .train
+        .iter()
+        .map(|&i| known_id[corpus.samples()[i].class_index])
+        .collect();
+    let reference = ReferenceSet::new(
+        outcome.known_class_names.clone(),
+        &train_features,
+        &train_labels,
+        &config.feature_kinds,
+    );
+    let train_ds = Dataset::from_rows(
+        reference.feature_matrix(&train_features),
+        train_labels,
+        reference.column_names(),
+        outcome.known_class_names.clone(),
+    )
+    .unwrap();
+    let forest = RandomForest::fit(&train_ds, &outcome.forest_params, 7).unwrap();
+
+    let classify = |bytes: &[u8]| -> String {
+        let sample = SampleFeatures::extract(bytes);
+        let row = reference.feature_vector(&sample);
+        let proba = forest.predict_proba(&row);
+        let label = apply_threshold(&proba, outcome.confidence_threshold);
+        if label == UNKNOWN_LABEL {
+            "-1 (unknown)".to_string()
+        } else {
+            outcome.known_class_names[label - 1].clone()
+        }
+    };
+
+    // 1. A brand-new version of a known application is still recognized.
+    let known_class = outcome.split.known_classes[0];
+    let known_sample = corpus
+        .samples()
+        .iter()
+        .find(|s| s.class_index == known_class)
+        .unwrap();
+    println!(
+        "\nnew execution of {:<20} -> classified as {}",
+        known_sample.class_name,
+        classify(&corpus.generate_bytes(known_sample))
+    );
+
+    // 2. A rogue workload that matches no known application is flagged.
+    println!("rogue mining executable       -> classified as {}", classify(&rogue_miner()));
+
+    // 3. A plain script (not even an ELF) is also flagged as unknown.
+    println!(
+        "shell wrapper script          -> classified as {}",
+        classify(b"#!/bin/bash\nexec ./payload --pool pool.example.org\n")
+    );
+}

@@ -1,0 +1,59 @@
+//! Inspect the synthetic application corpus: class catalog, per-class sample
+//! counts (the paper's Figure 2), the Velvet version table (the paper's
+//! Table 1), and a manifest excerpt.
+//!
+//! ```text
+//! cargo run --release --example corpus_overview
+//! ```
+
+use corpus::manifest::Manifest;
+use corpus::stats::{class_stats, sample_distribution_table, summarize, version_table};
+use corpus::{Catalog, CorpusBuilder};
+
+fn main() {
+    let catalog = Catalog::paper();
+    println!(
+        "paper catalog: {} classes, {} samples at full scale",
+        catalog.classes().len(),
+        catalog.total_samples()
+    );
+
+    // Work with a scaled-down corpus so the example runs in seconds.
+    let corpus = CorpusBuilder::new(42).build(&catalog.scaled(0.05));
+    let summary = summarize(&corpus);
+    println!(
+        "scaled corpus: {} classes, {} samples, class sizes {}..{} (imbalance ratio {:.1})",
+        summary.n_classes,
+        summary.n_samples,
+        summary.min_class_size,
+        summary.max_class_size,
+        summary.imbalance_ratio
+    );
+
+    println!("\n--- Table 1: Versions and executables of the Velvet class ---");
+    println!("{}", version_table(&corpus, "Velvet").unwrap());
+
+    println!("--- Figure 2: top 15 classes by sample count ---");
+    let table = sample_distribution_table(&corpus);
+    for line in table.lines().take(17) {
+        println!("{line}");
+    }
+
+    println!("\n--- the 5 smallest classes ---");
+    let stats = class_stats(&corpus);
+    for s in stats.iter().rev().take(5) {
+        println!(
+            "{:<20} {} samples ({} versions x {} executables)",
+            s.name, s.n_samples, s.n_versions, s.n_executables
+        );
+    }
+
+    println!("\n--- manifest excerpt (first 5 of {} entries) ---", corpus.n_samples());
+    let manifest = Manifest::from_corpus(&corpus);
+    for entry in manifest.entries.iter().take(5) {
+        println!(
+            "{:<55} {:>8} bytes",
+            entry.install_path, entry.file_size
+        );
+    }
+}

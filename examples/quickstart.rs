@@ -1,0 +1,76 @@
+//! Quickstart: hash two executables, compare them, and classify a small
+//! corpus end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use binary::elf::ElfBuilder;
+use corpus::{Catalog, CorpusBuilder};
+use fhc::features::{FeatureKind, SampleFeatures};
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use ssdeep::{compare, fuzzy_hash_bytes};
+
+fn main() {
+    // --- 1. Fuzzy-hash two related binaries -------------------------------
+    // Build two "versions" of the same tool: identical code except for a
+    // localized edit, the situation cryptographic hashes cannot handle.
+    let mut v1 = ElfBuilder::new();
+    let code: Vec<u8> = (0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+    v1.add_text_section(code.clone());
+    v1.add_rodata_section(b"solver version 1.0\0reading configuration\0".to_vec());
+    for i in 0..50 {
+        v1.add_global_function(&format!("solver_step_{i}"), (i * 700) as u64, 700);
+    }
+    let mut v2 = ElfBuilder::new();
+    let mut patched = code;
+    for byte in patched.iter_mut().skip(20_000).take(1_500) {
+        *byte ^= 0x3C;
+    }
+    v2.add_text_section(patched);
+    v2.add_rodata_section(b"solver version 1.1\0reading configuration\0".to_vec());
+    for i in 0..50 {
+        v2.add_global_function(&format!("solver_step_{i}"), (i * 700) as u64, 700);
+    }
+    let bytes_v1 = v1.build();
+    let bytes_v2 = v2.build();
+
+    let h1 = fuzzy_hash_bytes(&bytes_v1);
+    let h2 = fuzzy_hash_bytes(&bytes_v2);
+    println!("fuzzy hash v1.0: {h1}");
+    println!("fuzzy hash v1.1: {h2}");
+    println!("raw-content similarity (0-100): {}", compare(&h1, &h2));
+
+    let f1 = SampleFeatures::extract(&bytes_v1);
+    let f2 = SampleFeatures::extract(&bytes_v2);
+    for kind in FeatureKind::ALL {
+        println!("{:>16} similarity: {}", kind.paper_name(), f1.similarity(&f2, kind));
+    }
+
+    // --- 2. Classify a small synthetic corpus -------------------------------
+    println!("\nrunning the Fuzzy Hash Classifier on a small synthetic corpus...");
+    let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.04));
+    let config = PipelineConfig { seed: 42, ..Default::default() };
+    let outcome = FuzzyHashClassifier::new(config)
+        .run(&corpus)
+        .expect("pipeline should run on the quickstart corpus");
+
+    println!(
+        "known classes: {}, unknown classes: {}, train: {}, test: {}",
+        outcome.known_class_names.len(),
+        outcome.unknown_class_names.len(),
+        outcome.n_train,
+        outcome.n_test
+    );
+    println!(
+        "macro f1 = {:.2}, micro f1 = {:.2}, weighted f1 = {:.2} (confidence threshold {:.2})",
+        outcome.report.macro_avg().f1,
+        outcome.report.micro().f1,
+        outcome.report.weighted_avg().f1,
+        outcome.confidence_threshold
+    );
+    println!("\nfeature importance:");
+    for fi in &outcome.feature_importance {
+        println!("  {:>16}: {:.3}", fi.kind.paper_name(), fi.importance);
+    }
+}

@@ -1,0 +1,55 @@
+//! Reproduce the shape of the paper's Figure 3: micro / macro / weighted F1
+//! as a function of the confidence threshold, and the trade-off between
+//! catching unknown applications and keeping known classes accurate.
+//!
+//! ```text
+//! cargo run --release --example threshold_sweep
+//! ```
+
+use corpus::{Catalog, CorpusBuilder};
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::threshold::UNKNOWN_LABEL;
+use mlcore::metrics::per_class_metrics;
+
+fn main() {
+    let corpus = CorpusBuilder::new(11).build(&Catalog::paper().scaled(0.05));
+    // A finer threshold grid than the default, to draw a smoother curve.
+    let thresholds: Vec<f64> = (0..19).map(|i| i as f64 * 0.05).collect();
+    let config = PipelineConfig { seed: 11, thresholds, ..Default::default() };
+    let outcome = FuzzyHashClassifier::new(config)
+        .run(&corpus)
+        .expect("pipeline should run");
+
+    println!("Figure 3: f1-score over confidence threshold (internal validation sweep)");
+    println!("{:>10} {:>10} {:>10} {:>10}", "threshold", "micro", "macro", "weighted");
+    for point in &outcome.threshold_curve {
+        let marker = if (point.threshold - outcome.confidence_threshold).abs() < 1e-9 {
+            "  <== chosen"
+        } else {
+            ""
+        };
+        println!(
+            "{:>10.2} {:>10.3} {:>10.3} {:>10.3}{marker}",
+            point.threshold, point.micro_f1, point.macro_f1, point.weighted_f1
+        );
+    }
+
+    // The paper's discussion: the unknown class usually shows precision above
+    // recall — the model is confident when it says "unknown" but misses some.
+    let per_class = per_class_metrics(
+        &outcome.y_true,
+        &outcome.y_pred,
+        outcome.eval_class_names.len(),
+    );
+    let unknown = per_class[UNKNOWN_LABEL];
+    println!(
+        "\nunknown (-1) class on the test set: precision {:.2}, recall {:.2}, f1 {:.2}, support {}",
+        unknown.precision, unknown.recall, unknown.f1, unknown.support
+    );
+    println!(
+        "test-set averages: macro f1 {:.2}, micro f1 {:.2}, weighted f1 {:.2}",
+        outcome.report.macro_avg().f1,
+        outcome.report.micro().f1,
+        outcome.report.weighted_avg().f1
+    );
+}

@@ -1,0 +1,108 @@
+//! Integration tests of the experiment drivers (tables / figures), the
+//! ablation study, and the baselines on a small corpus.
+
+use corpus::{Catalog, CorpusBuilder};
+use fhc::ablation::{ablation_configurations, run_ablation};
+use fhc::baselines::run_baselines;
+use fhc::experiments as exp;
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+
+fn setup() -> (corpus::Corpus, Vec<fhc::features::SampleFeatures>, PipelineConfig) {
+    let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.02));
+    let config = PipelineConfig {
+        seed: 42,
+        forest: mlcore::forest::RandomForestParams { n_estimators: 30, ..Default::default() },
+        ..Default::default()
+    };
+    let features = FuzzyHashClassifier::new(config.clone()).extract_features(&corpus);
+    (corpus, features, config)
+}
+
+#[test]
+fn all_table_and_figure_drivers_produce_output() {
+    let (corpus, features, config) = setup();
+    let outcome = FuzzyHashClassifier::new(config)
+        .run_with_features(&corpus, &features)
+        .expect("pipeline runs");
+
+    let t1 = exp::table1_velvet_versions(&corpus);
+    assert!(t1.contains("Velvet") && t1.contains("velvetg"));
+
+    let f2 = exp::figure2_sample_distribution(&corpus);
+    assert_eq!(f2.lines().count(), 94, "header + separator + 92 classes");
+
+    let t2 = exp::table2_hash_similarity_example(&corpus, &features, "OpenMalaria");
+    assert!(t2.contains("OpenMalaria"));
+    assert!(t2.contains("Similarity"));
+
+    let t3 = exp::table3_unknown_classes(&corpus, &outcome);
+    assert!(t3.contains("TOTAL"));
+    assert_eq!(t3.lines().count(), 2 + outcome.unknown_class_names.len() + 1);
+
+    let t4 = exp::table4_classification_report(&outcome);
+    assert!(t4.contains("macro avg") && t4.contains("-1"));
+
+    let t5 = exp::table5_feature_importance(&outcome);
+    assert!(t5.contains("ssdeep-file"));
+    assert!(t5.contains("ssdeep-strings"));
+    assert!(t5.contains("ssdeep-symbols"));
+
+    let f3 = exp::figure3_threshold_curve(&outcome);
+    assert!(f3.contains("<== chosen"));
+    assert_eq!(f3.lines().count(), 2 + outcome.threshold_curve.len());
+
+    let summary = exp::headline_summary(&outcome);
+    assert!(summary.contains("macro f1"));
+}
+
+#[test]
+fn baselines_show_the_papers_crypto_hash_limitation() {
+    let (corpus, features, config) = setup();
+    let outcome = FuzzyHashClassifier::new(config.clone())
+        .run_with_features(&corpus, &features)
+        .unwrap();
+    let baselines =
+        run_baselines(&corpus, &features, &config, outcome.confidence_threshold).unwrap();
+    assert_eq!(baselines.len(), 3);
+
+    let exact = baselines.iter().find(|b| b.name == "exact-sha256").unwrap();
+    // The exact-hash baseline cannot recognize new versions, so its macro F1
+    // collapses far below the fuzzy-hash forest — the paper's core argument.
+    assert!(
+        exact.macro_f1 < outcome.report.macro_avg().f1 * 0.5,
+        "exact hash macro {} vs forest {}",
+        exact.macro_f1,
+        outcome.report.macro_avg().f1
+    );
+
+    // The rendered comparison table includes every model.
+    let table = exp::baseline_table(&baselines, &outcome);
+    assert!(table.contains("fuzzy-hash random forest"));
+    assert!(table.contains("exact-sha256"));
+    assert!(table.contains("knn-5"));
+    assert!(table.contains("gaussian-nb"));
+}
+
+#[test]
+fn ablation_runs_every_configuration() {
+    let (corpus, features, mut config) = setup();
+    // Keep the ablation fast: fewer trees.
+    config.forest.n_estimators = 15;
+    let results = run_ablation(&corpus, &features, &config).unwrap();
+    assert_eq!(results.len(), ablation_configurations().len());
+    for r in &results {
+        assert!(r.macro_f1 >= 0.0 && r.macro_f1 <= 1.0);
+        assert!(!r.kinds.is_empty());
+    }
+    // Using all three features should not be dramatically worse than the best
+    // single view.
+    let all = results.iter().find(|r| r.name == "all-features").unwrap();
+    let best_single = results
+        .iter()
+        .filter(|r| r.kinds.len() == 1)
+        .map(|r| r.macro_f1)
+        .fold(0.0f64, f64::max);
+    assert!(all.macro_f1 > best_single - 0.25);
+    let table = exp::ablation_table(&results);
+    assert!(table.contains("symbols-only"));
+}
