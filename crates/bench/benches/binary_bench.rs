@@ -15,11 +15,17 @@ fn build_sample_elf() -> Vec<u8> {
     b.add_text_section(synthetic_bytes(96_000, 3));
     let mut rodata = Vec::new();
     for i in 0..200 {
-        rodata.extend_from_slice(format!("diagnostic message number {i} with detail %s\0").as_bytes());
+        rodata.extend_from_slice(
+            format!("diagnostic message number {i} with detail %s\0").as_bytes(),
+        );
     }
     b.add_rodata_section(rodata);
     for i in 0..250 {
-        b.add_global_function(&format!("application_kernel_routine_{i}"), (i * 380) as u64, 380);
+        b.add_global_function(
+            &format!("application_kernel_routine_{i}"),
+            (i * 380) as u64,
+            380,
+        );
     }
     b.build()
 }
@@ -40,7 +46,9 @@ fn bench_views(c: &mut Criterion) {
     let elf = ElfFile::parse(&bytes).unwrap();
     let mut group = c.benchmark_group("binary/views");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("strings_blob", |b| b.iter(|| strings_blob(black_box(&bytes), 4)));
+    group.bench_function("strings_blob", |b| {
+        b.iter(|| strings_blob(black_box(&bytes), 4))
+    });
     group.bench_function("symbols_blob", |b| b.iter(|| symbols_blob(black_box(&elf))));
     group.bench_function("full_feature_extraction", |b| {
         b.iter(|| SampleFeatures::extract(black_box(&bytes)))

@@ -21,7 +21,11 @@ fn similarity_like_dataset(n: usize, classes: usize) -> Dataset {
         for (j, value) in row.iter_mut().enumerate() {
             let col_class = j % classes;
             let noise = ((i * 31 + j * 17) % 23) as f64;
-            *value = if col_class == class { 70.0 + noise } else { noise };
+            *value = if col_class == class {
+                70.0 + noise
+            } else {
+                noise
+            };
         }
         rows.push(row);
         labels.push(class);
@@ -35,7 +39,10 @@ fn bench_forest_fit(c: &mut Criterion) {
     group.sample_size(10);
     for (n, classes) in [(300usize, 20usize), (600, 40)] {
         let ds = similarity_like_dataset(n, classes);
-        let params = RandomForestParams { n_estimators: 30, ..Default::default() };
+        let params = RandomForestParams {
+            n_estimators: 30,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n}x{}", classes * 3)),
             &ds,
@@ -47,16 +54,23 @@ fn bench_forest_fit(c: &mut Criterion) {
 
 fn bench_predict(c: &mut Criterion) {
     let ds = similarity_like_dataset(400, 30);
-    let params = RandomForestParams { n_estimators: 30, ..Default::default() };
+    let params = RandomForestParams {
+        n_estimators: 30,
+        ..Default::default()
+    };
     let forest = RandomForest::fit(&ds, &params, 3).unwrap();
     let knn = KNearestNeighbors::fit(&ds, 5, Metric::Euclidean).unwrap();
     let nb = GaussianNaiveBayes::fit(&ds).unwrap();
     let query: Vec<f64> = ds.features().row(11).to_vec();
 
     let mut group = c.benchmark_group("mlcore/predict_proba");
-    group.bench_function("random_forest", |b| b.iter(|| forest.predict_proba(black_box(&query))));
+    group.bench_function("random_forest", |b| {
+        b.iter(|| forest.predict_proba(black_box(&query)))
+    });
     group.bench_function("knn5", |b| b.iter(|| knn.predict_proba(black_box(&query))));
-    group.bench_function("gaussian_nb", |b| b.iter(|| nb.predict_proba(black_box(&query))));
+    group.bench_function("gaussian_nb", |b| {
+        b.iter(|| nb.predict_proba(black_box(&query)))
+    });
     group.finish();
 }
 

@@ -1,0 +1,66 @@
+//! Serving throughput: samples/second through a trained classifier.
+//!
+//! This is the number the ROADMAP's serving trajectory cares about: once
+//! `fit` has paid the training cost, how fast can `classify_batch` score a
+//! stream of new executables? Measured end-to-end (feature extraction +
+//! similarity row + forest vote) and for the pre-hashed hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fhc::features::SampleFeatures;
+use fhc::pipeline::FuzzyHashClassifier;
+use fhc_bench::{bench_config, bench_corpus};
+use std::hint::black_box;
+
+fn bench_classify_batch(c: &mut Criterion) {
+    let corpus = bench_corpus(0.02, 42);
+    let trained = FuzzyHashClassifier::new(bench_config(42))
+        .fit(&corpus)
+        .expect("training succeeds");
+
+    // Serve every corpus sample as if it were new traffic.
+    let batch: Vec<(String, Vec<u8>)> = corpus
+        .samples()
+        .iter()
+        .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+        .collect();
+    let features: Vec<SampleFeatures> = batch
+        .iter()
+        .map(|(_, bytes)| SampleFeatures::extract(bytes))
+        .collect();
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("classify_batch_from_bytes", |b| {
+        b.iter(|| trained.classify_batch(black_box(&batch)))
+    });
+    group.bench_function("classify_batch_prehashed", |b| {
+        b.iter(|| trained.classify_features_batch(black_box(&features)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serving/single");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("classify_one", |b| {
+        b.iter(|| trained.classify(black_box(&batch[0].1)))
+    });
+    group.finish();
+
+    // Artifact round trip: the cost of loading a model into a new process.
+    let bytes = trained.to_bytes();
+    let mut group = c.benchmark_group("serving/artifact");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("to_bytes", |b| b.iter(|| trained.to_bytes()));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| fhc::serving::TrainedClassifier::from_bytes(black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_classify_batch
+}
+criterion_main!(benches);

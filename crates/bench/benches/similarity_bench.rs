@@ -3,9 +3,9 @@
 //! corpus generation + feature extraction that feeds it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fhc::features::FeatureKind;
 use fhc::similarity::ReferenceSet;
 use fhc_bench::{bench_config, bench_corpus, extract_all};
-use fhc::features::FeatureKind;
 use std::hint::black_box;
 
 fn bench_corpus_generation(c: &mut Criterion) {
@@ -27,7 +27,9 @@ fn bench_feature_matrix(c: &mut Criterion) {
     // Use the first 200 samples as the reference ("training") set and score a
     // single query sample against it, per feature kind and for all three.
     let n_ref = features.len().min(200);
-    let labels: Vec<usize> = (0..n_ref).map(|i| corpus.samples()[i].class_index).collect();
+    let labels: Vec<usize> = (0..n_ref)
+        .map(|i| corpus.samples()[i].class_index)
+        .collect();
     let class_names: Vec<String> = corpus.class_names().to_vec();
     let query = features[features.len() - 1].clone();
 
@@ -35,7 +37,11 @@ fn bench_feature_matrix(c: &mut Criterion) {
     group.sample_size(10);
     for kinds in [FeatureKind::ALL.to_vec(), vec![FeatureKind::Symbols]] {
         let reference = ReferenceSet::new(class_names.clone(), &features[..n_ref], &labels, &kinds);
-        let label = if kinds.len() == 3 { "all_views_vs_200_train" } else { "symbols_only_vs_200_train" };
+        let label = if kinds.len() == 3 {
+            "all_views_vs_200_train"
+        } else {
+            "symbols_only_vs_200_train"
+        };
         group.bench_function(label, |b| {
             b.iter(|| reference.feature_vector(black_box(&query)))
         });

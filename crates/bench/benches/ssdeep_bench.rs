@@ -33,8 +33,12 @@ fn bench_comparison(c: &mut Criterion) {
     let hc = fuzzy_hash_bytes(&unrelated);
 
     let mut group = c.benchmark_group("ssdeep/compare");
-    group.bench_function("similar_pair", |b| b.iter(|| compare(black_box(&ha), black_box(&hb))));
-    group.bench_function("unrelated_pair", |b| b.iter(|| compare(black_box(&ha), black_box(&hc))));
+    group.bench_function("similar_pair", |b| {
+        b.iter(|| compare(black_box(&ha), black_box(&hb)))
+    });
+    group.bench_function("unrelated_pair", |b| {
+        b.iter(|| compare(black_box(&ha), black_box(&hc)))
+    });
     group.finish();
 }
 

@@ -33,7 +33,10 @@ pub fn bench_corpus(scale: f64, seed: u64) -> Corpus {
 pub fn bench_config(seed: u64) -> PipelineConfig {
     PipelineConfig {
         seed,
-        forest: mlcore::forest::RandomForestParams { n_estimators: 30, ..Default::default() },
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 30,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }

@@ -161,7 +161,14 @@ impl ElfBuilder {
         }
 
         let section_names = [
-            "", ".text", ".rodata", ".data", ".comment", ".symtab", ".strtab", ".shstrtab",
+            "",
+            ".text",
+            ".rodata",
+            ".data",
+            ".comment",
+            ".symtab",
+            ".strtab",
+            ".shstrtab",
         ];
         let mut shstrtab: Vec<u8> = vec![0];
         let mut sec_name_offsets: Vec<u32> = Vec::with_capacity(section_names.len());
@@ -205,7 +212,11 @@ impl ElfBuilder {
             };
             let entry = Symbol {
                 name: sym.name.clone(),
-                value: if sym.home == SymbolHome::Undefined { 0 } else { vaddr_base + sym.value },
+                value: if sym.home == SymbolHome::Undefined {
+                    0
+                } else {
+                    vaddr_base + sym.value
+                },
                 size: sym.size,
                 binding: sym.binding,
                 sym_type: sym.sym_type,
@@ -250,7 +261,11 @@ impl ElfBuilder {
             flags,
             addr,
             offset: if idx == 0 { 0 } else { offsets[idx - 1] as u64 },
-            size: if idx == 0 { 0 } else { section_payloads[idx - 1].len() as u64 },
+            size: if idx == 0 {
+                0
+            } else {
+                section_payloads[idx - 1].len() as u64
+            },
             link,
             info,
             addralign: if idx == 0 { 0 } else { 8 },
@@ -261,9 +276,33 @@ impl ElfBuilder {
         let text_vaddr = BASE_VADDR + contents_start as u64;
         let sections = [
             make_section(0, SHT_NULL, 0, 0, 0, 0, 0),
-            make_section(1, SHT_PROGBITS, SHF_ALLOC | SHF_EXECINSTR, text_vaddr, 0, 0, 0),
-            make_section(2, SHT_PROGBITS, SHF_ALLOC, BASE_VADDR + offsets[1] as u64, 0, 0, 0),
-            make_section(3, SHT_PROGBITS, SHF_ALLOC | SHF_WRITE, BASE_VADDR + offsets[2] as u64, 0, 0, 0),
+            make_section(
+                1,
+                SHT_PROGBITS,
+                SHF_ALLOC | SHF_EXECINSTR,
+                text_vaddr,
+                0,
+                0,
+                0,
+            ),
+            make_section(
+                2,
+                SHT_PROGBITS,
+                SHF_ALLOC,
+                BASE_VADDR + offsets[1] as u64,
+                0,
+                0,
+                0,
+            ),
+            make_section(
+                3,
+                SHT_PROGBITS,
+                SHF_ALLOC | SHF_WRITE,
+                BASE_VADDR + offsets[2] as u64,
+                0,
+                0,
+                0,
+            ),
             make_section(4, SHT_PROGBITS, 0, 0, 0, 0, 0),
             make_section(
                 IDX_SYMTAB,
@@ -349,8 +388,7 @@ mod tests {
         assert_eq!(elf.section_by_name(".rodata").unwrap().data, b"read only");
         assert_eq!(elf.section_by_name(".data").unwrap().data.len(), 33);
         assert!(
-            String::from_utf8_lossy(&elf.section_by_name(".comment").unwrap().data)
-                .contains("GCC")
+            String::from_utf8_lossy(&elf.section_by_name(".comment").unwrap().data).contains("GCC")
         );
     }
 
@@ -413,7 +451,11 @@ mod tests {
         b.add_text_section(vec![0x90; 128]);
         b.add_global_function("kernel_main", 0x20, 32);
         let elf = ElfFile::parse(&b.build()).unwrap();
-        let sym = elf.symbols().iter().find(|s| s.name == "kernel_main").unwrap();
+        let sym = elf
+            .symbols()
+            .iter()
+            .find(|s| s.name == "kernel_main")
+            .unwrap();
         assert!(elf.section_is_executable(sym.shndx));
     }
 }

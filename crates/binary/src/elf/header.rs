@@ -131,7 +131,10 @@ mod tests {
         let err = ElfHeader::parse(&sample().to_bytes()[..10]).unwrap_err();
         assert!(matches!(err, BinaryError::Truncated { .. }));
         // A short blob with the wrong magic is diagnosed as BadMagic instead.
-        assert_eq!(ElfHeader::parse(&[0u8; 10]).unwrap_err(), BinaryError::BadMagic);
+        assert_eq!(
+            ElfHeader::parse(&[0u8; 10]).unwrap_err(),
+            BinaryError::BadMagic
+        );
     }
 
     #[test]
@@ -145,21 +148,30 @@ mod tests {
     fn rejects_32bit_class() {
         let mut bytes = sample().to_bytes();
         bytes[4] = 1;
-        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::UnsupportedClass(1));
+        assert_eq!(
+            ElfHeader::parse(&bytes).unwrap_err(),
+            BinaryError::UnsupportedClass(1)
+        );
     }
 
     #[test]
     fn rejects_big_endian() {
         let mut bytes = sample().to_bytes();
         bytes[5] = 2;
-        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::UnsupportedEndianness(2));
+        assert_eq!(
+            ElfHeader::parse(&bytes).unwrap_err(),
+            BinaryError::UnsupportedEndianness(2)
+        );
     }
 
     #[test]
     fn rejects_bad_version() {
         let mut bytes = sample().to_bytes();
         bytes[6] = 0;
-        assert_eq!(ElfHeader::parse(&bytes).unwrap_err(), BinaryError::UnsupportedVersion(0));
+        assert_eq!(
+            ElfHeader::parse(&bytes).unwrap_err(),
+            BinaryError::UnsupportedVersion(0)
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ impl ElfFile {
         let symbols = Self::load_symbols(&sections, SHT_SYMTAB)?;
         let dynamic_symbols = Self::load_symbols(&sections, SHT_DYNSYM)?;
 
-        Ok(Self { header, sections, symbols, dynamic_symbols })
+        Ok(Self {
+            header,
+            sections,
+            symbols,
+            dynamic_symbols,
+        })
     }
 
     fn load_symbols(sections: &[Section], table_type: u32) -> Result<Vec<Symbol>, BinaryError> {
@@ -99,7 +104,8 @@ impl ElfFile {
 
     /// Whether the given section index refers to an executable section.
     pub fn section_is_executable(&self, index: u16) -> bool {
-        usize::from(index) < self.sections.len() && self.sections[usize::from(index)].is_executable()
+        usize::from(index) < self.sections.len()
+            && self.sections[usize::from(index)].is_executable()
     }
 
     /// Total size of all section contents (a size sanity metric used in
@@ -151,11 +157,19 @@ mod tests {
     #[test]
     fn symbol_contents_roundtrip() {
         let elf = ElfFile::parse(&sample_elf()).unwrap();
-        let main_loop = elf.symbols().iter().find(|s| s.name == "main_loop").unwrap();
+        let main_loop = elf
+            .symbols()
+            .iter()
+            .find(|s| s.name == "main_loop")
+            .unwrap();
         assert!(main_loop.is_global());
         assert!(main_loop.is_defined());
         assert_eq!(main_loop.size, 64);
-        let helper = elf.symbols().iter().find(|s| s.name == "helper_internal").unwrap();
+        let helper = elf
+            .symbols()
+            .iter()
+            .find(|s| s.name == "helper_internal")
+            .unwrap();
         assert!(!helper.is_global());
     }
 
@@ -169,7 +183,10 @@ mod tests {
 
     #[test]
     fn rejects_non_elf() {
-        assert_eq!(ElfFile::parse(b"#!/bin/bash\necho hi\n").unwrap_err(), BinaryError::BadMagic);
+        assert_eq!(
+            ElfFile::parse(b"#!/bin/bash\necho hi\n").unwrap_err(),
+            BinaryError::BadMagic
+        );
     }
 
     #[test]

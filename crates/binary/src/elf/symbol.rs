@@ -112,11 +112,7 @@ impl Symbol {
 
     /// Parse one 24-byte ELF64 symbol entry at `offset` of `symtab_data`,
     /// resolving the name in `strtab`.
-    pub fn parse(
-        symtab_data: &[u8],
-        offset: usize,
-        strtab: &[u8],
-    ) -> Result<Self, BinaryError> {
+    pub fn parse(symtab_data: &[u8], offset: usize, strtab: &[u8]) -> Result<Self, BinaryError> {
         if symtab_data.len() < offset + SYM_SIZE {
             return Err(BinaryError::Truncated {
                 context: "symbol entry",

@@ -79,7 +79,12 @@ pub fn read_u16(data: &[u8], offset: usize) -> u16 {
 /// Read a `u32` at `offset` (little-endian). Caller guarantees bounds.
 #[inline]
 pub fn read_u32(data: &[u8], offset: usize) -> u32 {
-    u32::from_le_bytes([data[offset], data[offset + 1], data[offset + 2], data[offset + 3]])
+    u32::from_le_bytes([
+        data[offset],
+        data[offset + 1],
+        data[offset + 2],
+        data[offset + 3],
+    ])
 }
 
 /// Read a `u64` at `offset` (little-endian). Caller guarantees bounds.

@@ -38,16 +38,26 @@ pub enum BinaryError {
 impl fmt::Display for BinaryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BinaryError::Truncated { context, needed, available } => write!(
+            BinaryError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
                 f,
                 "truncated ELF while reading {context}: needed {needed} bytes, had {available}"
             ),
             BinaryError::BadMagic => write!(f, "missing ELF magic (\\x7fELF)"),
             BinaryError::UnsupportedClass(c) => {
-                write!(f, "unsupported ELF class {c} (only ELFCLASS64 is supported)")
+                write!(
+                    f,
+                    "unsupported ELF class {c} (only ELFCLASS64 is supported)"
+                )
             }
             BinaryError::UnsupportedEndianness(e) => {
-                write!(f, "unsupported ELF data encoding {e} (only little-endian is supported)")
+                write!(
+                    f,
+                    "unsupported ELF data encoding {e} (only little-endian is supported)"
+                )
             }
             BinaryError::UnsupportedVersion(v) => write!(f, "unsupported ELF version {v}"),
             BinaryError::SectionOutOfBounds { index } => {
@@ -57,7 +67,10 @@ impl fmt::Display for BinaryError {
                 write!(f, "string offset {o} is outside its string table")
             }
             BinaryError::BadSymbolEntrySize(s) => {
-                write!(f, "symbol table entry size {s} is not the ELF64 symbol size (24)")
+                write!(
+                    f,
+                    "symbol table entry size {s} is not the ELF64 symbol size (24)"
+                )
             }
             BinaryError::BadShStrNdx(i) => {
                 write!(f, "section header string table index {i} is out of range")
@@ -74,12 +87,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BinaryError::Truncated { context: "header", needed: 64, available: 10 };
+        let e = BinaryError::Truncated {
+            context: "header",
+            needed: 64,
+            available: 10,
+        };
         let s = e.to_string();
         assert!(s.contains("header") && s.contains("64") && s.contains("10"));
         assert!(BinaryError::BadMagic.to_string().contains("ELF"));
         assert!(BinaryError::UnsupportedClass(1).to_string().contains('1'));
-        assert!(BinaryError::SectionOutOfBounds { index: 3 }.to_string().contains('3'));
+        assert!(BinaryError::SectionOutOfBounds { index: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub fn global_defined_symbols(elf: &ElfFile) -> Vec<NmSymbol> {
                 && s.sym_type != SymbolType::Section
                 && s.sym_type != SymbolType::File
         })
-        .map(|s| NmSymbol { name: s.name.clone(), class: symbol_class(elf, s), value: s.value })
+        .map(|s| NmSymbol {
+            name: s.name.clone(),
+            class: symbol_class(elf, s),
+            value: s.value,
+        })
         .collect();
     out.sort_by(|a, b| a.name.cmp(&b.name));
     out
@@ -116,14 +120,20 @@ mod tests {
     #[test]
     fn globals_are_sorted_by_name() {
         let elf = sample();
-        let names: Vec<String> = global_defined_symbols(&elf).into_iter().map(|s| s.name).collect();
+        let names: Vec<String> = global_defined_symbols(&elf)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert_eq!(names, vec!["alpha_init", "global_config", "zeta_solver"]);
     }
 
     #[test]
     fn undefined_and_local_symbols_excluded() {
         let elf = sample();
-        let names: Vec<String> = global_defined_symbols(&elf).into_iter().map(|s| s.name).collect();
+        let names: Vec<String> = global_defined_symbols(&elf)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert!(!names.contains(&"MPI_Send".to_string()));
         assert!(!names.contains(&"static_helper".to_string()));
     }
@@ -148,14 +158,21 @@ mod tests {
     #[test]
     fn local_symbol_class_is_lowercase() {
         let elf = sample();
-        let helper = elf.symbols().iter().find(|s| s.name == "static_helper").unwrap();
+        let helper = elf
+            .symbols()
+            .iter()
+            .find(|s| s.name == "static_helper")
+            .unwrap();
         assert_eq!(symbol_class(&elf, helper), 't');
     }
 
     #[test]
     fn text_symbols_only_contains_functions_in_text() {
         let elf = sample();
-        let names: Vec<String> = global_text_symbols(&elf).into_iter().map(|s| s.name).collect();
+        let names: Vec<String> = global_text_symbols(&elf)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert_eq!(names, vec!["alpha_init", "zeta_solver"]);
     }
 

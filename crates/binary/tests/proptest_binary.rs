@@ -1,42 +1,86 @@
-//! Property-based tests for the ELF build/parse round trip and the
-//! strings/symbols extractors.
+//! Randomized (but fully deterministic) property tests for the ELF
+//! build/parse round trip and the strings/symbols extractors. The build
+//! environment has no crates.io access, so instead of `proptest` these tests
+//! drive the same properties with a seeded SplitMix64 generator over a fixed
+//! number of cases.
 
 use binary::elf::{ElfBuilder, ElfFile};
 use binary::strings::{extract_strings, is_printable, strings_blob};
 use binary::symbols::{global_defined_symbols, symbols_blob};
-use proptest::prelude::*;
+use std::collections::HashSet;
 
-/// A strategy for plausible C-style identifiers.
-fn identifier() -> impl Strategy<Value = String> {
-    "[a-zA-Z_][a-zA-Z0-9_]{0,30}"
+/// SplitMix64 — the deterministic case generator for these tests.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, low: usize, high: usize) -> usize {
+        low + (self.next() as usize) % (high - low)
+    }
+
+    fn bytes(&mut self, low: usize, high: usize) -> Vec<u8> {
+        let len = self.range(low, high);
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    /// A plausible C-style identifier: `[a-zA-Z_][a-zA-Z0-9_]{0,30}`.
+    fn identifier(&mut self) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+        let mut name = String::new();
+        name.push(FIRST[self.range(0, FIRST.len())] as char);
+        for _ in 0..self.range(0, 31) {
+            name.push(REST[self.range(0, REST.len())] as char);
+        }
+        name
+    }
+
+    /// A set of `low..high` distinct identifiers.
+    fn identifiers(&mut self, low: usize, high: usize) -> HashSet<String> {
+        let target = self.range(low, high);
+        let mut names = HashSet::new();
+        while names.len() < target {
+            names.insert(self.identifier());
+        }
+        names
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Whatever the builder produces, the parser accepts, and section
-    /// contents survive the round trip byte-for-byte.
-    #[test]
-    fn build_parse_roundtrip(
-        text in proptest::collection::vec(any::<u8>(), 0..4096),
-        rodata in proptest::collection::vec(any::<u8>(), 0..2048),
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// Whatever the builder produces, the parser accepts, and section contents
+/// survive the round trip byte-for-byte.
+#[test]
+fn build_parse_roundtrip() {
+    let mut g = Gen(10);
+    for _ in 0..48 {
+        let text = g.bytes(0, 4096);
+        let rodata = g.bytes(0, 2048);
+        let data = g.bytes(0, 512);
         let mut b = ElfBuilder::new();
         b.add_text_section(text.clone());
         b.add_rodata_section(rodata.clone());
         b.add_data_section(data.clone());
         let bytes = b.build();
         let elf = ElfFile::parse(&bytes).expect("built ELF must parse");
-        prop_assert_eq!(&elf.section_by_name(".text").unwrap().data, &text);
-        prop_assert_eq!(&elf.section_by_name(".rodata").unwrap().data, &rodata);
-        prop_assert_eq!(&elf.section_by_name(".data").unwrap().data, &data);
+        assert_eq!(&elf.section_by_name(".text").unwrap().data, &text);
+        assert_eq!(&elf.section_by_name(".rodata").unwrap().data, &rodata);
+        assert_eq!(&elf.section_by_name(".data").unwrap().data, &data);
     }
+}
 
-    /// Every global function added to the builder appears exactly once in the
-    /// nm-style global symbol list, and the list is sorted.
-    #[test]
-    fn symbols_survive_roundtrip(names in proptest::collection::hash_set(identifier(), 1..40)) {
+/// Every global function added to the builder appears exactly once in the
+/// nm-style global symbol list, and the list is sorted.
+#[test]
+fn symbols_survive_roundtrip() {
+    let mut g = Gen(11);
+    for _ in 0..48 {
+        let names = g.identifiers(1, 40);
         let mut b = ElfBuilder::new();
         b.add_text_section(vec![0x90; 4096]);
         for (i, name) in names.iter().enumerate() {
@@ -44,19 +88,23 @@ proptest! {
         }
         let elf = ElfFile::parse(&b.build()).unwrap();
         let syms = global_defined_symbols(&elf);
-        prop_assert_eq!(syms.len(), names.len());
+        assert_eq!(syms.len(), names.len());
         let listed: Vec<&str> = syms.iter().map(|s| s.name.as_str()).collect();
         let mut sorted = listed.clone();
         sorted.sort();
-        prop_assert_eq!(&listed, &sorted);
+        assert_eq!(&listed, &sorted);
         for name in &names {
-            prop_assert!(listed.contains(&name.as_str()));
+            assert!(listed.contains(&name.as_str()));
         }
     }
+}
 
-    /// The symbols blob is newline-joined and contains every name.
-    #[test]
-    fn symbols_blob_contains_all_names(names in proptest::collection::hash_set(identifier(), 0..20)) {
+/// The symbols blob is newline-joined and contains every name.
+#[test]
+fn symbols_blob_contains_all_names() {
+    let mut g = Gen(12);
+    for _ in 0..48 {
+        let names = g.identifiers(0, 20);
         let mut b = ElfBuilder::new();
         b.add_text_section(vec![0x90; 1024]);
         for (i, name) in names.iter().enumerate() {
@@ -65,45 +113,59 @@ proptest! {
         let elf = ElfFile::parse(&b.build()).unwrap();
         let blob = String::from_utf8(symbols_blob(&elf)).unwrap();
         for name in &names {
-            prop_assert!(blob.lines().any(|l| l == name));
+            assert!(blob.lines().any(|l| l == name));
         }
-        prop_assert_eq!(blob.lines().count(), names.len());
+        assert_eq!(blob.lines().count(), names.len());
     }
+}
 
-    /// Every extracted string is printable, at least min_len long, and
-    /// actually present in the input.
-    #[test]
-    fn extracted_strings_are_printable_substrings(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        min_len in 1usize..8,
-    ) {
+/// Every extracted string is printable, at least min_len long, and actually
+/// present in the input.
+#[test]
+fn extracted_strings_are_printable_substrings() {
+    let mut g = Gen(13);
+    for _ in 0..48 {
+        let data = g.bytes(0, 4096);
+        let min_len = g.range(1, 8);
         let runs = extract_strings(&data, min_len);
         for run in &runs {
-            prop_assert!(run.len() >= min_len);
-            prop_assert!(run.bytes().all(is_printable));
+            assert!(run.len() >= min_len);
+            assert!(run.bytes().all(is_printable));
             let needle = run.as_bytes();
-            prop_assert!(data.windows(needle.len()).any(|w| w == needle));
+            assert!(data.windows(needle.len()).any(|w| w == needle));
         }
     }
+}
 
-    /// The strings blob decomposes back into exactly the extracted runs.
-    #[test]
-    fn blob_matches_runs(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+/// The strings blob decomposes back into exactly the extracted runs.
+#[test]
+fn blob_matches_runs() {
+    let mut g = Gen(14);
+    for _ in 0..48 {
+        let data = g.bytes(0, 2048);
         let runs = extract_strings(&data, 4);
         let blob = strings_blob(&data, 4);
-        let joined: Vec<&str> = std::str::from_utf8(&blob)
-            .unwrap()
-            .lines()
-            .collect();
-        prop_assert_eq!(joined.len(), runs.len());
+        let joined: Vec<&str> = std::str::from_utf8(&blob).unwrap().lines().collect();
+        assert_eq!(joined.len(), runs.len());
         for (a, b) in joined.iter().zip(runs.iter()) {
-            prop_assert_eq!(*a, b.as_str());
+            assert_eq!(*a, b.as_str());
         }
     }
+}
 
-    /// Parsing arbitrary bytes never panics: it returns Ok or a clean error.
-    #[test]
-    fn parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+/// Parsing arbitrary bytes never panics: it returns Ok or a clean error.
+#[test]
+fn parser_never_panics() {
+    let mut g = Gen(15);
+    for _ in 0..48 {
+        let data = g.bytes(0, 2048);
         let _ = ElfFile::parse(&data);
+    }
+    // A few adversarial prefixes of a valid ELF.
+    let mut b = ElfBuilder::new();
+    b.add_text_section(vec![0x90; 256]);
+    let valid = b.build();
+    for len in [0, 1, 4, 16, 52, 64, valid.len() / 2, valid.len() - 1] {
+        let _ = ElfFile::parse(&valid[..len]);
     }
 }

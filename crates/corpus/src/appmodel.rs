@@ -32,18 +32,74 @@ const STRING_CHANGE_FRACTION: f64 = 0.25;
 
 /// Word pools used to compose plausible identifiers and message strings.
 const VERBS: &[&str] = &[
-    "compute", "solve", "init", "update", "assemble", "reduce", "exchange", "partition",
-    "integrate", "parse", "write", "read", "validate", "balance", "scatter", "gather",
-    "transform", "project", "filter", "normalize", "decompose", "refine", "sample", "estimate",
+    "compute",
+    "solve",
+    "init",
+    "update",
+    "assemble",
+    "reduce",
+    "exchange",
+    "partition",
+    "integrate",
+    "parse",
+    "write",
+    "read",
+    "validate",
+    "balance",
+    "scatter",
+    "gather",
+    "transform",
+    "project",
+    "filter",
+    "normalize",
+    "decompose",
+    "refine",
+    "sample",
+    "estimate",
 ];
 const NOUNS: &[&str] = &[
-    "matrix", "mesh", "particle", "sequence", "kmer", "graph", "field", "domain", "boundary",
-    "tensor", "buffer", "index", "alignment", "contig", "genome", "residue", "cluster", "grid",
-    "solver", "state", "config", "potential", "trajectory", "histogram", "kernel", "queue",
+    "matrix",
+    "mesh",
+    "particle",
+    "sequence",
+    "kmer",
+    "graph",
+    "field",
+    "domain",
+    "boundary",
+    "tensor",
+    "buffer",
+    "index",
+    "alignment",
+    "contig",
+    "genome",
+    "residue",
+    "cluster",
+    "grid",
+    "solver",
+    "state",
+    "config",
+    "potential",
+    "trajectory",
+    "histogram",
+    "kernel",
+    "queue",
 ];
 const QUALIFIERS: &[&str] = &[
-    "local", "global", "sparse", "dense", "parallel", "fast", "adaptive", "hybrid", "implicit",
-    "explicit", "blocked", "packed", "cached", "distributed",
+    "local",
+    "global",
+    "sparse",
+    "dense",
+    "parallel",
+    "fast",
+    "adaptive",
+    "hybrid",
+    "implicit",
+    "explicit",
+    "blocked",
+    "packed",
+    "cached",
+    "distributed",
 ];
 const MESSAGE_TEMPLATES: &[&str] = &[
     "Usage: %s [options] <input>",
@@ -113,7 +169,11 @@ impl AppModel {
                 VERBS[rng.gen_range(0..VERBS.len())],
                 NOUNS[rng.gen_range(0..NOUNS.len())],
             );
-            let name = if used.contains(&name) { format!("{name}{}", rng.gen_range(2..99)) } else { name };
+            let name = if used.contains(&name) {
+                format!("{name}{}", rng.gen_range(2..99))
+            } else {
+                name
+            };
             if used.insert(name.clone()) {
                 core_functions.push(name);
             }
@@ -217,8 +277,8 @@ impl AppModel {
 
         // Symbol renames and additions.
         let mut functions = self.core_functions.clone();
-        let n_renamed =
-            (((n as f64) * SYMBOL_RENAME_FRACTION * drift).ceil() as usize).min(n.saturating_sub(n_changed));
+        let n_renamed = (((n as f64) * SYMBOL_RENAME_FRACTION * drift).ceil() as usize)
+            .min(n.saturating_sub(n_changed));
         for &idx in indices.iter().skip(n_changed).take(n_renamed) {
             functions[idx] = format!("{}_v{}", self.core_functions[idx], version_index + 2);
         }
@@ -236,8 +296,9 @@ impl AppModel {
         // String drift: the version banner always changes; a fraction of the
         // other strings are rewritten.
         let mut strings = self.core_strings.clone();
-        let n_str_changed =
-            (((strings.len() as f64) * STRING_CHANGE_FRACTION * drift).ceil() as usize).min(strings.len());
+        let n_str_changed = (((strings.len() as f64) * STRING_CHANGE_FRACTION * drift).ceil()
+            as usize)
+            .min(strings.len());
         for _ in 0..n_str_changed {
             let idx = rng.gen_range(0..strings.len());
             strings[idx] = format!(
@@ -263,8 +324,14 @@ impl AppModel {
 /// Short identifier prefix derived from a class name (`OpenMalaria` → `om`,
 /// `CD-HIT` → `cdhit`...).
 pub fn identifier_prefix(class_name: &str) -> String {
-    let alnum: String = class_name.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
-    let upper: String = class_name.chars().filter(|c| c.is_ascii_uppercase()).collect();
+    let alnum: String = class_name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    let upper: String = class_name
+        .chars()
+        .filter(|c| c.is_ascii_uppercase())
+        .collect();
     let base = if upper.len() >= 2 { upper } else { alnum };
     base.to_ascii_lowercase().chars().take(6).collect()
 }
@@ -340,9 +407,16 @@ mod tests {
         let v1 = m.version(1, "2.0-foss-2021a", "GCC: (GNU) 11.2.0", 1.0);
 
         // Most function names are shared between consecutive versions.
-        let shared = v0.functions.iter().filter(|f| v1.functions.contains(f)).count();
+        let shared = v0
+            .functions
+            .iter()
+            .filter(|f| v1.functions.contains(f))
+            .count();
         let ratio = shared as f64 / v0.functions.len() as f64;
-        assert!(ratio > 0.85, "versions should share most symbols, got {ratio}");
+        assert!(
+            ratio > 0.85,
+            "versions should share most symbols, got {ratio}"
+        );
 
         // Some code changed, but only a small fraction.
         assert!(!v1.changed_code.is_empty());

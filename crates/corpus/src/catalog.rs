@@ -10,10 +10,8 @@
 //! `versions x executables` grid (at least 3 versions per class, as required
 //! by the paper's collection rule).
 
-use serde::{Deserialize, Serialize};
-
 /// Specification of one application class before any binaries are built.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassSpec {
     /// Class name (the root folder name in the paper's directory layout).
     pub name: String,
@@ -32,7 +30,7 @@ impl ClassSpec {
 }
 
 /// The full catalog of application classes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Catalog {
     classes: Vec<ClassSpec>,
 }
@@ -192,7 +190,13 @@ fn decompose(name: &str, total: usize) -> (usize, Vec<String>) {
 pub fn executable_base_name(class_name: &str) -> String {
     class_name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -203,7 +207,11 @@ impl Catalog {
             .iter()
             .map(|&(name, total)| {
                 let (n_versions, executables) = decompose(name, total);
-                ClassSpec { name: name.to_string(), n_versions, executables }
+                ClassSpec {
+                    name: name.to_string(),
+                    n_versions,
+                    executables,
+                }
             })
             .collect();
         Self { classes }
@@ -226,7 +234,11 @@ impl Catalog {
             .map(|c| {
                 let target = ((c.sample_count() as f64) * factor).round().max(3.0) as usize;
                 let (n_versions, executables) = decompose(&c.name, target);
-                ClassSpec { name: c.name.clone(), n_versions, executables }
+                ClassSpec {
+                    name: c.name.clone(),
+                    n_versions,
+                    executables,
+                }
             })
             .collect();
         Self { classes }
@@ -279,7 +291,12 @@ mod tests {
     #[test]
     fn every_class_has_at_least_3_samples_and_versions() {
         for class in Catalog::paper().classes() {
-            assert!(class.n_versions >= 3, "{} has {} versions", class.name, class.n_versions);
+            assert!(
+                class.n_versions >= 3,
+                "{} has {} versions",
+                class.name,
+                class.n_versions
+            );
             assert!(class.sample_count() >= 3);
             assert!(!class.executables.is_empty());
         }
@@ -320,7 +337,12 @@ mod tests {
             let mut names = class.executables.clone();
             names.sort();
             names.dedup();
-            assert_eq!(names.len(), class.executables.len(), "dup exes in {}", class.name);
+            assert_eq!(
+                names.len(),
+                class.executables.len(),
+                "dup exes in {}",
+                class.name
+            );
         }
     }
 
@@ -365,7 +387,10 @@ mod tests {
     #[test]
     fn unknown_split_classes_present_with_table3_sizes() {
         let cat = Catalog::paper();
-        assert_eq!(cat.class_by_name("Schrodinger").unwrap().sample_count(), 195 + 5); // rounded up by decompose grid
+        assert_eq!(
+            cat.class_by_name("Schrodinger").unwrap().sample_count(),
+            195 + 5
+        ); // rounded up by decompose grid
         assert!(cat.class_by_name("CHARMM").unwrap().sample_count() >= 3);
         assert!(cat.class_by_name("OpenMalaria").unwrap().sample_count() >= 25);
     }

@@ -3,13 +3,15 @@
 //! The manifest records, for every sample, its class, version, executable
 //! name, install path, and generated file size — everything the evaluation
 //! needs except the bytes themselves. It can be written as JSON (for tools)
-//! or TSV (for quick inspection / spreadsheets).
+//! or TSV (for quick inspection / spreadsheets). The JSON codec is
+//! hand-rolled because the build environment has no crates.io access; it
+//! emits standard JSON and parses back exactly the shape it writes.
 
 use crate::builder::Corpus;
-use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One manifest row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestEntry {
     /// Sample index within the corpus.
     pub sample_index: usize,
@@ -26,7 +28,7 @@ pub struct ManifestEntry {
 }
 
 /// A corpus manifest.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// Root seed the corpus was generated from.
     pub seed_note: String,
@@ -35,6 +37,21 @@ pub struct Manifest {
     /// All entries, in sample order.
     pub entries: Vec<ManifestEntry>,
 }
+
+/// Error produced when parsing a manifest from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestParseError {
+    /// What went wrong, with an offset where applicable.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid manifest JSON: {}", self.message)
+    }
+}
+
+impl std::error::Error for ManifestParseError {}
 
 impl Manifest {
     /// Build the manifest for `corpus`, generating each sample once to
@@ -64,12 +81,53 @@ impl Manifest {
 
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"seed_note\": {},\n",
+            json_string(&self.seed_note)
+        ));
+        out.push_str(&format!("  \"n_classes\": {},\n", self.n_classes));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"sample_index\": {}, \"class_name\": {}, \"version_name\": {}, \
+                 \"executable_name\": {}, \"install_path\": {}, \"file_size\": {}}}{sep}\n",
+                e.sample_index,
+                json_string(&e.class_name),
+                json_string(&e.version_name),
+                json_string(&e.executable_name),
+                json_string(&e.install_path),
+                e.file_size,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Parse back from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, ManifestParseError> {
+        let mut p = JsonParser::new(json);
+        let value = p.parse_value()?;
+        p.expect_end()?;
+        let obj = value.as_object("manifest")?;
+        let mut manifest = Manifest {
+            seed_note: obj.get_string("seed_note")?,
+            n_classes: obj.get_number("n_classes")?,
+            entries: Vec::new(),
+        };
+        for (i, item) in obj.get_array("entries")?.iter().enumerate() {
+            let e = item.as_object(&format!("entries[{i}]"))?;
+            manifest.entries.push(ManifestEntry {
+                sample_index: e.get_number("sample_index")?,
+                class_name: e.get_string("class_name")?,
+                version_name: e.get_string("version_name")?,
+                executable_name: e.get_string("executable_name")?,
+                install_path: e.get_string("install_path")?,
+                file_size: e.get_number("file_size")?,
+            });
+        }
+        Ok(manifest)
     }
 
     /// Serialize as a TSV table (header + one line per entry).
@@ -78,7 +136,12 @@ impl Manifest {
         for e in &self.entries {
             out.push_str(&format!(
                 "{}\t{}\t{}\t{}\t{}\t{}\n",
-                e.sample_index, e.class_name, e.version_name, e.executable_name, e.install_path, e.file_size
+                e.sample_index,
+                e.class_name,
+                e.version_name,
+                e.executable_name,
+                e.install_path,
+                e.file_size
             ));
         }
         out
@@ -95,6 +158,276 @@ impl Manifest {
     }
 }
 
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value (only the shapes the manifest uses).
+enum JsonValue {
+    String(String),
+    Number(u64),
+    Array(Vec<JsonValue>),
+    Object(JsonObject),
+}
+
+struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonValue {
+    fn as_object(&self, what: &str) -> Result<&JsonObject, ManifestParseError> {
+        match self {
+            JsonValue::Object(o) => Ok(o),
+            _ => Err(err(format!("{what} is not an object"))),
+        }
+    }
+}
+
+impl JsonObject {
+    fn get(&self, key: &str) -> Result<&JsonValue, ManifestParseError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| err(format!("missing field {key:?}")))
+    }
+
+    fn get_string(&self, key: &str) -> Result<String, ManifestParseError> {
+        match self.get(key)? {
+            JsonValue::String(s) => Ok(s.clone()),
+            _ => Err(err(format!("field {key:?} is not a string"))),
+        }
+    }
+
+    fn get_number(&self, key: &str) -> Result<usize, ManifestParseError> {
+        match self.get(key)? {
+            JsonValue::Number(n) => Ok(*n as usize),
+            _ => Err(err(format!("field {key:?} is not a number"))),
+        }
+    }
+
+    fn get_array(&self, key: &str) -> Result<&[JsonValue], ManifestParseError> {
+        match self.get(key)? {
+            JsonValue::Array(a) => Ok(a),
+            _ => Err(err(format!("field {key:?} is not an array"))),
+        }
+    }
+}
+
+fn err(message: String) -> ManifestParseError {
+    ManifestParseError { message }
+}
+
+/// Minimal recursive-descent JSON parser (strings, unsigned integers,
+/// arrays, objects — the subset `to_json` emits).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, ManifestParseError> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| err(format!("unexpected end of input at offset {}", self.pos)))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ManifestParseError> {
+        let got = self.peek()?;
+        if got != byte {
+            return Err(err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                byte as char, self.pos, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn expect_end(&mut self) -> Result<(), ManifestParseError> {
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(err(format!("trailing data at offset {}", self.pos)));
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, ManifestParseError> {
+        match self.peek()? {
+            b'"' => Ok(JsonValue::String(self.parse_string()?)),
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'0'..=b'9' => self.parse_number(),
+            other => Err(err(format!(
+                "unexpected character {:?} at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ManifestParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(err("unterminated string".to_string()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(err("unterminated escape".to_string()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| err("truncated \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err(format!("invalid \\u escape {hex:?}")))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| err(format!("invalid code point {code:#x}")))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(err(format!("unknown escape \\{}", other as char))),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| err("invalid UTF-8 in string".to_string()))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, ManifestParseError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
+        text.parse::<u64>()
+            .map(JsonValue::Number)
+            .map_err(|_| err(format!("invalid number {text:?} at offset {start}")))
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, ManifestParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(err(format!(
+                        "expected ',' or ']' at offset {}, found {:?}",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, ManifestParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(JsonObject { fields }));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(JsonObject { fields }));
+                }
+                other => {
+                    return Err(err(format!(
+                        "expected ',' or '}}' at offset {}, found {:?}",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,7 +441,11 @@ mod tests {
                 n_versions: 3,
                 executables: vec!["velveth".into(), "velvetg".into()],
             },
-            ClassSpec { name: "OpenMalaria".into(), n_versions: 3, executables: vec!["openmalaria".into()] },
+            ClassSpec {
+                name: "OpenMalaria".into(),
+                n_versions: 3,
+                executables: vec!["openmalaria".into()],
+            },
         ]);
         CorpusBuilder::new(1).build(&catalog)
     }
@@ -144,5 +481,30 @@ mod tests {
     #[test]
     fn invalid_json_rejected() {
         assert!(Manifest::from_json("{not json").is_err());
+        assert!(Manifest::from_json("").is_err());
+        assert!(Manifest::from_json("{\"seed_note\": \"x\"}").is_err());
+        assert!(Manifest::from_json(
+            "{\"seed_note\": \"x\", \"n_classes\": 0, \"entries\": []} trailing"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn string_escaping_roundtrips() {
+        let mut manifest = Manifest {
+            seed_note: "quote \" backslash \\ newline \n tab \t unicode µ".to_string(),
+            n_classes: 1,
+            entries: vec![],
+        };
+        manifest.entries.push(ManifestEntry {
+            sample_index: 0,
+            class_name: "Weird\"Class\\Name".to_string(),
+            version_name: "1.0".to_string(),
+            executable_name: "x".to_string(),
+            install_path: "Weird\"Class\\Name/1.0/x".to_string(),
+            file_size: 10,
+        });
+        let parsed = Manifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
     }
 }

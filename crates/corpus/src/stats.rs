@@ -25,8 +25,14 @@ pub fn class_stats(corpus: &Corpus) -> Vec<ClassStat> {
     let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
     for s in corpus.samples() {
         *counts.entry(s.class_index).or_default() += 1;
-        versions.entry(s.class_index).or_default().insert(s.version_index);
-        executables.entry(s.class_index).or_default().insert(s.executable_name.clone());
+        versions
+            .entry(s.class_index)
+            .or_default()
+            .insert(s.version_index);
+        executables
+            .entry(s.class_index)
+            .or_default()
+            .insert(s.executable_name.clone());
     }
     let mut stats: Vec<ClassStat> = counts
         .iter()
@@ -46,7 +52,11 @@ pub fn class_stats(corpus: &Corpus) -> Vec<ClassStat> {
 pub fn version_table(corpus: &Corpus, class_name: &str) -> Option<String> {
     let class_index = corpus.class_names().iter().position(|n| n == class_name)?;
     let mut by_version: BTreeMap<usize, (String, Vec<String>)> = BTreeMap::new();
-    for s in corpus.samples().iter().filter(|s| s.class_index == class_index) {
+    for s in corpus
+        .samples()
+        .iter()
+        .filter(|s| s.class_index == class_index)
+    {
         by_version
             .entry(s.version_index)
             .or_insert_with(|| (s.version_name.clone(), Vec::new()))
@@ -65,8 +75,20 @@ pub fn version_table(corpus: &Corpus, class_name: &str) -> Option<String> {
 /// count with their counts (the paper plots this on a log scale).
 pub fn sample_distribution_table(corpus: &Corpus) -> String {
     let stats = class_stats(corpus);
-    let mut table = TextTable::new(vec!["Rank", "Application Class", "Samples", "Versions", "Executables"])
-        .with_alignment(vec![Align::Right, Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = TextTable::new(vec![
+        "Rank",
+        "Application Class",
+        "Samples",
+        "Versions",
+        "Executables",
+    ])
+    .with_alignment(vec![
+        Align::Right,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for (rank, s) in stats.iter().enumerate() {
         table.add_row(vec![
             (rank + 1).to_string(),
@@ -105,7 +127,11 @@ pub fn summarize(corpus: &Corpus) -> CorpusSummary {
         n_samples: corpus.n_samples(),
         max_class_size: max,
         min_class_size: min,
-        imbalance_ratio: if min == 0 { 0.0 } else { max as f64 / min as f64 },
+        imbalance_ratio: if min == 0 {
+            0.0
+        } else {
+            max as f64 / min as f64
+        },
     }
 }
 

@@ -49,7 +49,10 @@ pub fn run_ablation(
 ) -> Result<Vec<AblationResult>, FhcError> {
     let mut results = Vec::new();
     for (name, kinds) in ablation_configurations() {
-        let config = PipelineConfig { feature_kinds: kinds.clone(), ..base_config.clone() };
+        let config = PipelineConfig {
+            feature_kinds: kinds.clone(),
+            ..base_config.clone()
+        };
         let outcome = FuzzyHashClassifier::new(config).run_with_features(corpus, features)?;
         results.push(AblationResult {
             name,
@@ -71,7 +74,9 @@ mod tests {
         let configs = ablation_configurations();
         assert_eq!(configs.len(), 7);
         assert_eq!(configs[0].1.len(), 3);
-        assert!(configs.iter().any(|(n, k)| n == "symbols-only" && k == &[FeatureKind::Symbols]));
+        assert!(configs
+            .iter()
+            .any(|(n, k)| n == "symbols-only" && k == &[FeatureKind::Symbols]));
         assert!(configs
             .iter()
             .any(|(n, k)| n == "drop-symbols" && !k.contains(&FeatureKind::Symbols)));

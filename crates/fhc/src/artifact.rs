@@ -1,0 +1,372 @@
+//! Versioned on-disk artifacts for trained classifiers.
+//!
+//! Training is the expensive part of the pipeline (grid search, threshold
+//! tuning, forest growing); serving is cheap. Persisting a
+//! [`TrainedClassifier`] lets one process train and many processes classify.
+//! The format is a hand-rolled binary encoding (`hpcutil::codec`) because
+//! the build environment has no serialization crates:
+//!
+//! ```text
+//! u64  magic          "FHCLSART" as little-endian bytes
+//! u32  format version (currently 1)
+//! u32+bytes  payload  (length-prefixed)
+//! u64  FNV-1a checksum of the payload
+//! ```
+//!
+//! The payload holds the root seed, the confidence threshold, the active
+//! feature kinds, the reference hash set (class names + training-sample
+//! fuzzy hashes), the forest parameters, every tree of the forest, and the
+//! threshold-tuning curve. Decoding validates the magic, version, checksum,
+//! and every length/index, so corrupt or truncated artifacts produce a
+//! clean [`FhcError::Artifact`] instead of a panic — and a future format
+//! bump can keep loading version-1 files.
+
+use crate::error::FhcError;
+use crate::features::{FeatureKind, SampleFeatures};
+use crate::serving::TrainedClassifier;
+use crate::similarity::ReferenceSet;
+use crate::threshold::ThresholdPoint;
+use hpcutil::codec::fnv1a64;
+use hpcutil::{ByteReader, ByteWriter, CodecError};
+use mlcore::forest::{RandomForest, RandomForestParams};
+use ssdeep::FuzzyHash;
+use std::path::Path;
+
+/// `"FHCLSART"` interpreted as a little-endian `u64`.
+const MAGIC: u64 = u64::from_le_bytes(*b"FHCLSART");
+
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+fn encode_kind(kind: FeatureKind) -> u8 {
+    match kind {
+        FeatureKind::File => 0,
+        FeatureKind::Strings => 1,
+        FeatureKind::Symbols => 2,
+    }
+}
+
+fn decode_kind(tag: u8) -> Result<FeatureKind, CodecError> {
+    match tag {
+        0 => Ok(FeatureKind::File),
+        1 => Ok(FeatureKind::Strings),
+        2 => Ok(FeatureKind::Symbols),
+        other => Err(CodecError::new(format!("unknown feature kind tag {other}"))),
+    }
+}
+
+fn encode_hash(w: &mut ByteWriter, hash: &FuzzyHash) {
+    w.put_str(&hash.to_string());
+}
+
+fn decode_hash(r: &mut ByteReader<'_>) -> Result<FuzzyHash, CodecError> {
+    let text = r.get_str()?;
+    text.parse()
+        .map_err(|e| CodecError::new(format!("invalid fuzzy hash {text:?}: {e}")))
+}
+
+fn encode_features(w: &mut ByteWriter, features: &SampleFeatures) {
+    encode_hash(w, &features.file);
+    encode_hash(w, &features.strings);
+    match &features.symbols {
+        None => w.put_bool(false),
+        Some(hash) => {
+            w.put_bool(true);
+            encode_hash(w, hash);
+        }
+    }
+}
+
+fn decode_features(r: &mut ByteReader<'_>) -> Result<SampleFeatures, CodecError> {
+    let file = decode_hash(r)?;
+    let strings = decode_hash(r)?;
+    let symbols = if r.get_bool()? {
+        Some(decode_hash(r)?)
+    } else {
+        None
+    };
+    Ok(SampleFeatures {
+        file,
+        strings,
+        symbols,
+    })
+}
+
+fn encode_payload(classifier: &TrainedClassifier) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(classifier.seed);
+    w.put_f64(classifier.confidence_threshold);
+
+    let kinds = classifier.reference.kinds();
+    w.put_usize(kinds.len());
+    for &kind in kinds {
+        w.put_u8(encode_kind(kind));
+    }
+
+    let reference = &classifier.reference;
+    w.put_usize(reference.n_classes());
+    for class in 0..reference.n_classes() {
+        w.put_str(&reference.class_names()[class]);
+        let samples = reference.class_features(class);
+        w.put_usize(samples.len());
+        for features in samples {
+            encode_features(&mut w, features);
+        }
+    }
+
+    classifier.forest_params.encode(&mut w);
+    classifier.forest.encode(&mut w);
+
+    w.put_usize(classifier.threshold_curve.len());
+    for point in &classifier.threshold_curve {
+        w.put_f64(point.threshold);
+        w.put_f64(point.micro_f1);
+        w.put_f64(point.macro_f1);
+        w.put_f64(point.weighted_f1);
+    }
+    w.into_bytes()
+}
+
+fn decode_payload(payload: &[u8]) -> Result<TrainedClassifier, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let seed = r.get_u64()?;
+    let confidence_threshold = r.get_f64()?;
+
+    let n_kinds = r.get_usize()?;
+    if n_kinds == 0 || n_kinds > FeatureKind::ALL.len() {
+        return Err(CodecError::new(format!(
+            "invalid feature kind count {n_kinds}"
+        )));
+    }
+    let mut kinds = Vec::with_capacity(n_kinds);
+    for _ in 0..n_kinds {
+        kinds.push(decode_kind(r.get_u8()?)?);
+    }
+
+    let n_classes = r.get_usize()?;
+    if n_classes == 0 {
+        return Err(CodecError::new("artifact has no known classes"));
+    }
+    let mut class_names = Vec::with_capacity(n_classes);
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..n_classes {
+        class_names.push(r.get_str()?);
+        let n_samples = r.get_usize()?;
+        if n_samples == 0 {
+            return Err(CodecError::new(format!(
+                "class {class} has no reference samples"
+            )));
+        }
+        for _ in 0..n_samples {
+            features.push(decode_features(&mut r)?);
+            labels.push(class);
+        }
+    }
+    let reference = ReferenceSet::new(class_names, &features, &labels, &kinds);
+
+    let forest_params = RandomForestParams::decode(&mut r)?;
+    let forest = RandomForest::decode(&mut r)?;
+    if forest.n_classes() != reference.n_classes() {
+        return Err(CodecError::new(format!(
+            "forest has {} classes but the reference set has {}",
+            forest.n_classes(),
+            reference.n_classes()
+        )));
+    }
+    if forest.n_features() != reference.n_columns() {
+        return Err(CodecError::new(format!(
+            "forest expects {} features but the reference set produces {}",
+            forest.n_features(),
+            reference.n_columns()
+        )));
+    }
+
+    let n_points = r.get_usize()?;
+    let mut threshold_curve = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        threshold_curve.push(ThresholdPoint {
+            threshold: r.get_f64()?,
+            micro_f1: r.get_f64()?,
+            macro_f1: r.get_f64()?,
+            weighted_f1: r.get_f64()?,
+        });
+    }
+    r.expect_end()?;
+
+    Ok(TrainedClassifier {
+        reference,
+        forest,
+        forest_params,
+        confidence_threshold,
+        threshold_curve,
+        seed,
+    })
+}
+
+impl TrainedClassifier {
+    /// Encode the classifier into the versioned artifact format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = encode_payload(self);
+        let mut w = ByteWriter::new();
+        w.put_u64(MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_bytes(&payload);
+        w.put_u64(fnv1a64(&payload));
+        w.into_bytes()
+    }
+
+    /// Decode a classifier from artifact bytes, validating magic, version,
+    /// checksum, and internal consistency.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FhcError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u64().map_err(codec_err)?;
+        if magic != MAGIC {
+            return Err(FhcError::Artifact(format!(
+                "bad magic {magic:#018x}: not a trained-classifier artifact"
+            )));
+        }
+        let version = r.get_u32().map_err(codec_err)?;
+        if version != FORMAT_VERSION {
+            return Err(FhcError::Artifact(format!(
+                "unsupported artifact format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let payload = r.get_bytes().map_err(codec_err)?;
+        let checksum = r.get_u64().map_err(codec_err)?;
+        r.expect_end().map_err(codec_err)?;
+        let actual = fnv1a64(&payload);
+        if checksum != actual {
+            return Err(FhcError::Artifact(format!(
+                "checksum mismatch (stored {checksum:#018x}, computed {actual:#018x}): artifact is corrupt"
+            )));
+        }
+        decode_payload(&payload).map_err(codec_err)
+    }
+
+    /// Save the classifier to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FhcError> {
+        std::fs::write(path, self.to_bytes()).map_err(FhcError::Io)
+    }
+
+    /// Load a classifier previously written with [`TrainedClassifier::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FhcError> {
+        let bytes = std::fs::read(path).map_err(FhcError::Io)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn codec_err(e: CodecError) -> FhcError {
+    FhcError::Artifact(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FuzzyHashClassifier, PipelineConfig};
+    use corpus::{Catalog, CorpusBuilder};
+
+    fn trained() -> (corpus::Corpus, TrainedClassifier) {
+        let corpus = CorpusBuilder::new(8).build(&Catalog::paper().scaled(0.02));
+        let config = PipelineConfig {
+            seed: 8,
+            forest: mlcore::forest::RandomForestParams {
+                n_estimators: 15,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let classifier = FuzzyHashClassifier::new(config)
+            .fit(&corpus)
+            .expect("fit succeeds");
+        (corpus, classifier)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let (corpus, original) = trained();
+        let bytes = original.to_bytes();
+        let restored = TrainedClassifier::from_bytes(&bytes).expect("roundtrip decodes");
+
+        assert_eq!(restored.seed(), original.seed());
+        assert_eq!(
+            restored.confidence_threshold(),
+            original.confidence_threshold()
+        );
+        assert_eq!(restored.known_class_names(), original.known_class_names());
+        assert_eq!(restored.feature_kinds(), original.feature_kinds());
+        assert_eq!(restored.forest_params(), original.forest_params());
+        assert_eq!(restored.threshold_curve(), original.threshold_curve());
+        assert_eq!(
+            restored.forest().feature_importances(),
+            original.forest().feature_importances()
+        );
+
+        for spec in corpus.samples().iter().step_by(23) {
+            let bytes = corpus.generate_bytes(spec);
+            assert_eq!(restored.classify(&bytes), original.classify(&bytes));
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_cleanly() {
+        let (_, original) = trained();
+        let good = original.to_bytes();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            TrainedClassifier::from_bytes(&bad),
+            Err(FhcError::Artifact(_))
+        ));
+
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[8] = 0xEE;
+        assert!(matches!(
+            TrainedClassifier::from_bytes(&bad),
+            Err(FhcError::Artifact(_))
+        ));
+
+        // Payload corruption must trip the checksum.
+        let mut bad = good.clone();
+        let mid = good.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(matches!(
+            TrainedClassifier::from_bytes(&bad),
+            Err(FhcError::Artifact(_))
+        ));
+
+        // Truncations at every region boundary fail cleanly.
+        for cut in [0, 4, 8, 12, 40, good.len() / 2, good.len() - 1] {
+            assert!(
+                TrainedClassifier::from_bytes(&good[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let (corpus, original) = trained();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fhc-artifact-test-{}.fhc", std::process::id()));
+        original.save(&path).expect("save succeeds");
+        let restored = TrainedClassifier::load(&path).expect("load succeeds");
+        std::fs::remove_file(&path).ok();
+
+        let spec = &corpus.samples()[1];
+        let sample = corpus.generate_bytes(spec);
+        assert_eq!(restored.classify(&sample), original.classify(&sample));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let missing = std::env::temp_dir().join("fhc-definitely-missing-artifact.fhc");
+        assert!(matches!(
+            TrainedClassifier::load(&missing),
+            Err(FhcError::Io(_))
+        ));
+    }
+}

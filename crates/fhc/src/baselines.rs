@@ -7,7 +7,9 @@
 //!   essentially everything unknown.
 //! * k-nearest-neighbours and Gaussian naive Bayes on the same similarity
 //!   feature matrix — the alternative models the paper defers to future work
-//!   (Section 6).
+//!   (Section 6). Both are driven through `mlcore`'s polymorphic
+//!   [`Model`] trait, so adding another comparison model is one line in
+//!   [`run_baselines`], not a new hand-rolled call site.
 
 use crate::error::FhcError;
 use crate::features::SampleFeatures;
@@ -18,9 +20,10 @@ use crate::threshold::{apply_threshold, known_to_eval, UNKNOWN_LABEL};
 use corpus::Corpus;
 use hpcutil::SeedSequence;
 use mlcore::dataset::Dataset;
-use mlcore::knn::{KNearestNeighbors, Metric};
+use mlcore::knn::{KNearestNeighbors, KnnParams};
 use mlcore::metrics::{f1_score, Average};
-use mlcore::naive_bayes::GaussianNaiveBayes;
+use mlcore::model::Model;
+use mlcore::naive_bayes::{GaussianNaiveBayes, GaussianNbParams};
 use std::collections::HashMap;
 
 pub mod sha256;
@@ -162,20 +165,41 @@ pub fn run_baselines(
         .collect();
     results.push(score("exact-sha256", &y_exact));
 
-    // --- k-nearest neighbours ------------------------------------------------
-    let knn = KNearestNeighbors::fit(&train_ds, 5, Metric::Euclidean)?;
-    let y_knn: Vec<usize> = x_test
-        .iter()
-        .map(|row| apply_threshold(&knn.predict_proba(row), threshold))
-        .collect();
+    // --- Probabilistic models through the polymorphic Model trait -----------
+    // Fit, predict probabilities, and confidence-threshold each model via
+    // one generic path; every model sees the same features and threshold.
+    fn model_predictions<M: Model>(
+        train_ds: &Dataset,
+        params: &M::Params,
+        seed: u64,
+        x_test: &[Vec<f64>],
+        threshold: f64,
+    ) -> Result<Vec<usize>, FhcError> {
+        let model = M::fit(train_ds, params, seed)?;
+        let probas = model.predict_proba_batch(x_test);
+        Ok(probas
+            .iter()
+            .map(|p| apply_threshold(p, threshold))
+            .collect())
+    }
+
+    let model_seed = seeds.derive("baseline-models");
+    let y_knn = model_predictions::<KNearestNeighbors>(
+        &train_ds,
+        &KnnParams::default(),
+        model_seed,
+        &x_test,
+        threshold,
+    )?;
     results.push(score("knn-5", &y_knn));
 
-    // --- Gaussian naive Bayes ---------------------------------------------------
-    let nb = GaussianNaiveBayes::fit(&train_ds)?;
-    let y_nb: Vec<usize> = x_test
-        .iter()
-        .map(|row| apply_threshold(&nb.predict_proba(row), threshold))
-        .collect();
+    let y_nb = model_predictions::<GaussianNaiveBayes>(
+        &train_ds,
+        &GaussianNbParams,
+        model_seed,
+        &x_test,
+        threshold,
+    )?;
     results.push(score("gaussian-nb", &y_nb));
 
     Ok(results)
@@ -187,7 +211,10 @@ mod tests {
 
     #[test]
     fn exact_hash_matches_only_identical_bytes() {
-        let training = vec![(b"file one contents".to_vec(), 0), (b"file two contents".to_vec(), 1)];
+        let training = vec![
+            (b"file one contents".to_vec(), 0),
+            (b"file two contents".to_vec(), 1),
+        ];
         let baseline = ExactHashBaseline::fit(&training);
         assert_eq!(baseline.len(), 2);
         assert!(!baseline.is_empty());

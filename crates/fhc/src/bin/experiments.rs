@@ -29,7 +29,13 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { scale: 0.25, seed: 42, trees: 80, grid: false, only: None };
+    let mut args = Args {
+        scale: 0.25,
+        seed: 42,
+        trees: 80,
+        grid: false,
+        only: None,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -57,8 +63,10 @@ fn parse_args() -> Result<Args, String> {
             "--grid" => args.grid = true,
             "--only" => args.only = Some(iter.next().ok_or("--only needs a value")?),
             "--help" | "-h" => {
-                return Err("usage: experiments [--scale F] [--seed N] [--trees N] [--grid] [--only NAME]"
-                    .to_string())
+                return Err(
+                    "usage: experiments [--scale F] [--seed N] [--trees N] [--grid] [--only NAME]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -100,11 +108,17 @@ fn main() -> ExitCode {
 
     // Static corpus experiments first: they need no training.
     if wants(&args.only, "table1") {
-        println!("{}", heading("Table 1: Versions and Executables for the Velvet Application"));
+        println!(
+            "{}",
+            heading("Table 1: Versions and Executables for the Velvet Application")
+        );
         println!("{}", exp::table1_velvet_versions(&corpus));
     }
     if wants(&args.only, "figure2") {
-        println!("{}", heading("Figure 2: Number of samples per application class"));
+        println!(
+            "{}",
+            heading("Figure 2: Number of samples per application class")
+        );
         println!("{}", exp::figure2_sample_distribution(&corpus));
     }
 
@@ -129,7 +143,10 @@ fn main() -> ExitCode {
 
     if wants(&args.only, "table2") {
         println!("{}", heading("Table 2: Hash Similarity Example"));
-        println!("{}", exp::table2_hash_similarity_example(&corpus, &features, "OpenMalaria"));
+        println!(
+            "{}",
+            exp::table2_hash_similarity_example(&corpus, &features, "OpenMalaria")
+        );
     }
 
     timer.start("pipeline (split, grid search, threshold tuning, training, prediction)");
@@ -157,13 +174,19 @@ fn main() -> ExitCode {
         println!("{}", exp::table5_feature_importance(&outcome));
     }
     if wants(&args.only, "figure3") {
-        println!("{}", heading("Figure 3: f1-score over confidence threshold (training-set grid search)"));
+        println!(
+            "{}",
+            heading("Figure 3: f1-score over confidence threshold (training-set grid search)")
+        );
         println!("{}", exp::figure3_threshold_curve(&outcome));
     }
 
     if wants(&args.only, "baselines") {
         timer.start("baselines");
-        println!("{}", heading("Baselines: exact SHA-256 match, k-NN, Gaussian naive Bayes"));
+        println!(
+            "{}",
+            heading("Baselines: exact SHA-256 match, k-NN, Gaussian naive Bayes")
+        );
         match run_baselines(&corpus, &features, &config, outcome.confidence_threshold) {
             Ok(results) => println!("{}", exp::baseline_table(&results, &outcome)),
             Err(e) => eprintln!("baselines failed: {e}"),

@@ -13,6 +13,11 @@ pub enum FhcError {
     Binary(binary::BinaryError),
     /// Configuration problem (e.g. empty threshold grid).
     InvalidConfig(&'static str),
+    /// A trained-classifier artifact could not be decoded (bad magic,
+    /// unsupported version, checksum mismatch, malformed payload).
+    Artifact(String),
+    /// Reading or writing a trained-classifier artifact failed.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for FhcError {
@@ -22,6 +27,8 @@ impl fmt::Display for FhcError {
             FhcError::Ml(e) => write!(f, "machine-learning error: {e}"),
             FhcError::Binary(e) => write!(f, "binary analysis error: {e}"),
             FhcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FhcError::Artifact(msg) => write!(f, "invalid classifier artifact: {msg}"),
+            FhcError::Io(e) => write!(f, "artifact I/O error: {e}"),
         }
     }
 }
@@ -31,8 +38,15 @@ impl std::error::Error for FhcError {
         match self {
             FhcError::Ml(e) => Some(e),
             FhcError::Binary(e) => Some(e),
+            FhcError::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<std::io::Error> for FhcError {
+    fn from(e: std::io::Error) -> Self {
+        FhcError::Io(e)
     }
 }
 
@@ -63,5 +77,10 @@ mod tests {
         assert!(e.to_string().contains("2 classes"));
         assert!(std::error::Error::source(&e).is_none());
         assert!(FhcError::InvalidConfig("x").to_string().contains('x'));
+        let e = FhcError::Artifact("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let e = FhcError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

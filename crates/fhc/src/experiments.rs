@@ -59,16 +59,18 @@ pub fn table2_hash_similarity_example(
         })?;
         Some((first, second))
     };
-    let Some((a, b)) = pick(preferred_class).or_else(|| {
-        corpus
-            .class_names()
-            .iter()
-            .find_map(|name| pick(name))
-    }) else {
+    let Some((a, b)) =
+        pick(preferred_class).or_else(|| corpus.class_names().iter().find_map(|name| pick(name)))
+    else {
         return "corpus has no class with two versions of the same executable".to_string();
     };
 
-    let mut table = TextTable::new(vec!["Class", "Version", "Fuzzy Hash of Symbols", "Similarity"]);
+    let mut table = TextTable::new(vec![
+        "Class",
+        "Version",
+        "Fuzzy Hash of Symbols",
+        "Similarity",
+    ]);
     let hash_a = features[a].get(FeatureKind::Symbols);
     let hash_b = features[b].get(FeatureKind::Symbols);
     let similarity = match (hash_a, hash_b) {
@@ -76,7 +78,8 @@ pub fn table2_hash_similarity_example(
         _ => "n/a (stripped)".to_string(),
     };
     let render_hash = |h: Option<&ssdeep::FuzzyHash>| {
-        h.map(|h| h.to_string()).unwrap_or_else(|| "(no symbol table)".to_string())
+        h.map(|h| h.to_string())
+            .unwrap_or_else(|| "(no symbol table)".to_string())
     };
     table.add_row(vec![
         samples[a].class_name.clone(),
@@ -130,7 +133,10 @@ pub fn table5_feature_importance(outcome: &PipelineOutcome) -> String {
     let mut table = TextTable::new(vec!["Features", "Importance"])
         .with_alignment(vec![Align::Left, Align::Right]);
     for fi in &outcome.feature_importance {
-        table.add_row(vec![fi.kind.paper_name().to_string(), format!("{:.4}", fi.importance)]);
+        table.add_row(vec![
+            fi.kind.paper_name().to_string(),
+            format!("{:.4}", fi.importance),
+        ]);
     }
     table.render()
 }
@@ -145,7 +151,13 @@ pub fn figure3_threshold_curve(outcome: &PipelineOutcome) -> String {
         "weighted f1",
         "selected",
     ])
-    .with_alignment(vec![Align::Right, Align::Right, Align::Right, Align::Right, Align::Left]);
+    .with_alignment(vec![
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
     for point in &outcome.threshold_curve {
         let selected = if (point.threshold - outcome.confidence_threshold).abs() < 1e-9 {
             "<== chosen"
@@ -185,8 +197,20 @@ pub fn headline_summary(outcome: &PipelineOutcome) -> String {
 
 /// Render the ablation study (E8).
 pub fn ablation_table(results: &[AblationResult]) -> String {
-    let mut table = TextTable::new(vec!["Configuration", "Features", "macro f1", "micro f1", "weighted f1"])
-        .with_alignment(vec![Align::Left, Align::Left, Align::Right, Align::Right, Align::Right]);
+    let mut table = TextTable::new(vec![
+        "Configuration",
+        "Features",
+        "macro f1",
+        "micro f1",
+        "weighted f1",
+    ])
+    .with_alignment(vec![
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for r in results {
         let kinds: Vec<&str> = r.kinds.iter().map(|k| k.paper_name()).collect();
         table.add_row(vec![
@@ -263,7 +287,10 @@ mod tests {
             .collect();
         let t = table2_hash_similarity_example(&corpus, &features, "OpenMalaria");
         assert!(t.contains("OpenMalaria"));
-        assert!(t.contains(':'), "fuzzy hashes have blocksize:sig1:sig2 form");
+        assert!(
+            t.contains(':'),
+            "fuzzy hashes have blocksize:sig1:sig2 form"
+        );
         // Header + separator + 2 rows.
         assert_eq!(t.lines().count(), 4);
     }

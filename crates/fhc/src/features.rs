@@ -17,14 +17,13 @@ use binary::elf::ElfFile;
 use binary::strings::strings_blob;
 use binary::symbols::symbols_blob;
 use hpcutil::{par_map, ParallelConfig};
-use serde::{Deserialize, Serialize};
 use ssdeep::{compare, fuzzy_hash_bytes, FuzzyHash};
 
 /// Minimum printable-run length for the strings view (`strings -n 4`).
 pub const STRINGS_MIN_LENGTH: usize = 4;
 
 /// The three fuzzy-hashed views of an executable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FeatureKind {
     /// Fuzzy hash of the raw file bytes.
     File,
@@ -36,7 +35,11 @@ pub enum FeatureKind {
 
 impl FeatureKind {
     /// All feature kinds, in the order the paper lists them.
-    pub const ALL: [FeatureKind; 3] = [FeatureKind::File, FeatureKind::Strings, FeatureKind::Symbols];
+    pub const ALL: [FeatureKind; 3] = [
+        FeatureKind::File,
+        FeatureKind::Strings,
+        FeatureKind::Symbols,
+    ];
 
     /// The paper's name for the feature (`ssdeep-file`, `ssdeep-strings`,
     /// `ssdeep-symbols`).
@@ -56,7 +59,7 @@ impl std::fmt::Display for FeatureKind {
 }
 
 /// The fuzzy hashes of one sample.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleFeatures {
     /// Fuzzy hash of the raw file content.
     pub file: FuzzyHash,
@@ -88,7 +91,11 @@ impl SampleFeatures {
             }
             Err(_) => None,
         };
-        Self { file, strings, symbols }
+        Self {
+            file,
+            strings,
+            symbols,
+        }
     }
 
     /// The hash for a given view, if present.
@@ -117,7 +124,9 @@ impl SampleFeatures {
 
 /// Extract features for a batch of byte buffers in parallel.
 pub fn extract_batch(samples: &[Vec<u8>]) -> Vec<SampleFeatures> {
-    par_map(samples, ParallelConfig::default(), |bytes| SampleFeatures::extract(bytes))
+    par_map(samples, ParallelConfig::default(), |bytes| {
+        SampleFeatures::extract(bytes)
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +136,9 @@ mod tests {
 
     fn sample_elf(tag: &str) -> Vec<u8> {
         let mut b = ElfBuilder::new();
-        let code: Vec<u8> = (0..20_000u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect();
+        let code: Vec<u8> = (0..20_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 23) as u8)
+            .collect();
         b.add_text_section(code);
         b.add_rodata_section(format!("{tag} usage message\0{tag} error string\0").into_bytes());
         for i in 0..40 {

@@ -21,18 +21,57 @@
 //!   known/unknown split, then a stratified 60/40 sample split).
 //! * [`threshold`] — confidence thresholding and the threshold sweep behind
 //!   the paper's Figure 3.
-//! * [`pipeline`] — the end-to-end classifier: feature extraction, grid
-//!   search, threshold tuning, final training, prediction, evaluation.
+//! * [`pipeline`] — the training half: feature extraction, grid search,
+//!   threshold tuning, final training ([`FuzzyHashClassifier::fit`]), plus
+//!   the fit + evaluate composition behind the paper's tables.
+//! * [`serving`] — the prediction half: [`TrainedClassifier`] owns the
+//!   reference hashes, tuned forest, and threshold, and classifies new
+//!   executables (singly or in parallel batches) without retraining.
+//! * [`artifact`] — versioned on-disk persistence for trained classifiers,
+//!   so training cost is amortized across processes.
 //! * [`experiments`] — one driver per table/figure of the paper.
 //! * [`ablation`] and [`baselines`] — feature ablations and the
-//!   cryptographic-hash / k-NN / naive-Bayes comparison models.
+//!   cryptographic-hash / k-NN / naive-Bayes comparison models (all driven
+//!   through `mlcore`'s polymorphic `Model` trait).
 //!
-//! # Quick start
+//! # Quick start: train once, classify forever
 //!
 //! ```no_run
 //! use corpus::{Catalog, CorpusBuilder};
 //! use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+//! use fhc::serving::TrainedClassifier;
 //!
+//! // Fit pays the training cost (split, grid search, threshold tuning,
+//! // forest) exactly once.
+//! let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.1));
+//! let trained = FuzzyHashClassifier::new(PipelineConfig::default())
+//!     .fit(&corpus)
+//!     .expect("training succeeds");
+//!
+//! // Classify new executables — no retraining, parallel over the batch.
+//! let batch: Vec<(String, Vec<u8>)> = corpus
+//!     .samples()
+//!     .iter()
+//!     .take(8)
+//!     .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+//!     .collect();
+//! for (name, prediction) in trained.classify_batch(&batch) {
+//!     println!("{name}: {} (confidence {:.2})", prediction.label, prediction.confidence);
+//! }
+//!
+//! // Persist the artifact; other processes load it and classify directly.
+//! trained.save("classifier.fhc").expect("save succeeds");
+//! let restored = TrainedClassifier::load("classifier.fhc").expect("load succeeds");
+//! assert_eq!(restored.known_class_names(), trained.known_class_names());
+//! ```
+//!
+//! For the paper's evaluation (train *and* score on the held-out test
+//! split), use [`FuzzyHashClassifier::run`], which composes `fit` with the
+//! test-set evaluation:
+//!
+//! ```no_run
+//! # use corpus::{Catalog, CorpusBuilder};
+//! # use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 //! let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.1));
 //! let outcome = FuzzyHashClassifier::new(PipelineConfig::default())
 //!     .run(&corpus)
@@ -45,15 +84,18 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod artifact;
 pub mod baselines;
 pub mod error;
 pub mod experiments;
 pub mod features;
 pub mod pipeline;
+pub mod serving;
 pub mod similarity;
 pub mod split;
 pub mod threshold;
 
 pub use error::FhcError;
 pub use features::{FeatureKind, SampleFeatures};
-pub use pipeline::{FuzzyHashClassifier, PipelineConfig, PipelineOutcome};
+pub use pipeline::{FitOutcome, FuzzyHashClassifier, PipelineConfig, PipelineOutcome};
+pub use serving::{Prediction, TrainedClassifier};

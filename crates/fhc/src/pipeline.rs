@@ -1,4 +1,4 @@
-//! The end-to-end Fuzzy Hash Classifier pipeline.
+//! The training half of the Fuzzy Hash Classifier: fit, then evaluate.
 //!
 //! Mirrors the paper's methodology section:
 //!
@@ -14,9 +14,17 @@
 //!    predictions to the `"-1"` unknown class,
 //! 6. report per-class precision / recall / F1 plus micro / macro /
 //!    weighted averages, and the per-feature importances.
+//!
+//! Steps 1–5a (everything up to and including training the final forest)
+//! are [`FuzzyHashClassifier::fit`], which returns a reusable
+//! [`TrainedClassifier`]; the test-set prediction and report are
+//! [`FuzzyHashClassifier::evaluate_with_features`]. The original
+//! [`FuzzyHashClassifier::run`] remains as the thin fit + evaluate
+//! composition the experiment drivers use.
 
 use crate::error::FhcError;
 use crate::features::{FeatureKind, SampleFeatures};
+use crate::serving::TrainedClassifier;
 use crate::similarity::ReferenceSet;
 use crate::split::{two_phase_split, SplitConfig, TwoPhaseSplit};
 use crate::threshold::{
@@ -28,6 +36,7 @@ use hpcutil::{par_map_indexed, ParallelConfig, SeedSequence};
 use mlcore::dataset::Dataset;
 use mlcore::forest::{RandomForest, RandomForestParams};
 use mlcore::gridsearch::{GridSearch, ParamGrid};
+use mlcore::model::Model;
 use mlcore::report::ClassificationReport;
 use mlcore::split::{split_groups, stratified_split};
 
@@ -64,7 +73,10 @@ impl Default for PipelineConfig {
         Self {
             seed: 42,
             split: SplitConfig::default(),
-            forest: RandomForestParams { n_estimators: 80, ..Default::default() },
+            forest: RandomForestParams {
+                n_estimators: 80,
+                ..Default::default()
+            },
             grid: None,
             grid_folds: 3,
             thresholds: default_threshold_grid(),
@@ -118,6 +130,18 @@ pub struct PipelineOutcome {
     pub n_unknown_test: usize,
 }
 
+/// Everything training produces: the reusable serving artifact plus the
+/// split bookkeeping evaluation needs.
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    /// The fitted classifier (reference set + tuned forest + threshold).
+    pub classifier: TrainedClassifier,
+    /// The two-phase split that produced the training set.
+    pub split: TwoPhaseSplit,
+    /// Names of the unknown classes held out of training (paper Table 3).
+    pub unknown_class_names: Vec<String>,
+}
+
 /// The end-to-end classifier.
 #[derive(Debug, Clone)]
 pub struct FuzzyHashClassifier {
@@ -138,30 +162,66 @@ impl FuzzyHashClassifier {
     /// Extract the fuzzy-hash features of every sample of `corpus`
     /// (in parallel, generating each executable's bytes on demand).
     pub fn extract_features(&self, corpus: &Corpus) -> Vec<SampleFeatures> {
-        par_map_indexed(corpus.n_samples(), ParallelConfig { threads: 0, chunk: 4 }, |i| {
-            let bytes = corpus.generate_bytes(&corpus.samples()[i]);
-            SampleFeatures::extract(&bytes)
-        })
+        par_map_indexed(
+            corpus.n_samples(),
+            ParallelConfig {
+                threads: 0,
+                chunk: 4,
+            },
+            |i| {
+                let bytes = corpus.generate_bytes(&corpus.samples()[i]);
+                SampleFeatures::extract(&bytes)
+            },
+        )
     }
 
-    /// Run the full pipeline on `corpus`.
+    /// Train once on `corpus` and return the reusable serving artifact.
+    ///
+    /// This pays the full training cost — feature extraction, the two-phase
+    /// split, grid search, threshold tuning, forest training — exactly once;
+    /// the returned [`TrainedClassifier`] then classifies arbitrarily many
+    /// new executables (and can be saved to disk) without retraining.
+    pub fn fit(&self, corpus: &Corpus) -> Result<TrainedClassifier, FhcError> {
+        let features = self.extract_features(corpus);
+        Ok(self.fit_with_features(corpus, &features)?.classifier)
+    }
+
+    /// Run the full pipeline on `corpus`: fit, then evaluate on the test
+    /// split.
     pub fn run(&self, corpus: &Corpus) -> Result<PipelineOutcome, FhcError> {
         let features = self.extract_features(corpus);
         self.run_with_features(corpus, &features)
     }
 
     /// Run the pipeline on pre-extracted features (lets experiments reuse the
-    /// expensive feature extraction across runs, e.g. for ablations).
+    /// expensive feature extraction across runs, e.g. for ablations). A thin
+    /// composition of [`FuzzyHashClassifier::fit_with_features`] and
+    /// [`FuzzyHashClassifier::evaluate_with_features`].
     pub fn run_with_features(
         &self,
         corpus: &Corpus,
         features: &[SampleFeatures],
     ) -> Result<PipelineOutcome, FhcError> {
+        let fit = self.fit_with_features(corpus, features)?;
+        self.evaluate_with_features(corpus, features, &fit)
+    }
+
+    /// Train on pre-extracted features, returning the serving artifact plus
+    /// the split bookkeeping needed to evaluate it.
+    pub fn fit_with_features(
+        &self,
+        corpus: &Corpus,
+        features: &[SampleFeatures],
+    ) -> Result<FitOutcome, FhcError> {
         if features.len() != corpus.n_samples() {
-            return Err(FhcError::InvalidConfig("features must cover every corpus sample"));
+            return Err(FhcError::InvalidConfig(
+                "features must cover every corpus sample",
+            ));
         }
         if self.config.feature_kinds.is_empty() {
-            return Err(FhcError::InvalidConfig("at least one feature kind is required"));
+            return Err(FhcError::InvalidConfig(
+                "at least one feature kind is required",
+            ));
         }
         if self.config.thresholds.is_empty() {
             return Err(FhcError::InvalidConfig("threshold grid must not be empty"));
@@ -212,31 +272,63 @@ impl FuzzyHashClassifier {
         // ---- Hyper-parameter grid search (within the training set) ----------
         let forest_params = match &self.config.grid {
             Some(grid) => {
-                let search = GridSearch { n_folds: self.config.grid_folds, base: self.config.forest.clone() };
+                let search = GridSearch {
+                    n_folds: self.config.grid_folds,
+                    base: self.config.forest.clone(),
+                };
                 search.best_params(&train_ds, grid, seeds.derive("grid"))?
             }
             None => self.config.forest.clone(),
         };
 
         // ---- Confidence-threshold tuning (within the training set) ----------
-        let (threshold_curve, confidence_threshold) = self.tune_threshold(
-            corpus,
-            &split,
-            features,
-            &known_id,
-            &forest_params,
-            &seeds,
-        )?;
+        let (threshold_curve, confidence_threshold) =
+            self.tune_threshold(corpus, &split, features, &known_id, &forest_params, &seeds)?;
 
         // ---- Final model ------------------------------------------------------
         let forest = RandomForest::fit(&train_ds, &forest_params, seeds.derive("forest"))?;
 
+        Ok(FitOutcome {
+            classifier: TrainedClassifier {
+                reference,
+                forest,
+                forest_params,
+                confidence_threshold,
+                threshold_curve,
+                seed: self.config.seed,
+            },
+            split,
+            unknown_class_names,
+        })
+    }
+
+    /// Evaluate a fitted classifier on the test half of its two-phase split,
+    /// producing the paper's report (Tables 3–5, Figure 3).
+    pub fn evaluate_with_features(
+        &self,
+        corpus: &Corpus,
+        features: &[SampleFeatures],
+        fit: &FitOutcome,
+    ) -> Result<PipelineOutcome, FhcError> {
+        if features.len() != corpus.n_samples() {
+            return Err(FhcError::InvalidConfig(
+                "features must cover every corpus sample",
+            ));
+        }
+        let classifier = &fit.classifier;
+        let split = &fit.split;
+        let known_class_names = classifier.known_class_names().to_vec();
+        let mut known_id = vec![usize::MAX; corpus.n_classes()];
+        for (id, &class) in split.known_classes.iter().enumerate() {
+            known_id[class] = id;
+        }
+
         // ---- Test-set prediction ----------------------------------------------
         let test_features: Vec<SampleFeatures> =
             split.test.iter().map(|&i| features[i].clone()).collect();
-        let x_test = reference.feature_matrix(&test_features);
-        let probas = forest.predict_proba_batch(&x_test);
-        let y_pred = apply_threshold_batch(&probas, confidence_threshold);
+        let x_test = classifier.reference().feature_matrix(&test_features);
+        let probas = Model::predict_proba_batch(classifier.forest(), &x_test);
+        let y_pred = apply_threshold_batch(&probas, classifier.confidence_threshold());
         let y_true: Vec<usize> = split
             .test
             .iter()
@@ -254,24 +346,22 @@ impl FuzzyHashClassifier {
         let mut eval_class_names = vec!["-1".to_string()];
         eval_class_names.extend(known_class_names.iter().cloned());
         let report = ClassificationReport::compute(&y_true, &y_pred, &eval_class_names);
-        let feature_importance =
-            aggregate_importance(forest.feature_importances(), &reference.column_kinds());
 
         Ok(PipelineOutcome {
             report,
             eval_class_names,
             y_true,
             y_pred,
-            confidence_threshold,
-            threshold_curve,
-            feature_importance,
+            confidence_threshold: classifier.confidence_threshold(),
+            threshold_curve: classifier.threshold_curve().to_vec(),
+            feature_importance: classifier.feature_importance(),
             known_class_names,
-            unknown_class_names,
-            forest_params,
+            unknown_class_names: fit.unknown_class_names.clone(),
+            forest_params: classifier.forest_params().clone(),
             n_train: split.train.len(),
             n_test: split.test.len(),
             n_unknown_test: split.n_unknown_test_samples(corpus),
-            split,
+            split: split.clone(),
         })
     }
 
@@ -289,8 +379,11 @@ impl FuzzyHashClassifier {
     ) -> Result<(Vec<ThresholdPoint>, f64), FhcError> {
         let n_known = split.known_classes.len();
         // Hold out a fraction of the known classes as pseudo-unknown.
-        let (inner_known, pseudo_unknown) =
-            split_groups(n_known, self.config.inner_unknown_fraction, seeds.derive("inner-classes"));
+        let (inner_known, pseudo_unknown) = split_groups(
+            n_known,
+            self.config.inner_unknown_fraction,
+            seeds.derive("inner-classes"),
+        );
         let mut inner_known = inner_known;
         inner_known.sort_unstable();
         let mut pseudo_unknown = pseudo_unknown;
@@ -329,14 +422,22 @@ impl FuzzyHashClassifier {
             seeds.derive("inner-split"),
         )?;
 
-        let inner_train_samples: Vec<usize> =
-            inner_split.train.iter().map(|&i| inner_known_samples[i]).collect();
-        let mut inner_val_samples: Vec<usize> =
-            inner_split.test.iter().map(|&i| inner_known_samples[i]).collect();
+        let inner_train_samples: Vec<usize> = inner_split
+            .train
+            .iter()
+            .map(|&i| inner_known_samples[i])
+            .collect();
+        let mut inner_val_samples: Vec<usize> = inner_split
+            .test
+            .iter()
+            .map(|&i| inner_known_samples[i])
+            .collect();
         inner_val_samples.extend_from_slice(&pseudo_unknown_samples);
 
-        let inner_train_features: Vec<SampleFeatures> =
-            inner_train_samples.iter().map(|&i| features[i].clone()).collect();
+        let inner_train_features: Vec<SampleFeatures> = inner_train_samples
+            .iter()
+            .map(|&i| features[i].clone())
+            .collect();
         let inner_train_labels: Vec<usize> = inner_train_samples
             .iter()
             .map(|&i| inner_id[known_id[corpus.samples()[i].class_index]])
@@ -359,10 +460,13 @@ impl FuzzyHashClassifier {
             inner_reference.column_names(),
             inner_class_names,
         )?;
-        let inner_forest = RandomForest::fit(&inner_ds, forest_params, seeds.derive("inner-forest"))?;
+        let inner_forest =
+            RandomForest::fit(&inner_ds, forest_params, seeds.derive("inner-forest"))?;
 
-        let inner_val_features: Vec<SampleFeatures> =
-            inner_val_samples.iter().map(|&i| features[i].clone()).collect();
+        let inner_val_features: Vec<SampleFeatures> = inner_val_samples
+            .iter()
+            .map(|&i| features[i].clone())
+            .collect();
         let x_val = inner_reference.feature_matrix(&inner_val_features);
         let probas = inner_forest.predict_proba_batch(&x_val);
         let y_val: Vec<usize> = inner_val_samples

@@ -1,0 +1,256 @@
+//! The serving half of the fit/predict API.
+//!
+//! [`FuzzyHashClassifier::fit`](crate::pipeline::FuzzyHashClassifier::fit)
+//! pays the training cost once — feature extraction, the two-phase split,
+//! grid search, threshold tuning, forest training — and returns a
+//! [`TrainedClassifier`]: a self-contained artifact owning the reference
+//! hashes, the tuned forest, and the confidence threshold. Classifying a new
+//! executable is then just hash + similarity row + forest vote, with no
+//! retraining; [`TrainedClassifier::classify_batch`] scores many executables
+//! in parallel, and the `artifact` module persists the whole thing to disk
+//! so the cost is amortized across processes.
+
+use crate::features::{FeatureKind, SampleFeatures};
+use crate::pipeline::{aggregate_importance, FeatureImportance};
+use crate::similarity::ReferenceSet;
+use crate::threshold::{apply_threshold, ThresholdPoint, UNKNOWN_LABEL};
+use hpcutil::{par_map_indexed, ParallelConfig};
+use mlcore::forest::{RandomForest, RandomForestParams};
+use mlcore::model::Model;
+
+/// The classifier's verdict on one executable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class name, or `"-1"` for unknown.
+    pub label: String,
+    /// Evaluation-space label: `0` = unknown, `1 + known_class_id` otherwise.
+    pub eval_label: usize,
+    /// Probability of the winning known class (before thresholding).
+    pub confidence: f64,
+    /// Full probability distribution over the known classes.
+    pub proba: Vec<f64>,
+}
+
+impl Prediction {
+    /// Whether the sample was routed to the `"-1"` unknown class.
+    pub fn is_unknown(&self) -> bool {
+        self.eval_label == UNKNOWN_LABEL
+    }
+}
+
+/// A fitted classifier, ready to serve.
+///
+/// Owns everything prediction needs: the per-class reference hashes, the
+/// tuned random forest, and the tuned confidence threshold. Create one with
+/// [`FuzzyHashClassifier::fit`](crate::pipeline::FuzzyHashClassifier::fit),
+/// or load a saved artifact with [`TrainedClassifier::load`].
+#[derive(Debug, Clone)]
+pub struct TrainedClassifier {
+    pub(crate) reference: ReferenceSet,
+    pub(crate) forest: RandomForest,
+    pub(crate) forest_params: RandomForestParams,
+    pub(crate) confidence_threshold: f64,
+    pub(crate) threshold_curve: Vec<ThresholdPoint>,
+    pub(crate) seed: u64,
+}
+
+impl TrainedClassifier {
+    /// Names of the known classes (the forest's label space).
+    pub fn known_class_names(&self) -> &[String] {
+        self.reference.class_names()
+    }
+
+    /// Number of known classes.
+    pub fn n_known_classes(&self) -> usize {
+        self.reference.n_classes()
+    }
+
+    /// The fuzzy-hash views this classifier was trained on.
+    pub fn feature_kinds(&self) -> &[FeatureKind] {
+        self.reference.kinds()
+    }
+
+    /// The tuned confidence threshold below which samples are labeled
+    /// `"-1"` (unknown).
+    pub fn confidence_threshold(&self) -> f64 {
+        self.confidence_threshold
+    }
+
+    /// The forest parameters actually used (after grid search, if any).
+    pub fn forest_params(&self) -> &RandomForestParams {
+        &self.forest_params
+    }
+
+    /// The threshold sweep measured on the internal validation set during
+    /// fitting (paper Figure 3).
+    pub fn threshold_curve(&self) -> &[ThresholdPoint] {
+        &self.threshold_curve
+    }
+
+    /// The root seed the classifier was fit with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The reference hash set the similarity features are computed against.
+    pub fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    /// The fitted forest.
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Importance of each fuzzy-hash view (paper Table 5).
+    pub fn feature_importance(&self) -> Vec<FeatureImportance> {
+        aggregate_importance(
+            self.forest.feature_importances(),
+            &self.reference.column_kinds(),
+        )
+    }
+
+    /// Classify pre-extracted fuzzy-hash features.
+    pub fn classify_features(&self, features: &SampleFeatures) -> Prediction {
+        let row = self.reference.feature_vector(features);
+        let proba = Model::predict_proba(&self.forest, &row);
+        let eval_label = apply_threshold(&proba, self.confidence_threshold);
+        let confidence = proba.iter().cloned().fold(0.0f64, f64::max);
+        let label = if eval_label == UNKNOWN_LABEL {
+            "-1".to_string()
+        } else {
+            self.reference.class_names()[eval_label - 1].clone()
+        };
+        Prediction {
+            label,
+            eval_label,
+            confidence,
+            proba,
+        }
+    }
+
+    /// Classify one executable from its raw bytes (hash, similarity row,
+    /// forest vote, threshold — no retraining).
+    pub fn classify(&self, bytes: &[u8]) -> Prediction {
+        self.classify_features(&SampleFeatures::extract(bytes))
+    }
+
+    /// Classify a batch of named executables in parallel, preserving input
+    /// order. This is the serving hot path: feature extraction and
+    /// similarity scoring for each sample run on worker threads.
+    pub fn classify_batch(&self, samples: &[(String, Vec<u8>)]) -> Vec<(String, Prediction)> {
+        par_map_indexed(
+            samples.len(),
+            ParallelConfig {
+                threads: 0,
+                chunk: 2,
+            },
+            |i| {
+                let (name, bytes) = &samples[i];
+                (name.clone(), self.classify(bytes))
+            },
+        )
+    }
+
+    /// Classify pre-extracted feature batches in parallel (for callers that
+    /// already paid the hashing cost).
+    pub fn classify_features_batch(&self, features: &[SampleFeatures]) -> Vec<Prediction> {
+        par_map_indexed(
+            features.len(),
+            ParallelConfig {
+                threads: 0,
+                chunk: 2,
+            },
+            |i| self.classify_features(&features[i]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FuzzyHashClassifier, PipelineConfig};
+    use corpus::{Catalog, CorpusBuilder};
+
+    fn trained() -> (corpus::Corpus, TrainedClassifier) {
+        let corpus = CorpusBuilder::new(3).build(&Catalog::paper().scaled(0.02));
+        let config = PipelineConfig {
+            seed: 3,
+            forest: mlcore::forest::RandomForestParams {
+                n_estimators: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let classifier = FuzzyHashClassifier::new(config)
+            .fit(&corpus)
+            .expect("fit succeeds");
+        (corpus, classifier)
+    }
+
+    #[test]
+    fn classify_agrees_with_classify_features_and_batch() {
+        let (corpus, trained) = trained();
+        let specs: Vec<_> = corpus.samples().iter().step_by(17).collect();
+        let batch: Vec<(String, Vec<u8>)> = specs
+            .iter()
+            .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+            .collect();
+        let batch_predictions = trained.classify_batch(&batch);
+        assert_eq!(batch_predictions.len(), batch.len());
+        for ((name, bytes), (batch_name, batch_pred)) in batch.iter().zip(&batch_predictions) {
+            assert_eq!(name, batch_name);
+            let single = trained.classify(bytes);
+            assert_eq!(&single, batch_pred);
+            let features = SampleFeatures::extract(bytes);
+            assert_eq!(trained.classify_features(&features), single);
+        }
+    }
+
+    #[test]
+    fn predictions_are_well_formed() {
+        let (corpus, trained) = trained();
+        let spec = &corpus.samples()[0];
+        let prediction = trained.classify(&corpus.generate_bytes(spec));
+        assert_eq!(prediction.proba.len(), trained.n_known_classes());
+        assert!((prediction.proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&prediction.confidence));
+        if prediction.is_unknown() {
+            assert_eq!(prediction.label, "-1");
+            assert_eq!(prediction.eval_label, UNKNOWN_LABEL);
+        } else {
+            assert_eq!(
+                prediction.label,
+                trained.known_class_names()[prediction.eval_label - 1]
+            );
+            assert!(prediction.confidence >= trained.confidence_threshold());
+        }
+    }
+
+    #[test]
+    fn garbage_input_is_unknown() {
+        let (_, trained) = trained();
+        let prediction = trained.classify(b"#!/bin/sh\necho not an elf at all\n");
+        // A shell script shares no symbols and virtually no content with any
+        // HPC application class.
+        assert!(prediction.is_unknown(), "got {prediction:?}");
+    }
+
+    #[test]
+    fn metadata_accessors_are_consistent() {
+        let (_, trained) = trained();
+        assert_eq!(trained.seed(), 3);
+        assert_eq!(trained.feature_kinds().len(), 3);
+        assert!(trained.n_known_classes() > 0);
+        assert_eq!(trained.known_class_names().len(), trained.n_known_classes());
+        assert!(trained.forest().n_trees() > 0);
+        let importance = trained.feature_importance();
+        assert_eq!(importance.len(), 3);
+        let total: f64 = importance.iter().map(|i| i.importance).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(trained
+            .threshold_curve()
+            .iter()
+            .any(|p| (p.threshold - trained.confidence_threshold()).abs() < 1e-9));
+    }
+}

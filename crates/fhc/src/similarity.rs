@@ -43,12 +43,20 @@ impl ReferenceSet {
         labels: &[usize],
         kinds: &[FeatureKind],
     ) -> Self {
-        assert_eq!(features.len(), labels.len(), "features and labels must align");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features and labels must align"
+        );
         let mut by_class: Vec<Vec<SampleFeatures>> = vec![Vec::new(); class_names.len()];
         for (f, &l) in features.iter().zip(labels) {
             by_class[l].push(f.clone());
         }
-        Self { class_names, by_class, kinds: kinds.to_vec() }
+        Self {
+            class_names,
+            by_class,
+            kinds: kinds.to_vec(),
+        }
     }
 
     /// Known class names.
@@ -64,6 +72,12 @@ impl ReferenceSet {
     /// Active feature kinds.
     pub fn kinds(&self) -> &[FeatureKind] {
         &self.kinds
+    }
+
+    /// The training-sample features of one known class (used when
+    /// serializing the reference set into a classifier artifact).
+    pub fn class_features(&self, class: usize) -> &[SampleFeatures] {
+        &self.by_class[class]
     }
 
     /// Number of columns in the feature matrix
@@ -116,9 +130,14 @@ impl ReferenceSet {
     /// Feature matrix of a batch of samples (rows computed in parallel — the
     /// dominant cost of the whole pipeline).
     pub fn feature_matrix(&self, samples: &[SampleFeatures]) -> Vec<Vec<f64>> {
-        par_map_indexed(samples.len(), ParallelConfig { threads: 0, chunk: 4 }, |i| {
-            self.feature_vector(&samples[i])
-        })
+        par_map_indexed(
+            samples.len(),
+            ParallelConfig {
+                threads: 0,
+                chunk: 4,
+            },
+            |i| self.feature_vector(&samples[i]),
+        )
     }
 }
 
@@ -137,11 +156,18 @@ mod tests {
             .enumerate()
             .map(|(i, c)| c.wrapping_mul(17).wrapping_add((i / 96) as u8))
             .collect();
-        for (i, byte) in code.iter_mut().skip((variant as usize * 512) % 20_000).take(256).enumerate() {
+        for (i, byte) in code
+            .iter_mut()
+            .skip((variant as usize * 512) % 20_000)
+            .take(256)
+            .enumerate()
+        {
             *byte ^= (variant as u8).wrapping_add(i as u8);
         }
         b.add_text_section(code);
-        b.add_rodata_section(format!("{class_tag} tool messages and usage\0v{variant}\0").into_bytes());
+        b.add_rodata_section(
+            format!("{class_tag} tool messages and usage\0v{variant}\0").into_bytes(),
+        );
         for i in 0..30 {
             b.add_global_function(&format!("{class_tag}_routine_{i}"), (i * 128) as u64, 128);
         }
@@ -229,12 +255,7 @@ mod tests {
     #[test]
     fn ablated_reference_has_fewer_columns() {
         let train = vec![make_sample("velvet", 0)];
-        let rs = ReferenceSet::new(
-            vec!["Velvet".into()],
-            &train,
-            &[0],
-            &[FeatureKind::Symbols],
-        );
+        let rs = ReferenceSet::new(vec!["Velvet".into()], &train, &[0], &[FeatureKind::Symbols]);
         assert_eq!(rs.n_columns(), 1);
         assert_eq!(rs.column_names(), vec!["ssdeep-symbols/Velvet"]);
     }

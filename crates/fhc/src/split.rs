@@ -36,7 +36,10 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        Self { unknown_class_fraction: 0.2, test_sample_fraction: 0.4 }
+        Self {
+            unknown_class_fraction: 0.2,
+            test_sample_fraction: 0.4,
+        }
     }
 }
 
@@ -67,7 +70,9 @@ pub fn two_phase_split(
         .map(|s| s.sample_index)
         .collect();
     if known_sample_indices.is_empty() {
-        return Err(FhcError::CorpusTooSmall("no samples in the known classes".to_string()));
+        return Err(FhcError::CorpusTooSmall(
+            "no samples in the known classes".to_string(),
+        ));
     }
     let known_labels: Vec<usize> = known_sample_indices
         .iter()
@@ -75,8 +80,16 @@ pub fn two_phase_split(
         .collect();
     let split = stratified_split(&known_labels, config.test_sample_fraction, seed ^ 0xA5A5)?;
 
-    let train: Vec<usize> = split.train.iter().map(|&i| known_sample_indices[i]).collect();
-    let mut test: Vec<usize> = split.test.iter().map(|&i| known_sample_indices[i]).collect();
+    let train: Vec<usize> = split
+        .train
+        .iter()
+        .map(|&i| known_sample_indices[i])
+        .collect();
+    let mut test: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| known_sample_indices[i])
+        .collect();
 
     // All samples of the unknown classes go to the test set.
     test.extend(
@@ -88,7 +101,12 @@ pub fn two_phase_split(
     );
     test.sort_unstable();
 
-    Ok(TwoPhaseSplit { known_classes, unknown_classes, train, test })
+    Ok(TwoPhaseSplit {
+        known_classes,
+        unknown_classes,
+        train,
+        test,
+    })
 }
 
 impl TwoPhaseSplit {
@@ -177,7 +195,10 @@ mod tests {
     #[test]
     fn custom_fractions_respected() {
         let corpus = corpus();
-        let config = SplitConfig { unknown_class_fraction: 0.5, test_sample_fraction: 0.25 };
+        let config = SplitConfig {
+            unknown_class_fraction: 0.5,
+            test_sample_fraction: 0.25,
+        };
         let split = two_phase_split(&corpus, config, 1).unwrap();
         assert!((40..=52).contains(&split.unknown_classes.len()));
     }

@@ -9,7 +9,6 @@
 //! exactly the curve the paper plots in Figure 3.
 
 use mlcore::metrics::{f1_score, Average};
-use serde::{Deserialize, Serialize};
 
 /// Evaluation-space label of the unknown class. The evaluation label space
 /// is `0 = "-1" (unknown)` followed by the known classes, mirroring the
@@ -42,12 +41,15 @@ pub fn apply_threshold(proba: &[f64], threshold: f64) -> usize {
 
 /// Apply a threshold to a batch of probability vectors.
 pub fn apply_threshold_batch(probas: &[Vec<f64>], threshold: f64) -> Vec<usize> {
-    probas.iter().map(|p| apply_threshold(p, threshold)).collect()
+    probas
+        .iter()
+        .map(|p| apply_threshold(p, threshold))
+        .collect()
 }
 
 /// One point of the threshold sweep: the three averaged F1 scores at a given
 /// confidence threshold (the series plotted in Figure 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdPoint {
     /// The confidence threshold.
     pub threshold: f64,
@@ -102,7 +104,11 @@ pub fn best_threshold(points: &[ThresholdPoint]) -> Option<f64> {
             a.combined()
                 .partial_cmp(&b.combined())
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.threshold.partial_cmp(&a.threshold).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    b.threshold
+                        .partial_cmp(&a.threshold)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
         })
         .map(|p| p.threshold)
 }
@@ -128,7 +134,10 @@ mod tests {
     fn batch_matches_single() {
         let probas = vec![vec![0.9, 0.1], vec![0.4, 0.6], vec![0.5, 0.5]];
         let batch = apply_threshold_batch(&probas, 0.55);
-        assert_eq!(batch, vec![known_to_eval(0), known_to_eval(1), UNKNOWN_LABEL]);
+        assert_eq!(
+            batch,
+            vec![known_to_eval(0), known_to_eval(1), UNKNOWN_LABEL]
+        );
     }
 
     #[test]
@@ -173,7 +182,12 @@ mod tests {
 
     #[test]
     fn combined_is_sum_of_scores() {
-        let p = ThresholdPoint { threshold: 0.3, micro_f1: 0.5, macro_f1: 0.25, weighted_f1: 0.75 };
+        let p = ThresholdPoint {
+            threshold: 0.3,
+            micro_f1: 0.5,
+            macro_f1: 0.25,
+            weighted_f1: 0.75,
+        };
         assert!((p.combined() - 1.5).abs() < 1e-12);
     }
 }

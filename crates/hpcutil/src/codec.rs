@@ -1,0 +1,313 @@
+//! A tiny hand-rolled binary codec.
+//!
+//! The serving API persists trained classifiers to disk (train once, classify
+//! from many processes). The build environment has no serialization crates,
+//! so the workspace uses this little-endian, length-prefixed format instead:
+//! fixed-width integers, IEEE-754 bit-pattern floats, and UTF-8 strings with
+//! a `u32` byte-length prefix. Readers validate every length against the
+//! remaining input, so truncated or corrupt artifacts fail with a clean
+//! [`CodecError`] rather than a panic.
+
+use std::fmt;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What went wrong, with an offset where applicable.
+    pub message: String,
+}
+
+impl CodecError {
+    /// Construct an error from anything displayable.
+    pub fn new(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only binary writer.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Write a UTF-8 string with a `u32` byte-length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string longer than u32::MAX bytes"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write raw bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(u32::try_from(bytes.len()).expect("blob longer than u32::MAX bytes"));
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Sequential binary reader over a borrowed buffer.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset (for error reporting).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Read a `usize` written with [`ByteWriter::put_usize`].
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| CodecError::new(format!("usize value {v} overflows this platform")))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a bool byte (must be 0 or 1).
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::new(format!("invalid bool byte {other:#04x}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::new(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Read a length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Assert the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::new(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// FNV-1a 64-bit checksum, used to detect artifact corruption.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(123_456);
+        w.put_u64(u64::MAX - 7);
+        w.put_usize(987_654);
+        w.put_f64(-0.125);
+        w.put_f64(f64::INFINITY);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("hello µ world");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 123_456);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.get_usize().unwrap(), 987_654);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert_eq!(r.get_f64().unwrap(), f64::INFINITY);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "hello µ world");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_str("a long enough string");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.get_str().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn nan_bit_pattern_roundtrips() {
+        let mut w = ByteWriter::new();
+        w.put_f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_rejected() {
+        let mut r = ByteReader::new(&[7]);
+        assert!(r.get_bool().is_err());
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_str().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        let _ = r.get_u8();
+        assert!(r.expect_end().is_err());
+        let _ = r.get_u8();
+        let _ = r.get_u8();
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn fnv_checksum_is_stable_and_sensitive() {
+        let a = fnv1a64(b"hello");
+        assert_eq!(a, fnv1a64(b"hello"));
+        assert_ne!(a, fnv1a64(b"hellp"));
+        assert_ne!(fnv1a64(b""), 0);
+    }
+}

@@ -3,7 +3,7 @@
 //! This crate provides the small, dependency-light building blocks that the
 //! rest of the workspace relies on:
 //!
-//! * [`par`] — data-parallel helpers built on crossbeam scoped threads
+//! * [`par`] — data-parallel helpers built on standard-library scoped threads
 //!   (parallel map over slices and index ranges with chunked work stealing),
 //!   used to hash corpora, fill similarity matrices, and train forest trees
 //!   without data races.
@@ -13,15 +13,19 @@
 //!   reproducible from a single root seed.
 //! * [`timing`] — a tiny stopwatch/section timer for reporting wall-clock
 //!   cost of pipeline stages.
+//! * [`codec`] — a little-endian, length-prefixed binary codec used to
+//!   persist trained models as versioned on-disk artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod par;
 pub mod rngseq;
 pub mod table;
 pub mod timing;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use par::{par_map, par_map_indexed, ParallelConfig};
 pub use rngseq::SeedSequence;
 pub use table::TextTable;

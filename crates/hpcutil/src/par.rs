@@ -1,12 +1,12 @@
-//! Data-parallel helpers built on crossbeam scoped threads.
+//! Data-parallel helpers built on `std::thread::scope`.
 //!
 //! The workloads in this workspace (fuzzy hashing a corpus, computing an
 //! `n_test x n_train` similarity matrix, growing forest trees) are
 //! embarrassingly parallel: every output element depends only on read-only
 //! shared inputs. Rather than pulling in a full work-stealing runtime we use
-//! a chunked atomic-counter scheduler over crossbeam scoped threads, which
-//! guarantees data-race freedom through the type system (the closure only
-//! receives `&T` items and returns owned results).
+//! a chunked atomic-counter scheduler over standard-library scoped threads,
+//! which guarantees data-race freedom through the type system (the closure
+//! only receives `&T` items and returns owned results).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -24,7 +24,10 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        Self { threads: 0, chunk: 8 }
+        Self {
+            threads: 0,
+            chunk: 8,
+        }
     }
 }
 
@@ -39,7 +42,9 @@ impl ParallelConfig {
         let hw = if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         };
         hw.max(1).min(n_items.max(1))
     }
@@ -112,11 +117,11 @@ where
     // partitioning: to stay in safe Rust we instead collect per-worker
     // (index, value) pairs and scatter afterwards.
     let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let counter = &counter;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let start = counter.fetch_add(chunk, Ordering::Relaxed);
@@ -134,8 +139,7 @@ where
         for h in handles {
             per_worker.push(h.join().expect("parallel worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     for bucket in per_worker {
         for (i, value) in bucket {
@@ -176,7 +180,14 @@ mod tests {
 
     #[test]
     fn par_map_indexed_preserves_order() {
-        let got = par_map_indexed(1000, ParallelConfig { threads: 7, chunk: 3 }, |i| i as i64 - 5);
+        let got = par_map_indexed(
+            1000,
+            ParallelConfig {
+                threads: 7,
+                chunk: 3,
+            },
+            |i| i as i64 - 5,
+        );
         for (i, v) in got.iter().enumerate() {
             assert_eq!(*v, i as i64 - 5);
         }
@@ -204,7 +215,10 @@ mod tests {
 
     #[test]
     fn effective_chunk_never_zero() {
-        let cfg = ParallelConfig { threads: 2, chunk: 0 };
+        let cfg = ParallelConfig {
+            threads: 2,
+            chunk: 0,
+        };
         assert_eq!(cfg.effective_chunk(), 1);
     }
 
@@ -212,13 +226,20 @@ mod tests {
     fn uneven_per_item_cost_still_correct() {
         // Items with wildly different cost exercise the load balancer.
         let xs: Vec<usize> = (0..64).collect();
-        let got = par_map(&xs, ParallelConfig { threads: 4, chunk: 1 }, |&x| {
-            let mut acc = 0u64;
-            for i in 0..(x * 1000) {
-                acc = acc.wrapping_add(i as u64);
-            }
-            (x as u64, acc)
-        });
+        let got = par_map(
+            &xs,
+            ParallelConfig {
+                threads: 4,
+                chunk: 1,
+            },
+            |&x| {
+                let mut acc = 0u64;
+                for i in 0..(x * 1000) {
+                    acc = acc.wrapping_add(i as u64);
+                }
+                (x as u64, acc)
+            },
+        );
         for (i, (idx, _)) in got.iter().enumerate() {
             assert_eq!(*idx, i as u64);
         }

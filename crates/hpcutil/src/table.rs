@@ -30,7 +30,11 @@ impl TextTable {
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         let align = vec![Align::Left; header.len()];
-        Self { header, align, rows: Vec::new() }
+        Self {
+            header,
+            align,
+            rows: Vec::new(),
+        }
     }
 
     /// Set per-column alignment. Extra entries are ignored; missing entries
@@ -135,8 +139,8 @@ mod tests {
 
     #[test]
     fn alignment_right_pads_left() {
-        let mut t = TextTable::new(vec!["name", "count"])
-            .with_alignment(vec![Align::Left, Align::Right]);
+        let mut t =
+            TextTable::new(vec!["name", "count"]).with_alignment(vec![Align::Left, Align::Right]);
         t.add_row(vec!["a", "5"]);
         t.add_row(vec!["bb", "500"]);
         let s = t.render();

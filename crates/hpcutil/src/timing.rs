@@ -55,7 +55,11 @@ impl SectionTimer {
         for (name, dur) in &self.sections {
             out.push_str(&format!("{:<24} {:>10.3} s\n", name, dur.as_secs_f64()));
         }
-        out.push_str(&format!("{:<24} {:>10.3} s\n", "total", self.total().as_secs_f64()));
+        out.push_str(&format!(
+            "{:<24} {:>10.3} s\n",
+            "total",
+            self.total().as_secs_f64()
+        ));
         out
     }
 }

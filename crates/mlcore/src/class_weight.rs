@@ -17,7 +17,13 @@ pub fn balanced_class_weights(labels: &[usize], n_classes: usize) -> Vec<f64> {
     let n = labels.len() as f64;
     counts
         .iter()
-        .map(|&c| if c == 0 { 0.0 } else { n / (present as f64 * c as f64) })
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                n / (present as f64 * c as f64)
+            }
+        })
         .collect()
 }
 

@@ -3,8 +3,14 @@
 //! The paper tunes hyper-parameters "through grid search only within the
 //! training set"; cross-validation inside the training set is the standard
 //! way to score each grid point without touching the test set.
+//! [`cross_validate`] scores any [`Model`] implementation — the forest, the
+//! k-NN baseline, and naive Bayes all go through the same code path.
 
+use crate::dataset::Dataset;
 use crate::error::MlError;
+use crate::metrics::{f1_score, Average};
+use crate::model::Model;
+use hpcutil::SeedSequence;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -42,25 +48,68 @@ pub fn stratified_k_fold(labels: &[usize], k: usize, seed: u64) -> Result<Vec<Fo
     let mut fold_validation: Vec<Vec<usize>> = vec![Vec::new(); k];
     // Deal each class's samples round-robin into the folds, starting from a
     // rotating offset so small classes don't all pile into fold 0.
-    let mut offset = 0usize;
-    for (_, mut indices) in by_class {
+    for (offset, (_, mut indices)) in by_class.into_iter().enumerate() {
         indices.shuffle(&mut rng);
         for (j, idx) in indices.into_iter().enumerate() {
             fold_validation[(offset + j) % k].push(idx);
         }
-        offset += 1;
     }
     let all: Vec<usize> = (0..labels.len()).collect();
     let folds = fold_validation
         .into_iter()
         .map(|mut validation| {
             validation.sort_unstable();
-            let train: Vec<usize> =
-                all.iter().copied().filter(|i| validation.binary_search(i).is_err()).collect();
+            let train: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|i| validation.binary_search(i).is_err())
+                .collect();
             Fold { train, validation }
         })
         .collect();
     Ok(folds)
+}
+
+/// Cross-validated F1 of one model configuration over pre-computed folds.
+///
+/// For each fold, fits `M` on the training subset (tree growing and any
+/// other model randomness derive from `seeds`, one child seed per fold) and
+/// scores the held-out validation rows. Returns the per-fold scores in fold
+/// order. Sharing `folds` across calls is what lets a grid search compare
+/// configurations on identical splits.
+pub fn cross_validate_folds<M: Model>(
+    ds: &Dataset,
+    params: &M::Params,
+    folds: &[Fold],
+    seeds: &SeedSequence,
+    average: Average,
+) -> Result<Vec<f64>, MlError> {
+    let mut scores = Vec::with_capacity(folds.len());
+    for (fi, fold) in folds.iter().enumerate() {
+        let train = ds.subset(&fold.train);
+        let model = M::fit(&train, params, seeds.derive_indexed("fold", fi as u64))?;
+        let y_true: Vec<usize> = fold.validation.iter().map(|&i| ds.labels()[i]).collect();
+        let y_pred: Vec<usize> = fold
+            .validation
+            .iter()
+            .map(|&i| model.predict(ds.features().row(i)))
+            .collect();
+        scores.push(f1_score(&y_true, &y_pred, ds.n_classes(), average));
+    }
+    Ok(scores)
+}
+
+/// Convenience wrapper: build `k` stratified folds from `seed` and
+/// cross-validate one model configuration on them.
+pub fn cross_validate<M: Model>(
+    ds: &Dataset,
+    params: &M::Params,
+    k: usize,
+    seed: u64,
+    average: Average,
+) -> Result<Vec<f64>, MlError> {
+    let folds = stratified_k_fold(ds.labels(), k, seed)?;
+    cross_validate_folds::<M>(ds, params, &folds, &SeedSequence::new(seed), average)
 }
 
 #[cfg(test)]
@@ -82,7 +131,10 @@ mod tests {
                 assert!(!fold.validation.contains(&i));
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each sample validates exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each sample validates exactly once"
+        );
     }
 
     #[test]
@@ -118,5 +170,70 @@ mod tests {
             stratified_k_fold(&labels, 5, 9).unwrap(),
             stratified_k_fold(&labels, 5, 9).unwrap()
         );
+    }
+
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for i in 0..12 {
+                rows.push(vec![
+                    4.0 * c as f64 + (i % 5) as f64 * 0.1,
+                    -4.0 * c as f64 + (i % 3) as f64 * 0.1,
+                ]);
+                labels.push(c);
+            }
+        }
+        Dataset::from_rows(
+            rows,
+            labels,
+            vec![],
+            (0..3).map(|c| format!("c{c}")).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cross_validate_scores_every_model_kind() {
+        use crate::forest::{RandomForest, RandomForestParams};
+        use crate::knn::{KNearestNeighbors, KnnParams};
+        use crate::naive_bayes::{GaussianNaiveBayes, GaussianNbParams};
+
+        let ds = blobs();
+        let forest_scores = cross_validate::<RandomForest>(
+            &ds,
+            &RandomForestParams {
+                n_estimators: 10,
+                ..Default::default()
+            },
+            3,
+            5,
+            Average::Macro,
+        )
+        .unwrap();
+        let knn_scores =
+            cross_validate::<KNearestNeighbors>(&ds, &KnnParams::default(), 3, 5, Average::Macro)
+                .unwrap();
+        let nb_scores =
+            cross_validate::<GaussianNaiveBayes>(&ds, &GaussianNbParams, 3, 5, Average::Macro)
+                .unwrap();
+        for scores in [&forest_scores, &knn_scores, &nb_scores] {
+            assert_eq!(scores.len(), 3);
+            // Clean blobs: every model should score well on every fold.
+            assert!(scores.iter().all(|&s| s > 0.8), "scores {scores:?}");
+        }
+    }
+
+    #[test]
+    fn cross_validate_is_deterministic() {
+        use crate::forest::{RandomForest, RandomForestParams};
+        let ds = blobs();
+        let params = RandomForestParams {
+            n_estimators: 8,
+            ..Default::default()
+        };
+        let a = cross_validate::<RandomForest>(&ds, &params, 3, 2, Average::Macro).unwrap();
+        let b = cross_validate::<RandomForest>(&ds, &params, 3, 2, Average::Macro).unwrap();
+        assert_eq!(a, b);
     }
 }

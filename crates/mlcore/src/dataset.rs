@@ -39,7 +39,10 @@ impl Dataset {
         class_names: Vec<String>,
     ) -> Result<Self, MlError> {
         if features.n_rows() != labels.len() {
-            return Err(MlError::LengthMismatch { rows: features.n_rows(), labels: labels.len() });
+            return Err(MlError::LengthMismatch {
+                rows: features.n_rows(),
+                labels: labels.len(),
+            });
         }
         if feature_names.is_empty() {
             feature_names = (0..features.n_cols()).map(|i| format!("f{i}")).collect();
@@ -53,9 +56,17 @@ impl Dataset {
         }
         let n_classes = class_names.len();
         if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
-            return Err(MlError::LabelOutOfRange { label: bad, n_classes });
+            return Err(MlError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
         }
-        Ok(Self { features, labels, feature_names, class_names })
+        Ok(Self {
+            features,
+            labels,
+            feature_names,
+            class_names,
+        })
     }
 
     /// The feature matrix.
@@ -119,7 +130,12 @@ mod tests {
 
     fn toy() -> Dataset {
         Dataset::from_rows(
-            vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5], vec![0.9, 0.1]],
+            vec![
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.5, 0.5],
+                vec![0.9, 0.1],
+            ],
             vec![0, 1, 0, 1],
             vec!["a".into(), "b".into()],
             vec!["zero".into(), "one".into()],
@@ -146,21 +162,30 @@ mod tests {
             vec!["only".into()],
         )
         .unwrap();
-        assert_eq!(ds.feature_names(), &["f0".to_string(), "f1".into(), "f2".into()]);
+        assert_eq!(
+            ds.feature_names(),
+            &["f0".to_string(), "f1".into(), "f2".into()]
+        );
     }
 
     #[test]
     fn label_length_mismatch_rejected() {
-        let err = Dataset::from_rows(vec![vec![1.0]], vec![0, 1], vec![], vec!["c".into()])
-            .unwrap_err();
+        let err =
+            Dataset::from_rows(vec![vec![1.0]], vec![0, 1], vec![], vec!["c".into()]).unwrap_err();
         assert!(matches!(err, MlError::LengthMismatch { .. }));
     }
 
     #[test]
     fn label_out_of_range_rejected() {
-        let err = Dataset::from_rows(vec![vec![1.0]], vec![3], vec![], vec!["c".into()])
-            .unwrap_err();
-        assert!(matches!(err, MlError::LabelOutOfRange { label: 3, n_classes: 1 }));
+        let err =
+            Dataset::from_rows(vec![vec![1.0]], vec![3], vec![], vec!["c".into()]).unwrap_err();
+        assert!(matches!(
+            err,
+            MlError::LabelOutOfRange {
+                label: 3,
+                n_classes: 1
+            }
+        ));
     }
 
     #[test]

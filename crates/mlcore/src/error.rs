@@ -41,10 +41,20 @@ impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MlError::LengthMismatch { rows, labels } => {
-                write!(f, "feature matrix has {rows} rows but {labels} labels were supplied")
+                write!(
+                    f,
+                    "feature matrix has {rows} rows but {labels} labels were supplied"
+                )
             }
-            MlError::RaggedRows { expected, found, row } => {
-                write!(f, "row {row} has {found} features but {expected} were expected")
+            MlError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => {
+                write!(
+                    f,
+                    "row {row} has {found} features but {expected} were expected"
+                )
             }
             MlError::LabelOutOfRange { label, n_classes } => {
                 write!(f, "label {label} is out of range for {n_classes} classes")
@@ -64,11 +74,28 @@ mod tests {
 
     #[test]
     fn display_contains_key_numbers() {
-        assert!(MlError::LengthMismatch { rows: 3, labels: 5 }.to_string().contains('3'));
-        assert!(MlError::RaggedRows { expected: 2, found: 4, row: 1 }.to_string().contains('4'));
-        assert!(MlError::LabelOutOfRange { label: 9, n_classes: 3 }.to_string().contains('9'));
+        assert!(MlError::LengthMismatch { rows: 3, labels: 5 }
+            .to_string()
+            .contains('3'));
+        assert!(MlError::RaggedRows {
+            expected: 2,
+            found: 4,
+            row: 1
+        }
+        .to_string()
+        .contains('4'));
+        assert!(MlError::LabelOutOfRange {
+            label: 9,
+            n_classes: 3
+        }
+        .to_string()
+        .contains('9'));
         assert!(!MlError::EmptyDataset.to_string().is_empty());
-        assert!(MlError::InvalidParameter("n_estimators").to_string().contains("n_estimators"));
-        assert!(MlError::InvalidSplit("too few samples".into()).to_string().contains("too few"));
+        assert!(MlError::InvalidParameter("n_estimators")
+            .to_string()
+            .contains("n_estimators"));
+        assert!(MlError::InvalidSplit("too few samples".into())
+            .to_string()
+            .contains("too few"));
     }
 }

@@ -4,14 +4,15 @@
 //! trees with per-split feature subsampling, `class_weight="balanced"`
 //! support, probability prediction by averaging tree leaf distributions, and
 //! mean-decrease-in-impurity feature importances. Trees are grown in
-//! parallel with the workspace's crossbeam-based `par_map`, one RNG stream
+//! parallel with the workspace's scoped-thread `par_map`, one RNG stream
 //! per tree derived from the forest seed.
 
 use crate::class_weight::balanced_sample_weights;
 use crate::dataset::Dataset;
 use crate::error::MlError;
+use crate::model::Model;
 use crate::tree::{argmax, Criterion, DecisionTree, MaxFeatures, TreeParams};
-use hpcutil::{par_map_indexed, ParallelConfig, SeedSequence};
+use hpcutil::{par_map_indexed, ByteReader, ByteWriter, CodecError, ParallelConfig, SeedSequence};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -100,11 +101,15 @@ impl RandomForest {
 
         let results: Vec<Result<DecisionTree, MlError>> = par_map_indexed(
             params.n_estimators,
-            ParallelConfig { threads: params.n_jobs, chunk: 1 },
+            ParallelConfig {
+                threads: params.n_jobs,
+                chunk: 1,
+            },
             |t| {
                 let tree_seed = seeds.derive_indexed("tree", t as u64);
                 if params.bootstrap {
-                    let mut rng = ChaCha8Rng::seed_from_u64(seeds.derive_indexed("bootstrap", t as u64));
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(seeds.derive_indexed("bootstrap", t as u64));
                     // Bootstrap: sample n indices with replacement, then fold
                     // the resample multiplicity into the sample weights so the
                     // tree trains on the original matrix without copying rows.
@@ -143,7 +148,12 @@ impl RandomForest {
             }
         }
 
-        Ok(Self { trees, n_classes: ds.n_classes(), n_features: ds.n_features(), importances })
+        Ok(Self {
+            trees,
+            n_classes: ds.n_classes(),
+            n_features: ds.n_features(),
+            importances,
+        })
     }
 
     /// Average class-probability estimate for one sample.
@@ -167,15 +177,8 @@ impl RandomForest {
         argmax(&self.predict_proba(sample))
     }
 
-    /// Predict every row of a feature matrix (in parallel).
-    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        par_map_indexed(rows.len(), ParallelConfig::default(), |i| self.predict(&rows[i]))
-    }
-
-    /// Probability predictions for every row of a feature matrix.
-    pub fn predict_proba_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        par_map_indexed(rows.len(), ParallelConfig::default(), |i| self.predict_proba(&rows[i]))
-    }
+    // Batch prediction lives on the `Model` trait (`predict_batch`,
+    // `predict_proba_batch`), shared with every other model.
 
     /// Normalized mean-decrease-in-impurity feature importances
     /// (sums to 1 unless no split was ever made).
@@ -197,6 +200,158 @@ impl RandomForest {
     pub fn n_features(&self) -> usize {
         self.n_features
     }
+
+    /// Append this forest's binary encoding to `w` (the trained-classifier
+    /// artifact format; see `hpcutil::codec`).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.n_classes);
+        w.put_usize(self.n_features);
+        w.put_usize(self.importances.len());
+        for &imp in &self.importances {
+            w.put_f64(imp);
+        }
+        w.put_usize(self.trees.len());
+        for tree in &self.trees {
+            tree.encode(w);
+        }
+    }
+
+    /// Decode a forest previously written with [`RandomForest::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n_classes = r.get_usize()?;
+        let n_features = r.get_usize()?;
+        let n_importances = r.get_usize()?;
+        if n_importances != n_features {
+            return Err(CodecError::new(format!(
+                "forest importances length {n_importances} != n_features {n_features}"
+            )));
+        }
+        let mut importances = Vec::with_capacity(n_importances);
+        for _ in 0..n_importances {
+            importances.push(r.get_f64()?);
+        }
+        let n_trees = r.get_usize()?;
+        if n_trees == 0 {
+            return Err(CodecError::new("forest has no trees"));
+        }
+        let mut trees = Vec::with_capacity(n_trees);
+        for i in 0..n_trees {
+            let tree = DecisionTree::decode(r)?;
+            if tree.n_classes() != n_classes {
+                return Err(CodecError::new(format!(
+                    "tree {i} has {} classes, forest expects {n_classes}",
+                    tree.n_classes()
+                )));
+            }
+            if tree.n_features() != n_features {
+                return Err(CodecError::new(format!(
+                    "tree {i} expects {} features, forest expects {n_features}",
+                    tree.n_features()
+                )));
+            }
+            trees.push(tree);
+        }
+        Ok(Self {
+            trees,
+            n_classes,
+            n_features,
+            importances,
+        })
+    }
+}
+
+impl Model for RandomForest {
+    type Params = RandomForestParams;
+
+    fn fit(ds: &Dataset, params: &RandomForestParams, seed: u64) -> Result<Self, MlError> {
+        RandomForest::fit(ds, params, seed)
+    }
+
+    fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        RandomForest::predict_proba(self, sample)
+    }
+
+    fn n_classes(&self) -> usize {
+        RandomForest::n_classes(self)
+    }
+}
+
+impl RandomForestParams {
+    /// Append the binary encoding of these parameters to `w`.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.n_estimators);
+        w.put_u8(match self.criterion {
+            Criterion::Gini => 0,
+            Criterion::Entropy => 1,
+        });
+        match self.max_depth {
+            None => w.put_u8(0),
+            Some(d) => {
+                w.put_u8(1);
+                w.put_usize(d);
+            }
+        }
+        w.put_usize(self.min_samples_split);
+        w.put_usize(self.min_samples_leaf);
+        match self.max_features {
+            MaxFeatures::All => w.put_u8(0),
+            MaxFeatures::Sqrt => w.put_u8(1),
+            MaxFeatures::Log2 => w.put_u8(2),
+            MaxFeatures::Count(c) => {
+                w.put_u8(3);
+                w.put_usize(c);
+            }
+        }
+        w.put_bool(self.bootstrap);
+        w.put_u8(match self.class_weight {
+            ClassWeight::Uniform => 0,
+            ClassWeight::Balanced => 1,
+        });
+        w.put_usize(self.n_jobs);
+    }
+
+    /// Decode parameters previously written with
+    /// [`RandomForestParams::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n_estimators = r.get_usize()?;
+        let criterion = match r.get_u8()? {
+            0 => Criterion::Gini,
+            1 => Criterion::Entropy,
+            tag => return Err(CodecError::new(format!("unknown criterion tag {tag}"))),
+        };
+        let max_depth = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_usize()?),
+            tag => return Err(CodecError::new(format!("unknown max_depth tag {tag}"))),
+        };
+        let min_samples_split = r.get_usize()?;
+        let min_samples_leaf = r.get_usize()?;
+        let max_features = match r.get_u8()? {
+            0 => MaxFeatures::All,
+            1 => MaxFeatures::Sqrt,
+            2 => MaxFeatures::Log2,
+            3 => MaxFeatures::Count(r.get_usize()?),
+            tag => return Err(CodecError::new(format!("unknown max_features tag {tag}"))),
+        };
+        let bootstrap = r.get_bool()?;
+        let class_weight = match r.get_u8()? {
+            0 => ClassWeight::Uniform,
+            1 => ClassWeight::Balanced,
+            tag => return Err(CodecError::new(format!("unknown class_weight tag {tag}"))),
+        };
+        let n_jobs = r.get_usize()?;
+        Ok(Self {
+            n_estimators,
+            criterion,
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            max_features,
+            bootstrap,
+            class_weight,
+            n_jobs,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +366,11 @@ mod tests {
             for i in 0..n_per_class {
                 let jx = ((i * 7 + c * 13) % 10) as f64 * 0.05;
                 let jy = ((i * 11 + c * 5) % 10) as f64 * 0.05;
-                rows.push(vec![3.0 * c as f64 + jx, -3.0 * c as f64 + jy, (i % 3) as f64]);
+                rows.push(vec![
+                    3.0 * c as f64 + jx,
+                    -3.0 * c as f64 + jy,
+                    (i % 3) as f64,
+                ]);
                 labels.push(c);
             }
         }
@@ -224,7 +383,10 @@ mod tests {
         let ds = blobs(20, 4);
         let forest = RandomForest::fit(
             &ds,
-            &RandomForestParams { n_estimators: 30, ..Default::default() },
+            &RandomForestParams {
+                n_estimators: 30,
+                ..Default::default()
+            },
             11,
         )
         .unwrap();
@@ -242,7 +404,10 @@ mod tests {
         let ds = blobs(10, 3);
         let forest = RandomForest::fit(
             &ds,
-            &RandomForestParams { n_estimators: 15, ..Default::default() },
+            &RandomForestParams {
+                n_estimators: 15,
+                ..Default::default()
+            },
             1,
         )
         .unwrap();
@@ -257,7 +422,10 @@ mod tests {
         let ds = blobs(15, 3);
         let forest = RandomForest::fit(
             &ds,
-            &RandomForestParams { n_estimators: 20, ..Default::default() },
+            &RandomForestParams {
+                n_estimators: 20,
+                ..Default::default()
+            },
             3,
         )
         .unwrap();
@@ -271,7 +439,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = blobs(12, 3);
-        let params = RandomForestParams { n_estimators: 10, ..Default::default() };
+        let params = RandomForestParams {
+            n_estimators: 10,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&ds, &params, 99).unwrap();
         let b = RandomForest::fit(&ds, &params, 99).unwrap();
         for i in 0..ds.n_samples() {
@@ -286,7 +457,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let ds = blobs(12, 3);
-        let params = RandomForestParams { n_estimators: 10, ..Default::default() };
+        let params = RandomForestParams {
+            n_estimators: 10,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&ds, &params, 1).unwrap();
         let b = RandomForest::fit(&ds, &params, 2).unwrap();
         // Probabilities on at least one sample should differ between seeds.
@@ -300,7 +474,14 @@ mod tests {
     fn zero_estimators_rejected() {
         let ds = blobs(5, 2);
         assert!(matches!(
-            RandomForest::fit(&ds, &RandomForestParams { n_estimators: 0, ..Default::default() }, 0),
+            RandomForest::fit(
+                &ds,
+                &RandomForestParams {
+                    n_estimators: 0,
+                    ..Default::default()
+                },
+                0
+            ),
             Err(MlError::InvalidParameter(_))
         ));
     }
@@ -337,7 +518,10 @@ mod tests {
         let ds = Dataset::from_rows(rows, labels, vec![], vec!["a".into(), "b".into()]).unwrap();
         let forest = RandomForest::fit(
             &ds,
-            &RandomForestParams { n_estimators: 25, ..Default::default() },
+            &RandomForestParams {
+                n_estimators: 25,
+                ..Default::default()
+            },
             7,
         )
         .unwrap();
@@ -346,11 +530,120 @@ mod tests {
     }
 
     #[test]
+    fn encode_decode_roundtrip_preserves_predictions() {
+        let ds = blobs(10, 3);
+        let forest = RandomForest::fit(
+            &ds,
+            &RandomForestParams {
+                n_estimators: 12,
+                ..Default::default()
+            },
+            17,
+        )
+        .unwrap();
+        let mut w = ByteWriter::new();
+        forest.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = RandomForest::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(decoded.n_trees(), forest.n_trees());
+        assert_eq!(decoded.n_classes(), forest.n_classes());
+        assert_eq!(decoded.feature_importances(), forest.feature_importances());
+        for i in 0..ds.n_samples() {
+            assert_eq!(
+                decoded.predict_proba(ds.features().row(i)),
+                forest.predict_proba(ds.features().row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_tree_with_mismatched_feature_count() {
+        // A forest header declaring 1 feature followed by a tree trained on
+        // 3 features: structurally valid bytes, but predicting through it
+        // would index past the end of a sample row — decode must refuse.
+        let ds = blobs(6, 2); // 3-feature dataset
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), 1).unwrap();
+        let mut w = ByteWriter::new();
+        w.put_usize(2); // n_classes
+        w.put_usize(1); // n_features (lies: the tree has 3)
+        w.put_usize(1); // importances length
+        w.put_f64(1.0);
+        w.put_usize(1); // n_trees
+        tree.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let err = RandomForest::decode(&mut r).unwrap_err();
+        assert!(
+            err.to_string().contains("features"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_forest_bytes_rejected() {
+        let ds = blobs(6, 2);
+        let forest = RandomForest::fit(
+            &ds,
+            &RandomForestParams {
+                n_estimators: 3,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let mut w = ByteWriter::new();
+        forest.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 8, 24, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                RandomForest::decode(&mut r).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_through_codec() {
+        let params = RandomForestParams {
+            n_estimators: 42,
+            criterion: Criterion::Entropy,
+            max_depth: Some(13),
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: MaxFeatures::Count(5),
+            bootstrap: false,
+            class_weight: ClassWeight::Uniform,
+            n_jobs: 3,
+        };
+        let mut w = ByteWriter::new();
+        params.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(RandomForestParams::decode(&mut r).unwrap(), params);
+        assert!(r.is_empty());
+
+        let mut w = ByteWriter::new();
+        RandomForestParams::default().encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            RandomForestParams::decode(&mut r).unwrap(),
+            RandomForestParams::default()
+        );
+    }
+
+    #[test]
     fn batch_prediction_matches_single() {
         let ds = blobs(8, 3);
         let forest = RandomForest::fit(
             &ds,
-            &RandomForestParams { n_estimators: 12, ..Default::default() },
+            &RandomForestParams {
+                n_estimators: 12,
+                ..Default::default()
+            },
             2,
         )
         .unwrap();

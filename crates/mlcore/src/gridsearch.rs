@@ -1,16 +1,19 @@
-//! Exhaustive hyper-parameter search for the random forest.
+//! Exhaustive hyper-parameter search over [`Model`] configurations.
 //!
 //! The paper tunes "n_estimators, criterion, max_depth, min_samples_split,
 //! min_samples_leaf, and max_features" with a grid search evaluated only
-//! within the training set. [`GridSearch`] scores every combination with
-//! stratified k-fold cross-validated macro F1 (the metric the paper
-//! emphasizes) and reports the best configuration.
+//! within the training set. [`evaluate_candidates`] scores any list of
+//! candidate parameters for any [`Model`] with stratified k-fold
+//! cross-validated macro F1 (the metric the paper emphasizes) on folds
+//! shared across candidates; [`GridSearch`] is the random-forest front end
+//! that expands a [`ParamGrid`] and reports the best configuration.
 
-use crate::crossval::stratified_k_fold;
+use crate::crossval::{cross_validate_folds, stratified_k_fold};
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::forest::{RandomForest, RandomForestParams};
-use crate::metrics::{f1_score, Average};
+use crate::metrics::Average;
+use crate::model::Model;
 use crate::tree::{Criterion, MaxFeatures};
 use hpcutil::SeedSequence;
 
@@ -48,12 +51,36 @@ impl Default for ParamGrid {
 impl ParamGrid {
     /// Materialize every parameter combination.
     pub fn combinations(&self, base: &RandomForestParams) -> Vec<RandomForestParams> {
-        let ne = if self.n_estimators.is_empty() { vec![base.n_estimators] } else { self.n_estimators.clone() };
-        let cr = if self.criterion.is_empty() { vec![base.criterion] } else { self.criterion.clone() };
-        let md = if self.max_depth.is_empty() { vec![base.max_depth] } else { self.max_depth.clone() };
-        let mss = if self.min_samples_split.is_empty() { vec![base.min_samples_split] } else { self.min_samples_split.clone() };
-        let msl = if self.min_samples_leaf.is_empty() { vec![base.min_samples_leaf] } else { self.min_samples_leaf.clone() };
-        let mf = if self.max_features.is_empty() { vec![base.max_features] } else { self.max_features.clone() };
+        let ne = if self.n_estimators.is_empty() {
+            vec![base.n_estimators]
+        } else {
+            self.n_estimators.clone()
+        };
+        let cr = if self.criterion.is_empty() {
+            vec![base.criterion]
+        } else {
+            self.criterion.clone()
+        };
+        let md = if self.max_depth.is_empty() {
+            vec![base.max_depth]
+        } else {
+            self.max_depth.clone()
+        };
+        let mss = if self.min_samples_split.is_empty() {
+            vec![base.min_samples_split]
+        } else {
+            self.min_samples_split.clone()
+        };
+        let msl = if self.min_samples_leaf.is_empty() {
+            vec![base.min_samples_leaf]
+        } else {
+            self.min_samples_leaf.clone()
+        };
+        let mf = if self.max_features.is_empty() {
+            vec![base.max_features]
+        } else {
+            self.max_features.clone()
+        };
 
         let mut out = Vec::new();
         for &n_estimators in &ne {
@@ -81,15 +108,53 @@ impl ParamGrid {
     }
 }
 
-/// The outcome of evaluating one grid point.
+/// The outcome of evaluating one candidate parameter set.
 #[derive(Debug, Clone)]
-pub struct GridPointResult {
+pub struct CandidateResult<P> {
     /// The parameters evaluated.
-    pub params: RandomForestParams,
+    pub params: P,
     /// Mean cross-validated macro F1.
     pub mean_macro_f1: f64,
     /// Per-fold macro F1 scores.
     pub fold_scores: Vec<f64>,
+}
+
+/// The outcome of evaluating one random-forest grid point.
+pub type GridPointResult = CandidateResult<RandomForestParams>;
+
+/// Cross-validate every candidate parameter set of a model on shared
+/// stratified folds and return the results sorted best-first.
+///
+/// This is the polymorphic core of the grid search: the folds are computed
+/// once from `seed` (so all candidates compete on identical splits), each
+/// candidate's model randomness derives from its own child seed, and results
+/// are ranked by mean macro F1.
+pub fn evaluate_candidates<M: Model>(
+    ds: &Dataset,
+    candidates: Vec<M::Params>,
+    n_folds: usize,
+    seed: u64,
+) -> Result<Vec<CandidateResult<M::Params>>, MlError> {
+    let folds = stratified_k_fold(ds.labels(), n_folds, seed)?;
+    let seeds = SeedSequence::new(seed);
+    let mut results = Vec::with_capacity(candidates.len());
+    for (ci, params) in candidates.into_iter().enumerate() {
+        let candidate_seeds = SeedSequence::new(seeds.derive_indexed("candidate", ci as u64));
+        let fold_scores =
+            cross_validate_folds::<M>(ds, &params, &folds, &candidate_seeds, Average::Macro)?;
+        let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+        results.push(CandidateResult {
+            params,
+            mean_macro_f1: mean,
+            fold_scores,
+        });
+    }
+    results.sort_by(|a, b| {
+        b.mean_macro_f1
+            .partial_cmp(&a.mean_macro_f1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(results)
 }
 
 /// Grid-search driver.
@@ -103,40 +168,22 @@ pub struct GridSearch {
 
 impl Default for GridSearch {
     fn default() -> Self {
-        Self { n_folds: 3, base: RandomForestParams::default() }
+        Self {
+            n_folds: 3,
+            base: RandomForestParams::default(),
+        }
     }
 }
 
 impl GridSearch {
     /// Evaluate every grid point on `ds` and return all results, best first.
-    pub fn run(&self, ds: &Dataset, grid: &ParamGrid, seed: u64) -> Result<Vec<GridPointResult>, MlError> {
-        let folds = stratified_k_fold(ds.labels(), self.n_folds, seed)?;
-        let seeds = SeedSequence::new(seed);
-        let mut results = Vec::new();
-        for (gi, params) in grid.combinations(&self.base).into_iter().enumerate() {
-            let mut fold_scores = Vec::with_capacity(folds.len());
-            for (fi, fold) in folds.iter().enumerate() {
-                let train = ds.subset(&fold.train);
-                let forest =
-                    RandomForest::fit(&train, &params, seeds.derive_indexed("grid", (gi * 1000 + fi) as u64))?;
-                let y_true: Vec<usize> =
-                    fold.validation.iter().map(|&i| ds.labels()[i]).collect();
-                let y_pred: Vec<usize> = fold
-                    .validation
-                    .iter()
-                    .map(|&i| forest.predict(ds.features().row(i)))
-                    .collect();
-                fold_scores.push(f1_score(&y_true, &y_pred, ds.n_classes(), Average::Macro));
-            }
-            let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
-            results.push(GridPointResult { params, mean_macro_f1: mean, fold_scores });
-        }
-        results.sort_by(|a, b| {
-            b.mean_macro_f1
-                .partial_cmp(&a.mean_macro_f1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        Ok(results)
+    pub fn run(
+        &self,
+        ds: &Dataset,
+        grid: &ParamGrid,
+        seed: u64,
+    ) -> Result<Vec<GridPointResult>, MlError> {
+        evaluate_candidates::<RandomForest>(ds, grid.combinations(&self.base), self.n_folds, seed)
     }
 
     /// Convenience: run the search and return only the best parameters.
@@ -171,7 +218,13 @@ mod tests {
                 labels.push(c);
             }
         }
-        Dataset::from_rows(rows, labels, vec![], (0..3).map(|c| format!("c{c}")).collect()).unwrap()
+        Dataset::from_rows(
+            rows,
+            labels,
+            vec![],
+            (0..3).map(|c| format!("c{c}")).collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -185,13 +238,19 @@ mod tests {
             max_features: vec![MaxFeatures::Sqrt],
         };
         let combos = grid.combinations(&RandomForestParams::default());
-        assert_eq!(combos.len(), 2 * 2 * 2 * 1 * 2 * 1);
+        assert_eq!(combos.len(), ((2 * 2 * 2) * 2));
     }
 
     #[test]
     fn empty_dimension_uses_base_value() {
-        let grid = ParamGrid { n_estimators: vec![], ..Default::default() };
-        let base = RandomForestParams { n_estimators: 37, ..Default::default() };
+        let grid = ParamGrid {
+            n_estimators: vec![],
+            ..Default::default()
+        };
+        let base = RandomForestParams {
+            n_estimators: 37,
+            ..Default::default()
+        };
         let combos = grid.combinations(&base);
         assert_eq!(combos.len(), 1);
         assert_eq!(combos[0].n_estimators, 37);
@@ -205,7 +264,10 @@ mod tests {
             max_depth: vec![Some(1), None],
             ..Default::default()
         };
-        let search = GridSearch { n_folds: 3, base: RandomForestParams::default() };
+        let search = GridSearch {
+            n_folds: 3,
+            base: RandomForestParams::default(),
+        };
         let results = search.run(&ds, &grid, 7).unwrap();
         assert_eq!(results.len(), 4);
         // Results are sorted best-first.
@@ -213,18 +275,57 @@ mod tests {
             assert!(w[0].mean_macro_f1 >= w[1].mean_macro_f1);
         }
         // On cleanly separable blobs the best configuration scores highly.
-        assert!(results[0].mean_macro_f1 > 0.9, "best score: {}", results[0].mean_macro_f1);
+        assert!(
+            results[0].mean_macro_f1 > 0.9,
+            "best score: {}",
+            results[0].mean_macro_f1
+        );
         let best = search.best_params(&ds, &grid, 7).unwrap();
-        assert!(grid.combinations(&search.base).iter().any(|p| *p == best));
+        assert!(grid.combinations(&search.base).contains(&best));
+    }
+
+    #[test]
+    fn evaluate_candidates_works_for_other_models() {
+        use crate::knn::{KNearestNeighbors, KnnParams, Metric};
+        let ds = blobs();
+        let candidates = vec![
+            KnnParams {
+                k: 1,
+                metric: Metric::Euclidean,
+            },
+            KnnParams {
+                k: 3,
+                metric: Metric::Euclidean,
+            },
+            KnnParams {
+                k: 45,
+                metric: Metric::Manhattan,
+            },
+        ];
+        let results = evaluate_candidates::<KNearestNeighbors>(&ds, candidates, 3, 5).unwrap();
+        assert_eq!(results.len(), 3);
+        for w in results.windows(2) {
+            assert!(w[0].mean_macro_f1 >= w[1].mean_macro_f1);
+        }
+        // k = 45 on 45 samples votes with the whole training set — it cannot
+        // beat a small-k neighbour model on clean blobs.
+        assert!(results[0].params.k < 45);
+        assert!(results[0].mean_macro_f1 > 0.9);
     }
 
     #[test]
     fn unlimited_depth_beats_depth_zero_stumps() {
         let ds = blobs();
-        let grid = ParamGrid { max_depth: vec![Some(0), None], ..Default::default() };
+        let grid = ParamGrid {
+            max_depth: vec![Some(0), None],
+            ..Default::default()
+        };
         let search = GridSearch {
             n_folds: 3,
-            base: RandomForestParams { n_estimators: 10, ..Default::default() },
+            base: RandomForestParams {
+                n_estimators: 10,
+                ..Default::default()
+            },
         };
         let best = search.best_params(&ds, &grid, 3).unwrap();
         assert_eq!(best.max_depth, None);

@@ -8,6 +8,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
+use crate::model::Model;
 use crate::tree::argmax;
 
 /// Distance metric between feature vectors.
@@ -29,6 +30,24 @@ impl Metric {
                 .sum::<f64>()
                 .sqrt(),
             Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+        }
+    }
+}
+
+/// Hyper-parameters of the k-NN classifier (the [`Model::Params`] type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnParams {
+    /// Number of neighbours that vote.
+    pub k: usize,
+    /// Distance metric.
+    pub metric: Metric,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            metric: Metric::Euclidean,
         }
     }
 }
@@ -92,6 +111,28 @@ impl KNearestNeighbors {
     /// The `k` actually in use (clamped to the training-set size).
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Number of classes in the label space.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+impl Model for KNearestNeighbors {
+    type Params = KnnParams;
+
+    /// k-NN is deterministic; the seed is ignored.
+    fn fit(ds: &Dataset, params: &KnnParams, _seed: u64) -> Result<Self, MlError> {
+        KNearestNeighbors::fit(ds, params.k, params.metric)
+    }
+
+    fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        KNearestNeighbors::predict_proba(self, sample)
+    }
+
+    fn n_classes(&self) -> usize {
+        KNearestNeighbors::n_classes(self)
     }
 }
 

@@ -14,6 +14,9 @@
 //! * [`forest`] — bootstrap-aggregated random forests with balanced class
 //!   weights, probability prediction, and mean-decrease-in-impurity feature
 //!   importances; trees grow in parallel.
+//! * [`model`] — the polymorphic [`Model`](model::Model) fit/predict trait
+//!   implemented by the forest, k-NN, and naive Bayes, so grid search,
+//!   cross-validation, and the baselines share one interface.
 //! * [`knn`] and [`naive_bayes`] — the baseline models the paper lists as
 //!   future-work comparisons (k-nearest-neighbours, Gaussian naive Bayes).
 //! * [`metrics`] / [`report`] — confusion matrices, per-class precision /
@@ -58,6 +61,7 @@ pub mod gridsearch;
 pub mod knn;
 pub mod matrix;
 pub mod metrics;
+pub mod model;
 pub mod naive_bayes;
 pub mod report;
 pub mod split;
@@ -66,6 +70,9 @@ pub mod tree;
 pub use dataset::Dataset;
 pub use error::MlError;
 pub use forest::{RandomForest, RandomForestParams};
+pub use knn::{KNearestNeighbors, KnnParams};
 pub use matrix::Matrix;
 pub use metrics::{f1_score, precision_recall_f1, Average};
+pub use model::Model;
+pub use naive_bayes::{GaussianNaiveBayes, GaussianNbParams};
 pub use report::ClassificationReport;

@@ -20,24 +20,40 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix of zeros.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        Self { data: vec![0.0; n_rows * n_cols], n_rows, n_cols }
+        Self {
+            data: vec![0.0; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
     }
 
     /// Build a matrix from row vectors, checking that all rows have equal
     /// width.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, MlError> {
         if rows.is_empty() {
-            return Ok(Self { data: Vec::new(), n_rows: 0, n_cols: 0 });
+            return Ok(Self {
+                data: Vec::new(),
+                n_rows: 0,
+                n_cols: 0,
+            });
         }
         let n_cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * n_cols);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != n_cols {
-                return Err(MlError::RaggedRows { expected: n_cols, found: row.len(), row: i });
+                return Err(MlError::RaggedRows {
+                    expected: n_cols,
+                    found: row.len(),
+                    row: i,
+                });
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { data, n_rows: rows.len(), n_cols })
+        Ok(Self {
+            data,
+            n_rows: rows.len(),
+            n_cols,
+        })
     }
 
     /// Number of rows.
@@ -85,7 +101,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { data, n_rows: indices.len(), n_cols: self.n_cols }
+        Matrix {
+            data,
+            n_rows: indices.len(),
+            n_cols: self.n_cols,
+        }
     }
 
     /// Iterate over rows as slices.

@@ -79,10 +79,21 @@ impl ConfusionMatrix {
         (0..self.n_classes)
             .map(|c| {
                 let tp = self.counts[c][c];
-                let fp: usize = (0..self.n_classes).filter(|&t| t != c).map(|t| self.counts[t][c]).sum();
-                let fn_: usize = (0..self.n_classes).filter(|&p| p != c).map(|p| self.counts[c][p]).sum();
+                let fp: usize = (0..self.n_classes)
+                    .filter(|&t| t != c)
+                    .map(|t| self.counts[t][c])
+                    .sum();
+                let fn_: usize = (0..self.n_classes)
+                    .filter(|&p| p != c)
+                    .map(|p| self.counts[c][p])
+                    .sum();
                 let support: usize = self.counts[c].iter().sum();
-                ClassCounts { tp, fp, fn_, support }
+                ClassCounts {
+                    tp,
+                    fp,
+                    fn_,
+                    support,
+                }
             })
             .collect()
     }
@@ -90,7 +101,11 @@ impl ConfusionMatrix {
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
         let correct: usize = (0..self.n_classes).map(|c| self.counts[c][c]).sum();
-        let total: usize = self.counts.iter().map(|row| row.iter().sum::<usize>()).sum();
+        let total: usize = self
+            .counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum();
         if total == 0 {
             0.0
         } else {
@@ -108,7 +123,11 @@ fn safe_div(num: f64, den: f64) -> f64 {
 }
 
 /// Precision / recall / F1 for every class.
-pub fn per_class_metrics(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<PrecisionRecallF1> {
+pub fn per_class_metrics(
+    y_true: &[usize],
+    y_pred: &[usize],
+    n_classes: usize,
+) -> Vec<PrecisionRecallF1> {
     let cm = ConfusionMatrix::compute(y_true, y_pred, n_classes);
     cm.class_counts()
         .iter()
@@ -116,7 +135,12 @@ pub fn per_class_metrics(y_true: &[usize], y_pred: &[usize], n_classes: usize) -
             let precision = safe_div(c.tp as f64, (c.tp + c.fp) as f64);
             let recall = safe_div(c.tp as f64, (c.tp + c.fn_) as f64);
             let f1 = safe_div(2.0 * precision * recall, precision + recall);
-            PrecisionRecallF1 { precision, recall, f1, support: c.support }
+            PrecisionRecallF1 {
+                precision,
+                recall,
+                f1,
+                support: c.support,
+            }
         })
         .collect()
 }
@@ -144,7 +168,12 @@ pub fn precision_recall_f1(
             let precision = safe_div(tp as f64, (tp + fp) as f64);
             let recall = safe_div(tp as f64, (tp + fn_) as f64);
             let f1 = safe_div(2.0 * precision * recall, precision + recall);
-            PrecisionRecallF1 { precision, recall, f1, support: total_support }
+            PrecisionRecallF1 {
+                precision,
+                recall,
+                f1,
+                support: total_support,
+            }
         }
         Average::Macro => {
             let present: Vec<&PrecisionRecallF1> =
@@ -160,9 +189,21 @@ pub fn precision_recall_f1(
         Average::Weighted => {
             let denom = total_support.max(1) as f64;
             PrecisionRecallF1 {
-                precision: per_class.iter().map(|c| c.precision * c.support as f64).sum::<f64>() / denom,
-                recall: per_class.iter().map(|c| c.recall * c.support as f64).sum::<f64>() / denom,
-                f1: per_class.iter().map(|c| c.f1 * c.support as f64).sum::<f64>() / denom,
+                precision: per_class
+                    .iter()
+                    .map(|c| c.precision * c.support as f64)
+                    .sum::<f64>()
+                    / denom,
+                recall: per_class
+                    .iter()
+                    .map(|c| c.recall * c.support as f64)
+                    .sum::<f64>()
+                    / denom,
+                f1: per_class
+                    .iter()
+                    .map(|c| c.f1 * c.support as f64)
+                    .sum::<f64>()
+                    / denom,
                 support: total_support,
             }
         }

@@ -1,0 +1,184 @@
+//! The polymorphic model interface.
+//!
+//! The paper's pipeline trains a random forest, and its future-work section
+//! compares against k-nearest-neighbours and naive Bayes. Before this trait
+//! existed, grid search, cross-validation, and the baselines each called one
+//! concrete model type directly; [`Model`] gives them a single fit/predict
+//! interface so any probabilistic classifier can slot into any of those
+//! harnesses:
+//!
+//! * [`Model::fit`] trains from a [`Dataset`], a model-specific parameter
+//!   struct ([`Model::Params`]), and an explicit seed (deterministic models
+//!   simply ignore it).
+//! * [`Model::predict_proba`] is the one required prediction method; class
+//!   prediction and the parallel batch variants are derived from it.
+//!
+//! ```
+//! use mlcore::dataset::Dataset;
+//! use mlcore::knn::{KNearestNeighbors, KnnParams, Metric};
+//! use mlcore::model::Model;
+//! use mlcore::naive_bayes::{GaussianNaiveBayes, GaussianNbParams};
+//!
+//! fn macro_accuracy<M: Model>(ds: &Dataset, params: &M::Params) -> f64 {
+//!     let model = M::fit(ds, params, 7).unwrap();
+//!     let hits = (0..ds.n_samples())
+//!         .filter(|&i| model.predict(ds.features().row(i)) == ds.labels()[i])
+//!         .count();
+//!     hits as f64 / ds.n_samples() as f64
+//! }
+//!
+//! let ds = Dataset::from_rows(
+//!     vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]],
+//!     vec![0, 0, 1, 1],
+//!     vec![],
+//!     vec!["near".into(), "far".into()],
+//! ).unwrap();
+//! let knn_params = KnnParams { k: 1, metric: Metric::Euclidean };
+//! assert_eq!(macro_accuracy::<KNearestNeighbors>(&ds, &knn_params), 1.0);
+//! assert_eq!(macro_accuracy::<GaussianNaiveBayes>(&ds, &GaussianNbParams::default()), 1.0);
+//! ```
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::tree::argmax;
+use hpcutil::{par_map_indexed, ParallelConfig};
+
+/// A probabilistic classifier that can be fit on a dataset and queried for
+/// per-class probabilities.
+///
+/// `Send + Sync` is required so fitted models can score batches in parallel
+/// and be shared across serving threads.
+pub trait Model: Send + Sync {
+    /// Model-specific hyper-parameters consumed by [`Model::fit`].
+    type Params;
+
+    /// Fit the model on `ds`. Stochastic models derive all randomness from
+    /// `seed`; deterministic models ignore it.
+    fn fit(ds: &Dataset, params: &Self::Params, seed: u64) -> Result<Self, MlError>
+    where
+        Self: Sized;
+
+    /// Probability estimate over the known classes for one feature vector.
+    fn predict_proba(&self, sample: &[f64]) -> Vec<f64>;
+
+    /// Number of classes in the model's label space.
+    fn n_classes(&self) -> usize;
+
+    /// Predicted class index for one sample (argmax of the probabilities).
+    fn predict(&self, sample: &[f64]) -> usize {
+        argmax(&self.predict_proba(sample))
+    }
+
+    /// Predict every row of a feature matrix (in parallel).
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        par_map_indexed(rows.len(), ParallelConfig::default(), |i| {
+            self.predict(&rows[i])
+        })
+    }
+
+    /// Probability predictions for every row of a feature matrix
+    /// (in parallel).
+    fn predict_proba_batch(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>>
+    where
+        Self: Sized,
+    {
+        par_map_indexed(rows.len(), ParallelConfig::default(), |i| {
+            self.predict_proba(&rows[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{RandomForest, RandomForestParams};
+    use crate::knn::{KNearestNeighbors, KnnParams, Metric};
+    use crate::naive_bayes::{GaussianNaiveBayes, GaussianNbParams};
+
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for i in 0..12 {
+                rows.push(vec![
+                    4.0 * c as f64 + (i % 5) as f64 * 0.1,
+                    -4.0 * c as f64 + (i % 3) as f64 * 0.1,
+                ]);
+                labels.push(c);
+            }
+        }
+        Dataset::from_rows(
+            rows,
+            labels,
+            vec![],
+            (0..3).map(|c| format!("c{c}")).collect(),
+        )
+        .unwrap()
+    }
+
+    /// One generic harness exercising every Model implementation the same
+    /// way — the point of the trait.
+    fn exercise<M: Model>(params: &M::Params) {
+        let ds = blobs();
+        let model = M::fit(&ds, params, 11).unwrap();
+        assert_eq!(model.n_classes(), 3);
+        let rows: Vec<Vec<f64>> = ds.features().rows().map(|r| r.to_vec()).collect();
+        let probas = model.predict_proba_batch(&rows);
+        let preds = model.predict_batch(&rows);
+        assert_eq!(probas.len(), ds.n_samples());
+        let mut correct = 0;
+        for (i, (proba, &pred)) in probas.iter().zip(&preds).enumerate() {
+            assert_eq!(proba.len(), 3);
+            assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert_eq!(pred, model.predict(&rows[i]));
+            assert_eq!(proba, &model.predict_proba(&rows[i]));
+            if pred == ds.labels()[i] {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / ds.n_samples() as f64 > 0.9,
+            "model should separate clean blobs, got {correct}/{}",
+            ds.n_samples()
+        );
+    }
+
+    #[test]
+    fn forest_through_the_trait() {
+        exercise::<RandomForest>(&RandomForestParams {
+            n_estimators: 20,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn knn_through_the_trait() {
+        exercise::<KNearestNeighbors>(&KnnParams {
+            k: 3,
+            metric: Metric::Euclidean,
+        });
+    }
+
+    #[test]
+    fn naive_bayes_through_the_trait() {
+        exercise::<GaussianNaiveBayes>(&GaussianNbParams);
+    }
+
+    #[test]
+    fn trait_objects_can_serve_heterogeneous_models() {
+        // dyn-compatibility of the predict side: a serving layer can hold
+        // models of different kinds behind one pointer type.
+        let ds = blobs();
+        let models: Vec<Box<dyn Model<Params = KnnParams>>> = vec![
+            Box::new(KNearestNeighbors::fit(&ds, 1, Metric::Euclidean).unwrap()),
+            Box::new(KNearestNeighbors::fit(&ds, 5, Metric::Manhattan).unwrap()),
+        ];
+        for model in &models {
+            assert_eq!(model.n_classes(), 3);
+            assert_eq!(model.predict(ds.features().row(0)), ds.labels()[0]);
+        }
+    }
+}

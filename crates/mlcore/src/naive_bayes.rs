@@ -6,11 +6,18 @@
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
+use crate::model::Model;
 use crate::tree::argmax;
 
 /// Variance floor added to every per-class feature variance for numerical
 /// stability (scikit-learn's `var_smoothing` plays the same role).
 const VAR_SMOOTHING: f64 = 1e-9;
+
+/// Hyper-parameters of Gaussian naive Bayes (the [`Model::Params`] type).
+/// The model has none; the struct exists so naive Bayes plugs into the same
+/// generic fit/predict machinery as the other models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaussianNbParams;
 
 /// A fitted Gaussian naive Bayes model.
 #[derive(Debug, Clone)]
@@ -42,8 +49,8 @@ impl GaussianNaiveBayes {
         }
         for (c, count) in counts.iter().enumerate() {
             if *count > 0 {
-                for j in 0..n_features {
-                    means[c][j] /= *count as f64;
+                for mean in &mut means[c] {
+                    *mean /= *count as f64;
                 }
             }
         }
@@ -57,11 +64,12 @@ impl GaussianNaiveBayes {
         // Global variance scale for smoothing.
         let mut global_var = 0.0f64;
         for c in 0..n_classes {
-            for j in 0..n_features {
-                if counts[c] > 0 {
-                    variances[c][j] = variances[c][j] / counts[c] as f64;
-                    global_var = global_var.max(variances[c][j]);
-                }
+            if counts[c] == 0 {
+                continue;
+            }
+            for variance in &mut variances[c] {
+                *variance /= counts[c] as f64;
+                global_var = global_var.max(*variance);
             }
         }
         let smoothing = VAR_SMOOTHING * global_var.max(1.0);
@@ -73,9 +81,20 @@ impl GaussianNaiveBayes {
         let n = ds.n_samples() as f64;
         let log_priors = counts
             .iter()
-            .map(|&c| if c == 0 { f64::NEG_INFINITY } else { (c as f64 / n).ln() })
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (c as f64 / n).ln()
+                }
+            })
             .collect();
-        Ok(Self { log_priors, means, variances, n_classes })
+        Ok(Self {
+            log_priors,
+            means,
+            variances,
+            n_classes,
+        })
     }
 
     /// Per-class log joint likelihood of one sample.
@@ -114,6 +133,28 @@ impl GaussianNaiveBayes {
     pub fn predict(&self, sample: &[f64]) -> usize {
         argmax(&self.joint_log_likelihood(sample))
     }
+
+    /// Number of classes in the label space.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+impl Model for GaussianNaiveBayes {
+    type Params = GaussianNbParams;
+
+    /// Naive Bayes is deterministic and parameter-free; both are ignored.
+    fn fit(ds: &Dataset, _params: &GaussianNbParams, _seed: u64) -> Result<Self, MlError> {
+        GaussianNaiveBayes::fit(ds)
+    }
+
+    fn predict_proba(&self, sample: &[f64]) -> Vec<f64> {
+        GaussianNaiveBayes::predict_proba(self, sample)
+    }
+
+    fn n_classes(&self) -> usize {
+        GaussianNaiveBayes::n_classes(self)
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +192,10 @@ mod tests {
     #[test]
     fn empty_dataset_rejected() {
         let ds = Dataset::from_rows(vec![], vec![], vec![], vec!["c".into()]).unwrap();
-        assert!(matches!(GaussianNaiveBayes::fit(&ds), Err(MlError::EmptyDataset)));
+        assert!(matches!(
+            GaussianNaiveBayes::fit(&ds),
+            Err(MlError::EmptyDataset)
+        ));
     }
 
     #[test]
@@ -172,7 +216,12 @@ mod tests {
     #[test]
     fn constant_feature_does_not_blow_up() {
         let ds = Dataset::from_rows(
-            vec![vec![1.0, 0.0], vec![1.0, 0.2], vec![1.0, 5.0], vec![1.0, 5.2]],
+            vec![
+                vec![1.0, 0.0],
+                vec![1.0, 0.2],
+                vec![1.0, 5.0],
+                vec![1.0, 5.2],
+            ],
             vec![0, 0, 1, 1],
             vec![],
             vec!["a".into(), "b".into()],

@@ -39,12 +39,21 @@ impl ClassificationReport {
             .iter()
             .enumerate()
             .filter(|(_, m)| m.support > 0)
-            .map(|(label, m)| ReportRow { class_name: class_names[label].clone(), metrics: *m })
+            .map(|(label, m)| ReportRow {
+                class_name: class_names[label].clone(),
+                metrics: *m,
+            })
             .collect();
         let micro = precision_recall_f1(y_true, y_pred, n_classes, Average::Micro);
         let macro_ = precision_recall_f1(y_true, y_pred, n_classes, Average::Macro);
         let weighted = precision_recall_f1(y_true, y_pred, n_classes, Average::Weighted);
-        Self { rows, micro, macro_, weighted, total_support: y_true.len() }
+        Self {
+            rows,
+            micro,
+            macro_,
+            weighted,
+            total_support: y_true.len(),
+        }
     }
 
     /// Per-class rows (classes with non-zero support, in label order).
@@ -80,7 +89,13 @@ impl ClassificationReport {
     /// Render as a text table shaped like the paper's Table 4.
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec!["Class", "Precision", "Recall", "f1-Score", "Support"])
-            .with_alignment(vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+            .with_alignment(vec![
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
         for row in &self.rows {
             table.add_row(vec![
                 row.class_name.clone(),

@@ -98,7 +98,11 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all, (0..92).collect::<Vec<_>>());
         // ~20% of 92 classes
-        assert!((15..=22).contains(&test.len()), "test classes: {}", test.len());
+        assert!(
+            (15..=22).contains(&test.len()),
+            "test classes: {}",
+            test.len()
+        );
     }
 
     #[test]
@@ -155,7 +159,10 @@ mod tests {
 
     #[test]
     fn empty_labels_rejected() {
-        assert!(matches!(stratified_split(&[], 0.4, 0), Err(MlError::EmptyDataset)));
+        assert!(matches!(
+            stratified_split(&[], 0.4, 0),
+            Err(MlError::EmptyDataset)
+        ));
     }
 
     #[test]

@@ -168,7 +168,12 @@ impl<'a> Builder<'a> {
     }
 
     /// Find the best split of `indices` over a random subset of features.
-    fn best_split(&mut self, indices: &[usize], parent_imp: f64, parent_total: f64) -> Option<BestSplit> {
+    fn best_split(
+        &mut self,
+        indices: &[usize],
+        parent_imp: f64,
+        parent_total: f64,
+    ) -> Option<BestSplit> {
         let n_features = self.ds.n_features();
         let mut features: Vec<usize> = (0..n_features).collect();
         features.shuffle(&mut self.rng);
@@ -222,7 +227,8 @@ impl<'a> Builder<'a> {
                     .collect();
                 let imp_left = impurity(&left_hist, left_total, criterion);
                 let imp_right = impurity(&right_hist, right_total, criterion);
-                let weighted_child = (left_total * imp_left + right_total * imp_right) / parent_total;
+                let weighted_child =
+                    (left_total * imp_left + right_total * imp_right) / parent_total;
                 let gain = parent_imp - weighted_child;
                 if gain > best.as_ref().map(|b| b.gain).unwrap_or(1e-12) {
                     best = Some(BestSplit {
@@ -268,7 +274,12 @@ impl<'a> Builder<'a> {
         let this = self.nodes.len() - 1;
         let left = self.grow(&left_idx, depth + 1);
         let right = self.grow(&right_idx, depth + 1);
-        self.nodes[this] = Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+        self.nodes[this] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
         this
     }
 }
@@ -287,7 +298,10 @@ impl DecisionTree {
             return Err(MlError::EmptyDataset);
         }
         if weights.len() != ds.n_samples() {
-            return Err(MlError::LengthMismatch { rows: ds.n_samples(), labels: weights.len() });
+            return Err(MlError::LengthMismatch {
+                rows: ds.n_samples(),
+                labels: weights.len(),
+            });
         }
         if params.min_samples_split < 2 {
             return Err(MlError::InvalidParameter("min_samples_split must be >= 2"));
@@ -329,8 +343,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { proba } => return proba.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if sample[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -362,10 +385,119 @@ impl DecisionTree {
         self.n_classes
     }
 
+    /// Number of features expected per sample.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Un-normalized per-feature importance (total weighted impurity
     /// decrease). The forest normalizes the aggregate.
     pub fn raw_importances(&self) -> &[f64] {
         &self.importances
+    }
+
+    /// Append this tree's binary encoding to `w` (the trained-classifier
+    /// artifact format; see `hpcutil::codec`).
+    pub fn encode(&self, w: &mut hpcutil::ByteWriter) {
+        w.put_usize(self.n_classes);
+        w.put_usize(self.n_features);
+        w.put_usize(self.importances.len());
+        for &imp in &self.importances {
+            w.put_f64(imp);
+        }
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { proba } => {
+                    w.put_u8(0);
+                    w.put_usize(proba.len());
+                    for &p in proba {
+                        w.put_f64(p);
+                    }
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    w.put_u8(1);
+                    w.put_usize(*feature);
+                    w.put_f64(*threshold);
+                    w.put_usize(*left);
+                    w.put_usize(*right);
+                }
+            }
+        }
+    }
+
+    /// Decode a tree previously written with [`DecisionTree::encode`],
+    /// validating node indices and feature references.
+    pub fn decode(r: &mut hpcutil::ByteReader<'_>) -> Result<Self, hpcutil::CodecError> {
+        use hpcutil::CodecError;
+        let n_classes = r.get_usize()?;
+        let n_features = r.get_usize()?;
+        let n_importances = r.get_usize()?;
+        if n_importances != n_features {
+            return Err(CodecError::new(format!(
+                "tree importances length {n_importances} != n_features {n_features}"
+            )));
+        }
+        let mut importances = Vec::with_capacity(n_importances);
+        for _ in 0..n_importances {
+            importances.push(r.get_f64()?);
+        }
+        let n_nodes = r.get_usize()?;
+        if n_nodes == 0 {
+            return Err(CodecError::new("tree has no nodes"));
+        }
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            match r.get_u8()? {
+                0 => {
+                    let len = r.get_usize()?;
+                    if len != n_classes {
+                        return Err(CodecError::new(format!(
+                            "leaf {i} has {len} probabilities, expected {n_classes}"
+                        )));
+                    }
+                    let mut proba = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        proba.push(r.get_f64()?);
+                    }
+                    nodes.push(Node::Leaf { proba });
+                }
+                1 => {
+                    let feature = r.get_usize()?;
+                    let threshold = r.get_f64()?;
+                    let left = r.get_usize()?;
+                    let right = r.get_usize()?;
+                    if feature >= n_features {
+                        return Err(CodecError::new(format!(
+                            "split {i} references feature {feature} of {n_features}"
+                        )));
+                    }
+                    if left >= n_nodes || right >= n_nodes || left <= i || right <= i {
+                        return Err(CodecError::new(format!(
+                            "split {i} has out-of-order children ({left}, {right}) of {n_nodes}"
+                        )));
+                    }
+                    nodes.push(Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    });
+                }
+                tag => return Err(CodecError::new(format!("unknown node tag {tag:#04x}"))),
+            }
+        }
+        Ok(Self {
+            nodes,
+            n_classes,
+            n_features,
+            importances,
+        })
     }
 }
 
@@ -423,7 +555,10 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_single_leaf() {
         let ds = separable();
-        let params = TreeParams { max_depth: Some(0), ..Default::default() };
+        let params = TreeParams {
+            max_depth: Some(0),
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&ds, &params, 1).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.depth(), 0);
@@ -435,7 +570,10 @@ mod tests {
     #[test]
     fn min_samples_leaf_respected() {
         let ds = separable();
-        let params = TreeParams { min_samples_leaf: 25, ..Default::default() };
+        let params = TreeParams {
+            min_samples_leaf: 25,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&ds, &params, 1).unwrap();
         // With 60 samples and min leaf 25 the tree can split at most once.
         assert!(tree.depth() <= 1 + 1);
@@ -463,18 +601,35 @@ mod tests {
         let weights = vec![1.0, 1.0, 1.0, 9.0];
         let tree = DecisionTree::fit_weighted(&ds, &weights, &TreeParams::default(), 0).unwrap();
         let p = tree.predict_proba(&[1.0]);
-        assert!(p[1] > p[0], "heavily weighted minority sample should dominate: {p:?}");
+        assert!(
+            p[1] > p[0],
+            "heavily weighted minority sample should dominate: {p:?}"
+        );
     }
 
     #[test]
     fn invalid_params_rejected() {
         let ds = separable();
         assert!(matches!(
-            DecisionTree::fit(&ds, &TreeParams { min_samples_split: 1, ..Default::default() }, 0),
+            DecisionTree::fit(
+                &ds,
+                &TreeParams {
+                    min_samples_split: 1,
+                    ..Default::default()
+                },
+                0
+            ),
             Err(MlError::InvalidParameter(_))
         ));
         assert!(matches!(
-            DecisionTree::fit(&ds, &TreeParams { min_samples_leaf: 0, ..Default::default() }, 0),
+            DecisionTree::fit(
+                &ds,
+                &TreeParams {
+                    min_samples_leaf: 0,
+                    ..Default::default()
+                },
+                0
+            ),
             Err(MlError::InvalidParameter(_))
         ));
     }
@@ -491,7 +646,10 @@ mod tests {
     #[test]
     fn entropy_criterion_also_separates() {
         let ds = separable();
-        let params = TreeParams { criterion: Criterion::Entropy, ..Default::default() };
+        let params = TreeParams {
+            criterion: Criterion::Entropy,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&ds, &params, 2).unwrap();
         assert_eq!(tree.predict(&[0.2, 1.0]), 0);
         assert_eq!(tree.predict(&[3.0, 1.0]), 1);
@@ -525,7 +683,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = separable();
-        let params = TreeParams { max_features: MaxFeatures::Count(1), ..Default::default() };
+        let params = TreeParams {
+            max_features: MaxFeatures::Count(1),
+            ..Default::default()
+        };
         let a = DecisionTree::fit(&ds, &params, 42).unwrap();
         let b = DecisionTree::fit(&ds, &params, 42).unwrap();
         for i in 0..ds.n_samples() {

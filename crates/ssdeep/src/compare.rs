@@ -132,8 +132,7 @@ pub fn compare(a: &FuzzyHash, b: &FuzzyHash) -> u32 {
     let b1 = a.block_size();
     let b2 = b.block_size();
 
-    if b1 == b2 && a.signature() == b.signature() && a.signature_double() == b.signature_double()
-    {
+    if b1 == b2 && a.signature() == b.signature() && a.signature_double() == b.signature_double() {
         // Identical hashes of non-trivial inputs are a perfect match; for
         // extremely short signatures fall through to the scoring (which caps
         // low-information matches).
@@ -171,7 +170,9 @@ mod tests {
     use crate::generate::fuzzy_hash_bytes;
 
     fn patterned(len: usize, stride: u64) -> Vec<u8> {
-        (0..len as u64).map(|i| ((i * stride + i / 11) % 249) as u8).collect()
+        (0..len as u64)
+            .map(|i| ((i * stride + i / 11) % 249) as u8)
+            .collect()
     }
 
     #[test]
@@ -239,7 +240,10 @@ mod tests {
 
     #[test]
     fn score_strings_zero_without_common_substring() {
-        assert_eq!(score_strings("ABCDEFGHIJKLMNOP", "qrstuvwxyz012345", 192), 0);
+        assert_eq!(
+            score_strings("ABCDEFGHIJKLMNOP", "qrstuvwxyz012345", 192),
+            0
+        );
     }
 
     #[test]

@@ -25,10 +25,16 @@ impl fmt::Display for ParseError {
             }
             ParseError::InvalidBlockSize(s) => write!(f, "invalid block size '{s}'"),
             ParseError::InvalidCharacter(c) => {
-                write!(f, "invalid signature character '{c}' (not in the base64 alphabet)")
+                write!(
+                    f,
+                    "invalid signature character '{c}' (not in the base64 alphabet)"
+                )
             }
             ParseError::SignatureTooLong(n) => {
-                write!(f, "signature of length {n} exceeds the maximum fuzzy-hash signature length")
+                write!(
+                    f,
+                    "signature of length {n} exceeds the maximum fuzzy-hash signature length"
+                )
             }
         }
     }
@@ -42,8 +48,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(ParseError::MissingSeparator.to_string().contains("blocksize"));
-        assert!(ParseError::InvalidBlockSize("x".into()).to_string().contains('x'));
+        assert!(ParseError::MissingSeparator
+            .to_string()
+            .contains("blocksize"));
+        assert!(ParseError::InvalidBlockSize("x".into())
+            .to_string()
+            .contains('x'));
         assert!(ParseError::InvalidCharacter('!').to_string().contains('!'));
         assert!(ParseError::SignatureTooLong(99).to_string().contains("99"));
     }

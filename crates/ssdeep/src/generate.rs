@@ -11,7 +11,6 @@ use crate::blocksize::{comparable, initial_blocksize, MIN_BLOCKSIZE};
 use crate::error::ParseError;
 use crate::fnv::PartialHash;
 use crate::rolling_hash::RollingHash;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -19,7 +18,7 @@ use std::str::FromStr;
 pub const SPAM_SUM_LENGTH: usize = 64;
 
 /// A context-triggered piecewise hash of one input.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FuzzyHash {
     block_size: u64,
     sig1: String,
@@ -40,7 +39,11 @@ impl FuzzyHash {
                 return Err(ParseError::InvalidCharacter(c));
             }
         }
-        Ok(Self { block_size, sig1, sig2 })
+        Ok(Self {
+            block_size,
+            sig1,
+            sig2,
+        })
     }
 
     /// The block size the primary signature was generated with.
@@ -103,17 +106,13 @@ fn chunk_signatures(data: &[u8], block_size: u64) -> (String, String) {
         h1.update(byte);
         h2.update(byte);
 
-        if r % block_size == block_size - 1 {
-            if sig1.len() < SPAM_SUM_LENGTH - 1 {
-                sig1.push(base64::encode(h1.b64_index()));
-                h1 = PartialHash::new();
-            }
+        if r % block_size == block_size - 1 && sig1.len() < SPAM_SUM_LENGTH - 1 {
+            sig1.push(base64::encode(h1.b64_index()));
+            h1 = PartialHash::new();
         }
-        if r % double == double - 1 {
-            if sig2.len() < SPAM_SUM_LENGTH / 2 - 1 {
-                sig2.push(base64::encode(h2.b64_index()));
-                h2 = PartialHash::new();
-            }
+        if r % double == double - 1 && sig2.len() < SPAM_SUM_LENGTH / 2 - 1 {
+            sig2.push(base64::encode(h2.b64_index()));
+            h2 = PartialHash::new();
         }
     }
 
@@ -151,7 +150,11 @@ pub fn fuzzy_hash_bytes(data: &[u8]) -> FuzzyHash {
             block_size /= 2;
             continue;
         }
-        return FuzzyHash { block_size, sig1, sig2 };
+        return FuzzyHash {
+            block_size,
+            sig1,
+            sig2,
+        };
     }
 }
 
@@ -160,7 +163,9 @@ mod tests {
     use super::*;
 
     fn patterned(len: usize, stride: u8) -> Vec<u8> {
-        (0..len).map(|i| ((i as u64 * u64::from(stride) + i as u64 / 7) % 251) as u8).collect()
+        (0..len)
+            .map(|i| ((i as u64 * u64::from(stride) + i as u64 / 7) % 251) as u8)
+            .collect()
     }
 
     #[test]
@@ -182,7 +187,10 @@ mod tests {
         for len in [0usize, 1, 10, 100, 1_000, 10_000, 200_000] {
             let h = fuzzy_hash_bytes(&patterned(len, 7));
             assert!(h.signature().len() <= SPAM_SUM_LENGTH, "len {len}");
-            assert!(h.signature_double().len() <= SPAM_SUM_LENGTH / 2, "len {len}");
+            assert!(
+                h.signature_double().len() <= SPAM_SUM_LENGTH / 2,
+                "len {len}"
+            );
         }
     }
 
@@ -203,10 +211,22 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert!(matches!("nocolons".parse::<FuzzyHash>(), Err(ParseError::MissingSeparator)));
-        assert!(matches!("x:AB:CD".parse::<FuzzyHash>(), Err(ParseError::InvalidBlockSize(_))));
-        assert!(matches!("0:AB:CD".parse::<FuzzyHash>(), Err(ParseError::InvalidBlockSize(_))));
-        assert!(matches!("3:A B:CD".parse::<FuzzyHash>(), Err(ParseError::InvalidCharacter(' '))));
+        assert!(matches!(
+            "nocolons".parse::<FuzzyHash>(),
+            Err(ParseError::MissingSeparator)
+        ));
+        assert!(matches!(
+            "x:AB:CD".parse::<FuzzyHash>(),
+            Err(ParseError::InvalidBlockSize(_))
+        ));
+        assert!(matches!(
+            "0:AB:CD".parse::<FuzzyHash>(),
+            Err(ParseError::InvalidBlockSize(_))
+        ));
+        assert!(matches!(
+            "3:A B:CD".parse::<FuzzyHash>(),
+            Err(ParseError::InvalidCharacter(' '))
+        ));
         let long = "A".repeat(SPAM_SUM_LENGTH + 1);
         assert!(matches!(
             format!("3:{long}:CD").parse::<FuzzyHash>(),
@@ -236,8 +256,8 @@ mod tests {
         let a = patterned(60_000, 11);
         let mut b = a.clone();
         // Flip a handful of bytes in the middle.
-        for i in 30_000..30_016 {
-            b[i] ^= 0xFF;
+        for byte in &mut b[30_000..30_016] {
+            *byte ^= 0xFF;
         }
         let ha = fuzzy_hash_bytes(&a);
         let hb = fuzzy_hash_bytes(&b);
@@ -253,15 +273,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn debug_repr_mentions_block_size() {
         let h = fuzzy_hash_bytes(&patterned(5_000, 9));
-        let json = serde_json_like(&h);
-        assert!(json.contains(&h.block_size().to_string()));
-    }
-
-    // Minimal smoke check that serde derives exist without pulling serde_json
-    // into this crate's dev-dependencies.
-    fn serde_json_like(h: &FuzzyHash) -> String {
-        format!("{:?}", h)
+        let debug = format!("{h:?}");
+        assert!(debug.contains(&h.block_size().to_string()));
     }
 }

@@ -31,7 +31,13 @@ impl Default for RollingHash {
 impl RollingHash {
     /// Create a fresh rolling hash with an empty window.
     pub fn new() -> Self {
-        Self { window: [0; ROLLING_WINDOW], h1: 0, h2: 0, h3: 0, n: 0 }
+        Self {
+            window: [0; ROLLING_WINDOW],
+            h1: 0,
+            h2: 0,
+            h3: 0,
+            n: 0,
+        }
     }
 
     /// Feed one byte and return the updated hash value.

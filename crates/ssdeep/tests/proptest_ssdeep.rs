@@ -1,84 +1,135 @@
-//! Property-based tests for the fuzzy-hashing engine.
+//! Randomized (but fully deterministic) property tests for the fuzzy-hashing
+//! engine. The build environment has no crates.io access, so instead of
+//! `proptest` these tests drive the same properties with a seeded SplitMix64
+//! generator over a fixed number of cases.
 
-use proptest::prelude::*;
 use ssdeep::{
     compare, damerau_levenshtein, fuzzy_hash_bytes, levenshtein, weighted_edit_distance, FuzzyHash,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// SplitMix64 — the deterministic case generator for these tests.
+struct Gen(u64);
 
-    /// Hashing is deterministic and the textual form round-trips.
-    #[test]
-    fn hash_roundtrips_through_text(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, low: usize, high: usize) -> usize {
+        low + (self.next() as usize) % (high - low)
+    }
+
+    /// Random bytes with length in `low..high`.
+    fn bytes(&mut self, low: usize, high: usize) -> Vec<u8> {
+        let len = self.range(low, high);
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    /// Random base64-alphabet string with length in `0..=max_len`.
+    fn b64_string(&mut self, max_len: usize) -> String {
+        const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+        let len = self.range(0, max_len + 1);
+        (0..len)
+            .map(|_| ALPHABET[self.range(0, ALPHABET.len())] as char)
+            .collect()
+    }
+}
+
+/// Hashing is deterministic and the textual form round-trips.
+#[test]
+fn hash_roundtrips_through_text() {
+    let mut g = Gen(1);
+    for _ in 0..64 {
+        let data = g.bytes(0, 20_000);
         let h = fuzzy_hash_bytes(&data);
         let text = h.to_string();
         let parsed: FuzzyHash = text.parse().expect("generated hash must parse");
-        prop_assert_eq!(parsed, h);
+        assert_eq!(parsed, h);
     }
+}
 
-    /// Signature lengths never exceed the SSDeep bounds.
-    #[test]
-    fn signature_lengths_bounded(data in proptest::collection::vec(any::<u8>(), 0..50_000)) {
+/// Signature lengths never exceed the SSDeep bounds.
+#[test]
+fn signature_lengths_bounded() {
+    let mut g = Gen(2);
+    for _ in 0..64 {
+        let data = g.bytes(0, 50_000);
         let h = fuzzy_hash_bytes(&data);
-        prop_assert!(h.signature().len() <= ssdeep::SPAM_SUM_LENGTH);
-        prop_assert!(h.signature_double().len() <= ssdeep::SPAM_SUM_LENGTH / 2);
-        prop_assert!(h.block_size() >= 3);
+        assert!(h.signature().len() <= ssdeep::SPAM_SUM_LENGTH);
+        assert!(h.signature_double().len() <= ssdeep::SPAM_SUM_LENGTH / 2);
+        assert!(h.block_size() >= 3);
     }
+}
 
-    /// Self-comparison of a non-trivial input is the maximum score and every
-    /// comparison stays within 0..=100.
-    #[test]
-    fn self_similarity_is_max(data in proptest::collection::vec(any::<u8>(), 2_000..20_000)) {
+/// Self-comparison of a non-trivial input is the maximum score and every
+/// comparison stays within 0..=100.
+#[test]
+fn self_similarity_is_max() {
+    let mut g = Gen(3);
+    for _ in 0..64 {
+        let data = g.bytes(2_000, 20_000);
         let h = fuzzy_hash_bytes(&data);
         let s = compare(&h, &h);
-        prop_assert!(s <= 100);
+        assert!(s <= 100);
         // Inputs this long always produce signatures >= 7 chars unless the
         // data is pathologically uniform; allow the capped case.
         if h.signature().len() >= 7 {
-            prop_assert_eq!(s, 100);
+            assert_eq!(s, 100);
         }
     }
+}
 
-    /// Comparison is symmetric.
-    #[test]
-    fn comparison_symmetric(
-        a in proptest::collection::vec(any::<u8>(), 0..15_000),
-        b in proptest::collection::vec(any::<u8>(), 0..15_000),
-    ) {
+/// Comparison is symmetric.
+#[test]
+fn comparison_symmetric() {
+    let mut g = Gen(4);
+    for _ in 0..64 {
+        let a = g.bytes(0, 15_000);
+        let b = g.bytes(0, 15_000);
         let ha = fuzzy_hash_bytes(&a);
         let hb = fuzzy_hash_bytes(&b);
-        prop_assert_eq!(compare(&ha, &hb), compare(&hb, &ha));
+        assert_eq!(compare(&ha, &hb), compare(&hb, &ha));
     }
+}
 
-    /// Levenshtein axioms: identity, symmetry, bounded by max length,
-    /// Damerau never exceeds Levenshtein, weighted never below Levenshtein.
-    #[test]
-    fn edit_distance_axioms(a in "[A-Za-z0-9+/]{0,48}", b in "[A-Za-z0-9+/]{0,48}") {
+/// Levenshtein axioms: identity, symmetry, bounded by max length, Damerau
+/// never exceeds Levenshtein, weighted never below Levenshtein.
+#[test]
+fn edit_distance_axioms() {
+    let mut g = Gen(5);
+    for _ in 0..128 {
+        let a = g.b64_string(48);
+        let b = g.b64_string(48);
         let lev = levenshtein(&a, &b);
         let dl = damerau_levenshtein(&a, &b);
         let w = weighted_edit_distance(&a, &b);
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert!(lev <= a.len().max(b.len()));
-        prop_assert!(dl <= lev);
-        prop_assert!(w >= lev);
-        prop_assert!(w <= a.len() + b.len());
-        prop_assert_eq!(dl == 0, a == b);
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert!(lev <= a.len().max(b.len()));
+        assert!(dl <= lev);
+        assert!(w >= lev);
+        assert!(w <= a.len() + b.len());
+        assert_eq!(dl == 0, a == b);
     }
+}
 
-    /// Appending a small suffix to a large input keeps the block size
-    /// comparable and the comparison bounded.
-    #[test]
-    fn append_small_suffix_bounded(
-        data in proptest::collection::vec(any::<u8>(), 5_000..30_000),
-        suffix in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+/// Appending a small suffix to a large input keeps the block size comparable
+/// and the comparison bounded.
+#[test]
+fn append_small_suffix_bounded() {
+    let mut g = Gen(6);
+    for _ in 0..64 {
+        let data = g.bytes(5_000, 30_000);
+        let suffix = g.bytes(0, 64);
         let mut extended = data.clone();
         extended.extend_from_slice(&suffix);
         let ha = fuzzy_hash_bytes(&data);
         let hb = fuzzy_hash_bytes(&extended);
         let s = compare(&ha, &hb);
-        prop_assert!(s <= 100);
+        assert!(s <= 100);
     }
 }

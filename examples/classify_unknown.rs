@@ -3,9 +3,11 @@
 //! The paper's motivating scenario: a user's project allocation normally runs
 //! a known set of scientific applications; one day executables appear that do
 //! not belong to any known class (e.g. a cryptocurrency miner). This example
-//! trains the classifier on a corpus of known applications and then shows how
-//! previously unseen binaries are flagged as `"-1"` (unknown), while new
-//! *versions* of known applications are still recognized.
+//! trains the classifier once with `fit`, then uses the resulting
+//! `TrainedClassifier` to show how previously unseen binaries are flagged as
+//! `"-1"` (unknown), while new *versions* of known applications are still
+//! recognized — no retraining per query, which is the point of the
+//! fit/predict serving API.
 //!
 //! ```text
 //! cargo run --release --example classify_unknown
@@ -13,104 +15,89 @@
 
 use binary::elf::ElfBuilder;
 use corpus::{Catalog, CorpusBuilder};
-use fhc::features::SampleFeatures;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
-use fhc::similarity::ReferenceSet;
-use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
-use mlcore::dataset::Dataset;
-use mlcore::forest::RandomForest;
 
 /// Build an executable that imitates an unauthorized workload: none of its
 /// symbols, strings, or code come from the known application corpus.
 fn rogue_miner() -> Vec<u8> {
     let mut b = ElfBuilder::new();
-    let code: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 21) as u8).collect();
+    let code: Vec<u8> = (0..60_000u32)
+        .map(|i| (i.wrapping_mul(0x9E3779B9) >> 21) as u8)
+        .collect();
     b.add_text_section(code);
     b.add_rodata_section(
         b"stratum+tcp://pool.example.org:3333\0submitting share\0hashrate %f MH/s\0".to_vec(),
     );
-    for name in ["scanhash_loop", "stratum_connect", "submit_share", "difficulty_adjust"] {
+    for name in [
+        "scanhash_loop",
+        "stratum_connect",
+        "submit_share",
+        "difficulty_adjust",
+    ] {
         b.add_global_function(name, 0x100, 0x400);
     }
     b.build()
 }
 
 fn main() {
-    // Train on a small synthetic corpus of known HPC applications.
+    // Train once on a small synthetic corpus of known HPC applications.
     let corpus = CorpusBuilder::new(7).build(&Catalog::paper().scaled(0.04));
-    let config = PipelineConfig { seed: 7, ..Default::default() };
-    let classifier = FuzzyHashClassifier::new(config.clone());
-    let features = classifier.extract_features(&corpus);
-    let outcome = classifier
-        .run_with_features(&corpus, &features)
-        .expect("pipeline should run");
-    println!(
-        "trained on {} samples of {} known classes (threshold {:.2})",
-        outcome.n_train,
-        outcome.known_class_names.len(),
-        outcome.confidence_threshold
-    );
-
-    // Rebuild the reference set and forest exactly as the pipeline did, so we
-    // can score new, out-of-corpus binaries.
-    let mut known_id = vec![usize::MAX; corpus.n_classes()];
-    for (id, &class) in outcome.split.known_classes.iter().enumerate() {
-        known_id[class] = id;
-    }
-    let train_features: Vec<SampleFeatures> =
-        outcome.split.train.iter().map(|&i| features[i].clone()).collect();
-    let train_labels: Vec<usize> = outcome
-        .split
-        .train
-        .iter()
-        .map(|&i| known_id[corpus.samples()[i].class_index])
-        .collect();
-    let reference = ReferenceSet::new(
-        outcome.known_class_names.clone(),
-        &train_features,
-        &train_labels,
-        &config.feature_kinds,
-    );
-    let train_ds = Dataset::from_rows(
-        reference.feature_matrix(&train_features),
-        train_labels,
-        reference.column_names(),
-        outcome.known_class_names.clone(),
-    )
-    .unwrap();
-    let forest = RandomForest::fit(&train_ds, &outcome.forest_params, 7).unwrap();
-
-    let classify = |bytes: &[u8]| -> String {
-        let sample = SampleFeatures::extract(bytes);
-        let row = reference.feature_vector(&sample);
-        let proba = forest.predict_proba(&row);
-        let label = apply_threshold(&proba, outcome.confidence_threshold);
-        if label == UNKNOWN_LABEL {
-            "-1 (unknown)".to_string()
-        } else {
-            outcome.known_class_names[label - 1].clone()
-        }
+    let config = PipelineConfig {
+        seed: 7,
+        ..Default::default()
     };
+    let trained = FuzzyHashClassifier::new(config)
+        .fit(&corpus)
+        .expect("training should succeed");
+    println!(
+        "trained on {} known classes (threshold {:.2})",
+        trained.n_known_classes(),
+        trained.confidence_threshold()
+    );
 
-    // 1. A brand-new version of a known application is still recognized.
-    let known_class = outcome.split.known_classes[0];
+    // A brand-new execution of a known application, a rogue workload, and a
+    // plain script — classified in one parallel batch, without retraining.
+    // The two-phase split holds ~20% of classes out as unknown, so pick a
+    // sample whose class actually survived into the known set (and skip the
+    // duplicate-install alias classes the paper discusses, whose siblings
+    // legitimately win the similarity vote).
+    let normalize = |name: &str| -> String {
+        name.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
     let known_sample = corpus
         .samples()
         .iter()
-        .find(|s| s.class_index == known_class)
-        .unwrap();
-    println!(
-        "\nnew execution of {:<20} -> classified as {}",
-        known_sample.class_name,
-        classify(&corpus.generate_bytes(known_sample))
-    );
-
-    // 2. A rogue workload that matches no known application is flagged.
-    println!("rogue mining executable       -> classified as {}", classify(&rogue_miner()));
-
-    // 3. A plain script (not even an ELF) is also flagged as unknown.
-    println!(
-        "shell wrapper script          -> classified as {}",
-        classify(b"#!/bin/bash\nexec ./payload --pool pool.example.org\n")
-    );
+        .find(|s| {
+            trained.known_class_names().contains(&s.class_name)
+                && !trained.known_class_names().iter().any(|other| {
+                    *other != s.class_name && normalize(other) == normalize(&s.class_name)
+                })
+        })
+        .expect("some known-class sample exists");
+    let batch: Vec<(String, Vec<u8>)> = vec![
+        (
+            format!("new execution of {}", known_sample.class_name),
+            corpus.generate_bytes(known_sample),
+        ),
+        ("rogue mining executable".to_string(), rogue_miner()),
+        (
+            "shell wrapper script".to_string(),
+            b"#!/bin/bash\nexec ./payload --pool pool.example.org\n".to_vec(),
+        ),
+    ];
+    println!();
+    for (name, prediction) in trained.classify_batch(&batch) {
+        let verdict = if prediction.is_unknown() {
+            "-1 (unknown)".to_string()
+        } else {
+            prediction.label.clone()
+        };
+        println!(
+            "{name:<42} -> classified as {verdict} (confidence {:.2})",
+            prediction.confidence
+        );
+    }
 }

@@ -48,12 +48,12 @@ fn main() {
         );
     }
 
-    println!("\n--- manifest excerpt (first 5 of {} entries) ---", corpus.n_samples());
+    println!(
+        "\n--- manifest excerpt (first 5 of {} entries) ---",
+        corpus.n_samples()
+    );
     let manifest = Manifest::from_corpus(&corpus);
     for entry in manifest.entries.iter().take(5) {
-        println!(
-            "{:<55} {:>8} bytes",
-            entry.install_path, entry.file_size
-        );
+        println!("{:<55} {:>8} bytes", entry.install_path, entry.file_size);
     }
 }

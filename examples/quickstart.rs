@@ -1,5 +1,5 @@
-//! Quickstart: hash two executables, compare them, and classify a small
-//! corpus end to end.
+//! Quickstart: hash two executables, compare them, then train the classifier
+//! once and serve predictions from the trained artifact.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -16,7 +16,9 @@ fn main() {
     // Build two "versions" of the same tool: identical code except for a
     // localized edit, the situation cryptographic hashes cannot handle.
     let mut v1 = ElfBuilder::new();
-    let code: Vec<u8> = (0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+    let code: Vec<u8> = (0..40_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
     v1.add_text_section(code.clone());
     v1.add_rodata_section(b"solver version 1.0\0reading configuration\0".to_vec());
     for i in 0..50 {
@@ -44,16 +46,31 @@ fn main() {
     let f1 = SampleFeatures::extract(&bytes_v1);
     let f2 = SampleFeatures::extract(&bytes_v2);
     for kind in FeatureKind::ALL {
-        println!("{:>16} similarity: {}", kind.paper_name(), f1.similarity(&f2, kind));
+        println!(
+            "{:>16} similarity: {}",
+            kind.paper_name(),
+            f1.similarity(&f2, kind)
+        );
     }
 
-    // --- 2. Classify a small synthetic corpus -------------------------------
-    println!("\nrunning the Fuzzy Hash Classifier on a small synthetic corpus...");
+    // --- 2. Train once, evaluate, then serve ------------------------------
+    println!("\ntraining the Fuzzy Hash Classifier on a small synthetic corpus...");
     let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.04));
-    let config = PipelineConfig { seed: 42, ..Default::default() };
-    let outcome = FuzzyHashClassifier::new(config)
-        .run(&corpus)
-        .expect("pipeline should run on the quickstart corpus");
+    let config = PipelineConfig {
+        seed: 42,
+        ..Default::default()
+    };
+    let classifier = FuzzyHashClassifier::new(config);
+
+    // Extract features once; fit and the test-split evaluation both reuse
+    // them, so the expensive hashing happens a single time.
+    let features = classifier.extract_features(&corpus);
+    let fit = classifier
+        .fit_with_features(&corpus, &features)
+        .expect("training should succeed");
+    let outcome = classifier
+        .evaluate_with_features(&corpus, &features, &fit)
+        .expect("evaluation should succeed");
 
     println!(
         "known classes: {}, unknown classes: {}, train: {}, test: {}",
@@ -73,4 +90,19 @@ fn main() {
     for fi in &outcome.feature_importance {
         println!("  {:>16}: {:.3}", fi.kind.paper_name(), fi.importance);
     }
+
+    // --- 3. The trained artifact classifies new binaries directly ---------
+    let trained = fit.classifier;
+    let prediction = trained.classify(&bytes_v1);
+    println!(
+        "\nserving: out-of-corpus solver binary -> {} (confidence {:.2})",
+        prediction.label, prediction.confidence
+    );
+    let prediction = trained.classify(&corpus.generate_bytes(&corpus.samples()[0]));
+    println!(
+        "serving: corpus sample {:<14} -> {} (confidence {:.2})",
+        corpus.samples()[0].class_name,
+        prediction.label,
+        prediction.confidence
+    );
 }

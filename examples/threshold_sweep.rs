@@ -15,13 +15,20 @@ fn main() {
     let corpus = CorpusBuilder::new(11).build(&Catalog::paper().scaled(0.05));
     // A finer threshold grid than the default, to draw a smoother curve.
     let thresholds: Vec<f64> = (0..19).map(|i| i as f64 * 0.05).collect();
-    let config = PipelineConfig { seed: 11, thresholds, ..Default::default() };
+    let config = PipelineConfig {
+        seed: 11,
+        thresholds,
+        ..Default::default()
+    };
     let outcome = FuzzyHashClassifier::new(config)
         .run(&corpus)
         .expect("pipeline should run");
 
     println!("Figure 3: f1-score over confidence threshold (internal validation sweep)");
-    println!("{:>10} {:>10} {:>10} {:>10}", "threshold", "micro", "macro", "weighted");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "threshold", "micro", "macro", "weighted"
+    );
     for point in &outcome.threshold_curve {
         let marker = if (point.threshold - outcome.confidence_threshold).abs() < 1e-9 {
             "  <== chosen"

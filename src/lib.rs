@@ -1,0 +1,20 @@
+//! Workspace facade for the Fuzzy Hash Classifier reproduction.
+//!
+//! This crate exists so the repository root is itself a Cargo package: the
+//! `examples/` directory and the cross-crate integration tests under
+//! `tests/` build against it. It re-exports every workspace crate under one
+//! roof; downstream code can either depend on the individual crates or pull
+//! in `fhc_repro` and use the re-exports.
+//!
+//! See the [`fhc`] crate for the classifier itself and the repository
+//! `README.md` for the workspace layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use binary;
+pub use corpus;
+pub use fhc;
+pub use hpcutil;
+pub use mlcore;
+pub use ssdeep;

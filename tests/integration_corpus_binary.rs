@@ -14,10 +14,13 @@ fn every_sample_of_a_small_corpus_is_a_valid_elf_with_features() {
     assert_eq!(corpus.n_classes(), 92);
     for spec in corpus.samples().iter().step_by(7) {
         let bytes = corpus.generate_bytes(spec);
-        let elf = ElfFile::parse(&bytes).unwrap_or_else(|e| {
-            panic!("sample {} failed to parse: {e}", spec.install_path())
-        });
-        assert!(elf.has_symbol_table(), "{} lost its symbol table", spec.install_path());
+        let elf = ElfFile::parse(&bytes)
+            .unwrap_or_else(|e| panic!("sample {} failed to parse: {e}", spec.install_path()));
+        assert!(
+            elf.has_symbol_table(),
+            "{} lost its symbol table",
+            spec.install_path()
+        );
         assert!(
             !global_defined_symbols(&elf).is_empty(),
             "{} has no global symbols",
@@ -88,7 +91,10 @@ fn stripped_corpus_sample_loses_only_the_symbols_view() {
     assert!(!f_stripped.has_symbols());
     // The strings view survives stripping nearly unchanged.
     let strings_sim = f_orig.similarity(&f_stripped, FeatureKind::Strings);
-    assert!(strings_sim > 60, "strings similarity after stripping: {strings_sim}");
+    assert!(
+        strings_sim > 60,
+        "strings similarity after stripping: {strings_sim}"
+    );
     // The symbols view is gone, so its similarity collapses to zero.
     assert_eq!(f_orig.similarity(&f_stripped, FeatureKind::Symbols), 0);
 }
@@ -108,7 +114,10 @@ fn duplicate_install_classes_share_symbols() {
     };
     let symbol_set = |spec: &corpus::SampleSpec| -> std::collections::HashSet<String> {
         let elf = ElfFile::parse(&corpus.generate_bytes(spec)).unwrap();
-        global_defined_symbols(&elf).into_iter().map(|s| s.name).collect()
+        global_defined_symbols(&elf)
+            .into_iter()
+            .map(|s| s.name)
+            .collect()
     };
     let cr = symbol_set(find("CellRanger"));
     let cr_dash = symbol_set(find("Cell-Ranger"));

@@ -7,11 +7,18 @@ use fhc::baselines::run_baselines;
 use fhc::experiments as exp;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 
-fn setup() -> (corpus::Corpus, Vec<fhc::features::SampleFeatures>, PipelineConfig) {
+fn setup() -> (
+    corpus::Corpus,
+    Vec<fhc::features::SampleFeatures>,
+    PipelineConfig,
+) {
     let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.02));
     let config = PipelineConfig {
         seed: 42,
-        forest: mlcore::forest::RandomForestParams { n_estimators: 30, ..Default::default() },
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 30,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let features = FuzzyHashClassifier::new(config.clone()).extract_features(&corpus);
@@ -37,7 +44,10 @@ fn all_table_and_figure_drivers_produce_output() {
 
     let t3 = exp::table3_unknown_classes(&corpus, &outcome);
     assert!(t3.contains("TOTAL"));
-    assert_eq!(t3.lines().count(), 2 + outcome.unknown_class_names.len() + 1);
+    assert_eq!(
+        t3.lines().count(),
+        2 + outcome.unknown_class_names.len() + 1
+    );
 
     let t4 = exp::table4_classification_report(&outcome);
     assert!(t4.contains("macro avg") && t4.contains("-1"));

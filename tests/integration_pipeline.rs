@@ -15,37 +15,67 @@ fn small_corpus(seed: u64) -> corpus::Corpus {
 #[test]
 fn pipeline_reaches_paper_like_f1_on_small_corpus() {
     let corpus = small_corpus(42);
-    let config = PipelineConfig { seed: 42, ..Default::default() };
-    let outcome = FuzzyHashClassifier::new(config).run(&corpus).expect("pipeline runs");
+    let config = PipelineConfig {
+        seed: 42,
+        ..Default::default()
+    };
+    let outcome = FuzzyHashClassifier::new(config)
+        .run(&corpus)
+        .expect("pipeline runs");
 
     // The paper reports ~0.90 macro / 0.89 micro / 0.90 weighted F1. On the
     // scaled synthetic corpus we only require the same ballpark: well above
     // chance (1/75) and clearly useful.
-    assert!(outcome.report.macro_avg().f1 > 0.7, "macro f1 {}", outcome.report.macro_avg().f1);
-    assert!(outcome.report.micro().f1 > 0.7, "micro f1 {}", outcome.report.micro().f1);
+    assert!(
+        outcome.report.macro_avg().f1 > 0.7,
+        "macro f1 {}",
+        outcome.report.macro_avg().f1
+    );
+    assert!(
+        outcome.report.micro().f1 > 0.7,
+        "micro f1 {}",
+        outcome.report.micro().f1
+    );
     assert!(outcome.report.weighted_avg().f1 > 0.7);
 
     // The evaluation label space starts with the "-1" unknown class.
     assert_eq!(outcome.eval_class_names[0], "-1");
-    assert_eq!(outcome.eval_class_names.len(), 1 + outcome.known_class_names.len());
+    assert_eq!(
+        outcome.eval_class_names.len(),
+        1 + outcome.known_class_names.len()
+    );
     assert_eq!(outcome.y_true.len(), outcome.n_test);
     assert_eq!(outcome.y_pred.len(), outcome.n_test);
 
     // The two-phase split: ~20% of the 92 classes are unknown, and every
     // unknown-class sample is in the test set.
-    assert_eq!(outcome.known_class_names.len() + outcome.unknown_class_names.len(), 92);
+    assert_eq!(
+        outcome.known_class_names.len() + outcome.unknown_class_names.len(),
+        92
+    );
     assert!(outcome.unknown_class_names.len() >= 14);
     assert!(outcome.n_unknown_test > 0);
     assert!(outcome.n_unknown_test <= outcome.n_test);
 
     // The unknown class must actually be predicted for a meaningful share of
     // the unknown test samples (the whole point of the threshold).
-    let unknown_predicted = outcome.y_pred.iter().filter(|&&p| p == UNKNOWN_LABEL).count();
-    assert!(unknown_predicted > 0, "classifier never predicted the unknown class");
+    let unknown_predicted = outcome
+        .y_pred
+        .iter()
+        .filter(|&&p| p == UNKNOWN_LABEL)
+        .count();
+    assert!(
+        unknown_predicted > 0,
+        "classifier never predicted the unknown class"
+    );
 
     // Feature importances cover the three views and sum to ~1.
     assert_eq!(outcome.feature_importance.len(), 3);
-    let total: f64 = outcome.feature_importance.iter().map(|f| f.importance).sum();
+    let total: f64 = outcome
+        .feature_importance
+        .iter()
+        .map(|f| f.importance)
+        .sum();
     assert!((total - 1.0).abs() < 1e-9);
 
     // The threshold sweep covers the configured grid and the chosen value is
@@ -60,7 +90,10 @@ fn pipeline_reaches_paper_like_f1_on_small_corpus() {
 #[test]
 fn pipeline_is_deterministic_for_a_seed() {
     let corpus = small_corpus(3);
-    let config = PipelineConfig { seed: 9, ..Default::default() };
+    let config = PipelineConfig {
+        seed: 9,
+        ..Default::default()
+    };
     let classifier = FuzzyHashClassifier::new(config);
     let features = classifier.extract_features(&corpus);
     let a = classifier.run_with_features(&corpus, &features).unwrap();
@@ -73,7 +106,10 @@ fn pipeline_is_deterministic_for_a_seed() {
 #[test]
 fn unknown_class_precision_recall_are_reasonable() {
     let corpus = small_corpus(42);
-    let config = PipelineConfig { seed: 42, ..Default::default() };
+    let config = PipelineConfig {
+        seed: 42,
+        ..Default::default()
+    };
     let outcome = FuzzyHashClassifier::new(config).run(&corpus).unwrap();
     let per_class = per_class_metrics(
         &outcome.y_true,
@@ -84,7 +120,11 @@ fn unknown_class_precision_recall_are_reasonable() {
     assert_eq!(unknown.support, outcome.n_unknown_test);
     // The unknown class must be detected far better than chance; the paper
     // reports precision 0.92 / recall 0.75.
-    assert!(unknown.precision > 0.5, "unknown precision {}", unknown.precision);
+    assert!(
+        unknown.precision > 0.5,
+        "unknown precision {}",
+        unknown.precision
+    );
     assert!(unknown.recall > 0.5, "unknown recall {}", unknown.recall);
 }
 
@@ -98,7 +138,11 @@ fn symbols_only_ablation_still_classifies() {
     };
     let outcome = FuzzyHashClassifier::new(config).run(&corpus).unwrap();
     // The paper finds the symbols feature to be the strongest on its own.
-    assert!(outcome.report.macro_avg().f1 > 0.6, "macro {}", outcome.report.macro_avg().f1);
+    assert!(
+        outcome.report.macro_avg().f1 > 0.6,
+        "macro {}",
+        outcome.report.macro_avg().f1
+    );
     assert_eq!(outcome.feature_importance.len(), 1);
     assert_eq!(outcome.feature_importance[0].kind, FeatureKind::Symbols);
 }
@@ -121,5 +165,7 @@ fn invalid_configurations_are_rejected() {
 
     // Features that do not cover the corpus are rejected.
     let classifier = FuzzyHashClassifier::new(PipelineConfig::default());
-    assert!(classifier.run_with_features(&corpus, &features[..3]).is_err());
+    assert!(classifier
+        .run_with_features(&corpus, &features[..3])
+        .is_err());
 }

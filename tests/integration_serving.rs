@@ -1,0 +1,155 @@
+//! Integration tests of the fit/predict serving API: determinism across
+//! independent fits, agreement between the evaluation pipeline and the
+//! serving path, and artifact save/load round trips.
+
+use corpus::{Catalog, CorpusBuilder};
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::serving::TrainedClassifier;
+
+fn small_corpus(seed: u64) -> corpus::Corpus {
+    CorpusBuilder::new(seed).build(&Catalog::paper().scaled(0.02))
+}
+
+fn config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        seed,
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 25,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A batch of probe executables drawn from across the corpus.
+fn probe_batch(corpus: &corpus::Corpus) -> Vec<(String, Vec<u8>)> {
+    corpus
+        .samples()
+        .iter()
+        .step_by(11)
+        .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+        .collect()
+}
+
+#[test]
+fn independent_fits_with_same_seed_predict_identically() {
+    let corpus = small_corpus(5);
+    let batch = probe_batch(&corpus);
+
+    let a = FuzzyHashClassifier::new(config(9))
+        .fit(&corpus)
+        .expect("first fit");
+    let b = FuzzyHashClassifier::new(config(9))
+        .fit(&corpus)
+        .expect("second fit");
+
+    assert_eq!(a.known_class_names(), b.known_class_names());
+    assert_eq!(a.confidence_threshold(), b.confidence_threshold());
+    assert_eq!(a.forest_params(), b.forest_params());
+
+    let pred_a = a.classify_batch(&batch);
+    let pred_b = b.classify_batch(&batch);
+    assert_eq!(
+        pred_a, pred_b,
+        "same seed + corpus must give identical predictions"
+    );
+
+    // And the artifact bytes themselves are identical.
+    assert_eq!(a.to_bytes(), b.to_bytes());
+}
+
+#[test]
+fn different_seeds_change_the_split() {
+    let corpus = small_corpus(5);
+    let a = FuzzyHashClassifier::new(config(1))
+        .fit(&corpus)
+        .expect("fit seed 1");
+    let b = FuzzyHashClassifier::new(config(2))
+        .fit(&corpus)
+        .expect("fit seed 2");
+    // The class-level known/unknown split is seed-dependent, so the label
+    // spaces diverge.
+    assert_ne!(a.known_class_names(), b.known_class_names());
+}
+
+#[test]
+fn saved_then_loaded_classifier_predicts_identically() {
+    let corpus = small_corpus(3);
+    let batch = probe_batch(&corpus);
+    let trained = FuzzyHashClassifier::new(config(3))
+        .fit(&corpus)
+        .expect("fit");
+
+    let path = std::env::temp_dir().join(format!("fhc-serving-test-{}.fhc", std::process::id()));
+    trained.save(&path).expect("save");
+    let restored = TrainedClassifier::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.seed(), trained.seed());
+    assert_eq!(restored.known_class_names(), trained.known_class_names());
+    assert_eq!(
+        restored.confidence_threshold(),
+        trained.confidence_threshold()
+    );
+    assert_eq!(restored.threshold_curve(), trained.threshold_curve());
+    assert_eq!(
+        restored.classify_batch(&batch),
+        trained.classify_batch(&batch)
+    );
+    // Round-tripping the restored classifier is byte-stable.
+    assert_eq!(restored.to_bytes(), trained.to_bytes());
+}
+
+#[test]
+fn serving_path_agrees_with_evaluation_pipeline() {
+    // The predictions PipelineOutcome reports for the test split must match
+    // what the TrainedClassifier produces for the same samples: one model,
+    // two code paths.
+    let corpus = small_corpus(6);
+    let classifier = FuzzyHashClassifier::new(config(6));
+    let features = classifier.extract_features(&corpus);
+    let fit = classifier
+        .fit_with_features(&corpus, &features)
+        .expect("fit");
+    let outcome = classifier
+        .evaluate_with_features(&corpus, &features, &fit)
+        .expect("evaluate");
+
+    let predictions = fit.classifier.classify_features_batch(
+        &outcome
+            .split
+            .test
+            .iter()
+            .map(|&i| features[i].clone())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(predictions.len(), outcome.y_pred.len());
+    for (prediction, &expected) in predictions.iter().zip(&outcome.y_pred) {
+        assert_eq!(prediction.eval_label, expected);
+    }
+}
+
+#[test]
+fn fit_then_run_with_features_is_consistent_with_run() {
+    // run() is documented as a thin fit + evaluate wrapper; both entry
+    // points must agree for the same configuration.
+    let corpus = small_corpus(4);
+    let classifier = FuzzyHashClassifier::new(config(7));
+    let features = classifier.extract_features(&corpus);
+    let via_run = classifier
+        .run_with_features(&corpus, &features)
+        .expect("run");
+    let fit = classifier
+        .fit_with_features(&corpus, &features)
+        .expect("fit");
+    let via_evaluate = classifier
+        .evaluate_with_features(&corpus, &features, &fit)
+        .expect("evaluate");
+    assert_eq!(via_run.y_pred, via_evaluate.y_pred);
+    assert_eq!(via_run.y_true, via_evaluate.y_true);
+    assert_eq!(
+        via_run.confidence_threshold,
+        via_evaluate.confidence_threshold
+    );
+    assert_eq!(via_run.known_class_names, via_evaluate.known_class_names);
+}

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored harness
+//! implements the small slice of criterion's API the workspace benches use:
+//! `Criterion`, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly, then
+//! runs batches until a time budget is exhausted, and the mean, minimum, and
+//! throughput are printed in a criterion-like one-line format. Results are
+//! indicative rather than statistically rigorous — good enough to compare
+//! orders of magnitude and track large regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Configure the target number of samples (upper bound on iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` performs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean time per iteration of the routine under test.
+    mean: Duration,
+    /// Fastest observed iteration.
+    min: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, running it repeatedly within the time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= WARMUP_BUDGET || warmup_iters >= 10 {
+                break;
+            }
+        }
+        let per_iter_estimate = warmup_start.elapsed() / warmup_iters as u32;
+
+        // Measurement: cap iterations at sample_size, but stop early once the
+        // budget is exhausted so slow benches stay bounded.
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iterations = 0u64;
+        while iterations < self.sample_size as u64 && (iterations == 0 || total < MEASURE_BUDGET) {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            iterations += 1;
+            // For sub-microsecond routines the per-call timing overhead
+            // dominates; batch them instead.
+            if per_iter_estimate < Duration::from_micros(5) && iterations == 1 {
+                let batch = 10_000u64;
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                total = elapsed;
+                min = elapsed / batch as u32;
+                iterations = batch;
+                break;
+            }
+        }
+        self.mean = total / iterations as u32;
+        self.min = min;
+        self.iterations = iterations;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        mean: Duration::ZERO,
+        min: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if bencher.mean > Duration::ZERO => {
+            let per_sec = n as f64 / bencher.mean.as_secs_f64();
+            format!("  thrpt: {}/s", human_bytes(per_sec))
+        }
+        Some(Throughput::Elements(n)) if bencher.mean > Duration::ZERO => {
+            let per_sec = n as f64 / bencher.mean.as_secs_f64();
+            format!("  thrpt: {per_sec:.1} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {label:<55} mean {:>12}  min {:>12}  ({} iters){rate}",
+        human_duration(bencher.mean),
+        human_duration(bencher.min),
+        bencher.iterations,
+    );
+}
+
+fn human_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn human_bytes(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} GiB", per_sec / (1u64 << 30) as f64)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} MiB", per_sec / (1u64 << 20) as f64)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} KiB", per_sec / 1024.0)
+    } else {
+        format!("{per_sec:.0} B")
+    }
+}
+
+/// Define a group of benchmark functions (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("parse", "4k").to_string(), "parse/4k");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(human_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(human_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(human_duration(Duration::from_secs(2)).contains('s'));
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the subset of the `rand 0.8` API surface the workspace
+//! uses: [`RngCore`], [`SeedableRng::seed_from_u64`], the [`Rng`] extension
+//! methods (`gen`, `gen_range`, `fill`), and [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism is the property the workspace relies on — every generator is
+//! seeded explicitly and the same seed always yields the same stream. The
+//! concrete values differ from upstream `rand` (range sampling here uses a
+//! simple reduction rather than rejection sampling), which is fine: nothing
+//! in the workspace depends on upstream's exact streams.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// The core of a random number generator: uniformly distributed raw words.
+pub trait RngCore {
+    /// Next uniformly distributed `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (the only constructor the
+    /// workspace uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a value in `low..high` (callers guarantee `low < high`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as u64) - (low as u64);
+                low + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with an empty range");
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Types that can be drawn from the "standard" distribution via `Rng::gen`.
+pub trait StandardValue {
+    /// Draw one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardValue for u8 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardValue for u16 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl StandardValue for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardValue for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardValue for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+impl StandardValue for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from the standard distribution.
+    fn gen<T: StandardValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    /// Draw a value uniformly from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Draw a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::standard(self) < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_range(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let s: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StepRng(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn fill_covers_every_byte() {
+        let mut rng = StepRng(3);
+        let mut buf = [0u8; 37];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StepRng(9);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([5u8].choose(&mut rng).is_some());
+    }
+}
