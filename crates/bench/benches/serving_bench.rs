@@ -3,12 +3,20 @@
 //! This is the number the ROADMAP's serving trajectory cares about: once
 //! `fit` has paid the training cost, how fast can `classify_batch` score a
 //! stream of new executables? Measured end-to-end (feature extraction +
-//! similarity row + forest vote) and for the pre-hashed hot path.
+//! similarity row + forest vote), for the pre-hashed hot path, and —
+//! crucially — **prepared vs unprepared**: the same batch pushed through the
+//! precomputed similarity index versus the pre-index scan that re-normalized
+//! every reference signature on every comparison (the serving path before
+//! the index existed).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fhc::features::SampleFeatures;
 use fhc::pipeline::FuzzyHashClassifier;
+use fhc::serving::Prediction;
+use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
 use fhc_bench::{bench_config, bench_corpus};
+use hpcutil::{par_map_indexed, ParallelConfig};
+use mlcore::model::Model;
 use std::hint::black_box;
 
 fn bench_classify_batch(c: &mut Criterion) {
@@ -28,14 +36,71 @@ fn bench_classify_batch(c: &mut Criterion) {
         .map(|(_, bytes)| SampleFeatures::extract(bytes))
         .collect();
 
+    // The pre-index serving path, mirroring the old `classify_batch` 1:1:
+    // per sample — inside the parallel region, with the formerly hardcoded
+    // parallelism — extract features, scan every reference hash with plain
+    // `ssdeep::compare` (re-eliminating and re-packing signatures per
+    // comparison), vote, threshold, and build the full `Prediction`.
+    let classify_batch_unprepared = |samples: &[(String, Vec<u8>)]| -> Vec<(String, Prediction)> {
+        par_map_indexed(
+            samples.len(),
+            ParallelConfig {
+                threads: 0,
+                chunk: 2,
+            },
+            |i| {
+                let (name, bytes) = &samples[i];
+                let extracted = SampleFeatures::extract(bytes);
+                let row = trained.reference().feature_vector_scan(&extracted);
+                let proba = Model::predict_proba(trained.forest(), &row);
+                let eval_label = apply_threshold(&proba, trained.confidence_threshold());
+                let confidence = proba.iter().cloned().fold(0.0f64, f64::max);
+                let label = if eval_label == UNKNOWN_LABEL {
+                    "-1".to_string()
+                } else {
+                    trained.known_class_names()[eval_label - 1].clone()
+                };
+                (
+                    name.clone(),
+                    Prediction {
+                        label,
+                        eval_label,
+                        confidence,
+                        proba,
+                    },
+                )
+            },
+        )
+    };
+
     let mut group = c.benchmark_group("serving");
     group.sample_size(10);
     group.throughput(Throughput::Elements(batch.len() as u64));
     group.bench_function("classify_batch_from_bytes", |b| {
         b.iter(|| trained.classify_batch(black_box(&batch)))
     });
+    group.bench_function("classify_batch_unprepared_scan", |b| {
+        b.iter(|| classify_batch_unprepared(black_box(&batch)))
+    });
     group.bench_function("classify_batch_prehashed", |b| {
         b.iter(|| trained.classify_features_batch(black_box(&features)))
+    });
+    group.finish();
+
+    // The similarity rows in isolation (no extraction, no forest): the
+    // purest view of what the prepared index buys per comparison.
+    let mut group = c.benchmark_group("serving/feature_rows");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(features.len() as u64));
+    group.bench_function("prepared_index", |b| {
+        b.iter(|| trained.reference().feature_matrix(black_box(&features)))
+    });
+    group.bench_function("unprepared_scan", |b| {
+        b.iter(|| {
+            trained
+                .reference()
+                .feature_matrix_scan(black_box(&features))
+        })
     });
     group.finish();
 

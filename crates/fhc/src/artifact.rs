@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! u64  magic          "FHCLSART" as little-endian bytes
-//! u32  format version (currently 1)
+//! u32  format version (currently 2)
 //! u32+bytes  payload  (length-prefixed)
 //! u64  FNV-1a checksum of the payload
 //! ```
@@ -18,25 +18,39 @@
 //! fuzzy hashes), the forest parameters, every tree of the forest, and the
 //! threshold-tuning curve. Decoding validates the magic, version, checksum,
 //! and every length/index, so corrupt or truncated artifacts produce a
-//! clean [`FhcError::Artifact`] instead of a panic — and a future format
-//! bump can keep loading version-1 files.
+//! clean [`FhcError::Artifact`] instead of a panic.
+//!
+//! **Version 2** additionally persists the *prepared* similarity index of
+//! every reference hash (run-eliminated signatures + sorted packed window
+//! keys, see [`ssdeep::PreparedHash`]), so a loaded classifier serves at
+//! full speed immediately — the index arrives ready-built with the
+//! artifact and loading skips the per-hash preparation. Decoding enforces
+//! the structural invariants of the prepared state (lengths, key counts,
+//! sortedness); semantic integrity rests on the checksum like every other
+//! field, and debug builds (hence the test suite) fully verify the state
+//! derives from the hashes. Version-1 artifacts (original signatures only)
+//! still load — the prepared index is rebuilt from the hashes at load time.
 
 use crate::error::FhcError;
-use crate::features::{FeatureKind, SampleFeatures};
-use crate::serving::TrainedClassifier;
+use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
+use crate::serving::{ServingConfig, TrainedClassifier};
 use crate::similarity::ReferenceSet;
 use crate::threshold::ThresholdPoint;
 use hpcutil::codec::fnv1a64;
 use hpcutil::{ByteReader, ByteWriter, CodecError};
 use mlcore::forest::{RandomForest, RandomForestParams};
-use ssdeep::FuzzyHash;
+use ssdeep::{FuzzyHash, PreparedHash};
 use std::path::Path;
 
 /// `"FHCLSART"` interpreted as a little-endian `u64`.
 const MAGIC: u64 = u64::from_le_bytes(*b"FHCLSART");
 
-/// Current artifact format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current artifact format version: 2 adds the persisted prepared
+/// similarity index.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest artifact format version this build still reads.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 fn encode_kind(kind: FeatureKind) -> u8 {
     match kind {
@@ -65,18 +79,6 @@ fn decode_hash(r: &mut ByteReader<'_>) -> Result<FuzzyHash, CodecError> {
         .map_err(|e| CodecError::new(format!("invalid fuzzy hash {text:?}: {e}")))
 }
 
-fn encode_features(w: &mut ByteWriter, features: &SampleFeatures) {
-    encode_hash(w, &features.file);
-    encode_hash(w, &features.strings);
-    match &features.symbols {
-        None => w.put_bool(false),
-        Some(hash) => {
-            w.put_bool(true);
-            encode_hash(w, hash);
-        }
-    }
-}
-
 fn decode_features(r: &mut ByteReader<'_>) -> Result<SampleFeatures, CodecError> {
     let file = decode_hash(r)?;
     let strings = decode_hash(r)?;
@@ -86,6 +88,53 @@ fn decode_features(r: &mut ByteReader<'_>) -> Result<SampleFeatures, CodecError>
         None
     };
     Ok(SampleFeatures {
+        file,
+        strings,
+        symbols,
+    })
+}
+
+/// Version 2: one prepared hash = the original hash plus its precomputed
+/// comparison state (run-eliminated signatures + sorted window keys).
+fn encode_prepared_hash(w: &mut ByteWriter, prepared: &PreparedHash) {
+    encode_hash(w, prepared.hash());
+    w.put_str(prepared.primary().eliminated());
+    w.put_u64_seq(prepared.primary().keys());
+    w.put_str(prepared.double().eliminated());
+    w.put_u64_seq(prepared.double().keys());
+}
+
+fn decode_prepared_hash(r: &mut ByteReader<'_>) -> Result<PreparedHash, CodecError> {
+    let hash = decode_hash(r)?;
+    let eliminated = r.get_str()?;
+    let keys = r.get_u64_seq()?;
+    let eliminated_double = r.get_str()?;
+    let keys_double = r.get_u64_seq()?;
+    PreparedHash::from_precomputed(hash, eliminated, keys, eliminated_double, keys_double)
+        .map_err(CodecError::new)
+}
+
+fn encode_prepared_features(w: &mut ByteWriter, features: &PreparedSampleFeatures) {
+    encode_prepared_hash(w, &features.file);
+    encode_prepared_hash(w, &features.strings);
+    match &features.symbols {
+        None => w.put_bool(false),
+        Some(prepared) => {
+            w.put_bool(true);
+            encode_prepared_hash(w, prepared);
+        }
+    }
+}
+
+fn decode_prepared_features(r: &mut ByteReader<'_>) -> Result<PreparedSampleFeatures, CodecError> {
+    let file = decode_prepared_hash(r)?;
+    let strings = decode_prepared_hash(r)?;
+    let symbols = if r.get_bool()? {
+        Some(decode_prepared_hash(r)?)
+    } else {
+        None
+    };
+    Ok(PreparedSampleFeatures {
         file,
         strings,
         symbols,
@@ -107,10 +156,10 @@ fn encode_payload(classifier: &TrainedClassifier) -> Vec<u8> {
     w.put_usize(reference.n_classes());
     for class in 0..reference.n_classes() {
         w.put_str(&reference.class_names()[class]);
-        let samples = reference.class_features(class);
+        let samples = reference.prepared_class_features(class);
         w.put_usize(samples.len());
         for features in samples {
-            encode_features(&mut w, features);
+            encode_prepared_features(&mut w, features);
         }
     }
 
@@ -127,7 +176,7 @@ fn encode_payload(classifier: &TrainedClassifier) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_payload(payload: &[u8]) -> Result<TrainedClassifier, CodecError> {
+fn decode_payload(payload: &[u8], version: u32) -> Result<TrainedClassifier, CodecError> {
     let mut r = ByteReader::new(payload);
     let seed = r.get_u64()?;
     let confidence_threshold = r.get_f64()?;
@@ -148,8 +197,7 @@ fn decode_payload(payload: &[u8]) -> Result<TrainedClassifier, CodecError> {
         return Err(CodecError::new("artifact has no known classes"));
     }
     let mut class_names = Vec::with_capacity(n_classes);
-    let mut features = Vec::new();
-    let mut labels = Vec::new();
+    let mut prepared_by_class: Vec<Vec<PreparedSampleFeatures>> = Vec::with_capacity(n_classes);
     for class in 0..n_classes {
         class_names.push(r.get_str()?);
         let n_samples = r.get_usize()?;
@@ -158,12 +206,21 @@ fn decode_payload(payload: &[u8]) -> Result<TrainedClassifier, CodecError> {
                 "class {class} has no reference samples"
             )));
         }
+        let mut prepared = Vec::with_capacity(n_samples);
         for _ in 0..n_samples {
-            features.push(decode_features(&mut r)?);
-            labels.push(class);
+            if version >= 2 {
+                // v2 persists the prepared index; decoding verifies it
+                // derives from the hashes (see PreparedHash::from_precomputed).
+                prepared.push(decode_prepared_features(&mut r)?);
+            } else {
+                // v1 stores only the original hashes; rebuild the prepared
+                // state at load time.
+                prepared.push(PreparedSampleFeatures::prepare(&decode_features(&mut r)?));
+            }
         }
+        prepared_by_class.push(prepared);
     }
-    let reference = ReferenceSet::new(class_names, &features, &labels, &kinds);
+    let reference = ReferenceSet::from_prepared_parts(class_names, prepared_by_class, kinds);
 
     let forest_params = RandomForestParams::decode(&mut r)?;
     let forest = RandomForest::decode(&mut r)?;
@@ -201,6 +258,9 @@ fn decode_payload(payload: &[u8]) -> Result<TrainedClassifier, CodecError> {
         confidence_threshold,
         threshold_curve,
         seed,
+        // Parallelism is a per-process runtime concern, not part of the
+        // artifact; loaded classifiers start from the default.
+        serving: ServingConfig::default(),
     })
 }
 
@@ -227,9 +287,10 @@ impl TrainedClassifier {
             )));
         }
         let version = r.get_u32().map_err(codec_err)?;
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(FhcError::Artifact(format!(
-                "unsupported artifact format version {version} (this build reads {FORMAT_VERSION})"
+                "unsupported artifact format version {version} \
+                 (this build reads {MIN_SUPPORTED_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let payload = r.get_bytes().map_err(codec_err)?;
@@ -241,7 +302,7 @@ impl TrainedClassifier {
                 "checksum mismatch (stored {checksum:#018x}, computed {actual:#018x}): artifact is corrupt"
             )));
         }
-        decode_payload(&payload).map_err(codec_err)
+        decode_payload(&payload, version).map_err(codec_err)
     }
 
     /// Save the classifier to `path`.
@@ -306,6 +367,80 @@ mod tests {
             let bytes = corpus.generate_bytes(spec);
             assert_eq!(restored.classify(&bytes), original.classify(&bytes));
         }
+    }
+
+    /// Re-encode a classifier in the retired version-1 layout (original
+    /// hashes only, no prepared index) to prove the compat path keeps
+    /// loading old artifacts.
+    fn encode_v1_bytes(classifier: &TrainedClassifier) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(classifier.seed);
+        w.put_f64(classifier.confidence_threshold);
+        let kinds = classifier.reference.kinds();
+        w.put_usize(kinds.len());
+        for &kind in kinds {
+            w.put_u8(encode_kind(kind));
+        }
+        let reference = &classifier.reference;
+        w.put_usize(reference.n_classes());
+        for class in 0..reference.n_classes() {
+            w.put_str(&reference.class_names()[class]);
+            let samples = reference.class_features(class);
+            w.put_usize(samples.len());
+            for features in samples {
+                encode_hash(&mut w, &features.file);
+                encode_hash(&mut w, &features.strings);
+                match &features.symbols {
+                    None => w.put_bool(false),
+                    Some(hash) => {
+                        w.put_bool(true);
+                        encode_hash(&mut w, hash);
+                    }
+                }
+            }
+        }
+        classifier.forest_params.encode(&mut w);
+        classifier.forest.encode(&mut w);
+        w.put_usize(classifier.threshold_curve.len());
+        for point in &classifier.threshold_curve {
+            w.put_f64(point.threshold);
+            w.put_f64(point.micro_f1);
+            w.put_f64(point.macro_f1);
+            w.put_f64(point.weighted_f1);
+        }
+        let payload = w.into_bytes();
+        let mut out = ByteWriter::new();
+        out.put_u64(MAGIC);
+        out.put_u32(1);
+        out.put_bytes(&payload);
+        out.put_u64(fnv1a64(&payload));
+        out.into_bytes()
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load_and_predict_identically() {
+        let (corpus, original) = trained();
+        let v1_bytes = encode_v1_bytes(&original);
+        let restored = TrainedClassifier::from_bytes(&v1_bytes).expect("v1 artifact loads");
+
+        assert_eq!(restored.seed(), original.seed());
+        assert_eq!(restored.known_class_names(), original.known_class_names());
+        for spec in corpus.samples().iter().step_by(31) {
+            let bytes = corpus.generate_bytes(spec);
+            assert_eq!(restored.classify(&bytes), original.classify(&bytes));
+        }
+        // Re-saving a v1-loaded classifier upgrades it to the current format
+        // with an identical prepared index.
+        assert_eq!(restored.to_bytes(), original.to_bytes());
+    }
+
+    #[test]
+    fn format_version_is_bumped_for_the_prepared_index() {
+        assert_eq!(FORMAT_VERSION, 2);
+        assert_eq!(MIN_SUPPORTED_VERSION, 1);
+        let (_, original) = trained();
+        // Byte 8 of the container is the version field.
+        assert_eq!(original.to_bytes()[8], 2);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use binary::elf::ElfFile;
 use binary::strings::strings_blob;
 use binary::symbols::symbols_blob;
 use hpcutil::{par_map, ParallelConfig};
-use ssdeep::{compare, fuzzy_hash_bytes, FuzzyHash};
+use ssdeep::{compare, compare_prepared, fuzzy_hash_bytes, FuzzyHash, PreparedHash};
 
 /// Minimum printable-run length for the strings view (`strings -n 4`).
 pub const STRINGS_MIN_LENGTH: usize = 4;
@@ -122,6 +122,70 @@ impl SampleFeatures {
     }
 }
 
+/// The comparison-ready form of [`SampleFeatures`]: every present view's
+/// fuzzy hash with its per-comparison state precomputed
+/// ([`ssdeep::PreparedHash`]).
+///
+/// Preparing costs one run-elimination + window-key sort per view; every
+/// subsequent comparison against another prepared sample then skips that
+/// work entirely. The similarity feature matrix prepares each query sample
+/// once and compares it against the reference set's already-prepared hashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedSampleFeatures {
+    /// Prepared fuzzy hash of the raw file content.
+    pub file: PreparedHash,
+    /// Prepared fuzzy hash of the `strings` output.
+    pub strings: PreparedHash,
+    /// Prepared fuzzy hash of the symbol-name list, if present.
+    pub symbols: Option<PreparedHash>,
+}
+
+impl PreparedSampleFeatures {
+    /// Precompute the comparison state of every view of `features`.
+    pub fn prepare(features: &SampleFeatures) -> Self {
+        Self {
+            file: PreparedHash::new(&features.file),
+            strings: PreparedHash::new(&features.strings),
+            symbols: features.symbols.as_ref().map(PreparedHash::new),
+        }
+    }
+
+    /// The prepared hash for a given view, if present.
+    pub fn get(&self, kind: FeatureKind) -> Option<&PreparedHash> {
+        match kind {
+            FeatureKind::File => Some(&self.file),
+            FeatureKind::Strings => Some(&self.strings),
+            FeatureKind::Symbols => self.symbols.as_ref(),
+        }
+    }
+
+    /// The plain (unprepared) features, reconstructed from the prepared
+    /// hashes.
+    pub fn to_sample_features(&self) -> SampleFeatures {
+        SampleFeatures {
+            file: self.file.hash().clone(),
+            strings: self.strings.hash().clone(),
+            symbols: self.symbols.as_ref().map(|p| p.hash().clone()),
+        }
+    }
+
+    /// SSDeep similarity (0–100) between the same view of two prepared
+    /// samples; byte-identical to [`SampleFeatures::similarity`].
+    /// Missing views (stripped binaries) score 0.
+    pub fn similarity(&self, other: &PreparedSampleFeatures, kind: FeatureKind) -> u32 {
+        match (self.get(kind), other.get(kind)) {
+            (Some(a), Some(b)) => compare_prepared(a, b),
+            _ => 0,
+        }
+    }
+}
+
+impl From<&SampleFeatures> for PreparedSampleFeatures {
+    fn from(features: &SampleFeatures) -> Self {
+        Self::prepare(features)
+    }
+}
+
 /// Extract features for a batch of byte buffers in parallel.
 pub fn extract_batch(samples: &[Vec<u8>]) -> Vec<SampleFeatures> {
     par_map(samples, ParallelConfig::default(), |bytes| {
@@ -204,6 +268,26 @@ mod tests {
         assert_eq!(FeatureKind::Strings.paper_name(), "ssdeep-strings");
         assert_eq!(FeatureKind::Symbols.paper_name(), "ssdeep-symbols");
         assert_eq!(FeatureKind::Symbols.to_string(), "ssdeep-symbols");
+    }
+
+    #[test]
+    fn prepared_similarity_matches_plain() {
+        let a = SampleFeatures::extract(&sample_elf("velvet"));
+        let b = SampleFeatures::extract(&sample_elf("openmalaria"));
+        let stripped = SampleFeatures::extract(&strip_symbols(&sample_elf("velvet")).unwrap());
+        let samples = [a, b, stripped];
+        let prepared: Vec<PreparedSampleFeatures> = samples
+            .iter()
+            .map(PreparedSampleFeatures::prepare)
+            .collect();
+        for (s1, p1) in samples.iter().zip(&prepared) {
+            assert_eq!(&p1.to_sample_features(), s1);
+            for (s2, p2) in samples.iter().zip(&prepared) {
+                for kind in FeatureKind::ALL {
+                    assert_eq!(s1.similarity(s2, kind), p1.similarity(p2, kind));
+                }
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,6 @@ pub mod split;
 pub mod threshold;
 
 pub use error::FhcError;
-pub use features::{FeatureKind, SampleFeatures};
+pub use features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 pub use pipeline::{FitOutcome, FuzzyHashClassifier, PipelineConfig, PipelineOutcome};
-pub use serving::{Prediction, TrainedClassifier};
+pub use serving::{Prediction, ServingConfig, TrainedClassifier};

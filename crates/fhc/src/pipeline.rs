@@ -24,7 +24,7 @@
 
 use crate::error::FhcError;
 use crate::features::{FeatureKind, SampleFeatures};
-use crate::serving::TrainedClassifier;
+use crate::serving::{ServingConfig, TrainedClassifier};
 use crate::similarity::ReferenceSet;
 use crate::split::{two_phase_split, SplitConfig, TwoPhaseSplit};
 use crate::threshold::{
@@ -296,6 +296,7 @@ impl FuzzyHashClassifier {
                 confidence_threshold,
                 threshold_curve,
                 seed: self.config.seed,
+                serving: ServingConfig::default(),
             },
             split,
             unknown_class_names,

@@ -18,6 +18,44 @@ use hpcutil::{par_map_indexed, ParallelConfig};
 use mlcore::forest::{RandomForest, RandomForestParams};
 use mlcore::model::Model;
 
+/// Runtime configuration of the serving hot path.
+///
+/// Replaces the previously hardcoded parallelism of
+/// [`TrainedClassifier::classify_batch`]. This is a *runtime* concern — it
+/// is not persisted into artifacts; a loaded classifier starts from
+/// [`ServingConfig::default`] and can be retuned per process with
+/// [`TrainedClassifier::set_serving_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Worker threads for batch classification. `0` means "use available
+    /// parallelism".
+    pub threads: usize,
+    /// Samples a worker claims per scheduling step. Small chunks balance
+    /// load when executables differ wildly in size; larger chunks reduce
+    /// scheduling overhead for uniform traffic.
+    pub chunk: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            chunk: 2,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// The equivalent low-level parallel-map configuration. (`hpcutil`
+    /// clamps a zero chunk to 1 via `ParallelConfig::effective_chunk`.)
+    pub fn parallel(self) -> ParallelConfig {
+        ParallelConfig {
+            threads: self.threads,
+            chunk: self.chunk,
+        }
+    }
+}
+
 /// The classifier's verdict on one executable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
@@ -52,6 +90,7 @@ pub struct TrainedClassifier {
     pub(crate) confidence_threshold: f64,
     pub(crate) threshold_curve: Vec<ThresholdPoint>,
     pub(crate) seed: u64,
+    pub(crate) serving: ServingConfig,
 }
 
 impl TrainedClassifier {
@@ -97,6 +136,22 @@ impl TrainedClassifier {
         &self.reference
     }
 
+    /// The serving parallelism configuration.
+    pub fn serving_config(&self) -> ServingConfig {
+        self.serving
+    }
+
+    /// Retune the serving parallelism (threads / chunking) in place.
+    pub fn set_serving_config(&mut self, config: ServingConfig) {
+        self.serving = config;
+    }
+
+    /// Builder-style variant of [`TrainedClassifier::set_serving_config`].
+    pub fn with_serving_config(mut self, config: ServingConfig) -> Self {
+        self.serving = config;
+        self
+    }
+
     /// The fitted forest.
     pub fn forest(&self) -> &RandomForest {
         &self.forest
@@ -139,30 +194,18 @@ impl TrainedClassifier {
     /// order. This is the serving hot path: feature extraction and
     /// similarity scoring for each sample run on worker threads.
     pub fn classify_batch(&self, samples: &[(String, Vec<u8>)]) -> Vec<(String, Prediction)> {
-        par_map_indexed(
-            samples.len(),
-            ParallelConfig {
-                threads: 0,
-                chunk: 2,
-            },
-            |i| {
-                let (name, bytes) = &samples[i];
-                (name.clone(), self.classify(bytes))
-            },
-        )
+        par_map_indexed(samples.len(), self.serving.parallel(), |i| {
+            let (name, bytes) = &samples[i];
+            (name.clone(), self.classify(bytes))
+        })
     }
 
     /// Classify pre-extracted feature batches in parallel (for callers that
     /// already paid the hashing cost).
     pub fn classify_features_batch(&self, features: &[SampleFeatures]) -> Vec<Prediction> {
-        par_map_indexed(
-            features.len(),
-            ParallelConfig {
-                threads: 0,
-                chunk: 2,
-            },
-            |i| self.classify_features(&features[i]),
-        )
+        par_map_indexed(features.len(), self.serving.parallel(), |i| {
+            self.classify_features(&features[i])
+        })
     }
 }
 
@@ -234,6 +277,51 @@ mod tests {
         // A shell script shares no symbols and virtually no content with any
         // HPC application class.
         assert!(prediction.is_unknown(), "got {prediction:?}");
+    }
+
+    #[test]
+    fn serving_config_changes_parallelism_not_predictions() {
+        let (corpus, trained) = trained();
+        assert_eq!(trained.serving_config(), ServingConfig::default());
+        let batch: Vec<(String, Vec<u8>)> = corpus
+            .samples()
+            .iter()
+            .step_by(29)
+            .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+            .collect();
+        let default_predictions = trained.classify_batch(&batch);
+
+        for config in [
+            ServingConfig {
+                threads: 1,
+                chunk: 1,
+            },
+            ServingConfig {
+                threads: 3,
+                chunk: 64,
+            },
+            // A zero chunk must be tolerated (hpcutil's effective_chunk
+            // clamps it to 1), not loop forever.
+            ServingConfig {
+                threads: 2,
+                chunk: 0,
+            },
+        ] {
+            let tuned = trained.clone().with_serving_config(config);
+            assert_eq!(tuned.serving_config(), config);
+            assert_eq!(
+                tuned.classify_batch(&batch),
+                default_predictions,
+                "parallelism must never change predictions ({config:?})"
+            );
+        }
+
+        let mut mutated = trained.clone();
+        mutated.set_serving_config(ServingConfig {
+            threads: 2,
+            chunk: 8,
+        });
+        assert_eq!(mutated.serving_config().chunk, 8);
     }
 
     #[test]

@@ -15,25 +15,80 @@
 //! Grouping columns by hash view is what lets the pipeline aggregate the
 //! forest's per-column importances into the three per-feature numbers of the
 //! paper's Table 5.
+//!
+//! # The precomputed similarity index
+//!
+//! The reference set is *static* once built, so [`ReferenceSet::new`]
+//! prepares every reference hash up front ([`ssdeep::PreparedHash`]: run
+//! elimination + sorted packed window keys, paid once) and groups the
+//! prepared hashes of each `(view, class)` cell into **block-size buckets**.
+//! Scoring a query then touches only the two or three buckets whose block
+//! size is compatible with the query's (equal or a factor of two apart) —
+//! incompatible reference hashes are skipped without reading a single
+//! signature byte — and each comparison runs just the common-substring
+//! intersection and the edit-distance DP. Scores are byte-identical to the
+//! unindexed scan ([`ReferenceSet::feature_vector_scan`] keeps the plain
+//! `ssdeep::compare` path as a verification oracle).
 
-use crate::features::{FeatureKind, SampleFeatures};
+use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use hpcutil::{par_map_indexed, ParallelConfig};
+use ssdeep::{compare_prepared, PreparedHash};
+
+/// Block-size buckets over one `(view, class)` cell of the reference set:
+/// `(block size, indices of the class's prepared samples whose hash for this
+/// view has that block size)`, sorted by block size for binary search.
+#[derive(Debug, Clone)]
+struct BlockSizeBuckets {
+    buckets: Vec<(u64, Vec<u32>)>,
+}
+
+impl BlockSizeBuckets {
+    /// Bucket every sample of `class_samples` that has a hash for `kind`.
+    fn build(class_samples: &[PreparedSampleFeatures], kind: FeatureKind) -> Self {
+        let mut buckets: Vec<(u64, Vec<u32>)> = Vec::new();
+        for (i, sample) in class_samples.iter().enumerate() {
+            if let Some(prepared) = sample.get(kind) {
+                let block_size = prepared.block_size();
+                match buckets.binary_search_by_key(&block_size, |&(b, _)| b) {
+                    Ok(pos) => buckets[pos].1.push(i as u32),
+                    Err(pos) => buckets.insert(pos, (block_size, vec![i as u32])),
+                }
+            }
+        }
+        Self { buckets }
+    }
+
+    /// Sample indices whose hash has exactly `block_size`.
+    fn bucket(&self, block_size: u64) -> &[u32] {
+        match self.buckets.binary_search_by_key(&block_size, |&(b, _)| b) {
+            Ok(pos) => &self.buckets[pos].1,
+            Err(_) => &[],
+        }
+    }
+}
 
 /// Reference hashes the feature matrix is computed against: the training
-/// samples of each known class.
+/// samples of each known class, with a precomputed similarity index over
+/// their prepared hashes.
 #[derive(Debug, Clone)]
 pub struct ReferenceSet {
     /// Known class names, indexed by known-class id (the forest's label
     /// space).
     class_names: Vec<String>,
-    /// Training sample features grouped by known-class id.
-    by_class: Vec<Vec<SampleFeatures>>,
+    /// Training sample features grouped by known-class id, in prepared
+    /// (comparison-ready) form. Each [`ssdeep::PreparedHash`] owns its
+    /// original [`ssdeep::FuzzyHash`], so this is the single source of
+    /// truth — the plain features are a view into it, never a second copy.
+    prepared_by_class: Vec<Vec<PreparedSampleFeatures>>,
     /// Which feature kinds are active (ablations disable some).
     kinds: Vec<FeatureKind>,
+    /// Block-size buckets per `[kind index][class]`.
+    index: Vec<Vec<BlockSizeBuckets>>,
 }
 
 impl ReferenceSet {
-    /// Group training samples by their known-class label.
+    /// Group training samples by their known-class label and build the
+    /// prepared similarity index.
     ///
     /// `labels[i]` is the known-class id of `features[i]` and must be
     /// `< class_names.len()`.
@@ -48,14 +103,37 @@ impl ReferenceSet {
             labels.len(),
             "features and labels must align"
         );
-        let mut by_class: Vec<Vec<SampleFeatures>> = vec![Vec::new(); class_names.len()];
+        let mut prepared_by_class: Vec<Vec<PreparedSampleFeatures>> =
+            vec![Vec::new(); class_names.len()];
         for (f, &l) in features.iter().zip(labels) {
-            by_class[l].push(f.clone());
+            prepared_by_class[l].push(PreparedSampleFeatures::prepare(f));
         }
+        Self::from_prepared_parts(class_names, prepared_by_class, kinds.to_vec())
+    }
+
+    /// Assemble a reference set from already-prepared samples (used by the
+    /// artifact decoder, which persists the prepared index so loading skips
+    /// re-preparation).
+    pub(crate) fn from_prepared_parts(
+        class_names: Vec<String>,
+        prepared_by_class: Vec<Vec<PreparedSampleFeatures>>,
+        kinds: Vec<FeatureKind>,
+    ) -> Self {
+        assert_eq!(class_names.len(), prepared_by_class.len());
+        let index = kinds
+            .iter()
+            .map(|&kind| {
+                prepared_by_class
+                    .iter()
+                    .map(|samples| BlockSizeBuckets::build(samples, kind))
+                    .collect()
+            })
+            .collect();
         Self {
             class_names,
-            by_class,
-            kinds: kinds.to_vec(),
+            prepared_by_class,
+            kinds,
+            index,
         }
     }
 
@@ -74,10 +152,21 @@ impl ReferenceSet {
         &self.kinds
     }
 
-    /// The training-sample features of one known class (used when
-    /// serializing the reference set into a classifier artifact).
-    pub fn class_features(&self, class: usize) -> &[SampleFeatures] {
-        &self.by_class[class]
+    /// The training-sample features of one known class, reconstructed from
+    /// the prepared hashes (which own the originals). Allocates; prefer
+    /// [`ReferenceSet::prepared_class_features`] on hot paths.
+    pub fn class_features(&self, class: usize) -> Vec<SampleFeatures> {
+        self.prepared_by_class[class]
+            .iter()
+            .map(PreparedSampleFeatures::to_sample_features)
+            .collect()
+    }
+
+    /// The prepared training-sample features of one known class, in the same
+    /// order as [`ReferenceSet::class_features`] (used when serializing the
+    /// prepared index into a classifier artifact).
+    pub fn prepared_class_features(&self, class: usize) -> &[PreparedSampleFeatures] {
+        &self.prepared_by_class[class]
     }
 
     /// Number of columns in the feature matrix
@@ -112,13 +201,89 @@ impl ReferenceSet {
     /// Feature vector of one sample: per active kind, per known class, the
     /// maximum similarity against that class's training samples, scaled to
     /// `0.0..=100.0`.
+    ///
+    /// Prepares the query once, then scores it through the precomputed
+    /// index; see [`ReferenceSet::feature_vector_prepared`].
     pub fn feature_vector(&self, sample: &SampleFeatures) -> Vec<f64> {
+        self.feature_vector_prepared(&PreparedSampleFeatures::prepare(sample))
+    }
+
+    /// Feature vector of one already-prepared sample, computed through the
+    /// block-size-bucketed similarity index: per `(view, class)` cell only
+    /// the buckets whose block size is compatible with the query's are
+    /// compared at all, and each comparison skips straight to the
+    /// edit-distance DP. Scores are identical to the unindexed
+    /// [`ReferenceSet::feature_vector_scan`].
+    pub fn feature_vector_prepared(&self, sample: &PreparedSampleFeatures) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.n_columns());
+        for (kind_idx, &kind) in self.kinds.iter().enumerate() {
+            let query = sample.get(kind);
+            for class in 0..self.class_names.len() {
+                let best = query.map_or(0, |q| self.best_class_score(kind_idx, class, q));
+                row.push(f64::from(best));
+            }
+        }
+        row
+    }
+
+    /// Maximum similarity of `query` against one `(view, class)` cell of the
+    /// index.
+    fn best_class_score(&self, kind_idx: usize, class: usize, query: &PreparedHash) -> u32 {
+        let samples = &self.prepared_by_class[class];
+        let buckets = &self.index[kind_idx][class];
+        let kind = self.kinds[kind_idx];
+        let block_size = query.block_size();
+        // The only block sizes SSDeep will compare: equal, double, and (for
+        // even sizes) half. Everything else scores 0 and is never visited.
+        let candidates = [
+            Some(block_size),
+            block_size.checked_mul(2),
+            block_size.is_multiple_of(2).then_some(block_size / 2),
+        ];
+        let mut best = 0u32;
+        for candidate in candidates.into_iter().flatten() {
+            for &i in buckets.bucket(candidate) {
+                let reference = self.prepared_sample_hash(samples, i, kind);
+                best = best.max(compare_prepared(query, reference));
+                if best == 100 {
+                    return best;
+                }
+            }
+        }
+        best
+    }
+
+    fn prepared_sample_hash<'a>(
+        &self,
+        samples: &'a [PreparedSampleFeatures],
+        index: u32,
+        kind: FeatureKind,
+    ) -> &'a PreparedHash {
+        samples[index as usize]
+            .get(kind)
+            .expect("indexed sample has this view")
+    }
+
+    /// Feature vector computed by the original unindexed scan: every
+    /// reference sample of every class is compared with plain
+    /// [`ssdeep::compare`], re-normalizing signatures on every call.
+    ///
+    /// Kept as the verification oracle for the precomputed index (the
+    /// equivalence tests assert it matches [`ReferenceSet::feature_vector`])
+    /// and as the baseline the serving benchmark measures the index against.
+    pub fn feature_vector_scan(&self, sample: &SampleFeatures) -> Vec<f64> {
         let mut row = Vec::with_capacity(self.n_columns());
         for &kind in &self.kinds {
-            for class_samples in &self.by_class {
+            let query = sample.get(kind);
+            for class_samples in &self.prepared_by_class {
                 let best = class_samples
                     .iter()
-                    .map(|train| sample.similarity(train, kind))
+                    .map(|train| match (query, train.get(kind)) {
+                        // Plain `compare` on the original hashes the
+                        // prepared samples own — exactly the pre-index cost.
+                        (Some(a), Some(b)) => ssdeep::compare(a, b.hash()),
+                        _ => 0,
+                    })
                     .max()
                     .unwrap_or(0);
                 row.push(f64::from(best));
@@ -128,7 +293,7 @@ impl ReferenceSet {
     }
 
     /// Feature matrix of a batch of samples (rows computed in parallel — the
-    /// dominant cost of the whole pipeline).
+    /// dominant cost of the whole pipeline), through the precomputed index.
     pub fn feature_matrix(&self, samples: &[SampleFeatures]) -> Vec<Vec<f64>> {
         par_map_indexed(
             samples.len(),
@@ -137,6 +302,19 @@ impl ReferenceSet {
                 chunk: 4,
             },
             |i| self.feature_vector(&samples[i]),
+        )
+    }
+
+    /// Feature matrix computed by the unindexed scan (the benchmark baseline
+    /// twin of [`ReferenceSet::feature_matrix`]).
+    pub fn feature_matrix_scan(&self, samples: &[SampleFeatures]) -> Vec<Vec<f64>> {
+        par_map_indexed(
+            samples.len(),
+            ParallelConfig {
+                threads: 0,
+                chunk: 4,
+            },
+            |i| self.feature_vector_scan(&samples[i]),
         )
     }
 }
@@ -258,6 +436,51 @@ mod tests {
         let rs = ReferenceSet::new(vec!["Velvet".into()], &train, &[0], &[FeatureKind::Symbols]);
         assert_eq!(rs.n_columns(), 1);
         assert_eq!(rs.column_names(), vec!["ssdeep-symbols/Velvet"]);
+    }
+
+    #[test]
+    fn indexed_feature_vector_matches_scan_oracle() {
+        let (rs, train) = reference();
+        let probes = vec![
+            train[0].clone(),
+            make_sample("velvet", 9),
+            make_sample("openmalaria", 4),
+            make_sample("quantumespresso", 1),
+        ];
+        for probe in &probes {
+            assert_eq!(
+                rs.feature_vector(probe),
+                rs.feature_vector_scan(probe),
+                "index and scan disagree"
+            );
+        }
+        let indexed = rs.feature_matrix(&probes);
+        let scanned = rs.feature_matrix_scan(&probes);
+        assert_eq!(indexed, scanned);
+    }
+
+    #[test]
+    fn prepared_query_reuses_one_preparation() {
+        let (rs, _) = reference();
+        let probe = make_sample("velvet", 3);
+        let prepared = crate::features::PreparedSampleFeatures::prepare(&probe);
+        assert_eq!(
+            rs.feature_vector_prepared(&prepared),
+            rs.feature_vector(&probe)
+        );
+    }
+
+    #[test]
+    fn prepared_class_features_mirror_plain() {
+        let (rs, _) = reference();
+        for class in 0..rs.n_classes() {
+            let plain = rs.class_features(class);
+            let prepared = rs.prepared_class_features(class);
+            assert_eq!(plain.len(), prepared.len());
+            for (p, q) in plain.iter().zip(prepared) {
+                assert_eq!(p, &q.to_sample_features());
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub fn initial_blocksize(len: usize) -> u64 {
 /// compared: SSDeep only compares signatures whose block sizes are equal or
 /// differ by exactly a factor of two.
 pub fn comparable(b1: u64, b2: u64) -> bool {
-    b1 == b2 || b1 == b2 * 2 || b2 == b1 * 2
+    // checked_mul: parsed hashes can carry block sizes near `u64::MAX`, and
+    // a doubling that overflows can never equal the other block size.
+    b1 == b2 || b2.checked_mul(2) == Some(b1) || b1.checked_mul(2) == Some(b2)
 }
 
 #[cfg(test)]

@@ -47,6 +47,32 @@ pub fn eliminate_long_runs(sig: &str) -> String {
     out
 }
 
+/// Pack one [`MIN_COMMON_SUBSTRING`]-byte window into a `u64` key (base64
+/// characters are 7-bit, so 7 bytes fit in 56 bits).
+#[inline]
+pub(crate) fn pack_window(window: &[u8]) -> u64 {
+    let mut v = 0u64;
+    for &byte in window {
+        v = (v << 8) | u64::from(byte);
+    }
+    v
+}
+
+/// The sorted packed 7-byte window keys of `bytes` (empty when the input is
+/// shorter than [`MIN_COMMON_SUBSTRING`]). Two strings share a common
+/// substring of length [`MIN_COMMON_SUBSTRING`] iff their key sets intersect.
+pub(crate) fn window_keys(bytes: &[u8]) -> Vec<u64> {
+    if bytes.len() < MIN_COMMON_SUBSTRING {
+        return Vec::new();
+    }
+    let mut keys: Vec<u64> = bytes
+        .windows(MIN_COMMON_SUBSTRING)
+        .map(pack_window)
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
 /// Whether `a` and `b` share a common substring of length at least
 /// [`MIN_COMMON_SUBSTRING`].
 ///
@@ -56,31 +82,61 @@ pub fn eliminate_long_runs(sig: &str) -> String {
 /// `u64` (base64 characters are 7-bit), so the windows of the shorter string
 /// are packed and sorted once and the other string's windows are found by
 /// binary search — far cheaper than the quadratic slice comparison.
+///
+/// Signatures produced by this crate are at most
+/// [`SPAM_SUM_LENGTH`](crate::SPAM_SUM_LENGTH) characters, so their windows
+/// fit a stack buffer; arbitrary caller-supplied strings of any length fall
+/// back to a heap buffer instead of panicking.
 pub fn has_common_substring(a: &str, b: &str) -> bool {
     let a = a.as_bytes();
     let b = b.as_bytes();
     if a.len() < MIN_COMMON_SUBSTRING || b.len() < MIN_COMMON_SUBSTRING {
         return false;
     }
-    #[inline]
-    fn pack(window: &[u8]) -> u64 {
-        let mut v = 0u64;
-        for &byte in window {
-            v = (v << 8) | u64::from(byte);
-        }
-        v
-    }
-    // Pack the shorter string's windows (at most 58 of them) on the stack.
+    // Pack the shorter string's windows (at most 58 for real signatures) on
+    // the stack; longer inputs spill to the heap.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut keys = [0u64; crate::generate::SPAM_SUM_LENGTH];
     let n = short.len() - MIN_COMMON_SUBSTRING + 1;
-    for (i, key) in keys.iter_mut().enumerate().take(n) {
-        *key = pack(&short[i..i + MIN_COMMON_SUBSTRING]);
+    let mut stack = [0u64; crate::generate::SPAM_SUM_LENGTH];
+    let mut heap: Vec<u64> = Vec::new();
+    let keys: &mut [u64] = if n <= stack.len() {
+        &mut stack[..n]
+    } else {
+        heap.resize(n, 0);
+        &mut heap
+    };
+    for (i, key) in keys.iter_mut().enumerate() {
+        *key = pack_window(&short[i..i + MIN_COMMON_SUBSTRING]);
     }
-    let keys = &mut keys[..n];
     keys.sort_unstable();
     long.windows(MIN_COMMON_SUBSTRING)
-        .any(|w| keys.binary_search(&pack(w)).is_ok())
+        .any(|w| keys.binary_search(&pack_window(w)).is_ok())
+}
+
+/// Scale a weighted edit distance between two run-eliminated signatures of
+/// lengths `len1` and `len2` onto the 0–100 similarity scale, applying the
+/// small-block-size cap. Shared by [`score_strings`] and the precomputed
+/// [`compare_prepared`](crate::prepared::compare_prepared) path so the two
+/// stay byte-identical.
+pub(crate) fn scale_score(dist: u64, len1: u64, len2: u64, block_size: u64) -> u32 {
+    // Scale the distance by the signature lengths onto 0..=100, mirroring
+    // spamsum: first rescale to a "proportional" distance relative to
+    // SPAM_SUM_LENGTH, then convert to a similarity.
+    let mut score = dist * (SPAM_SUM_LENGTH as u64) / (len1 + len2);
+    score = (100 * score) / (SPAM_SUM_LENGTH as u64);
+    let mut score = 100u64.saturating_sub(score);
+
+    // For small block sizes, cap the score: short, low-entropy inputs can
+    // otherwise look deceptively similar. The cap is only computed inside the
+    // branch so a huge caller-supplied block size cannot overflow the
+    // multiplication.
+    if block_size < 99 * MIN_BLOCKSIZE {
+        let cap = (block_size / MIN_BLOCKSIZE) * len1.min(len2);
+        if score > cap {
+            score = cap;
+        }
+    }
+    score.min(100) as u32
 }
 
 /// Score two signatures that were generated with the same block size.
@@ -96,23 +152,7 @@ pub fn score_strings(s1: &str, s2: &str, block_size: u64) -> u32 {
         return 0;
     }
     let dist = weighted_edit_distance(&s1, &s2) as u64;
-    let len1 = s1.len() as u64;
-    let len2 = s2.len() as u64;
-
-    // Scale the distance by the signature lengths onto 0..=100, mirroring
-    // spamsum: first rescale to a "proportional" distance relative to
-    // SPAM_SUM_LENGTH, then convert to a similarity.
-    let mut score = dist * (SPAM_SUM_LENGTH as u64) / (len1 + len2);
-    score = (100 * score) / (SPAM_SUM_LENGTH as u64);
-    let mut score = 100u64.saturating_sub(score);
-
-    // For small block sizes, cap the score: short, low-entropy inputs can
-    // otherwise look deceptively similar.
-    let cap = (block_size / MIN_BLOCKSIZE) * len1.min(len2);
-    if block_size < 99 * MIN_BLOCKSIZE && score > cap {
-        score = cap;
-    }
-    score.min(100) as u32
+    scale_score(dist, s1.len() as u64, s2.len() as u64, block_size)
 }
 
 /// Compare two fuzzy hashes and return a similarity score in `0..=100`.
@@ -142,13 +182,20 @@ pub fn compare(a: &FuzzyHash, b: &FuzzyHash) -> u32 {
     }
 
     if b1 == b2 {
+        // The double-signature block size can overflow for adversarial
+        // `from_parts` inputs near `u64::MAX`; saturating is score-identical
+        // because any block size that large skips the small-block-size cap.
         let s1 = score_strings(a.signature(), b.signature(), b1);
-        let s2 = score_strings(a.signature_double(), b.signature_double(), b1 * 2);
+        let s2 = score_strings(
+            a.signature_double(),
+            b.signature_double(),
+            b1.saturating_mul(2),
+        );
         s1.max(s2)
-    } else if b1 == b2 * 2 {
+    } else if b2.checked_mul(2) == Some(b1) {
         // a's primary block size equals b's double block size.
         score_strings(a.signature(), b.signature_double(), b1)
-    } else if b2 == b1 * 2 {
+    } else if b1.checked_mul(2) == Some(b2) {
         score_strings(a.signature_double(), b.signature(), b2)
     } else {
         0
@@ -273,6 +320,65 @@ mod tests {
         let hb = fuzzy_hash_bytes(&b);
         let s = compare(&ha, &hb);
         assert!(s <= 100);
+    }
+
+    #[test]
+    fn common_substring_accepts_oversized_inputs() {
+        // Regression: strings longer than SPAM_SUM_LENGTH + 6 windows used to
+        // index past a fixed stack array and panic. Both the shared-window
+        // and the disjoint case must return correct answers instead.
+        let long_a: String = (0..200)
+            .map(|i| ((i * 7 + 3) % 26 + 65) as u8 as char)
+            .collect();
+        let mut long_b: String = (0..200)
+            .map(|i| ((i * 11 + 5) % 26 + 97) as u8 as char)
+            .collect();
+        assert!(has_common_substring(&long_a, &long_a));
+        assert!(!has_common_substring(&long_a, &long_b));
+        // Splice a 7-char window of `a` into `b`: now they must match.
+        long_b.replace_range(90..97, &long_a[40..47]);
+        assert!(has_common_substring(&long_a, &long_b));
+        assert!(has_common_substring(&long_b, &long_a));
+        // Exactly one past the old stack capacity (71 bytes) on both sides.
+        let a71: String = (0..71)
+            .map(|i| ((i * 5 + 1) % 26 + 65) as u8 as char)
+            .collect();
+        assert!(has_common_substring(&a71, &a71));
+    }
+
+    #[test]
+    fn score_strings_accepts_oversized_inputs() {
+        let sig: String = (0..120)
+            .map(|i| ((i * 13 + 2) % 26 + 65) as u8 as char)
+            .collect();
+        let s = score_strings(&sig, &sig, 3072);
+        assert!(s >= 99, "identical long strings should score high, got {s}");
+        let other: String = (0..120)
+            .map(|i| ((i * 17 + 9) % 26 + 97) as u8 as char)
+            .collect();
+        assert_eq!(score_strings(&sig, &other, 3072), 0);
+    }
+
+    #[test]
+    fn compare_near_max_block_size_does_not_overflow() {
+        let sig = "ABCDEFGHIJKL".to_string();
+        let max = FuzzyHash::from_parts(u64::MAX, sig.clone(), sig.clone()).unwrap();
+        let half = FuzzyHash::from_parts(u64::MAX / 2 + 1, sig.clone(), sig.clone()).unwrap();
+        let odd = FuzzyHash::from_parts(u64::MAX - 2, sig.clone(), sig.clone()).unwrap();
+
+        // Identical huge-block-size hashes still compare as identical.
+        assert_eq!(compare(&max, &max), 100);
+        // (u64::MAX / 2 + 1) * 2 overflows; the pair is not comparable.
+        assert_eq!(compare(&max, &half), 0);
+        assert_eq!(compare(&half, &max), 0);
+        assert_eq!(compare(&max, &odd), 0);
+
+        // A genuine factor-of-two pair near the top of the range still works.
+        let b1 = 1u64 << 62;
+        let a = FuzzyHash::from_parts(b1, sig.clone(), sig.clone()).unwrap();
+        let b = FuzzyHash::from_parts(b1 * 2, sig.clone(), sig).unwrap();
+        assert!(compare(&a, &b) > 0);
+        assert_eq!(compare(&a, &b), compare(&b, &a));
     }
 
     #[test]

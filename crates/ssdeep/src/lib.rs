@@ -18,6 +18,11 @@
 //!   paper), and the weighted edit distance SSDeep scales into a score.
 //! * [`compare`] — the 0–100 similarity score ([`compare`](compare::compare)),
 //!   including the common-substring guard and block-size compatibility rule.
+//! * [`prepared`] — [`PreparedHash`]: per-hash comparison state computed
+//!   once, so comparing against a static reference set
+//!   ([`compare_prepared`](prepared::compare_prepared)) pays only the
+//!   edit-distance DP per pair, with scores byte-identical to
+//!   [`compare`](compare::compare).
 //!
 //! # Quick start
 //!
@@ -49,9 +54,11 @@ pub mod edit_distance;
 pub mod error;
 pub mod fnv;
 pub mod generate;
+pub mod prepared;
 pub mod rolling_hash;
 
 pub use compare::{compare, compare_strings};
 pub use edit_distance::{damerau_levenshtein, levenshtein, weighted_edit_distance};
 pub use error::ParseError;
 pub use generate::{fuzzy_hash_bytes, FuzzyHash, SPAM_SUM_LENGTH};
+pub use prepared::{compare_prepared, PreparedHash};

@@ -4,7 +4,8 @@
 //! generator over a fixed number of cases.
 
 use ssdeep::{
-    compare, damerau_levenshtein, fuzzy_hash_bytes, levenshtein, weighted_edit_distance, FuzzyHash,
+    compare, compare_prepared, damerau_levenshtein, fuzzy_hash_bytes, levenshtein,
+    weighted_edit_distance, FuzzyHash, PreparedHash,
 };
 
 /// SplitMix64 — the deterministic case generator for these tests.
@@ -114,6 +115,50 @@ fn edit_distance_axioms() {
         assert!(w >= lev);
         assert!(w <= a.len() + b.len());
         assert_eq!(dl == 0, a == b);
+    }
+}
+
+/// `compare_prepared` is score-identical to `compare` on random hash pairs:
+/// real generated hashes (some sharing content so block sizes collide or
+/// differ by a factor of two) and fabricated hashes with random signatures
+/// and random — including tiny and enormous — block sizes.
+#[test]
+fn prepared_comparison_equals_plain_comparison() {
+    let mut g = Gen(7);
+    let mut hashes: Vec<FuzzyHash> = Vec::new();
+    for _ in 0..24 {
+        let base = g.bytes(500, 30_000);
+        hashes.push(fuzzy_hash_bytes(&base));
+        // A mutated copy: often the same or a neighboring block size.
+        let mut variant = base.clone();
+        let start = g.range(0, variant.len().max(2) - 1);
+        let span = g.range(1, 1 + variant.len() / 8);
+        for byte in variant.iter_mut().skip(start).take(span) {
+            *byte ^= 0xA7;
+        }
+        hashes.push(fuzzy_hash_bytes(&variant));
+    }
+    for _ in 0..24 {
+        let block_size = match g.range(0, 4) {
+            0 => 3 << g.range(0, 8),
+            1 => g.next().max(1),
+            2 => u64::MAX - g.range(0, 3) as u64,
+            _ => 3,
+        };
+        let sig1 = g.b64_string(64);
+        let sig2 = g.b64_string(32);
+        hashes.push(FuzzyHash::from_parts(block_size, sig1, sig2).expect("valid parts"));
+    }
+
+    let prepared: Vec<PreparedHash> = hashes.iter().map(PreparedHash::new).collect();
+    for (ha, pa) in hashes.iter().zip(&prepared) {
+        for (hb, pb) in hashes.iter().zip(&prepared) {
+            assert_eq!(
+                compare(ha, hb),
+                compare_prepared(pa, pb),
+                "prepared comparison diverged for {ha} vs {hb}"
+            );
+        }
     }
 }
 

@@ -1,10 +1,12 @@
 //! Integration tests of the fit/predict serving API: determinism across
 //! independent fits, agreement between the evaluation pipeline and the
-//! serving path, and artifact save/load round trips.
+//! serving path, artifact save/load round trips, and equivalence of the
+//! precomputed similarity index with the unindexed scan.
 
 use corpus::{Catalog, CorpusBuilder};
+use fhc::features::SampleFeatures;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
-use fhc::serving::TrainedClassifier;
+use fhc::serving::{ServingConfig, TrainedClassifier};
 
 fn small_corpus(seed: u64) -> corpus::Corpus {
     CorpusBuilder::new(seed).build(&Catalog::paper().scaled(0.02))
@@ -98,6 +100,65 @@ fn saved_then_loaded_classifier_predicts_identically() {
     );
     // Round-tripping the restored classifier is byte-stable.
     assert_eq!(restored.to_bytes(), trained.to_bytes());
+}
+
+#[test]
+fn prepared_index_agrees_with_unindexed_scan_end_to_end() {
+    // The serving hot path now runs through the precomputed block-size
+    // bucketed similarity index; the unindexed scan is kept as the oracle.
+    // Across a corpus-wide probe batch (known classes, unknown classes, and
+    // a non-ELF stranger) the two must produce identical feature rows.
+    let corpus = small_corpus(11);
+    let trained = FuzzyHashClassifier::new(config(11))
+        .fit(&corpus)
+        .expect("fit");
+    let reference = trained.reference();
+
+    let mut probes: Vec<SampleFeatures> = corpus
+        .samples()
+        .iter()
+        .step_by(7)
+        .map(|s| SampleFeatures::extract(&corpus.generate_bytes(s)))
+        .collect();
+    probes.push(SampleFeatures::extract(
+        b"#!/bin/sh\necho not an elf, stresses the no-symbols path\n",
+    ));
+
+    for probe in &probes {
+        assert_eq!(
+            reference.feature_vector(probe),
+            reference.feature_vector_scan(probe),
+            "prepared index and scan oracle disagree"
+        );
+    }
+    assert_eq!(
+        reference.feature_matrix(&probes),
+        reference.feature_matrix_scan(&probes)
+    );
+}
+
+#[test]
+fn serving_config_is_runtime_only_and_prediction_invariant() {
+    let corpus = small_corpus(3);
+    let batch = probe_batch(&corpus);
+    let trained = FuzzyHashClassifier::new(config(3))
+        .fit(&corpus)
+        .expect("fit");
+    let expected = trained.classify_batch(&batch);
+
+    // Any parallelism produces the same predictions.
+    let tuned = trained.clone().with_serving_config(ServingConfig {
+        threads: 1,
+        chunk: 16,
+    });
+    assert_eq!(tuned.classify_batch(&batch), expected);
+
+    // The serving config is not baked into artifacts: bytes are identical
+    // regardless of tuning, and a loaded classifier starts from the default.
+    assert_eq!(tuned.to_bytes(), trained.to_bytes());
+    let restored = TrainedClassifier::from_bytes(&tuned.to_bytes()).expect("decode");
+    assert_eq!(restored.serving_config(), ServingConfig::default());
+    assert_eq!(restored.classify_batch(&batch), expected);
 }
 
 #[test]
