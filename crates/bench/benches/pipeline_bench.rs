@@ -10,7 +10,7 @@ use std::hint::black_box;
 fn bench_pipeline(c: &mut Criterion) {
     let corpus = bench_corpus(0.02, 42);
     let config = bench_config(42);
-    let classifier = FuzzyHashClassifier::new(config.clone());
+    let classifier = FuzzyHashClassifier::with_config(config.clone());
     let features = extract_all(&corpus, &config);
 
     let mut group = c.benchmark_group("pipeline");

@@ -10,6 +10,7 @@
 //! the index existed).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fhc::backend::BackendConfig;
 use fhc::features::SampleFeatures;
 use fhc::pipeline::FuzzyHashClassifier;
 use fhc::serving::Prediction;
@@ -21,7 +22,7 @@ use std::hint::black_box;
 
 fn bench_classify_batch(c: &mut Criterion) {
     let corpus = bench_corpus(0.02, 42);
-    let trained = FuzzyHashClassifier::new(bench_config(42))
+    let trained = FuzzyHashClassifier::with_config(bench_config(42))
         .fit(&corpus)
         .expect("training succeeds");
 
@@ -104,10 +105,48 @@ fn bench_classify_batch(c: &mut Criterion) {
     });
     group.finish();
 
+    // Sharded vs indexed vs scan: the same classify_batch traffic under
+    // each similarity backend (backend choice is runtime-only and
+    // score-identical, so this group measures pure scheduling overhead /
+    // benefit — what per-query class sharding costs or buys).
+    let mut group = c.benchmark_group("serving/backends");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for (label, backend) in [
+        ("classify_batch_indexed", BackendConfig::Indexed),
+        (
+            "classify_batch_sharded_2",
+            BackendConfig::Sharded { shards: 2 },
+        ),
+        (
+            "classify_batch_sharded_4",
+            BackendConfig::Sharded { shards: 4 },
+        ),
+        (
+            "classify_batch_sharded_auto",
+            BackendConfig::Sharded { shards: 0 },
+        ),
+        ("classify_batch_scan", BackendConfig::Scan),
+    ] {
+        let swapped = trained.clone().with_backend(backend);
+        group.bench_function(label, |b| {
+            b.iter(|| swapped.classify_batch(black_box(&batch)))
+        });
+    }
+    group.finish();
+
+    // Single-query latency per backend: where the sharded backend is meant
+    // to shine (one query fanned out across shard threads).
     let mut group = c.benchmark_group("serving/single");
     group.throughput(Throughput::Elements(1));
     group.bench_function("classify_one", |b| {
         b.iter(|| trained.classify(black_box(&batch[0].1)))
+    });
+    let sharded = trained
+        .clone()
+        .with_backend(BackendConfig::Sharded { shards: 0 });
+    group.bench_function("classify_one_sharded_auto", |b| {
+        b.iter(|| sharded.classify(black_box(&batch[0].1)))
     });
     group.finish();
 

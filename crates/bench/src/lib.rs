@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 use corpus::{Catalog, Corpus, CorpusBuilder};
+use fhc::config::FhcConfig;
 use fhc::features::SampleFeatures;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 
@@ -28,22 +29,23 @@ pub fn bench_corpus(scale: f64, seed: u64) -> Corpus {
     CorpusBuilder::new(seed).build(&Catalog::paper().scaled(scale))
 }
 
-/// Pipeline configuration used by the benchmark harness (modest forest so a
-/// single iteration stays in the tens-of-seconds range at bench scale).
-pub fn bench_config(seed: u64) -> PipelineConfig {
-    PipelineConfig {
+/// Unified configuration used by the benchmark harness (modest forest so a
+/// single iteration stays in the tens-of-seconds range at bench scale;
+/// default runtime layers).
+pub fn bench_config(seed: u64) -> FhcConfig {
+    FhcConfig::new().pipeline(PipelineConfig {
         seed,
         forest: mlcore::forest::RandomForestParams {
             n_estimators: 30,
             ..Default::default()
         },
         ..Default::default()
-    }
+    })
 }
 
 /// Extract features for every sample of a corpus.
-pub fn extract_all(corpus: &Corpus, config: &PipelineConfig) -> Vec<SampleFeatures> {
-    FuzzyHashClassifier::new(config.clone()).extract_features(corpus)
+pub fn extract_all(corpus: &Corpus, config: &FhcConfig) -> Vec<SampleFeatures> {
+    FuzzyHashClassifier::with_config(config.clone()).extract_features(corpus)
 }
 
 #[cfg(test)]

@@ -5,9 +5,10 @@
 //! the full pipeline with subsets of the three fuzzy-hash views and
 //! comparing the resulting F1 scores — the experiment DESIGN.md lists as E8.
 
+use crate::config::FhcConfig;
 use crate::error::FhcError;
 use crate::features::{FeatureKind, SampleFeatures};
-use crate::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use crate::pipeline::FuzzyHashClassifier;
 use corpus::Corpus;
 
 /// Result of one ablation configuration.
@@ -45,15 +46,14 @@ pub fn ablation_configurations() -> Vec<(String, Vec<FeatureKind>)> {
 pub fn run_ablation(
     corpus: &Corpus,
     features: &[SampleFeatures],
-    base_config: &PipelineConfig,
+    base_config: &FhcConfig,
 ) -> Result<Vec<AblationResult>, FhcError> {
     let mut results = Vec::new();
     for (name, kinds) in ablation_configurations() {
-        let config = PipelineConfig {
-            feature_kinds: kinds.clone(),
-            ..base_config.clone()
-        };
-        let outcome = FuzzyHashClassifier::new(config).run_with_features(corpus, features)?;
+        let mut config = base_config.clone();
+        config.pipeline.feature_kinds = kinds.clone();
+        let outcome =
+            FuzzyHashClassifier::with_config(config).run_with_features(corpus, features)?;
         results.push(AblationResult {
             name,
             kinds,

@@ -31,6 +31,7 @@
 //! derives from the hashes. Version-1 artifacts (original signatures only)
 //! still load — the prepared index is rebuilt from the hashes at load time.
 
+use crate::config::FhcConfig;
 use crate::error::FhcError;
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use crate::serving::{ServingConfig, TrainedClassifier};
@@ -41,6 +42,7 @@ use hpcutil::{ByteReader, ByteWriter, CodecError};
 use mlcore::forest::{RandomForest, RandomForestParams};
 use ssdeep::{FuzzyHash, PreparedHash};
 use std::path::Path;
+use std::sync::Arc;
 
 /// `"FHCLSART"` interpreted as a little-endian `u64`.
 const MAGIC: u64 = u64::from_le_bytes(*b"FHCLSART");
@@ -220,7 +222,11 @@ fn decode_payload(payload: &[u8], version: u32) -> Result<TrainedClassifier, Cod
         }
         prepared_by_class.push(prepared);
     }
-    let reference = ReferenceSet::from_prepared_parts(class_names, prepared_by_class, kinds);
+    let reference = Arc::new(ReferenceSet::from_prepared_parts(
+        class_names,
+        prepared_by_class,
+        kinds,
+    ));
 
     let forest_params = RandomForestParams::decode(&mut r)?;
     let forest = RandomForest::decode(&mut r)?;
@@ -251,17 +257,20 @@ fn decode_payload(payload: &[u8], version: u32) -> Result<TrainedClassifier, Cod
     }
     r.expect_end()?;
 
-    Ok(TrainedClassifier {
+    // Parallelism and backend choice are per-process runtime concerns, not
+    // part of the artifact; loaded classifiers start from the defaults (use
+    // `from_bytes_with` / `load_with` to open under a different backend).
+    let backend = crate::backend::BackendConfig::default().build(reference.clone());
+    Ok(TrainedClassifier::from_parts(
         reference,
+        backend,
         forest,
         forest_params,
         confidence_threshold,
         threshold_curve,
         seed,
-        // Parallelism is a per-process runtime concern, not part of the
-        // artifact; loaded classifiers start from the default.
-        serving: ServingConfig::default(),
-    })
+        ServingConfig::default(),
+    ))
 }
 
 impl TrainedClassifier {
@@ -305,6 +314,17 @@ impl TrainedClassifier {
         decode_payload(&payload, version).map_err(codec_err)
     }
 
+    /// [`TrainedClassifier::from_bytes`], then apply the runtime layers of
+    /// `config` (serving parallelism and similarity backend). The artifact
+    /// format does not persist runtime choices, so any stored artifact can
+    /// be opened under any backend — scores and predictions are identical
+    /// under all of them.
+    pub fn from_bytes_with(bytes: &[u8], config: &FhcConfig) -> Result<Self, FhcError> {
+        let mut classifier = Self::from_bytes(bytes)?;
+        classifier.apply_config(config);
+        Ok(classifier)
+    }
+
     /// Save the classifier to `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FhcError> {
         std::fs::write(path, self.to_bytes()).map_err(FhcError::Io)
@@ -314,6 +334,14 @@ impl TrainedClassifier {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, FhcError> {
         let bytes = std::fs::read(path).map_err(FhcError::Io)?;
         Self::from_bytes(&bytes)
+    }
+
+    /// [`TrainedClassifier::load`], then apply the runtime layers of
+    /// `config` — the one-call way to open a stored artifact under a chosen
+    /// backend and serving parallelism.
+    pub fn load_with(path: impl AsRef<Path>, config: &FhcConfig) -> Result<Self, FhcError> {
+        let bytes = std::fs::read(path).map_err(FhcError::Io)?;
+        Self::from_bytes_with(&bytes, config)
     }
 }
 
@@ -329,15 +357,15 @@ mod tests {
 
     fn trained() -> (corpus::Corpus, TrainedClassifier) {
         let corpus = CorpusBuilder::new(8).build(&Catalog::paper().scaled(0.02));
-        let config = PipelineConfig {
+        let config = FhcConfig::new().pipeline(PipelineConfig {
             seed: 8,
             forest: mlcore::forest::RandomForestParams {
                 n_estimators: 15,
                 ..Default::default()
             },
             ..Default::default()
-        };
-        let classifier = FuzzyHashClassifier::new(config)
+        });
+        let classifier = FuzzyHashClassifier::with_config(config)
             .fit(&corpus)
             .expect("fit succeeds");
         (corpus, classifier)
@@ -494,6 +522,60 @@ mod tests {
         let spec = &corpus.samples()[1];
         let sample = corpus.generate_bytes(spec);
         assert_eq!(restored.classify(&sample), original.classify(&sample));
+    }
+
+    #[test]
+    fn artifacts_open_under_any_backend_with_identical_predictions() {
+        use crate::backend::BackendConfig;
+        let (corpus, original) = trained();
+        let bytes = original.to_bytes();
+        let baseline = TrainedClassifier::from_bytes(&bytes).expect("decode");
+        assert_eq!(baseline.backend_config(), BackendConfig::Indexed);
+
+        let probes: Vec<Vec<u8>> = corpus
+            .samples()
+            .iter()
+            .step_by(37)
+            .map(|s| corpus.generate_bytes(s))
+            .collect();
+        for backend in [
+            BackendConfig::Scan,
+            BackendConfig::Sharded { shards: 2 },
+            BackendConfig::Sharded { shards: 0 },
+        ] {
+            let config = FhcConfig::new().backend(backend);
+            let opened =
+                TrainedClassifier::from_bytes_with(&bytes, &config).expect("decode with backend");
+            assert_eq!(opened.backend_config(), backend);
+            for probe in &probes {
+                assert_eq!(
+                    opened.classify(probe),
+                    baseline.classify(probe),
+                    "backend {backend} diverged"
+                );
+            }
+            // The backend is runtime-only: re-encoding under any backend is
+            // byte-identical, so the v2 format is unchanged.
+            assert_eq!(opened.to_bytes(), bytes);
+        }
+
+        // And the same through the filesystem entry point.
+        let path = std::env::temp_dir().join(format!(
+            "fhc-artifact-backend-test-{}.fhc",
+            std::process::id()
+        ));
+        original.save(&path).expect("save");
+        let sharded = TrainedClassifier::load_with(
+            &path,
+            &FhcConfig::new().backend(BackendConfig::Sharded { shards: 3 }),
+        )
+        .expect("load_with");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            sharded.backend_config(),
+            BackendConfig::Sharded { shards: 3 }
+        );
+        assert_eq!(sharded.classify(&probes[0]), baseline.classify(&probes[0]));
     }
 
     #[test]

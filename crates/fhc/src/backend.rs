@@ -1,0 +1,610 @@
+//! Pluggable similarity backends.
+//!
+//! Everything the classifier does — training-side feature matrices,
+//! threshold tuning, and the serving hot path — reduces to one operation:
+//! *given a query sample, compute the per-`(view, class)` maximum SSDeep
+//! similarity row against the reference set*. [`SimilarityBackend`]
+//! abstracts that operation so the execution strategy can be chosen at
+//! runtime without touching scores:
+//!
+//! * [`ScanBackend`] — the original unindexed scan. Every reference hash of
+//!   every class is compared with plain [`ssdeep::compare()`], re-normalizing
+//!   signatures per comparison. Kept as the verification oracle and the
+//!   benchmark baseline.
+//! * [`IndexedBackend`] — the prepared block-size-bucketed index built by
+//!   [`ReferenceSet`]: only buckets whose block size is compatible with the
+//!   query's are visited, and each comparison skips straight to the
+//!   edit-distance DP. The default.
+//! * [`ShardedBackend`] — the indexed scoring, with the reference *classes*
+//!   partitioned across N shards that score in parallel on scoped threads
+//!   and max-merge their partial rows. This parallelizes a *single* query
+//!   (latency), where the batch helpers parallelize across queries
+//!   (throughput), and it is the in-process rehearsal of the multi-node
+//!   sharded reference set named in the ROADMAP.
+//!
+//! All three are **score-identical by construction**: they assemble rows
+//! from the same per-cell scoring primitives on the same [`ReferenceSet`],
+//! differing only in indexing and scheduling. Seeded equivalence suites (in
+//! this module, `crates/fhc/tests`-level, and `tests/integration_backends.rs`)
+//! enforce byte-identical rows and predictions.
+//!
+//! Backend choice is a *runtime* concern like
+//! [`ServingConfig`](crate::serving::ServingConfig): it is never persisted,
+//! and a stored artifact can be opened under any backend (see
+//! [`TrainedClassifier::load_with`](crate::serving::TrainedClassifier::load_with)).
+
+use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
+use crate::similarity::ReferenceSet;
+use hpcutil::{par_map_indexed, ParallelConfig};
+use std::sync::Arc;
+
+/// A strategy for scoring query samples against a [`ReferenceSet`].
+///
+/// The one required operation is [`SimilarityBackend::max_scores_into`];
+/// the row- and matrix-level conveniences are provided on top of it and the
+/// metadata accessors delegate to the reference set. Implementations must be
+/// pure functions of `(reference set, query)` — two backends over the same
+/// reference set must produce byte-identical rows.
+pub trait SimilarityBackend: Send + Sync {
+    /// The reference set this backend scores against.
+    fn reference(&self) -> &ReferenceSet;
+
+    /// Write the similarity row of one prepared query into `out`: for every
+    /// active view and every known class, the maximum SSDeep similarity
+    /// (scaled to `0.0..=100.0`) of the query against that class's reference
+    /// samples, in the reference set's kind-major column order.
+    ///
+    /// `out` is fully overwritten and its length must equal
+    /// [`ReferenceSet::n_columns`].
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]);
+
+    /// Number of columns of the rows this backend produces.
+    fn n_columns(&self) -> usize {
+        self.reference().n_columns()
+    }
+
+    /// Known class names, indexed by known-class id.
+    fn class_names(&self) -> &[String] {
+        self.reference().class_names()
+    }
+
+    /// Number of known classes.
+    fn n_classes(&self) -> usize {
+        self.reference().n_classes()
+    }
+
+    /// Active feature kinds.
+    fn kinds(&self) -> &[FeatureKind] {
+        self.reference().kinds()
+    }
+
+    /// Similarity row of one already-prepared query.
+    fn feature_vector_prepared(&self, query: &PreparedSampleFeatures) -> Vec<f64> {
+        let mut row = vec![0.0; self.n_columns()];
+        self.max_scores_into(query, &mut row);
+        row
+    }
+
+    /// Similarity row of one plain sample (prepares it first).
+    fn feature_vector(&self, sample: &SampleFeatures) -> Vec<f64> {
+        self.feature_vector_prepared(&PreparedSampleFeatures::prepare(sample))
+    }
+
+    /// Similarity rows of a batch of prepared queries, computed in parallel
+    /// across queries with the given configuration.
+    fn feature_matrix_prepared(
+        &self,
+        queries: &[PreparedSampleFeatures],
+        parallel: ParallelConfig,
+    ) -> Vec<Vec<f64>> {
+        par_map_indexed(queries.len(), parallel, |i| {
+            self.feature_vector_prepared(&queries[i])
+        })
+    }
+
+    /// Similarity rows of a batch of plain samples (each prepared once),
+    /// computed in parallel across queries.
+    fn feature_matrix(
+        &self,
+        samples: &[SampleFeatures],
+        parallel: ParallelConfig,
+    ) -> Vec<Vec<f64>> {
+        par_map_indexed(samples.len(), parallel, |i| {
+            self.feature_vector(&samples[i])
+        })
+    }
+}
+
+/// The original unindexed oracle: every reference hash of every class is
+/// compared with plain [`ssdeep::compare()`], re-normalizing signatures on
+/// every comparison.
+///
+/// Slowest by far, but structurally the simplest possible implementation —
+/// the equivalence suites measure every other backend against it.
+#[derive(Debug, Clone)]
+pub struct ScanBackend {
+    reference: Arc<ReferenceSet>,
+}
+
+impl ScanBackend {
+    /// A scan backend over `reference`.
+    pub fn new(reference: Arc<ReferenceSet>) -> Self {
+        Self { reference }
+    }
+}
+
+impl SimilarityBackend for ScanBackend {
+    fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        let reference = &*self.reference;
+        assert_eq!(out.len(), reference.n_columns(), "row width mismatch");
+        for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
+            // The prepared query owns its original hash, so the scan path
+            // costs exactly what it did before preparation existed.
+            let hash = query.get(kind).map(|p| p.hash());
+            for class in 0..reference.n_classes() {
+                let best = hash.map_or(0, |q| reference.cell_score_scan(kind_idx, class, q));
+                out[reference.column_index(kind_idx, class)] = f64::from(best);
+            }
+        }
+    }
+}
+
+/// The prepared block-size-bucketed index (the default backend): per
+/// `(view, class)` cell only the buckets whose block size is compatible with
+/// the query's are compared at all.
+#[derive(Debug, Clone)]
+pub struct IndexedBackend {
+    reference: Arc<ReferenceSet>,
+}
+
+impl IndexedBackend {
+    /// An indexed backend over `reference` (the index itself was built by
+    /// [`ReferenceSet::new`] and is shared, not copied).
+    pub fn new(reference: Arc<ReferenceSet>) -> Self {
+        Self { reference }
+    }
+}
+
+impl SimilarityBackend for IndexedBackend {
+    fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        let reference = &*self.reference;
+        assert_eq!(out.len(), reference.n_columns(), "row width mismatch");
+        for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
+            let hash = query.get(kind);
+            for class in 0..reference.n_classes() {
+                let best = hash.map_or(0, |q| reference.cell_score_indexed(kind_idx, class, q));
+                out[reference.column_index(kind_idx, class)] = f64::from(best);
+            }
+        }
+    }
+}
+
+/// The indexed scoring with the reference classes partitioned across shards
+/// that score one query in parallel.
+///
+/// Classes are dealt round-robin across shards, each shard scores its
+/// classes' `(view, class)` cells through the same block-size-bucketed index
+/// as [`IndexedBackend`], and the partial per-class rows are max-merged into
+/// the output row. Shards touch disjoint classes, so the max-merge is
+/// trivially conflict-free and the result is score-identical to the other
+/// backends by construction.
+#[derive(Debug, Clone)]
+pub struct ShardedBackend {
+    reference: Arc<ReferenceSet>,
+    /// The shard count as requested (before clamping), so the configuration
+    /// round-trips through [`ShardedBackend::config`].
+    requested: usize,
+    /// Known-class ids per shard (round-robin partition; every shard
+    /// non-empty unless there are no classes at all).
+    shards: Vec<Vec<usize>>,
+}
+
+impl ShardedBackend {
+    /// A sharded backend over `reference` with `shards` partitions. `0`
+    /// means "one shard per available hardware thread"; the effective count
+    /// is clamped to the number of known classes (a shard with no classes
+    /// would just idle).
+    pub fn new(reference: Arc<ReferenceSet>, shards: usize) -> Self {
+        let requested = shards;
+        let hw = if shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            shards
+        };
+        let n_shards = hw.clamp(1, reference.n_classes().max(1));
+        let mut partition: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for class in 0..reference.n_classes() {
+            partition[class % n_shards].push(class);
+        }
+        Self {
+            reference,
+            requested,
+            shards: partition,
+        }
+    }
+
+    /// The effective number of shards (after clamping to the class count).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The known-class ids owned by one shard.
+    pub fn shard_classes(&self, shard: usize) -> &[usize] {
+        &self.shards[shard]
+    }
+
+    /// The partial row of one shard: `(column, score)` cells for every
+    /// `(view, class)` the shard owns.
+    fn shard_partial(&self, shard: usize, query: &PreparedSampleFeatures) -> Vec<(usize, f64)> {
+        let reference = &*self.reference;
+        let mut cells = Vec::with_capacity(self.shards[shard].len() * reference.kinds().len());
+        for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
+            let hash = query.get(kind);
+            for &class in &self.shards[shard] {
+                let best = hash.map_or(0, |q| reference.cell_score_indexed(kind_idx, class, q));
+                cells.push((reference.column_index(kind_idx, class), f64::from(best)));
+            }
+        }
+        cells
+    }
+}
+
+impl SimilarityBackend for ShardedBackend {
+    fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        assert_eq!(out.len(), self.reference.n_columns(), "row width mismatch");
+        out.fill(0.0);
+        if self.shards.len() <= 1 {
+            // One shard owns every class; skip the thread scaffolding.
+            for (col, score) in self.shard_partial(0, query) {
+                out[col] = out[col].max(score);
+            }
+            return;
+        }
+        // One scoped worker per shard (par_map_indexed runs on
+        // std::thread::scope); each returns its partial row, max-merged here.
+        let partials = par_map_indexed(
+            self.shards.len(),
+            ParallelConfig::per_item(self.shards.len()),
+            |shard| self.shard_partial(shard, query),
+        );
+        for (col, score) in partials.into_iter().flatten() {
+            out[col] = out[col].max(score);
+        }
+    }
+}
+
+/// Runtime selection of the similarity backend.
+///
+/// Part of the unified [`FhcConfig`](crate::config::FhcConfig). Like
+/// [`ServingConfig`](crate::serving::ServingConfig) this is a per-process
+/// concern: it is never persisted into artifacts, and any stored artifact
+/// can be opened under any backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendConfig {
+    /// The unindexed oracle ([`ScanBackend`]).
+    Scan,
+    /// The prepared block-size-bucketed index ([`IndexedBackend`]).
+    #[default]
+    Indexed,
+    /// The class-sharded parallel index ([`ShardedBackend`]).
+    Sharded {
+        /// Number of shards; `0` means one per available hardware thread.
+        shards: usize,
+    },
+}
+
+impl BackendConfig {
+    /// Build the selected backend over `reference`.
+    pub fn build(self, reference: Arc<ReferenceSet>) -> AnyBackend {
+        match self {
+            BackendConfig::Scan => AnyBackend::Scan(ScanBackend::new(reference)),
+            BackendConfig::Indexed => AnyBackend::Indexed(IndexedBackend::new(reference)),
+            BackendConfig::Sharded { shards } => {
+                AnyBackend::Sharded(ShardedBackend::new(reference, shards))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BackendConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendConfig::Scan => f.write_str("scan"),
+            BackendConfig::Indexed => f.write_str("indexed"),
+            BackendConfig::Sharded { shards: 0 } => f.write_str("sharded(auto)"),
+            BackendConfig::Sharded { shards } => write!(f, "sharded({shards})"),
+        }
+    }
+}
+
+/// A concrete backend chosen at runtime — the closed set of
+/// [`SimilarityBackend`] implementations a [`BackendConfig`] can build,
+/// stored inline (clonable, no boxing) by
+/// [`TrainedClassifier`](crate::serving::TrainedClassifier).
+#[derive(Debug, Clone)]
+pub enum AnyBackend {
+    /// The unindexed oracle.
+    Scan(ScanBackend),
+    /// The prepared index (default).
+    Indexed(IndexedBackend),
+    /// The class-sharded parallel index.
+    Sharded(ShardedBackend),
+}
+
+impl AnyBackend {
+    /// The configuration that (re)builds this backend.
+    pub fn config(&self) -> BackendConfig {
+        match self {
+            AnyBackend::Scan(_) => BackendConfig::Scan,
+            AnyBackend::Indexed(_) => BackendConfig::Indexed,
+            AnyBackend::Sharded(b) => BackendConfig::Sharded {
+                shards: b.requested,
+            },
+        }
+    }
+
+    /// The backend as a trait object (for code that is generic over
+    /// backends without being generic over this enum).
+    pub fn as_dyn(&self) -> &dyn SimilarityBackend {
+        match self {
+            AnyBackend::Scan(b) => b,
+            AnyBackend::Indexed(b) => b,
+            AnyBackend::Sharded(b) => b,
+        }
+    }
+}
+
+impl SimilarityBackend for AnyBackend {
+    fn reference(&self) -> &ReferenceSet {
+        self.as_dyn().reference()
+    }
+
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        self.as_dyn().max_scores_into(query, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binary::elf::ElfBuilder;
+
+    fn make_sample(class_tag: &str, variant: u64) -> SampleFeatures {
+        let mut b = ElfBuilder::new();
+        let mut code: Vec<u8> = class_tag
+            .bytes()
+            .cycle()
+            .take(24_000)
+            .enumerate()
+            .map(|(i, c)| c.wrapping_mul(17).wrapping_add((i / 96) as u8))
+            .collect();
+        for (i, byte) in code
+            .iter_mut()
+            .skip((variant as usize * 512) % 20_000)
+            .take(256)
+            .enumerate()
+        {
+            *byte ^= (variant as u8).wrapping_add(i as u8);
+        }
+        b.add_text_section(code);
+        b.add_rodata_section(
+            format!("{class_tag} tool messages and usage\0v{variant}\0").into_bytes(),
+        );
+        for i in 0..30 {
+            b.add_global_function(&format!("{class_tag}_routine_{i}"), (i * 128) as u64, 128);
+        }
+        b.add_global_function(&format!("{class_tag}_extra_{variant}"), 30 * 128, 64);
+        SampleFeatures::extract(&b.build())
+    }
+
+    fn reference(n_classes: usize) -> Arc<ReferenceSet> {
+        let tags = ["velvet", "openmalaria", "gromacs", "lammps", "quantum"];
+        let mut train = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..n_classes {
+            for variant in 0..2 {
+                train.push(make_sample(tags[class % tags.len()], variant));
+                labels.push(class);
+            }
+        }
+        Arc::new(ReferenceSet::new(
+            (0..n_classes).map(|c| format!("class-{c}")).collect(),
+            &train,
+            &labels,
+            &FeatureKind::ALL,
+        ))
+    }
+
+    fn probes() -> Vec<PreparedSampleFeatures> {
+        [
+            make_sample("velvet", 0),
+            make_sample("velvet", 9),
+            make_sample("gromacs", 4),
+            make_sample("stranger", 1),
+        ]
+        .iter()
+        .map(PreparedSampleFeatures::prepare)
+        .collect()
+    }
+
+    #[test]
+    fn all_backends_agree_on_every_probe() {
+        let rs = reference(4);
+        let scan = ScanBackend::new(rs.clone());
+        let indexed = IndexedBackend::new(rs.clone());
+        for shards in [1, 2, 3, rs.n_classes(), rs.n_classes() + 5] {
+            let sharded = ShardedBackend::new(rs.clone(), shards);
+            for probe in &probes() {
+                let expected = scan.feature_vector_prepared(probe);
+                assert_eq!(indexed.feature_vector_prepared(probe), expected);
+                assert_eq!(
+                    sharded.feature_vector_prepared(probe),
+                    expected,
+                    "sharded({shards}) diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_with_reference_set_paths() {
+        let rs = reference(3);
+        let indexed = IndexedBackend::new(rs.clone());
+        let scan = ScanBackend::new(rs.clone());
+        for probe in &probes() {
+            let plain = probe.to_sample_features();
+            assert_eq!(
+                indexed.feature_vector_prepared(probe),
+                rs.feature_vector(&plain)
+            );
+            assert_eq!(
+                scan.feature_vector_prepared(probe),
+                rs.feature_vector_scan(&plain)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_partition_covers_every_class_exactly_once() {
+        let rs = reference(5);
+        for shards in [1, 2, 3, 5, 9] {
+            let backend = ShardedBackend::new(rs.clone(), shards);
+            assert!(backend.n_shards() <= rs.n_classes());
+            assert!(backend.n_shards() >= 1);
+            let mut seen = vec![0usize; rs.n_classes()];
+            for shard in 0..backend.n_shards() {
+                assert!(!backend.shard_classes(shard).is_empty());
+                for &class in backend.shard_classes(shard) {
+                    seen[class] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "partition must be exact");
+        }
+    }
+
+    #[test]
+    fn shard_count_zero_means_auto_and_roundtrips_config() {
+        let rs = reference(2);
+        let auto = ShardedBackend::new(rs.clone(), 0);
+        assert!(auto.n_shards() >= 1 && auto.n_shards() <= 2);
+        let any = BackendConfig::Sharded { shards: 0 }.build(rs);
+        assert_eq!(any.config(), BackendConfig::Sharded { shards: 0 });
+    }
+
+    #[test]
+    fn empty_class_scores_zero_under_every_backend() {
+        // A class with no reference samples (legal for an in-memory
+        // ReferenceSet) must produce all-zero columns everywhere.
+        let train = vec![make_sample("velvet", 0), make_sample("velvet", 1)];
+        let rs = Arc::new(ReferenceSet::new(
+            vec!["Velvet".into(), "Empty".into()],
+            &train,
+            &[0, 0],
+            &FeatureKind::ALL,
+        ));
+        let probe = PreparedSampleFeatures::prepare(&make_sample("velvet", 2));
+        for config in [
+            BackendConfig::Scan,
+            BackendConfig::Indexed,
+            BackendConfig::Sharded { shards: 2 },
+        ] {
+            let row = config.build(rs.clone()).feature_vector_prepared(&probe);
+            assert_eq!(row.len(), rs.n_columns());
+            for kind_idx in 0..rs.kinds().len() {
+                assert_eq!(row[kind_idx * 2 + 1], 0.0, "empty class under {config}");
+            }
+        }
+        let scan_row = BackendConfig::Scan
+            .build(rs.clone())
+            .feature_vector_prepared(&probe);
+        for config in [BackendConfig::Indexed, BackendConfig::Sharded { shards: 2 }] {
+            assert_eq!(
+                config.build(rs.clone()).feature_vector_prepared(&probe),
+                scan_row
+            );
+        }
+    }
+
+    #[test]
+    fn single_class_reference_works_under_every_backend() {
+        let train = vec![make_sample("velvet", 0)];
+        let rs = Arc::new(ReferenceSet::new(
+            vec!["Velvet".into()],
+            &train,
+            &[0],
+            &FeatureKind::ALL,
+        ));
+        let probe = PreparedSampleFeatures::prepare(&train[0]);
+        let expected = BackendConfig::Scan
+            .build(rs.clone())
+            .feature_vector_prepared(&probe);
+        assert_eq!(expected[0], 100.0);
+        for config in [
+            BackendConfig::Indexed,
+            BackendConfig::Sharded { shards: 1 },
+            BackendConfig::Sharded { shards: 4 },
+        ] {
+            assert_eq!(
+                config.build(rs.clone()).feature_vector_prepared(&probe),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_helpers_match_row_helpers() {
+        let rs = reference(3);
+        let backend = BackendConfig::Sharded { shards: 2 }.build(rs);
+        let prepared = probes();
+        let plain: Vec<SampleFeatures> = prepared
+            .iter()
+            .map(PreparedSampleFeatures::to_sample_features)
+            .collect();
+        let parallel = ParallelConfig::with_threads(2).with_chunk(1);
+        let from_prepared = backend.feature_matrix_prepared(&prepared, parallel);
+        let from_plain = backend.feature_matrix(&plain, parallel);
+        assert_eq!(from_prepared, from_plain);
+        for (i, row) in from_prepared.iter().enumerate() {
+            assert_eq!(*row, backend.feature_vector_prepared(&prepared[i]));
+        }
+    }
+
+    #[test]
+    fn backend_config_display_names_are_stable() {
+        assert_eq!(BackendConfig::Scan.to_string(), "scan");
+        assert_eq!(BackendConfig::Indexed.to_string(), "indexed");
+        assert_eq!(
+            BackendConfig::Sharded { shards: 3 }.to_string(),
+            "sharded(3)"
+        );
+        assert_eq!(
+            BackendConfig::Sharded { shards: 0 }.to_string(),
+            "sharded(auto)"
+        );
+        assert_eq!(BackendConfig::default(), BackendConfig::Indexed);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_panics() {
+        let rs = reference(2);
+        let backend = IndexedBackend::new(rs);
+        let probe = probes().remove(0);
+        let mut out = vec![0.0; 1];
+        backend.max_scores_into(&probe, &mut out);
+    }
+}

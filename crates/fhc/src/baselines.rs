@@ -11,9 +11,10 @@
 //!   [`Model`] trait, so adding another comparison model is one line in
 //!   [`run_baselines`], not a new hand-rolled call site.
 
+use crate::backend::SimilarityBackend;
+use crate::config::FhcConfig;
 use crate::error::FhcError;
 use crate::features::SampleFeatures;
-use crate::pipeline::PipelineConfig;
 use crate::similarity::ReferenceSet;
 use crate::split::two_phase_split;
 use crate::threshold::{apply_threshold, known_to_eval, UNKNOWN_LABEL};
@@ -85,11 +86,11 @@ pub struct BaselineResult {
 pub fn run_baselines(
     corpus: &Corpus,
     features: &[SampleFeatures],
-    config: &PipelineConfig,
+    config: &FhcConfig,
     threshold: f64,
 ) -> Result<Vec<BaselineResult>, FhcError> {
-    let seeds = SeedSequence::new(config.seed);
-    let split = two_phase_split(corpus, config.split, seeds.derive("split"))?;
+    let seeds = SeedSequence::new(config.pipeline.seed);
+    let split = two_phase_split(corpus, config.pipeline.split, seeds.derive("split"))?;
     let known_class_names: Vec<String> = split
         .known_classes
         .iter()
@@ -107,13 +108,14 @@ pub fn run_baselines(
         .iter()
         .map(|&i| known_id[corpus.samples()[i].class_index])
         .collect();
-    let reference = ReferenceSet::new(
+    let reference = std::sync::Arc::new(ReferenceSet::new(
         known_class_names.clone(),
         &train_features,
         &train_labels,
-        &config.feature_kinds,
-    );
-    let x_train = reference.feature_matrix(&train_features);
+        &config.pipeline.feature_kinds,
+    ));
+    let backend = config.backend.build(reference.clone());
+    let x_train = backend.feature_matrix(&train_features, config.parallel);
     let train_ds = Dataset::from_rows(
         x_train,
         train_labels.clone(),
@@ -123,7 +125,7 @@ pub fn run_baselines(
 
     let test_features: Vec<SampleFeatures> =
         split.test.iter().map(|&i| features[i].clone()).collect();
-    let x_test = reference.feature_matrix(&test_features);
+    let x_test = backend.feature_matrix(&test_features, config.parallel);
     let y_true: Vec<usize> = split
         .test
         .iter()

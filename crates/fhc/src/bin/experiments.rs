@@ -13,6 +13,7 @@
 use corpus::{Catalog, CorpusBuilder};
 use fhc::ablation::run_ablation;
 use fhc::baselines::run_baselines;
+use fhc::config::FhcConfig;
 use fhc::experiments as exp;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 use hpcutil::SectionTimer;
@@ -122,13 +123,13 @@ fn main() -> ExitCode {
         println!("{}", exp::figure2_sample_distribution(&corpus));
     }
 
-    let mut config = PipelineConfig {
+    let mut config = FhcConfig::new().pipeline(PipelineConfig {
         seed: args.seed,
         ..Default::default()
-    };
-    config.forest.n_estimators = args.trees;
+    });
+    config.pipeline.forest.n_estimators = args.trees;
     if args.grid {
-        config.grid = Some(ParamGrid {
+        config.pipeline.grid = Some(ParamGrid {
             n_estimators: vec![args.trees / 2, args.trees],
             max_depth: vec![None, Some(24)],
             min_samples_leaf: vec![1, 2],
@@ -138,7 +139,7 @@ fn main() -> ExitCode {
     }
 
     timer.start("feature extraction");
-    let classifier = FuzzyHashClassifier::new(config.clone());
+    let classifier = FuzzyHashClassifier::with_config(config.clone());
     let features = classifier.extract_features(&corpus);
 
     if wants(&args.only, "table2") {

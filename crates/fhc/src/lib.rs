@@ -15,8 +15,15 @@
 //! * [`features`] — extract the three fuzzy-hash features from executable
 //!   bytes (using [`binary`] for parsing / `strings` / `nm` and [`ssdeep`]
 //!   for hashing).
-//! * [`similarity`] — turn per-sample hashes into the per-class
-//!   max-similarity feature matrix the forest consumes.
+//! * [`similarity`] — the reference hash set and its precomputed
+//!   block-size-bucketed similarity index.
+//! * [`backend`] — the pluggable [`SimilarityBackend`] scoring strategies
+//!   over that reference set: the unindexed scan oracle, the prepared
+//!   index, and the class-sharded parallel index. All score-identical;
+//!   chosen at runtime.
+//! * [`config`] — the unified layered [`FhcConfig`]
+//!   (`pipeline` + `parallel` + `serving` + `backend`) every entry point
+//!   consumes.
 //! * [`split`] — the paper's two-phase train/test split (80/20 class-level
 //!   known/unknown split, then a stratified 60/40 sample split).
 //! * [`threshold`] — confidence thresholding and the threshold sweep behind
@@ -38,13 +45,20 @@
 //!
 //! ```no_run
 //! use corpus::{Catalog, CorpusBuilder};
-//! use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+//! use fhc::backend::BackendConfig;
+//! use fhc::config::FhcConfig;
+//! use fhc::pipeline::FuzzyHashClassifier;
 //! use fhc::serving::TrainedClassifier;
+//!
+//! // One layered configuration: training behavior (`pipeline`), batch
+//! // parallelism (`parallel`), serving parallelism (`serving`), and the
+//! // similarity backend (`backend`).
+//! let config = FhcConfig::new().seed(42);
 //!
 //! // Fit pays the training cost (split, grid search, threshold tuning,
 //! // forest) exactly once.
 //! let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.1));
-//! let trained = FuzzyHashClassifier::new(PipelineConfig::default())
+//! let trained = FuzzyHashClassifier::with_config(config.clone())
 //!     .fit(&corpus)
 //!     .expect("training succeeds");
 //!
@@ -59,9 +73,15 @@
 //!     println!("{name}: {} (confidence {:.2})", prediction.label, prediction.confidence);
 //! }
 //!
-//! // Persist the artifact; other processes load it and classify directly.
+//! // Persist the artifact; other processes load it and classify directly —
+//! // under any backend they like (backend choice is runtime-only, never
+//! // baked into the artifact).
 //! trained.save("classifier.fhc").expect("save succeeds");
-//! let restored = TrainedClassifier::load("classifier.fhc").expect("load succeeds");
+//! let restored = TrainedClassifier::load_with(
+//!     "classifier.fhc",
+//!     &config.backend(BackendConfig::Sharded { shards: 4 }),
+//! )
+//! .expect("load succeeds");
 //! assert_eq!(restored.known_class_names(), trained.known_class_names());
 //! ```
 //!
@@ -71,9 +91,10 @@
 //!
 //! ```no_run
 //! # use corpus::{Catalog, CorpusBuilder};
-//! # use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+//! # use fhc::config::FhcConfig;
+//! # use fhc::pipeline::FuzzyHashClassifier;
 //! let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.1));
-//! let outcome = FuzzyHashClassifier::new(PipelineConfig::default())
+//! let outcome = FuzzyHashClassifier::with_config(FhcConfig::new().seed(42))
 //!     .run(&corpus)
 //!     .expect("pipeline runs");
 //! println!("{}", outcome.report.render());
@@ -85,7 +106,9 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod backend;
 pub mod baselines;
+pub mod config;
 pub mod error;
 pub mod experiments;
 pub mod features;
@@ -95,6 +118,10 @@ pub mod similarity;
 pub mod split;
 pub mod threshold;
 
+pub use backend::{
+    AnyBackend, BackendConfig, IndexedBackend, ScanBackend, ShardedBackend, SimilarityBackend,
+};
+pub use config::FhcConfig;
 pub use error::FhcError;
 pub use features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 pub use pipeline::{FitOutcome, FuzzyHashClassifier, PipelineConfig, PipelineOutcome};

@@ -22,9 +22,11 @@
 //! [`FuzzyHashClassifier::run`] remains as the thin fit + evaluate
 //! composition the experiment drivers use.
 
+use crate::backend::SimilarityBackend;
+use crate::config::FhcConfig;
 use crate::error::FhcError;
-use crate::features::{FeatureKind, SampleFeatures};
-use crate::serving::{ServingConfig, TrainedClassifier};
+use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
+use crate::serving::TrainedClassifier;
 use crate::similarity::ReferenceSet;
 use crate::split::{two_phase_split, SplitConfig, TwoPhaseSplit};
 use crate::threshold::{
@@ -32,13 +34,14 @@ use crate::threshold::{
     ThresholdPoint, UNKNOWN_LABEL,
 };
 use corpus::Corpus;
-use hpcutil::{par_map_indexed, ParallelConfig, SeedSequence};
+use hpcutil::{par_map_indexed, SeedSequence};
 use mlcore::dataset::Dataset;
 use mlcore::forest::{RandomForest, RandomForestParams};
 use mlcore::gridsearch::{GridSearch, ParamGrid};
 use mlcore::model::Model;
 use mlcore::report::ClassificationReport;
 use mlcore::split::{split_groups, stratified_split};
+use std::sync::Arc;
 
 /// Configuration of the full pipeline.
 #[derive(Debug, Clone)]
@@ -145,34 +148,45 @@ pub struct FitOutcome {
 /// The end-to-end classifier.
 #[derive(Debug, Clone)]
 pub struct FuzzyHashClassifier {
-    config: PipelineConfig,
+    config: FhcConfig,
 }
 
 impl FuzzyHashClassifier {
-    /// Create a classifier with the given configuration.
-    pub fn new(config: PipelineConfig) -> Self {
+    /// Create a classifier from the unified layered configuration
+    /// ([`FhcConfig`]: pipeline + parallel + serving + backend).
+    pub fn with_config(config: FhcConfig) -> Self {
         Self { config }
     }
 
-    /// The configuration in use.
-    pub fn config(&self) -> &PipelineConfig {
+    /// Create a classifier from a bare pipeline configuration, with default
+    /// runtime layers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FuzzyHashClassifier::with_config; PipelineConfig is now the \
+                `pipeline` layer of the unified FhcConfig (FhcConfig::from(pipeline) upgrades one)"
+    )]
+    pub fn new(config: PipelineConfig) -> Self {
+        Self::with_config(FhcConfig::from(config))
+    }
+
+    /// The full layered configuration in use.
+    pub fn config(&self) -> &FhcConfig {
         &self.config
     }
 
+    /// The training (pipeline) layer of the configuration.
+    pub fn pipeline_config(&self) -> &PipelineConfig {
+        &self.config.pipeline
+    }
+
     /// Extract the fuzzy-hash features of every sample of `corpus`
-    /// (in parallel, generating each executable's bytes on demand).
+    /// (in parallel per the config's `parallel` layer, generating each
+    /// executable's bytes on demand).
     pub fn extract_features(&self, corpus: &Corpus) -> Vec<SampleFeatures> {
-        par_map_indexed(
-            corpus.n_samples(),
-            ParallelConfig {
-                threads: 0,
-                chunk: 4,
-            },
-            |i| {
-                let bytes = corpus.generate_bytes(&corpus.samples()[i]);
-                SampleFeatures::extract(&bytes)
-            },
-        )
+        par_map_indexed(corpus.n_samples(), self.config.parallel, |i| {
+            let bytes = corpus.generate_bytes(&corpus.samples()[i]);
+            SampleFeatures::extract(&bytes)
+        })
     }
 
     /// Train once on `corpus` and return the reusable serving artifact.
@@ -218,18 +232,19 @@ impl FuzzyHashClassifier {
                 "features must cover every corpus sample",
             ));
         }
-        if self.config.feature_kinds.is_empty() {
+        let pipeline = &self.config.pipeline;
+        if pipeline.feature_kinds.is_empty() {
             return Err(FhcError::InvalidConfig(
                 "at least one feature kind is required",
             ));
         }
-        if self.config.thresholds.is_empty() {
+        if pipeline.thresholds.is_empty() {
             return Err(FhcError::InvalidConfig("threshold grid must not be empty"));
         }
-        let seeds = SeedSequence::new(self.config.seed);
+        let seeds = SeedSequence::new(pipeline.seed);
 
         // ---- Phase 1+2 split ------------------------------------------------
-        let split = two_phase_split(corpus, self.config.split, seeds.derive("split"))?;
+        let split = two_phase_split(corpus, pipeline.split, seeds.derive("split"))?;
         let known_class_names: Vec<String> = split
             .known_classes
             .iter()
@@ -246,8 +261,21 @@ impl FuzzyHashClassifier {
             known_id[class] = id;
         }
 
-        let train_features: Vec<SampleFeatures> =
-            split.train.iter().map(|&i| features[i].clone()).collect();
+        // Prepare each *training* sample's query hashes exactly once; the
+        // training matrix and every threshold-tuning inner fit below reuse
+        // this batch. Test-split samples are deliberately skipped — fit
+        // never scores them, and evaluation prepares its rows on demand.
+        let train_prepared: Vec<PreparedSampleFeatures> =
+            par_map_indexed(split.train.len(), self.config.parallel, |j| {
+                PreparedSampleFeatures::prepare(&features[split.train[j]])
+            });
+        // Corpus sample index -> prepared training sample (for the
+        // threshold-tuning subsets, which are drawn from `split.train`).
+        let mut prepared_by_sample: Vec<Option<&PreparedSampleFeatures>> =
+            vec![None; features.len()];
+        for (j, &i) in split.train.iter().enumerate() {
+            prepared_by_sample[i] = Some(&train_prepared[j]);
+        }
         let train_labels: Vec<usize> = split
             .train
             .iter()
@@ -255,13 +283,14 @@ impl FuzzyHashClassifier {
             .collect();
 
         // ---- Similarity feature matrix --------------------------------------
-        let reference = ReferenceSet::new(
+        let reference = Arc::new(ReferenceSet::from_prepared(
             known_class_names.clone(),
-            &train_features,
+            &train_prepared,
             &train_labels,
-            &self.config.feature_kinds,
-        );
-        let x_train = reference.feature_matrix(&train_features);
+            &pipeline.feature_kinds,
+        ));
+        let backend = self.config.backend.build(reference.clone());
+        let x_train = backend.feature_matrix_prepared(&train_prepared, self.config.parallel);
         let train_ds = Dataset::from_rows(
             x_train,
             train_labels.clone(),
@@ -270,34 +299,41 @@ impl FuzzyHashClassifier {
         )?;
 
         // ---- Hyper-parameter grid search (within the training set) ----------
-        let forest_params = match &self.config.grid {
+        let forest_params = match &pipeline.grid {
             Some(grid) => {
                 let search = GridSearch {
-                    n_folds: self.config.grid_folds,
-                    base: self.config.forest.clone(),
+                    n_folds: pipeline.grid_folds,
+                    base: pipeline.forest.clone(),
                 };
                 search.best_params(&train_ds, grid, seeds.derive("grid"))?
             }
-            None => self.config.forest.clone(),
+            None => pipeline.forest.clone(),
         };
 
         // ---- Confidence-threshold tuning (within the training set) ----------
-        let (threshold_curve, confidence_threshold) =
-            self.tune_threshold(corpus, &split, features, &known_id, &forest_params, &seeds)?;
+        let (threshold_curve, confidence_threshold) = self.tune_threshold(
+            corpus,
+            &split,
+            &prepared_by_sample,
+            &known_id,
+            &forest_params,
+            &seeds,
+        )?;
 
         // ---- Final model ------------------------------------------------------
         let forest = RandomForest::fit(&train_ds, &forest_params, seeds.derive("forest"))?;
 
         Ok(FitOutcome {
-            classifier: TrainedClassifier {
+            classifier: TrainedClassifier::from_parts(
                 reference,
+                backend,
                 forest,
                 forest_params,
                 confidence_threshold,
                 threshold_curve,
-                seed: self.config.seed,
-                serving: ServingConfig::default(),
-            },
+                pipeline.seed,
+                self.config.serving,
+            ),
             split,
             unknown_class_names,
         })
@@ -327,7 +363,9 @@ impl FuzzyHashClassifier {
         // ---- Test-set prediction ----------------------------------------------
         let test_features: Vec<SampleFeatures> =
             split.test.iter().map(|&i| features[i].clone()).collect();
-        let x_test = classifier.reference().feature_matrix(&test_features);
+        let x_test = classifier
+            .backend()
+            .feature_matrix(&test_features, self.config.parallel);
         let probas = Model::predict_proba_batch(classifier.forest(), &x_test);
         let y_pred = apply_threshold_batch(&probas, classifier.confidence_threshold());
         let y_true: Vec<usize> = split
@@ -368,21 +406,27 @@ impl FuzzyHashClassifier {
 
     /// Tune the confidence threshold inside the training set by holding out
     /// part of the known classes as pseudo-unknown.
+    ///
+    /// `prepared` maps corpus sample index -> the prepared query hashes
+    /// computed once by [`FuzzyHashClassifier::fit_with_features`]
+    /// (`Some` for every training sample); the inner fits reuse that batch
+    /// instead of re-preparing their query rows.
     #[allow(clippy::too_many_arguments)]
     fn tune_threshold(
         &self,
         corpus: &Corpus,
         split: &TwoPhaseSplit,
-        features: &[SampleFeatures],
+        prepared: &[Option<&PreparedSampleFeatures>],
         known_id: &[usize],
         forest_params: &RandomForestParams,
         seeds: &SeedSequence,
     ) -> Result<(Vec<ThresholdPoint>, f64), FhcError> {
+        let pipeline = &self.config.pipeline;
         let n_known = split.known_classes.len();
         // Hold out a fraction of the known classes as pseudo-unknown.
         let (inner_known, pseudo_unknown) = split_groups(
             n_known,
-            self.config.inner_unknown_fraction,
+            pipeline.inner_unknown_fraction,
             seeds.derive("inner-classes"),
         );
         let mut inner_known = inner_known;
@@ -419,7 +463,7 @@ impl FuzzyHashClassifier {
             .collect();
         let inner_split = stratified_split(
             &inner_labels,
-            self.config.inner_validation_fraction,
+            pipeline.inner_validation_fraction,
             seeds.derive("inner-split"),
         )?;
 
@@ -435,9 +479,9 @@ impl FuzzyHashClassifier {
             .collect();
         inner_val_samples.extend_from_slice(&pseudo_unknown_samples);
 
-        let inner_train_features: Vec<SampleFeatures> = inner_train_samples
+        let inner_train_prepared: Vec<PreparedSampleFeatures> = inner_train_samples
             .iter()
-            .map(|&i| features[i].clone())
+            .map(|&i| prepared[i].expect("training sample is prepared").clone())
             .collect();
         let inner_train_labels: Vec<usize> = inner_train_samples
             .iter()
@@ -448,13 +492,15 @@ impl FuzzyHashClassifier {
             .map(|&k| corpus.class_names()[split.known_classes[k]].clone())
             .collect();
 
-        let inner_reference = ReferenceSet::new(
+        let inner_reference = Arc::new(ReferenceSet::from_prepared(
             inner_class_names.clone(),
-            &inner_train_features,
+            &inner_train_prepared,
             &inner_train_labels,
-            &self.config.feature_kinds,
-        );
-        let x_inner_train = inner_reference.feature_matrix(&inner_train_features);
+            &pipeline.feature_kinds,
+        ));
+        let inner_backend = self.config.backend.build(inner_reference.clone());
+        let x_inner_train =
+            inner_backend.feature_matrix_prepared(&inner_train_prepared, self.config.parallel);
         let inner_ds = Dataset::from_rows(
             x_inner_train,
             inner_train_labels,
@@ -464,11 +510,12 @@ impl FuzzyHashClassifier {
         let inner_forest =
             RandomForest::fit(&inner_ds, forest_params, seeds.derive("inner-forest"))?;
 
-        let inner_val_features: Vec<SampleFeatures> = inner_val_samples
+        let inner_val_prepared: Vec<PreparedSampleFeatures> = inner_val_samples
             .iter()
-            .map(|&i| features[i].clone())
+            .map(|&i| prepared[i].expect("training sample is prepared").clone())
             .collect();
-        let x_val = inner_reference.feature_matrix(&inner_val_features);
+        let x_val =
+            inner_backend.feature_matrix_prepared(&inner_val_prepared, self.config.parallel);
         let probas = inner_forest.predict_proba_batch(&x_val);
         let y_val: Vec<usize> = inner_val_samples
             .iter()
@@ -482,7 +529,7 @@ impl FuzzyHashClassifier {
             })
             .collect();
         let n_eval_classes = 1 + inner_reference.n_classes();
-        let curve = sweep_thresholds(&y_val, &probas, n_eval_classes, &self.config.thresholds);
+        let curve = sweep_thresholds(&y_val, &probas, n_eval_classes, &pipeline.thresholds);
         let best = best_threshold(&curve).unwrap_or(0.0);
         Ok((curve, best))
     }

@@ -10,13 +10,16 @@
 //! in parallel, and the `artifact` module persists the whole thing to disk
 //! so the cost is amortized across processes.
 
-use crate::features::{FeatureKind, SampleFeatures};
+use crate::backend::{AnyBackend, BackendConfig, SimilarityBackend};
+use crate::config::FhcConfig;
+use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use crate::pipeline::{aggregate_importance, FeatureImportance};
 use crate::similarity::ReferenceSet;
 use crate::threshold::{apply_threshold, ThresholdPoint, UNKNOWN_LABEL};
 use hpcutil::{par_map_indexed, ParallelConfig};
 use mlcore::forest::{RandomForest, RandomForestParams};
 use mlcore::model::Model;
+use std::sync::Arc;
 
 /// Runtime configuration of the serving hot path.
 ///
@@ -84,7 +87,8 @@ impl Prediction {
 /// or load a saved artifact with [`TrainedClassifier::load`].
 #[derive(Debug, Clone)]
 pub struct TrainedClassifier {
-    pub(crate) reference: ReferenceSet,
+    pub(crate) reference: Arc<ReferenceSet>,
+    pub(crate) backend: AnyBackend,
     pub(crate) forest: RandomForest,
     pub(crate) forest_params: RandomForestParams,
     pub(crate) confidence_threshold: f64,
@@ -94,6 +98,31 @@ pub struct TrainedClassifier {
 }
 
 impl TrainedClassifier {
+    /// Assemble a classifier from its parts (the fit path and the artifact
+    /// decoder both end here).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        reference: Arc<ReferenceSet>,
+        backend: AnyBackend,
+        forest: RandomForest,
+        forest_params: RandomForestParams,
+        confidence_threshold: f64,
+        threshold_curve: Vec<ThresholdPoint>,
+        seed: u64,
+        serving: ServingConfig,
+    ) -> Self {
+        Self {
+            reference,
+            backend,
+            forest,
+            forest_params,
+            confidence_threshold,
+            threshold_curve,
+            seed,
+            serving,
+        }
+    }
+
     /// Names of the known classes (the forest's label space).
     pub fn known_class_names(&self) -> &[String] {
         self.reference.class_names()
@@ -152,6 +181,43 @@ impl TrainedClassifier {
         self
     }
 
+    /// The similarity backend currently scoring queries.
+    pub fn backend(&self) -> &AnyBackend {
+        &self.backend
+    }
+
+    /// The configuration of the current backend.
+    pub fn backend_config(&self) -> BackendConfig {
+        self.backend.config()
+    }
+
+    /// Swap the similarity backend in place. Backend choice is a runtime
+    /// concern: every backend produces byte-identical scores, so this never
+    /// changes predictions — only how (and how parallel) they are computed.
+    pub fn set_backend(&mut self, config: BackendConfig) {
+        self.backend = config.build(self.reference.clone());
+    }
+
+    /// Builder-style variant of [`TrainedClassifier::set_backend`].
+    pub fn with_backend(mut self, config: BackendConfig) -> Self {
+        self.set_backend(config);
+        self
+    }
+
+    /// Apply the runtime layers of a unified [`FhcConfig`] (serving
+    /// parallelism and backend choice). The pipeline layer describes
+    /// training and is ignored here.
+    pub fn apply_config(&mut self, config: &FhcConfig) {
+        self.serving = config.serving;
+        self.set_backend(config.backend);
+    }
+
+    /// Builder-style variant of [`TrainedClassifier::apply_config`].
+    pub fn with_config(mut self, config: &FhcConfig) -> Self {
+        self.apply_config(config);
+        self
+    }
+
     /// The fitted forest.
     pub fn forest(&self) -> &RandomForest {
         &self.forest
@@ -167,7 +233,14 @@ impl TrainedClassifier {
 
     /// Classify pre-extracted fuzzy-hash features.
     pub fn classify_features(&self, features: &SampleFeatures) -> Prediction {
-        let row = self.reference.feature_vector(features);
+        self.classify_prepared(&PreparedSampleFeatures::prepare(features))
+    }
+
+    /// Classify an already-prepared sample (for callers that also paid the
+    /// preparation cost up front). The similarity row is computed by the
+    /// configured [`SimilarityBackend`].
+    pub fn classify_prepared(&self, prepared: &PreparedSampleFeatures) -> Prediction {
+        let row = self.backend.feature_vector_prepared(prepared);
         let proba = Model::predict_proba(&self.forest, &row);
         let eval_label = apply_threshold(&proba, self.confidence_threshold);
         let confidence = proba.iter().cloned().fold(0.0f64, f64::max);
@@ -217,15 +290,15 @@ mod tests {
 
     fn trained() -> (corpus::Corpus, TrainedClassifier) {
         let corpus = CorpusBuilder::new(3).build(&Catalog::paper().scaled(0.02));
-        let config = PipelineConfig {
+        let config = FhcConfig::new().pipeline(PipelineConfig {
             seed: 3,
             forest: mlcore::forest::RandomForestParams {
                 n_estimators: 20,
                 ..Default::default()
             },
             ..Default::default()
-        };
-        let classifier = FuzzyHashClassifier::new(config)
+        });
+        let classifier = FuzzyHashClassifier::with_config(config)
             .fit(&corpus)
             .expect("fit succeeds");
         (corpus, classifier)
@@ -322,6 +395,59 @@ mod tests {
             chunk: 8,
         });
         assert_eq!(mutated.serving_config().chunk, 8);
+    }
+
+    #[test]
+    fn backend_swap_never_changes_predictions() {
+        let (corpus, trained) = trained();
+        assert_eq!(trained.backend_config(), BackendConfig::Indexed);
+        let batch: Vec<(String, Vec<u8>)> = corpus
+            .samples()
+            .iter()
+            .step_by(31)
+            .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+            .collect();
+        let expected = trained.classify_batch(&batch);
+        for config in [
+            BackendConfig::Scan,
+            BackendConfig::Indexed,
+            BackendConfig::Sharded { shards: 1 },
+            BackendConfig::Sharded { shards: 3 },
+            BackendConfig::Sharded { shards: 0 },
+        ] {
+            let swapped = trained.clone().with_backend(config);
+            assert_eq!(swapped.backend_config(), config);
+            assert_eq!(
+                swapped.classify_batch(&batch),
+                expected,
+                "backend choice must never change predictions ({config})"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_prepared_matches_classify_features() {
+        let (corpus, trained) = trained();
+        let features = SampleFeatures::extract(&corpus.generate_bytes(&corpus.samples()[2]));
+        let prepared = PreparedSampleFeatures::prepare(&features);
+        assert_eq!(
+            trained.classify_prepared(&prepared),
+            trained.classify_features(&features)
+        );
+    }
+
+    #[test]
+    fn apply_config_sets_the_runtime_layers() {
+        let (_, trained) = trained();
+        let config = FhcConfig::new()
+            .serving(ServingConfig {
+                threads: 2,
+                chunk: 5,
+            })
+            .backend(BackendConfig::Sharded { shards: 2 });
+        let tuned = trained.with_config(&config);
+        assert_eq!(tuned.serving_config().chunk, 5);
+        assert_eq!(tuned.backend_config(), BackendConfig::Sharded { shards: 2 });
     }
 
     #[test]

@@ -31,8 +31,8 @@
 //! `ssdeep::compare` path as a verification oracle).
 
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
-use hpcutil::{par_map_indexed, ParallelConfig};
-use ssdeep::{compare_prepared, PreparedHash};
+use hpcutil::par_map_indexed;
+use ssdeep::{compare_prepared, FuzzyHash, PreparedHash};
 
 /// Block-size buckets over one `(view, class)` cell of the reference set:
 /// `(block size, indices of the class's prepared samples whose hash for this
@@ -111,6 +111,30 @@ impl ReferenceSet {
         Self::from_prepared_parts(class_names, prepared_by_class, kinds.to_vec())
     }
 
+    /// Like [`ReferenceSet::new`], but from samples that are *already*
+    /// prepared — the fit path prepares every corpus sample exactly once and
+    /// reuses the preparation both here and for the query side of the
+    /// feature matrix. Preparation is deterministic, so the resulting set is
+    /// identical to re-preparing the plain features.
+    pub fn from_prepared(
+        class_names: Vec<String>,
+        prepared: &[PreparedSampleFeatures],
+        labels: &[usize],
+        kinds: &[FeatureKind],
+    ) -> Self {
+        assert_eq!(
+            prepared.len(),
+            labels.len(),
+            "features and labels must align"
+        );
+        let mut prepared_by_class: Vec<Vec<PreparedSampleFeatures>> =
+            vec![Vec::new(); class_names.len()];
+        for (f, &l) in prepared.iter().zip(labels) {
+            prepared_by_class[l].push(f.clone());
+        }
+        Self::from_prepared_parts(class_names, prepared_by_class, kinds.to_vec())
+    }
+
     /// Assemble a reference set from already-prepared samples (used by the
     /// artifact decoder, which persists the prepared index so loading skips
     /// re-preparation).
@@ -175,6 +199,15 @@ impl ReferenceSet {
         self.n_classes() * self.kinds.len()
     }
 
+    /// Column of one `(view, class)` cell in the kind-major row layout —
+    /// the single definition of the layout invariant shared by the
+    /// reference set's row builders and every
+    /// [`crate::backend::SimilarityBackend`] implementation.
+    #[inline]
+    pub fn column_index(&self, kind_idx: usize, class: usize) -> usize {
+        kind_idx * self.n_classes() + class
+    }
+
     /// Column names, grouped by feature kind then class
     /// (e.g. `ssdeep-symbols/Velvet`).
     pub fn column_names(&self) -> Vec<String> {
@@ -219,16 +252,23 @@ impl ReferenceSet {
         for (kind_idx, &kind) in self.kinds.iter().enumerate() {
             let query = sample.get(kind);
             for class in 0..self.class_names.len() {
-                let best = query.map_or(0, |q| self.best_class_score(kind_idx, class, q));
+                let best = query.map_or(0, |q| self.cell_score_indexed(kind_idx, class, q));
                 row.push(f64::from(best));
             }
         }
         row
     }
 
-    /// Maximum similarity of `query` against one `(view, class)` cell of the
-    /// index.
-    fn best_class_score(&self, kind_idx: usize, class: usize, query: &PreparedHash) -> u32 {
+    /// Maximum similarity of `query` against one `(view, class)` cell,
+    /// through the block-size-bucketed index. This is the scoring primitive
+    /// [`crate::backend::IndexedBackend`] and
+    /// [`crate::backend::ShardedBackend`] assemble rows from.
+    pub(crate) fn cell_score_indexed(
+        &self,
+        kind_idx: usize,
+        class: usize,
+        query: &PreparedHash,
+    ) -> u32 {
         let samples = &self.prepared_by_class[class];
         let buckets = &self.index[kind_idx][class];
         let kind = self.kinds[kind_idx];
@@ -266,56 +306,58 @@ impl ReferenceSet {
 
     /// Feature vector computed by the original unindexed scan: every
     /// reference sample of every class is compared with plain
-    /// [`ssdeep::compare`], re-normalizing signatures on every call.
+    /// [`ssdeep::compare()`], re-normalizing signatures on every call.
     ///
     /// Kept as the verification oracle for the precomputed index (the
     /// equivalence tests assert it matches [`ReferenceSet::feature_vector`])
     /// and as the baseline the serving benchmark measures the index against.
     pub fn feature_vector_scan(&self, sample: &SampleFeatures) -> Vec<f64> {
         let mut row = Vec::with_capacity(self.n_columns());
-        for &kind in &self.kinds {
+        for (kind_idx, &kind) in self.kinds.iter().enumerate() {
             let query = sample.get(kind);
-            for class_samples in &self.prepared_by_class {
-                let best = class_samples
-                    .iter()
-                    .map(|train| match (query, train.get(kind)) {
-                        // Plain `compare` on the original hashes the
-                        // prepared samples own — exactly the pre-index cost.
-                        (Some(a), Some(b)) => ssdeep::compare(a, b.hash()),
-                        _ => 0,
-                    })
-                    .max()
-                    .unwrap_or(0);
+            for class in 0..self.prepared_by_class.len() {
+                let best = query.map_or(0, |q| self.cell_score_scan(kind_idx, class, q));
                 row.push(f64::from(best));
             }
         }
         row
     }
 
+    /// Maximum similarity of one query hash against one `(view, class)` cell
+    /// by the plain unindexed scan: every reference sample of the class is
+    /// compared with [`ssdeep::compare()`], re-normalizing signatures on every
+    /// call — exactly the pre-index cost. The scoring primitive of
+    /// [`crate::backend::ScanBackend`].
+    pub(crate) fn cell_score_scan(&self, kind_idx: usize, class: usize, query: &FuzzyHash) -> u32 {
+        let kind = self.kinds[kind_idx];
+        self.prepared_by_class[class]
+            .iter()
+            .map(|train| match train.get(kind) {
+                Some(b) => ssdeep::compare(query, b.hash()),
+                None => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Feature matrix of a batch of samples (rows computed in parallel — the
-    /// dominant cost of the whole pipeline), through the precomputed index.
+    /// dominant cost of the whole pipeline), through the precomputed index
+    /// with the default training parallelism. For an explicit parallel
+    /// configuration, a prepared query batch, or a different scoring
+    /// strategy, use a [`crate::backend::SimilarityBackend`] — the pipeline
+    /// routes its matrices through the configured backend.
     pub fn feature_matrix(&self, samples: &[SampleFeatures]) -> Vec<Vec<f64>> {
-        par_map_indexed(
-            samples.len(),
-            ParallelConfig {
-                threads: 0,
-                chunk: 4,
-            },
-            |i| self.feature_vector(&samples[i]),
-        )
+        par_map_indexed(samples.len(), crate::config::default_parallel(), |i| {
+            self.feature_vector(&samples[i])
+        })
     }
 
     /// Feature matrix computed by the unindexed scan (the benchmark baseline
     /// twin of [`ReferenceSet::feature_matrix`]).
     pub fn feature_matrix_scan(&self, samples: &[SampleFeatures]) -> Vec<Vec<f64>> {
-        par_map_indexed(
-            samples.len(),
-            ParallelConfig {
-                threads: 0,
-                chunk: 4,
-            },
-            |i| self.feature_vector_scan(&samples[i]),
-        )
+        par_map_indexed(samples.len(), crate::config::default_parallel(), |i| {
+            self.feature_vector_scan(&samples[i])
+        })
     }
 }
 

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration for the parallel helpers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Number of worker threads. `0` means "use available parallelism".
     pub threads: usize,
@@ -35,6 +35,20 @@ impl ParallelConfig {
     /// A configuration pinned to a specific number of threads.
     pub fn with_threads(threads: usize) -> Self {
         Self { threads, chunk: 8 }
+    }
+
+    /// Builder-style chunk override.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// One item per scheduling step on up to `threads` workers (`0` means
+    /// "use available parallelism"). The right shape for a few coarse,
+    /// possibly uneven tasks — e.g. scoring the shards of a partitioned
+    /// reference set — where per-item cost dwarfs scheduling overhead.
+    pub fn per_item(threads: usize) -> Self {
+        Self { threads, chunk: 1 }
     }
 
     /// Resolve the effective worker count for `n_items` items.
@@ -211,6 +225,24 @@ mod tests {
         let cfg = ParallelConfig::with_threads(64);
         assert_eq!(cfg.effective_threads(3), 3);
         assert_eq!(cfg.effective_threads(0), 1);
+    }
+
+    #[test]
+    fn per_item_and_with_chunk_build_expected_configs() {
+        assert_eq!(
+            ParallelConfig::per_item(3),
+            ParallelConfig {
+                threads: 3,
+                chunk: 1
+            }
+        );
+        assert_eq!(
+            ParallelConfig::with_threads(2).with_chunk(16),
+            ParallelConfig {
+                threads: 2,
+                chunk: 16
+            }
+        );
     }
 
     #[test]

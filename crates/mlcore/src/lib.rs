@@ -14,7 +14,7 @@
 //! * [`forest`] — bootstrap-aggregated random forests with balanced class
 //!   weights, probability prediction, and mean-decrease-in-impurity feature
 //!   importances; trees grow in parallel.
-//! * [`model`] — the polymorphic [`Model`](model::Model) fit/predict trait
+//! * [`model`] — the polymorphic [`Model`] fit/predict trait
 //!   implemented by the forest, k-NN, and naive Bayes, so grid search,
 //!   cross-validation, and the baselines share one interface.
 //! * [`knn`] and [`naive_bayes`] — the baseline models the paper lists as

@@ -10,7 +10,7 @@
 //!    [`MIN_COMMON_SUBSTRING`] characters — without one the score is 0,
 //!    which suppresses coincidental low-level matches.
 //! 4. Computing the weighted Damerau–Levenshtein distance
-//!    ([`weighted_edit_distance`](crate::edit_distance::weighted_edit_distance))
+//!    ([`weighted_edit_distance`])
 //!    between the matching-block-size signatures and scaling it to 0–100,
 //!    where 100 means identical signatures.
 //! 5. Capping the score for very small block sizes, where short inputs can
@@ -84,7 +84,7 @@ pub(crate) fn window_keys(bytes: &[u8]) -> Vec<u64> {
 /// binary search — far cheaper than the quadratic slice comparison.
 ///
 /// Signatures produced by this crate are at most
-/// [`SPAM_SUM_LENGTH`](crate::SPAM_SUM_LENGTH) characters, so their windows
+/// [`SPAM_SUM_LENGTH`] characters, so their windows
 /// fit a stack buffer; arbitrary caller-supplied strings of any length fall
 /// back to a heap buffer instead of panicking.
 pub fn has_common_substring(a: &str, b: &str) -> bool {

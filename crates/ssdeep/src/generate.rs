@@ -127,7 +127,7 @@ fn chunk_signatures(data: &[u8], block_size: u64) -> (String, String) {
 /// Compute the fuzzy hash of a byte slice.
 ///
 /// The block size starts at the estimate from
-/// [`initial_blocksize`](crate::blocksize::initial_blocksize) and is halved
+/// [`initial_blocksize`] and is halved
 /// (re-hashing the input) while the primary signature comes out shorter than
 /// half the target length, exactly as the reference implementation does, so
 /// that small inputs still produce informative signatures.

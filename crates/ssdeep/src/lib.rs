@@ -16,11 +16,11 @@
 //! * [`generate`] — [`FuzzyHash`] generation ([`fuzzy_hash_bytes`]).
 //! * [`edit_distance`] — Levenshtein, Damerau–Levenshtein (Eq. 1 of the
 //!   paper), and the weighted edit distance SSDeep scales into a score.
-//! * [`compare`] — the 0–100 similarity score ([`compare`](compare::compare)),
+//! * [mod@compare] — the 0–100 similarity score ([`compare`](compare::compare)),
 //!   including the common-substring guard and block-size compatibility rule.
 //! * [`prepared`] — [`PreparedHash`]: per-hash comparison state computed
 //!   once, so comparing against a static reference set
-//!   ([`compare_prepared`](prepared::compare_prepared)) pays only the
+//!   ([`compare_prepared`]) pays only the
 //!   edit-distance DP per pair, with scores byte-identical to
 //!   [`compare`](compare::compare).
 //!

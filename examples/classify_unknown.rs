@@ -15,7 +15,9 @@
 
 use binary::elf::ElfBuilder;
 use corpus::{Catalog, CorpusBuilder};
-use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::backend::BackendConfig;
+use fhc::config::FhcConfig;
+use fhc::pipeline::FuzzyHashClassifier;
 
 /// Build an executable that imitates an unauthorized workload: none of its
 /// symbols, strings, or code come from the known application corpus.
@@ -42,17 +44,19 @@ fn rogue_miner() -> Vec<u8> {
 fn main() {
     // Train once on a small synthetic corpus of known HPC applications.
     let corpus = CorpusBuilder::new(7).build(&Catalog::paper().scaled(0.04));
-    let config = PipelineConfig {
-        seed: 7,
-        ..Default::default()
-    };
-    let trained = FuzzyHashClassifier::new(config)
+    // Serve through the class-sharded backend: each query fans out across
+    // shard threads (score-identical to the default indexed backend).
+    let config = FhcConfig::new()
+        .seed(7)
+        .backend(BackendConfig::Sharded { shards: 0 });
+    let trained = FuzzyHashClassifier::with_config(config)
         .fit(&corpus)
         .expect("training should succeed");
     println!(
-        "trained on {} known classes (threshold {:.2})",
+        "trained on {} known classes (threshold {:.2}, backend {})",
         trained.n_known_classes(),
-        trained.confidence_threshold()
+        trained.confidence_threshold(),
+        trained.backend_config()
     );
 
     // A brand-new execution of a known application, a rogue workload, and a

@@ -7,8 +7,9 @@
 
 use binary::elf::ElfBuilder;
 use corpus::{Catalog, CorpusBuilder};
+use fhc::config::FhcConfig;
 use fhc::features::{FeatureKind, SampleFeatures};
-use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::pipeline::FuzzyHashClassifier;
 use ssdeep::{compare, fuzzy_hash_bytes};
 
 fn main() {
@@ -56,11 +57,10 @@ fn main() {
     // --- 2. Train once, evaluate, then serve ------------------------------
     println!("\ntraining the Fuzzy Hash Classifier on a small synthetic corpus...");
     let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.04));
-    let config = PipelineConfig {
-        seed: 42,
-        ..Default::default()
-    };
-    let classifier = FuzzyHashClassifier::new(config);
+    // One layered configuration covers training behavior and every runtime
+    // knob (batch parallelism, serving parallelism, similarity backend).
+    let config = FhcConfig::new().seed(42);
+    let classifier = FuzzyHashClassifier::with_config(config);
 
     // Extract features once; fit and the test-split evaluation both reuse
     // them, so the expensive hashing happens a single time.

@@ -7,6 +7,7 @@
 //! ```
 
 use corpus::{Catalog, CorpusBuilder};
+use fhc::config::FhcConfig;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 use fhc::threshold::UNKNOWN_LABEL;
 use mlcore::metrics::per_class_metrics;
@@ -15,12 +16,12 @@ fn main() {
     let corpus = CorpusBuilder::new(11).build(&Catalog::paper().scaled(0.05));
     // A finer threshold grid than the default, to draw a smoother curve.
     let thresholds: Vec<f64> = (0..19).map(|i| i as f64 * 0.05).collect();
-    let config = PipelineConfig {
+    let config = FhcConfig::new().pipeline(PipelineConfig {
         seed: 11,
         thresholds,
         ..Default::default()
-    };
-    let outcome = FuzzyHashClassifier::new(config)
+    });
+    let outcome = FuzzyHashClassifier::with_config(config)
         .run(&corpus)
         .expect("pipeline should run");
 

@@ -4,31 +4,32 @@
 use corpus::{Catalog, CorpusBuilder};
 use fhc::ablation::{ablation_configurations, run_ablation};
 use fhc::baselines::run_baselines;
+use fhc::config::FhcConfig;
 use fhc::experiments as exp;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 
 fn setup() -> (
     corpus::Corpus,
     Vec<fhc::features::SampleFeatures>,
-    PipelineConfig,
+    FhcConfig,
 ) {
     let corpus = CorpusBuilder::new(42).build(&Catalog::paper().scaled(0.02));
-    let config = PipelineConfig {
+    let config = FhcConfig::new().pipeline(PipelineConfig {
         seed: 42,
         forest: mlcore::forest::RandomForestParams {
             n_estimators: 30,
             ..Default::default()
         },
         ..Default::default()
-    };
-    let features = FuzzyHashClassifier::new(config.clone()).extract_features(&corpus);
+    });
+    let features = FuzzyHashClassifier::with_config(config.clone()).extract_features(&corpus);
     (corpus, features, config)
 }
 
 #[test]
 fn all_table_and_figure_drivers_produce_output() {
     let (corpus, features, config) = setup();
-    let outcome = FuzzyHashClassifier::new(config)
+    let outcome = FuzzyHashClassifier::with_config(config)
         .run_with_features(&corpus, &features)
         .expect("pipeline runs");
 
@@ -68,7 +69,7 @@ fn all_table_and_figure_drivers_produce_output() {
 #[test]
 fn baselines_show_the_papers_crypto_hash_limitation() {
     let (corpus, features, config) = setup();
-    let outcome = FuzzyHashClassifier::new(config.clone())
+    let outcome = FuzzyHashClassifier::with_config(config.clone())
         .run_with_features(&corpus, &features)
         .unwrap();
     let baselines =
@@ -97,7 +98,7 @@ fn baselines_show_the_papers_crypto_hash_limitation() {
 fn ablation_runs_every_configuration() {
     let (corpus, features, mut config) = setup();
     // Keep the ablation fast: fewer trees.
-    config.forest.n_estimators = 15;
+    config.pipeline.forest.n_estimators = 15;
     let results = run_ablation(&corpus, &features, &config).unwrap();
     assert_eq!(results.len(), ablation_configurations().len());
     for r in &results {

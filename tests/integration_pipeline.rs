@@ -3,6 +3,7 @@
 //! fhc crates).
 
 use corpus::{Catalog, CorpusBuilder};
+use fhc::config::FhcConfig;
 use fhc::features::FeatureKind;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 use fhc::threshold::UNKNOWN_LABEL;
@@ -15,11 +16,8 @@ fn small_corpus(seed: u64) -> corpus::Corpus {
 #[test]
 fn pipeline_reaches_paper_like_f1_on_small_corpus() {
     let corpus = small_corpus(42);
-    let config = PipelineConfig {
-        seed: 42,
-        ..Default::default()
-    };
-    let outcome = FuzzyHashClassifier::new(config)
+    let config = FhcConfig::new().seed(42);
+    let outcome = FuzzyHashClassifier::with_config(config)
         .run(&corpus)
         .expect("pipeline runs");
 
@@ -90,11 +88,7 @@ fn pipeline_reaches_paper_like_f1_on_small_corpus() {
 #[test]
 fn pipeline_is_deterministic_for_a_seed() {
     let corpus = small_corpus(3);
-    let config = PipelineConfig {
-        seed: 9,
-        ..Default::default()
-    };
-    let classifier = FuzzyHashClassifier::new(config);
+    let classifier = FuzzyHashClassifier::with_config(FhcConfig::new().seed(9));
     let features = classifier.extract_features(&corpus);
     let a = classifier.run_with_features(&corpus, &features).unwrap();
     let b = classifier.run_with_features(&corpus, &features).unwrap();
@@ -106,11 +100,9 @@ fn pipeline_is_deterministic_for_a_seed() {
 #[test]
 fn unknown_class_precision_recall_are_reasonable() {
     let corpus = small_corpus(42);
-    let config = PipelineConfig {
-        seed: 42,
-        ..Default::default()
-    };
-    let outcome = FuzzyHashClassifier::new(config).run(&corpus).unwrap();
+    let outcome = FuzzyHashClassifier::with_config(FhcConfig::new().seed(42))
+        .run(&corpus)
+        .unwrap();
     let per_class = per_class_metrics(
         &outcome.y_true,
         &outcome.y_pred,
@@ -131,12 +123,14 @@ fn unknown_class_precision_recall_are_reasonable() {
 #[test]
 fn symbols_only_ablation_still_classifies() {
     let corpus = small_corpus(5);
-    let config = PipelineConfig {
+    let config = FhcConfig::new().pipeline(PipelineConfig {
         seed: 5,
         feature_kinds: vec![FeatureKind::Symbols],
         ..Default::default()
-    };
-    let outcome = FuzzyHashClassifier::new(config).run(&corpus).unwrap();
+    });
+    let outcome = FuzzyHashClassifier::with_config(config)
+        .run(&corpus)
+        .unwrap();
     // The paper finds the symbols feature to be the strongest on its own.
     assert!(
         outcome.report.macro_avg().f1 > 0.6,
@@ -150,22 +144,41 @@ fn symbols_only_ablation_still_classifies() {
 #[test]
 fn invalid_configurations_are_rejected() {
     let corpus = small_corpus(1);
-    let classifier = FuzzyHashClassifier::new(PipelineConfig {
+    let classifier = FuzzyHashClassifier::with_config(FhcConfig::new().pipeline(PipelineConfig {
         feature_kinds: vec![],
         ..Default::default()
-    });
-    let features = FuzzyHashClassifier::new(PipelineConfig::default()).extract_features(&corpus);
+    }));
+    let features = FuzzyHashClassifier::with_config(FhcConfig::new()).extract_features(&corpus);
     assert!(classifier.run_with_features(&corpus, &features).is_err());
 
-    let classifier = FuzzyHashClassifier::new(PipelineConfig {
+    let classifier = FuzzyHashClassifier::with_config(FhcConfig::new().pipeline(PipelineConfig {
         thresholds: vec![],
         ..Default::default()
-    });
+    }));
     assert!(classifier.run_with_features(&corpus, &features).is_err());
 
     // Features that do not cover the corpus are rejected.
-    let classifier = FuzzyHashClassifier::new(PipelineConfig::default());
+    let classifier = FuzzyHashClassifier::with_config(FhcConfig::new());
     assert!(classifier
         .run_with_features(&corpus, &features[..3])
         .is_err());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_pipeline_config_constructor_still_works() {
+    // `FuzzyHashClassifier::new(PipelineConfig)` is kept as a thin shim for
+    // one release: it must behave exactly like the unified-config path with
+    // default runtime layers.
+    let corpus = small_corpus(3);
+    let via_shim = FuzzyHashClassifier::new(PipelineConfig {
+        seed: 9,
+        ..Default::default()
+    });
+    let via_config = FuzzyHashClassifier::with_config(FhcConfig::new().seed(9));
+    let features = via_config.extract_features(&corpus);
+    let a = via_shim.run_with_features(&corpus, &features).unwrap();
+    let b = via_config.run_with_features(&corpus, &features).unwrap();
+    assert_eq!(a.y_pred, b.y_pred);
+    assert_eq!(a.confidence_threshold, b.confidence_threshold);
 }

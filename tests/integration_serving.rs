@@ -4,6 +4,7 @@
 //! precomputed similarity index with the unindexed scan.
 
 use corpus::{Catalog, CorpusBuilder};
+use fhc::config::FhcConfig;
 use fhc::features::SampleFeatures;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 use fhc::serving::{ServingConfig, TrainedClassifier};
@@ -12,15 +13,15 @@ fn small_corpus(seed: u64) -> corpus::Corpus {
     CorpusBuilder::new(seed).build(&Catalog::paper().scaled(0.02))
 }
 
-fn config(seed: u64) -> PipelineConfig {
-    PipelineConfig {
+fn config(seed: u64) -> FhcConfig {
+    FhcConfig::new().pipeline(PipelineConfig {
         seed,
         forest: mlcore::forest::RandomForestParams {
             n_estimators: 25,
             ..Default::default()
         },
         ..Default::default()
-    }
+    })
 }
 
 /// A batch of probe executables drawn from across the corpus.
@@ -38,10 +39,10 @@ fn independent_fits_with_same_seed_predict_identically() {
     let corpus = small_corpus(5);
     let batch = probe_batch(&corpus);
 
-    let a = FuzzyHashClassifier::new(config(9))
+    let a = FuzzyHashClassifier::with_config(config(9))
         .fit(&corpus)
         .expect("first fit");
-    let b = FuzzyHashClassifier::new(config(9))
+    let b = FuzzyHashClassifier::with_config(config(9))
         .fit(&corpus)
         .expect("second fit");
 
@@ -63,10 +64,10 @@ fn independent_fits_with_same_seed_predict_identically() {
 #[test]
 fn different_seeds_change_the_split() {
     let corpus = small_corpus(5);
-    let a = FuzzyHashClassifier::new(config(1))
+    let a = FuzzyHashClassifier::with_config(config(1))
         .fit(&corpus)
         .expect("fit seed 1");
-    let b = FuzzyHashClassifier::new(config(2))
+    let b = FuzzyHashClassifier::with_config(config(2))
         .fit(&corpus)
         .expect("fit seed 2");
     // The class-level known/unknown split is seed-dependent, so the label
@@ -78,7 +79,7 @@ fn different_seeds_change_the_split() {
 fn saved_then_loaded_classifier_predicts_identically() {
     let corpus = small_corpus(3);
     let batch = probe_batch(&corpus);
-    let trained = FuzzyHashClassifier::new(config(3))
+    let trained = FuzzyHashClassifier::with_config(config(3))
         .fit(&corpus)
         .expect("fit");
 
@@ -109,7 +110,7 @@ fn prepared_index_agrees_with_unindexed_scan_end_to_end() {
     // Across a corpus-wide probe batch (known classes, unknown classes, and
     // a non-ELF stranger) the two must produce identical feature rows.
     let corpus = small_corpus(11);
-    let trained = FuzzyHashClassifier::new(config(11))
+    let trained = FuzzyHashClassifier::with_config(config(11))
         .fit(&corpus)
         .expect("fit");
     let reference = trained.reference();
@@ -141,7 +142,7 @@ fn prepared_index_agrees_with_unindexed_scan_end_to_end() {
 fn serving_config_is_runtime_only_and_prediction_invariant() {
     let corpus = small_corpus(3);
     let batch = probe_batch(&corpus);
-    let trained = FuzzyHashClassifier::new(config(3))
+    let trained = FuzzyHashClassifier::with_config(config(3))
         .fit(&corpus)
         .expect("fit");
     let expected = trained.classify_batch(&batch);
@@ -167,7 +168,7 @@ fn serving_path_agrees_with_evaluation_pipeline() {
     // what the TrainedClassifier produces for the same samples: one model,
     // two code paths.
     let corpus = small_corpus(6);
-    let classifier = FuzzyHashClassifier::new(config(6));
+    let classifier = FuzzyHashClassifier::with_config(config(6));
     let features = classifier.extract_features(&corpus);
     let fit = classifier
         .fit_with_features(&corpus, &features)
@@ -195,7 +196,7 @@ fn fit_then_run_with_features_is_consistent_with_run() {
     // run() is documented as a thin fit + evaluate wrapper; both entry
     // points must agree for the same configuration.
     let corpus = small_corpus(4);
-    let classifier = FuzzyHashClassifier::new(config(7));
+    let classifier = FuzzyHashClassifier::with_config(config(7));
     let features = classifier.extract_features(&corpus);
     let via_run = classifier
         .run_with_features(&corpus, &features)
