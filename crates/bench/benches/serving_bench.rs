@@ -14,11 +14,31 @@ use fhc::backend::BackendConfig;
 use fhc::features::SampleFeatures;
 use fhc::pipeline::FuzzyHashClassifier;
 use fhc::serving::Prediction;
+use fhc::shardnet::worker::serve_tcp;
+use fhc::shardnet::{Endpoint, ShardWorker};
 use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
 use fhc_bench::{bench_config, bench_corpus};
 use hpcutil::{par_map_indexed, ParallelConfig};
 use mlcore::model::Model;
 use std::hint::black_box;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Spawn `n` in-process loopback shard workers over the classifier's
+/// reference set and return a `remote:` backend configuration for them.
+/// The accept threads live for the rest of the process.
+fn loopback_remote(trained: &fhc::serving::TrainedClassifier, n: usize) -> BackendConfig {
+    let endpoints: Vec<Endpoint> = (0..n)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+            let worker = Arc::new(ShardWorker::all_classes(trained.reference_shared()));
+            std::thread::spawn(move || serve_tcp(worker, listener));
+            endpoint
+        })
+        .collect();
+    BackendConfig::remote(endpoints)
+}
 
 fn bench_classify_batch(c: &mut Criterion) {
     let corpus = bench_corpus(0.02, 42);
@@ -105,26 +125,32 @@ fn bench_classify_batch(c: &mut Criterion) {
     });
     group.finish();
 
-    // Sharded vs indexed vs scan: the same classify_batch traffic under
-    // each similarity backend (backend choice is runtime-only and
-    // score-identical, so this group measures pure scheduling overhead /
-    // benefit — what per-query class sharding costs or buys).
+    // Sharded (persistent worker pool) vs indexed vs scan vs loopback
+    // remote: the same classify_batch traffic under each similarity
+    // backend (backend choice is runtime-only and score-identical, so this
+    // group measures pure scheduling/transport overhead — what per-query
+    // class sharding costs or buys, and what putting the shards behind a
+    // socket adds on top).
     let mut group = c.benchmark_group("serving/backends");
     group.sample_size(10);
     group.throughput(Throughput::Elements(batch.len() as u64));
     for (label, backend) in [
         ("classify_batch_indexed", BackendConfig::Indexed),
         (
-            "classify_batch_sharded_2",
+            "classify_batch_sharded_pooled_2",
             BackendConfig::Sharded { shards: 2 },
         ),
         (
-            "classify_batch_sharded_4",
+            "classify_batch_sharded_pooled_4",
             BackendConfig::Sharded { shards: 4 },
         ),
         (
-            "classify_batch_sharded_auto",
+            "classify_batch_sharded_pooled_auto",
             BackendConfig::Sharded { shards: 0 },
+        ),
+        (
+            "classify_batch_remote_loopback_2",
+            loopback_remote(&trained, 2),
         ),
         ("classify_batch_scan", BackendConfig::Scan),
     ] {
@@ -135,8 +161,11 @@ fn bench_classify_batch(c: &mut Criterion) {
     }
     group.finish();
 
-    // Single-query latency per backend: where the sharded backend is meant
-    // to shine (one query fanned out across shard threads).
+    // Single-query latency per backend: where per-query fan-out is meant
+    // to shine (one query split across shard workers). The pooled sharded
+    // backend replaces PR 3's per-query scoped-thread spawns; the loopback
+    // remote number is the wire tax on the same partition/max-merge
+    // contract.
     let mut group = c.benchmark_group("serving/single");
     group.throughput(Throughput::Elements(1));
     group.bench_function("classify_one", |b| {
@@ -145,9 +174,35 @@ fn bench_classify_batch(c: &mut Criterion) {
     let sharded = trained
         .clone()
         .with_backend(BackendConfig::Sharded { shards: 0 });
-    group.bench_function("classify_one_sharded_auto", |b| {
+    group.bench_function("classify_one_sharded_pooled_auto", |b| {
         b.iter(|| sharded.classify(black_box(&batch[0].1)))
     });
+    group.finish();
+
+    // Remote serving in isolation: loopback-remote vs pooled-sharded vs
+    // indexed on identical single-query traffic. Everything above the
+    // indexed number is scheduling (sharded) or scheduling + framing +
+    // syscalls (remote).
+    let mut group = c.benchmark_group("serving/remote");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("classify_one_indexed", |b| {
+        b.iter(|| trained.classify(black_box(&batch[0].1)))
+    });
+    let sharded2 = trained
+        .clone()
+        .with_backend(BackendConfig::Sharded { shards: 2 });
+    group.bench_function("classify_one_sharded_pooled_2", |b| {
+        b.iter(|| sharded2.classify(black_box(&batch[0].1)))
+    });
+    for workers in [1usize, 2, 4] {
+        let remote = trained
+            .clone()
+            .with_backend(loopback_remote(&trained, workers));
+        group.bench_function(format!("classify_one_remote_loopback_{workers}"), |b| {
+            b.iter(|| remote.classify(black_box(&batch[0].1)))
+        });
+    }
     group.finish();
 
     // Artifact round trip: the cost of loading a model into a new process.

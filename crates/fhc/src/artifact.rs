@@ -30,6 +30,15 @@
 //! field, and debug builds (hence the test suite) fully verify the state
 //! derives from the hashes. Version-1 artifacts (original signatures only)
 //! still load — the prepared index is rebuilt from the hashes at load time.
+//!
+//! **Version 3** changes only how the window keys are stored: the sorted
+//! `u64` key sets are delta-encoded as varints
+//! ([`hpcutil::ByteWriter::put_u64_delta_seq`]) instead of 8 raw bytes per
+//! key, shrinking the dominant component of the prepared index to roughly
+//! the entropy of the key gaps. Version-2 artifacts (raw key sequences)
+//! still load, and re-saving upgrades them to version 3 byte-identically.
+//! The same prepared encoding carries queries on the shard-serving wire
+//! (see [`crate::shardnet::wire`]).
 
 use crate::config::FhcConfig;
 use crate::error::FhcError;
@@ -47,9 +56,9 @@ use std::sync::Arc;
 /// `"FHCLSART"` interpreted as a little-endian `u64`.
 const MAGIC: u64 = u64::from_le_bytes(*b"FHCLSART");
 
-/// Current artifact format version: 2 adds the persisted prepared
-/// similarity index.
-pub const FORMAT_VERSION: u32 = 2;
+/// Current artifact format version: 2 added the persisted prepared
+/// similarity index; 3 delta-encodes its sorted window keys.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest artifact format version this build still reads.
 pub const MIN_SUPPORTED_VERSION: u32 = 1;
@@ -96,27 +105,39 @@ fn decode_features(r: &mut ByteReader<'_>) -> Result<SampleFeatures, CodecError>
     })
 }
 
-/// Version 2: one prepared hash = the original hash plus its precomputed
-/// comparison state (run-eliminated signatures + sorted window keys).
+/// One prepared hash = the original hash plus its precomputed comparison
+/// state (run-eliminated signatures + sorted window keys). Version 3
+/// delta-encodes the sorted keys; version 2 stored them raw.
 fn encode_prepared_hash(w: &mut ByteWriter, prepared: &PreparedHash) {
     encode_hash(w, prepared.hash());
     w.put_str(prepared.primary().eliminated());
-    w.put_u64_seq(prepared.primary().keys());
+    w.put_u64_delta_seq(prepared.primary().keys());
     w.put_str(prepared.double().eliminated());
-    w.put_u64_seq(prepared.double().keys());
+    w.put_u64_delta_seq(prepared.double().keys());
 }
 
-fn decode_prepared_hash(r: &mut ByteReader<'_>) -> Result<PreparedHash, CodecError> {
+fn decode_keys(r: &mut ByteReader<'_>, version: u32) -> Result<Vec<u64>, CodecError> {
+    if version >= 3 {
+        r.get_u64_delta_seq()
+    } else {
+        r.get_u64_seq()
+    }
+}
+
+fn decode_prepared_hash(r: &mut ByteReader<'_>, version: u32) -> Result<PreparedHash, CodecError> {
     let hash = decode_hash(r)?;
     let eliminated = r.get_str()?;
-    let keys = r.get_u64_seq()?;
+    let keys = decode_keys(r, version)?;
     let eliminated_double = r.get_str()?;
-    let keys_double = r.get_u64_seq()?;
+    let keys_double = decode_keys(r, version)?;
     PreparedHash::from_precomputed(hash, eliminated, keys, eliminated_double, keys_double)
         .map_err(CodecError::new)
 }
 
-fn encode_prepared_features(w: &mut ByteWriter, features: &PreparedSampleFeatures) {
+/// Encode prepared sample features in the current (version-3) layout. Also
+/// the on-wire form of a shard-serving score request
+/// ([`crate::shardnet::wire`]).
+pub(crate) fn encode_prepared_features(w: &mut ByteWriter, features: &PreparedSampleFeatures) {
     encode_prepared_hash(w, &features.file);
     encode_prepared_hash(w, &features.strings);
     match &features.symbols {
@@ -128,11 +149,15 @@ fn encode_prepared_features(w: &mut ByteWriter, features: &PreparedSampleFeature
     }
 }
 
-fn decode_prepared_features(r: &mut ByteReader<'_>) -> Result<PreparedSampleFeatures, CodecError> {
-    let file = decode_prepared_hash(r)?;
-    let strings = decode_prepared_hash(r)?;
+/// Decode prepared sample features as laid out by artifact `version`.
+pub(crate) fn decode_prepared_features(
+    r: &mut ByteReader<'_>,
+    version: u32,
+) -> Result<PreparedSampleFeatures, CodecError> {
+    let file = decode_prepared_hash(r, version)?;
+    let strings = decode_prepared_hash(r, version)?;
     let symbols = if r.get_bool()? {
-        Some(decode_prepared_hash(r)?)
+        Some(decode_prepared_hash(r, version)?)
     } else {
         None
     };
@@ -211,9 +236,9 @@ fn decode_payload(payload: &[u8], version: u32) -> Result<TrainedClassifier, Cod
         let mut prepared = Vec::with_capacity(n_samples);
         for _ in 0..n_samples {
             if version >= 2 {
-                // v2 persists the prepared index; decoding verifies it
+                // v2+ persists the prepared index; decoding verifies it
                 // derives from the hashes (see PreparedHash::from_precomputed).
-                prepared.push(decode_prepared_features(&mut r)?);
+                prepared.push(decode_prepared_features(&mut r, version)?);
             } else {
                 // v1 stores only the original hashes; rebuild the prepared
                 // state at load time.
@@ -318,10 +343,11 @@ impl TrainedClassifier {
     /// `config` (serving parallelism and similarity backend). The artifact
     /// format does not persist runtime choices, so any stored artifact can
     /// be opened under any backend — scores and predictions are identical
-    /// under all of them.
+    /// under all of them. A remote backend that cannot be connected
+    /// (unreachable or mismatched workers) is an error, not a panic.
     pub fn from_bytes_with(bytes: &[u8], config: &FhcConfig) -> Result<Self, FhcError> {
         let mut classifier = Self::from_bytes(bytes)?;
-        classifier.apply_config(config);
+        classifier.try_apply_config(config)?;
         Ok(classifier)
     }
 
@@ -462,13 +488,93 @@ mod tests {
         assert_eq!(restored.to_bytes(), original.to_bytes());
     }
 
+    /// Re-encode a classifier in the retired version-2 layout (prepared
+    /// index with raw `u64` window-key sequences) to prove the compat path
+    /// keeps loading v2 artifacts.
+    fn encode_v2_bytes(classifier: &TrainedClassifier) -> Vec<u8> {
+        fn encode_prepared_hash_v2(w: &mut ByteWriter, prepared: &PreparedHash) {
+            encode_hash(w, prepared.hash());
+            w.put_str(prepared.primary().eliminated());
+            w.put_u64_seq(prepared.primary().keys());
+            w.put_str(prepared.double().eliminated());
+            w.put_u64_seq(prepared.double().keys());
+        }
+        let mut w = ByteWriter::new();
+        w.put_u64(classifier.seed);
+        w.put_f64(classifier.confidence_threshold);
+        let kinds = classifier.reference.kinds();
+        w.put_usize(kinds.len());
+        for &kind in kinds {
+            w.put_u8(encode_kind(kind));
+        }
+        let reference = &classifier.reference;
+        w.put_usize(reference.n_classes());
+        for class in 0..reference.n_classes() {
+            w.put_str(&reference.class_names()[class]);
+            let samples = reference.prepared_class_features(class);
+            w.put_usize(samples.len());
+            for features in samples {
+                encode_prepared_hash_v2(&mut w, &features.file);
+                encode_prepared_hash_v2(&mut w, &features.strings);
+                match &features.symbols {
+                    None => w.put_bool(false),
+                    Some(prepared) => {
+                        w.put_bool(true);
+                        encode_prepared_hash_v2(&mut w, prepared);
+                    }
+                }
+            }
+        }
+        classifier.forest_params.encode(&mut w);
+        classifier.forest.encode(&mut w);
+        w.put_usize(classifier.threshold_curve.len());
+        for point in &classifier.threshold_curve {
+            w.put_f64(point.threshold);
+            w.put_f64(point.micro_f1);
+            w.put_f64(point.macro_f1);
+            w.put_f64(point.weighted_f1);
+        }
+        let payload = w.into_bytes();
+        let mut out = ByteWriter::new();
+        out.put_u64(MAGIC);
+        out.put_u32(2);
+        out.put_bytes(&payload);
+        out.put_u64(fnv1a64(&payload));
+        out.into_bytes()
+    }
+
     #[test]
-    fn format_version_is_bumped_for_the_prepared_index() {
-        assert_eq!(FORMAT_VERSION, 2);
+    fn version_2_artifacts_still_load_and_resave_upgrades() {
+        let (corpus, original) = trained();
+        let v2_bytes = encode_v2_bytes(&original);
+        assert_eq!(v2_bytes[8], 2);
+        let restored = TrainedClassifier::from_bytes(&v2_bytes).expect("v2 artifact loads");
+
+        assert_eq!(restored.seed(), original.seed());
+        assert_eq!(restored.known_class_names(), original.known_class_names());
+        for spec in corpus.samples().iter().step_by(31) {
+            let bytes = corpus.generate_bytes(spec);
+            assert_eq!(restored.classify(&bytes), original.classify(&bytes));
+        }
+        // Round-trip equivalence: re-saving a v2-loaded classifier upgrades
+        // it to the current delta-encoded format byte-identically.
+        assert_eq!(restored.to_bytes(), original.to_bytes());
+        // And the delta encoding is why v3 exists: the same model, smaller.
+        assert!(
+            original.to_bytes().len() < v2_bytes.len(),
+            "v3 ({} bytes) must be smaller than v2 ({} bytes)",
+            original.to_bytes().len(),
+            v2_bytes.len()
+        );
+    }
+
+    #[test]
+    fn format_version_is_bumped_for_the_delta_keys() {
+        assert_eq!(FORMAT_VERSION, 3);
         assert_eq!(MIN_SUPPORTED_VERSION, 1);
         let (_, original) = trained();
         // Byte 8 of the container is the version field.
-        assert_eq!(original.to_bytes()[8], 2);
+        assert_eq!(original.to_bytes()[8], 3);
     }
 
     #[test]
@@ -543,7 +649,7 @@ mod tests {
             BackendConfig::Sharded { shards: 2 },
             BackendConfig::Sharded { shards: 0 },
         ] {
-            let config = FhcConfig::new().backend(backend);
+            let config = FhcConfig::new().backend(backend.clone());
             let opened =
                 TrainedClassifier::from_bytes_with(&bytes, &config).expect("decode with backend");
             assert_eq!(opened.backend_config(), backend);

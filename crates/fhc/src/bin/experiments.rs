@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [--scale 0.25] [--seed 42] [--trees 80] [--grid] [--only <name>]
+//!             [--backend scan|indexed|sharded[:N]] [--threads N]
 //! ```
 //!
 //! `--scale` shrinks the corpus (1.0 = the paper's ≈5333 samples; the
@@ -9,13 +10,29 @@
 //! use 0.1–0.3). `--only` runs a single experiment: one of `table1`,
 //! `figure2`, `table2`, `table3`, `table4`, `table5`, `figure3`, `ablation`,
 //! `baselines`.
+//!
+//! The runtime layers of [`FhcConfig`] are reachable from the command line:
+//! `--backend` selects the similarity backend that scores every feature
+//! matrix (`scan`, `indexed`, `sharded`, or `sharded:N`), and `--threads`
+//! pins the training-batch *and* serving parallelism to N worker threads
+//! (default: all hardware threads). Neither changes a single score — only
+//! how fast the identical numbers are produced.
+//!
+//! `remote:EP[,EP...]` parses but is rejected here: the experiments driver
+//! *trains* from scratch, and training builds backends over intermediate
+//! reference sets (the threshold-tuning inner fits use subsets) that can
+//! never match a running `fhc-shardd`'s artifact fingerprint. Remote is a
+//! serving-time topology — save an artifact and open it with
+//! `TrainedClassifier::load_with`.
 
 use corpus::{Catalog, CorpusBuilder};
 use fhc::ablation::run_ablation;
+use fhc::backend::BackendConfig;
 use fhc::baselines::run_baselines;
 use fhc::config::FhcConfig;
 use fhc::experiments as exp;
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::serving::ServingConfig;
 use hpcutil::SectionTimer;
 use mlcore::gridsearch::ParamGrid;
 use mlcore::tree::MaxFeatures;
@@ -27,7 +44,12 @@ struct Args {
     trees: usize,
     grid: bool,
     only: Option<String>,
+    backend: BackendConfig,
+    threads: usize,
 }
+
+const USAGE: &str = "usage: experiments [--scale F] [--seed N] [--trees N] [--grid] \
+     [--only NAME] [--backend scan|indexed|sharded[:N]] [--threads N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -36,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         trees: 80,
         grid: false,
         only: None,
+        backend: BackendConfig::default(),
+        threads: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -63,12 +87,32 @@ fn parse_args() -> Result<Args, String> {
             }
             "--grid" => args.grid = true,
             "--only" => args.only = Some(iter.next().ok_or("--only needs a value")?),
-            "--help" | "-h" => {
-                return Err(
-                    "usage: experiments [--scale F] [--seed N] [--trees N] [--grid] [--only NAME]"
-                        .to_string(),
-                )
+            "--backend" => {
+                args.backend = iter
+                    .next()
+                    .ok_or("--backend needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --backend: {e}"))?;
+                if matches!(args.backend, BackendConfig::Remote { .. }) {
+                    return Err("--backend remote:... is a serving-time topology: the \
+                         experiments driver trains from scratch, and training builds \
+                         backends over intermediate reference sets (threshold-tuning \
+                         inner fits use subsets) that cannot match a running \
+                         fhc-shardd's artifact fingerprint. Train and save an \
+                         artifact, start fhc-shardd on it, then open it with \
+                         TrainedClassifier::load_with. Use scan, indexed, or \
+                         sharded[:N] here."
+                        .to_string());
+                }
             }
+            "--threads" => {
+                args.threads = iter
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -94,8 +138,18 @@ fn main() -> ExitCode {
 
     let mut timer = SectionTimer::new();
     println!(
-        "Fuzzy Hash Classifier experiments (scale={}, seed={}, trees={}, grid={})",
-        args.scale, args.seed, args.trees, args.grid
+        "Fuzzy Hash Classifier experiments (scale={}, seed={}, trees={}, grid={}, \
+         backend={}, threads={})",
+        args.scale,
+        args.seed,
+        args.trees,
+        args.grid,
+        args.backend,
+        if args.threads == 0 {
+            "auto".to_string()
+        } else {
+            args.threads.to_string()
+        }
     );
 
     timer.start("corpus generation");
@@ -123,11 +177,22 @@ fn main() -> ExitCode {
         println!("{}", exp::figure2_sample_distribution(&corpus));
     }
 
-    let mut config = FhcConfig::new().pipeline(PipelineConfig {
-        seed: args.seed,
-        ..Default::default()
-    });
+    let mut config = FhcConfig::new()
+        .pipeline(PipelineConfig {
+            seed: args.seed,
+            ..Default::default()
+        })
+        .backend(args.backend.clone());
     config.pipeline.forest.n_estimators = args.trees;
+    // --threads pins both runtime parallelism layers; 0 keeps the defaults
+    // (all hardware threads with the layers' preferred chunking).
+    if args.threads > 0 {
+        config.parallel.threads = args.threads;
+        config.serving = ServingConfig {
+            threads: args.threads,
+            ..config.serving
+        };
+    }
     if args.grid {
         config.pipeline.grid = Some(ParamGrid {
             n_estimators: vec![args.trees / 2, args.trees],

@@ -1,0 +1,188 @@
+//! `fhc-shardd` — a shard worker daemon for distributed similarity serving.
+//!
+//! Loads a trained-classifier artifact, builds the prepared similarity
+//! index over its reference set, and answers score requests for a class
+//! partition over TCP or a Unix-domain socket. A serving frontend opens the
+//! same artifact with `BackendConfig::Remote { endpoints }` (or
+//! `--backend remote:...` on the command line) and fans every query out
+//! across the running daemons.
+//!
+//! ```text
+//! fhc-shardd --artifact model.fhc --listen 127.0.0.1:0
+//! fhc-shardd --artifact model.fhc --listen 127.0.0.1:9000 --shard 0/2
+//! fhc-shardd --artifact model.fhc --uds /run/fhc/shard0.sock --classes 0,3,7
+//! ```
+//!
+//! `--shard i/n` serves shard `i` of the same round-robin partition the
+//! in-process `ShardedBackend` uses; `--classes` names explicit class ids;
+//! with neither, the daemon serves every class and lets the client assign a
+//! partition over the wire. With `--listen` port `0` the chosen port is
+//! printed on the `listening on` line, so scripts (and the integration
+//! tests) can scrape it.
+
+use fhc::backend::round_robin_partition;
+use fhc::serving::TrainedClassifier;
+use fhc::shardnet::worker::{serve_tcp, serve_unix};
+use fhc::shardnet::ShardWorker;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    artifact: String,
+    listen: Option<String>,
+    uds: Option<String>,
+    classes: Option<Vec<usize>>,
+    shard: Option<(usize, usize)>,
+}
+
+const USAGE: &str = "usage: fhc-shardd --artifact PATH \
+     (--listen HOST:PORT | --uds PATH) \
+     [--classes A,B,... | --shard I/N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut artifact = None;
+    let mut listen = None;
+    let mut uds = None;
+    let mut classes = None;
+    let mut shard = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--artifact" => artifact = Some(iter.next().ok_or("--artifact needs a path")?),
+            "--listen" => listen = Some(iter.next().ok_or("--listen needs HOST:PORT")?),
+            "--uds" => uds = Some(iter.next().ok_or("--uds needs a socket path")?),
+            "--classes" => {
+                let list = iter
+                    .next()
+                    .ok_or("--classes needs a comma-separated list")?;
+                let parsed = list
+                    .split(',')
+                    .map(|c| c.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("invalid --classes {list:?}: {e}"))?;
+                classes = Some(parsed);
+            }
+            "--shard" => {
+                let spec = iter.next().ok_or("--shard needs I/N")?;
+                let (i, n) = spec
+                    .split_once('/')
+                    .ok_or_else(|| format!("invalid --shard {spec:?}: expected I/N"))?;
+                let i = i
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid shard index: {e}"))?;
+                let n = n
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid shard count: {e}"))?;
+                if n == 0 || i >= n {
+                    return Err(format!("shard index {i} out of range for {n} shards"));
+                }
+                shard = Some((i, n));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    let artifact = artifact.ok_or(USAGE)?;
+    if listen.is_some() == uds.is_some() {
+        return Err(format!(
+            "exactly one of --listen / --uds is required\n{USAGE}"
+        ));
+    }
+    if classes.is_some() && shard.is_some() {
+        return Err("--classes and --shard are mutually exclusive".to_string());
+    }
+    Ok(Args {
+        artifact,
+        listen,
+        uds,
+        classes,
+        shard,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let classifier = match TrainedClassifier::load(&args.artifact) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fhc-shardd: cannot load artifact {}: {e}", args.artifact);
+            return ExitCode::FAILURE;
+        }
+    };
+    let reference = classifier.reference_shared();
+    let n_classes = reference.n_classes();
+
+    let classes = match (&args.classes, args.shard) {
+        (Some(list), _) => list.clone(),
+        (None, Some((i, n))) => round_robin_partition(n_classes, n).swap_remove(i),
+        (None, None) => (0..n_classes).collect(),
+    };
+    let worker = match ShardWorker::new(reference.clone(), classes) {
+        Ok(worker) => Arc::new(worker),
+        Err(e) => {
+            eprintln!("fhc-shardd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    use std::io::Write as _;
+    let announce = |addr: &str| {
+        // Scraped by scripts and the integration tests: keep the shape
+        // "fhc-shardd listening on ADDR serving K/N classes ...".
+        println!(
+            "fhc-shardd listening on {addr} serving {}/{} classes (fingerprint {:#018x})",
+            worker.classes().len(),
+            n_classes,
+            reference.fingerprint(),
+        );
+        let _ = std::io::stdout().flush();
+    };
+
+    if let Some(addr) = &args.listen {
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fhc-shardd: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match listener.local_addr() {
+            Ok(local) => announce(&local.to_string()),
+            Err(_) => announce(addr),
+        }
+        serve_tcp(worker, listener);
+    } else if let Some(path) = &args.uds {
+        // A stale socket file from a previous run would fail the bind —
+        // but only ever unlink an actual socket, so a mistyped `--uds
+        // model.fhc` cannot delete a regular file. (A *live* socket is
+        // also unlinked; the OS cannot distinguish stale from live, and
+        // the operator explicitly asked for this path.)
+        {
+            use std::os::unix::fs::FileTypeExt;
+            if std::fs::symlink_metadata(path).is_ok_and(|m| m.file_type().is_socket()) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        let listener = match UnixListener::bind(path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fhc-shardd: cannot bind {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        announce(&format!("unix:{path}"));
+        serve_unix(worker, listener);
+    }
+    // The accept loops only return when the listener fails.
+    eprintln!("fhc-shardd: listener closed, exiting");
+    ExitCode::FAILURE
+}

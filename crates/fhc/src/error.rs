@@ -18,6 +18,9 @@ pub enum FhcError {
     Artifact(String),
     /// Reading or writing a trained-classifier artifact failed.
     Io(std::io::Error),
+    /// A distributed shard-serving operation failed (dead worker, protocol
+    /// violation, handshake mismatch). See [`crate::shardnet::NetError`].
+    Net(crate::shardnet::NetError),
 }
 
 impl fmt::Display for FhcError {
@@ -29,6 +32,7 @@ impl fmt::Display for FhcError {
             FhcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             FhcError::Artifact(msg) => write!(f, "invalid classifier artifact: {msg}"),
             FhcError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            FhcError::Net(e) => write!(f, "shard serving error: {e}"),
         }
     }
 }
@@ -39,8 +43,15 @@ impl std::error::Error for FhcError {
             FhcError::Ml(e) => Some(e),
             FhcError::Binary(e) => Some(e),
             FhcError::Io(e) => Some(e),
+            FhcError::Net(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::shardnet::NetError> for FhcError {
+    fn from(e: crate::shardnet::NetError) -> Self {
+        FhcError::Net(e)
     }
 }
 
@@ -81,6 +92,12 @@ mod tests {
         assert!(e.to_string().contains("bad magic"));
         let e = FhcError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FhcError::from(crate::shardnet::NetError::WorkerLost {
+            peer: "tcp:127.0.0.1:9000".into(),
+            detail: "connection reset by peer".into(),
+        });
+        assert!(e.to_string().contains("9000"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -36,6 +36,10 @@
 //!   executables (singly or in parallel batches) without retraining.
 //! * [`artifact`] — versioned on-disk persistence for trained classifiers,
 //!   so training cost is amortized across processes.
+//! * [`shardnet`] — distributed shard serving: a checksummed wire protocol,
+//!   the `fhc-shardd` worker daemon, and a
+//!   [`shardnet::RemoteBackend`] that fans similarity
+//!   scoring out across worker processes over persistent connections.
 //! * [`experiments`] — one driver per table/figure of the paper.
 //! * [`ablation`] and [`baselines`] — feature ablations and the
 //!   cryptographic-hash / k-NN / naive-Bayes comparison models (all driven
@@ -114,6 +118,7 @@ pub mod experiments;
 pub mod features;
 pub mod pipeline;
 pub mod serving;
+pub mod shardnet;
 pub mod similarity;
 pub mod split;
 pub mod threshold;
@@ -126,3 +131,4 @@ pub use error::FhcError;
 pub use features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 pub use pipeline::{FitOutcome, FuzzyHashClassifier, PipelineConfig, PipelineOutcome};
 pub use serving::{Prediction, ServingConfig, TrainedClassifier};
+pub use shardnet::{Endpoint, NetError, RemoteBackend, ShardWorker};

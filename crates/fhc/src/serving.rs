@@ -12,6 +12,7 @@
 
 use crate::backend::{AnyBackend, BackendConfig, SimilarityBackend};
 use crate::config::FhcConfig;
+use crate::error::FhcError;
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use crate::pipeline::{aggregate_importance, FeatureImportance};
 use crate::similarity::ReferenceSet;
@@ -165,6 +166,14 @@ impl TrainedClassifier {
         &self.reference
     }
 
+    /// The reference set as a shared handle (the form
+    /// [`ShardWorker`](crate::shardnet::ShardWorker) and
+    /// [`RemoteBackend`](crate::shardnet::RemoteBackend) consume — a shard
+    /// daemon serves the reference set of the artifact it loaded).
+    pub fn reference_shared(&self) -> Arc<ReferenceSet> {
+        Arc::clone(&self.reference)
+    }
+
     /// The serving parallelism configuration.
     pub fn serving_config(&self) -> ServingConfig {
         self.serving
@@ -193,9 +202,21 @@ impl TrainedClassifier {
 
     /// Swap the similarity backend in place. Backend choice is a runtime
     /// concern: every backend produces byte-identical scores, so this never
-    /// changes predictions — only how (and how parallel) they are computed.
+    /// changes predictions — only how (and how parallel, and on which
+    /// machines) they are computed.
+    ///
+    /// Panics if a remote topology cannot be connected; use
+    /// [`TrainedClassifier::try_set_backend`] to handle that case.
     pub fn set_backend(&mut self, config: BackendConfig) {
         self.backend = config.build(self.reference.clone());
+    }
+
+    /// Fallible twin of [`TrainedClassifier::set_backend`]: connecting a
+    /// [`BackendConfig::Remote`] topology dials real sockets and can fail.
+    /// On error the current backend is left untouched.
+    pub fn try_set_backend(&mut self, config: BackendConfig) -> Result<(), FhcError> {
+        self.backend = config.try_build(self.reference.clone())?;
+        Ok(())
     }
 
     /// Builder-style variant of [`TrainedClassifier::set_backend`].
@@ -207,9 +228,21 @@ impl TrainedClassifier {
     /// Apply the runtime layers of a unified [`FhcConfig`] (serving
     /// parallelism and backend choice). The pipeline layer describes
     /// training and is ignored here.
+    ///
+    /// Panics if a remote backend cannot be connected; use
+    /// [`TrainedClassifier::try_apply_config`] to handle that case.
     pub fn apply_config(&mut self, config: &FhcConfig) {
         self.serving = config.serving;
-        self.set_backend(config.backend);
+        self.set_backend(config.backend.clone());
+    }
+
+    /// Fallible twin of [`TrainedClassifier::apply_config`]. On error the
+    /// classifier is left unchanged.
+    pub fn try_apply_config(&mut self, config: &FhcConfig) -> Result<(), FhcError> {
+        let backend = config.backend.try_build(self.reference.clone())?;
+        self.serving = config.serving;
+        self.backend = backend;
+        Ok(())
     }
 
     /// Builder-style variant of [`TrainedClassifier::apply_config`].
@@ -240,7 +273,11 @@ impl TrainedClassifier {
     /// preparation cost up front). The similarity row is computed by the
     /// configured [`SimilarityBackend`].
     pub fn classify_prepared(&self, prepared: &PreparedSampleFeatures) -> Prediction {
-        let row = self.backend.feature_vector_prepared(prepared);
+        self.predict_from_row(self.backend.feature_vector_prepared(prepared))
+    }
+
+    /// Forest vote + threshold over a computed similarity row.
+    fn predict_from_row(&self, row: Vec<f64>) -> Prediction {
         let proba = Model::predict_proba(&self.forest, &row);
         let eval_label = apply_threshold(&proba, self.confidence_threshold);
         let confidence = proba.iter().cloned().fold(0.0f64, f64::max);
@@ -279,6 +316,76 @@ impl TrainedClassifier {
         par_map_indexed(features.len(), self.serving.parallel(), |i| {
             self.classify_features(&features[i])
         })
+    }
+
+    /// Fallible twin of [`TrainedClassifier::classify_prepared`], for
+    /// backends that can fail at serving time (remote shard workers). A
+    /// lost worker surfaces as [`FhcError::Net`] — never as a wrong or
+    /// partial prediction. In-process backends cannot fail here.
+    pub fn try_classify_prepared(
+        &self,
+        prepared: &PreparedSampleFeatures,
+    ) -> Result<Prediction, FhcError> {
+        let row = self.backend.try_feature_vector_prepared(prepared)?;
+        Ok(self.predict_from_row(row))
+    }
+
+    /// Fallible twin of [`TrainedClassifier::classify_features`].
+    pub fn try_classify_features(&self, features: &SampleFeatures) -> Result<Prediction, FhcError> {
+        self.try_classify_prepared(&PreparedSampleFeatures::prepare(features))
+    }
+
+    /// Fallible twin of [`TrainedClassifier::classify`].
+    pub fn try_classify(&self, bytes: &[u8]) -> Result<Prediction, FhcError> {
+        self.try_classify_features(&SampleFeatures::extract(bytes))
+    }
+
+    /// Fallible twin of [`TrainedClassifier::classify_batch`]: the whole
+    /// batch either classifies (order preserved) or the first failure is
+    /// returned. Per-sample work still runs on the serving worker threads.
+    pub fn try_classify_batch(
+        &self,
+        samples: &[(String, Vec<u8>)],
+    ) -> Result<Vec<(String, Prediction)>, FhcError> {
+        // Short-circuit on the first failure: once any sample errors (e.g.
+        // a shard worker died or timed out), the remaining samples are
+        // skipped instead of each paying the same failing fan-out — on a
+        // large batch with a wedged worker that is the difference between
+        // one I/O timeout and thousands.
+        let aborted = std::sync::atomic::AtomicBool::new(false);
+        let results = par_map_indexed(samples.len(), self.serving.parallel(), |i| {
+            if aborted.load(std::sync::atomic::Ordering::Relaxed) {
+                return None;
+            }
+            let (name, bytes) = &samples[i];
+            let result = self.try_classify(bytes);
+            if result.is_err() {
+                aborted.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            Some(result.map(|prediction| (name.clone(), prediction)))
+        });
+        // A `None` (skipped) entry can only exist alongside the `Some(Err)`
+        // that set the abort flag, so surfacing the first error covers it.
+        let mut predictions = Vec::with_capacity(samples.len());
+        let mut first_error = None;
+        for result in results {
+            match result {
+                Some(Ok(prediction)) => predictions.push(prediction),
+                Some(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                None => {}
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        assert_eq!(
+            predictions.len(),
+            samples.len(),
+            "entries are only skipped after an error entry exists"
+        );
+        Ok(predictions)
     }
 }
 
@@ -415,7 +522,7 @@ mod tests {
             BackendConfig::Sharded { shards: 3 },
             BackendConfig::Sharded { shards: 0 },
         ] {
-            let swapped = trained.clone().with_backend(config);
+            let swapped = trained.clone().with_backend(config.clone());
             assert_eq!(swapped.backend_config(), config);
             assert_eq!(
                 swapped.classify_batch(&batch),

@@ -1,0 +1,281 @@
+//! Distributed shard serving: reference-set shards behind a transport.
+//!
+//! [`ShardedBackend`](crate::backend::ShardedBackend) proved the
+//! partition/max-merge contract in process: reference *classes* are
+//! partitioned across shards, each shard scores its `(view, class)` cells,
+//! and the partial rows max-merge into the full similarity row. This module
+//! moves the shards behind a socket so the same contract scales across
+//! processes and machines:
+//!
+//! * [`wire`] — the versioned, checksummed, length-prefixed protocol
+//!   (built on [`hpcutil::frame`]): a [`Hello`](wire::Hello) handshake
+//!   carrying the protocol version, the reference-set fingerprint and the
+//!   worker's class partition; [`ScoreRequest`](wire::ScoreRequest) frames
+//!   carrying prepared query hashes; [`ScoreResponse`](wire::ScoreResponse)
+//!   frames carrying partial max-score rows.
+//! * [`worker`] — [`ShardWorker`], the serving side:
+//!   it owns a reference set (typically loaded from a classifier artifact),
+//!   scores its class partition through the same block-size-bucketed index
+//!   as [`IndexedBackend`](crate::backend::IndexedBackend), and answers
+//!   score requests over any `Read + Write` stream. The `fhc-shardd` binary
+//!   wraps it in a TCP / Unix-socket accept loop.
+//! * [`remote`] — [`RemoteBackend`], the client
+//!   side: a [`SimilarityBackend`](crate::backend::SimilarityBackend) whose
+//!   `max_scores_into` fans out to N workers over persistent connections
+//!   and max-merges their partial rows. Byte-identical to every in-process
+//!   backend by the existing equivalence suites.
+//!
+//! Failure is a first-class outcome: a worker that dies mid-batch surfaces
+//! as a typed [`NetError`] through the `try_*` serving APIs — never as a
+//! wrong or partial similarity row.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+pub mod remote;
+pub mod wire;
+pub mod worker;
+
+pub use remote::RemoteBackend;
+pub use worker::ShardWorker;
+
+/// Where a shard worker listens.
+///
+/// Parses from (and displays back to) `tcp:HOST:PORT` or `unix:PATH`; a
+/// bare `HOST:PORT` is accepted as TCP for convenience.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A TCP socket address (`host:port`).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+/// Client-side I/O deadline per read/write on a worker connection.
+///
+/// A client only reads when a response is owed (the connection is idle
+/// between queries *from the client's side of the protocol*), so a stalled
+/// worker — wedged, SIGSTOPped, partitioned without an RST — surfaces as a
+/// timed-out read mapped to [`NetError::WorkerLost`] instead of blocking
+/// the query (and the connection mutex behind it) forever. Workers keep
+/// *their* reads unbounded: an idle client parked between queries is
+/// normal there.
+pub const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+impl Endpoint {
+    /// Open a connection to this endpoint, with [`IO_TIMEOUT`] applied to
+    /// every read and write (and to the TCP connect itself).
+    pub fn connect(&self) -> std::io::Result<Box<dyn Transport>> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        format!("{addr} resolves to no address"),
+                    )
+                })?;
+                let stream = TcpStream::connect_timeout(&resolved, IO_TIMEOUT)?;
+                // Score requests are small and latency-bound; never batch
+                // them behind Nagle.
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(IO_TIMEOUT))?;
+                stream.set_write_timeout(Some(IO_TIMEOUT))?;
+                Ok(Box::new(stream))
+            }
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_read_timeout(Some(IO_TIMEOUT))?;
+                stream.set_write_timeout(Some(IO_TIMEOUT))?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".into());
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        let addr = s.strip_prefix("tcp:").unwrap_or(s);
+        if addr.rsplit_once(':').is_none_or(|(host, port)| {
+            host.is_empty() || port.is_empty() || port.parse::<u16>().is_err()
+        }) {
+            return Err(format!(
+                "invalid endpoint {s:?}: expected tcp:HOST:PORT, HOST:PORT, or unix:PATH"
+            ));
+        }
+        Ok(Endpoint::Tcp(addr.to_string()))
+    }
+}
+
+/// A bidirectional byte stream a shard conversation runs over.
+pub trait Transport: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Transport for T {}
+
+/// Errors raised by the shard-serving subsystem.
+///
+/// Every variant names the peer it concerns, so a dead worker in an N-way
+/// fan-out is diagnosable from the error alone.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed while talking to `peer`.
+    Io {
+        /// The peer the conversation was with.
+        peer: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The stream bytes were not a valid frame (truncation, checksum
+    /// mismatch, oversized length prefix).
+    Frame {
+        /// The peer the conversation was with.
+        peer: String,
+        /// The underlying framing error.
+        source: hpcutil::FrameError,
+    },
+    /// A structurally valid frame carried an invalid or unexpected payload.
+    Protocol {
+        /// The peer the conversation was with.
+        peer: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The handshake failed: protocol version or reference-set fingerprint
+    /// did not match.
+    Handshake {
+        /// The peer the conversation was with.
+        peer: String,
+        /// What did not match.
+        detail: String,
+    },
+    /// The workers' class partitions do not cover every class exactly once.
+    Partition(
+        /// What is wrong with the ensemble of advertised partitions.
+        String,
+    ),
+    /// A worker connection died mid-conversation (degraded mode): the query
+    /// cannot be answered without inventing a wrong or partial row.
+    WorkerLost {
+        /// The worker that was lost.
+        peer: String,
+        /// What the transport reported.
+        detail: String,
+    },
+    /// The remote side reported an error of its own.
+    Remote {
+        /// The peer that sent the error frame.
+        peer: String,
+        /// The error message it sent.
+        message: String,
+    },
+}
+
+impl NetError {
+    /// Whether this error means a worker is gone (as opposed to a local
+    /// configuration or protocol problem).
+    pub fn is_worker_lost(&self) -> bool {
+        matches!(self, NetError::WorkerLost { .. })
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { peer, source } => write!(f, "i/o error with {peer}: {source}"),
+            NetError::Frame { peer, source } => write!(f, "framing error with {peer}: {source}"),
+            NetError::Protocol { peer, detail } => {
+                write!(f, "protocol violation from {peer}: {detail}")
+            }
+            NetError::Handshake { peer, detail } => {
+                write!(f, "handshake with {peer} failed: {detail}")
+            }
+            NetError::Partition(detail) => write!(f, "invalid shard partition: {detail}"),
+            NetError::WorkerLost { peer, detail } => {
+                write!(f, "shard worker {peer} lost: {detail}")
+            }
+            NetError::Remote { peer, message } => {
+                write!(f, "remote error from {peer}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            NetError::Frame { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parses_and_roundtrips() {
+        let tcp: Endpoint = "127.0.0.1:9000".parse().unwrap();
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:9000".into()));
+        let tagged: Endpoint = "tcp:10.0.0.1:80".parse().unwrap();
+        assert_eq!(tagged, Endpoint::Tcp("10.0.0.1:80".into()));
+        let unix: Endpoint = "unix:/tmp/fhc.sock".parse().unwrap();
+        assert_eq!(unix, Endpoint::Unix(PathBuf::from("/tmp/fhc.sock")));
+
+        for endpoint in [tcp, tagged, unix] {
+            let display = endpoint.to_string();
+            let reparsed: Endpoint = display.parse().expect("display form reparses");
+            assert_eq!(reparsed, endpoint, "{display} must round-trip");
+        }
+    }
+
+    #[test]
+    fn bad_endpoints_are_rejected() {
+        for bad in ["", "unix:", "localhost", "host:", ":80", "host:notaport"] {
+            assert!(bad.parse::<Endpoint>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn net_error_display_names_the_peer() {
+        let e = NetError::WorkerLost {
+            peer: "tcp:10.1.2.3:9000".into(),
+            detail: "connection reset".into(),
+        };
+        assert!(e.is_worker_lost());
+        assert!(e.to_string().contains("10.1.2.3"));
+        let e = NetError::Handshake {
+            peer: "w0".into(),
+            detail: "fingerprint mismatch".into(),
+        };
+        assert!(!e.is_worker_lost());
+        assert!(e.to_string().contains("fingerprint"));
+        let io = NetError::Io {
+            peer: "w1".into(),
+            source: std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"),
+        };
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

@@ -1,0 +1,390 @@
+//! The client side of the shard protocol: a [`SimilarityBackend`] that fans
+//! out over the network.
+//!
+//! [`RemoteBackend`] holds one persistent connection per shard worker. A
+//! query is written to every worker as a [`ScoreRequest`](wire::ScoreRequest)
+//! and the partial rows are max-merged — the exact contract of
+//! [`ShardedBackend`](crate::backend::ShardedBackend), with the scoped
+//! threads replaced by sockets. Outside a batch worker the fan-out runs on
+//! the persistent [`hpcutil::WorkerPool`] so every socket is
+//! written (and every worker computes) concurrently; inside a batch worker
+//! the connections are driven serially, because the batch is already the
+//! parallel axis.
+//!
+//! Every connection is validated at handshake time: protocol version,
+//! reference-set fingerprint, and column geometry must match, and the
+//! ensemble of worker partitions must cover every class exactly once. A
+//! worker that dies mid-batch yields a typed [`NetError`] through the
+//! `try_*` APIs — never a wrong or partial row.
+
+use crate::backend::{round_robin_partition, SimilarityBackend};
+use crate::error::FhcError;
+use crate::features::PreparedSampleFeatures;
+use crate::shardnet::wire::{self, Frame, Hello};
+use crate::shardnet::{Endpoint, NetError, Transport};
+use crate::similarity::ReferenceSet;
+use hpcutil::WorkerPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One connected shard worker.
+struct RemoteWorker {
+    endpoint: Endpoint,
+    /// The classes this worker scores (sorted), per its final handshake.
+    classes: Vec<usize>,
+    conn: Mutex<Box<dyn Transport>>,
+}
+
+impl std::fmt::Debug for RemoteWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteWorker")
+            .field("endpoint", &self.endpoint)
+            .field("classes", &self.classes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A [`SimilarityBackend`] that fans `max_scores_into` out to shard workers
+/// over persistent connections and max-merges their partial rows.
+///
+/// Built with [`RemoteBackend::connect`] (or through
+/// [`BackendConfig::Remote`](crate::backend::BackendConfig::Remote)).
+/// Cloning shares the connections and the fan-out pool. Remote scoring can
+/// fail at any time (workers are separate processes); use the `try_*`
+/// serving APIs — the infallible [`SimilarityBackend::max_scores_into`]
+/// panics on transport errors.
+#[derive(Debug, Clone)]
+pub struct RemoteBackend {
+    reference: Arc<ReferenceSet>,
+    workers: Vec<Arc<RemoteWorker>>,
+    /// Fan-out pool, present when there is more than one worker.
+    pool: Option<Arc<WorkerPool>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl RemoteBackend {
+    /// Connect to shard workers at `endpoints` and validate that together
+    /// they serve exactly `reference`.
+    ///
+    /// Each worker's handshake must match the local protocol version,
+    /// reference fingerprint, and column geometry. If the advertised class
+    /// partitions already cover every class exactly once they are used as
+    /// is; if instead every worker advertises *all* classes (the default
+    /// state of an unpartitioned `fhc-shardd`), the classes are dealt
+    /// round-robin across the workers — the same partition rule as
+    /// [`ShardedBackend`](crate::backend::ShardedBackend) — and assigned
+    /// over the wire. Anything else is a [`NetError::Partition`].
+    pub fn connect(reference: Arc<ReferenceSet>, endpoints: &[Endpoint]) -> Result<Self, NetError> {
+        if endpoints.is_empty() {
+            return Err(NetError::Partition(
+                "a remote backend needs at least one worker endpoint".into(),
+            ));
+        }
+        // One full reference walk, reused for every worker's handshake.
+        let ours = reference.fingerprint();
+        let mut workers = Vec::with_capacity(endpoints.len());
+        for endpoint in endpoints {
+            let peer = endpoint.to_string();
+            let mut conn = endpoint.connect().map_err(|source| NetError::Io {
+                peer: peer.clone(),
+                source,
+            })?;
+            let hello = read_hello(&mut conn, &peer)?;
+            validate_hello(&reference, ours, &peer, &hello)?;
+            workers.push((endpoint.clone(), conn, hello));
+        }
+
+        let n_classes = reference.n_classes();
+        if !is_exact_cover(
+            n_classes,
+            workers.iter().map(|(_, _, h)| h.classes.as_slice()),
+        ) {
+            let all: Vec<usize> = (0..n_classes).collect();
+            if workers.iter().all(|(_, _, h)| h.classes == all) {
+                // Unpartitioned workers: deal the classes ourselves.
+                let partition = round_robin_partition(n_classes, workers.len());
+                for ((endpoint, conn, hello), classes) in workers.iter_mut().zip(partition) {
+                    let peer = endpoint.to_string();
+                    *hello = assign_partition(conn, &peer, classes)?;
+                }
+            } else {
+                return Err(NetError::Partition(format!(
+                    "worker partitions must cover every class exactly once \
+                     (got {:?} over {n_classes} classes); either start each \
+                     fhc-shardd with a disjoint --classes/--shard partition \
+                     or start them all unpartitioned",
+                    workers
+                        .iter()
+                        .map(|(_, _, h)| h.classes.clone())
+                        .collect::<Vec<_>>()
+                )));
+            }
+        }
+
+        let n_workers = workers.len();
+        Ok(Self {
+            reference,
+            workers: workers
+                .into_iter()
+                .map(|(endpoint, conn, hello)| {
+                    Arc::new(RemoteWorker {
+                        endpoint,
+                        classes: hello.classes,
+                        conn: Mutex::new(conn),
+                    })
+                })
+                .collect(),
+            pool: (n_workers > 1).then(|| Arc::new(WorkerPool::new(n_workers))),
+            next_id: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Number of connected workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The classes one worker scores.
+    pub fn worker_classes(&self, worker: usize) -> &[usize] {
+        &self.workers[worker].classes
+    }
+
+    /// The endpoints this backend is connected to, in worker order.
+    pub fn endpoints(&self) -> Vec<Endpoint> {
+        self.workers.iter().map(|w| w.endpoint.clone()).collect()
+    }
+
+    /// Send one pre-encoded score request to one worker and await its
+    /// partial row. The request bytes are encoded once per query by
+    /// [`RemoteBackend::fan_out`] and shared across workers.
+    fn request(
+        worker: &RemoteWorker,
+        id: u64,
+        request_bytes: &[u8],
+    ) -> Result<Vec<(u32, f64)>, NetError> {
+        let peer = worker.endpoint.to_string();
+        let mut conn = worker.conn.lock().map_err(|_| NetError::WorkerLost {
+            peer: peer.clone(),
+            detail: "connection poisoned by an earlier panic".into(),
+        })?;
+        wire::write_raw_frame(&mut **conn, request_bytes, &peer).map_err(lost(&peer))?;
+        match Frame::read_from(&mut **conn, &peer).map_err(lost(&peer))? {
+            Frame::ScoreResponse(response) => {
+                if response.id != id {
+                    return Err(NetError::Protocol {
+                        peer,
+                        detail: format!(
+                            "response id {} does not match request id {id}",
+                            response.id
+                        ),
+                    });
+                }
+                Ok(response.cells)
+            }
+            Frame::Error(message) => Err(NetError::Remote { peer, message }),
+            unexpected => Err(NetError::Protocol {
+                peer,
+                detail: format!("expected a score response, got {unexpected:?}"),
+            }),
+        }
+    }
+
+    /// Fan one query out to every worker and max-merge the partial rows
+    /// into `out`. Any worker failure aborts the row with a typed error.
+    fn fan_out(&self, query: &PreparedSampleFeatures, out: &mut [f64]) -> Result<(), NetError> {
+        assert_eq!(out.len(), self.reference.n_columns(), "row width mismatch");
+        out.fill(0.0);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // One encoding pass per query, shared by every worker — the frame
+        // is identical for all of them.
+        let request_bytes = Arc::new(wire::score_request_bytes(id, query));
+        let partials: Vec<Result<Vec<(u32, f64)>, NetError>> = match &self.pool {
+            // Inside a batch worker the batch is already the parallel axis;
+            // drive the connections serially instead of contending for the
+            // fan-out pool.
+            Some(pool) if !hpcutil::in_parallel_worker() => {
+                let workers = self.workers.clone();
+                let request_bytes = Arc::clone(&request_bytes);
+                pool.run_indexed(workers.len(), move |i| {
+                    RemoteBackend::request(&workers[i], id, &request_bytes)
+                })
+            }
+            _ => self
+                .workers
+                .iter()
+                .map(|worker| RemoteBackend::request(worker, id, &request_bytes))
+                .collect(),
+        };
+        let n_classes = self.reference.n_classes();
+        for (worker, partial) in self.workers.iter().zip(partials) {
+            for (column, score) in partial? {
+                let column = column as usize;
+                // A worker may only write the columns of classes it owns —
+                // a buggy or malicious worker cannot corrupt other shards'
+                // scores.
+                if column >= out.len()
+                    || worker.classes.binary_search(&(column % n_classes)).is_err()
+                {
+                    return Err(NetError::Protocol {
+                        peer: worker.endpoint.to_string(),
+                        detail: format!("response cell for column {column} outside its partition"),
+                    });
+                }
+                out[column] = out[column].max(score);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand: map a transport-level error on `peer` to [`NetError::WorkerLost`].
+fn lost(peer: &str) -> impl Fn(NetError) -> NetError + '_ {
+    move |e| match e {
+        NetError::Io { source, .. } => NetError::WorkerLost {
+            peer: peer.to_string(),
+            detail: source.to_string(),
+        },
+        NetError::Frame { source, .. } => NetError::WorkerLost {
+            peer: peer.to_string(),
+            detail: source.to_string(),
+        },
+        other => other,
+    }
+}
+
+fn read_hello(conn: &mut Box<dyn Transport>, peer: &str) -> Result<Hello, NetError> {
+    match Frame::read_from(&mut **conn, peer)? {
+        Frame::Hello(hello) => Ok(hello),
+        Frame::Error(message) => Err(NetError::Remote {
+            peer: peer.to_string(),
+            message,
+        }),
+        unexpected => Err(NetError::Protocol {
+            peer: peer.to_string(),
+            detail: format!("expected a handshake, got {unexpected:?}"),
+        }),
+    }
+}
+
+fn validate_hello(
+    reference: &ReferenceSet,
+    ours: u64,
+    peer: &str,
+    hello: &Hello,
+) -> Result<(), NetError> {
+    if hello.protocol != wire::PROTOCOL_VERSION {
+        return Err(NetError::Handshake {
+            peer: peer.to_string(),
+            detail: format!(
+                "protocol version mismatch: we speak {}, worker speaks {}",
+                wire::PROTOCOL_VERSION,
+                hello.protocol
+            ),
+        });
+    }
+    if hello.fingerprint != ours {
+        return Err(NetError::Handshake {
+            peer: peer.to_string(),
+            detail: format!(
+                "reference-set fingerprint mismatch: ours {ours:#018x}, \
+                 worker's {:#018x} — it serves a different artifact",
+                hello.fingerprint
+            ),
+        });
+    }
+    if hello.n_classes != reference.n_classes() || hello.n_columns != reference.n_columns() {
+        return Err(NetError::Handshake {
+            peer: peer.to_string(),
+            detail: format!(
+                "geometry mismatch: ours {}x{}, worker's {}x{}",
+                reference.n_classes(),
+                reference.n_columns(),
+                hello.n_classes,
+                hello.n_columns
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Whether the class lists cover `0..n_classes` exactly once each.
+fn is_exact_cover<'a>(n_classes: usize, lists: impl Iterator<Item = &'a [usize]>) -> bool {
+    let mut seen = vec![false; n_classes];
+    for list in lists {
+        for &class in list {
+            if class >= n_classes || std::mem::replace(&mut seen[class], true) {
+                return false;
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// Send an `Assign` and return the worker's refreshed handshake.
+fn assign_partition(
+    conn: &mut Box<dyn Transport>,
+    peer: &str,
+    classes: Vec<usize>,
+) -> Result<Hello, NetError> {
+    Frame::Assign(wire::Assign {
+        classes: classes.clone(),
+    })
+    .write_to(&mut **conn, peer)?;
+    let hello = read_hello(conn, peer)?;
+    if hello.classes != classes {
+        return Err(NetError::Protocol {
+            peer: peer.to_string(),
+            detail: format!(
+                "worker confirmed partition {:?} instead of the assigned {classes:?}",
+                hello.classes
+            ),
+        });
+    }
+    Ok(hello)
+}
+
+impl SimilarityBackend for RemoteBackend {
+    fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    /// Infallible scoring is impossible over a network; this panics on any
+    /// transport failure. Serve remote topologies through the `try_*` APIs
+    /// ([`SimilarityBackend::try_max_scores_into`],
+    /// [`TrainedClassifier::try_classify`](crate::serving::TrainedClassifier::try_classify)).
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        self.fan_out(query, out).unwrap_or_else(|e| {
+            panic!("remote similarity backend failed (use the try_* serving APIs): {e}")
+        });
+    }
+
+    fn try_max_scores_into(
+        &self,
+        query: &PreparedSampleFeatures,
+        out: &mut [f64],
+    ) -> Result<(), FhcError> {
+        self.fan_out(query, out).map_err(FhcError::Net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_cover_detection() {
+        let a: &[usize] = &[0, 2];
+        let b: &[usize] = &[1];
+        assert!(is_exact_cover(3, [a, b].into_iter()));
+        // Missing class.
+        assert!(!is_exact_cover(3, [a].into_iter()));
+        // Duplicate class.
+        let c: &[usize] = &[2, 1];
+        assert!(!is_exact_cover(3, [a, c].into_iter()));
+        // Out of range.
+        let d: &[usize] = &[3];
+        assert!(!is_exact_cover(3, [d].into_iter()));
+        // Zero classes: trivially covered by nothing.
+        assert!(is_exact_cover(0, std::iter::empty()));
+    }
+}

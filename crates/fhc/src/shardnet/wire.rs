@@ -1,0 +1,488 @@
+//! The shard-serving wire protocol.
+//!
+//! Frames ride on [`hpcutil::frame`] (one byte of frame tag, a `u32` length
+//! prefix, the payload, and an FNV-1a checksum); payloads are encoded with
+//! the same [`hpcutil::codec`] primitives as classifier artifacts. The
+//! protocol is versioned through the [`Hello`] handshake, not per frame: a
+//! worker announces [`PROTOCOL_VERSION`], the reference-set fingerprint it
+//! serves, and its class partition, and the client refuses to proceed on
+//! any mismatch.
+//!
+//! ```text
+//! worker                     client
+//!   | --- Hello ---------------> |   on connect (version, fingerprint,
+//!   |                            |   class partition)
+//!   | <-- Assign --------------- |   optional: client re-partitions
+//!   | --- Hello ---------------> |   confirms the new partition
+//!   | <-- ScoreRequest --------- |   prepared query hashes, request id
+//!   | --- ScoreResponse -------> |   partial max-score row (col, score)
+//!   |            ...             |
+//!   | <-- Shutdown ------------- |   clean goodbye (or just EOF)
+//! ```
+//!
+//! Queries travel as *prepared* hashes in the artifact v3 encoding
+//! (delta-encoded window keys), so a worker spends zero time re-deriving
+//! comparison state: what arrives is what it scores with.
+
+use crate::artifact::{decode_prepared_features, encode_prepared_features, FORMAT_VERSION};
+use crate::features::PreparedSampleFeatures;
+use crate::shardnet::NetError;
+use hpcutil::codec::CodecError;
+use hpcutil::{ByteReader, ByteWriter, FrameError};
+use std::io::{Read, Write};
+
+/// Version of the shard-serving protocol spoken by this build. A worker and
+/// a client must agree exactly; there is no cross-version negotiation.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+// Score requests travel in the artifact's prepared-feature encoding, so a
+// bump of the artifact format that changes `encode_prepared_features` is a
+// *wire* change too: two builds could then pass the protocol-version and
+// fingerprint handshake yet fail on every query. This assertion pins the
+// pairing — whoever bumps FORMAT_VERSION must revisit PROTOCOL_VERSION (or
+// prove the prepared encoding unchanged) and update both numbers here.
+const _: () = assert!(
+    FORMAT_VERSION == 3 && PROTOCOL_VERSION == 1,
+    "artifact FORMAT_VERSION changed: the ScoreRequest prepared-feature \
+     encoding may have changed with it; bump wire::PROTOCOL_VERSION \
+     accordingly and update this assertion"
+);
+
+/// Upper bound on a frame payload this implementation will read. Score
+/// requests and responses are a few KiB; anything near this limit is a
+/// corrupt length prefix, not a real message.
+pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+const TAG_HELLO: u8 = 1;
+const TAG_ASSIGN: u8 = 2;
+const TAG_SCORE_REQUEST: u8 = 3;
+const TAG_SCORE_RESPONSE: u8 = 4;
+const TAG_ERROR: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+
+/// The worker's handshake: everything a client needs to decide whether this
+/// worker can score for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The worker's [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Fingerprint of the reference set the worker serves
+    /// ([`ReferenceSet::fingerprint`](crate::similarity::ReferenceSet::fingerprint)).
+    pub fingerprint: u64,
+    /// Total number of known classes in that reference set.
+    pub n_classes: usize,
+    /// Total number of similarity columns (`n_classes * active kinds`).
+    pub n_columns: usize,
+    /// The known-class ids this worker scores (strictly increasing —
+    /// enforced on decode, so consumers may binary-search it).
+    pub classes: Vec<usize>,
+}
+
+/// A client-requested re-partition: "score exactly these classes".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// The known-class ids the worker should score from now on.
+    pub classes: Vec<usize>,
+}
+
+/// One query to score: the prepared hashes of a sample, tagged with a
+/// request id the response must echo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRequest {
+    /// Client-chosen id correlating the response with the request.
+    pub id: u64,
+    /// The prepared query (all views, comparison state included).
+    pub query: PreparedSampleFeatures,
+}
+
+/// A partial max-score row: one `(column, score)` cell per `(view, class)`
+/// the worker owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    /// The id of the [`ScoreRequest`] this answers.
+    pub id: u64,
+    /// `(column index, max similarity)` cells for the worker's classes.
+    pub cells: Vec<(u32, f64)>,
+}
+
+/// Every message of the shard-serving protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → client handshake.
+    Hello(Hello),
+    /// Client → worker re-partition request.
+    Assign(Assign),
+    /// Client → worker score request (boxed: the prepared query dwarfs
+    /// every other variant, and frames are moved around by value).
+    ScoreRequest(Box<ScoreRequest>),
+    /// Worker → client partial row.
+    ScoreResponse(ScoreResponse),
+    /// Either side: a fatal error message, connection closes after.
+    Error(String),
+    /// Client → worker: clean goodbye.
+    Shutdown,
+}
+
+fn encode_class_list(w: &mut ByteWriter, classes: &[usize]) {
+    w.put_usize(classes.len());
+    for &class in classes {
+        w.put_usize(class);
+    }
+}
+
+/// Decode a class-id list: strictly increasing (hence duplicate-free) ids
+/// below `n_classes`. Every entry costs 8 bytes, so the count is validated
+/// against the remaining payload *before* any allocation — a hostile
+/// length prefix (or a hostile `n_classes`) cannot force a huge
+/// reservation.
+fn decode_class_list(r: &mut ByteReader<'_>, n_classes: usize) -> Result<Vec<usize>, CodecError> {
+    let len = r.get_usize()?;
+    if len > n_classes {
+        return Err(CodecError::new(format!(
+            "class list of {len} entries exceeds the {n_classes} known classes"
+        )));
+    }
+    if r.remaining() < len.saturating_mul(8) {
+        return Err(CodecError::new(format!(
+            "class list of {len} entries needs {} bytes, only {} remain",
+            len.saturating_mul(8),
+            r.remaining()
+        )));
+    }
+    let mut classes: Vec<usize> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let class = r.get_usize()?;
+        if class >= n_classes {
+            return Err(CodecError::new(format!(
+                "class id {class} out of range (reference set has {n_classes} classes)"
+            )));
+        }
+        if classes.last().is_some_and(|&prev| prev >= class) {
+            return Err(CodecError::new(format!(
+                "class ids must be strictly increasing (got {class} after {})",
+                classes.last().expect("non-empty")
+            )));
+        }
+        classes.push(class);
+    }
+    Ok(classes)
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => TAG_HELLO,
+            Frame::Assign(_) => TAG_ASSIGN,
+            Frame::ScoreRequest(_) => TAG_SCORE_REQUEST,
+            Frame::ScoreResponse(_) => TAG_SCORE_RESPONSE,
+            Frame::Error(_) => TAG_ERROR,
+            Frame::Shutdown => TAG_SHUTDOWN,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Frame::Hello(hello) => {
+                w.put_u32(hello.protocol);
+                w.put_u64(hello.fingerprint);
+                w.put_usize(hello.n_classes);
+                w.put_usize(hello.n_columns);
+                encode_class_list(&mut w, &hello.classes);
+            }
+            Frame::Assign(assign) => {
+                // An Assign cannot validate ids against n_classes on its own,
+                // so it carries the class count it was computed against.
+                w.put_usize(assign.classes.iter().map(|&c| c + 1).max().unwrap_or(0));
+                encode_class_list(&mut w, &assign.classes);
+            }
+            Frame::ScoreRequest(request) => {
+                w.put_u64(request.id);
+                encode_prepared_features(&mut w, &request.query);
+            }
+            Frame::ScoreResponse(response) => {
+                w.put_u64(response.id);
+                w.put_u32(
+                    u32::try_from(response.cells.len()).expect("row wider than u32::MAX cells"),
+                );
+                for &(column, score) in &response.cells {
+                    w.put_u32(column);
+                    w.put_f64(score);
+                }
+            }
+            Frame::Error(message) => w.put_str(message),
+            Frame::Shutdown => {}
+        }
+        w.into_bytes()
+    }
+
+    fn decode(tag: u8, payload: &[u8]) -> Result<Frame, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let frame = match tag {
+            TAG_HELLO => {
+                let protocol = r.get_u32()?;
+                let fingerprint = r.get_u64()?;
+                let n_classes = r.get_usize()?;
+                let n_columns = r.get_usize()?;
+                let classes = decode_class_list(&mut r, n_classes)?;
+                Frame::Hello(Hello {
+                    protocol,
+                    fingerprint,
+                    n_classes,
+                    n_columns,
+                    classes,
+                })
+            }
+            TAG_ASSIGN => {
+                let bound = r.get_usize()?;
+                let classes = decode_class_list(&mut r, bound)?;
+                Frame::Assign(Assign { classes })
+            }
+            TAG_SCORE_REQUEST => {
+                let id = r.get_u64()?;
+                let query = decode_prepared_features(&mut r, FORMAT_VERSION)?;
+                Frame::ScoreRequest(Box::new(ScoreRequest { id, query }))
+            }
+            TAG_SCORE_RESPONSE => {
+                let id = r.get_u64()?;
+                let n_cells = r.get_u32()? as usize;
+                // Each cell costs 12 bytes; validate before allocating.
+                if r.remaining() < n_cells.saturating_mul(12) {
+                    return Err(CodecError::new(format!(
+                        "score response claims {n_cells} cells but only {} bytes remain",
+                        r.remaining()
+                    )));
+                }
+                let mut cells = Vec::with_capacity(n_cells);
+                for _ in 0..n_cells {
+                    let column = r.get_u32()?;
+                    let score = r.get_f64()?;
+                    cells.push((column, score));
+                }
+                Frame::ScoreResponse(ScoreResponse { id, cells })
+            }
+            TAG_ERROR => Frame::Error(r.get_str()?),
+            TAG_SHUTDOWN => Frame::Shutdown,
+            other => return Err(CodecError::new(format!("unknown frame tag {other}"))),
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+
+    /// Write this frame to `w` (one checksummed frame, one `write_all`).
+    pub fn write_to<W: Write + ?Sized>(&self, w: &mut W, peer: &str) -> Result<(), NetError> {
+        hpcutil::write_frame(w, self.tag(), &self.encode_payload()).map_err(|source| NetError::Io {
+            peer: peer.to_string(),
+            source,
+        })
+    }
+
+    /// Read and decode one frame from `r`.
+    ///
+    /// Transport failures (including EOF) surface as [`NetError::Io`] /
+    /// [`NetError::Frame`]; a structurally valid frame with a malformed
+    /// payload is [`NetError::Protocol`].
+    pub fn read_from<R: Read + ?Sized>(r: &mut R, peer: &str) -> Result<Frame, NetError> {
+        let (tag, payload) = hpcutil::read_frame(r, MAX_FRAME_PAYLOAD).map_err(|e| match e {
+            FrameError::Io(source) => NetError::Io {
+                peer: peer.to_string(),
+                source,
+            },
+            malformed => NetError::Frame {
+                peer: peer.to_string(),
+                source: malformed,
+            },
+        })?;
+        Frame::decode(tag, &payload).map_err(|e| NetError::Protocol {
+            peer: peer.to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Encode this frame into a standalone byte buffer (header + payload +
+    /// checksum), exactly as [`Frame::write_to`] puts it on the wire.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        hpcutil::write_frame(&mut buf, self.tag(), &self.encode_payload())
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+}
+
+/// Write a [`ScoreRequest`] for `query` to `w` (one-shot convenience over
+/// [`score_request_bytes`]).
+pub fn write_score_request<W: Write + ?Sized>(
+    w: &mut W,
+    id: u64,
+    query: &PreparedSampleFeatures,
+    peer: &str,
+) -> Result<(), NetError> {
+    write_raw_frame(w, &score_request_bytes(id, query), peer)
+}
+
+/// Encode a [`ScoreRequest`] into its complete wire bytes without cloning
+/// the prepared query into an owned frame. The client hot path encodes
+/// each query **once** and writes the same buffer to every worker.
+pub fn score_request_bytes(id: u64, query: &PreparedSampleFeatures) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    payload.put_u64(id);
+    encode_prepared_features(&mut payload, query);
+    let mut frame = Vec::with_capacity(payload.len() + 13);
+    hpcutil::write_frame(&mut frame, TAG_SCORE_REQUEST, payload.as_bytes())
+        .expect("writing to a Vec cannot fail");
+    frame
+}
+
+/// Write pre-encoded frame bytes (as produced by [`score_request_bytes`] or
+/// [`Frame::to_wire_bytes`]) to `w` in one `write_all`.
+pub fn write_raw_frame<W: Write + ?Sized>(
+    w: &mut W,
+    frame_bytes: &[u8],
+    peer: &str,
+) -> Result<(), NetError> {
+    w.write_all(frame_bytes)
+        .and_then(|()| w.flush())
+        .map_err(|source| NetError::Io {
+            peer: peer.to_string(),
+            source,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::SampleFeatures;
+    use std::io::Cursor;
+
+    fn sample_query() -> PreparedSampleFeatures {
+        let features = SampleFeatures::extract(
+            b"a deterministic little executable stand-in with some strings in it",
+        );
+        PreparedSampleFeatures::prepare(&features)
+    }
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        let bytes = frame.to_wire_bytes();
+        let mut cursor = Cursor::new(bytes);
+        Frame::read_from(&mut cursor, "test").expect("frame round-trips")
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        let frames = [
+            Frame::Hello(Hello {
+                protocol: PROTOCOL_VERSION,
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                n_classes: 7,
+                n_columns: 21,
+                classes: vec![0, 2, 4, 6],
+            }),
+            Frame::Assign(Assign {
+                classes: vec![1, 3, 5],
+            }),
+            Frame::ScoreRequest(Box::new(ScoreRequest {
+                id: 42,
+                query: sample_query(),
+            })),
+            Frame::ScoreResponse(ScoreResponse {
+                id: 42,
+                cells: vec![(0, 100.0), (3, 61.25), (7, 0.0)],
+            }),
+            Frame::Error("reference set mismatch".into()),
+            Frame::Shutdown,
+        ];
+        for frame in &frames {
+            assert_eq!(&roundtrip(frame), frame);
+        }
+    }
+
+    #[test]
+    fn score_request_write_helper_matches_owned_frame() {
+        let query = sample_query();
+        let mut via_helper = Vec::new();
+        write_score_request(&mut via_helper, 9, &query, "test").unwrap();
+        let owned = Frame::ScoreRequest(Box::new(ScoreRequest { id: 9, query }));
+        assert_eq!(via_helper, owned.to_wire_bytes());
+    }
+
+    #[test]
+    fn hello_rejects_out_of_range_and_duplicate_classes() {
+        let hello = |classes: Vec<usize>| {
+            Frame::Hello(Hello {
+                protocol: PROTOCOL_VERSION,
+                fingerprint: 1,
+                n_classes: 3,
+                n_columns: 9,
+                classes,
+            })
+        };
+        // Out of range: class 3 with n_classes = 3.
+        let bytes = hello(vec![0, 3]).to_wire_bytes();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+        // Duplicate.
+        let bytes = hello(vec![1, 1]).to_wire_bytes();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+        // Unsorted (the partition-ownership check binary-searches this).
+        let bytes = hello(vec![2, 1]).to_wire_bytes();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+    }
+
+    #[test]
+    fn hostile_class_counts_fail_without_allocating() {
+        // A Hello claiming 2^60 classes and a matching huge class-list
+        // length must be rejected from the byte budget, not attempted.
+        let mut payload = ByteWriter::new();
+        payload.put_u32(PROTOCOL_VERSION);
+        payload.put_u64(7); // fingerprint
+        payload.put_usize(1 << 60); // n_classes
+        payload.put_usize(3 << 60); // n_columns
+        payload.put_usize(1 << 59); // class-list length
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, TAG_HELLO, payload.as_bytes()).unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let bytes = Frame::Error("will be cut short".into()).to_wire_bytes();
+        for cut in 0..bytes.len() {
+            let result = Frame::read_from(&mut Cursor::new(&bytes[..cut]), "test");
+            assert!(
+                matches!(result, Err(NetError::Io { .. })),
+                "cut at {cut} must be a transport error"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_framing_error() {
+        let bytes = Frame::ScoreResponse(ScoreResponse {
+            id: 7,
+            cells: vec![(1, 50.0)],
+        })
+        .to_wire_bytes();
+        let mut bad = bytes.clone();
+        let mid = 5 + (bad.len() - 13) / 2; // somewhere inside the payload
+        bad[mid] ^= 0x40;
+        let result = Frame::read_from(&mut Cursor::new(bad), "test");
+        assert!(matches!(result, Err(NetError::Frame { .. })));
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_protocol_errors() {
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, 99, b"").unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+
+        // A Shutdown frame with an unexpected payload is rejected.
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, 6, b"junk").unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+    }
+}

@@ -1,0 +1,419 @@
+//! The serving side of the shard protocol.
+//!
+//! A [`ShardWorker`] owns a reference set (typically the one inside a
+//! classifier artifact) and answers [`ScoreRequest`](wire::ScoreRequest)s
+//! for a subset of its classes, scoring through the same
+//! block-size-bucketed index as
+//! [`IndexedBackend`](crate::backend::IndexedBackend) — which is what makes
+//! the remote path byte-identical to the in-process ones. The `fhc-shardd`
+//! binary wraps a worker in an accept loop; tests drive
+//! [`ShardWorker::serve_connection`] directly over in-process streams.
+
+use crate::features::PreparedSampleFeatures;
+use crate::shardnet::wire::{self, Frame, Hello, ScoreResponse};
+use crate::shardnet::{NetError, Transport};
+use crate::similarity::ReferenceSet;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::sync::Arc;
+
+/// One shard-serving worker: a reference set plus the class partition it
+/// scores.
+#[derive(Debug, Clone)]
+pub struct ShardWorker {
+    reference: Arc<ReferenceSet>,
+    classes: Vec<usize>,
+    /// The reference set's fingerprint, computed once at construction —
+    /// it is a full walk of every reference hash, far too expensive to
+    /// recompute per handshake.
+    fingerprint: u64,
+}
+
+impl ShardWorker {
+    /// A worker scoring `classes` (sorted and validated against the
+    /// reference set) of `reference`.
+    pub fn new(reference: Arc<ReferenceSet>, classes: Vec<usize>) -> Result<Self, NetError> {
+        let classes = validate_classes(&reference, classes)?;
+        let fingerprint = reference.fingerprint();
+        Ok(Self {
+            reference,
+            classes,
+            fingerprint,
+        })
+    }
+
+    /// A worker scoring *every* class of `reference` (the natural start
+    /// state for a worker whose partition will be assigned over the wire).
+    pub fn all_classes(reference: Arc<ReferenceSet>) -> Self {
+        let classes = (0..reference.n_classes()).collect();
+        let fingerprint = reference.fingerprint();
+        Self {
+            reference,
+            classes,
+            fingerprint,
+        }
+    }
+
+    /// The reference set this worker scores against.
+    pub fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    /// The classes this worker scores (its default partition; a connection
+    /// can narrow it with an `Assign` frame without affecting others).
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// The handshake advertising `classes` as the served partition.
+    fn hello_for(&self, classes: &[usize]) -> Hello {
+        Hello {
+            protocol: wire::PROTOCOL_VERSION,
+            fingerprint: self.fingerprint,
+            n_classes: self.reference.n_classes(),
+            n_columns: self.reference.n_columns(),
+            classes: classes.to_vec(),
+        }
+    }
+
+    /// The partial max-score row of `query` over `classes`: one
+    /// `(column, score)` cell per `(view, class)`, scored through the
+    /// prepared block-size-bucketed index.
+    pub fn partial_row(
+        &self,
+        classes: &[usize],
+        query: &PreparedSampleFeatures,
+    ) -> Vec<(u32, f64)> {
+        let reference = &*self.reference;
+        let mut cells = Vec::with_capacity(classes.len() * reference.kinds().len());
+        for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
+            let hash = query.get(kind);
+            for &class in classes {
+                let best = hash.map_or(0, |q| reference.cell_score_indexed(kind_idx, class, q));
+                let column = u32::try_from(reference.column_index(kind_idx, class))
+                    .expect("column index fits u32");
+                cells.push((column, f64::from(best)));
+            }
+        }
+        cells
+    }
+
+    /// Serve one connection until the client says goodbye (a `Shutdown`
+    /// frame or a clean EOF): send the handshake, then answer score
+    /// requests. See [`ShardWorker::serve_requests`].
+    pub fn serve_connection(&self, stream: impl Transport, peer: &str) -> Result<(), NetError> {
+        self.serve_requests(stream, peer, None)
+    }
+
+    /// [`ShardWorker::serve_connection`] with an optional request budget:
+    /// after `limit` answered requests the worker drops the connection
+    /// *without* a goodbye — exactly what a crashed worker looks like from
+    /// the client side. Tests use this to exercise degraded mode
+    /// deterministically.
+    pub fn serve_requests(
+        &self,
+        mut stream: impl Transport,
+        peer: &str,
+        limit: Option<u64>,
+    ) -> Result<(), NetError> {
+        let mut classes = self.classes.clone();
+        Frame::Hello(self.hello_for(&classes)).write_to(&mut stream, peer)?;
+        let mut served = 0u64;
+        loop {
+            if limit.is_some_and(|max| served >= max) {
+                // Simulated crash: vanish mid-conversation.
+                return Ok(());
+            }
+            match Frame::read_from(&mut stream, peer) {
+                Ok(Frame::ScoreRequest(request)) => {
+                    let cells = self.partial_row(&classes, &request.query);
+                    Frame::ScoreResponse(ScoreResponse {
+                        id: request.id,
+                        cells,
+                    })
+                    .write_to(&mut stream, peer)?;
+                    served += 1;
+                }
+                Ok(Frame::Assign(assign)) => {
+                    match validate_classes(&self.reference, assign.classes) {
+                        Ok(narrowed) => {
+                            classes = narrowed;
+                            Frame::Hello(self.hello_for(&classes)).write_to(&mut stream, peer)?;
+                        }
+                        Err(e) => {
+                            let _ = Frame::Error(e.to_string()).write_to(&mut stream, peer);
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok(Frame::Shutdown) => return Ok(()),
+                Ok(unexpected) => {
+                    let detail = format!("unexpected frame {unexpected:?} from client");
+                    let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                    return Err(NetError::Protocol {
+                        peer: peer.to_string(),
+                        detail,
+                    });
+                }
+                // A clean EOF between frames is a client hangup, not an error.
+                Err(NetError::Io { ref source, .. })
+                    if source.kind() == std::io::ErrorKind::UnexpectedEof =>
+                {
+                    return Ok(());
+                }
+                Err(e) => {
+                    let _ = Frame::Error(e.to_string()).write_to(&mut stream, peer);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Sort, dedup, and range-check a class list against `reference`.
+fn validate_classes(
+    reference: &ReferenceSet,
+    mut classes: Vec<usize>,
+) -> Result<Vec<usize>, NetError> {
+    classes.sort_unstable();
+    classes.dedup();
+    if let Some(&bad) = classes.iter().find(|&&c| c >= reference.n_classes()) {
+        return Err(NetError::Partition(format!(
+            "class id {bad} out of range: the reference set has {} classes",
+            reference.n_classes()
+        )));
+    }
+    Ok(classes)
+}
+
+/// Accept-loop over a TCP listener: one thread per connection, errors
+/// logged to stderr. Returns when the listener itself fails (e.g. it was
+/// closed out from under the loop).
+pub fn serve_tcp(worker: Arc<ShardWorker>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "tcp client".to_string());
+                let _ = stream.set_nodelay(true);
+                let worker = Arc::clone(&worker);
+                std::thread::spawn(move || {
+                    if let Err(e) = worker.serve_connection(stream, &peer) {
+                        eprintln!("fhc-shardd: connection with {peer} failed: {e}");
+                    }
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Accept-loop over a Unix-domain listener; see [`serve_tcp`].
+pub fn serve_unix(worker: Arc<ShardWorker>, listener: UnixListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let worker = Arc::clone(&worker);
+                std::thread::spawn(move || {
+                    if let Err(e) = worker.serve_connection(stream, "unix client") {
+                        eprintln!("fhc-shardd: unix connection failed: {e}");
+                    }
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendConfig, SimilarityBackend};
+    use crate::features::{FeatureKind, SampleFeatures};
+    use std::io::{Read, Write};
+
+    fn reference() -> Arc<ReferenceSet> {
+        let train = vec![
+            SampleFeatures::extract(b"the velvet assembler executable body one"),
+            SampleFeatures::extract(b"the velvet assembler executable body two"),
+            SampleFeatures::extract(b"an openmalaria simulation binary payload"),
+        ];
+        Arc::new(ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train,
+            &[0, 0, 1],
+            &FeatureKind::ALL,
+        ))
+    }
+
+    #[test]
+    fn new_validates_and_normalizes_classes() {
+        let rs = reference();
+        let worker = ShardWorker::new(rs.clone(), vec![1, 0, 1]).unwrap();
+        assert_eq!(worker.classes(), &[0, 1]);
+        assert!(ShardWorker::new(rs.clone(), vec![2]).is_err());
+        let all = ShardWorker::all_classes(rs);
+        assert_eq!(all.classes(), &[0, 1]);
+    }
+
+    #[test]
+    fn partial_rows_union_to_the_indexed_row() {
+        let rs = reference();
+        let indexed = BackendConfig::Indexed.build(rs.clone());
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"the velvet assembler executable body three",
+        ));
+        let expected = indexed.feature_vector_prepared(&query);
+
+        let worker = ShardWorker::all_classes(rs.clone());
+        let mut merged = vec![0.0f64; rs.n_columns()];
+        for classes in [vec![0usize], vec![1usize]] {
+            for (column, score) in worker.partial_row(&classes, &query) {
+                let column = column as usize;
+                merged[column] = merged[column].max(score);
+            }
+        }
+        assert_eq!(merged, expected);
+    }
+
+    /// An in-memory duplex "socket": each side reads what the other wrote.
+    fn duplex() -> (PipeEnd, PipeEnd) {
+        let (a_to_b, b_from_a) = std::sync::mpsc::channel::<Vec<u8>>();
+        let (b_to_a, a_from_b) = std::sync::mpsc::channel::<Vec<u8>>();
+        (
+            PipeEnd {
+                tx: a_to_b,
+                rx: a_from_b,
+                pending: Vec::new(),
+            },
+            PipeEnd {
+                tx: b_to_a,
+                rx: b_from_a,
+                pending: Vec::new(),
+            },
+        )
+    }
+
+    struct PipeEnd {
+        tx: std::sync::mpsc::Sender<Vec<u8>>,
+        rx: std::sync::mpsc::Receiver<Vec<u8>>,
+        pending: Vec<u8>,
+    }
+
+    impl Read for PipeEnd {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            while self.pending.is_empty() {
+                match self.rx.recv() {
+                    Ok(bytes) => self.pending = bytes,
+                    Err(_) => return Ok(0), // peer hung up: EOF
+                }
+            }
+            let n = buf.len().min(self.pending.len());
+            buf[..n].copy_from_slice(&self.pending[..n]);
+            self.pending.drain(..n);
+            Ok(n)
+        }
+    }
+
+    impl Write for PipeEnd {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.tx
+                .send(buf.to_vec())
+                .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"))?;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_connection_answers_requests_and_honors_shutdown() {
+        let rs = reference();
+        let worker = ShardWorker::all_classes(rs.clone());
+        let (client_end, worker_end) = duplex();
+        let server = std::thread::spawn(move || worker.serve_connection(worker_end, "test"));
+
+        let mut client = client_end;
+        let hello = match Frame::read_from(&mut client, "worker").unwrap() {
+            Frame::Hello(h) => h,
+            other => panic!("expected Hello, got {other:?}"),
+        };
+        assert_eq!(hello.protocol, wire::PROTOCOL_VERSION);
+        assert_eq!(hello.fingerprint, rs.fingerprint());
+        assert_eq!(hello.classes, vec![0, 1]);
+
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"the velvet assembler executable body four",
+        ));
+        wire::write_score_request(&mut client, 77, &query, "worker").unwrap();
+        match Frame::read_from(&mut client, "worker").unwrap() {
+            Frame::ScoreResponse(response) => {
+                assert_eq!(response.id, 77);
+                assert_eq!(response.cells.len(), rs.n_columns());
+            }
+            other => panic!("expected ScoreResponse, got {other:?}"),
+        }
+
+        Frame::Shutdown.write_to(&mut client, "worker").unwrap();
+        server.join().unwrap().expect("clean shutdown");
+    }
+
+    #[test]
+    fn assign_narrows_the_partition_for_this_connection() {
+        let rs = reference();
+        let worker = ShardWorker::all_classes(rs.clone());
+        let (client_end, worker_end) = duplex();
+        let server = std::thread::spawn(move || worker.serve_connection(worker_end, "test"));
+
+        let mut client = client_end;
+        let _hello = Frame::read_from(&mut client, "worker").unwrap();
+        Frame::Assign(wire::Assign { classes: vec![1] })
+            .write_to(&mut client, "worker")
+            .unwrap();
+        match Frame::read_from(&mut client, "worker").unwrap() {
+            Frame::Hello(h) => assert_eq!(h.classes, vec![1]),
+            other => panic!("expected refreshed Hello, got {other:?}"),
+        }
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"probe bytes"));
+        wire::write_score_request(&mut client, 1, &query, "worker").unwrap();
+        match Frame::read_from(&mut client, "worker").unwrap() {
+            Frame::ScoreResponse(response) => {
+                // Only class 1's columns now.
+                assert_eq!(response.cells.len(), rs.kinds().len());
+                for &(column, _) in &response.cells {
+                    assert_eq!(column as usize % rs.n_classes(), 1);
+                }
+            }
+            other => panic!("expected ScoreResponse, got {other:?}"),
+        }
+        drop(client); // EOF: worker returns cleanly
+        server.join().unwrap().expect("clean EOF");
+    }
+
+    #[test]
+    fn request_limit_simulates_a_crash() {
+        let rs = reference();
+        let worker = ShardWorker::all_classes(rs);
+        let (client_end, worker_end) = duplex();
+        let server = std::thread::spawn(move || worker.serve_requests(worker_end, "test", Some(1)));
+
+        let mut client = client_end;
+        let _hello = Frame::read_from(&mut client, "worker").unwrap();
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"probe"));
+        wire::write_score_request(&mut client, 1, &query, "worker").unwrap();
+        assert!(matches!(
+            Frame::read_from(&mut client, "worker").unwrap(),
+            Frame::ScoreResponse(_)
+        ));
+        server.join().unwrap().expect("limit reached cleanly");
+        // The second request hits a dead connection.
+        let _ = wire::write_score_request(&mut client, 2, &query, "worker");
+        assert!(matches!(
+            Frame::read_from(&mut client, "worker"),
+            Err(NetError::Io { .. })
+        ));
+    }
+}

@@ -31,7 +31,8 @@
 //! `ssdeep::compare` path as a verification oracle).
 
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
-use hpcutil::par_map_indexed;
+use hpcutil::codec::fnv1a64;
+use hpcutil::{par_map_indexed, ByteWriter};
 use ssdeep::{compare_prepared, FuzzyHash, PreparedHash};
 
 /// Block-size buckets over one `(view, class)` cell of the reference set:
@@ -197,6 +198,39 @@ impl ReferenceSet {
     /// (`n_classes * active feature kinds`).
     pub fn n_columns(&self) -> usize {
         self.n_classes() * self.kinds.len()
+    }
+
+    /// A stable 64-bit fingerprint of the reference set's semantic content:
+    /// the active kinds, the class names, and every reference fuzzy hash,
+    /// in order. Two reference sets score queries identically if (not only
+    /// if) their fingerprints match.
+    ///
+    /// The distributed serving handshake uses this to refuse mixing a
+    /// client and a shard worker that hold different artifacts — a mismatch
+    /// there would silently produce wrong similarity rows.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.kinds.len());
+        for kind in &self.kinds {
+            w.put_str(kind.paper_name());
+        }
+        w.put_usize(self.n_classes());
+        for (name, samples) in self.class_names.iter().zip(&self.prepared_by_class) {
+            w.put_str(name);
+            w.put_usize(samples.len());
+            for sample in samples {
+                w.put_str(&sample.file.hash().to_string());
+                w.put_str(&sample.strings.hash().to_string());
+                match &sample.symbols {
+                    None => w.put_bool(false),
+                    Some(prepared) => {
+                        w.put_bool(true);
+                        w.put_str(&prepared.hash().to_string());
+                    }
+                }
+            }
+        }
+        fnv1a64(w.as_bytes())
     }
 
     /// Column of one `(view, class)` cell in the kind-major row layout —
@@ -523,6 +557,41 @@ mod tests {
                 assert_eq!(p, &q.to_sample_features());
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let (rs, train) = reference();
+        let (rs2, _) = reference();
+        // Deterministic: identical content, identical fingerprint.
+        assert_eq!(rs.fingerprint(), rs2.fingerprint());
+
+        // Different class names change it.
+        let renamed = ReferenceSet::new(
+            vec!["Velvet".into(), "SomethingElse".into()],
+            &train,
+            &[0, 0, 1, 1],
+            &FeatureKind::ALL,
+        );
+        assert_ne!(rs.fingerprint(), renamed.fingerprint());
+
+        // Different membership changes it.
+        let smaller = ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train[..3],
+            &[0, 0, 1],
+            &FeatureKind::ALL,
+        );
+        assert_ne!(rs.fingerprint(), smaller.fingerprint());
+
+        // Different active kinds change it.
+        let ablated = ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train,
+            &[0, 0, 1, 1],
+            &[FeatureKind::Symbols],
+        );
+        assert_ne!(rs.fingerprint(), ablated.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Property-style tests for the shard-serving wire codec.
+//!
+//! The build environment has no `proptest`, so these drive the same
+//! properties with the vendored deterministic rand shims (`ChaCha8Rng`
+//! seeded per test): every frame type round-trips through its wire bytes
+//! for randomized payloads, and malformed inputs — truncations, corrupted
+//! bytes, unknown tags, oversized length prefixes, wrong protocol versions
+//! — are rejected with typed errors, never panics or silent misparses.
+
+use fhc::features::{PreparedSampleFeatures, SampleFeatures};
+use fhc::shardnet::wire::{Assign, Frame, Hello, ScoreRequest, ScoreResponse, PROTOCOL_VERSION};
+use fhc::shardnet::NetError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::Cursor;
+
+const CASES: usize = 40;
+
+fn random_classes(rng: &mut ChaCha8Rng, n_classes: usize) -> Vec<usize> {
+    (0..n_classes).filter(|_| rng.gen_bool(0.4)).collect()
+}
+
+fn random_string(rng: &mut ChaCha8Rng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(b' '..b'~')))
+        .collect()
+}
+
+fn random_query(rng: &mut ChaCha8Rng) -> PreparedSampleFeatures {
+    // Random bytes exercise real hash extraction; random length straddles
+    // block-size boundaries. Non-ELF input also exercises the
+    // missing-symbols (None) encoding arm.
+    let len = rng.gen_range(64usize..8192);
+    let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+    PreparedSampleFeatures::prepare(&SampleFeatures::extract(&bytes))
+}
+
+fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
+    match rng.gen_range(0u32..6) {
+        0 => {
+            let n_classes = rng.gen_range(1usize..40);
+            Frame::Hello(Hello {
+                protocol: rng.gen(),
+                fingerprint: rng.gen(),
+                n_classes,
+                n_columns: n_classes * rng.gen_range(1usize..4),
+                classes: random_classes(rng, n_classes),
+            })
+        }
+        1 => {
+            let n_classes = rng.gen_range(1usize..40);
+            Frame::Assign(Assign {
+                classes: random_classes(rng, n_classes),
+            })
+        }
+        2 => Frame::ScoreRequest(Box::new(ScoreRequest {
+            id: rng.gen(),
+            query: random_query(rng),
+        })),
+        3 => {
+            let n_cells = rng.gen_range(0usize..64);
+            Frame::ScoreResponse(ScoreResponse {
+                id: rng.gen(),
+                cells: (0..n_cells)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0u32..1000),
+                            f64::from(rng.gen_range(0u32..101)),
+                        )
+                    })
+                    .collect(),
+            })
+        }
+        4 => Frame::Error(random_string(rng, 200)),
+        _ => Frame::Shutdown,
+    }
+}
+
+#[test]
+fn every_frame_type_roundtrips_for_random_payloads() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0001);
+    let mut seen_tags = [false; 6];
+    for case in 0..CASES {
+        let frame = random_frame(&mut rng);
+        seen_tags[match &frame {
+            Frame::Hello(_) => 0,
+            Frame::Assign(_) => 1,
+            Frame::ScoreRequest(_) => 2,
+            Frame::ScoreResponse(_) => 3,
+            Frame::Error(_) => 4,
+            Frame::Shutdown => 5,
+        }] = true;
+        let bytes = frame.to_wire_bytes();
+        let decoded = Frame::read_from(&mut Cursor::new(&bytes), "test")
+            .unwrap_or_else(|e| panic!("case {case}: {frame:?} failed to round-trip: {e}"));
+        assert_eq!(decoded, frame, "case {case} diverged");
+    }
+    assert!(
+        seen_tags.iter().all(|&seen| seen),
+        "the generator must cover every frame type ({seen_tags:?})"
+    );
+}
+
+#[test]
+fn back_to_back_frames_roundtrip_as_a_stream() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0002);
+    let frames: Vec<Frame> = (0..12).map(|_| random_frame(&mut rng)).collect();
+    let mut stream = Vec::new();
+    for frame in &frames {
+        stream.extend_from_slice(&frame.to_wire_bytes());
+    }
+    let mut cursor = Cursor::new(stream);
+    for (i, frame) in frames.iter().enumerate() {
+        let decoded = Frame::read_from(&mut cursor, "test").expect("stream frame decodes");
+        assert_eq!(&decoded, frame, "frame {i} diverged in the stream");
+    }
+    assert!(matches!(
+        Frame::read_from(&mut cursor, "test"),
+        Err(NetError::Io { .. })
+    ));
+}
+
+#[test]
+fn truncated_frames_never_panic_and_always_error() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0003);
+    for _ in 0..CASES {
+        let bytes = random_frame(&mut rng).to_wire_bytes();
+        // Every cut, not just random ones: a frame must be all-or-nothing.
+        for cut in 0..bytes.len() {
+            match Frame::read_from(&mut Cursor::new(&bytes[..cut]), "test") {
+                Err(NetError::Io { .. }) => {}
+                other => panic!("cut at {cut}/{} gave {other:?}", bytes.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_frames_are_rejected_with_typed_errors() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0004);
+    for case in 0..CASES {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.to_wire_bytes();
+        let flip = rng.gen_range(0..bytes.len());
+        let mut bad = bytes.clone();
+        bad[flip] ^= 1 << rng.gen_range(0u32..8);
+        // The frame checksum covers tag, length, and payload — and a flip
+        // in the checksum itself mismatches by construction — so *every*
+        // single-bit corruption must surface as a typed error.
+        match Frame::read_from(&mut Cursor::new(&bad), "test") {
+            Err(NetError::Frame { .. } | NetError::Io { .. } | NetError::Protocol { .. }) => {}
+            other => panic!("case {case}: flip at byte {flip} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_payloads_are_protocol_errors() {
+    // Unknown tag.
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 200, b"whatever").unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A Hello whose class list overruns its own class count.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(PROTOCOL_VERSION);
+    payload.put_u64(7);
+    payload.put_usize(2); // n_classes
+    payload.put_usize(6); // n_columns
+    payload.put_usize(1); // one class entry...
+    payload.put_usize(5); // ...with an out-of-range id
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 1, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // Trailing garbage after a structurally complete payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_str("an error message");
+    payload.put_u8(0xEE);
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 5, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A score response whose cell count overruns the payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(1); // id
+    payload.put_u32(u32::MAX); // cells "to follow"
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 4, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+}
+
+#[test]
+fn random_garbage_never_panics_the_reader() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0005);
+    for _ in 0..CASES * 5 {
+        let len = rng.gen_range(0usize..300);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        // Any result is fine — including an accidental parse of tiny valid
+        // frames — as long as nothing panics or allocates absurdly.
+        let _ = Frame::read_from(&mut Cursor::new(&garbage), "test");
+    }
+}

@@ -116,6 +116,36 @@ impl ByteWriter {
             self.put_u64(v);
         }
     }
+
+    /// Write a `u64` as a LEB128 variable-length integer (1–10 bytes; small
+    /// values take one byte).
+    pub fn put_uvarint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Write a **sorted (non-decreasing)** `u64` sequence as a `u32` count
+    /// prefix followed by varint-encoded deltas between consecutive values
+    /// (the first delta is taken from zero). Sorted window-key sets compress
+    /// to roughly the entropy of their gaps instead of 8 bytes per key.
+    ///
+    /// Panics if `values` is not sorted — the delta encoding is only defined
+    /// for non-decreasing input ([`ByteReader::get_u64_delta_seq`] restores
+    /// exactly such sequences).
+    pub fn put_u64_delta_seq(&mut self, values: &[u64]) {
+        self.put_u32(u32::try_from(values.len()).expect("sequence longer than u32::MAX items"));
+        let mut prev = 0u64;
+        for &v in values {
+            let delta = v
+                .checked_sub(prev)
+                .expect("delta sequence requires sorted (non-decreasing) input");
+            self.put_uvarint(delta);
+            prev = v;
+        }
+    }
 }
 
 /// Sequential binary reader over a borrowed buffer.
@@ -239,6 +269,63 @@ impl<'a> ByteReader<'a> {
         Ok(values)
     }
 
+    /// Read a LEB128 variable-length `u64` written with
+    /// [`ByteWriter::put_uvarint`].
+    pub fn get_uvarint(&mut self) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            let bits = u64::from(byte & 0x7F);
+            if shift == 63 && bits > 1 {
+                return Err(CodecError::new(format!(
+                    "varint overflows u64 at offset {}",
+                    self.pos
+                )));
+            }
+            if shift > 63 {
+                return Err(CodecError::new(format!(
+                    "varint longer than 10 bytes at offset {}",
+                    self.pos
+                )));
+            }
+            value |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a sorted `u64` sequence written with
+    /// [`ByteWriter::put_u64_delta_seq`]. The result is non-decreasing by
+    /// construction; a delta that would overflow `u64` is rejected cleanly.
+    pub fn get_u64_delta_seq(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.get_u32()? as usize;
+        // Every encoded value costs at least one byte, so the count can be
+        // validated against the remaining input before any allocation.
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "delta sequence of {n} items needs at least {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let mut values = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            let delta = self.get_uvarint()?;
+            prev = prev.checked_add(delta).ok_or_else(|| {
+                CodecError::new(format!(
+                    "delta sequence overflows u64 at offset {}",
+                    self.pos
+                ))
+            })?;
+            values.push(prev);
+        }
+        Ok(values)
+    }
+
     /// Assert the input is fully consumed.
     pub fn expect_end(&self) -> Result<(), CodecError> {
         if self.is_empty() {
@@ -254,7 +341,15 @@ impl<'a> ByteReader<'a> {
 
 /// FNV-1a 64-bit checksum, used to detect artifact corruption.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    fnv1a64_continue(0xCBF2_9CE4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a 64-bit checksum from a previous state, so
+/// non-contiguous buffers can be checksummed without concatenating them:
+/// `fnv1a64_continue(fnv1a64(a), b)` equals `fnv1a64` of `a` followed by
+/// `b`.
+pub fn fnv1a64_continue(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
@@ -356,6 +451,108 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(r.get_u64_seq().is_err());
+    }
+
+    #[test]
+    fn uvarint_roundtrips_edge_values() {
+        let values = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            123_456_789,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.put_uvarint(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_uvarint().unwrap(), v);
+        }
+        assert!(r.expect_end().is_ok());
+
+        // Small values take one byte; u64::MAX takes the maximal 10.
+        let mut w = ByteWriter::new();
+        w.put_uvarint(0x7F);
+        assert_eq!(w.len(), 1);
+        let mut w = ByteWriter::new();
+        w.put_uvarint(u64::MAX);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn uvarint_rejects_overflow_and_truncation() {
+        // 10 continuation bytes followed by a large final byte overflows.
+        let mut r = ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+        assert!(r.get_uvarint().is_err());
+        // An 11-byte varint is malformed regardless of value.
+        let mut r = ByteReader::new(&[
+            0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+        ]);
+        assert!(r.get_uvarint().is_err());
+        // Truncated mid-varint.
+        let mut r = ByteReader::new(&[0x80]);
+        assert!(r.get_uvarint().is_err());
+    }
+
+    #[test]
+    fn delta_seq_roundtrips_and_is_compact() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0, 0],
+            vec![7, 7, 9, 1000, 1001, u64::MAX],
+            (0..500u64).map(|i| i * 3).collect(),
+        ];
+        for values in &cases {
+            let mut w = ByteWriter::new();
+            w.put_u64_delta_seq(values);
+            let plain_len = 4 + 8 * values.len();
+            assert!(w.len() <= plain_len, "delta encoding must never be larger");
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(&r.get_u64_delta_seq().unwrap(), values);
+            assert!(r.expect_end().is_ok());
+        }
+        // Small sorted gaps compress far below 8 bytes per key.
+        let keys: Vec<u64> = (0..100u64).map(|i| i * 17).collect();
+        let mut w = ByteWriter::new();
+        w.put_u64_delta_seq(&keys);
+        assert!(w.len() < 4 + 2 * keys.len() + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn delta_seq_rejects_unsorted_input() {
+        let mut w = ByteWriter::new();
+        w.put_u64_delta_seq(&[5, 3]);
+    }
+
+    #[test]
+    fn delta_seq_rejects_bad_counts_and_overflow() {
+        // A count prefix claiming more items than bytes remain fails before
+        // allocating.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u64_delta_seq().is_err());
+
+        // Accumulated deltas that overflow u64 are rejected.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_uvarint(u64::MAX);
+        w.put_uvarint(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u64_delta_seq().is_err());
     }
 
     #[test]

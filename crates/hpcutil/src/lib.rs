@@ -15,18 +15,26 @@
 //!   cost of pipeline stages.
 //! * [`codec`] — a little-endian, length-prefixed binary codec used to
 //!   persist trained models as versioned on-disk artifacts.
+//! * [`frame`] — checksummed, length-prefixed frames over byte streams,
+//!   the transport layer under the distributed shard-serving protocol.
+//! * [`pool`] — a persistent worker-thread pool for per-query fan-out where
+//!   scoped-thread spawning would dominate the work itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod frame;
 pub mod par;
+pub mod pool;
 pub mod rngseq;
 pub mod table;
 pub mod timing;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
-pub use par::{par_map, par_map_indexed, ParallelConfig};
+pub use frame::{read_frame, write_frame, FrameError};
+pub use par::{in_parallel_worker, par_map, par_map_indexed, ParallelConfig};
+pub use pool::WorkerPool;
 pub use rngseq::SeedSequence;
 pub use table::TextTable;
 pub use timing::SectionTimer;

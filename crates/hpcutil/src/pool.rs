@@ -1,0 +1,252 @@
+//! A persistent worker-thread pool for latency-sensitive fan-out.
+//!
+//! [`par_map`](crate::par::par_map) spawns scoped threads per call, which is
+//! the right shape for long batch jobs (the spawn cost amortizes over the
+//! batch) but wasteful for *per-query* fan-out: a sharded similarity lookup
+//! that takes tens of microseconds should not pay a thread spawn per shard
+//! per query. [`WorkerPool`] keeps a fixed set of long-lived workers blocked
+//! on a shared channel; submitting a job is one channel send, and
+//! [`WorkerPool::run_indexed`] scatter/gathers a small indexed task set with
+//! no thread creation at all.
+//!
+//! Pool workers are marked as parallel workers (see
+//! [`in_parallel_worker`](crate::par::in_parallel_worker)), so code that
+//! degrades gracefully under nesting — e.g. scoring shards serially when
+//! already inside a batch worker — behaves identically on pool threads, and
+//! a job can never deadlock the pool by recursively fanning out into it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads consuming jobs from a
+/// shared queue.
+///
+/// Jobs are `'static` closures; scatter/gather over borrowed data goes
+/// through [`WorkerPool::run_indexed`] with the shared state wrapped in
+/// `Arc`s. Dropping the pool closes the queue and joins every worker.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `threads` persistent workers (`0` means "use available
+    /// parallelism"). Workers survive job panics: a panicking job is caught
+    /// and the worker returns to the queue.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(&receiver))
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue one fire-and-forget job. Any idle worker picks it up.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("pool workers live until drop");
+    }
+
+    /// Run `f(0..n)` across the pool and collect the results in index order,
+    /// blocking until all `n` results arrived. The scatter is `n` channel
+    /// sends; no threads are created.
+    ///
+    /// Called from a thread that is *itself* a parallel worker (a `par_map`
+    /// worker or a pool thread — including this pool's own threads), the
+    /// work runs inline on the caller instead: a job blocking on sub-jobs
+    /// that need the same workers would deadlock a saturated pool, and a
+    /// nested fan-out adds no parallelism anyway.
+    ///
+    /// Panics if a job panicked (the worker itself survives).
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if crate::par::in_parallel_worker() {
+            return (0..n).map(f).collect();
+        }
+        let f = Arc::new(f);
+        let (tx, rx) = channel::<(usize, R)>();
+        for i in 0..n {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.submit(move || {
+                // A send failure means the gatherer already gave up
+                // (it panicked on an earlier missing result); nothing to do.
+                let _ = tx.send((i, f(i)));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut received = 0usize;
+        while let Ok((i, value)) = rx.recv() {
+            slots[i] = Some(value);
+            received += 1;
+        }
+        assert_eq!(received, n, "a worker pool job panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index produced exactly one result"))
+            .collect()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    crate::par::mark_parallel_worker();
+    loop {
+        // Hold the lock only while dequeuing, never while running a job.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a worker panicked while holding the lock
+        };
+        match job {
+            Ok(job) => {
+                // Keep the worker alive across job panics; the gather side
+                // detects the missing result through the closed channel.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // queue closed: the pool is being dropped
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_indexed_matches_sequential() {
+        let pool = WorkerPool::new(4);
+        let got = pool.run_indexed(100, |i| i * i);
+        let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, expected);
+        // The pool is reusable.
+        assert_eq!(pool.run_indexed(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(pool.run_indexed(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn submit_runs_fire_and_forget_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            });
+        }
+        for _ in 0..10 {
+            rx.recv().expect("job completed");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn workers_are_marked_as_parallel_workers() {
+        let pool = WorkerPool::new(1);
+        assert!(!crate::par::in_parallel_worker());
+        let flags = pool.run_indexed(2, |_| crate::par::in_parallel_worker());
+        assert_eq!(flags, vec![true, true]);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(4, |i| {
+                if i == 2 {
+                    panic!("job blew up");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "the gather must surface the job panic");
+        // The workers survived and keep serving.
+        assert_eq!(pool.run_indexed(3, |i| i * 10), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn nested_run_indexed_falls_back_inline_instead_of_deadlocking() {
+        // A single-threaded pool whose only job fans out into the same
+        // pool: without the inline fallback this deadlocks forever.
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner = Arc::clone(&pool);
+        let results = pool.run_indexed(1, move |_| inner.run_indexed(3, |i| i * 2));
+        assert_eq!(results, vec![vec![0, 2, 4]]);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.run_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        // mpsc receivers drain buffered messages after the sender closes,
+        // so every job submitted before drop runs before the workers exit.
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+}

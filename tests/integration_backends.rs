@@ -106,7 +106,7 @@ fn predictions_are_identical_under_every_backend_and_shard_count() {
             .map(|shards| BackendConfig::Sharded { shards }),
     );
     for backend in backends {
-        let swapped = trained.clone().with_backend(backend);
+        let swapped = trained.clone().with_backend(backend.clone());
         assert_eq!(
             swapped.classify_batch(&batch),
             expected,
@@ -133,8 +133,9 @@ fn artifacts_reopen_identically_under_every_backend() {
         BackendConfig::Sharded { shards: 2 },
         BackendConfig::Sharded { shards: 0 },
     ] {
-        let reopened = TrainedClassifier::from_bytes_with(&bytes, &config(19).backend(backend))
-            .expect("artifact reopens");
+        let reopened =
+            TrainedClassifier::from_bytes_with(&bytes, &config(19).backend(backend.clone()))
+                .expect("artifact reopens");
         assert_eq!(reopened.backend_config(), backend);
         assert_eq!(reopened.classify_batch(&batch), expected);
         // Runtime-only: the artifact bytes never encode the backend.

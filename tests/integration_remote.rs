@@ -1,0 +1,377 @@
+//! Integration equivalence suite for the distributed shard-serving path.
+//!
+//! `RemoteBackend` must be just another [`fhc::SimilarityBackend`]: over
+//! loopback workers (in-process `ShardWorker` accept loops on
+//! `127.0.0.1`) its feature rows and predictions are **byte-identical** to
+//! `ScanBackend`/`IndexedBackend` for worker counts 1/2/3/`n_classes`,
+//! including empty-class and single-class references and empty worker
+//! partitions. Failure is typed: a worker that dies mid-batch produces
+//! [`fhc::FhcError::Net`] — never a wrong or partial row.
+
+use fhc::backend::{BackendConfig, SimilarityBackend};
+use fhc::config::FhcConfig;
+use fhc::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::serving::TrainedClassifier;
+use fhc::shardnet::worker::serve_tcp;
+use fhc::shardnet::{Endpoint, NetError, RemoteBackend, ShardWorker};
+use fhc::similarity::ReferenceSet;
+use fhc::FhcError;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Spawn `n` loopback shard workers over `reference`, each serving every
+/// class (the client auto-assigns a round-robin partition at connect).
+/// Returns their endpoints; the accept threads live until the test process
+/// exits.
+fn spawn_loopback_workers(reference: &Arc<ReferenceSet>, n: usize) -> Vec<Endpoint> {
+    (0..n)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+            let worker = Arc::new(ShardWorker::all_classes(Arc::clone(reference)));
+            std::thread::spawn(move || serve_tcp(worker, listener));
+            endpoint
+        })
+        .collect()
+}
+
+/// Spawn workers with explicit (worker-side) partitions, one per class
+/// list, optionally dying after `limit` requests per connection.
+fn spawn_partitioned_workers(
+    reference: &Arc<ReferenceSet>,
+    partitions: &[Vec<usize>],
+    limit: Option<u64>,
+) -> Vec<Endpoint> {
+    partitions
+        .iter()
+        .map(|classes| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+            let worker = Arc::new(
+                ShardWorker::new(Arc::clone(reference), classes.clone()).expect("valid classes"),
+            );
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    match stream {
+                        Ok(stream) => {
+                            let worker = Arc::clone(&worker);
+                            std::thread::spawn(move || {
+                                let _ = worker.serve_requests(stream, "loopback", limit);
+                            });
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+            endpoint
+        })
+        .collect()
+}
+
+fn make_sample(class_tag: &str, variant: u64) -> SampleFeatures {
+    use binary::elf::ElfBuilder;
+    let mut b = ElfBuilder::new();
+    let mut code: Vec<u8> = class_tag
+        .bytes()
+        .cycle()
+        .take(24_000)
+        .enumerate()
+        .map(|(i, c)| c.wrapping_mul(17).wrapping_add((i / 96) as u8))
+        .collect();
+    for (i, byte) in code
+        .iter_mut()
+        .skip((variant as usize * 512) % 20_000)
+        .take(256)
+        .enumerate()
+    {
+        *byte ^= (variant as u8).wrapping_add(i as u8);
+    }
+    b.add_text_section(code);
+    b.add_rodata_section(format!("{class_tag} tool messages and usage\0v{variant}\0").into_bytes());
+    for i in 0..30 {
+        b.add_global_function(&format!("{class_tag}_routine_{i}"), (i * 128) as u64, 128);
+    }
+    SampleFeatures::extract(&b.build())
+}
+
+fn hand_built_reference(n_classes: usize) -> Arc<ReferenceSet> {
+    let tags = ["velvet", "openmalaria", "gromacs", "lammps", "quantum"];
+    let mut train = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..n_classes {
+        for variant in 0..2 {
+            train.push(make_sample(tags[class % tags.len()], variant));
+            labels.push(class);
+        }
+    }
+    Arc::new(ReferenceSet::new(
+        (0..n_classes).map(|c| format!("class-{c}")).collect(),
+        &train,
+        &labels,
+        &FeatureKind::ALL,
+    ))
+}
+
+fn probes() -> Vec<PreparedSampleFeatures> {
+    [
+        make_sample("velvet", 0),
+        make_sample("velvet", 9),
+        make_sample("gromacs", 4),
+        SampleFeatures::extract(b"#!/bin/sh\necho not an elf, no symbols view\n"),
+    ]
+    .iter()
+    .map(PreparedSampleFeatures::prepare)
+    .collect()
+}
+
+fn bits(row: &[f64]) -> Vec<u64> {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn remote_rows_are_byte_identical_for_worker_counts_1_2_3_n() {
+    let n_classes = 5;
+    let reference = hand_built_reference(n_classes);
+    let scan = BackendConfig::Scan.build(reference.clone());
+    let indexed = BackendConfig::Indexed.build(reference.clone());
+    let probes = probes();
+
+    for n_workers in [1, 2, 3, n_classes] {
+        let endpoints = spawn_loopback_workers(&reference, n_workers);
+        let remote =
+            RemoteBackend::connect(reference.clone(), &endpoints).expect("loopback connect");
+        assert_eq!(remote.n_workers(), n_workers);
+        // The auto-assigned partition is the ShardedBackend round-robin.
+        let mut covered: Vec<usize> = (0..n_workers)
+            .flat_map(|w| remote.worker_classes(w).to_vec())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..n_classes).collect::<Vec<_>>());
+
+        for (i, probe) in probes.iter().enumerate() {
+            let expected = scan.feature_vector_prepared(probe);
+            assert_eq!(
+                bits(&indexed.feature_vector_prepared(probe)),
+                bits(&expected)
+            );
+            let remote_row = remote
+                .try_feature_vector_prepared(probe)
+                .expect("loopback workers are alive");
+            assert_eq!(
+                bits(&remote_row),
+                bits(&expected),
+                "remote({n_workers}) diverged on probe {i}"
+            );
+            // The infallible trait path agrees too.
+            assert_eq!(
+                bits(&remote.feature_vector_prepared(probe)),
+                bits(&expected)
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_side_partitions_are_honored_and_equivalent() {
+    let reference = hand_built_reference(4);
+    // An uneven, worker-chosen partition — including one empty partition.
+    let partitions = vec![vec![2usize, 0], vec![], vec![1, 3]];
+    let endpoints = spawn_partitioned_workers(&reference, &partitions, None);
+    let remote = RemoteBackend::connect(reference.clone(), &endpoints).expect("connect");
+    assert_eq!(remote.worker_classes(0), &[0, 2]); // sorted by the worker
+    assert_eq!(remote.worker_classes(1), &[] as &[usize]);
+    let indexed = BackendConfig::Indexed.build(reference);
+    for probe in &probes() {
+        assert_eq!(
+            bits(&remote.try_feature_vector_prepared(probe).unwrap()),
+            bits(&indexed.feature_vector_prepared(probe))
+        );
+    }
+}
+
+#[test]
+fn empty_class_and_single_class_references_are_equivalent() {
+    // A class with no reference samples must produce all-zero columns
+    // through the wire exactly as it does in process.
+    let velvet = make_sample("velvet", 0);
+    let reference = Arc::new(ReferenceSet::new(
+        vec!["Velvet".into(), "Empty".into()],
+        std::slice::from_ref(&velvet),
+        &[0],
+        &FeatureKind::ALL,
+    ));
+    let probe = PreparedSampleFeatures::prepare(&velvet);
+    let expected = BackendConfig::Scan
+        .build(reference.clone())
+        .feature_vector_prepared(&probe);
+    for n_workers in [1, 2] {
+        let endpoints = spawn_loopback_workers(&reference, n_workers);
+        let remote = RemoteBackend::connect(reference.clone(), &endpoints).expect("connect");
+        assert_eq!(
+            bits(&remote.try_feature_vector_prepared(&probe).unwrap()),
+            bits(&expected),
+            "empty-class reference with {n_workers} workers"
+        );
+    }
+
+    // A single-class reference (n_classes = 1) with more workers than
+    // classes: the surplus worker gets an empty partition.
+    let reference = Arc::new(ReferenceSet::new(
+        vec!["Only".into()],
+        std::slice::from_ref(&velvet),
+        &[0],
+        &FeatureKind::ALL,
+    ));
+    let probe = PreparedSampleFeatures::prepare(&velvet);
+    let expected = BackendConfig::Scan
+        .build(reference.clone())
+        .feature_vector_prepared(&probe);
+    assert_eq!(expected[0], 100.0);
+    let endpoints = spawn_loopback_workers(&reference, 2);
+    let remote = RemoteBackend::connect(reference.clone(), &endpoints).expect("connect");
+    assert_eq!(
+        bits(&remote.try_feature_vector_prepared(&probe).unwrap()),
+        bits(&expected)
+    );
+}
+
+fn trained(seed: u64) -> (corpus::Corpus, TrainedClassifier) {
+    let corpus = corpus::CorpusBuilder::new(seed).build(&corpus::Catalog::paper().scaled(0.02));
+    let config = FhcConfig::new().pipeline(PipelineConfig {
+        seed,
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 25,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let classifier = FuzzyHashClassifier::with_config(config)
+        .fit(&corpus)
+        .expect("fit succeeds");
+    (corpus, classifier)
+}
+
+#[test]
+fn stored_artifact_opens_unchanged_under_a_remote_topology() {
+    let (corpus, original) = trained(31);
+    let batch: Vec<(String, Vec<u8>)> = corpus
+        .samples()
+        .iter()
+        .step_by(23)
+        .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+        .collect();
+    let expected = original.classify_batch(&batch);
+
+    // Persist, serve the same artifact from loopback workers, and reopen
+    // the stored artifact under the remote topology.
+    let path = std::env::temp_dir().join(format!("fhc-remote-it-{}.fhc", std::process::id()));
+    original.save(&path).expect("save artifact");
+    let endpoints = spawn_loopback_workers(&original.reference_shared(), 3);
+    let config = FhcConfig::new().backend(BackendConfig::remote(endpoints));
+    let reopened = TrainedClassifier::load_with(&path, &config).expect("load under remote");
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(
+        reopened.backend_config(),
+        BackendConfig::Remote { .. }
+    ));
+
+    // Identical artifact bytes (the backend is runtime-only) and identical
+    // predictions through the wire — fallible and infallible paths alike.
+    assert_eq!(reopened.to_bytes(), original.to_bytes());
+    assert_eq!(
+        reopened.try_classify_batch(&batch).expect("workers alive"),
+        expected
+    );
+    assert_eq!(reopened.classify_batch(&batch), expected);
+}
+
+#[test]
+fn a_killed_worker_yields_a_typed_error_not_a_wrong_row() {
+    let reference = hand_built_reference(3);
+    // Worker 1 dies after answering one request on its (single, persistent)
+    // connection; worker 0 stays healthy.
+    let partitions = vec![vec![0usize, 2], vec![1usize]];
+    let endpoints = spawn_partitioned_workers(&reference, &partitions, None);
+    let dying = spawn_partitioned_workers(&reference, &[vec![1usize]], Some(1));
+    let endpoints = vec![endpoints[0].clone(), dying[0].clone()];
+
+    let remote = RemoteBackend::connect(reference.clone(), &endpoints).expect("connect");
+    let probe = &probes()[0];
+    // First query: everything healthy, row matches the oracle.
+    let expected = BackendConfig::Scan
+        .build(reference.clone())
+        .feature_vector_prepared(probe);
+    assert_eq!(
+        bits(&remote.try_feature_vector_prepared(probe).unwrap()),
+        bits(&expected)
+    );
+    // Second query: worker 1's connection is gone mid-conversation. The
+    // row must not come back wrong or partial — it must not come back at
+    // all, as a typed WorkerLost error.
+    match remote.try_feature_vector_prepared(probe) {
+        Err(FhcError::Net(e)) => assert!(e.is_worker_lost(), "expected WorkerLost, got {e}"),
+        other => panic!("expected a typed network error, got {other:?}"),
+    }
+    // And it stays down: later queries keep failing cleanly.
+    assert!(remote.try_feature_vector_prepared(probe).is_err());
+}
+
+#[test]
+fn handshake_rejects_a_mismatched_reference_set() {
+    let serving_side = hand_built_reference(3);
+    let worker_side = hand_built_reference(4); // different artifact
+    let endpoints = spawn_loopback_workers(&worker_side, 1);
+    match RemoteBackend::connect(serving_side, &endpoints) {
+        Err(NetError::Handshake { detail, .. }) => {
+            assert!(detail.contains("fingerprint"), "got: {detail}");
+        }
+        other => panic!("expected a fingerprint handshake failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn mixed_partitions_that_do_not_cover_are_rejected() {
+    let reference = hand_built_reference(4);
+    // Two workers both claiming class 0 (and nobody serving 2, 3).
+    let endpoints = spawn_partitioned_workers(&reference, &[vec![0, 1], vec![0]], None);
+    match RemoteBackend::connect(reference, &endpoints) {
+        Err(NetError::Partition(detail)) => {
+            assert!(detail.contains("exactly once"), "got: {detail}");
+        }
+        other => panic!("expected a partition error, got {other:?}"),
+    }
+}
+
+#[test]
+fn opening_an_artifact_against_dead_workers_is_an_error_not_a_panic() {
+    let (_, original) = trained(37);
+    let bytes = original.to_bytes();
+    // A port nothing listens on: grab one, then drop the listener.
+    let port = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().unwrap().port()
+    };
+    let dead = Endpoint::Tcp(format!("127.0.0.1:{port}"));
+    let config = FhcConfig::new().backend(BackendConfig::remote([dead]));
+    match TrainedClassifier::from_bytes_with(&bytes, &config) {
+        Err(FhcError::Net(NetError::Io { peer, .. })) => {
+            assert!(peer.contains(&port.to_string()), "peer was {peer}");
+        }
+        other => panic!("expected a typed connect error, got {other:?}"),
+    }
+    // try_set_backend on a live classifier behaves the same and leaves the
+    // classifier serving on its previous backend.
+    let mut classifier = TrainedClassifier::from_bytes(&bytes).expect("decode");
+    let before = classifier.backend_config();
+    let port2 = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().unwrap().port()
+    };
+    assert!(classifier
+        .try_set_backend(BackendConfig::remote([Endpoint::Tcp(format!(
+            "127.0.0.1:{port2}"
+        ))]))
+        .is_err());
+    assert_eq!(classifier.backend_config(), before);
+}
