@@ -6,7 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fhc_bench::synthetic_bytes;
-use ssdeep::{compare, damerau_levenshtein, fuzzy_hash_bytes, weighted_edit_distance};
+use ssdeep::{
+    compare, damerau_levenshtein, damerau_levenshtein_bitparallel, fuzzy_hash_bytes,
+    weighted_edit_distance, weighted_edit_distance_bounded,
+};
 use std::hint::black_box;
 
 fn bench_hash_generation(c: &mut Criterion) {
@@ -55,9 +58,59 @@ fn bench_edit_distance(c: &mut Criterion) {
     group.finish();
 }
 
+/// The three tiers of the `fastdist` kernel on realistic signatures: the
+/// full-table oracle scan, the banded DP with a loose limit (no pruning
+/// possible — measures the band/scratch machinery itself), the banded DP
+/// under a tight budget (the max-merge serving case, where the cutoff and
+/// the bit-parallel lower bound reject mid- or pre-table), and the
+/// bit-parallel lower bound alone.
+fn bench_distance_kernel(c: &mut Criterion) {
+    // Realistic 64-char signatures from generated hashes: a similar pair
+    // (localized edit -> small distance) and an unrelated pair (large
+    // distance, where tight budgets reject hardest).
+    let base = synthetic_bytes(262_144, 11);
+    let mut variant = base.clone();
+    for byte in variant.iter_mut().skip(100_000).take(4_000) {
+        *byte ^= 0x77;
+    }
+    // `synthetic_bytes` with a different salt is the *same* stream shifted
+    // (the salt only offsets the index), which fuzzy-hashes to a nearly
+    // identical signature — remap the bytes so the pair is genuinely
+    // unrelated at the signature level.
+    let unrelated: Vec<u8> = synthetic_bytes(262_144, 997)
+        .into_iter()
+        .map(|b| b.wrapping_mul(167).wrapping_add(13))
+        .collect();
+    let sig_a = fuzzy_hash_bytes(&base).signature().to_string();
+    let sig_b = fuzzy_hash_bytes(&variant).signature().to_string();
+    let sig_c = fuzzy_hash_bytes(&unrelated).signature().to_string();
+    assert!(
+        sig_a.len() >= 48 && sig_c.len() >= 32,
+        "benchmark needs realistic signatures"
+    );
+    let loose = sig_a.len() + sig_c.len();
+
+    let mut group = c.benchmark_group("ssdeep/distance");
+    for (pair, a, b) in [("similar", &sig_a, &sig_b), ("unrelated", &sig_a, &sig_c)] {
+        group.bench_function(format!("scan_oracle_{pair}"), |bch| {
+            bch.iter(|| weighted_edit_distance(black_box(a), black_box(b)))
+        });
+        group.bench_function(format!("banded_loose_limit_{pair}"), |bch| {
+            bch.iter(|| weighted_edit_distance_bounded(black_box(a), black_box(b), loose))
+        });
+        group.bench_function(format!("bounded_tight_budget_{pair}"), |bch| {
+            bch.iter(|| weighted_edit_distance_bounded(black_box(a), black_box(b), 12))
+        });
+        group.bench_function(format!("bitparallel_lower_bound_{pair}"), |bch| {
+            bch.iter(|| damerau_levenshtein_bitparallel(black_box(a), black_box(b)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_hash_generation, bench_comparison, bench_edit_distance
+    targets = bench_hash_generation, bench_comparison, bench_edit_distance, bench_distance_kernel
 }
 criterion_main!(benches);

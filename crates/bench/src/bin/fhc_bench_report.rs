@@ -1,0 +1,257 @@
+//! `fhc-bench-report` — merge raw bench runs into the committed
+//! `BENCH_serving.json` trajectory file.
+//!
+//! The vendored bench harness writes one raw-run JSON per bench binary when
+//! `FHC_BENCH_JSON=path` is set (schema `fhc-bench-run/v1`: a flat list of
+//! `{label, median_ns, ...}`). This tool merges one or more raw runs into a
+//! report that carries a *baseline* section next to the *current* one and
+//! the per-label median speedups, so the perf trajectory of the serving hot
+//! path is tracked in-repo from one measurement to the next:
+//!
+//! ```text
+//! fhc-bench-report OUT.json --current RUN.json [RUN2.json ...] \
+//!                           [--baseline PRIOR.json] [--fail-below X]
+//! ```
+//!
+//! `PRIOR.json` may be a raw run or a previous report; for a report, its
+//! `current` section becomes the new baseline (so pointing `--baseline` at
+//! the committed `BENCH_serving.json` compares against the last recorded
+//! measurement). Without `--baseline`, the report records the current run
+//! as its own baseline — the form used to seed the trajectory.
+//!
+//! `--fail-below X` exits non-zero when any baselined label's speedup
+//! drops under `X` — the CI regression gate. The report is still written
+//! first, so the artifact always shows *which* label collapsed. CI uses a
+//! deliberately loose threshold: quick-mode medians on shared runners are
+//! noisy and the committed baseline comes from a different machine, so
+//! the gate is meant to catch a kernel falling off a cliff, not a few
+//! percent of drift.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One benchmark's median, as extracted from a run or report file.
+#[derive(Debug, Clone)]
+struct Entry {
+    label: String,
+    median_ns: f64,
+}
+
+/// Extract `{"label": ..., "median_ns": ...}` entries from harness JSON.
+///
+/// Both the raw-run schema and the report sections write one result object
+/// per line, so a line scanner is enough — no general JSON parser needed
+/// in this dependency-free workspace.
+fn extract_entries(text: &str) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(label) = field_str(line, "label") else {
+            continue;
+        };
+        let Some(median_ns) = field_num(line, "median_ns") else {
+            continue;
+        };
+        entries.push(Entry { label, median_ns });
+    }
+    entries
+}
+
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, name: &str) -> Option<f64> {
+    let pat = format!("\"{name}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The baseline entries of a prior file: the `current` section of a report,
+/// or every entry of a raw run.
+fn extract_baseline(text: &str) -> Vec<Entry> {
+    match text.find("\"current\"") {
+        Some(pos) => extract_entries(&text[pos..]),
+        None => extract_entries(text),
+    }
+}
+
+fn render_entries(out: &mut String, entries: &[Entry]) {
+    out.push_str("    \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"label\": \"{}\", \"median_ns\": {:.1}}}{comma}",
+            e.label, e.median_ns
+        );
+    }
+    out.push_str("    ]\n");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut current_paths = Vec::new();
+    let mut baseline_path = None;
+    let mut fail_below = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--current" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    current_paths.push(args[i].clone());
+                    i += 1;
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::FAILURE;
+                }
+                baseline_path = Some(args[i].clone());
+                i += 1;
+            }
+            "--fail-below" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse::<f64>().ok());
+                let Some(threshold) = parsed else {
+                    eprintln!("--fail-below needs a number");
+                    return ExitCode::FAILURE;
+                };
+                fail_below = Some(threshold);
+                i += 1;
+            }
+            other if out_path.is_none() => {
+                out_path = Some(other.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(out_path), false) = (out_path, current_paths.is_empty()) else {
+        eprintln!(
+            "usage: fhc-bench-report OUT.json --current RUN.json [RUN.json ...] \
+             [--baseline PRIOR.json] [--fail-below X]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let mut current = Vec::new();
+    for path in &current_paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => current.extend(extract_entries(&text)),
+            Err(e) => {
+                eprintln!("cannot read current run {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if current.is_empty() {
+        eprintln!("no results found in {current_paths:?}");
+        return ExitCode::FAILURE;
+    }
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let entries = extract_baseline(&text);
+                if entries.is_empty() {
+                    eprintln!("no baseline results found in {path}");
+                    return ExitCode::FAILURE;
+                }
+                entries
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => current.clone(),
+    };
+
+    let mut out = String::from("{\n  \"schema\": \"fhc-bench-report/v1\",\n");
+    out.push_str("  \"unit\": \"median ns/op\",\n");
+    out.push_str("  \"baseline\": {\n");
+    render_entries(&mut out, &baseline);
+    out.push_str("  },\n  \"current\": {\n");
+    render_entries(&mut out, &current);
+    out.push_str("  },\n  \"speedup_median\": [\n");
+    let speedups: Vec<(String, f64)> = current
+        .iter()
+        .filter_map(|c| {
+            let b = baseline.iter().find(|b| b.label == c.label)?;
+            (c.median_ns > 0.0).then(|| (c.label.clone(), b.median_ns / c.median_ns))
+        })
+        .collect();
+    for (i, (label, x)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{\"label\": \"{label}\", \"x\": {x:.2}}}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &out) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out_path}: {} current labels, {} baselined",
+        current.len(),
+        speedups.len()
+    );
+    if let Some(threshold) = fail_below {
+        let regressed: Vec<&(String, f64)> =
+            speedups.iter().filter(|(_, x)| *x < threshold).collect();
+        if !regressed.is_empty() {
+            for (label, x) in &regressed {
+                eprintln!("REGRESSION: {label} at {x:.2}x of baseline (< {threshold})");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("all {} baselined labels >= {threshold}x", speedups.len());
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUN: &str = r#"{
+  "schema": "fhc-bench-run/v1",
+  "quick": false,
+  "results": [
+    {"label": "g/a", "median_ns": 100.0, "mean_ns": 110.0, "min_ns": 90.0, "iters": 5},
+    {"label": "g/b", "median_ns": 2000.5, "mean_ns": 2100.0, "min_ns": 1900.0, "iters": 3}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_raw_run_entries() {
+        let entries = extract_entries(RUN);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].label, "g/a");
+        assert_eq!(entries[0].median_ns, 100.0);
+        assert_eq!(entries[1].median_ns, 2000.5);
+    }
+
+    #[test]
+    fn baseline_of_report_is_its_current_section() {
+        let report = "{\n\"baseline\": {\n\"results\": [\n{\"label\": \"g/a\", \"median_ns\": 999.0}\n]},\n\"current\": {\n\"results\": [\n{\"label\": \"g/a\", \"median_ns\": 50.0}\n]}\n}";
+        let entries = extract_baseline(report);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].median_ns, 50.0);
+        // A raw run falls back to all entries.
+        assert_eq!(extract_baseline(RUN).len(), 2);
+    }
+}

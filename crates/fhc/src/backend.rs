@@ -14,7 +14,10 @@
 //! * [`IndexedBackend`] — the prepared block-size-bucketed index built by
 //!   [`ReferenceSet`]: only buckets whose block size is compatible with the
 //!   query's are visited, and each comparison skips straight to the
-//!   edit-distance DP. The default.
+//!   edit-distance DP — bounded by the cell's running maximum score, so a
+//!   reference that cannot beat the class's best match so far is abandoned
+//!   mid-DP (`ssdeep::compare_prepared_min` over the banded
+//!   `ssdeep::fastdist` kernel). The default.
 //! * [`ShardedBackend`] — the indexed scoring, with the reference *classes*
 //!   partitioned across N shards scored on a **persistent worker pool**
 //!   ([`hpcutil::WorkerPool`]) and their partial rows max-merged. This
@@ -30,7 +33,11 @@
 //!
 //! All are **score-identical by construction**: they assemble rows from the
 //! same per-cell scoring primitives on the same [`ReferenceSet`], differing
-//! only in indexing and scheduling. Seeded equivalence suites (in this
+//! only in indexing and scheduling. The indexed primitive prunes with each
+//! cell's running maximum as a score budget; max-pruning is exact for
+//! max-merge (an abandoned comparison could not have changed the cell's
+//! maximum), so sharding and remoting — which max-merge disjoint partial
+//! rows — inherit the pruning untouched. Seeded equivalence suites (in this
 //! module, `tests/integration_backends.rs`, and
 //! `tests/integration_remote.rs`) enforce byte-identical rows and
 //! predictions.
@@ -216,13 +223,7 @@ impl SimilarityBackend for IndexedBackend {
     fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
         let reference = &*self.reference;
         assert_eq!(out.len(), reference.n_columns(), "row width mismatch");
-        for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
-            let hash = query.get(kind);
-            for class in 0..reference.n_classes() {
-                let best = hash.map_or(0, |q| reference.cell_score_indexed(kind_idx, class, q));
-                out[reference.column_index(kind_idx, class)] = f64::from(best);
-            }
-        }
+        reference.max_scores_into_indexed(query, out);
     }
 }
 
@@ -318,21 +319,14 @@ impl ShardedBackend {
 }
 
 /// The partial row of one class partition (free function so pool jobs can
-/// run it from `'static` closures over `Arc`s).
+/// run it from `'static` closures over `Arc`s), through the inverted gram
+/// index restricted to the shard's classes.
 fn shard_partial(
     reference: &ReferenceSet,
     classes: &[usize],
     query: &PreparedSampleFeatures,
 ) -> Vec<(usize, f64)> {
-    let mut cells = Vec::with_capacity(classes.len() * reference.kinds().len());
-    for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
-        let hash = query.get(kind);
-        for &class in classes {
-            let best = hash.map_or(0, |q| reference.cell_score_indexed(kind_idx, class, q));
-            cells.push((reference.column_index(kind_idx, class), f64::from(best)));
-        }
-    }
-    cells
+    reference.partial_row_cells(classes, query)
 }
 
 impl SimilarityBackend for ShardedBackend {

@@ -78,24 +78,20 @@ impl ShardWorker {
 
     /// The partial max-score row of `query` over `classes`: one
     /// `(column, score)` cell per `(view, class)`, scored through the
-    /// prepared block-size-bucketed index.
+    /// prepared block-size-bucketed index with the cell's running maximum
+    /// threaded down as an early-exit score budget — the same pruned
+    /// primitive as the in-process backends, so remote partial rows stay
+    /// byte-identical to local ones.
     pub fn partial_row(
         &self,
         classes: &[usize],
         query: &PreparedSampleFeatures,
     ) -> Vec<(u32, f64)> {
-        let reference = &*self.reference;
-        let mut cells = Vec::with_capacity(classes.len() * reference.kinds().len());
-        for (kind_idx, &kind) in reference.kinds().iter().enumerate() {
-            let hash = query.get(kind);
-            for &class in classes {
-                let best = hash.map_or(0, |q| reference.cell_score_indexed(kind_idx, class, q));
-                let column = u32::try_from(reference.column_index(kind_idx, class))
-                    .expect("column index fits u32");
-                cells.push((column, f64::from(best)));
-            }
-        }
-        cells
+        self.reference
+            .partial_row_cells(classes, query)
+            .into_iter()
+            .map(|(column, score)| (u32::try_from(column).expect("column index fits u32"), score))
+            .collect()
     }
 
     /// Serve one connection until the client says goodbye (a `Shutdown`

@@ -20,51 +20,212 @@
 //!
 //! The reference set is *static* once built, so [`ReferenceSet::new`]
 //! prepares every reference hash up front ([`ssdeep::PreparedHash`]: run
-//! elimination + sorted packed window keys, paid once) and groups the
-//! prepared hashes of each `(view, class)` cell into **block-size buckets**.
-//! Scoring a query then touches only the two or three buckets whose block
-//! size is compatible with the query's (equal or a factor of two apart) —
-//! incompatible reference hashes are skipped without reading a single
-//! signature byte — and each comparison runs just the common-substring
-//! intersection and the edit-distance DP. Scores are byte-identical to the
-//! unindexed scan ([`ReferenceSet::feature_vector_scan`] keeps the plain
-//! `ssdeep::compare` path as a verification oracle).
+//! elimination + sorted packed window keys, paid once) and builds an
+//! **inverted gram index** per view: window key → posting list of the
+//! reference hashes containing it, per block size and signature channel.
+//! A non-zero SSDeep score requires a shared 7-byte window (the
+//! common-substring guard), so probing a query's own ≤ 64 window keys
+//! against the posting lists of the compatible block sizes (equal, double,
+//! half — everything else scores 0 by the block-size rule) surfaces
+//! *exactly* the references that can score above 0; the rest of the
+//! reference set is never touched. Each surfaced candidate then runs the
+//! budget-pruned comparison: the class's running maximum similarity is
+//! threaded down as an early-exit score budget
+//! ([`ssdeep::compare_prepared_min`] over the banded `ssdeep::fastdist`
+//! kernel), so a reference that cannot beat the best score seen so far is
+//! abandoned mid-DP. Scores are byte-identical to the unindexed scan
+//! ([`ReferenceSet::feature_vector_scan`] keeps the plain `ssdeep::compare`
+//! path as a verification oracle).
 
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use hpcutil::codec::fnv1a64;
 use hpcutil::{par_map_indexed, ByteWriter};
-use ssdeep::{compare_prepared, FuzzyHash, PreparedHash};
+use ssdeep::compare::MIN_COMMON_SUBSTRING;
+use ssdeep::{compare_prepared_min, FuzzyHash, PreparedHash};
+use std::collections::BTreeMap;
 
-/// Block-size buckets over one `(view, class)` cell of the reference set:
-/// `(block size, indices of the class's prepared samples whose hash for this
-/// view has that block size)`, sorted by block size for binary search.
+/// CSR posting lists over the unique sorted window keys of one signature
+/// channel (primary or double) at one block size: `postings[starts[i] ..
+/// starts[i + 1]]` are the entry ids of the reference hashes containing
+/// `keys[i]`.
 #[derive(Debug, Clone)]
-struct BlockSizeBuckets {
-    buckets: Vec<(u64, Vec<u32>)>,
+struct GramPostings {
+    keys: Vec<u64>,
+    starts: Vec<u32>,
+    postings: Vec<u32>,
 }
 
-impl BlockSizeBuckets {
-    /// Bucket every sample of `class_samples` that has a hash for `kind`.
-    fn build(class_samples: &[PreparedSampleFeatures], kind: FeatureKind) -> Self {
-        let mut buckets: Vec<(u64, Vec<u32>)> = Vec::new();
-        for (i, sample) in class_samples.iter().enumerate() {
-            if let Some(prepared) = sample.get(kind) {
-                let block_size = prepared.block_size();
-                match buckets.binary_search_by_key(&block_size, |&(b, _)| b) {
-                    Ok(pos) => buckets[pos].1.push(i as u32),
-                    Err(pos) => buckets.insert(pos, (block_size, vec![i as u32])),
+impl GramPostings {
+    /// Build from raw `(window key, entry id)` pairs.
+    fn build(mut pairs: Vec<(u64, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup(); // a signature can repeat a 7-gram; index each once
+        let mut keys = Vec::new();
+        let mut starts = Vec::new();
+        let mut postings = Vec::with_capacity(pairs.len());
+        for (key, entry) in pairs {
+            if keys.last() != Some(&key) {
+                keys.push(key);
+                starts.push(postings.len() as u32);
+            }
+            postings.push(entry);
+        }
+        starts.push(postings.len() as u32);
+        Self {
+            keys,
+            starts,
+            postings,
+        }
+    }
+
+    /// Append the entry ids of every reference hash sharing a window key
+    /// with `query_keys` (sorted, possibly with duplicates) to `out`.
+    ///
+    /// Both key lists are sorted, so each query key is found by a binary
+    /// search over the not-yet-visited suffix of the index keys.
+    fn lookup(&self, query_keys: &[u64], out: &mut Vec<u32>) {
+        let mut lo = 0usize;
+        let mut prev = None;
+        for &key in query_keys {
+            if prev == Some(key) {
+                continue;
+            }
+            prev = Some(key);
+            if lo >= self.keys.len() {
+                break;
+            }
+            match self.keys[lo..].binary_search(&key) {
+                Ok(pos) => {
+                    let pos = lo + pos;
+                    let range = self.starts[pos] as usize..self.starts[pos + 1] as usize;
+                    out.extend_from_slice(&self.postings[range]);
+                    lo = pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+        }
+    }
+}
+
+/// The inverted gram index of one feature kind: window key -> reference
+/// hashes, per block size and signature channel.
+///
+/// A non-zero SSDeep score *requires* a shared 7-byte window between the
+/// compared signature pair (the common-substring guard), except for the
+/// identical-hash fast path on signatures whose run-eliminated form is
+/// shorter than the window. So the references that can score a query at
+/// all are found by probing the query's own window keys against these
+/// posting lists — per query, not per reference — and every reference
+/// *not* surfaced scores exactly 0 without being touched. The candidates
+/// that are surfaced go through the full budget-pruned comparison, keeping
+/// the rows byte-identical to the scan oracle.
+#[derive(Debug, Clone)]
+struct KindGramIndex {
+    /// One entry per reference hash of this kind:
+    /// `(known-class id, sample index within the class)`, in class-major
+    /// order (so candidate lists sorted by entry id group by class).
+    entries: Vec<(u32, u32)>,
+    /// Primary-signature postings, sorted by block size.
+    primary: Vec<(u64, GramPostings)>,
+    /// Double-signature postings, sorted by the owning hash's block size.
+    double: Vec<(u64, GramPostings)>,
+    /// Entries that can only match through the identical-hash fast path:
+    /// raw signature long enough for it, run-eliminated signature too short
+    /// to carry any window key. Sorted by block size.
+    degenerate: Vec<(u64, Vec<u32>)>,
+}
+
+impl KindGramIndex {
+    fn build(prepared_by_class: &[Vec<PreparedSampleFeatures>], kind: FeatureKind) -> Self {
+        let mut entries = Vec::new();
+        let mut primary: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut double: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut degenerate: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (class, samples) in prepared_by_class.iter().enumerate() {
+            for (sample, features) in samples.iter().enumerate() {
+                let Some(hash) = features.get(kind) else {
+                    continue;
+                };
+                let entry = entries.len() as u32;
+                entries.push((class as u32, sample as u32));
+                let block_size = hash.block_size();
+                let primary_pairs = primary.entry(block_size).or_default();
+                for &key in hash.primary().keys() {
+                    primary_pairs.push((key, entry));
+                }
+                let double_pairs = double.entry(block_size).or_default();
+                for &key in hash.double().keys() {
+                    double_pairs.push((key, entry));
+                }
+                if hash.primary().eliminated().len() < MIN_COMMON_SUBSTRING
+                    && hash.hash().signature().len() >= MIN_COMMON_SUBSTRING
+                {
+                    degenerate.entry(block_size).or_default().push(entry);
                 }
             }
         }
-        Self { buckets }
+        let finish = |map: BTreeMap<u64, Vec<(u64, u32)>>| -> Vec<(u64, GramPostings)> {
+            map.into_iter()
+                .map(|(block_size, pairs)| (block_size, GramPostings::build(pairs)))
+                .collect()
+        };
+        Self {
+            entries,
+            primary: finish(primary),
+            double: finish(double),
+            degenerate: degenerate.into_iter().collect(),
+        }
     }
 
-    /// Sample indices whose hash has exactly `block_size`.
-    fn bucket(&self, block_size: u64) -> &[u32] {
-        match self.buckets.binary_search_by_key(&block_size, |&(b, _)| b) {
-            Ok(pos) => &self.buckets[pos].1,
-            Err(_) => &[],
+    /// Probe one channel: the postings at `block_size` against the query
+    /// keys of the signature SSDeep would compare at that pairing.
+    fn channel(
+        postings: &[(u64, GramPostings)],
+        block_size: u64,
+        query_keys: &[u64],
+        out: &mut Vec<u32>,
+    ) {
+        if let Ok(pos) = postings.binary_search_by_key(&block_size, |&(b, _)| b) {
+            postings[pos].1.lookup(query_keys, out);
         }
+    }
+
+    /// The sorted, deduplicated entry ids of every reference hash that can
+    /// score `query` above 0 — the exact comparison pairings of
+    /// [`ssdeep::compare`]: primary vs primary and double vs double at an
+    /// equal block size, query-primary vs reference-double at half, and
+    /// query-double vs reference-primary at double, plus the
+    /// identical-hash degenerates at the equal block size.
+    ///
+    /// With a sorted `classes` filter (a shard's partition), entries of
+    /// non-owned classes are dropped *before* the sort/dedup, so a shard's
+    /// candidate-surfacing cost shrinks with its share of the classes.
+    fn candidates(&self, query: &PreparedHash, classes: Option<&[usize]>, out: &mut Vec<u32>) {
+        out.clear();
+        let block_size = query.block_size();
+        Self::channel(&self.primary, block_size, query.primary().keys(), out);
+        Self::channel(&self.double, block_size, query.double().keys(), out);
+        if block_size.is_multiple_of(2) {
+            Self::channel(&self.double, block_size / 2, query.primary().keys(), out);
+        }
+        if let Some(doubled) = block_size.checked_mul(2) {
+            Self::channel(&self.primary, doubled, query.double().keys(), out);
+        }
+        if let Ok(pos) = self
+            .degenerate
+            .binary_search_by_key(&block_size, |&(b, _)| b)
+        {
+            out.extend_from_slice(&self.degenerate[pos].1);
+        }
+        if let Some(filter) = classes {
+            out.retain(|&entry| {
+                filter
+                    .binary_search(&(self.entries[entry as usize].0 as usize))
+                    .is_ok()
+            });
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -83,8 +244,8 @@ pub struct ReferenceSet {
     prepared_by_class: Vec<Vec<PreparedSampleFeatures>>,
     /// Which feature kinds are active (ablations disable some).
     kinds: Vec<FeatureKind>,
-    /// Block-size buckets per `[kind index][class]`.
-    index: Vec<Vec<BlockSizeBuckets>>,
+    /// The inverted gram index, one per active kind.
+    index: Vec<KindGramIndex>,
 }
 
 impl ReferenceSet {
@@ -147,12 +308,7 @@ impl ReferenceSet {
         assert_eq!(class_names.len(), prepared_by_class.len());
         let index = kinds
             .iter()
-            .map(|&kind| {
-                prepared_by_class
-                    .iter()
-                    .map(|samples| BlockSizeBuckets::build(samples, kind))
-                    .collect()
-            })
+            .map(|&kind| KindGramIndex::build(&prepared_by_class, kind))
             .collect();
         Self {
             class_names,
@@ -276,66 +432,111 @@ impl ReferenceSet {
     }
 
     /// Feature vector of one already-prepared sample, computed through the
-    /// block-size-bucketed similarity index: per `(view, class)` cell only
-    /// the buckets whose block size is compatible with the query's are
-    /// compared at all, and each comparison skips straight to the
-    /// edit-distance DP. Scores are identical to the unindexed
+    /// inverted gram index: per view, the query's window keys surface the
+    /// only references that can score above 0, and those run the
+    /// budget-pruned comparison. Scores are identical to the unindexed
     /// [`ReferenceSet::feature_vector_scan`].
     pub fn feature_vector_prepared(&self, sample: &PreparedSampleFeatures) -> Vec<f64> {
-        let mut row = Vec::with_capacity(self.n_columns());
-        for (kind_idx, &kind) in self.kinds.iter().enumerate() {
-            let query = sample.get(kind);
-            for class in 0..self.class_names.len() {
-                let best = query.map_or(0, |q| self.cell_score_indexed(kind_idx, class, q));
-                row.push(f64::from(best));
-            }
-        }
+        let mut row = vec![0.0; self.n_columns()];
+        self.max_scores_into_indexed(sample, &mut row);
         row
     }
 
-    /// Maximum similarity of `query` against one `(view, class)` cell,
-    /// through the block-size-bucketed index. This is the scoring primitive
-    /// [`crate::backend::IndexedBackend`] and
-    /// [`crate::backend::ShardedBackend`] assemble rows from.
-    pub(crate) fn cell_score_indexed(
-        &self,
-        kind_idx: usize,
-        class: usize,
-        query: &PreparedHash,
-    ) -> u32 {
-        let samples = &self.prepared_by_class[class];
-        let buckets = &self.index[kind_idx][class];
-        let kind = self.kinds[kind_idx];
-        let block_size = query.block_size();
-        // The only block sizes SSDeep will compare: equal, double, and (for
-        // even sizes) half. Everything else scores 0 and is never visited.
-        let candidates = [
-            Some(block_size),
-            block_size.checked_mul(2),
-            block_size.is_multiple_of(2).then_some(block_size / 2),
-        ];
-        let mut best = 0u32;
-        for candidate in candidates.into_iter().flatten() {
-            for &i in buckets.bucket(candidate) {
-                let reference = self.prepared_sample_hash(samples, i, kind);
-                best = best.max(compare_prepared(query, reference));
-                if best == 100 {
-                    return best;
-                }
+    /// Write the full similarity row of one prepared query through the
+    /// inverted gram index. `out` must have [`ReferenceSet::n_columns`]
+    /// cells and is fully overwritten. The row primitive behind
+    /// [`crate::backend::IndexedBackend`] (and, with a class filter,
+    /// [`ReferenceSet::partial_row_cells`] behind the sharded and remote
+    /// topologies).
+    pub(crate) fn max_scores_into_indexed(&self, sample: &PreparedSampleFeatures, out: &mut [f64]) {
+        out.fill(0.0);
+        let mut scratch = Vec::new();
+        for (kind_idx, &kind) in self.kinds.iter().enumerate() {
+            if let Some(query) = sample.get(kind) {
+                self.kind_scores_into(kind_idx, query, None, &mut scratch, |class, score| {
+                    out[self.column_index(kind_idx, class)] = f64::from(score);
+                });
             }
         }
-        best
     }
 
-    fn prepared_sample_hash<'a>(
+    /// The partial max-score row of `query` over a sorted class subset:
+    /// one `(column, score)` cell for every `(view, class)` in
+    /// `classes` — the primitive the sharded backend and the shardnet
+    /// worker max-merge from (their partial rows carry every owned cell,
+    /// zeros included, so the merge never has to guess coverage).
+    pub(crate) fn partial_row_cells(
         &self,
-        samples: &'a [PreparedSampleFeatures],
-        index: u32,
-        kind: FeatureKind,
-    ) -> &'a PreparedHash {
-        samples[index as usize]
-            .get(kind)
-            .expect("indexed sample has this view")
+        classes: &[usize],
+        query: &PreparedSampleFeatures,
+    ) -> Vec<(usize, f64)> {
+        debug_assert!(classes.windows(2).all(|w| w[0] < w[1]), "classes sorted");
+        let mut cells = Vec::with_capacity(classes.len() * self.kinds.len());
+        let mut scratch = Vec::new();
+        for (kind_idx, &kind) in self.kinds.iter().enumerate() {
+            let base = cells.len();
+            for &class in classes {
+                cells.push((self.column_index(kind_idx, class), 0.0));
+            }
+            if let Some(hash) = query.get(kind) {
+                self.kind_scores_into(kind_idx, hash, Some(classes), &mut scratch, |class, s| {
+                    let pos = classes
+                        .binary_search(&class)
+                        .expect("emitted class in filter");
+                    cells[base + pos].1 = f64::from(s);
+                });
+            }
+        }
+        cells
+    }
+
+    /// Score one query hash against one view of the reference set through
+    /// the inverted gram index, emitting `(class, max score)` for every
+    /// class with a non-zero maximum (restricted to the sorted `classes`
+    /// subset when given).
+    ///
+    /// Candidates arrive in class-major order, and each class's running
+    /// maximum is threaded down as an early-exit score budget
+    /// ([`ssdeep::compare_prepared_min`]): a reference that cannot beat the
+    /// best score seen so far in its class is abandoned mid-DP (often
+    /// before any DP row is touched). Exact for max-merge by the budget
+    /// contract — a comparison is only ever under-reported when its true
+    /// score could not have changed the maximum — so every backend stays
+    /// byte-identical to the [`ssdeep::compare`] scan oracle.
+    fn kind_scores_into(
+        &self,
+        kind_idx: usize,
+        query: &PreparedHash,
+        classes: Option<&[usize]>,
+        scratch: &mut Vec<u32>,
+        mut emit: impl FnMut(usize, u32),
+    ) {
+        let kind = self.kinds[kind_idx];
+        let index = &self.index[kind_idx];
+        index.candidates(query, classes, scratch);
+        let mut current_class = usize::MAX;
+        let mut best = 0u32;
+        for &entry in scratch.iter() {
+            let (class, sample) = index.entries[entry as usize];
+            let (class, sample) = (class as usize, sample as usize);
+            if class != current_class {
+                if current_class != usize::MAX && best > 0 {
+                    emit(current_class, best);
+                }
+                current_class = class;
+                best = 0;
+            }
+            if best == 100 {
+                continue; // the class max cannot improve
+            }
+            let reference = self.prepared_by_class[class][sample]
+                .get(kind)
+                .expect("indexed sample has this view");
+            best = best.max(compare_prepared_min(query, reference, best + 1));
+        }
+        if current_class != usize::MAX && best > 0 {
+            emit(current_class, best);
+        }
     }
 
     /// Feature vector computed by the original unindexed scan: every
@@ -599,5 +800,92 @@ mod tests {
     fn mismatched_labels_panic() {
         let train = vec![make_sample("velvet", 0)];
         let _ = ReferenceSet::new(vec!["Velvet".into()], &train, &[0, 1], &FeatureKind::ALL);
+    }
+
+    /// A sample whose three views are hand-built hashes (exercises the
+    /// inverted index's edge paths, which generated hashes rarely hit).
+    ///
+    /// NOTE: `tests/common/mod.rs` (`degenerate_references` /
+    /// `degenerate_probes`) is the source of truth for this adversarial
+    /// corpus — the workspace integration suites run it through every
+    /// backend and over the wire. This in-crate copy exists only because a
+    /// unit test cannot import the workspace test crate; when adding a new
+    /// adversarial shape, add it there first and mirror it here.
+    fn parts_sample(bs: u64, sig: &str, sig_double: &str) -> SampleFeatures {
+        let h = ssdeep::FuzzyHash::from_parts(bs, sig.into(), sig_double.into()).unwrap();
+        SampleFeatures {
+            file: h.clone(),
+            strings: h.clone(),
+            symbols: Some(h),
+        }
+    }
+
+    /// The inverted gram index must match the scan oracle on adversarial
+    /// hand-built hashes: run-heavy signatures whose eliminated form is
+    /// shorter than the 7-byte window (only the identical-hash fast path
+    /// can score them), factor-of-two block-size pairings in both
+    /// directions (primary-vs-double channels), near-`u64::MAX` block
+    /// sizes (doubling overflows), and tiny-block-size score caps.
+    #[test]
+    fn indexed_matches_scan_on_degenerate_and_factor_two_hashes() {
+        let references = vec![
+            // Run-heavy: "AAAAAAAAAA" eliminates to "AAA" (no window keys).
+            parts_sample(3, "AAAAAAAAAA", "AAAAA"),
+            parts_sample(3, "AAAAAAAAAB", "AAAAA"),
+            // Normal signatures at block sizes 6 and 12 (factor-two pair).
+            parts_sample(6, "ABCDEFGHIJKLMNOP", "ABCDEFGH"),
+            parts_sample(12, "ABCDEFGHIJKLMNOP", "QRSTUVWX"),
+            parts_sample(24, "QRSTUVWXABCDEFGH", "MNBVCXZL"),
+            // Huge block sizes: doubling overflows u64.
+            parts_sample(u64::MAX, "ABCDEFGHIJKL", "ABCDEF"),
+            parts_sample(u64::MAX / 2 + 1, "ABCDEFGHIJKL", "ABCDEF"),
+            // Short signature below the common-substring window.
+            parts_sample(3, "ABCDE", "AB"),
+        ];
+        let labels: Vec<usize> = (0..references.len()).map(|i| i % 3).collect();
+        let rs = ReferenceSet::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            &references,
+            &labels,
+            &FeatureKind::ALL,
+        );
+        // Probe with every reference itself (identical-hash paths), plus
+        // queries whose block size pairs with references only through the
+        // half/double channels, plus a no-match stranger.
+        let mut probes = references.clone();
+        probes.push(parts_sample(6, "QRSTUVWXABCDEFGH", "ABCDEFGHIJKLMNOP"));
+        probes.push(parts_sample(48, "MNBVCXZLKJHGFDSA", "POIUYTRE"));
+        probes.push(parts_sample(3, "AAAAAAAAAA", "AAAAA"));
+        probes.push(parts_sample(192, "zzzzyyyyxxxxwwww", "vvvvuuuu"));
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(
+                rs.feature_vector(probe),
+                rs.feature_vector_scan(probe),
+                "probe {i}: index and scan disagree"
+            );
+        }
+        // The identical-hash degenerate really does score 100 through the
+        // index (a pure gram lookup would have missed it).
+        let row = rs.feature_vector(&probes[0]);
+        assert_eq!(row[0], 100.0);
+    }
+
+    #[test]
+    fn partial_row_cells_union_to_the_full_row() {
+        let (rs, _) = reference();
+        let probe = PreparedSampleFeatures::prepare(&make_sample("velvet", 5));
+        let full = rs.feature_vector_prepared(&probe);
+        for split in [vec![vec![0usize], vec![1usize]], vec![vec![0usize, 1]]] {
+            let mut merged = vec![0.0f64; rs.n_columns()];
+            let mut n_cells = 0;
+            for classes in &split {
+                for (column, score) in rs.partial_row_cells(classes, &probe) {
+                    merged[column] = merged[column].max(score);
+                    n_cells += 1;
+                }
+            }
+            assert_eq!(merged, full, "split {split:?}");
+            assert_eq!(n_cells, rs.n_columns(), "every owned cell present");
+        }
     }
 }

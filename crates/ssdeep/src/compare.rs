@@ -19,6 +19,7 @@
 use crate::blocksize::MIN_BLOCKSIZE;
 use crate::edit_distance::weighted_edit_distance;
 use crate::generate::{FuzzyHash, SPAM_SUM_LENGTH};
+use std::borrow::Cow;
 
 /// Minimum length of a common substring required for a non-zero score
 /// (equal to the rolling-hash window length, as in SSDeep).
@@ -28,23 +29,54 @@ pub const MIN_COMMON_SUBSTRING: usize = 7;
 ///
 /// Sequences like `AAAAAAA` arise from large homogeneous regions (e.g.
 /// zero-padding in executables) and carry little identity information.
-pub fn eliminate_long_runs(sig: &str) -> String {
+///
+/// Returns the input unchanged (borrowed, no allocation) when no run is
+/// collapsed — the common case on the scoring hot path. The output is built
+/// as bytes and converted once: the old per-byte `push(b as char)` loop
+/// reinterpreted each byte as a Unicode scalar, so non-ASCII input
+/// round-tripped wrongly (each byte `>= 0x80` became a two-byte char).
+pub fn eliminate_long_runs(sig: &str) -> Cow<'_, str> {
     let bytes = sig.as_bytes();
-    let mut out = String::with_capacity(sig.len());
-    let mut run_char = 0u8;
+    // Scan for the first byte that extends a run past three.
     let mut run_len = 0usize;
-    for &b in bytes {
-        if b == run_char {
+    let mut prev = None;
+    let mut first_excess = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        if Some(b) == prev {
+            run_len += 1;
+            if run_len > 3 {
+                first_excess = Some(i);
+                break;
+            }
+        } else {
+            prev = Some(b);
+            run_len = 1;
+        }
+    }
+    let Some(start) = first_excess else {
+        return Cow::Borrowed(sig);
+    };
+    // Copy the clean prefix, then keep filtering from the overflow point.
+    let mut out = Vec::with_capacity(bytes.len() - 1);
+    out.extend_from_slice(&bytes[..start]);
+    let mut run_len = 4usize; // bytes[start] is the 4th of its run: dropped
+    let mut run_byte = bytes[start];
+    for &b in &bytes[start + 1..] {
+        if b == run_byte {
             run_len += 1;
         } else {
-            run_char = b;
+            run_byte = b;
             run_len = 1;
         }
         if run_len <= 3 {
-            out.push(b as char);
+            out.push(b);
         }
     }
-    out
+    // Only whole bytes of a >3-run are dropped, and in valid UTF-8 such a
+    // run is always ASCII: identical lead bytes cannot be adjacent (a lead
+    // is followed by continuations), and a char carries at most three
+    // identical continuation bytes, which the next char's lead terminates.
+    Cow::Owned(String::from_utf8(out).expect("collapsing ASCII runs preserves UTF-8"))
 }
 
 /// Pack one [`MIN_COMMON_SUBSTRING`]-byte window into a `u64` key (base64
@@ -117,12 +149,25 @@ pub fn has_common_substring(a: &str, b: &str) -> bool {
 /// lengths `len1` and `len2` onto the 0–100 similarity scale, applying the
 /// small-block-size cap. Shared by [`score_strings`] and the precomputed
 /// [`compare_prepared`](crate::prepared::compare_prepared) path so the two
-/// stay byte-identical.
-pub(crate) fn scale_score(dist: u64, len1: u64, len2: u64, block_size: u64) -> u32 {
+/// stay byte-identical. Monotone non-increasing in `dist`, which is what
+/// makes the [`max_distance_for_score`] inverse (and therefore score-budget
+/// pruning) exact.
+///
+/// A weighted edit distance never exceeds `len1 + len2`, so `dist` is
+/// clamped to that range; two empty signatures (which the scoring paths
+/// reject before scaling) score 0.
+pub fn scale_score(dist: u64, len1: u64, len2: u64, block_size: u64) -> u32 {
+    let total = len1.saturating_add(len2);
+    if total == 0 {
+        return 0;
+    }
+    let dist = dist.min(total);
     // Scale the distance by the signature lengths onto 0..=100, mirroring
     // spamsum: first rescale to a "proportional" distance relative to
-    // SPAM_SUM_LENGTH, then convert to a similarity.
-    let mut score = dist * (SPAM_SUM_LENGTH as u64) / (len1 + len2);
+    // SPAM_SUM_LENGTH, then convert to a similarity. The multiplication
+    // saturates only for absurd (> 2^57-byte) caller-supplied lengths,
+    // where the score is 0 either way.
+    let mut score = dist.saturating_mul(SPAM_SUM_LENGTH as u64) / total;
     score = (100 * score) / (SPAM_SUM_LENGTH as u64);
     let mut score = 100u64.saturating_sub(score);
 
@@ -137,6 +182,59 @@ pub(crate) fn scale_score(dist: u64, len1: u64, len2: u64, block_size: u64) -> u
         }
     }
     score.min(100) as u32
+}
+
+/// The inverse of [`scale_score`]: the largest weighted edit distance that
+/// still scales to a similarity of at least `min_score` for run-eliminated
+/// signature lengths `len1`/`len2` under `block_size` — or `None` when no
+/// distance can reach `min_score` (the small-block-size cap alone rules it
+/// out, or `min_score > 100`).
+///
+/// This is what turns a *score* budget into a *distance* budget: a caller
+/// that only cares about comparisons beating some running maximum `s` can
+/// bound the edit-distance DP at `max_distance_for_score(s + 1, ..)` and
+/// abandon the table the moment the bound is exceeded
+/// ([`crate::fastdist::weighted_edit_distance_bounded`]), without ever
+/// changing a reported score. `scale_score` is monotone non-increasing in
+/// the distance, so the inverse is found by binary search over
+/// `0..=len1+len2` (the range of possible weighted distances) with
+/// `scale_score` itself as the oracle — exact by construction, immune to
+/// the scaling's floor-division subtleties.
+///
+/// # Examples
+///
+/// ```
+/// use ssdeep::compare::{max_distance_for_score, scale_score};
+/// let budget = max_distance_for_score(80, 60, 60, 3072).unwrap();
+/// assert!(scale_score(budget, 60, 60, 3072) >= 80);
+/// assert!(scale_score(budget + 1, 60, 60, 3072) < 80);
+/// // A tiny block size caps scores below 100: no distance reaches it.
+/// assert_eq!(max_distance_for_score(100, 8, 8, 3), None);
+/// ```
+pub fn max_distance_for_score(
+    min_score: u32,
+    len1: u64,
+    len2: u64,
+    block_size: u64,
+) -> Option<u64> {
+    let max_dist = len1.saturating_add(len2);
+    if min_score == 0 {
+        // Every comparison scores at least 0.
+        return Some(max_dist);
+    }
+    if min_score > 100 || scale_score(0, len1, len2, block_size) < min_score {
+        return None;
+    }
+    let (mut lo, mut hi) = (0u64, max_dist);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if scale_score(mid, len1, len2, block_size) >= min_score {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
 }
 
 /// Score two signatures that were generated with the same block size.
@@ -379,6 +477,25 @@ mod tests {
         let b = FuzzyHash::from_parts(b1 * 2, sig.clone(), sig).unwrap();
         assert!(compare(&a, &b) > 0);
         assert_eq!(compare(&a, &b), compare(&b, &a));
+    }
+
+    #[test]
+    fn scale_score_handles_degenerate_public_inputs() {
+        // Zero lengths (empty signatures) score 0 instead of dividing by
+        // zero, a distance beyond len1 + len2 clamps (the weighted distance
+        // never exceeds it), and absurd magnitudes saturate instead of
+        // overflowing.
+        assert_eq!(scale_score(0, 0, 0, 3), 0);
+        assert_eq!(scale_score(7, 0, 0, u64::MAX), 0);
+        assert_eq!(
+            scale_score(u64::MAX, 32, 32, 3072),
+            scale_score(64, 32, 32, 3072)
+        );
+        assert_eq!(scale_score(u64::MAX / 32, 1, 1, 3072), 0);
+        assert_eq!(scale_score(0, u64::MAX, u64::MAX, 3072), 100);
+        assert_eq!(max_distance_for_score(1, 0, 0, 3), None);
+        assert_eq!(max_distance_for_score(0, 0, 0, 3), Some(0));
+        assert!(max_distance_for_score(1, u64::MAX, u64::MAX, 3072).is_some());
     }
 
     #[test]

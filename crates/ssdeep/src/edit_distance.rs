@@ -71,7 +71,14 @@ pub fn weighted_edit_distance(a: &str, b: &str) -> usize {
 ///
 /// `ins`, `del`, and `sub` are the per-operation costs; `transpose` enables
 /// the Damerau transposition case with the given cost when `Some`.
-fn generic_distance(
+///
+/// This is the *oracle*: structurally the simplest correct implementation,
+/// which the bounded kernel in [`crate::fastdist`] is property-tested
+/// against. It allocates three fresh rows per call and always fills the
+/// full table — hot paths use
+/// [`weighted_edit_distance_bounded`](crate::fastdist::weighted_edit_distance_bounded)
+/// instead.
+pub(crate) fn generic_distance(
     a: &[u8],
     b: &[u8],
     ins: usize,

@@ -16,13 +16,19 @@
 //! * [`generate`] — [`FuzzyHash`] generation ([`fuzzy_hash_bytes`]).
 //! * [`edit_distance`] — Levenshtein, Damerau–Levenshtein (Eq. 1 of the
 //!   paper), and the weighted edit distance SSDeep scales into a score.
+//! * [`fastdist`] — the bounded comparison kernel: reusable DP scratch, a
+//!   bit-parallel (Myers/Hyyrö) Damerau lower bound, and a banded DP with
+//!   early cutoff ([`weighted_edit_distance_bounded`]), byte-identical to
+//!   the oracle wherever it reports an exact distance.
 //! * [mod@compare] — the 0–100 similarity score ([`compare`](compare::compare)),
 //!   including the common-substring guard and block-size compatibility rule.
 //! * [`prepared`] — [`PreparedHash`]: per-hash comparison state computed
 //!   once, so comparing against a static reference set
 //!   ([`compare_prepared`]) pays only the
 //!   edit-distance DP per pair, with scores byte-identical to
-//!   [`compare`](compare::compare).
+//!   [`compare`](compare::compare), and [`compare_prepared_min`]: the
+//!   max-merge pruning primitive that abandons comparisons which cannot
+//!   beat a running maximum score.
 //!
 //! # Quick start
 //!
@@ -52,13 +58,18 @@ pub mod blocksize;
 pub mod compare;
 pub mod edit_distance;
 pub mod error;
+pub mod fastdist;
 pub mod fnv;
 pub mod generate;
 pub mod prepared;
 pub mod rolling_hash;
 
-pub use compare::{compare, compare_strings};
+pub use compare::{compare, compare_strings, max_distance_for_score, scale_score};
 pub use edit_distance::{damerau_levenshtein, levenshtein, weighted_edit_distance};
 pub use error::ParseError;
+pub use fastdist::{
+    damerau_levenshtein_bitparallel, weighted_edit_distance_bounded, BoundedDistance,
+    DistanceScratch,
+};
 pub use generate::{fuzzy_hash_bytes, FuzzyHash, SPAM_SUM_LENGTH};
-pub use prepared::{compare_prepared, PreparedHash};
+pub use prepared::{compare_prepared, compare_prepared_min, PreparedHash};

@@ -16,8 +16,10 @@
 //! [`compare`](crate::compare::compare) on the corresponding [`FuzzyHash`]
 //! pair, which the equivalence tests below enforce.
 
-use crate::compare::{eliminate_long_runs, scale_score, window_keys, MIN_COMMON_SUBSTRING};
-use crate::edit_distance::weighted_edit_distance;
+use crate::compare::{
+    eliminate_long_runs, max_distance_for_score, scale_score, window_keys, MIN_COMMON_SUBSTRING,
+};
+use crate::fastdist::{weighted_edit_distance_bounded, BoundedDistance};
 use crate::generate::FuzzyHash;
 
 /// One signature with its comparison state precomputed.
@@ -33,7 +35,7 @@ pub struct PreparedSignature {
 
 impl PreparedSignature {
     fn new(signature: &str) -> Self {
-        let eliminated = eliminate_long_runs(signature);
+        let eliminated = eliminate_long_runs(signature).into_owned();
         let keys = window_keys(eliminated.as_bytes());
         Self { eliminated, keys }
     }
@@ -195,9 +197,21 @@ fn sorted_keys_intersect(a: &[u64], b: &[u64]) -> bool {
     false
 }
 
-/// Score two prepared signatures generated with the same block size
-/// (the precomputed twin of [`score_strings`](crate::compare::score_strings)).
-fn score_prepared(s1: &PreparedSignature, s2: &PreparedSignature, block_size: u64) -> u32 {
+/// Score two prepared signatures generated with the same block size (the
+/// precomputed twin of [`score_strings`](crate::compare::score_strings)),
+/// under a score budget.
+///
+/// Exact — byte-identical to the unbudgeted scoring — whenever the true
+/// score is `>= min_score`; when the true score is below the budget the
+/// comparison is abandoned early (often before any DP row is touched) and
+/// 0 is returned. Callers folding scores with `max` therefore get
+/// byte-identical maxima as long as they pass `running_max + 1`.
+fn score_prepared_min(
+    s1: &PreparedSignature,
+    s2: &PreparedSignature,
+    block_size: u64,
+    min_score: u32,
+) -> u32 {
     if s1.eliminated.is_empty() || s2.eliminated.is_empty() {
         return 0;
     }
@@ -206,22 +220,65 @@ fn score_prepared(s1: &PreparedSignature, s2: &PreparedSignature, block_size: u6
     if !sorted_keys_intersect(&s1.keys, &s2.keys) {
         return 0;
     }
-    let dist = weighted_edit_distance(&s1.eliminated, &s2.eliminated) as u64;
-    scale_score(
-        dist,
-        s1.eliminated.len() as u64,
-        s2.eliminated.len() as u64,
-        block_size,
-    )
+    let len1 = s1.eliminated.len() as u64;
+    let len2 = s2.eliminated.len() as u64;
+    // Turn the score budget into a distance budget; a pair whose lengths
+    // and block size cannot reach min_score at any distance is skipped
+    // outright (min_score is clamped to >= 1 so a zero budget degenerates
+    // to the exact unbudgeted comparison, never a wider one).
+    let Some(limit) = max_distance_for_score(min_score.max(1), len1, len2, block_size) else {
+        return 0;
+    };
+    match weighted_edit_distance_bounded(&s1.eliminated, &s2.eliminated, limit as usize) {
+        BoundedDistance::Exact(dist) => scale_score(dist as u64, len1, len2, block_size),
+        // Distance over the budget means score under min_score: the exact
+        // value is irrelevant to a max-merge against min_score - 1.
+        BoundedDistance::AtLeast(_) => 0,
+    }
 }
 
 /// Compare two prepared hashes and return a similarity score in `0..=100`.
 ///
 /// Byte-identical to [`compare`](crate::compare::compare) on the underlying
 /// [`FuzzyHash`] pair, but with the per-comparison signature normalization
-/// already paid: only the common-substring intersection and the
-/// edit-distance DP run per pair.
+/// already paid and the edit distance computed by the banded
+/// [`fastdist`](crate::fastdist) kernel: only the common-substring
+/// intersection and the in-band DP cells run per pair.
 pub fn compare_prepared(a: &PreparedHash, b: &PreparedHash) -> u32 {
+    // min_score = 1 never prunes: a true score of 0 is returned exactly
+    // (the only value below the budget), everything else beats it.
+    compare_prepared_min(a, b, 1)
+}
+
+/// [`compare_prepared`] with an early-exit score budget: the result is
+/// exact (byte-identical to [`compare`](crate::compare::compare)) whenever
+/// it is `>= min_score`; a comparison that cannot reach `min_score` may be
+/// abandoned mid-DP, returning some value `<=` the true score (usually 0).
+///
+/// This is the max-merge pruning primitive: folding
+/// `best = best.max(compare_prepared_min(q, r, best + 1))` over a
+/// reference set yields byte-identical maxima to folding the exact
+/// [`compare_prepared`], while skipping most of the DP work for
+/// comparisons that cannot beat the running maximum.
+///
+/// # Examples
+///
+/// ```
+/// use ssdeep::{fuzzy_hash_bytes, PreparedHash, compare_prepared, compare_prepared_min};
+/// let a: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+/// let mut b = a.clone();
+/// b[20_000..20_400].fill(0x7F);
+/// let (pa, pb) = (
+///     PreparedHash::new(&fuzzy_hash_bytes(&a)),
+///     PreparedHash::new(&fuzzy_hash_bytes(&b)),
+/// );
+/// let exact = compare_prepared(&pa, &pb);
+/// // Any reachable budget reproduces the exact score…
+/// assert_eq!(compare_prepared_min(&pa, &pb, exact), exact);
+/// // …while an unreachable budget may abandon the comparison.
+/// assert!(compare_prepared_min(&pa, &pb, exact + 1) <= exact);
+/// ```
+pub fn compare_prepared_min(a: &PreparedHash, b: &PreparedHash, min_score: u32) -> u32 {
     let b1 = a.hash.block_size();
     let b2 = b.hash.block_size();
 
@@ -237,13 +294,20 @@ pub fn compare_prepared(a: &PreparedHash, b: &PreparedHash) -> u32 {
     }
 
     if b1 == b2 {
-        let s1 = score_prepared(&a.primary, &b.primary, b1);
-        let s2 = score_prepared(&a.double, &b.double, b1.saturating_mul(2));
+        let s1 = score_prepared_min(&a.primary, &b.primary, b1, min_score);
+        // The double-signature comparison only matters if it beats the
+        // primary score, so its budget tightens to s1 + 1.
+        let s2 = score_prepared_min(
+            &a.double,
+            &b.double,
+            b1.saturating_mul(2),
+            min_score.max(s1.saturating_add(1)),
+        );
         s1.max(s2)
     } else if b2.checked_mul(2) == Some(b1) {
-        score_prepared(&a.primary, &b.double, b1)
+        score_prepared_min(&a.primary, &b.double, b1, min_score)
     } else if b1.checked_mul(2) == Some(b2) {
-        score_prepared(&a.double, &b.primary, b2)
+        score_prepared_min(&a.double, &b.primary, b2, min_score)
     } else {
         0
     }

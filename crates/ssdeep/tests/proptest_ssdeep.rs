@@ -178,3 +178,163 @@ fn append_small_suffix_bounded() {
         assert!(s <= 100);
     }
 }
+
+/// The bounded kernel is byte-identical to the oracle DP for *every* limit:
+/// random base64 signatures of lengths 0..=64 (run-eliminated signature
+/// territory), exact below the limit, `AtLeast(limit + 1)` above it.
+#[test]
+fn bounded_distance_equals_oracle_for_every_limit() {
+    use ssdeep::{weighted_edit_distance_bounded, BoundedDistance};
+    let mut g = Gen(8);
+    for _ in 0..96 {
+        let a = g.b64_string(64);
+        let b = g.b64_string(64);
+        let oracle = weighted_edit_distance(&a, &b);
+        for limit in 0..=(a.len() + b.len() + 1) {
+            match weighted_edit_distance_bounded(&a, &b, limit) {
+                BoundedDistance::Exact(d) => {
+                    assert_eq!(d, oracle, "exact mismatch for {a:?} vs {b:?} at {limit}");
+                    assert!(d <= limit);
+                }
+                BoundedDistance::AtLeast(floor) => {
+                    assert_eq!(floor, limit + 1);
+                    assert!(
+                        oracle > limit,
+                        "spurious rejection of {a:?} vs {b:?} at {limit}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The bit-parallel Damerau distance is exact against the row DP, and is a
+/// lower bound on the weighted distance (which is what licenses it as a
+/// pre-DP rejection filter).
+#[test]
+fn bitparallel_damerau_is_exact_and_a_lower_bound() {
+    use ssdeep::damerau_levenshtein_bitparallel;
+    let mut g = Gen(9);
+    for _ in 0..256 {
+        let a = g.b64_string(64);
+        let b = g.b64_string(64);
+        let bp = damerau_levenshtein_bitparallel(&a, &b).expect("<=64-char strings fit one word");
+        assert_eq!(bp, damerau_levenshtein(&a, &b), "{a:?} vs {b:?}");
+        assert!(bp <= weighted_edit_distance(&a, &b), "{a:?} vs {b:?}");
+    }
+}
+
+/// Transposition-heavy pairs: swapping adjacent characters is the case
+/// where a naive one-row band cutoff would be unsound (a transposition can
+/// hop a row), so hammer exactly that shape.
+#[test]
+fn bounded_distance_handles_transposition_heavy_pairs() {
+    use ssdeep::{weighted_edit_distance_bounded, BoundedDistance};
+    let mut g = Gen(10);
+    for _ in 0..64 {
+        let a = g.b64_string(64);
+        let mut chars: Vec<char> = a.chars().collect();
+        // Swap a random subset of disjoint adjacent pairs.
+        let mut i = 0;
+        while i + 1 < chars.len() {
+            if g.range(0, 2) == 0 {
+                chars.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        let b: String = chars.into_iter().collect();
+        let oracle = weighted_edit_distance(&a, &b);
+        for limit in [0, 1, oracle.saturating_sub(1), oracle, oracle + 1, 128] {
+            match weighted_edit_distance_bounded(&a, &b, limit) {
+                BoundedDistance::Exact(d) => assert_eq!(d, oracle),
+                BoundedDistance::AtLeast(floor) => {
+                    assert_eq!(floor, limit + 1);
+                    assert!(oracle > limit);
+                }
+            }
+        }
+    }
+}
+
+/// Run-collapse edge cases: `eliminate_long_runs` borrows when nothing
+/// collapses, collapses runs to three otherwise, and round-trips non-ASCII
+/// input byte-correctly (the old byte-as-char loop corrupted it).
+#[test]
+fn eliminate_long_runs_properties() {
+    use ssdeep::compare::eliminate_long_runs;
+    let mut g = Gen(11);
+    for _ in 0..256 {
+        // Low-alphabet strings maximize run frequency.
+        let len = g.range(0, 80);
+        let s: String = (0..len)
+            .map(|_| (b'A' + (g.next() % 3) as u8) as char)
+            .collect();
+        let out = eliminate_long_runs(&s);
+        // No run longer than three survives…
+        let bytes = out.as_bytes();
+        for w in bytes.windows(4) {
+            assert!(
+                !(w[0] == w[1] && w[1] == w[2] && w[2] == w[3]),
+                "run survived in {out:?} from {s:?}"
+            );
+        }
+        // …the output is a subsequence of the input…
+        let mut it = s.bytes();
+        for b in bytes {
+            assert!(it.any(|c| c == *b), "not a subsequence: {out:?} from {s:?}");
+        }
+        // …and borrowing happens exactly when nothing collapsed.
+        match &out {
+            std::borrow::Cow::Borrowed(_) => assert_eq!(out.as_ref(), s),
+            std::borrow::Cow::Owned(o) => assert!(o.len() < s.len()),
+        }
+    }
+    // Non-ASCII input survives byte-correctly (multi-byte chars cannot form
+    // >3-byte runs, so nothing may be collapsed or corrupted here).
+    for s in ["péché", "ÿÿÿÿ", "\u{3FFFF}\u{3FFFF}", "aàaàaà"] {
+        assert_eq!(eliminate_long_runs(s), s, "non-ASCII corrupted");
+    }
+    // ASCII runs inside otherwise non-ASCII strings still collapse.
+    assert_eq!(eliminate_long_runs("éAAAAAé"), "éAAAé");
+}
+
+/// The score-budget comparison is exact at or above its budget and never
+/// overshoots below it, for every budget, on random prepared pairs.
+#[test]
+fn compare_prepared_min_respects_its_contract() {
+    use ssdeep::compare_prepared_min;
+    let mut g = Gen(12);
+    let mut hashes: Vec<FuzzyHash> = Vec::new();
+    for _ in 0..12 {
+        let base = g.bytes(500, 20_000);
+        hashes.push(fuzzy_hash_bytes(&base));
+        let mut variant = base;
+        let start = g.range(0, variant.len().max(2) - 1);
+        for byte in variant.iter_mut().skip(start).take(200) {
+            *byte ^= 0x3C;
+        }
+        hashes.push(fuzzy_hash_bytes(&variant));
+    }
+    for _ in 0..12 {
+        let block_size = [3u64, 96, 3072, u64::MAX][g.range(0, 4)];
+        let sig1 = g.b64_string(64);
+        let sig2 = g.b64_string(32);
+        hashes.push(FuzzyHash::from_parts(block_size, sig1, sig2).expect("valid parts"));
+    }
+    let prepared: Vec<PreparedHash> = hashes.iter().map(PreparedHash::new).collect();
+    for pa in &prepared {
+        for pb in &prepared {
+            let exact = compare_prepared(pa, pb);
+            for min_score in [0u32, 1, exact.saturating_sub(1), exact, exact + 1, 100, 101] {
+                let got = compare_prepared_min(pa, pb, min_score);
+                if exact >= min_score {
+                    assert_eq!(got, exact, "budget {min_score} lost an exact score");
+                } else {
+                    assert!(got <= exact, "budget {min_score} overshot: {got} > {exact}");
+                }
+            }
+        }
+    }
+}

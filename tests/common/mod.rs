@@ -1,0 +1,50 @@
+//! Shared fixtures for the workspace-level integration suites.
+//!
+//! Each integration test file is its own crate, so shared helpers live
+//! here and are pulled in with `mod common;`. Not every suite uses every
+//! helper, hence the `dead_code` allowance.
+
+#![allow(dead_code)]
+
+use fhc::features::SampleFeatures;
+
+/// A sample whose three views are the same hand-built hash — the shapes
+/// generated hashes rarely produce but the comparison rules must handle.
+pub fn parts_sample(block_size: u64, sig: &str, sig_double: &str) -> SampleFeatures {
+    let h = ssdeep::FuzzyHash::from_parts(block_size, sig.into(), sig_double.into()).unwrap();
+    SampleFeatures {
+        file: h.clone(),
+        strings: h.clone(),
+        symbols: Some(h),
+    }
+}
+
+/// Adversarial hand-built reference hashes: run-heavy signatures whose
+/// eliminated form is below the 7-byte common-substring window (scoreable
+/// only via the identical-hash fast path), factor-of-two block-size
+/// pairings, near-`u64::MAX` block sizes (doubling overflows), and a
+/// signature below the window length.
+pub fn degenerate_references() -> Vec<SampleFeatures> {
+    vec![
+        parts_sample(3, "AAAAAAAAAA", "AAAAA"),
+        parts_sample(3, "AAAAAAAAAB", "AAAAA"),
+        parts_sample(6, "ABCDEFGHIJKLMNOP", "ABCDEFGH"),
+        parts_sample(12, "ABCDEFGHIJKLMNOP", "QRSTUVWX"),
+        parts_sample(24, "QRSTUVWXABCDEFGH", "MNBVCXZL"),
+        parts_sample(u64::MAX, "ABCDEFGHIJKL", "ABCDEF"),
+        parts_sample(u64::MAX / 2 + 1, "ABCDEFGHIJKL", "ABCDEF"),
+        parts_sample(3, "ABCDE", "AB"),
+    ]
+}
+
+/// Probes for [`degenerate_references`]: every reference itself (the
+/// identical-hash paths) plus queries that pair with references only
+/// through the half/double block-size channels and a no-match stranger.
+pub fn degenerate_probes() -> Vec<SampleFeatures> {
+    let mut probes = degenerate_references();
+    probes.push(parts_sample(6, "QRSTUVWXABCDEFGH", "ABCDEFGHIJKLMNOP"));
+    probes.push(parts_sample(48, "MNBVCXZLKJHGFDSA", "POIUYTRE"));
+    probes.push(parts_sample(3, "AAAAAAAAAA", "AAAAA"));
+    probes.push(parts_sample(192, "zzzzyyyyxxxxwwww", "vvvvuuuu"));
+    probes
+}

@@ -8,6 +8,8 @@
 //! through training, through serving, and through artifacts reopened under
 //! every backend.
 
+mod common;
+
 use corpus::{Catalog, CorpusBuilder};
 use fhc::backend::{BackendConfig, ShardedBackend, SimilarityBackend};
 use fhc::config::FhcConfig;
@@ -219,4 +221,42 @@ fn single_class_reference_is_equivalent_across_backends() {
             .feature_vector_prepared(&probe),
         expected
     );
+}
+
+/// Adversarial hand-built hashes through every backend (the shared
+/// `common` fixture: run-heavy signatures scoreable only via the
+/// identical-hash fast path, factor-of-two block sizes in both directions,
+/// near-`u64::MAX` block sizes, tiny-block score caps). With score-budget
+/// pruning always on, every backend must still reproduce the scan oracle
+/// bit for bit.
+#[test]
+fn degenerate_hashes_are_equivalent_across_backends_with_pruning() {
+    let references = common::degenerate_references();
+    let labels: Vec<usize> = (0..references.len()).map(|i| i % 3).collect();
+    let reference = Arc::new(ReferenceSet::new(
+        vec!["a".into(), "b".into(), "c".into()],
+        &references,
+        &labels,
+        &FeatureKind::ALL,
+    ));
+    let scan = BackendConfig::Scan.build(reference.clone());
+    let indexed = BackendConfig::Indexed.build(reference.clone());
+    for (i, probe) in common::degenerate_probes().iter().enumerate() {
+        let probe = PreparedSampleFeatures::prepare(probe);
+        let expected = scan.feature_vector_prepared(&probe);
+        let bits = |row: &[f64]| row.iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&indexed.feature_vector_prepared(&probe)),
+            bits(&expected),
+            "probe {i}: indexed vs scan"
+        );
+        for shards in shard_counts(reference.n_classes()) {
+            let sharded = ShardedBackend::new(reference.clone(), shards);
+            assert_eq!(
+                bits(&sharded.feature_vector_prepared(&probe)),
+                bits(&expected),
+                "probe {i}: sharded({shards}) vs scan"
+            );
+        }
+    }
 }

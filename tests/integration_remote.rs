@@ -8,6 +8,8 @@
 //! partitions. Failure is typed: a worker that dies mid-batch produces
 //! [`fhc::FhcError::Net`] — never a wrong or partial row.
 
+mod common;
+
 use fhc::backend::{BackendConfig, SimilarityBackend};
 use fhc::config::FhcConfig;
 use fhc::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
@@ -374,4 +376,32 @@ fn opening_an_artifact_against_dead_workers_is_an_error_not_a_panic() {
         ))]))
         .is_err());
     assert_eq!(classifier.backend_config(), before);
+}
+
+/// Adversarial hand-built hashes over the wire (the shared `common`
+/// fixture): the degenerate shapes the inverted gram index special-cases
+/// must survive the prepared-query wire encoding and come back
+/// byte-identical to the in-process indexed rows, with score-budget
+/// pruning on in the workers.
+#[test]
+fn degenerate_hashes_are_equivalent_over_the_wire() {
+    let references = common::degenerate_references();
+    let labels: Vec<usize> = (0..references.len()).map(|i| i % 2).collect();
+    let reference = Arc::new(ReferenceSet::new(
+        vec!["a".into(), "b".into()],
+        &references,
+        &labels,
+        &FeatureKind::ALL,
+    ));
+    let endpoints = spawn_loopback_workers(&reference, 2);
+    let remote = RemoteBackend::connect(reference.clone(), &endpoints).expect("connect");
+    let indexed = BackendConfig::Indexed.build(reference.clone());
+    for (i, probe) in common::degenerate_probes().iter().enumerate() {
+        let probe = PreparedSampleFeatures::prepare(probe);
+        assert_eq!(
+            bits(&remote.feature_vector_prepared(&probe)),
+            bits(&indexed.feature_vector_prepared(&probe)),
+            "probe {i}: remote vs indexed"
+        );
+    }
 }

@@ -7,20 +7,140 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement is deliberately simple: each benchmark warms up briefly, then
-//! runs batches until a time budget is exhausted, and the mean, minimum, and
-//! throughput are printed in a criterion-like one-line format. Results are
-//! indicative rather than statistically rigorous — good enough to compare
-//! orders of magnitude and track large regressions offline.
+//! collects timing samples until a time budget is exhausted, and the median,
+//! mean, minimum, and throughput are printed in a criterion-like one-line
+//! format. Results are indicative rather than statistically rigorous — good
+//! enough to compare orders of magnitude and track large regressions offline.
+//!
+//! # Machine-readable reports
+//!
+//! Two environment variables extend the harness for trajectory tracking:
+//!
+//! * `FHC_BENCH_JSON=path` — after all groups run, write every benchmark's
+//!   `{label, median_ns, mean_ns, min_ns, iters}` to `path` as JSON (see
+//!   [`write_json_report`]). The `fhc-bench-report` tool merges these raw
+//!   runs into the committed `BENCH_serving.json` trajectory file.
+//! * `FHC_BENCH_QUICK=1` — shrink the warm-up/measure budgets to roughly a
+//!   tenth so CI can exercise every bench on every push without burning
+//!   minutes. Quick numbers are noisier; the JSON report records the mode.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Target measurement time per benchmark.
+/// Target measurement time per benchmark (full mode).
 const MEASURE_BUDGET: Duration = Duration::from_millis(400);
-/// Warm-up budget per benchmark.
+/// Warm-up budget per benchmark (full mode).
 const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+/// Target measurement time per benchmark in `FHC_BENCH_QUICK` mode.
+const MEASURE_BUDGET_QUICK: Duration = Duration::from_millis(40);
+/// Warm-up budget per benchmark in `FHC_BENCH_QUICK` mode.
+const WARMUP_BUDGET_QUICK: Duration = Duration::from_millis(10);
+
+/// Whether the `FHC_BENCH_QUICK` quick mode is active.
+pub fn quick_mode() -> bool {
+    std::env::var("FHC_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn measure_budget() -> Duration {
+    if quick_mode() {
+        MEASURE_BUDGET_QUICK
+    } else {
+        MEASURE_BUDGET
+    }
+}
+
+fn warmup_budget() -> Duration {
+    if quick_mode() {
+        WARMUP_BUDGET_QUICK
+    } else {
+        WARMUP_BUDGET
+    }
+}
+
+/// One finished benchmark, as recorded for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full `group/function` label.
+    pub label: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record(rec: BenchRecord) {
+    RECORDS.lock().expect("bench record lock").push(rec);
+}
+
+/// All benchmarks recorded so far in this process, in execution order.
+pub fn records() -> Vec<BenchRecord> {
+    RECORDS.lock().expect("bench record lock").clone()
+}
+
+/// Minimal JSON string escaping (labels are ASCII identifiers, but be safe).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize every recorded benchmark as a raw-run JSON document.
+pub fn json_report() -> String {
+    let records = records();
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema\": \"fhc-bench-run/v1\",\n  \"quick\": {},\n  \"results\": [\n",
+        quick_mode()
+    ));
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"iters\": {}}}{}\n",
+            escape_json(&r.label),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the raw-run JSON report to `path`.
+pub fn write_json_report(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, json_report())
+}
+
+/// Called by `criterion_main!` after every group has run: honor
+/// `FHC_BENCH_JSON` if set.
+pub fn finalize() {
+    if let Ok(path) = std::env::var("FHC_BENCH_JSON") {
+        if !path.is_empty() {
+            match write_json_report(&path) {
+                Ok(()) => eprintln!("bench: wrote JSON report to {path}"),
+                Err(e) => eprintln!("bench: FAILED to write JSON report to {path}: {e}"),
+            }
+        }
+    }
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Clone)]
@@ -151,58 +271,88 @@ impl BenchmarkGroup<'_> {
 /// Passed to benchmark closures; `iter` performs the measurement.
 pub struct Bencher {
     sample_size: usize,
-    /// Mean time per iteration of the routine under test.
-    mean: Duration,
-    /// Fastest observed iteration.
-    min: Duration,
+    /// Per-sample durations (one routine call each, or a batch average for
+    /// sub-microsecond routines).
+    samples: Vec<Duration>,
+    /// Total measured iterations of the routine under test.
     iterations: u64,
 }
 
 impl Bencher {
     /// Measure `routine`, running it repeatedly within the time budget.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.samples.clear();
         // Warm-up: at least one call, until the warm-up budget is spent.
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
         loop {
             std::hint::black_box(routine());
             warmup_iters += 1;
-            if warmup_start.elapsed() >= WARMUP_BUDGET || warmup_iters >= 10 {
+            if warmup_start.elapsed() >= warmup_budget() || warmup_iters >= 10 {
                 break;
             }
         }
         let per_iter_estimate = warmup_start.elapsed() / warmup_iters as u32;
 
-        // Measurement: cap iterations at sample_size, but stop early once the
-        // budget is exhausted so slow benches stay bounded.
-        let mut total = Duration::ZERO;
-        let mut min = Duration::MAX;
-        let mut iterations = 0u64;
-        while iterations < self.sample_size as u64 && (iterations == 0 || total < MEASURE_BUDGET) {
-            let start = Instant::now();
-            std::hint::black_box(routine());
-            let elapsed = start.elapsed();
-            total += elapsed;
-            min = min.min(elapsed);
-            iterations += 1;
+        if per_iter_estimate < Duration::from_micros(5) {
             // For sub-microsecond routines the per-call timing overhead
-            // dominates; batch them instead.
-            if per_iter_estimate < Duration::from_micros(5) && iterations == 1 {
-                let batch = 10_000u64;
+            // dominates; measure batches and record batch averages as
+            // samples (enough batches for a meaningful median).
+            let batch = 2_000u64;
+            let n_batches = if quick_mode() { 5 } else { 11 };
+            let mut iterations = 0u64;
+            for _ in 0..n_batches {
                 let start = Instant::now();
                 for _ in 0..batch {
                     std::hint::black_box(routine());
                 }
                 let elapsed = start.elapsed();
-                total = elapsed;
-                min = elapsed / batch as u32;
-                iterations = batch;
-                break;
+                self.samples.push(elapsed / batch as u32);
+                iterations += batch;
             }
+            self.iterations = iterations;
+            return;
         }
-        self.mean = total / iterations as u32;
-        self.min = min;
+
+        // Measurement: cap samples at sample_size, but stop early once the
+        // budget is exhausted so slow benches stay bounded.
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while iterations < self.sample_size as u64 && (iterations == 0 || total < measure_budget())
+        {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            self.samples.push(elapsed);
+            iterations += 1;
+        }
         self.iterations = iterations;
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+
+    fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or(Duration::ZERO)
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2
+        }
     }
 }
 
@@ -214,28 +364,38 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
 ) {
     let mut bencher = Bencher {
         sample_size,
-        mean: Duration::ZERO,
-        min: Duration::ZERO,
+        samples: Vec::new(),
         iterations: 0,
     };
     f(&mut bencher);
+    let median = bencher.median();
+    let mean = bencher.mean();
+    let min = bencher.min();
     let rate = match throughput {
-        Some(Throughput::Bytes(n)) if bencher.mean > Duration::ZERO => {
-            let per_sec = n as f64 / bencher.mean.as_secs_f64();
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let per_sec = n as f64 / median.as_secs_f64();
             format!("  thrpt: {}/s", human_bytes(per_sec))
         }
-        Some(Throughput::Elements(n)) if bencher.mean > Duration::ZERO => {
-            let per_sec = n as f64 / bencher.mean.as_secs_f64();
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let per_sec = n as f64 / median.as_secs_f64();
             format!("  thrpt: {per_sec:.1} elem/s")
         }
         _ => String::new(),
     };
     println!(
-        "bench: {label:<55} mean {:>12}  min {:>12}  ({} iters){rate}",
-        human_duration(bencher.mean),
-        human_duration(bencher.min),
+        "bench: {label:<55} median {:>12}  mean {:>12}  min {:>12}  ({} iters){rate}",
+        human_duration(median),
+        human_duration(mean),
+        human_duration(min),
         bencher.iterations,
     );
+    record(BenchRecord {
+        label: label.to_string(),
+        median_ns: median.as_nanos() as f64,
+        mean_ns: mean.as_nanos() as f64,
+        min_ns: min.as_nanos() as f64,
+        iters: bencher.iterations,
+    });
 }
 
 fn human_duration(d: Duration) -> String {
@@ -286,6 +446,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -309,6 +470,13 @@ mod tests {
             })
         });
         group.finish();
+        let recs = records();
+        let spin = recs
+            .iter()
+            .find(|r| r.label == "shim/spin")
+            .expect("spin recorded");
+        assert!(spin.iters > 0);
+        assert!(spin.median_ns >= spin.min_ns);
     }
 
     #[test]
@@ -323,5 +491,16 @@ mod tests {
         assert!(human_duration(Duration::from_micros(12)).contains("µs"));
         assert!(human_duration(Duration::from_millis(12)).contains("ms"));
         assert!(human_duration(Duration::from_secs(2)).contains('s'));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("json_probe", |b| b.iter(|| std::hint::black_box(42)));
+        let json = json_report();
+        assert!(json.contains("\"schema\": \"fhc-bench-run/v1\""));
+        assert!(json.contains("\"label\": \"json_probe\""));
+        assert!(json.contains("median_ns"));
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
     }
 }
