@@ -10,19 +10,24 @@
 //! the index existed).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fhc::backend::BackendConfig;
-use fhc::features::SampleFeatures;
+use fhc::backend::{round_robin_partition, BackendConfig};
+use fhc::features::{PreparedSampleFeatures, SampleFeatures};
 use fhc::pipeline::FuzzyHashClassifier;
 use fhc::serving::Prediction;
+use fhc::shardnet::wire::{self, Frame};
 use fhc::shardnet::worker::serve_tcp;
-use fhc::shardnet::{Endpoint, ShardWorker};
+use fhc::shardnet::{
+    gateway, Endpoint, Gateway, GatewayBackend, GatewayOptions, RemoteBackend, ShardWorker,
+    Transport,
+};
 use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
 use fhc_bench::{bench_config, bench_corpus};
 use hpcutil::{par_map_indexed, ParallelConfig};
 use mlcore::model::Model;
 use std::hint::black_box;
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Spawn `n` in-process loopback shard workers over the classifier's
 /// reference set and return a `remote:` backend configuration for them.
@@ -38,6 +43,143 @@ fn loopback_remote(trained: &fhc::serving::TrainedClassifier, n: usize) -> Backe
         })
         .collect();
     BackendConfig::remote(endpoints)
+}
+
+/// Spawn `n` loopback shard workers with explicit round-robin partitions
+/// (no over-the-wire assignment needed) and return their endpoints.
+fn loopback_partitioned(trained: &fhc::serving::TrainedClassifier, n: usize) -> Vec<Endpoint> {
+    let reference = trained.reference_shared();
+    round_robin_partition(reference.n_classes(), n)
+        .into_iter()
+        .map(|classes| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+            let worker = Arc::new(
+                ShardWorker::new(Arc::clone(&reference), classes).expect("valid partition"),
+            );
+            std::thread::spawn(move || serve_tcp(worker, listener));
+            endpoint
+        })
+        .collect()
+}
+
+/// A crude WAN simulator: a TCP relay that store-and-forwards each burst
+/// of bytes after a 500us one-way delay, so every round trip through it
+/// pays ~1ms of latency — the regime a distributed shard fleet actually
+/// serves in. Benching over raw loopback would hide exactly the cost the
+/// connection multiplexer and the batched wire frames exist to amortize:
+/// a lock-held round trip per query pays the link once *per query*, a
+/// batched frame pays it once *per chunk*.
+fn delayed_link(upstream: Endpoint, delay: std::time::Duration) -> Endpoint {
+    use std::io::{Read, Write};
+    let upstream = match upstream {
+        Endpoint::Tcp(addr) => addr,
+        other => panic!("delayed_link fronts TCP endpoints, got {other}"),
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind relay");
+    let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(down) = stream else { return };
+            let Ok(up) = std::net::TcpStream::connect(&upstream) else {
+                return;
+            };
+            down.set_nodelay(true).ok();
+            up.set_nodelay(true).ok();
+            let pump = |mut from: std::net::TcpStream, mut to: std::net::TcpStream| {
+                move || {
+                    let mut buf = vec![0u8; 256 << 10];
+                    loop {
+                        match from.read(&mut buf) {
+                            Ok(0) | Err(_) => {
+                                let _ = to.shutdown(std::net::Shutdown::Write);
+                                return;
+                            }
+                            Ok(n) => {
+                                std::thread::sleep(delay);
+                                if to.write_all(&buf[..n]).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            let (down2, up2) = (down.try_clone().unwrap(), up.try_clone().unwrap());
+            std::thread::spawn(pump(down, up));
+            std::thread::spawn(pump(up2, down2));
+        }
+    });
+    endpoint
+}
+
+/// The pre-mux remote client, kept bench-local as the pipelining baseline:
+/// one connection per worker guarded by a mutex that is **held across the
+/// whole round trip**, workers visited serially per query. This is exactly
+/// how `RemoteBackend` serialized concurrent callers before it moved to a
+/// connection multiplexer, so the `serving/gateway` group measures what
+/// the mux + gateway batching actually buy at N concurrent clients.
+struct MutexedRemote {
+    workers: Vec<Mutex<Box<dyn Transport>>>,
+    next_id: AtomicU64,
+}
+
+impl MutexedRemote {
+    fn connect(endpoints: &[Endpoint]) -> Self {
+        let workers = endpoints
+            .iter()
+            .map(|endpoint| {
+                let mut conn = endpoint.connect().expect("dial loopback worker");
+                match Frame::read_from(&mut conn, "bench").expect("handshake") {
+                    Frame::Hello(_) => {}
+                    other => panic!("expected Hello, got {other:?}"),
+                }
+                Mutex::new(conn)
+            })
+            .collect();
+        Self {
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    fn score_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        out.fill(0.0);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let bytes = wire::score_request_bytes(id, query);
+        for conn in &self.workers {
+            let mut conn = conn.lock().expect("bench worker lock");
+            wire::write_raw_frame(&mut **conn, &bytes, "bench").expect("write request");
+            match Frame::read_from(&mut **conn, "bench").expect("read response") {
+                Frame::ScoreResponse(response) => {
+                    for (column, score) in response.cells {
+                        let column = column as usize;
+                        out[column] = out[column].max(score);
+                    }
+                }
+                other => panic!("expected ScoreResponse, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Score every probe once, split across `clients` concurrent frontends —
+/// each client thread hands its whole chunk to `serve` (a backend's batch
+/// row path), the access pattern of N serving processes each classifying
+/// a batch. The interesting difference is what `serve` does with a chunk:
+/// the mutexed baseline can only play lock-held ping-pong per query; the
+/// mux pipelines and batches the chunk onto the wire.
+fn concurrent_rows<F>(probes: &[PreparedSampleFeatures], clients: usize, serve: F)
+where
+    F: Fn(&[PreparedSampleFeatures]) + Sync,
+{
+    let chunk = probes.len().div_ceil(clients);
+    let serve = &serve;
+    std::thread::scope(|scope| {
+        for part in probes.chunks(chunk) {
+            scope.spawn(move || serve(part));
+        }
+    });
 }
 
 fn bench_classify_batch(c: &mut Criterion) {
@@ -201,6 +343,94 @@ fn bench_classify_batch(c: &mut Criterion) {
             .with_backend(loopback_remote(&trained, workers));
         group.bench_function(format!("classify_one_remote_loopback_{workers}"), |b| {
             b.iter(|| remote.classify(black_box(&batch[0].1)))
+        });
+    }
+    group.finish();
+
+    // The gateway tier vs the pre-mux baseline: identical probes, identical
+    // two-worker fleets, scored concurrently by 1/2/4 client threads. The
+    // mutexed baseline serializes callers behind per-connection locks held
+    // across round trips; the pipelined RemoteBackend multiplexes them over
+    // the same sockets; the gateway additionally coalesces the concurrent
+    // queries into batched wire frames per shard. Raw rows (no extraction,
+    // no forest) so the transport difference is what is measured.
+    let reference = trained.reference_shared();
+    let n_columns = reference.n_columns();
+    let probes: Vec<PreparedSampleFeatures> = features
+        .iter()
+        .take(48)
+        .map(PreparedSampleFeatures::prepare)
+        .collect();
+
+    // Every client crosses exactly one simulated 500us link: the direct
+    // backends dial their two workers through it; the gateway clients dial
+    // the gateway through it, and the gateway reaches its fleet over
+    // loopback (it fronts the cluster the workers live in).
+    let wan = std::time::Duration::from_micros(500);
+    let mutexed = MutexedRemote::connect(
+        &loopback_partitioned(&trained, 2)
+            .into_iter()
+            .map(|ep| delayed_link(ep, wan))
+            .collect::<Vec<_>>(),
+    );
+    let batched_endpoints: Vec<Endpoint> = loopback_partitioned(&trained, 2)
+        .into_iter()
+        .map(|ep| delayed_link(ep, wan))
+        .collect();
+    let pipelined = RemoteBackend::connect(reference.clone(), &batched_endpoints)
+        .expect("pipelined remote connects");
+    let front = {
+        let gw = Gateway::connect(
+            reference.clone(),
+            &loopback_partitioned(&trained, 2),
+            GatewayOptions::default(),
+        )
+        .expect("gateway connects its fleet");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback gateway");
+        let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+        let gw = Arc::new(gw);
+        std::thread::spawn(move || gateway::serve_tcp(gw, listener));
+        delayed_link(endpoint, wan)
+    };
+    let through_gateway =
+        GatewayBackend::connect(reference.clone(), &front).expect("gateway backend connects");
+
+    let mut group = c.benchmark_group("serving/gateway");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    for clients in [1usize, 2, 4] {
+        group.bench_function(format!("rows_mutexed_remote_{clients}_clients"), |b| {
+            b.iter(|| {
+                concurrent_rows(&probes, clients, |part| {
+                    let mut out = vec![0.0f64; n_columns];
+                    for query in part {
+                        mutexed.score_into(query, &mut out);
+                        black_box(&mut out);
+                    }
+                })
+            })
+        });
+        group.bench_function(format!("rows_batched_remote_{clients}_clients"), |b| {
+            b.iter(|| {
+                concurrent_rows(&probes, clients, |part| {
+                    black_box(
+                        pipelined
+                            .try_feature_rows_prepared(part)
+                            .expect("workers alive"),
+                    );
+                })
+            })
+        });
+        group.bench_function(format!("rows_pipelined_gateway_{clients}_clients"), |b| {
+            b.iter(|| {
+                concurrent_rows(&probes, clients, |part| {
+                    black_box(
+                        through_gateway
+                            .try_feature_rows_prepared(part)
+                            .expect("fleet alive"),
+                    );
+                })
+            })
         });
     }
     group.finish();

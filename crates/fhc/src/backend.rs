@@ -30,6 +30,9 @@
 //!   partition/max-merge contract with the shards behind a transport: each
 //!   partial row is computed by a shard worker process (`fhc-shardd`) over
 //!   a persistent socket. See [`crate::shardnet`].
+//! * [`GatewayBackend`] — remote scoring through an `fhc-gateway` front
+//!   door, which coalesces concurrently arriving queries into batched
+//!   wire frames per shard. See [`crate::shardnet::gateway`].
 //!
 //! All are **score-identical by construction**: they assemble rows from the
 //! same per-cell scoring primitives on the same [`ReferenceSet`], differing
@@ -53,7 +56,7 @@
 
 use crate::error::FhcError;
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
-use crate::shardnet::{Endpoint, RemoteBackend};
+use crate::shardnet::{Endpoint, GatewayBackend, RemoteBackend};
 use crate::similarity::ReferenceSet;
 use hpcutil::{in_parallel_worker, par_map_indexed, ParallelConfig, WorkerPool};
 use std::sync::Arc;
@@ -389,6 +392,12 @@ pub enum BackendConfig {
         /// The worker endpoints to fan out across.
         endpoints: Vec<Endpoint>,
     },
+    /// A batching `fhc-gateway` front door fronting the shard fleet
+    /// ([`GatewayBackend`]).
+    Gateway {
+        /// The gateway endpoint to score through.
+        endpoint: Endpoint,
+    },
 }
 
 impl BackendConfig {
@@ -412,6 +421,9 @@ impl BackendConfig {
             }
             BackendConfig::Remote { endpoints } => AnyBackend::Remote(
                 RemoteBackend::connect(reference, endpoints).map_err(FhcError::Net)?,
+            ),
+            BackendConfig::Gateway { endpoint } => AnyBackend::Gateway(
+                GatewayBackend::connect(reference, endpoint).map_err(FhcError::Net)?,
             ),
         })
     }
@@ -442,6 +454,7 @@ impl std::fmt::Display for BackendConfig {
                 }
                 f.write_str(")")
             }
+            BackendConfig::Gateway { endpoint } => write!(f, "gateway({endpoint})"),
         }
     }
 }
@@ -476,8 +489,13 @@ impl std::str::FromStr for BackendConfig {
             }
             return Ok(BackendConfig::Remote { endpoints });
         }
+        if let Some(spec) = s.strip_prefix("gateway:") {
+            let endpoint = spec.trim().parse::<Endpoint>()?;
+            return Ok(BackendConfig::Gateway { endpoint });
+        }
         Err(format!(
-            "unknown backend {s:?}: expected scan, indexed, sharded[:N], or remote:EP[,EP...]"
+            "unknown backend {s:?}: expected scan, indexed, sharded[:N], \
+             remote:EP[,EP...], or gateway:EP"
         ))
     }
 }
@@ -496,6 +514,8 @@ pub enum AnyBackend {
     Sharded(ShardedBackend),
     /// Shard workers behind a transport.
     Remote(RemoteBackend),
+    /// Remote scoring through an `fhc-gateway` front door.
+    Gateway(GatewayBackend),
 }
 
 impl AnyBackend {
@@ -510,6 +530,9 @@ impl AnyBackend {
             AnyBackend::Remote(b) => BackendConfig::Remote {
                 endpoints: b.endpoints(),
             },
+            AnyBackend::Gateway(b) => BackendConfig::Gateway {
+                endpoint: b.endpoint().clone(),
+            },
         }
     }
 
@@ -521,6 +544,7 @@ impl AnyBackend {
             AnyBackend::Indexed(b) => b,
             AnyBackend::Sharded(b) => b,
             AnyBackend::Remote(b) => b,
+            AnyBackend::Gateway(b) => b,
         }
     }
 }

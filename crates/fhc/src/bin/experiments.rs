@@ -18,12 +18,12 @@
 //! (default: all hardware threads). Neither changes a single score — only
 //! how fast the identical numbers are produced.
 //!
-//! `remote:EP[,EP...]` parses but is rejected here: the experiments driver
-//! *trains* from scratch, and training builds backends over intermediate
-//! reference sets (the threshold-tuning inner fits use subsets) that can
-//! never match a running `fhc-shardd`'s artifact fingerprint. Remote is a
-//! serving-time topology — save an artifact and open it with
-//! `TrainedClassifier::load_with`.
+//! `remote:EP[,EP...]` and `gateway:EP` parse but are rejected here: the
+//! experiments driver *trains* from scratch, and training builds backends
+//! over intermediate reference sets (the threshold-tuning inner fits use
+//! subsets) that can never match a running `fhc-shardd`'s or
+//! `fhc-gateway`'s artifact fingerprint. Both are serving-time topologies —
+//! save an artifact and open it with `TrainedClassifier::load_with`.
 
 use corpus::{Catalog, CorpusBuilder};
 use fhc::ablation::run_ablation;
@@ -93,15 +93,18 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--backend needs a value")?
                     .parse()
                     .map_err(|e| format!("invalid --backend: {e}"))?;
-                if matches!(args.backend, BackendConfig::Remote { .. }) {
-                    return Err("--backend remote:... is a serving-time topology: the \
-                         experiments driver trains from scratch, and training builds \
-                         backends over intermediate reference sets (threshold-tuning \
-                         inner fits use subsets) that cannot match a running \
-                         fhc-shardd's artifact fingerprint. Train and save an \
-                         artifact, start fhc-shardd on it, then open it with \
-                         TrainedClassifier::load_with. Use scan, indexed, or \
-                         sharded[:N] here."
+                if matches!(
+                    args.backend,
+                    BackendConfig::Remote { .. } | BackendConfig::Gateway { .. }
+                ) {
+                    return Err("--backend remote:... and gateway:... are serving-time \
+                         topologies: the experiments driver trains from scratch, and \
+                         training builds backends over intermediate reference sets \
+                         (threshold-tuning inner fits use subsets) that cannot match \
+                         a running fhc-shardd's or fhc-gateway's artifact \
+                         fingerprint. Train and save an artifact, start the daemons \
+                         on it, then open it with TrainedClassifier::load_with. Use \
+                         scan, indexed, or sharded[:N] here."
                         .to_string());
                 }
             }

@@ -1,0 +1,184 @@
+//! `fhc-gateway` — a pipelined, batching front door for a shard fleet.
+//!
+//! Loads a trained-classifier artifact, connects to the `fhc-shardd`
+//! workers that serve the same artifact, and listens for serving clients
+//! on TCP or a Unix-domain socket. Queries arriving concurrently — from
+//! any number of client connections — are coalesced into batched wire
+//! frames per shard, so the fleet pays per-frame overhead once per burst
+//! instead of once per query. Clients connect with
+//! `BackendConfig::Gateway` (`--backend gateway:EP` on the command line)
+//! and see one worker serving every class.
+//!
+//! ```text
+//! fhc-gateway --artifact model.fhc --listen 127.0.0.1:7000 \
+//!     --workers 127.0.0.1:9000,127.0.0.1:9001
+//! fhc-gateway --artifact model.fhc --uds /run/fhc/gateway.sock \
+//!     --workers unix:/run/fhc/shard0.sock,unix:/run/fhc/shard1.sock
+//! ```
+//!
+//! The worker handshake is the same as `RemoteBackend`'s: every worker
+//! must serve the same artifact (fingerprint, geometry, protocol
+//! version), and their class partitions must cover every class exactly
+//! once — unpartitioned workers are assigned a round-robin partition over
+//! the wire. With `--listen` port `0` the chosen port is printed on the
+//! `listening on` line, so scripts (and the integration tests) can scrape
+//! it.
+
+use fhc::serving::TrainedClassifier;
+use fhc::shardnet::gateway::{serve_tcp, serve_unix};
+use fhc::shardnet::{Endpoint, Gateway, GatewayOptions};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    artifact: String,
+    listen: Option<String>,
+    uds: Option<String>,
+    workers: Vec<Endpoint>,
+    max_batch: usize,
+}
+
+const USAGE: &str = "usage: fhc-gateway --artifact PATH \
+     (--listen HOST:PORT | --uds PATH) \
+     --workers EP[,EP...] [--max-batch N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut artifact = None;
+    let mut listen = None;
+    let mut uds = None;
+    let mut workers = None;
+    let mut max_batch = GatewayOptions::default().max_batch;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--artifact" => artifact = Some(iter.next().ok_or("--artifact needs a path")?),
+            "--listen" => listen = Some(iter.next().ok_or("--listen needs HOST:PORT")?),
+            "--uds" => uds = Some(iter.next().ok_or("--uds needs a socket path")?),
+            "--workers" => {
+                let list = iter
+                    .next()
+                    .ok_or("--workers needs a comma-separated endpoint list")?;
+                let parsed = list
+                    .split(',')
+                    .map(|e| e.trim().parse::<Endpoint>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("invalid --workers {list:?}: {e}"))?;
+                workers = Some(parsed);
+            }
+            "--max-batch" => {
+                let value = iter.next().ok_or("--max-batch needs a count")?;
+                max_batch = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid --max-batch {value:?}: {e}"))?;
+                if max_batch == 0 {
+                    return Err("--max-batch must be at least 1".to_string());
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    let artifact = artifact.ok_or(USAGE)?;
+    let workers = workers.ok_or(USAGE)?;
+    if workers.is_empty() {
+        return Err("--workers needs at least one endpoint".to_string());
+    }
+    if listen.is_some() == uds.is_some() {
+        return Err(format!(
+            "exactly one of --listen / --uds is required\n{USAGE}"
+        ));
+    }
+    Ok(Args {
+        artifact,
+        listen,
+        uds,
+        workers,
+        max_batch,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let classifier = match TrainedClassifier::load(&args.artifact) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fhc-gateway: cannot load artifact {}: {e}", args.artifact);
+            return ExitCode::FAILURE;
+        }
+    };
+    let reference = classifier.reference_shared();
+    let fingerprint = reference.fingerprint();
+    let n_classes = reference.n_classes();
+
+    let gateway = match Gateway::connect(
+        reference,
+        &args.workers,
+        GatewayOptions {
+            max_batch: args.max_batch,
+        },
+    ) {
+        Ok(gateway) => Arc::new(gateway),
+        Err(e) => {
+            eprintln!("fhc-gateway: cannot connect the shard fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    use std::io::Write as _;
+    let n_workers = gateway.n_shards();
+    let announce = |addr: &str| {
+        // Scraped by scripts and the integration tests: keep the shape
+        // "fhc-gateway listening on ADDR fronting K workers ...".
+        println!(
+            "fhc-gateway listening on {addr} fronting {n_workers} workers \
+             over {n_classes} classes (fingerprint {fingerprint:#018x})",
+        );
+        let _ = std::io::stdout().flush();
+    };
+
+    if let Some(addr) = &args.listen {
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fhc-gateway: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match listener.local_addr() {
+            Ok(local) => announce(&local.to_string()),
+            Err(_) => announce(addr),
+        }
+        serve_tcp(gateway, listener);
+    } else if let Some(path) = &args.uds {
+        // A stale socket file from a previous run would fail the bind —
+        // but only ever unlink an actual socket, so a mistyped `--uds
+        // model.fhc` cannot delete a regular file.
+        {
+            use std::os::unix::fs::FileTypeExt;
+            if std::fs::symlink_metadata(path).is_ok_and(|m| m.file_type().is_socket()) {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        let listener = match UnixListener::bind(path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("fhc-gateway: cannot bind {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        announce(&format!("unix:{path}"));
+        serve_unix(gateway, listener);
+    }
+    // The accept loops only return when the listener fails.
+    eprintln!("fhc-gateway: listener closed, exiting");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,777 @@
+//! `fhc-gateway` — a pipelined, batching front door for the shard fleet.
+//!
+//! A [`Gateway`] sits between many serving clients and the `fhc-shardd`
+//! workers. It speaks the same wire protocol on both sides: to its clients
+//! it looks like a single worker serving *every* class (so
+//! [`RemoteBackend`] — and therefore [`GatewayBackend`] — connects to it
+//! unchanged), while behind it the fleet's real partitions stay hidden.
+//! What the extra hop buys is **coalescing**: queries arriving concurrently
+//! from any number of client connections are packed into
+//! [`ScoreBatchRequest`](wire::ScoreBatchRequest) frames — one checksummed
+//! frame, many queries — so the per-frame wire and syscall overhead is paid
+//! once per burst instead of once per query.
+//!
+//! ```text
+//!  clients                     gateway                        workers
+//!  ────────                    ───────────────────────────    ─────────
+//!  conn A ──┐                  per-conn reader ─┐  ┌─ batcher ═ shard 0
+//!  conn B ──┼── TCP/UDS ──►    (submit to every ├──┤  ┌ distributor
+//!  conn C ──┘                  shard queue)     ─┘  └─ batcher ═ shard 1
+//!                              per-conn writer ◄───────┘ (rows, in order)
+//! ```
+//!
+//! Internally each shard connection is driven by one **batcher** thread
+//! (drains that shard's job queue, packs up to
+//! [`GatewayOptions::max_batch`] queries into one batch frame, submits it
+//! to the shard's [`hpcutil::Mux`]) and one **distributor** thread (awaits
+//! the replies in submission order and hands each partial row back to the
+//! query that asked for it). Because submission never waits for a reply,
+//! a batch is on the wire while the previous one is still being scored —
+//! the shard sockets stay full.
+//!
+//! Client connections are served pipelined the same way: a reader thread
+//! submits every incoming query to the shard queues the moment it is
+//! decoded, and the connection's writer answers in request order as the
+//! merged rows complete. A worker advertising no batch support (see
+//! [`wire::FEATURE_SCORE_BATCH`]) degrades to pipelined single-query
+//! frames on that one connection; everything else is unaffected.
+//!
+//! Failure keeps the same contract as [`RemoteBackend`]: a lost worker
+//! surfaces as a typed error frame to every affected client query — never
+//! a wrong or partial row.
+
+use crate::backend::SimilarityBackend;
+use crate::error::FhcError;
+use crate::features::PreparedSampleFeatures;
+use crate::shardnet::remote::{connect_workers, RemoteBackend, RemoteWorker};
+use crate::shardnet::wire::{self, ClientReply, Frame, Hello, ScoreBatchResponse, ScoreResponse};
+use crate::shardnet::worker::IDLE_TIMEOUT;
+use crate::shardnet::{Endpoint, NetError};
+use crate::similarity::ReferenceSet;
+use hpcutil::PendingReply;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+
+/// Tunables for a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayOptions {
+    /// Most queries packed into one batch frame per shard. Bounds both the
+    /// frame size and the head-of-line latency a burst can add; the
+    /// default comfortably amortizes framing overhead without approaching
+    /// [`wire::MAX_FRAME_PAYLOAD`].
+    pub max_batch: usize,
+}
+
+impl Default for GatewayOptions {
+    fn default() -> Self {
+        Self { max_batch: 64 }
+    }
+}
+
+/// Why a shard could not answer a query. One fault fans out to every query
+/// that was in the failed batch, hence `Clone`.
+#[derive(Debug, Clone)]
+struct ShardFault {
+    peer: String,
+    detail: String,
+}
+
+/// One query's partial row from one shard, or the fault that lost it.
+type RowResult = Result<Vec<(u32, f64)>, ShardFault>;
+
+/// One query enqueued to one shard's batcher.
+struct ShardJob {
+    query: Arc<PreparedSampleFeatures>,
+    reply: Sender<RowResult>,
+}
+
+/// The gateway's handle on one shard: where to enqueue jobs, and the
+/// partition the shard's rows are validated against.
+struct ShardHandle {
+    peer: String,
+    classes: Vec<usize>,
+    queue: Sender<ShardJob>,
+}
+
+/// A batch (or single request) submitted to a shard's mux, paired with the
+/// jobs its rows answer. The distributor consumes these in submission
+/// order.
+enum InFlight {
+    Batch {
+        pending: PendingReply<ClientReply>,
+        jobs: Vec<ShardJob>,
+    },
+    Single {
+        pending: PendingReply<ClientReply>,
+        job: ShardJob,
+    },
+}
+
+/// The batching front door itself: validated connections to the whole
+/// shard fleet, one batcher/distributor thread pair per shard.
+///
+/// Built with [`Gateway::connect`] (the same handshake, fingerprint, and
+/// exact-cover validation as [`RemoteBackend::connect`]) and served with
+/// [`serve_tcp`] / [`serve_unix`] — or driven in process through
+/// [`serve_client`]. Dropping the gateway closes the shard queues; the
+/// batcher and distributor threads drain what is in flight and exit on
+/// their own.
+pub struct Gateway {
+    reference: Arc<ReferenceSet>,
+    /// Computed once: a full reference walk, served on every client
+    /// handshake.
+    fingerprint: u64,
+    shards: Vec<ShardHandle>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("n_shards", &self.shards.len())
+            .field("fingerprint", &self.fingerprint)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gateway {
+    /// Connect to the shard fleet at `endpoints` and spawn the per-shard
+    /// batching pipelines. Handshake validation and partition assignment
+    /// are exactly [`RemoteBackend::connect`]'s.
+    pub fn connect(
+        reference: Arc<ReferenceSet>,
+        endpoints: &[Endpoint],
+        options: GatewayOptions,
+    ) -> Result<Self, NetError> {
+        if options.max_batch == 0 {
+            return Err(NetError::Partition(
+                "gateway max_batch must be at least 1".into(),
+            ));
+        }
+        let workers = connect_workers(&reference, endpoints)?;
+        let fingerprint = reference.fingerprint();
+        let shards = workers
+            .into_iter()
+            .map(|worker| {
+                let peer = worker.endpoint.to_string();
+                let classes = worker.classes.clone();
+                let (queue, jobs) = mpsc::channel::<ShardJob>();
+                let max_batch = options.max_batch;
+                std::thread::Builder::new()
+                    .name("gw-batcher".into())
+                    .spawn(move || batcher_loop(worker, jobs, max_batch))
+                    .expect("spawn gateway batcher thread");
+                ShardHandle {
+                    peer,
+                    classes,
+                    queue,
+                }
+            })
+            .collect();
+        Ok(Self {
+            reference,
+            fingerprint,
+            shards,
+        })
+    }
+
+    /// The reference set the fleet serves.
+    pub fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    /// Number of shard workers behind this gateway.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The handshake the gateway answers clients with: it presents as one
+    /// worker serving every class, so the real fleet partition never
+    /// leaks past the gateway.
+    fn hello(&self) -> Hello {
+        Hello {
+            protocol: wire::PROTOCOL_VERSION,
+            features: wire::FEATURE_SCORE_BATCH,
+            fingerprint: self.fingerprint,
+            n_classes: self.reference.n_classes(),
+            n_columns: self.reference.n_columns(),
+            classes: (0..self.reference.n_classes()).collect(),
+        }
+    }
+
+    /// Await one query's partial rows from every shard and max-merge them
+    /// into the full dense row, validated cell by cell against each
+    /// shard's partition (a buggy or malicious worker cannot write columns
+    /// it does not own).
+    fn collect_full_row(
+        &self,
+        replies: Vec<Receiver<RowResult>>,
+    ) -> Result<Vec<(u32, f64)>, NetError> {
+        let n_columns = self.reference.n_columns();
+        let n_classes = self.reference.n_classes();
+        let mut row = vec![0.0f64; n_columns];
+        for (shard, reply) in self.shards.iter().zip(replies) {
+            let cells = match reply.recv() {
+                Ok(Ok(cells)) => cells,
+                Ok(Err(fault)) => {
+                    return Err(NetError::WorkerLost {
+                        peer: fault.peer,
+                        detail: fault.detail,
+                    });
+                }
+                Err(_) => {
+                    return Err(NetError::WorkerLost {
+                        peer: shard.peer.clone(),
+                        detail: "shard pipeline closed".into(),
+                    });
+                }
+            };
+            for (column, score) in cells {
+                let column = column as usize;
+                if column >= n_columns
+                    || shard.classes.binary_search(&(column % n_classes)).is_err()
+                {
+                    return Err(NetError::Protocol {
+                        peer: shard.peer.clone(),
+                        detail: format!("response cell for column {column} outside its partition"),
+                    });
+                }
+                row[column] = row[column].max(score);
+            }
+        }
+        Ok(row
+            .into_iter()
+            .enumerate()
+            .map(|(column, score)| (column as u32, score))
+            .collect())
+    }
+}
+
+/// Enqueue one query to every shard, returning the reply receivers in
+/// shard order. Sending never blocks on the network — the batcher threads
+/// do the waiting — which is what lets a client reader submit its whole
+/// burst before any row is collected. A send to a dead batcher is
+/// deliberately ignored here: the dropped reply sender surfaces the loss
+/// at collect time, attributed to the right peer.
+fn submit_to_shards(
+    queues: &[Sender<ShardJob>],
+    query: &Arc<PreparedSampleFeatures>,
+) -> Vec<Receiver<RowResult>> {
+    queues
+        .iter()
+        .map(|queue| {
+            let (reply, rx) = mpsc::channel();
+            let _ = queue.send(ShardJob {
+                query: Arc::clone(query),
+                reply,
+            });
+            rx
+        })
+        .collect()
+}
+
+/// Drain one shard's job queue, packing waiting queries into batch frames
+/// and submitting them to the shard's mux without awaiting replies. Exits
+/// when every [`ShardHandle`] clone of the queue sender is gone.
+fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize) {
+    let peer = worker.endpoint.to_string();
+    let (inflight_tx, inflight_rx) = mpsc::channel::<InFlight>();
+    let distributor = std::thread::Builder::new()
+        .name("gw-distributor".into())
+        .spawn({
+            let peer = peer.clone();
+            move || distributor_loop(inflight_rx, &peer)
+        })
+        .expect("spawn gateway distributor thread");
+
+    let mut next_id = 0u64;
+    'serve: while let Ok(first) = jobs.recv() {
+        // The coalescing moment: everything already queued — from any
+        // client connection — rides in this frame, up to max_batch.
+        let mut pack = vec![first];
+        while pack.len() < max_batch {
+            match jobs.try_recv() {
+                Ok(job) => pack.push(job),
+                Err(_) => break,
+            }
+        }
+        if worker.supports_batch {
+            let id = next_id;
+            next_id += 1;
+            let bytes = wire::score_batch_request_bytes(id, pack.iter().map(|j| j.query.as_ref()));
+            let pending = worker.mux.submit(id, bytes);
+            if inflight_tx
+                .send(InFlight::Batch {
+                    pending,
+                    jobs: pack,
+                })
+                .is_err()
+            {
+                break 'serve;
+            }
+        } else {
+            // A batch-less worker still gets the pipelining: every request
+            // is on the wire before any reply is awaited.
+            for job in pack {
+                let id = next_id;
+                next_id += 1;
+                let pending = worker
+                    .mux
+                    .submit(id, wire::score_request_bytes(id, &job.query));
+                if inflight_tx.send(InFlight::Single { pending, job }).is_err() {
+                    break 'serve;
+                }
+            }
+        }
+    }
+    drop(inflight_tx);
+    let _ = distributor.join();
+    // `worker` drops here: the mux joins its threads and closes the socket.
+}
+
+/// Await one shard's replies in submission order and route each row back
+/// to the query that asked for it. A failed batch faults every query it
+/// carried — with the peer named — and later batches keep failing fast
+/// off the poisoned mux.
+fn distributor_loop(inflight: Receiver<InFlight>, peer: &str) {
+    for entry in inflight {
+        match entry {
+            InFlight::Batch { pending, jobs } => match pending.wait() {
+                Ok(ClientReply::Batch(response)) if response.rows.len() == jobs.len() => {
+                    for (job, row) in jobs.into_iter().zip(response.rows) {
+                        let _ = job.reply.send(Ok(row));
+                    }
+                }
+                Ok(ClientReply::Batch(response)) => {
+                    let detail = format!(
+                        "batch reply carried {} rows for {} queries",
+                        response.rows.len(),
+                        jobs.len()
+                    );
+                    fault_jobs(jobs, peer, detail);
+                }
+                Ok(ClientReply::Score(_)) => {
+                    fault_jobs(
+                        jobs,
+                        peer,
+                        "single-row reply answering a batch request".into(),
+                    );
+                }
+                Err(e) => {
+                    let detail = e.to_string();
+                    fault_jobs(jobs, peer, detail);
+                }
+            },
+            InFlight::Single { pending, job } => match pending.wait() {
+                Ok(ClientReply::Score(response)) => {
+                    let _ = job.reply.send(Ok(response.cells));
+                }
+                Ok(ClientReply::Batch(_)) => {
+                    fault_jobs(
+                        vec![job],
+                        peer,
+                        "batch reply answering a single-query request".into(),
+                    );
+                }
+                Err(e) => {
+                    let detail = e.to_string();
+                    fault_jobs(vec![job], peer, detail);
+                }
+            },
+        }
+    }
+}
+
+fn fault_jobs(jobs: Vec<ShardJob>, peer: &str, detail: String) {
+    let fault = ShardFault {
+        peer: peer.to_string(),
+        detail,
+    };
+    for job in jobs {
+        let _ = job.reply.send(Err(fault.clone()));
+    }
+}
+
+/// Work items handed from a client connection's reader thread to its
+/// writer: each one's shard replies were already submitted, so the writer
+/// only collects, merges, and answers — in request order.
+enum ClientWork {
+    Row {
+        id: u64,
+        replies: Vec<Receiver<RowResult>>,
+    },
+    Batch {
+        id: u64,
+        queries: Vec<Vec<Receiver<RowResult>>>,
+    },
+    Fail {
+        detail: String,
+    },
+}
+
+/// Serve one client connection: handshake, then answer score requests
+/// until the client says goodbye (a `Shutdown` frame, a clean EOF, or the
+/// idle read deadline).
+///
+/// The connection is **pipelined**: `reader` moves to a dedicated thread
+/// that decodes frames and submits every query to the shard queues the
+/// moment it arrives, while this thread writes the merged responses back
+/// in request order. A client that keeps several requests in flight
+/// therefore overlaps its round trips end to end — through the gateway
+/// *and* through the shard sockets behind it.
+///
+/// A shard failure or a protocol violation answers the client with a
+/// best-effort `Error` frame, then returns the typed error; the caller
+/// owns closing the transport (which also unblocks the reader thread).
+pub fn serve_client<R, W>(
+    gateway: &Gateway,
+    reader: R,
+    mut writer: W,
+    peer: &str,
+) -> Result<(), NetError>
+where
+    R: Read + Send + 'static,
+    W: Write,
+{
+    Frame::Hello(gateway.hello()).write_to(&mut writer, peer)?;
+    let queues: Vec<Sender<ShardJob>> = gateway.shards.iter().map(|s| s.queue.clone()).collect();
+    let (work_tx, work_rx) = mpsc::channel::<ClientWork>();
+    let reader_peer = peer.to_string();
+    std::thread::Builder::new()
+        .name("gw-client-reader".into())
+        .spawn(move || client_reader_loop(reader, &queues, &work_tx, &reader_peer))
+        .expect("spawn gateway client reader thread");
+
+    let mut answer = || -> Result<(), NetError> {
+        // When the reader hangs up, buffered work still drains: every
+        // already-submitted request is answered before the clean close.
+        for work in &work_rx {
+            match work {
+                ClientWork::Row { id, replies } => {
+                    let cells = gateway.collect_full_row(replies)?;
+                    Frame::ScoreResponse(ScoreResponse { id, cells })
+                        .write_to(&mut writer, peer)?;
+                }
+                ClientWork::Batch { id, queries } => {
+                    let rows = queries
+                        .into_iter()
+                        .map(|replies| gateway.collect_full_row(replies))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Frame::ScoreBatchResponse(ScoreBatchResponse { id, rows })
+                        .write_to(&mut writer, peer)?;
+                }
+                ClientWork::Fail { detail } => {
+                    return Err(NetError::Protocol {
+                        peer: peer.to_string(),
+                        detail,
+                    });
+                }
+            }
+        }
+        Ok(())
+    };
+    let result = answer();
+    if let Err(e) = &result {
+        let _ = Frame::Error(e.to_string()).write_to(&mut writer, peer);
+    }
+    result
+}
+
+/// The reader half of [`serve_client`]: decode client frames and submit
+/// each query to every shard queue immediately. The writer learns of each
+/// request through the work channel; dropping the channel's sender is the
+/// reader's clean-goodbye signal.
+fn client_reader_loop<R: Read>(
+    mut reader: R,
+    queues: &[Sender<ShardJob>],
+    work: &Sender<ClientWork>,
+    peer: &str,
+) {
+    loop {
+        match Frame::read_from(&mut reader, peer) {
+            Ok(Frame::ScoreRequest(request)) => {
+                let wire::ScoreRequest { id, query } = *request;
+                let replies = submit_to_shards(queues, &Arc::new(query));
+                if work.send(ClientWork::Row { id, replies }).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::ScoreBatchRequest(batch)) => {
+                // Submit the whole batch before handing it to the writer:
+                // the shard batchers see the burst at once and pack it
+                // into few wire frames.
+                let queries = batch
+                    .queries
+                    .into_iter()
+                    .map(|query| submit_to_shards(queues, &Arc::new(query)))
+                    .collect();
+                if work
+                    .send(ClientWork::Batch {
+                        id: batch.id,
+                        queries,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Frame::Shutdown) => return,
+            Ok(unexpected) => {
+                // Assign included: the gateway's advertised partition is
+                // the whole class set and is not negotiable per client.
+                let _ = work.send(ClientWork::Fail {
+                    detail: format!("unexpected frame {unexpected:?} from client"),
+                });
+                return;
+            }
+            // A clean EOF between frames is a client hangup, not an error.
+            Err(NetError::Io { ref source, .. })
+                if source.kind() == std::io::ErrorKind::UnexpectedEof =>
+            {
+                return;
+            }
+            // The idle deadline fired: the client is likely gone — close
+            // quietly, mirroring the worker's serving loop.
+            Err(NetError::Io { ref source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
+            Err(e) => {
+                let _ = work.send(ClientWork::Fail {
+                    detail: format!("could not read client frame: {e}"),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Accept-loop over a TCP listener: one pipelined [`serve_client`] per
+/// connection, reads bounded by [`IDLE_TIMEOUT`]. Returns when the
+/// listener itself fails.
+pub fn serve_tcp(gateway: Arc<Gateway>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "tcp client".to_string());
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let gateway = Arc::clone(&gateway);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(reader) => reader,
+                        Err(e) => {
+                            eprintln!("fhc-gateway: cannot split connection with {peer}: {e}");
+                            return;
+                        }
+                    };
+                    let result = serve_client(&gateway, reader, &stream, &peer);
+                    // Unblocks the reader thread if the writer bailed first.
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    if let Err(e) = result {
+                        eprintln!("fhc-gateway: connection with {peer} failed: {e}");
+                    }
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Accept-loop over a Unix-domain listener; see [`serve_tcp`].
+pub fn serve_unix(gateway: Arc<Gateway>, listener: UnixListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let gateway = Arc::clone(&gateway);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(reader) => reader,
+                        Err(e) => {
+                            eprintln!("fhc-gateway: cannot split unix connection: {e}");
+                            return;
+                        }
+                    };
+                    let result = serve_client(&gateway, reader, &stream, "unix client");
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    if let Err(e) = result {
+                        eprintln!("fhc-gateway: unix connection failed: {e}");
+                    }
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A [`SimilarityBackend`] that scores through an `fhc-gateway` front
+/// door.
+///
+/// On the wire this *is* a [`RemoteBackend`] with one endpoint — the
+/// gateway answers the same handshake as a worker serving every class —
+/// so every serving guarantee (typed errors, byte-identical rows) carries
+/// over unchanged. The type exists so a topology's configuration
+/// round-trips faithfully: `gateway:EP` names a front door, not a bare
+/// worker.
+#[derive(Debug, Clone)]
+pub struct GatewayBackend {
+    inner: RemoteBackend,
+    endpoint: Endpoint,
+}
+
+impl GatewayBackend {
+    /// Connect to the gateway at `endpoint` and validate its handshake
+    /// against `reference` (fingerprint, geometry, protocol version).
+    pub fn connect(reference: Arc<ReferenceSet>, endpoint: &Endpoint) -> Result<Self, NetError> {
+        let inner = RemoteBackend::connect(reference, std::slice::from_ref(endpoint))?;
+        Ok(Self {
+            inner,
+            endpoint: endpoint.clone(),
+        })
+    }
+
+    /// The gateway endpoint this backend scores through.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Batch row scoring through the gateway: the whole slice rides as
+    /// [`wire::ScoreBatchRequest`] frames, which is exactly the shape the gateway coalesces best —
+    /// each chunk is split across the shard fleet as one batched frame per
+    /// shard. See [`RemoteBackend::try_feature_rows_prepared`].
+    pub fn try_feature_rows_prepared(
+        &self,
+        queries: &[PreparedSampleFeatures],
+    ) -> Result<Vec<Vec<f64>>, NetError> {
+        self.inner.try_feature_rows_prepared(queries)
+    }
+}
+
+impl SimilarityBackend for GatewayBackend {
+    fn reference(&self) -> &ReferenceSet {
+        self.inner.reference()
+    }
+
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        self.inner.max_scores_into(query, out);
+    }
+
+    fn try_max_scores_into(
+        &self,
+        query: &PreparedSampleFeatures,
+        out: &mut [f64],
+    ) -> Result<(), FhcError> {
+        self.inner.try_max_scores_into(query, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendConfig;
+    use crate::features::{FeatureKind, SampleFeatures};
+    use crate::shardnet::worker::{self, ShardWorker};
+
+    fn reference() -> Arc<ReferenceSet> {
+        let train = vec![
+            SampleFeatures::extract(b"the velvet assembler executable body one"),
+            SampleFeatures::extract(b"the velvet assembler executable body two"),
+            SampleFeatures::extract(b"an openmalaria simulation binary payload"),
+        ];
+        Arc::new(ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train,
+            &[0, 0, 1],
+            &FeatureKind::ALL,
+        ))
+    }
+
+    fn spawn_worker(reference: Arc<ReferenceSet>) -> Endpoint {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        let shard = Arc::new(ShardWorker::all_classes(reference));
+        std::thread::spawn(move || worker::serve_tcp(shard, listener));
+        Endpoint::Tcp(addr)
+    }
+
+    fn spawn_gateway(gateway: Gateway) -> Endpoint {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback gateway");
+        let addr = listener.local_addr().unwrap().to_string();
+        let gateway = Arc::new(gateway);
+        std::thread::spawn(move || serve_tcp(gateway, listener));
+        Endpoint::Tcp(addr)
+    }
+
+    #[test]
+    fn gateway_rows_are_byte_identical_to_the_indexed_backend() {
+        let rs = reference();
+        let endpoints = vec![spawn_worker(rs.clone()), spawn_worker(rs.clone())];
+        let gateway =
+            Gateway::connect(rs.clone(), &endpoints, GatewayOptions::default()).expect("connect");
+        assert_eq!(gateway.n_shards(), 2);
+        let front = spawn_gateway(gateway);
+
+        let backend = GatewayBackend::connect(rs.clone(), &front).expect("dial gateway");
+        let indexed = BackendConfig::Indexed.build(rs.clone());
+        for body in [
+            b"the velvet assembler executable body five".as_slice(),
+            b"an openmalaria simulation binary probe".as_slice(),
+            b"entirely unrelated probe bytes".as_slice(),
+        ] {
+            let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(body));
+            let mut via_gateway = vec![0.0f64; rs.n_columns()];
+            backend
+                .try_max_scores_into(&query, &mut via_gateway)
+                .expect("gateway scoring");
+            let mut direct = vec![0.0f64; rs.n_columns()];
+            indexed.max_scores_into(&query, &mut direct);
+            let gw_bits: Vec<u64> = via_gateway.iter().map(|s| s.to_bits()).collect();
+            let direct_bits: Vec<u64> = direct.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(gw_bits, direct_bits, "row diverged for {body:?}");
+        }
+    }
+
+    #[test]
+    fn a_zero_max_batch_is_rejected_up_front() {
+        let rs = reference();
+        let err = Gateway::connect(rs, &[], GatewayOptions { max_batch: 0 });
+        assert!(matches!(err, Err(NetError::Partition(_))));
+    }
+
+    #[test]
+    fn an_assign_from_a_client_is_a_typed_error() {
+        let rs = reference();
+        let endpoints = vec![spawn_worker(rs.clone())];
+        let gateway =
+            Gateway::connect(rs.clone(), &endpoints, GatewayOptions::default()).expect("connect");
+        let front = spawn_gateway(gateway);
+
+        let mut conn = front.connect().expect("dial gateway");
+        let hello = match Frame::read_from(&mut conn, "gateway").unwrap() {
+            Frame::Hello(h) => h,
+            other => panic!("expected Hello, got {other:?}"),
+        };
+        assert!(hello.supports(wire::FEATURE_SCORE_BATCH));
+        assert_eq!(hello.classes, vec![0, 1]);
+        Frame::Assign(wire::Assign { classes: vec![0] })
+            .write_to(&mut conn, "gateway")
+            .unwrap();
+        match Frame::read_from(&mut conn, "gateway").unwrap() {
+            Frame::Error(message) => assert!(
+                message.contains("unexpected frame"),
+                "error names the violation: {message}"
+            ),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}

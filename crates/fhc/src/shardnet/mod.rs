@@ -23,7 +23,15 @@
 //!   side: a [`SimilarityBackend`](crate::backend::SimilarityBackend) whose
 //!   `max_scores_into` fans out to N workers over persistent connections
 //!   and max-merges their partial rows. Byte-identical to every in-process
-//!   backend by the existing equivalence suites.
+//!   backend by the existing equivalence suites. Connections are driven by
+//!   a [`hpcutil::Mux`], so concurrent callers pipeline over one socket
+//!   per worker instead of serializing behind a connection lock.
+//! * [`gateway`] — [`Gateway`], a batching front
+//!   door: it accepts many client connections, coalesces concurrently
+//!   arriving queries into [`ScoreBatchRequest`](wire::ScoreBatchRequest)
+//!   frames per shard, and presents the whole fleet to its clients as one
+//!   worker serving every class. The `fhc-gateway` binary wraps it in an
+//!   accept loop; [`GatewayBackend`] (`gateway:EP`) is the client side.
 //!
 //! Failure is a first-class outcome: a worker that dies mid-batch surfaces
 //! as a typed [`NetError`] through the `try_*` serving APIs — never as a
@@ -36,10 +44,12 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::str::FromStr;
 
+pub mod gateway;
 pub mod remote;
 pub mod wire;
 pub mod worker;
 
+pub use gateway::{Gateway, GatewayBackend, GatewayOptions};
 pub use remote::RemoteBackend;
 pub use worker::ShardWorker;
 
@@ -55,16 +65,24 @@ pub enum Endpoint {
     Unix(PathBuf),
 }
 
-/// Client-side I/O deadline per read/write on a worker connection.
+/// Client-side deadline for a worker to answer an in-flight request (and
+/// for the TCP connect and every write).
 ///
-/// A client only reads when a response is owed (the connection is idle
-/// between queries *from the client's side of the protocol*), so a stalled
-/// worker — wedged, SIGSTOPped, partitioned without an RST — surfaces as a
-/// timed-out read mapped to [`NetError::WorkerLost`] instead of blocking
-/// the query (and the connection mutex behind it) forever. Workers keep
-/// *their* reads unbounded: an idle client parked between queries is
-/// normal there.
+/// Client connections are driven by a [`hpcutil::Mux`], whose reader
+/// thread reads *continuously*; an idle connection with nothing in flight
+/// is normal and never times out. What must not hang is an **owed reply**:
+/// a stalled worker — wedged, SIGSTOPped, partitioned without an RST —
+/// surfaces as a [`NetError::WorkerLost`] once a request has waited this
+/// long, instead of blocking the caller forever. Workers bound their reads
+/// with the much longer [`worker::IDLE_TIMEOUT`], which exists to reap
+/// dead *clients*, not slow ones.
 pub const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Socket read timeout under a [`hpcutil::Mux`] reader thread: how often
+/// the reader wakes to check in-flight requests against [`IO_TIMEOUT`].
+/// The mux reassembles frames from raw reads, so this timeout never tears
+/// a frame — it only bounds stall-detection latency.
+pub(crate) const MUX_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_secs(1);
 
 impl Endpoint {
     /// Open a connection to this endpoint, with [`IO_TIMEOUT`] applied to
@@ -94,6 +112,107 @@ impl Endpoint {
                 Ok(Box::new(stream))
             }
         }
+    }
+
+    /// Open a connection split into independently owned read/write halves
+    /// (see [`SplitConn`]), with [`IO_TIMEOUT`] applied to reads, writes,
+    /// and the TCP connect — the handshake runs under the same deadlines as
+    /// [`Endpoint::connect`]. Once the handshake is done, narrow the read
+    /// timeout to the mux's poll interval before spawning the mux.
+    pub fn connect_split(&self) -> std::io::Result<SplitConn> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        format!("{addr} resolves to no address"),
+                    )
+                })?;
+                let stream = TcpStream::connect_timeout(&resolved, IO_TIMEOUT)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(IO_TIMEOUT))?;
+                stream.set_write_timeout(Some(IO_TIMEOUT))?;
+                Ok(SplitConn {
+                    reader: Box::new(stream.try_clone()?),
+                    writer: Box::new(stream.try_clone()?),
+                    control: ConnControl::Tcp(stream),
+                })
+            }
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_read_timeout(Some(IO_TIMEOUT))?;
+                stream.set_write_timeout(Some(IO_TIMEOUT))?;
+                Ok(SplitConn {
+                    reader: Box::new(stream.try_clone()?),
+                    writer: Box::new(stream.try_clone()?),
+                    control: ConnControl::Unix(stream),
+                })
+            }
+        }
+    }
+}
+
+/// A connected stream split into independently owned halves, so a reader
+/// thread and a writer thread (a [`hpcutil::Mux`]) can drive the same
+/// socket concurrently.
+///
+/// The halves are OS-level duplicates of one socket: timeouts set through
+/// [`SplitConn::set_read_timeout`] apply to both, and shutting the socket
+/// down through the closer returned by [`SplitConn::into_mux_parts`]
+/// unblocks whichever half is parked in a syscall.
+pub struct SplitConn {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    control: ConnControl,
+}
+
+enum ConnControl {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl SplitConn {
+    /// The read half, for driving a handshake before the mux takes over.
+    pub fn reader(&mut self) -> &mut (dyn Read + Send) {
+        &mut *self.reader
+    }
+
+    /// The write half, for driving a handshake before the mux takes over.
+    pub fn writer(&mut self) -> &mut (dyn Write + Send) {
+        &mut *self.writer
+    }
+
+    /// Set the socket's read timeout (shared by both halves).
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        match &self.control {
+            ConnControl::Tcp(stream) => stream.set_read_timeout(timeout),
+            ConnControl::Unix(stream) => stream.set_read_timeout(timeout),
+        }
+    }
+
+    /// Consume the split connection into the three parts a
+    /// [`hpcutil::Mux`] spawns from: the read half, the write half, and a
+    /// closer that shuts the socket down (idempotent, callable from any
+    /// thread).
+    #[allow(clippy::type_complexity)]
+    pub fn into_mux_parts(
+        self,
+    ) -> (
+        Box<dyn Read + Send>,
+        Box<dyn Write + Send>,
+        Box<dyn Fn() + Send + Sync>,
+    ) {
+        let control = self.control;
+        let closer: Box<dyn Fn() + Send + Sync> = Box::new(move || match &control {
+            ConnControl::Tcp(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            ConnControl::Unix(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        });
+        (self.reader, self.writer, closer)
     }
 }
 

@@ -1,15 +1,22 @@
 //! The client side of the shard protocol: a [`SimilarityBackend`] that fans
 //! out over the network.
 //!
-//! [`RemoteBackend`] holds one persistent connection per shard worker. A
-//! query is written to every worker as a [`ScoreRequest`](wire::ScoreRequest)
-//! and the partial rows are max-merged — the exact contract of
+//! [`RemoteBackend`] holds one persistent connection per shard worker, each
+//! driven by a [`hpcutil::Mux`]: a dedicated writer thread and reader
+//! thread per socket, with responses correlated back to callers by the
+//! request id every `ScoreRequest` carries. A query is *submitted* to every
+//! worker (a channel send each — the mux writer threads put the frames on
+//! the wire concurrently and coalesce adjacent writes), then the partial
+//! rows are awaited and max-merged — the exact contract of
 //! [`ShardedBackend`](crate::backend::ShardedBackend), with the scoped
-//! threads replaced by sockets. Outside a batch worker the fan-out runs on
-//! the persistent [`hpcutil::WorkerPool`] so every socket is
-//! written (and every worker computes) concurrently; inside a batch worker
-//! the connections are driven serially, because the batch is already the
-//! parallel axis.
+//! threads replaced by sockets.
+//!
+//! Because no caller ever holds a connection lock across a round trip, any
+//! number of batch threads **pipeline** over the same N sockets: while one
+//! query's responses are in flight, the next queries' requests are already
+//! on the wire. This is what makes one connection per worker enough for a
+//! whole process, and it needs no fan-out thread pool — submitting is
+//! cheap, and the mux threads do the blocking.
 //!
 //! Every connection is validated at handshake time: protocol version,
 //! reference-set fingerprint, and column geometry must match, and the
@@ -20,19 +27,24 @@
 use crate::backend::{round_robin_partition, SimilarityBackend};
 use crate::error::FhcError;
 use crate::features::PreparedSampleFeatures;
-use crate::shardnet::wire::{self, Frame, Hello};
-use crate::shardnet::{Endpoint, NetError, Transport};
+use crate::shardnet::wire::{self, ClientReply, Frame, Hello};
+use crate::shardnet::{Endpoint, NetError, SplitConn, IO_TIMEOUT, MUX_POLL_INTERVAL};
 use crate::similarity::ReferenceSet;
-use hpcutil::WorkerPool;
+use hpcutil::{Mux, MuxError, MuxErrorKind, MuxOptions, PendingReply};
+use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// One connected shard worker.
-struct RemoteWorker {
-    endpoint: Endpoint,
+/// One connected shard worker: its validated partition and the multiplexer
+/// pipelining requests over its socket. Shared with the gateway, which
+/// wraps these in per-shard batcher threads.
+pub(crate) struct RemoteWorker {
+    pub(crate) endpoint: Endpoint,
     /// The classes this worker scores (sorted), per its final handshake.
-    classes: Vec<usize>,
-    conn: Mutex<Box<dyn Transport>>,
+    pub(crate) classes: Vec<usize>,
+    /// Whether the worker advertised [`wire::FEATURE_SCORE_BATCH`].
+    pub(crate) supports_batch: bool,
+    pub(crate) mux: Mux<ClientReply>,
 }
 
 impl std::fmt::Debug for RemoteWorker {
@@ -40,101 +52,135 @@ impl std::fmt::Debug for RemoteWorker {
         f.debug_struct("RemoteWorker")
             .field("endpoint", &self.endpoint)
             .field("classes", &self.classes)
+            .field("supports_batch", &self.supports_batch)
             .finish_non_exhaustive()
     }
 }
 
+/// Dial, handshake, and validate every endpoint, returning one mux-driven
+/// [`RemoteWorker`] per connection. Shared by [`RemoteBackend::connect`]
+/// and the gateway.
+///
+/// Each worker's handshake must match the local protocol version,
+/// reference fingerprint, and column geometry. If the advertised class
+/// partitions already cover every class exactly once they are used as is;
+/// if instead every worker advertises *all* classes (the default state of
+/// an unpartitioned `fhc-shardd`), the classes are dealt round-robin
+/// across the workers — the same partition rule as
+/// [`ShardedBackend`](crate::backend::ShardedBackend) — and assigned over
+/// the wire. Anything else is a [`NetError::Partition`].
+pub(crate) fn connect_workers(
+    reference: &ReferenceSet,
+    endpoints: &[Endpoint],
+) -> Result<Vec<RemoteWorker>, NetError> {
+    if endpoints.is_empty() {
+        return Err(NetError::Partition(
+            "a remote backend needs at least one worker endpoint".into(),
+        ));
+    }
+    // One full reference walk, reused for every worker's handshake.
+    let ours = reference.fingerprint();
+    let mut conns = Vec::with_capacity(endpoints.len());
+    for endpoint in endpoints {
+        let peer = endpoint.to_string();
+        let mut conn = endpoint.connect_split().map_err(|source| NetError::Io {
+            peer: peer.clone(),
+            source,
+        })?;
+        let hello = read_hello(conn.reader(), &peer)?;
+        validate_hello(reference, ours, &peer, &hello)?;
+        conns.push((endpoint.clone(), conn, hello));
+    }
+
+    let n_classes = reference.n_classes();
+    if !is_exact_cover(
+        n_classes,
+        conns.iter().map(|(_, _, h)| h.classes.as_slice()),
+    ) {
+        let all: Vec<usize> = (0..n_classes).collect();
+        if conns.iter().all(|(_, _, h)| h.classes == all) {
+            // Unpartitioned workers: deal the classes ourselves.
+            let partition = round_robin_partition(n_classes, conns.len());
+            for ((endpoint, conn, hello), classes) in conns.iter_mut().zip(partition) {
+                let peer = endpoint.to_string();
+                *hello = assign_partition(conn, &peer, classes)?;
+            }
+        } else {
+            return Err(NetError::Partition(format!(
+                "worker partitions must cover every class exactly once \
+                 (got {:?} over {n_classes} classes); either start each \
+                 fhc-shardd with a disjoint --classes/--shard partition \
+                 or start them all unpartitioned",
+                conns
+                    .iter()
+                    .map(|(_, _, h)| h.classes.clone())
+                    .collect::<Vec<_>>()
+            )));
+        }
+    }
+
+    conns
+        .into_iter()
+        .map(|(endpoint, conn, hello)| {
+            let peer = endpoint.to_string();
+            // Handshake done: narrow the read timeout to the mux's stall
+            // poll and hand the halves to the multiplexer.
+            conn.set_read_timeout(Some(MUX_POLL_INTERVAL))
+                .map_err(|source| NetError::Io {
+                    peer: peer.clone(),
+                    source,
+                })?;
+            let (reader, writer, closer) = conn.into_mux_parts();
+            let mux = Mux::spawn(
+                peer,
+                reader,
+                writer,
+                closer,
+                MuxOptions {
+                    max_payload: wire::MAX_FRAME_PAYLOAD,
+                    reply_deadline: Some(IO_TIMEOUT),
+                },
+                |tag, payload: Vec<u8>| wire::decode_client_reply(tag, &payload),
+            );
+            Ok(RemoteWorker {
+                endpoint,
+                supports_batch: hello.supports(wire::FEATURE_SCORE_BATCH),
+                classes: hello.classes,
+                mux,
+            })
+        })
+        .collect()
+}
+
 /// A [`SimilarityBackend`] that fans `max_scores_into` out to shard workers
-/// over persistent connections and max-merges their partial rows.
+/// over persistent, pipelined connections and max-merges their partial
+/// rows.
 ///
 /// Built with [`RemoteBackend::connect`] (or through
 /// [`BackendConfig::Remote`](crate::backend::BackendConfig::Remote)).
-/// Cloning shares the connections and the fan-out pool. Remote scoring can
-/// fail at any time (workers are separate processes); use the `try_*`
-/// serving APIs — the infallible [`SimilarityBackend::max_scores_into`]
-/// panics on transport errors.
+/// Cloning shares the connections. Remote scoring can fail at any time
+/// (workers are separate processes); use the `try_*` serving APIs — the
+/// infallible [`SimilarityBackend::max_scores_into`] panics on transport
+/// errors.
 #[derive(Debug, Clone)]
 pub struct RemoteBackend {
     reference: Arc<ReferenceSet>,
     workers: Vec<Arc<RemoteWorker>>,
-    /// Fan-out pool, present when there is more than one worker.
-    pool: Option<Arc<WorkerPool>>,
     next_id: Arc<AtomicU64>,
 }
 
 impl RemoteBackend {
     /// Connect to shard workers at `endpoints` and validate that together
-    /// they serve exactly `reference`.
-    ///
-    /// Each worker's handshake must match the local protocol version,
-    /// reference fingerprint, and column geometry. If the advertised class
-    /// partitions already cover every class exactly once they are used as
-    /// is; if instead every worker advertises *all* classes (the default
-    /// state of an unpartitioned `fhc-shardd`), the classes are dealt
-    /// round-robin across the workers — the same partition rule as
-    /// [`ShardedBackend`](crate::backend::ShardedBackend) — and assigned
-    /// over the wire. Anything else is a [`NetError::Partition`].
+    /// they serve exactly `reference` (see `connect_workers` for the
+    /// handshake and partition rules).
     pub fn connect(reference: Arc<ReferenceSet>, endpoints: &[Endpoint]) -> Result<Self, NetError> {
-        if endpoints.is_empty() {
-            return Err(NetError::Partition(
-                "a remote backend needs at least one worker endpoint".into(),
-            ));
-        }
-        // One full reference walk, reused for every worker's handshake.
-        let ours = reference.fingerprint();
-        let mut workers = Vec::with_capacity(endpoints.len());
-        for endpoint in endpoints {
-            let peer = endpoint.to_string();
-            let mut conn = endpoint.connect().map_err(|source| NetError::Io {
-                peer: peer.clone(),
-                source,
-            })?;
-            let hello = read_hello(&mut conn, &peer)?;
-            validate_hello(&reference, ours, &peer, &hello)?;
-            workers.push((endpoint.clone(), conn, hello));
-        }
-
-        let n_classes = reference.n_classes();
-        if !is_exact_cover(
-            n_classes,
-            workers.iter().map(|(_, _, h)| h.classes.as_slice()),
-        ) {
-            let all: Vec<usize> = (0..n_classes).collect();
-            if workers.iter().all(|(_, _, h)| h.classes == all) {
-                // Unpartitioned workers: deal the classes ourselves.
-                let partition = round_robin_partition(n_classes, workers.len());
-                for ((endpoint, conn, hello), classes) in workers.iter_mut().zip(partition) {
-                    let peer = endpoint.to_string();
-                    *hello = assign_partition(conn, &peer, classes)?;
-                }
-            } else {
-                return Err(NetError::Partition(format!(
-                    "worker partitions must cover every class exactly once \
-                     (got {:?} over {n_classes} classes); either start each \
-                     fhc-shardd with a disjoint --classes/--shard partition \
-                     or start them all unpartitioned",
-                    workers
-                        .iter()
-                        .map(|(_, _, h)| h.classes.clone())
-                        .collect::<Vec<_>>()
-                )));
-            }
-        }
-
-        let n_workers = workers.len();
+        let workers = connect_workers(&reference, endpoints)?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         Ok(Self {
             reference,
-            workers: workers
-                .into_iter()
-                .map(|(endpoint, conn, hello)| {
-                    Arc::new(RemoteWorker {
-                        endpoint,
-                        classes: hello.classes,
-                        conn: Mutex::new(conn),
-                    })
-                })
-                .collect(),
-            pool: (n_workers > 1).then(|| Arc::new(WorkerPool::new(n_workers))),
+            workers,
             next_id: Arc::new(AtomicU64::new(0)),
         })
     }
@@ -154,106 +200,228 @@ impl RemoteBackend {
         self.workers.iter().map(|w| w.endpoint.clone()).collect()
     }
 
-    /// Send one pre-encoded score request to one worker and await its
-    /// partial row. The request bytes are encoded once per query by
-    /// [`RemoteBackend::fan_out`] and shared across workers.
-    fn request(
-        worker: &RemoteWorker,
-        id: u64,
-        request_bytes: &[u8],
-    ) -> Result<Vec<(u32, f64)>, NetError> {
-        let peer = worker.endpoint.to_string();
-        let mut conn = worker.conn.lock().map_err(|_| NetError::WorkerLost {
-            peer: peer.clone(),
-            detail: "connection poisoned by an earlier panic".into(),
-        })?;
-        wire::write_raw_frame(&mut **conn, request_bytes, &peer).map_err(lost(&peer))?;
-        match Frame::read_from(&mut **conn, &peer).map_err(lost(&peer))? {
-            Frame::ScoreResponse(response) => {
-                if response.id != id {
-                    return Err(NetError::Protocol {
-                        peer,
-                        detail: format!(
-                            "response id {} does not match request id {id}",
-                            response.id
-                        ),
-                    });
-                }
-                Ok(response.cells)
-            }
-            Frame::Error(message) => Err(NetError::Remote { peer, message }),
-            unexpected => Err(NetError::Protocol {
-                peer,
-                detail: format!("expected a score response, got {unexpected:?}"),
-            }),
-        }
-    }
-
     /// Fan one query out to every worker and max-merge the partial rows
     /// into `out`. Any worker failure aborts the row with a typed error.
+    ///
+    /// The fan-out is pipelined: the request is *submitted* to every
+    /// worker's mux first (cheap channel sends; the sockets are written by
+    /// the mux writer threads, concurrently), and only then are the replies
+    /// awaited. Concurrent callers interleave freely on the same
+    /// connections.
     fn fan_out(&self, query: &PreparedSampleFeatures, out: &mut [f64]) -> Result<(), NetError> {
         assert_eq!(out.len(), self.reference.n_columns(), "row width mismatch");
         out.fill(0.0);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        // One encoding pass per query, shared by every worker — the frame
-        // is identical for all of them.
-        let request_bytes = Arc::new(wire::score_request_bytes(id, query));
-        let partials: Vec<Result<Vec<(u32, f64)>, NetError>> = match &self.pool {
-            // Inside a batch worker the batch is already the parallel axis;
-            // drive the connections serially instead of contending for the
-            // fan-out pool.
-            Some(pool) if !hpcutil::in_parallel_worker() => {
-                let workers = self.workers.clone();
-                let request_bytes = Arc::clone(&request_bytes);
-                pool.run_indexed(workers.len(), move |i| {
-                    RemoteBackend::request(&workers[i], id, &request_bytes)
-                })
-            }
-            _ => self
-                .workers
-                .iter()
-                .map(|worker| RemoteBackend::request(worker, id, &request_bytes))
-                .collect(),
-        };
+        // One encoding pass per query — the frame is identical for every
+        // worker.
+        let request_bytes = wire::score_request_bytes(id, query);
+        let pending: Vec<_> = self
+            .workers
+            .iter()
+            .map(|worker| worker.mux.submit(id, request_bytes.clone()))
+            .collect();
+        // Await every reply before surfacing an error: each submitted
+        // request either completes or fails on its own connection, and an
+        // early return would abandon replies for no gain.
+        let replies: Vec<Result<ClientReply, MuxError>> =
+            pending.into_iter().map(|p| p.wait()).collect();
+
         let n_classes = self.reference.n_classes();
-        for (worker, partial) in self.workers.iter().zip(partials) {
-            for (column, score) in partial? {
-                let column = column as usize;
-                // A worker may only write the columns of classes it owns —
-                // a buggy or malicious worker cannot corrupt other shards'
-                // scores.
-                if column >= out.len()
-                    || worker.classes.binary_search(&(column % n_classes)).is_err()
-                {
+        for (worker, reply) in self.workers.iter().zip(replies) {
+            let peer = worker.endpoint.to_string();
+            let response = match reply.map_err(|e| net_error_from_mux(&peer, e))? {
+                ClientReply::Score(response) => response,
+                ClientReply::Batch(_) => {
                     return Err(NetError::Protocol {
-                        peer: worker.endpoint.to_string(),
-                        detail: format!("response cell for column {column} outside its partition"),
+                        peer,
+                        detail: "batch response answering a single-query request".into(),
                     });
                 }
-                out[column] = out[column].max(score);
-            }
+            };
+            debug_assert_eq!(response.id, id, "mux correlates replies by id");
+            merge_partial_row(&peer, &worker.classes, n_classes, response.cells, out)?;
         }
         Ok(())
     }
-}
 
-/// Shorthand: map a transport-level error on `peer` to [`NetError::WorkerLost`].
-fn lost(peer: &str) -> impl Fn(NetError) -> NetError + '_ {
-    move |e| match e {
-        NetError::Io { source, .. } => NetError::WorkerLost {
-            peer: peer.to_string(),
-            detail: source.to_string(),
-        },
-        NetError::Frame { source, .. } => NetError::WorkerLost {
-            peer: peer.to_string(),
-            detail: source.to_string(),
-        },
-        other => other,
+    /// Score a whole slice of prepared queries and return their dense,
+    /// max-merged rows — the batch counterpart of
+    /// [`try_max_scores_into`](SimilarityBackend::try_max_scores_into).
+    ///
+    /// This is the client side of the wire-level batching workers
+    /// advertise via [`wire::FEATURE_SCORE_BATCH`]: the queries ride to
+    /// each worker as [`wire::ScoreBatchRequest`] frames of up to 64
+    /// queries, so the per-frame cost — syscalls, framing,
+    /// thread wake-ups — is paid once per chunk instead of once per query,
+    /// and each worker scores a chunk's rows back to back off a single
+    /// read. A worker that did not advertise batch support is fed
+    /// pipelined single-query frames instead; the rows are byte-identical
+    /// either way.
+    pub fn try_feature_rows_prepared(
+        &self,
+        queries: &[PreparedSampleFeatures],
+    ) -> Result<Vec<Vec<f64>>, NetError> {
+        let n_columns = self.reference.n_columns();
+        let n_classes = self.reference.n_classes();
+        let mut rows = vec![vec![0.0f64; n_columns]; queries.len()];
+        for (chunk_index, chunk) in queries.chunks(CLIENT_BATCH).enumerate() {
+            let out = &mut rows[chunk_index * CLIENT_BATCH..][..chunk.len()];
+            // Submit to every worker before waiting on any reply — the
+            // same pipelining rule as `fan_out`, with one frame per worker
+            // per chunk on the batch path.
+            let submitted: Vec<Submitted> = self
+                .workers
+                .iter()
+                .map(|worker| {
+                    if worker.supports_batch {
+                        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                        let frame = wire::score_batch_request_bytes(id, chunk);
+                        Submitted::Batch(worker.mux.submit(id, frame))
+                    } else {
+                        Submitted::Singles(
+                            chunk
+                                .iter()
+                                .map(|query| {
+                                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                                    worker.mux.submit(id, wire::score_request_bytes(id, query))
+                                })
+                                .collect(),
+                        )
+                    }
+                })
+                .collect();
+            // Await every reply before surfacing an error, as in
+            // `fan_out`.
+            let waited: Vec<Waited> = submitted
+                .into_iter()
+                .map(|s| match s {
+                    Submitted::Batch(pending) => Waited::Batch(pending.wait()),
+                    Submitted::Singles(pendings) => {
+                        Waited::Singles(pendings.into_iter().map(|p| p.wait()).collect())
+                    }
+                })
+                .collect();
+            for (worker, waited) in self.workers.iter().zip(waited) {
+                let peer = worker.endpoint.to_string();
+                match waited {
+                    Waited::Batch(reply) => {
+                        let batch = match reply.map_err(|e| net_error_from_mux(&peer, e))? {
+                            ClientReply::Batch(batch) => batch,
+                            ClientReply::Score(_) => {
+                                return Err(NetError::Protocol {
+                                    peer,
+                                    detail: "single response answering a batch request".into(),
+                                });
+                            }
+                        };
+                        if batch.rows.len() != chunk.len() {
+                            return Err(NetError::Protocol {
+                                peer,
+                                detail: format!(
+                                    "batch response carries {} rows for {} queries",
+                                    batch.rows.len(),
+                                    chunk.len()
+                                ),
+                            });
+                        }
+                        for (cells, row) in batch.rows.into_iter().zip(out.iter_mut()) {
+                            merge_partial_row(&peer, &worker.classes, n_classes, cells, row)?;
+                        }
+                    }
+                    Waited::Singles(replies) => {
+                        for (reply, row) in replies.into_iter().zip(out.iter_mut()) {
+                            let response = match reply.map_err(|e| net_error_from_mux(&peer, e))? {
+                                ClientReply::Score(response) => response,
+                                ClientReply::Batch(_) => {
+                                    return Err(NetError::Protocol {
+                                        peer,
+                                        detail: "batch response answering a single-query \
+                                                     request"
+                                            .into(),
+                                    });
+                                }
+                            };
+                            merge_partial_row(
+                                &peer,
+                                &worker.classes,
+                                n_classes,
+                                response.cells,
+                                row,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(rows)
     }
 }
 
-fn read_hello(conn: &mut Box<dyn Transport>, peer: &str) -> Result<Hello, NetError> {
-    match Frame::read_from(&mut **conn, peer)? {
+/// How many queries ride in one client-side batch frame: enough to
+/// amortize the per-frame cost over many rows, small enough to bound the
+/// frame size and one lost frame's blast radius.
+const CLIENT_BATCH: usize = 64;
+
+/// Per-worker in-flight state of one batch chunk.
+enum Submitted {
+    Batch(PendingReply<ClientReply>),
+    Singles(Vec<PendingReply<ClientReply>>),
+}
+
+/// The awaited counterpart of [`Submitted`].
+enum Waited {
+    Batch(Result<ClientReply, MuxError>),
+    Singles(Vec<Result<ClientReply, MuxError>>),
+}
+
+/// Max-merge one worker's partial `(column, score)` cells into a dense
+/// row, rejecting any cell outside the worker's own partition — a buggy
+/// or malicious worker cannot corrupt other shards' scores.
+fn merge_partial_row(
+    peer: &str,
+    classes: &[usize],
+    n_classes: usize,
+    cells: Vec<(u32, f64)>,
+    out: &mut [f64],
+) -> Result<(), NetError> {
+    for (column, score) in cells {
+        let column = column as usize;
+        if column >= out.len() || classes.binary_search(&(column % n_classes)).is_err() {
+            return Err(NetError::Protocol {
+                peer: peer.to_string(),
+                detail: format!("response cell for column {column} outside its partition"),
+            });
+        }
+        out[column] = out[column].max(score);
+    }
+    Ok(())
+}
+
+/// Map a [`MuxError`] on `peer` to the matching [`NetError`]: transport,
+/// framing, stall, and closure failures all mean the worker (connection)
+/// is lost; a relayed error frame and an undecodable reply keep their own
+/// variants.
+pub(crate) fn net_error_from_mux(peer: &str, e: MuxError) -> NetError {
+    match e.kind {
+        MuxErrorKind::Remote => NetError::Remote {
+            peer: peer.to_string(),
+            message: e.detail,
+        },
+        MuxErrorKind::Decode => NetError::Protocol {
+            peer: peer.to_string(),
+            detail: e.detail,
+        },
+        MuxErrorKind::Io | MuxErrorKind::Frame | MuxErrorKind::Stalled | MuxErrorKind::Closed => {
+            NetError::WorkerLost {
+                peer: peer.to_string(),
+                detail: e.to_string(),
+            }
+        }
+    }
+}
+
+fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hello, NetError> {
+    match Frame::read_from(conn, peer)? {
         Frame::Hello(hello) => Ok(hello),
         Frame::Error(message) => Err(NetError::Remote {
             peer: peer.to_string(),
@@ -322,15 +490,15 @@ fn is_exact_cover<'a>(n_classes: usize, lists: impl Iterator<Item = &'a [usize]>
 
 /// Send an `Assign` and return the worker's refreshed handshake.
 fn assign_partition(
-    conn: &mut Box<dyn Transport>,
+    conn: &mut SplitConn,
     peer: &str,
     classes: Vec<usize>,
 ) -> Result<Hello, NetError> {
     Frame::Assign(wire::Assign {
         classes: classes.clone(),
     })
-    .write_to(&mut **conn, peer)?;
-    let hello = read_hello(conn, peer)?;
+    .write_to(conn.writer(), peer)?;
+    let hello = read_hello(conn.reader(), peer)?;
     if hello.classes != classes {
         return Err(NetError::Protocol {
             peer: peer.to_string(),
@@ -386,5 +554,17 @@ mod tests {
         assert!(!is_exact_cover(3, [d].into_iter()));
         // Zero classes: trivially covered by nothing.
         assert!(is_exact_cover(0, std::iter::empty()));
+    }
+
+    #[test]
+    fn mux_errors_map_to_typed_net_errors() {
+        let lost = net_error_from_mux("w0", MuxError::new(MuxErrorKind::Io, "reset"));
+        assert!(lost.is_worker_lost());
+        let lost = net_error_from_mux("w0", MuxError::new(MuxErrorKind::Stalled, "30s"));
+        assert!(lost.is_worker_lost());
+        let remote = net_error_from_mux("w0", MuxError::new(MuxErrorKind::Remote, "boom"));
+        assert!(matches!(remote, NetError::Remote { message, .. } if message == "boom"));
+        let protocol = net_error_from_mux("w0", MuxError::new(MuxErrorKind::Decode, "junk"));
+        assert!(matches!(protocol, NetError::Protocol { .. }));
     }
 }

@@ -10,15 +10,22 @@
 //!
 //! ```text
 //! worker                     client
-//!   | --- Hello ---------------> |   on connect (version, fingerprint,
-//!   |                            |   class partition)
+//!   | --- Hello ---------------> |   on connect (version, feature bits,
+//!   |                            |   fingerprint, class partition)
 //!   | <-- Assign --------------- |   optional: client re-partitions
 //!   | --- Hello ---------------> |   confirms the new partition
 //!   | <-- ScoreRequest --------- |   prepared query hashes, request id
 //!   | --- ScoreResponse -------> |   partial max-score row (col, score)
+//!   | <-- ScoreBatchRequest ---- |   many queries, one frame (only if the
+//!   | --- ScoreBatchResponse --> |   worker advertised the batch feature)
 //!   |            ...             |
 //!   | <-- Shutdown ------------- |   clean goodbye (or just EOF)
 //! ```
+//!
+//! Requests carry client-chosen ids and responses echo them, so a client
+//! may *pipeline*: keep many requests in flight on one connection and
+//! correlate the responses as they arrive, in any order a future worker
+//! might choose to send them.
 //!
 //! Queries travel as *prepared* hashes in the artifact v3 encoding
 //! (delta-encoded window keys), so a worker spends zero time re-deriving
@@ -28,12 +35,19 @@ use crate::artifact::{decode_prepared_features, encode_prepared_features, FORMAT
 use crate::features::PreparedSampleFeatures;
 use crate::shardnet::NetError;
 use hpcutil::codec::CodecError;
-use hpcutil::{ByteReader, ByteWriter, FrameError};
+use hpcutil::{ByteReader, ByteWriter, FrameError, MuxError, MuxErrorKind};
 use std::io::{Read, Write};
 
 /// Version of the shard-serving protocol spoken by this build. A worker and
 /// a client must agree exactly; there is no cross-version negotiation.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// *Optional capabilities* within one version are negotiated through
+/// [`Hello::features`] instead: a client only uses a feature the worker
+/// advertised.
+///
+/// Version history: v1 carried single-query frames only; v2 added the
+/// [`Hello::features`] field and the batched
+/// [`ScoreBatchRequest`]/[`ScoreBatchResponse`] frames.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // Score requests travel in the artifact's prepared-feature encoding, so a
 // bump of the artifact format that changes `encode_prepared_features` is a
@@ -42,11 +56,16 @@ pub const PROTOCOL_VERSION: u32 = 1;
 // pairing — whoever bumps FORMAT_VERSION must revisit PROTOCOL_VERSION (or
 // prove the prepared encoding unchanged) and update both numbers here.
 const _: () = assert!(
-    FORMAT_VERSION == 3 && PROTOCOL_VERSION == 1,
+    FORMAT_VERSION == 3 && PROTOCOL_VERSION == 2,
     "artifact FORMAT_VERSION changed: the ScoreRequest prepared-feature \
      encoding may have changed with it; bump wire::PROTOCOL_VERSION \
      accordingly and update this assertion"
 );
+
+/// [`Hello::features`] bit: the worker scores [`ScoreBatchRequest`] frames.
+/// Workers built from this crate always advertise it; a client must fall
+/// back to one [`ScoreRequest`] per query against a worker that does not.
+pub const FEATURE_SCORE_BATCH: u32 = 1 << 0;
 
 /// Upper bound on a frame payload this implementation will read. Score
 /// requests and responses are a few KiB; anything near this limit is a
@@ -59,6 +78,8 @@ const TAG_SCORE_REQUEST: u8 = 3;
 const TAG_SCORE_RESPONSE: u8 = 4;
 const TAG_ERROR: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_SCORE_BATCH_REQUEST: u8 = 7;
+const TAG_SCORE_BATCH_RESPONSE: u8 = 8;
 
 /// The worker's handshake: everything a client needs to decide whether this
 /// worker can score for it.
@@ -66,6 +87,10 @@ const TAG_SHUTDOWN: u8 = 6;
 pub struct Hello {
     /// The worker's [`PROTOCOL_VERSION`].
     pub protocol: u32,
+    /// Bitmask of optional capabilities the worker supports within this
+    /// protocol version (see [`FEATURE_SCORE_BATCH`]). Unknown bits are
+    /// ignored, so a newer worker interoperates with an older client.
+    pub features: u32,
     /// Fingerprint of the reference set the worker serves
     /// ([`ReferenceSet::fingerprint`](crate::similarity::ReferenceSet::fingerprint)).
     pub fingerprint: u64,
@@ -76,6 +101,14 @@ pub struct Hello {
     /// The known-class ids this worker scores (strictly increasing —
     /// enforced on decode, so consumers may binary-search it).
     pub classes: Vec<usize>,
+}
+
+impl Hello {
+    /// Whether the worker advertised `feature` (a [`FEATURE_SCORE_BATCH`]-
+    /// style bit).
+    pub fn supports(&self, feature: u32) -> bool {
+        self.features & feature != 0
+    }
 }
 
 /// A client-requested re-partition: "score exactly these classes".
@@ -105,6 +138,29 @@ pub struct ScoreResponse {
     pub cells: Vec<(u32, f64)>,
 }
 
+/// Many queries in one checksummed frame: the request a batching client
+/// (the gateway, most importantly) sends to a worker that advertised
+/// [`FEATURE_SCORE_BATCH`]. The response echoes the id and carries one
+/// partial row per query, in query order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreBatchRequest {
+    /// Client-chosen id correlating the response with the request.
+    pub id: u64,
+    /// The prepared queries, each in the same encoding as a
+    /// [`ScoreRequest`] carries.
+    pub queries: Vec<PreparedSampleFeatures>,
+}
+
+/// The batched counterpart of [`ScoreResponse`]: one partial max-score row
+/// per query of the [`ScoreBatchRequest`] it answers, in query order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreBatchResponse {
+    /// The id of the [`ScoreBatchRequest`] this answers.
+    pub id: u64,
+    /// One `(column, score)` cell list per query, in query order.
+    pub rows: Vec<Vec<(u32, f64)>>,
+}
+
 /// Every message of the shard-serving protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -117,10 +173,42 @@ pub enum Frame {
     ScoreRequest(Box<ScoreRequest>),
     /// Worker → client partial row.
     ScoreResponse(ScoreResponse),
+    /// Client → worker: many queries in one frame (requires the worker to
+    /// have advertised [`FEATURE_SCORE_BATCH`]).
+    ScoreBatchRequest(ScoreBatchRequest),
+    /// Worker → client: one partial row per batched query.
+    ScoreBatchResponse(ScoreBatchResponse),
     /// Either side: a fatal error message, connection closes after.
     Error(String),
     /// Client → worker: clean goodbye.
     Shutdown,
+}
+
+fn encode_cells(w: &mut ByteWriter, cells: &[(u32, f64)]) {
+    w.put_u32(u32::try_from(cells.len()).expect("row wider than u32::MAX cells"));
+    for &(column, score) in cells {
+        w.put_u32(column);
+        w.put_f64(score);
+    }
+}
+
+/// Decode one `(column, score)` cell list. Each cell costs 12 bytes, so
+/// the count is validated against the remaining payload before allocating.
+fn decode_cells(r: &mut ByteReader<'_>) -> Result<Vec<(u32, f64)>, CodecError> {
+    let n_cells = r.get_u32()? as usize;
+    if r.remaining() < n_cells.saturating_mul(12) {
+        return Err(CodecError::new(format!(
+            "score row claims {n_cells} cells but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut cells = Vec::with_capacity(n_cells);
+    for _ in 0..n_cells {
+        let column = r.get_u32()?;
+        let score = r.get_f64()?;
+        cells.push((column, score));
+    }
+    Ok(cells)
 }
 
 fn encode_class_list(w: &mut ByteWriter, classes: &[usize]) {
@@ -175,6 +263,8 @@ impl Frame {
             Frame::Assign(_) => TAG_ASSIGN,
             Frame::ScoreRequest(_) => TAG_SCORE_REQUEST,
             Frame::ScoreResponse(_) => TAG_SCORE_RESPONSE,
+            Frame::ScoreBatchRequest(_) => TAG_SCORE_BATCH_REQUEST,
+            Frame::ScoreBatchResponse(_) => TAG_SCORE_BATCH_RESPONSE,
             Frame::Error(_) => TAG_ERROR,
             Frame::Shutdown => TAG_SHUTDOWN,
         }
@@ -185,6 +275,7 @@ impl Frame {
         match self {
             Frame::Hello(hello) => {
                 w.put_u32(hello.protocol);
+                w.put_u32(hello.features);
                 w.put_u64(hello.fingerprint);
                 w.put_usize(hello.n_classes);
                 w.put_usize(hello.n_columns);
@@ -202,12 +293,20 @@ impl Frame {
             }
             Frame::ScoreResponse(response) => {
                 w.put_u64(response.id);
-                w.put_u32(
-                    u32::try_from(response.cells.len()).expect("row wider than u32::MAX cells"),
-                );
-                for &(column, score) in &response.cells {
-                    w.put_u32(column);
-                    w.put_f64(score);
+                encode_cells(&mut w, &response.cells);
+            }
+            Frame::ScoreBatchRequest(batch) => {
+                w.put_u64(batch.id);
+                w.put_u32(u32::try_from(batch.queries.len()).expect("batch larger than u32::MAX"));
+                for query in &batch.queries {
+                    encode_prepared_features(&mut w, query);
+                }
+            }
+            Frame::ScoreBatchResponse(batch) => {
+                w.put_u64(batch.id);
+                w.put_u32(u32::try_from(batch.rows.len()).expect("batch larger than u32::MAX"));
+                for row in &batch.rows {
+                    encode_cells(&mut w, row);
                 }
             }
             Frame::Error(message) => w.put_str(message),
@@ -221,12 +320,14 @@ impl Frame {
         let frame = match tag {
             TAG_HELLO => {
                 let protocol = r.get_u32()?;
+                let features = r.get_u32()?;
                 let fingerprint = r.get_u64()?;
                 let n_classes = r.get_usize()?;
                 let n_columns = r.get_usize()?;
                 let classes = decode_class_list(&mut r, n_classes)?;
                 Frame::Hello(Hello {
                     protocol,
+                    features,
                     fingerprint,
                     n_classes,
                     n_columns,
@@ -245,21 +346,42 @@ impl Frame {
             }
             TAG_SCORE_RESPONSE => {
                 let id = r.get_u64()?;
-                let n_cells = r.get_u32()? as usize;
-                // Each cell costs 12 bytes; validate before allocating.
-                if r.remaining() < n_cells.saturating_mul(12) {
+                let cells = decode_cells(&mut r)?;
+                Frame::ScoreResponse(ScoreResponse { id, cells })
+            }
+            TAG_SCORE_BATCH_REQUEST => {
+                let id = r.get_u64()?;
+                let n_queries = r.get_u32()? as usize;
+                // Every encoded prepared query costs at least one byte, so
+                // the count is bounded by the remaining payload — a hostile
+                // count cannot force a huge reservation.
+                if n_queries > r.remaining() {
                     return Err(CodecError::new(format!(
-                        "score response claims {n_cells} cells but only {} bytes remain",
+                        "score batch claims {n_queries} queries but only {} bytes remain",
                         r.remaining()
                     )));
                 }
-                let mut cells = Vec::with_capacity(n_cells);
-                for _ in 0..n_cells {
-                    let column = r.get_u32()?;
-                    let score = r.get_f64()?;
-                    cells.push((column, score));
+                let mut queries = Vec::with_capacity(n_queries);
+                for _ in 0..n_queries {
+                    queries.push(decode_prepared_features(&mut r, FORMAT_VERSION)?);
                 }
-                Frame::ScoreResponse(ScoreResponse { id, cells })
+                Frame::ScoreBatchRequest(ScoreBatchRequest { id, queries })
+            }
+            TAG_SCORE_BATCH_RESPONSE => {
+                let id = r.get_u64()?;
+                let n_rows = r.get_u32()? as usize;
+                // Every row costs at least its 4-byte cell count.
+                if r.remaining() < n_rows.saturating_mul(4) {
+                    return Err(CodecError::new(format!(
+                        "score batch response claims {n_rows} rows but only {} bytes remain",
+                        r.remaining()
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    rows.push(decode_cells(&mut r)?);
+                }
+                Frame::ScoreBatchResponse(ScoreBatchResponse { id, rows })
             }
             TAG_ERROR => Frame::Error(r.get_str()?),
             TAG_SHUTDOWN => Frame::Shutdown,
@@ -333,6 +455,54 @@ pub fn score_request_bytes(id: u64, query: &PreparedSampleFeatures) -> Vec<u8> {
     frame
 }
 
+/// Encode a [`ScoreBatchRequest`] into its complete wire bytes without
+/// cloning the prepared queries into an owned frame. The gateway's batcher
+/// packs the queries it coalesced straight from their shared handles.
+pub fn score_batch_request_bytes<'a, I>(id: u64, queries: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a PreparedSampleFeatures>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let queries = queries.into_iter();
+    let mut payload = ByteWriter::new();
+    payload.put_u64(id);
+    payload.put_u32(u32::try_from(queries.len()).expect("batch larger than u32::MAX"));
+    for query in queries {
+        encode_prepared_features(&mut payload, query);
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 13);
+    hpcutil::write_frame(&mut frame, TAG_SCORE_BATCH_REQUEST, payload.as_bytes())
+        .expect("writing to a Vec cannot fail");
+    frame
+}
+
+/// A reply frame a pipelined client connection can receive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientReply {
+    /// One partial row answering a [`ScoreRequest`].
+    Score(ScoreResponse),
+    /// Partial rows answering a [`ScoreBatchRequest`].
+    Batch(ScoreBatchResponse),
+}
+
+/// Decode one verified frame arriving on a pipelined client connection into
+/// `(correlation id, reply)` — the decode hook a [`hpcutil::Mux`] over a
+/// worker connection uses. An [`Frame::Error`] from the worker is fatal on
+/// the wire (the worker closes after sending it) and surfaces as
+/// [`MuxErrorKind::Remote`]; any non-reply frame is [`MuxErrorKind::Decode`].
+pub fn decode_client_reply(tag: u8, payload: &[u8]) -> Result<(u64, ClientReply), MuxError> {
+    match Frame::decode(tag, payload) {
+        Ok(Frame::ScoreResponse(response)) => Ok((response.id, ClientReply::Score(response))),
+        Ok(Frame::ScoreBatchResponse(response)) => Ok((response.id, ClientReply::Batch(response))),
+        Ok(Frame::Error(message)) => Err(MuxError::new(MuxErrorKind::Remote, message)),
+        Ok(unexpected) => Err(MuxError::new(
+            MuxErrorKind::Decode,
+            format!("unexpected frame {unexpected:?} on a pipelined client connection"),
+        )),
+        Err(e) => Err(MuxError::new(MuxErrorKind::Decode, e.to_string())),
+    }
+}
+
 /// Write pre-encoded frame bytes (as produced by [`score_request_bytes`] or
 /// [`Frame::to_wire_bytes`]) to `w` in one `write_all`.
 pub fn write_raw_frame<W: Write + ?Sized>(
@@ -372,6 +542,7 @@ mod tests {
         let frames = [
             Frame::Hello(Hello {
                 protocol: PROTOCOL_VERSION,
+                features: FEATURE_SCORE_BATCH,
                 fingerprint: 0xDEAD_BEEF_CAFE_F00D,
                 n_classes: 7,
                 n_columns: 21,
@@ -387,6 +558,14 @@ mod tests {
             Frame::ScoreResponse(ScoreResponse {
                 id: 42,
                 cells: vec![(0, 100.0), (3, 61.25), (7, 0.0)],
+            }),
+            Frame::ScoreBatchRequest(ScoreBatchRequest {
+                id: 43,
+                queries: vec![sample_query(), sample_query()],
+            }),
+            Frame::ScoreBatchResponse(ScoreBatchResponse {
+                id: 43,
+                rows: vec![vec![(0, 100.0), (3, 61.25)], vec![], vec![(7, 9.5)]],
             }),
             Frame::Error("reference set mismatch".into()),
             Frame::Shutdown,
@@ -410,6 +589,7 @@ mod tests {
         let hello = |classes: Vec<usize>| {
             Frame::Hello(Hello {
                 protocol: PROTOCOL_VERSION,
+                features: 0,
                 fingerprint: 1,
                 n_classes: 3,
                 n_columns: 9,
@@ -436,12 +616,92 @@ mod tests {
         // length must be rejected from the byte budget, not attempted.
         let mut payload = ByteWriter::new();
         payload.put_u32(PROTOCOL_VERSION);
+        payload.put_u32(0); // features
         payload.put_u64(7); // fingerprint
         payload.put_usize(1 << 60); // n_classes
         payload.put_usize(3 << 60); // n_columns
         payload.put_usize(1 << 59); // class-list length
         let mut bytes = Vec::new();
         hpcutil::write_frame(&mut bytes, TAG_HELLO, payload.as_bytes()).unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+    }
+
+    #[test]
+    fn batch_request_helper_matches_owned_frame() {
+        let queries = vec![sample_query(), sample_query(), sample_query()];
+        let via_helper = score_batch_request_bytes(11, queries.iter());
+        let owned = Frame::ScoreBatchRequest(ScoreBatchRequest { id: 11, queries });
+        assert_eq!(via_helper, owned.to_wire_bytes());
+    }
+
+    #[test]
+    fn feature_bits_negotiate_batch_support() {
+        let mut hello = Hello {
+            protocol: PROTOCOL_VERSION,
+            features: FEATURE_SCORE_BATCH,
+            fingerprint: 1,
+            n_classes: 2,
+            n_columns: 6,
+            classes: vec![0, 1],
+        };
+        assert!(hello.supports(FEATURE_SCORE_BATCH));
+        hello.features = 0;
+        assert!(!hello.supports(FEATURE_SCORE_BATCH));
+        // Unknown future bits do not imply batch support.
+        hello.features = 1 << 7;
+        assert!(!hello.supports(FEATURE_SCORE_BATCH));
+    }
+
+    #[test]
+    fn client_reply_decoding_routes_by_id_and_rejects_non_replies() {
+        let score = Frame::ScoreResponse(ScoreResponse {
+            id: 5,
+            cells: vec![(1, 42.0)],
+        });
+        let bytes = score.to_wire_bytes();
+        let (id, reply) = decode_client_reply(bytes[0], &bytes[5..bytes.len() - 8]).unwrap();
+        assert_eq!(id, 5);
+        assert!(matches!(reply, ClientReply::Score(r) if r.cells == vec![(1, 42.0)]));
+
+        let batch = Frame::ScoreBatchResponse(ScoreBatchResponse {
+            id: 9,
+            rows: vec![vec![(0, 1.0)]],
+        });
+        let bytes = batch.to_wire_bytes();
+        let (id, reply) = decode_client_reply(bytes[0], &bytes[5..bytes.len() - 8]).unwrap();
+        assert_eq!(id, 9);
+        assert!(matches!(reply, ClientReply::Batch(_)));
+
+        // A worker error frame is fatal and surfaces as Remote.
+        let bytes = Frame::Error("shard on fire".into()).to_wire_bytes();
+        let err = decode_client_reply(bytes[0], &bytes[5..bytes.len() - 8]).unwrap_err();
+        assert_eq!(err.kind, MuxErrorKind::Remote);
+        assert!(err.detail.contains("shard on fire"));
+
+        // A frame that is not a reply at all is a decode failure.
+        let bytes = Frame::Shutdown.to_wire_bytes();
+        let err = decode_client_reply(bytes[0], &bytes[5..bytes.len() - 8]).unwrap_err();
+        assert_eq!(err.kind, MuxErrorKind::Decode);
+    }
+
+    #[test]
+    fn hostile_batch_counts_fail_without_allocating() {
+        // A batch request claiming 2^31 queries in a tiny payload.
+        let mut payload = ByteWriter::new();
+        payload.put_u64(1); // id
+        payload.put_u32(u32::MAX); // query count
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, TAG_SCORE_BATCH_REQUEST, payload.as_bytes()).unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+
+        // A batch response claiming 2^31 rows in a tiny payload.
+        let mut payload = ByteWriter::new();
+        payload.put_u64(1); // id
+        payload.put_u32(u32::MAX); // row count
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, TAG_SCORE_BATCH_RESPONSE, payload.as_bytes()).unwrap();
         let result = Frame::read_from(&mut Cursor::new(bytes), "test");
         assert!(matches!(result, Err(NetError::Protocol { .. })));
     }

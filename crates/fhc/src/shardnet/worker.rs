@@ -10,12 +10,23 @@
 //! [`ShardWorker::serve_connection`] directly over in-process streams.
 
 use crate::features::PreparedSampleFeatures;
-use crate::shardnet::wire::{self, Frame, Hello, ScoreResponse};
+use crate::shardnet::wire::{self, Frame, Hello, ScoreBatchResponse, ScoreResponse};
 use crate::shardnet::{NetError, Transport};
 use crate::similarity::ReferenceSet;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How long an accepted connection may sit idle (no complete frame
+/// arriving) before the worker closes it quietly. A dead or hung client —
+/// a machine that vanished without an RST, a process wedged mid-request —
+/// can therefore pin a serving thread for at most this long, instead of
+/// forever. Generous on purpose: clients hold persistent connections that
+/// legitimately idle between batches, and they reconnect-by-failing (the
+/// next query surfaces `WorkerLost`), so the deadline only needs to beat
+/// "forever", not a round trip.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// One shard-serving worker: a reference set plus the class partition it
 /// scores.
@@ -65,10 +76,12 @@ impl ShardWorker {
         &self.classes
     }
 
-    /// The handshake advertising `classes` as the served partition.
+    /// The handshake advertising `classes` as the served partition. Workers
+    /// built from this crate always advertise batch scoring.
     fn hello_for(&self, classes: &[usize]) -> Hello {
         Hello {
             protocol: wire::PROTOCOL_VERSION,
+            features: wire::FEATURE_SCORE_BATCH,
             fingerprint: self.fingerprint,
             n_classes: self.reference.n_classes(),
             n_columns: self.reference.n_columns(),
@@ -130,6 +143,16 @@ impl ShardWorker {
                     .write_to(&mut stream, peer)?;
                     served += 1;
                 }
+                Ok(Frame::ScoreBatchRequest(batch)) => {
+                    let rows = batch
+                        .queries
+                        .iter()
+                        .map(|query| self.partial_row(&classes, query))
+                        .collect();
+                    Frame::ScoreBatchResponse(ScoreBatchResponse { id: batch.id, rows })
+                        .write_to(&mut stream, peer)?;
+                    served += 1;
+                }
                 Ok(Frame::Assign(assign)) => {
                     match validate_classes(&self.reference, assign.classes) {
                         Ok(narrowed) => {
@@ -154,6 +177,17 @@ impl ShardWorker {
                 // A clean EOF between frames is a client hangup, not an error.
                 Err(NetError::Io { ref source, .. })
                     if source.kind() == std::io::ErrorKind::UnexpectedEof =>
+                {
+                    return Ok(());
+                }
+                // The idle deadline fired (see [`IDLE_TIMEOUT`]): the client
+                // is likely gone — close quietly, without an `Error` frame
+                // that nobody would read.
+                Err(NetError::Io { ref source, .. })
+                    if matches!(
+                        source.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
                 {
                     return Ok(());
                 }
@@ -183,8 +217,8 @@ fn validate_classes(
 }
 
 /// Accept-loop over a TCP listener: one thread per connection, errors
-/// logged to stderr. Returns when the listener itself fails (e.g. it was
-/// closed out from under the loop).
+/// logged to stderr, reads bounded by [`IDLE_TIMEOUT`]. Returns when the
+/// listener itself fails (e.g. it was closed out from under the loop).
 pub fn serve_tcp(worker: Arc<ShardWorker>, listener: TcpListener) {
     for stream in listener.incoming() {
         match stream {
@@ -194,6 +228,7 @@ pub fn serve_tcp(worker: Arc<ShardWorker>, listener: TcpListener) {
                     .map(|a| a.to_string())
                     .unwrap_or_else(|_| "tcp client".to_string());
                 let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
                 let worker = Arc::clone(&worker);
                 std::thread::spawn(move || {
                     if let Err(e) = worker.serve_connection(stream, &peer) {
@@ -211,6 +246,7 @@ pub fn serve_unix(worker: Arc<ShardWorker>, listener: UnixListener) {
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
                 let worker = Arc::clone(&worker);
                 std::thread::spawn(move || {
                     if let Err(e) = worker.serve_connection(stream, "unix client") {
@@ -387,6 +423,95 @@ mod tests {
         }
         drop(client); // EOF: worker returns cleanly
         server.join().unwrap().expect("clean EOF");
+    }
+
+    #[test]
+    fn batch_requests_score_per_query_identically_to_single_requests() {
+        let rs = reference();
+        let worker = ShardWorker::all_classes(rs.clone());
+        let (client_end, worker_end) = duplex();
+        let server = std::thread::spawn(move || worker.serve_connection(worker_end, "test"));
+
+        let mut client = client_end;
+        let hello = match Frame::read_from(&mut client, "worker").unwrap() {
+            Frame::Hello(h) => h,
+            other => panic!("expected Hello, got {other:?}"),
+        };
+        assert!(
+            hello.supports(wire::FEATURE_SCORE_BATCH),
+            "an in-repo worker must advertise batch scoring"
+        );
+
+        let queries: Vec<PreparedSampleFeatures> = (0..3)
+            .map(|i| {
+                PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+                    format!("batched probe body number {i}").as_bytes(),
+                ))
+            })
+            .collect();
+
+        // Score one by one first.
+        let mut single_rows = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            wire::write_score_request(&mut client, i as u64, query, "worker").unwrap();
+            match Frame::read_from(&mut client, "worker").unwrap() {
+                Frame::ScoreResponse(response) => single_rows.push(response.cells),
+                other => panic!("expected ScoreResponse, got {other:?}"),
+            }
+        }
+
+        // Then as one batch frame: same rows, same order, same bytes.
+        wire::write_raw_frame(
+            &mut client,
+            &wire::score_batch_request_bytes(99, queries.iter()),
+            "worker",
+        )
+        .unwrap();
+        match Frame::read_from(&mut client, "worker").unwrap() {
+            Frame::ScoreBatchResponse(response) => {
+                assert_eq!(response.id, 99);
+                assert_eq!(response.rows, single_rows);
+            }
+            other => panic!("expected ScoreBatchResponse, got {other:?}"),
+        }
+
+        Frame::Shutdown.write_to(&mut client, "worker").unwrap();
+        server.join().unwrap().expect("clean shutdown");
+    }
+
+    /// A stream whose reads time out immediately — what an accepted socket
+    /// looks like once [`IDLE_TIMEOUT`] fires with no client bytes.
+    struct IdleStream {
+        wrote: Vec<u8>,
+    }
+
+    impl Read for IdleStream {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "idle deadline",
+            ))
+        }
+    }
+
+    impl Write for IdleStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.wrote.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn an_idle_read_deadline_closes_the_connection_quietly() {
+        let worker = ShardWorker::all_classes(reference());
+        let result = worker.serve_connection(IdleStream { wrote: Vec::new() }, "idle client");
+        assert!(
+            result.is_ok(),
+            "an idle timeout is a quiet close, got {result:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! End-to-end loopback test of the `fhc-gateway` front-door daemon.
+//!
+//! Trains a small classifier, saves the artifact, spawns two real
+//! `fhc-shardd` processes plus one real `fhc-gateway` process fronting
+//! them on loopback TCP, and serves the same artifact through the gateway
+//! via `BackendConfig::Gateway` (`gateway:EP`). Predictions must be
+//! byte-identical to the in-process indexed backend — including from
+//! several client threads at once, which drives the gateway's batch
+//! coalescing; killing a shard daemon behind the gateway must surface as
+//! a typed error, not a wrong or partial prediction. This is the test CI
+//! runs explicitly so the gateway path cannot silently rot.
+
+use corpus::{Catalog, CorpusBuilder};
+use fhc::backend::BackendConfig;
+use fhc::config::FhcConfig;
+use fhc::error::FhcError;
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::serving::TrainedClassifier;
+use fhc::shardnet::Endpoint;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+/// Scrape the bound address from a daemon's announcement line (both
+/// daemons print "<name> listening on ADDR ...").
+fn scrape_endpoint(child: &mut Child) -> Endpoint {
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announcement");
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    addr.parse::<Endpoint>()
+        .unwrap_or_else(|e| panic!("bad announced address {addr:?}: {e}"))
+}
+
+/// Spawn one `fhc-shardd` on an OS-assigned loopback port.
+fn spawn_shardd(artifact: &std::path::Path, shard: usize, of: usize) -> (Child, Endpoint) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fhc-shardd"))
+        .arg("--artifact")
+        .arg(artifact)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--shard")
+        .arg(format!("{shard}/{of}"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn fhc-shardd");
+    let endpoint = scrape_endpoint(&mut child);
+    (child, endpoint)
+}
+
+/// Spawn one `fhc-gateway` fronting `workers` on an OS-assigned loopback
+/// port.
+fn spawn_gateway(artifact: &std::path::Path, workers: &[Endpoint]) -> (Child, Endpoint) {
+    let list = workers
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fhc-gateway"))
+        .arg("--artifact")
+        .arg(artifact)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg(list)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn fhc-gateway");
+    let endpoint = scrape_endpoint(&mut child);
+    (child, endpoint)
+}
+
+struct KillOnDrop(Vec<Child>);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn gateway_daemon_serves_byte_identical_predictions_and_relays_worker_loss() {
+    // Train once, small but real.
+    let corpus = CorpusBuilder::new(53).build(&Catalog::paper().scaled(0.02));
+    let config = FhcConfig::new().pipeline(PipelineConfig {
+        seed: 53,
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let trained = FuzzyHashClassifier::with_config(config.clone())
+        .fit(&corpus)
+        .expect("fit succeeds");
+    let artifact =
+        std::env::temp_dir().join(format!("fhc-gateway-test-{}.fhc", std::process::id()));
+    trained.save(&artifact).expect("save artifact");
+
+    // Two real shard daemons plus the gateway daemon fronting them.
+    let (shard0, endpoint0) = spawn_shardd(&artifact, 0, 2);
+    let (shard1, endpoint1) = spawn_shardd(&artifact, 1, 2);
+    let (gateway, front) = spawn_gateway(&artifact, &[endpoint0, endpoint1]);
+    let mut guard = KillOnDrop(vec![shard0, shard1, gateway]);
+
+    // Reopen the stored artifact through the gateway.
+    let gateway_config = config.backend(BackendConfig::Gateway {
+        endpoint: front.clone(),
+    });
+    let served = TrainedClassifier::load_with(&artifact, &gateway_config)
+        .expect("artifact opens against the running gateway");
+    assert_eq!(
+        served.backend_config(),
+        BackendConfig::Gateway { endpoint: front }
+    );
+
+    // Byte-identical predictions vs the local indexed backend — first
+    // serially, then from several threads at once (the coalescing path).
+    let batch: Vec<(String, Vec<u8>)> = corpus
+        .samples()
+        .iter()
+        .step_by(29)
+        .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+        .collect();
+    assert!(batch.len() >= 4, "need a real batch");
+    let expected = trained.classify_batch(&batch);
+    let via_gateway = served.try_classify_batch(&batch).expect("fleet is healthy");
+    assert_eq!(via_gateway, expected);
+
+    let served = Arc::new(served);
+    let expected_shared = Arc::new(expected.clone());
+    let batch_shared = Arc::new(batch.clone());
+    let clients: Vec<_> = (0..4)
+        .map(|client| {
+            let served = Arc::clone(&served);
+            let expected = Arc::clone(&expected_shared);
+            let batch = Arc::clone(&batch_shared);
+            std::thread::spawn(move || {
+                for (i, (_, bytes)) in batch.iter().enumerate() {
+                    let prediction = served.try_classify(bytes).expect("fleet is healthy");
+                    assert_eq!(
+                        prediction, expected[i].1,
+                        "client {client} diverged on sample {i}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // Kill one shard daemon *behind* the gateway: serving must degrade to
+    // a typed error relayed through the gateway, never to a wrong or
+    // partial prediction.
+    guard.0[1].kill().expect("kill shard 1");
+    guard.0[1].wait().expect("reap shard 1");
+    let mut saw_typed_error = false;
+    for (name, bytes) in batch.iter().take(4) {
+        match served.try_classify(bytes) {
+            Ok(prediction) => {
+                let (_, expected_prediction) =
+                    expected.iter().find(|(n, _)| n == name).expect("in batch");
+                assert_eq!(
+                    &prediction, expected_prediction,
+                    "degraded but wrong: {name}"
+                );
+            }
+            Err(FhcError::Net(_)) => saw_typed_error = true,
+            Err(other) => panic!("expected FhcError::Net, got {other}"),
+        }
+    }
+    assert!(
+        saw_typed_error,
+        "killing a worker behind the gateway must surface as a typed error"
+    );
+
+    drop(guard);
+    std::fs::remove_file(&artifact).ok();
+}

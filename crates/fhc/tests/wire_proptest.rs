@@ -8,7 +8,10 @@
 //! — are rejected with typed errors, never panics or silent misparses.
 
 use fhc::features::{PreparedSampleFeatures, SampleFeatures};
-use fhc::shardnet::wire::{Assign, Frame, Hello, ScoreRequest, ScoreResponse, PROTOCOL_VERSION};
+use fhc::shardnet::wire::{
+    Assign, Frame, Hello, ScoreBatchRequest, ScoreBatchResponse, ScoreRequest, ScoreResponse,
+    PROTOCOL_VERSION,
+};
 use fhc::shardnet::NetError;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -36,12 +39,25 @@ fn random_query(rng: &mut ChaCha8Rng) -> PreparedSampleFeatures {
     PreparedSampleFeatures::prepare(&SampleFeatures::extract(&bytes))
 }
 
+fn random_cells(rng: &mut ChaCha8Rng) -> Vec<(u32, f64)> {
+    let n_cells = rng.gen_range(0usize..64);
+    (0..n_cells)
+        .map(|_| {
+            (
+                rng.gen_range(0u32..1000),
+                f64::from(rng.gen_range(0u32..101)),
+            )
+        })
+        .collect()
+}
+
 fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
-    match rng.gen_range(0u32..6) {
+    match rng.gen_range(0u32..8) {
         0 => {
             let n_classes = rng.gen_range(1usize..40);
             Frame::Hello(Hello {
                 protocol: rng.gen(),
+                features: rng.gen(),
                 fingerprint: rng.gen(),
                 n_classes,
                 n_columns: n_classes * rng.gen_range(1usize..4),
@@ -58,21 +74,27 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
             id: rng.gen(),
             query: random_query(rng),
         })),
-        3 => {
-            let n_cells = rng.gen_range(0usize..64);
-            Frame::ScoreResponse(ScoreResponse {
+        3 => Frame::ScoreResponse(ScoreResponse {
+            id: rng.gen(),
+            cells: random_cells(rng),
+        }),
+        4 => Frame::Error(random_string(rng, 200)),
+        5 => {
+            // Batches stay small here — each query is a real feature
+            // extraction and the round-trip suites run dozens of cases.
+            let n_queries = rng.gen_range(0usize..4);
+            Frame::ScoreBatchRequest(ScoreBatchRequest {
                 id: rng.gen(),
-                cells: (0..n_cells)
-                    .map(|_| {
-                        (
-                            rng.gen_range(0u32..1000),
-                            f64::from(rng.gen_range(0u32..101)),
-                        )
-                    })
-                    .collect(),
+                queries: (0..n_queries).map(|_| random_query(rng)).collect(),
             })
         }
-        4 => Frame::Error(random_string(rng, 200)),
+        6 => {
+            let n_rows = rng.gen_range(0usize..5);
+            Frame::ScoreBatchResponse(ScoreBatchResponse {
+                id: rng.gen(),
+                rows: (0..n_rows).map(|_| random_cells(rng)).collect(),
+            })
+        }
         _ => Frame::Shutdown,
     }
 }
@@ -80,7 +102,7 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
 #[test]
 fn every_frame_type_roundtrips_for_random_payloads() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0001);
-    let mut seen_tags = [false; 6];
+    let mut seen_tags = [false; 8];
     for case in 0..CASES {
         let frame = random_frame(&mut rng);
         seen_tags[match &frame {
@@ -90,6 +112,8 @@ fn every_frame_type_roundtrips_for_random_payloads() {
             Frame::ScoreResponse(_) => 3,
             Frame::Error(_) => 4,
             Frame::Shutdown => 5,
+            Frame::ScoreBatchRequest(_) => 6,
+            Frame::ScoreBatchResponse(_) => 7,
         }] = true;
         let bytes = frame.to_wire_bytes();
         let decoded = Frame::read_from(&mut Cursor::new(&bytes), "test")
@@ -168,6 +192,7 @@ fn malformed_payloads_are_protocol_errors() {
     // A Hello whose class list overruns its own class count.
     let mut payload = hpcutil::ByteWriter::new();
     payload.put_u32(PROTOCOL_VERSION);
+    payload.put_u32(0); // features
     payload.put_u64(7);
     payload.put_usize(2); // n_classes
     payload.put_usize(6); // n_columns
@@ -197,6 +222,40 @@ fn malformed_payloads_are_protocol_errors() {
     payload.put_u32(u32::MAX); // cells "to follow"
     let mut bytes = Vec::new();
     hpcutil::write_frame(&mut bytes, 4, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A batch request whose query count overruns the payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(1); // id
+    payload.put_u32(u32::MAX); // queries "to follow"
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 7, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A batch response whose row count overruns the payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(1); // id
+    payload.put_u32(u32::MAX); // rows "to follow"
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 8, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A batch response whose *inner* cell count overruns the payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(1); // id
+    payload.put_u32(1); // one row...
+    payload.put_u32(u32::MAX); // ...claiming u32::MAX cells
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 8, payload.as_bytes()).unwrap();
     assert!(matches!(
         Frame::read_from(&mut Cursor::new(bytes), "test"),
         Err(NetError::Protocol { .. })

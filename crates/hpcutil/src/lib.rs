@@ -19,12 +19,16 @@
 //!   the transport layer under the distributed shard-serving protocol.
 //! * [`pool`] — a persistent worker-thread pool for per-query fan-out where
 //!   scoped-thread spawning would dominate the work itself.
+//! * [`mux`] — a thread-based connection multiplexer: many caller threads
+//!   pipeline request/reply frames over one stream, correlated by request
+//!   id, with no mutex held across a round trip.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod frame;
+pub mod mux;
 pub mod par;
 pub mod pool;
 pub mod rngseq;
@@ -33,6 +37,7 @@ pub mod timing;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use frame::{read_frame, write_frame, FrameError};
+pub use mux::{Mux, MuxError, MuxErrorKind, MuxOptions, PendingReply};
 pub use par::{in_parallel_worker, par_map, par_map_indexed, ParallelConfig};
 pub use pool::WorkerPool;
 pub use rngseq::SeedSequence;

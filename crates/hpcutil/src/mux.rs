@@ -1,0 +1,750 @@
+//! A thread-based connection multiplexer: many callers, one stream.
+//!
+//! [`pool`](crate::pool) parallelizes compute; this module parallelizes
+//! *conversations*. A [`Mux`] owns one bidirectional stream (typically a
+//! socket already past its application handshake) and runs two dedicated
+//! threads over it:
+//!
+//! * the **writer** thread drains a queue of pre-encoded frames and puts
+//!   them on the wire with as few syscalls as possible — consecutive queued
+//!   frames are coalesced into a single `write_all`;
+//! * the **reader** thread incrementally reassembles [`frame`](crate::frame)s
+//!   from the stream and routes each decoded reply to the caller that asked
+//!   for it, by the request id the caller-supplied decode function extracts
+//!   from the payload.
+//!
+//! Callers interact through [`Mux::submit`]: hand over the complete wire
+//! bytes of a request, get a [`PendingReply`] back, and
+//! [`PendingReply::wait`] for the decoded response. Any number of threads
+//! may submit concurrently; their requests *pipeline* over the single
+//! stream instead of serializing around a connection mutex, and no caller
+//! ever holds a lock across a round trip.
+//!
+//! Failure is sticky: the first transport, framing, decode, or stall error
+//! **poisons** the multiplexer. Every in-flight and future request fails
+//! with (a clone of) the same [`MuxError`], and the closer hook supplied at
+//! spawn is invoked so a thread blocked in `read` on the same stream is
+//! woken — for sockets, a `shutdown`. A poisoned mux never hands out data
+//! from a stream whose framing can no longer be trusted.
+//!
+//! Stall detection: the reader performs raw `read` calls into a reassembly
+//! buffer, so a socket read timeout does not tear a frame — it simply wakes
+//! the reader, which checks whether any in-flight request has been waiting
+//! longer than [`MuxOptions::reply_deadline`] and poisons the mux if so.
+//! Without a read timeout on the underlying stream (or with a deadline of
+//! `None`) the reader blocks indefinitely and stalls are never detected.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame header length on the wire (tag byte + `u32` payload length).
+const HEADER_LEN: usize = 5;
+/// Frame trailer length on the wire (`u64` FNV-1a checksum).
+const CHECKSUM_LEN: usize = 8;
+/// Read granularity of the reader thread's reassembly loop.
+const READ_CHUNK: usize = 64 * 1024;
+/// The writer stops coalescing queued frames once the pending write grows
+/// past this size, bounding latency and memory per syscall.
+const WRITE_COALESCE_LIMIT: usize = 256 * 1024;
+
+/// Why a multiplexed request failed. Cloneable so one connection failure
+/// can fan out to every caller that had a request in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxErrorKind {
+    /// The underlying transport failed (includes EOF from the peer).
+    Io,
+    /// The stream bytes stopped forming valid frames (bad length prefix,
+    /// checksum mismatch).
+    Frame,
+    /// A structurally valid frame could not be decoded into a reply, or a
+    /// reply arrived for an id that was never submitted.
+    Decode,
+    /// The peer reported an application-level error instead of a reply.
+    Remote,
+    /// An in-flight request outlived the reply deadline.
+    Stalled,
+    /// The multiplexer was dropped (or its writer thread is gone).
+    Closed,
+}
+
+/// A failure of the multiplexed connection, delivered to every affected
+/// caller.
+#[derive(Debug, Clone)]
+pub struct MuxError {
+    /// What class of failure this is.
+    pub kind: MuxErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl MuxError {
+    /// An error of `kind` with `detail`.
+    pub fn new(kind: MuxErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for MuxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let detail = &self.detail;
+        match self.kind {
+            MuxErrorKind::Io => write!(f, "multiplexed connection i/o error: {detail}"),
+            MuxErrorKind::Frame => write!(f, "malformed frame on multiplexed connection: {detail}"),
+            MuxErrorKind::Decode => {
+                write!(f, "undecodable reply on multiplexed connection: {detail}")
+            }
+            MuxErrorKind::Remote => write!(f, "peer reported an error: {detail}"),
+            MuxErrorKind::Stalled => write!(f, "multiplexed connection stalled: {detail}"),
+            MuxErrorKind::Closed => write!(f, "multiplexer closed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MuxError {}
+
+/// Tuning knobs for [`Mux::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct MuxOptions {
+    /// Largest frame payload the reader will accept; a length prefix above
+    /// this poisons the mux without allocating.
+    pub max_payload: usize,
+    /// How long an in-flight request may wait before the connection is
+    /// declared stalled and poisoned. Checked whenever the underlying
+    /// stream's read times out, so detection granularity is the socket
+    /// read timeout. `None` disables stall detection.
+    pub reply_deadline: Option<Duration>,
+}
+
+impl Default for MuxOptions {
+    fn default() -> Self {
+        Self {
+            max_payload: 16 << 20,
+            reply_deadline: None,
+        }
+    }
+}
+
+/// Book-keeping protected by one short-lived lock: requests awaiting a
+/// reply, requests whose caller gave up, and the sticky first error.
+struct MuxState<R> {
+    pending: HashMap<u64, (Instant, Sender<Result<R, MuxError>>)>,
+    /// Ids whose [`PendingReply`] was dropped before the reply arrived; a
+    /// late reply for one of these is discarded instead of treated as a
+    /// protocol violation.
+    abandoned: HashSet<u64>,
+    poisoned: Option<MuxError>,
+}
+
+struct Shared<R> {
+    state: Mutex<MuxState<R>>,
+    closer: Box<dyn Fn() + Send + Sync>,
+    closed: AtomicBool,
+    peer: String,
+}
+
+impl<R> Shared<R> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, MuxState<R>> {
+        // A panic can only occur in caller code outside the lock; the
+        // guarded state is always internally consistent.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record the first error, fail every in-flight request with it, and
+    /// fire the closer hook (once) to unblock the other I/O thread.
+    fn poison(&self, err: MuxError) {
+        let (err, drained) = {
+            let mut st = self.lock();
+            let err = st.poisoned.get_or_insert(err).clone();
+            let drained: Vec<_> = st.pending.drain().map(|(_, (_, tx))| tx).collect();
+            st.abandoned.clear();
+            (err, drained)
+        };
+        for tx in drained {
+            let _ = tx.send(Err(err.clone()));
+        }
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            (self.closer)();
+        }
+    }
+
+    /// Route one decoded reply to its waiter. Returns `false` (after
+    /// poisoning) when the id was never submitted — a stream that invents
+    /// correlation ids cannot be trusted.
+    fn deliver(&self, id: u64, reply: R) -> bool {
+        enum Route<R> {
+            Waiter(Sender<Result<R, MuxError>>),
+            Abandoned,
+            Unknown,
+        }
+        let route = {
+            let mut st = self.lock();
+            match st.pending.remove(&id) {
+                Some((_, tx)) => Route::Waiter(tx),
+                None if st.abandoned.remove(&id) => Route::Abandoned,
+                None => Route::Unknown,
+            }
+        };
+        match route {
+            Route::Waiter(tx) => {
+                // A failed send means the waiter gave up between our map
+                // lookup and the send; the reply is simply discarded.
+                let _ = tx.send(Ok(reply));
+                true
+            }
+            Route::Abandoned => true,
+            Route::Unknown => {
+                self.poison(MuxError::new(
+                    MuxErrorKind::Decode,
+                    format!("reply for unknown request id {id}"),
+                ));
+                false
+            }
+        }
+    }
+
+    fn has_stalled(&self, deadline: Option<Duration>) -> bool {
+        let Some(deadline) = deadline else {
+            return false;
+        };
+        self.lock()
+            .pending
+            .values()
+            .any(|(since, _)| since.elapsed() >= deadline)
+    }
+}
+
+/// A multiplexed request/reply connection; see the [module docs](self).
+///
+/// `R` is the decoded reply type produced by the decode function given to
+/// [`Mux::spawn`]. Dropping the mux closes the stream, fails all in-flight
+/// requests with [`MuxErrorKind::Closed`], and joins both I/O threads.
+pub struct Mux<R> {
+    shared: Arc<Shared<R>>,
+    write_tx: Option<Sender<Vec<u8>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<R> std::fmt::Debug for Mux<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mux")
+            .field("peer", &self.shared.peer)
+            .field("in_flight", &self.in_flight())
+            .field("poisoned", &self.is_poisoned())
+            .finish()
+    }
+}
+
+impl<R: Send + 'static> Mux<R> {
+    /// Take ownership of the two halves of a connected stream and start the
+    /// writer and reader threads.
+    ///
+    /// `decode` turns one verified frame (tag + payload) into
+    /// `(request id, reply)`; returning an error poisons the mux with it —
+    /// use [`MuxErrorKind::Remote`] for application-level error frames and
+    /// [`MuxErrorKind::Decode`] for frames that should not occur.
+    ///
+    /// `closer` must unblock a thread stuck in `read`/`write` on the same
+    /// stream (for sockets: `shutdown`); it is called at most once, on
+    /// poison or drop, and must be idempotent-safe.
+    pub fn spawn<D>(
+        peer: impl Into<String>,
+        reader: Box<dyn Read + Send>,
+        writer: Box<dyn Write + Send>,
+        closer: Box<dyn Fn() + Send + Sync>,
+        options: MuxOptions,
+        decode: D,
+    ) -> Self
+    where
+        D: Fn(u8, Vec<u8>) -> Result<(u64, R), MuxError> + Send + 'static,
+    {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(MuxState {
+                pending: HashMap::new(),
+                abandoned: HashSet::new(),
+                poisoned: None,
+            }),
+            closer,
+            closed: AtomicBool::new(false),
+            peer: peer.into(),
+        });
+        let (write_tx, write_rx) = channel::<Vec<u8>>();
+        let writer_shared = Arc::clone(&shared);
+        let reader_shared = Arc::clone(&shared);
+        let threads = vec![
+            std::thread::Builder::new()
+                .name("mux-writer".into())
+                .spawn(move || writer_loop(writer, &write_rx, &writer_shared))
+                .expect("spawning the mux writer thread"),
+            std::thread::Builder::new()
+                .name("mux-reader".into())
+                .spawn(move || reader_loop(reader, &reader_shared, &decode, options))
+                .expect("spawning the mux reader thread"),
+        ];
+        Self {
+            shared,
+            write_tx: Some(write_tx),
+            threads,
+        }
+    }
+
+    /// Queue one pre-encoded request frame for writing and register `id`
+    /// for reply correlation. Returns immediately; the round trip happens
+    /// on the mux threads while the caller does other work (or
+    /// [`PendingReply::wait`]s).
+    ///
+    /// `id` must be unique among this mux's in-flight requests — the
+    /// natural source is a per-connection or shared atomic counter.
+    pub fn submit(&self, id: u64, frame_bytes: Vec<u8>) -> PendingReply<R> {
+        let (tx, rx) = channel();
+        let pending = PendingReply {
+            rx,
+            id,
+            shared: Arc::clone(&self.shared),
+            waited: false,
+        };
+        {
+            let mut st = self.shared.lock();
+            if let Some(err) = &st.poisoned {
+                let _ = tx.send(Err(err.clone()));
+                return pending;
+            }
+            let prev = st.pending.insert(id, (Instant::now(), tx));
+            debug_assert!(prev.is_none(), "duplicate in-flight request id {id}");
+        }
+        let sender = self
+            .write_tx
+            .as_ref()
+            .expect("write queue lives until drop");
+        if sender.send(frame_bytes).is_err() {
+            // The writer thread poisons before exiting, so this is already
+            // (or is about to be) reflected in the pending map; make sure
+            // regardless.
+            self.shared
+                .poison(MuxError::new(MuxErrorKind::Closed, "writer thread is gone"));
+        }
+        pending
+    }
+}
+
+impl<R> Mux<R> {
+    /// The peer name given at spawn (used in error details).
+    pub fn peer(&self) -> &str {
+        &self.shared.peer
+    }
+
+    /// Whether the connection has failed; every subsequent submit returns
+    /// the original error.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.lock().poisoned.is_some()
+    }
+
+    /// Number of requests currently awaiting a reply.
+    pub fn in_flight(&self) -> usize {
+        self.shared.lock().pending.len()
+    }
+}
+
+impl<R> Drop for Mux<R> {
+    fn drop(&mut self) {
+        drop(self.write_tx.take());
+        self.shared
+            .poison(MuxError::new(MuxErrorKind::Closed, "multiplexer dropped"));
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A handle to one in-flight request; [`PendingReply::wait`] blocks until
+/// the reply (or the connection's failure) arrives. Dropping it without
+/// waiting abandons the request: a late reply is discarded quietly.
+pub struct PendingReply<R> {
+    rx: Receiver<Result<R, MuxError>>,
+    id: u64,
+    shared: Arc<Shared<R>>,
+    waited: bool,
+}
+
+impl<R> std::fmt::Debug for PendingReply<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingReply")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl<R> PendingReply<R> {
+    /// Block until the reply arrives, the connection fails, or the mux is
+    /// dropped.
+    pub fn wait(mut self) -> Result<R, MuxError> {
+        self.waited = true;
+        match self.rx.recv() {
+            Ok(result) => result,
+            // Unreachable in practice: the sender is either in the pending
+            // map (drained with an error on poison) or used to deliver.
+            Err(_) => Err(MuxError::new(
+                MuxErrorKind::Closed,
+                "reply channel closed without a reply",
+            )),
+        }
+    }
+}
+
+impl<R> Drop for PendingReply<R> {
+    fn drop(&mut self) {
+        if self.waited {
+            return;
+        }
+        let mut st = self.shared.lock();
+        if st.pending.remove(&self.id).is_some() {
+            st.abandoned.insert(self.id);
+        }
+    }
+}
+
+fn writer_loop<R>(mut writer: Box<dyn Write + Send>, rx: &Receiver<Vec<u8>>, shared: &Shared<R>) {
+    while let Ok(mut buf) = rx.recv() {
+        // Coalesce whatever else is already queued into the same syscall.
+        while buf.len() < WRITE_COALESCE_LIMIT {
+            match rx.try_recv() {
+                Ok(next) => buf.extend_from_slice(&next),
+                Err(_) => break,
+            }
+        }
+        if let Err(e) = writer.write_all(&buf).and_then(|()| writer.flush()) {
+            shared.poison(MuxError::new(
+                MuxErrorKind::Io,
+                format!("write failed: {e}"),
+            ));
+            return;
+        }
+    }
+    // Queue closed: the mux is being dropped.
+}
+
+/// If `buf` starts with a complete frame, its total length; `None` when
+/// more bytes are needed; an error when the length prefix is over budget.
+fn frame_extent(buf: &[u8], max_payload: usize) -> Result<Option<usize>, MuxError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[1..5].try_into().expect("fixed-size slice")) as usize;
+    if len > max_payload {
+        return Err(MuxError::new(
+            MuxErrorKind::Frame,
+            format!("frame payload of {len} bytes exceeds the {max_payload}-byte limit"),
+        ));
+    }
+    Ok((buf.len() >= HEADER_LEN + len + CHECKSUM_LEN).then_some(HEADER_LEN + len + CHECKSUM_LEN))
+}
+
+fn reader_loop<R>(
+    mut reader: Box<dyn Read + Send>,
+    shared: &Shared<R>,
+    decode: &(impl Fn(u8, Vec<u8>) -> Result<(u64, R), MuxError> + Send),
+    options: MuxOptions,
+) {
+    // Raw reads into a reassembly buffer instead of blocking `read_exact`
+    // calls: a read timeout then never tears a frame mid-parse, it just
+    // wakes the loop for the stall check below.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            let total = match frame_extent(&buf, options.max_payload) {
+                Ok(Some(total)) => total,
+                Ok(None) => break,
+                Err(e) => {
+                    shared.poison(e);
+                    return;
+                }
+            };
+            // Re-read the complete frame through the checksummed codec so
+            // corruption is caught exactly as on the blocking path.
+            let parsed = crate::frame::read_frame(
+                &mut std::io::Cursor::new(&buf[..total]),
+                options.max_payload,
+            );
+            buf.drain(..total);
+            let (tag, payload) = match parsed {
+                Ok(frame) => frame,
+                Err(e) => {
+                    shared.poison(MuxError::new(MuxErrorKind::Frame, e.to_string()));
+                    return;
+                }
+            };
+            match decode(tag, payload) {
+                Ok((id, reply)) => {
+                    if !shared.deliver(id, reply) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    shared.poison(e);
+                    return;
+                }
+            }
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                shared.poison(MuxError::new(MuxErrorKind::Io, "connection closed by peer"));
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.has_stalled(options.reply_deadline) {
+                    let deadline = options.reply_deadline.expect("stall implies a deadline");
+                    shared.poison(MuxError::new(
+                        MuxErrorKind::Stalled,
+                        format!("no reply within {deadline:?}"),
+                    ));
+                    return;
+                }
+            }
+            Err(e) => {
+                shared.poison(MuxError::new(MuxErrorKind::Io, e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_frame, write_frame};
+    use std::net::{Shutdown, TcpListener, TcpStream};
+
+    /// Spawn a one-connection frame server; `serve` gets the accepted
+    /// stream. Returns the address to dial.
+    fn frame_server(serve: impl FnOnce(TcpStream) + Send + 'static) -> (String, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            serve(stream);
+        });
+        (addr, handle)
+    }
+
+    /// Connect to `addr` and build a mux whose replies are `(tag, payload)`
+    /// with the id parsed from the payload's first 8 bytes.
+    fn connect_mux(addr: &str, options: MuxOptions) -> Mux<(u8, Vec<u8>)> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .expect("read timeout");
+        let reader = stream.try_clone().expect("clone for reader");
+        let closer = stream.try_clone().expect("clone for closer");
+        Mux::spawn(
+            addr.to_string(),
+            Box::new(reader),
+            Box::new(stream),
+            Box::new(move || {
+                let _ = closer.shutdown(Shutdown::Both);
+            }),
+            options,
+            |tag, payload: Vec<u8>| {
+                if payload.len() < 8 {
+                    return Err(MuxError::new(MuxErrorKind::Decode, "reply too short"));
+                }
+                let id = u64::from_le_bytes(payload[..8].try_into().expect("fixed-size slice"));
+                Ok((id, (tag, payload)))
+            },
+        )
+    }
+
+    fn request_bytes(tag: u8, id: u64, body: &[u8]) -> Vec<u8> {
+        let mut payload = id.to_le_bytes().to_vec();
+        payload.extend_from_slice(body);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, tag, &payload).expect("vec write");
+        frame
+    }
+
+    #[test]
+    fn concurrent_submits_correlate_over_one_stream() {
+        let (addr, server) = frame_server(|mut stream| {
+            // Echo every frame back until the client hangs up.
+            while let Ok((tag, payload)) = read_frame(&mut stream, 1 << 20) {
+                write_frame(&mut stream, tag, &payload).expect("echo");
+            }
+        });
+        let mux = Arc::new(connect_mux(&addr, MuxOptions::default()));
+        let mut threads = Vec::new();
+        for t in 0..8u64 {
+            let mux = Arc::clone(&mux);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let id = t * 1000 + i;
+                    let body = format!("thread {t} request {i}").into_bytes();
+                    let pending = mux.submit(id, request_bytes(7, id, &body));
+                    let (tag, payload) = pending.wait().expect("echoed reply");
+                    assert_eq!(tag, 7);
+                    assert_eq!(&payload[8..], &body[..]);
+                    assert_eq!(u64::from_le_bytes(payload[..8].try_into().unwrap()), id);
+                }
+            }));
+        }
+        for thread in threads {
+            thread.join().expect("submitter thread");
+        }
+        assert_eq!(mux.in_flight(), 0);
+        assert!(!mux.is_poisoned());
+        let Ok(mux) = Arc::try_unwrap(mux) else {
+            panic!("sole owner")
+        };
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn out_of_order_replies_reach_the_right_waiters() {
+        let (addr, server) = frame_server(|mut stream| {
+            let first = read_frame(&mut stream, 1 << 20).expect("first request");
+            let second = read_frame(&mut stream, 1 << 20).expect("second request");
+            // Answer in reverse arrival order.
+            write_frame(&mut stream, second.0, &second.1).expect("reply");
+            write_frame(&mut stream, first.0, &first.1).expect("reply");
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        let p1 = mux.submit(1, request_bytes(3, 1, b"first"));
+        let p2 = mux.submit(2, request_bytes(3, 2, b"second"));
+        let (_, payload2) = p2.wait().expect("reply for id 2");
+        let (_, payload1) = p1.wait().expect("reply for id 1");
+        assert_eq!(&payload1[8..], b"first");
+        assert_eq!(&payload2[8..], b"second");
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn peer_hangup_fails_pending_and_future_requests() {
+        let (addr, server) = frame_server(|mut stream| {
+            let _ = read_frame(&mut stream, 1 << 20);
+            // Close without replying.
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        let err = mux
+            .submit(1, request_bytes(3, 1, b"doomed"))
+            .wait()
+            .expect_err("peer hung up");
+        assert_eq!(err.kind, MuxErrorKind::Io);
+        assert!(mux.is_poisoned());
+        // Subsequent submits fail immediately with the original error.
+        let err = mux
+            .submit(2, request_bytes(3, 2, b"late"))
+            .wait()
+            .expect_err("mux is poisoned");
+        assert_eq!(err.kind, MuxErrorKind::Io);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_reply_for_an_unknown_id_poisons_the_mux() {
+        let (addr, server) = frame_server(|mut stream| {
+            let (tag, payload) = read_frame(&mut stream, 1 << 20).expect("request");
+            let id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+            let mut bad = (id + 1000).to_le_bytes().to_vec();
+            bad.extend_from_slice(&payload[8..]);
+            write_frame(&mut stream, tag, &bad).expect("reply");
+            // Hold the connection open until the client shuts it down.
+            let _ = read_frame(&mut stream, 1 << 20);
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        let err = mux
+            .submit(5, request_bytes(3, 5, b"x"))
+            .wait()
+            .expect_err("unknown id must poison");
+        assert_eq!(err.kind, MuxErrorKind::Decode);
+        assert!(err.detail.contains("unknown request id"));
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn an_abandoned_reply_is_discarded_quietly() {
+        let (addr, server) = frame_server(|mut stream| {
+            let (tag, payload) = read_frame(&mut stream, 1 << 20).expect("request");
+            write_frame(&mut stream, tag, &payload).expect("late echo");
+            while read_frame(&mut stream, 1 << 20).is_ok() {
+                // Swallow follow-ups without replying; the test only needs
+                // the connection to stay up.
+            }
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        // Submit and immediately drop the handle: the echo arrives for an
+        // abandoned id and must NOT poison the connection.
+        drop(mux.submit(1, request_bytes(3, 1, b"abandoned")));
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!mux.is_poisoned(), "abandoned reply must not poison");
+        assert_eq!(mux.in_flight(), 0);
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_stalled_peer_is_detected_through_the_reply_deadline() {
+        let (addr, server) = frame_server(|mut stream| {
+            // Read the request, never answer, keep the socket open until
+            // the client gives up and shuts it down.
+            let _ = read_frame(&mut stream, 1 << 20);
+            let _ = read_frame(&mut stream, 1 << 20);
+        });
+        let options = MuxOptions {
+            reply_deadline: Some(Duration::from_millis(100)),
+            ..MuxOptions::default()
+        };
+        let mux = connect_mux(&addr, options);
+        let start = Instant::now();
+        let err = mux
+            .submit(1, request_bytes(3, 1, b"never answered"))
+            .wait()
+            .expect_err("stall must surface");
+        assert_eq!(err.kind, MuxErrorKind::Stalled);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "stall detection took {:?}",
+            start.elapsed()
+        );
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_decode_rejection_poisons_with_the_callback_error() {
+        let (addr, server) = frame_server(|mut stream| {
+            let _ = read_frame(&mut stream, 1 << 20).expect("request");
+            // Reply with a frame too short to carry an id.
+            write_frame(&mut stream, 9, b"tiny").expect("reply");
+            let _ = read_frame(&mut stream, 1 << 20);
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        let err = mux
+            .submit(1, request_bytes(3, 1, b"x"))
+            .wait()
+            .expect_err("decode rejection");
+        assert_eq!(err.kind, MuxErrorKind::Decode);
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn error_display_names_the_kind() {
+        let e = MuxError::new(MuxErrorKind::Stalled, "no reply within 30s");
+        assert!(e.to_string().contains("stalled"));
+        let e = MuxError::new(MuxErrorKind::Remote, "fingerprint mismatch");
+        assert!(e.to_string().contains("fingerprint mismatch"));
+    }
+}

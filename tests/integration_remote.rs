@@ -15,6 +15,7 @@ use fhc::config::FhcConfig;
 use fhc::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
 use fhc::serving::TrainedClassifier;
+use fhc::shardnet::wire::{self, Frame};
 use fhc::shardnet::worker::serve_tcp;
 use fhc::shardnet::{Endpoint, NetError, RemoteBackend, ShardWorker};
 use fhc::similarity::ReferenceSet;
@@ -69,6 +70,67 @@ fn spawn_partitioned_workers(
             endpoint
         })
         .collect()
+}
+
+/// A hand-rolled protocol-v2 worker that did **not** advertise
+/// `FEATURE_SCORE_BATCH`: it serves single-query frames through the real
+/// indexed backend and answers any batch frame with an `Error` frame — so
+/// a client that wrongly sends one fails loudly instead of silently.
+fn spawn_batchless_worker(reference: &Arc<ReferenceSet>) -> Endpoint {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
+    let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+    let reference = Arc::clone(reference);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let backend = BackendConfig::Indexed.build(Arc::clone(&reference));
+                let peer = "batchless";
+                let hello = wire::Hello {
+                    protocol: wire::PROTOCOL_VERSION,
+                    features: 0, // a v2 worker that opted out of batching
+                    fingerprint: reference.fingerprint(),
+                    n_classes: reference.n_classes(),
+                    n_columns: reference.n_columns(),
+                    classes: (0..reference.n_classes()).collect(),
+                };
+                if Frame::Hello(hello).write_to(&mut stream, peer).is_err() {
+                    return;
+                }
+                loop {
+                    match Frame::read_from(&mut stream, peer) {
+                        Ok(Frame::ScoreRequest(request)) => {
+                            let row = backend.feature_vector_prepared(&request.query);
+                            let cells = row
+                                .iter()
+                                .enumerate()
+                                .map(|(column, &score)| (column as u32, score))
+                                .collect();
+                            let response = wire::ScoreResponse {
+                                id: request.id,
+                                cells,
+                            };
+                            if Frame::ScoreResponse(response)
+                                .write_to(&mut stream, peer)
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        Ok(other) => {
+                            let _ =
+                                Frame::Error(format!("batchless worker cannot serve {other:?}"))
+                                    .write_to(&mut stream, peer);
+                            return;
+                        }
+                        Err(_) => return,
+                    }
+                }
+            });
+        }
+    });
+    endpoint
 }
 
 fn make_sample(class_tag: &str, variant: u64) -> SampleFeatures {
@@ -171,6 +233,68 @@ fn remote_rows_are_byte_identical_for_worker_counts_1_2_3_n() {
                 bits(&expected)
             );
         }
+    }
+}
+
+/// The batched row path (`try_feature_rows_prepared`: one
+/// `ScoreBatchRequest` frame per worker per chunk of 64) is byte-identical
+/// to the per-query fan-out and to the scan oracle — including across the
+/// 64-query chunk boundary, and including through a worker that never
+/// advertised `FEATURE_SCORE_BATCH`, which must transparently be fed
+/// pipelined single-query frames instead.
+#[test]
+fn batched_rows_are_byte_identical_including_the_batchless_fallback() {
+    let reference = hand_built_reference(4);
+    let probes = probes();
+    let scan = BackendConfig::Scan.build(reference.clone());
+    let expected: Vec<Vec<u64>> = probes
+        .iter()
+        .map(|probe| bits(&scan.feature_vector_prepared(probe)))
+        .collect();
+
+    let backend = RemoteBackend::connect(reference.clone(), &spawn_loopback_workers(&reference, 2))
+        .expect("workers connect");
+    let rows = backend
+        .try_feature_rows_prepared(&probes)
+        .expect("batched rows");
+    assert_eq!(rows.len(), probes.len());
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(bits(row), expected[i], "batched row {i} diverged");
+        let single = backend
+            .try_feature_vector_prepared(&probes[i])
+            .expect("single row");
+        assert_eq!(bits(&single), expected[i], "single row {i} diverged");
+    }
+    // Empty input is a no-op, not a wire exchange.
+    assert!(backend
+        .try_feature_rows_prepared(&[])
+        .expect("empty")
+        .is_empty());
+
+    // 70 queries cross the 64-per-frame chunk boundary.
+    let many: Vec<PreparedSampleFeatures> = probes.iter().cycle().take(70).cloned().collect();
+    let rows = backend
+        .try_feature_rows_prepared(&many)
+        .expect("chunked rows");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            bits(row),
+            expected[i % probes.len()],
+            "chunked row {i} diverged"
+        );
+    }
+
+    // The batch-less worker would answer an Error frame to any batch
+    // request, so identical rows prove the client degraded to single
+    // frames.
+    let batchless =
+        RemoteBackend::connect(reference.clone(), &[spawn_batchless_worker(&reference)])
+            .expect("batchless worker connects");
+    let rows = batchless
+        .try_feature_rows_prepared(&probes)
+        .expect("fallback rows");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(bits(row), expected[i], "fallback row {i} diverged");
     }
 }
 
