@@ -38,7 +38,9 @@
 //!
 //! Failure keeps the same contract as [`RemoteBackend`]: a lost worker
 //! surfaces as a typed error frame to every affected client query — never
-//! a wrong or partial row.
+//! a wrong or partial row — and the shard connection is re-dialed on the
+//! next query (see `RemoteWorker::submit`), so an idle-reaped or restarted
+//! worker heals without a gateway restart.
 
 use crate::backend::SimilarityBackend;
 use crate::error::FhcError;
@@ -46,21 +48,33 @@ use crate::features::PreparedSampleFeatures;
 use crate::shardnet::remote::{connect_workers, RemoteBackend, RemoteWorker};
 use crate::shardnet::wire::{self, ClientReply, Frame, Hello, ScoreBatchResponse, ScoreResponse};
 use crate::shardnet::worker::IDLE_TIMEOUT;
-use crate::shardnet::{Endpoint, NetError};
+use crate::shardnet::{Endpoint, NetError, IO_TIMEOUT};
 use crate::similarity::ReferenceSet;
 use hpcutil::PendingReply;
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
+
+/// Most responses a client connection may have outstanding before its
+/// reader stops decoding new requests. The bound is what creates
+/// backpressure: once the writer falls this far behind — a client that
+/// keeps sending but never reads its responses — the reader blocks, the
+/// connection's receive buffer fills, and the client's own sends stall,
+/// instead of the gateway buffering an unbounded queue of merged rows for
+/// a peer that takes none. Far above any sane pipelining depth, so a
+/// well-behaved client never feels it.
+const CLIENT_PIPELINE_LIMIT: usize = 128;
 
 /// Tunables for a [`Gateway`].
 #[derive(Debug, Clone)]
 pub struct GatewayOptions {
     /// Most queries packed into one batch frame per shard. Bounds both the
     /// frame size and the head-of-line latency a burst can add; the
-    /// default comfortably amortizes framing overhead without approaching
+    /// default comfortably amortizes framing overhead. Clamped per shard
+    /// by [`wire::max_batch_rows_for`] over the shard's partition width,
+    /// so the dense batch *response* can never exceed
     /// [`wire::MAX_FRAME_PAYLOAD`].
     pub max_batch: usize,
 }
@@ -152,13 +166,24 @@ impl Gateway {
         }
         let workers = connect_workers(&reference, endpoints)?;
         let fingerprint = reference.fingerprint();
+        // Columns per class across the active views; a shard's dense
+        // partial row carries classes * kinds cells.
+        let n_kinds = match reference.n_classes() {
+            0 => 0,
+            n => reference.n_columns() / n,
+        };
         let shards = workers
             .into_iter()
             .map(|worker| {
                 let peer = worker.endpoint.to_string();
                 let classes = worker.classes.clone();
                 let (queue, jobs) = mpsc::channel::<ShardJob>();
-                let max_batch = options.max_batch;
+                // Clamp the batch per shard so its worst-case dense batch
+                // response stays under the frame budget even on wide
+                // geometries.
+                let max_batch = options
+                    .max_batch
+                    .min(wire::max_batch_rows_for(classes.len() * n_kinds));
                 std::thread::Builder::new()
                     .name("gw-batcher".into())
                     .spawn(move || batcher_loop(worker, jobs, max_batch))
@@ -301,7 +326,7 @@ fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize
             let id = next_id;
             next_id += 1;
             let bytes = wire::score_batch_request_bytes(id, pack.iter().map(|j| j.query.as_ref()));
-            let pending = worker.mux.submit(id, bytes);
+            let pending = worker.submit(id, bytes);
             if inflight_tx
                 .send(InFlight::Batch {
                     pending,
@@ -317,9 +342,7 @@ fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize
             for job in pack {
                 let id = next_id;
                 next_id += 1;
-                let pending = worker
-                    .mux
-                    .submit(id, wire::score_request_bytes(id, &job.query));
+                let pending = worker.submit(id, wire::score_request_bytes(id, &job.query));
                 if inflight_tx.send(InFlight::Single { pending, job }).is_err() {
                     break 'serve;
                 }
@@ -333,8 +356,10 @@ fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize
 
 /// Await one shard's replies in submission order and route each row back
 /// to the query that asked for it. A failed batch faults every query it
-/// carried — with the peer named — and later batches keep failing fast
-/// off the poisoned mux.
+/// carried — with the peer named — and the batcher's next submit re-dials
+/// the poisoned connection (see `RemoteWorker::submit`), so one lost
+/// worker connection never wedges the gateway into answering every future
+/// query with `WorkerLost`.
 fn distributor_loop(inflight: Receiver<InFlight>, peer: &str) {
     for entry in inflight {
         match entry {
@@ -437,11 +462,20 @@ where
 {
     Frame::Hello(gateway.hello()).write_to(&mut writer, peer)?;
     let queues: Vec<Sender<ShardJob>> = gateway.shards.iter().map(|s| s.queue.clone()).collect();
-    let (work_tx, work_rx) = mpsc::channel::<ClientWork>();
+    // Bounded on purpose (see [`CLIENT_PIPELINE_LIMIT`]): a client that
+    // stops reading responses eventually blocks its own reader instead of
+    // growing this queue without limit.
+    let (work_tx, work_rx) = mpsc::sync_channel::<ClientWork>(CLIENT_PIPELINE_LIMIT);
+    // The gateway answers every class, so a client batch's response rows
+    // are dense over the full geometry; batches whose response could not
+    // fit in one frame are rejected up front.
+    let max_client_batch = wire::max_batch_rows_for(gateway.reference.n_columns());
     let reader_peer = peer.to_string();
     std::thread::Builder::new()
         .name("gw-client-reader".into())
-        .spawn(move || client_reader_loop(reader, &queues, &work_tx, &reader_peer))
+        .spawn(move || {
+            client_reader_loop(reader, &queues, &work_tx, max_client_batch, &reader_peer)
+        })
         .expect("spawn gateway client reader thread");
 
     let mut answer = || -> Result<(), NetError> {
@@ -486,7 +520,8 @@ where
 fn client_reader_loop<R: Read>(
     mut reader: R,
     queues: &[Sender<ShardJob>],
-    work: &Sender<ClientWork>,
+    work: &SyncSender<ClientWork>,
+    max_client_batch: usize,
     peer: &str,
 ) {
     loop {
@@ -497,6 +532,18 @@ fn client_reader_loop<R: Read>(
                 if work.send(ClientWork::Row { id, replies }).is_err() {
                     return;
                 }
+            }
+            Ok(Frame::ScoreBatchRequest(batch)) if batch.queries.len() > max_client_batch => {
+                // The dense response to this batch could not fit in one
+                // frame; reject it before scoring anything.
+                let _ = work.send(ClientWork::Fail {
+                    detail: format!(
+                        "batch of {} queries would overflow the response frame \
+                         (at most {max_client_batch} for this geometry)",
+                        batch.queries.len()
+                    ),
+                });
+                return;
             }
             Ok(Frame::ScoreBatchRequest(batch)) => {
                 // Submit the whole batch before handing it to the writer:
@@ -553,8 +600,8 @@ fn client_reader_loop<R: Read>(
 }
 
 /// Accept-loop over a TCP listener: one pipelined [`serve_client`] per
-/// connection, reads bounded by [`IDLE_TIMEOUT`]. Returns when the
-/// listener itself fails.
+/// connection, reads bounded by [`IDLE_TIMEOUT`] and writes by
+/// [`IO_TIMEOUT`]. Returns when the listener itself fails.
 pub fn serve_tcp(gateway: Arc<Gateway>, listener: TcpListener) {
     for stream in listener.incoming() {
         match stream {
@@ -565,6 +612,9 @@ pub fn serve_tcp(gateway: Arc<Gateway>, listener: TcpListener) {
                     .unwrap_or_else(|_| "tcp client".to_string());
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                // A client that stops reading must not pin this
+                // connection's writer in write_all forever.
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let gateway = Arc::clone(&gateway);
                 std::thread::spawn(move || {
                     let reader = match stream.try_clone() {
@@ -593,6 +643,7 @@ pub fn serve_unix(gateway: Arc<Gateway>, listener: UnixListener) {
         match stream {
             Ok(stream) => {
                 let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let gateway = Arc::clone(&gateway);
                 std::thread::spawn(move || {
                     let reader = match stream.try_clone() {
@@ -739,6 +790,103 @@ mod tests {
             let direct_bits: Vec<u64> = direct.iter().map(|s| s.to_bits()).collect();
             assert_eq!(gw_bits, direct_bits, "row diverged for {body:?}");
         }
+    }
+
+    #[test]
+    fn a_lost_shard_connection_heals_behind_the_gateway() {
+        let rs = reference();
+        // A worker whose every accepted connection answers exactly one
+        // request and then drops without a goodbye — each query costs the
+        // gateway its shard connection.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        let shard = Arc::new(ShardWorker::all_classes(rs.clone()));
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                let shard = Arc::clone(&shard);
+                std::thread::spawn(move || {
+                    let _ = shard.serve_requests(stream, "one-shot", Some(1));
+                });
+            }
+        });
+
+        let gateway = Gateway::connect(
+            rs.clone(),
+            &[Endpoint::Tcp(addr)],
+            GatewayOptions::default(),
+        )
+        .expect("connect");
+        let front = spawn_gateway(gateway);
+        let backend = GatewayBackend::connect(rs.clone(), &front).expect("dial gateway");
+
+        let indexed = crate::backend::BackendConfig::Indexed.build(rs.clone());
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"the velvet assembler executable heal probe",
+        ));
+        let mut expected = vec![0.0f64; rs.n_columns()];
+        indexed.max_scores_into(&query, &mut expected);
+
+        // Individual queries may still fail while a poison is settling
+        // (always as a typed error, never a wrong row), but the stack must
+        // keep healing: multiple successes require the gateway to re-dial
+        // the shard, and the client to re-dial the gateway, repeatedly.
+        let mut successes = 0;
+        for _ in 0..200 {
+            let mut row = vec![0.0f64; rs.n_columns()];
+            match backend.try_max_scores_into(&query, &mut row) {
+                Ok(()) => {
+                    assert_eq!(row, expected, "healed path must stay byte-identical");
+                    successes += 1;
+                    if successes >= 3 {
+                        break;
+                    }
+                }
+                Err(crate::error::FhcError::Net(_)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(other) => panic!("expected a typed net error, got {other}"),
+            }
+        }
+        assert!(
+            successes >= 3,
+            "gateway never recovered from the dropped shard connection \
+             ({successes} successes)"
+        );
+    }
+
+    #[test]
+    fn an_oversized_client_batch_is_rejected_before_scoring() {
+        // Drive the reader loop directly with a batch one query over the
+        // response budget: it must emit a Fail work item (which the writer
+        // half answers with an Error frame) without submitting anything.
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"overflow probe"));
+        let frame_bytes = wire::score_batch_request_bytes(7, vec![&query; 3]);
+        let queues: Vec<Sender<ShardJob>> = Vec::new();
+        let (work_tx, work_rx) = mpsc::sync_channel::<ClientWork>(8);
+        client_reader_loop(
+            std::io::Cursor::new(frame_bytes),
+            &queues,
+            &work_tx,
+            2,
+            "test client",
+        );
+        drop(work_tx);
+        match work_rx.recv().expect("a work item") {
+            ClientWork::Fail { detail } => assert!(
+                detail.contains("overflow the response frame"),
+                "error names the violation: {detail}"
+            ),
+            other => panic!(
+                "expected a Fail work item, got a {}",
+                match other {
+                    ClientWork::Row { .. } => "Row",
+                    ClientWork::Batch { .. } => "Batch",
+                    ClientWork::Fail { .. } => unreachable!(),
+                }
+            ),
+        }
+        assert!(work_rx.recv().is_err(), "reader stops after the rejection");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! reference-set fingerprint, and column geometry must match, and the
 //! ensemble of worker partitions must cover every class exactly once. A
 //! worker that dies mid-batch yields a typed [`NetError`] through the
-//! `try_*` APIs — never a wrong or partial row.
+//! `try_*` APIs — never a wrong or partial row — and the failed connection
+//! is re-dialed (handshake re-validated, partition re-assigned) on the
+//! next query, so an idle-reaped or restarted worker heals instead of
+//! wedging the backend.
 
 use crate::backend::{round_robin_partition, SimilarityBackend};
 use crate::error::FhcError;
@@ -33,7 +36,17 @@ use crate::similarity::ReferenceSet;
 use hpcutil::{Mux, MuxError, MuxErrorKind, MuxOptions, PendingReply};
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// The handshake values a reconnected worker must reproduce; see
+/// [`RemoteWorker::submit`]. Captured at first connect, after validation
+/// against the local reference set.
+#[derive(Debug, Clone, Copy)]
+struct HandshakeExpect {
+    fingerprint: u64,
+    n_classes: usize,
+    n_columns: usize,
+}
 
 /// One connected shard worker: its validated partition and the multiplexer
 /// pipelining requests over its socket. Shared with the gateway, which
@@ -44,7 +57,97 @@ pub(crate) struct RemoteWorker {
     pub(crate) classes: Vec<usize>,
     /// Whether the worker advertised [`wire::FEATURE_SCORE_BATCH`].
     pub(crate) supports_batch: bool,
-    pub(crate) mux: Mux<ClientReply>,
+    expect: HandshakeExpect,
+    /// The live multiplexer, swapped for a fresh connection by
+    /// [`RemoteWorker::submit`] once the current one is poisoned.
+    mux: Mutex<Mux<ClientReply>>,
+}
+
+impl RemoteWorker {
+    /// Queue one pre-encoded request frame on the worker's connection and
+    /// register `id` for reply correlation.
+    ///
+    /// A mux failure is sticky, but the *worker* usually is not: its idle
+    /// reaper closes quiet sockets after
+    /// [`IDLE_TIMEOUT`](crate::shardnet::worker::IDLE_TIMEOUT), it may have
+    /// restarted, a transient network fault may have reset the connection.
+    /// So a poisoned connection is **re-dialed here, on the next query**:
+    /// the endpoint is reconnected, the handshake re-validated against the
+    /// values captured at first connect, and the worker's partition
+    /// re-assigned if the fresh handshake does not already advertise it. A
+    /// lost connection therefore costs at most the queries that were in
+    /// flight on it — it never wedges the backend (or a gateway) into
+    /// answering every future query with `WorkerLost`. If the re-dial
+    /// itself fails, the submit falls through to the poisoned mux and the
+    /// caller gets the original typed error; the query after that re-dials
+    /// again.
+    pub(crate) fn submit(&self, id: u64, frame_bytes: Vec<u8>) -> PendingReply<ClientReply> {
+        let mut mux = self.mux.lock().unwrap_or_else(|p| p.into_inner());
+        if mux.is_poisoned() {
+            if let Ok(fresh) = self.redial() {
+                *mux = fresh;
+            }
+        }
+        mux.submit(id, frame_bytes)
+    }
+
+    /// Whether the current connection has failed (the next
+    /// [`RemoteWorker::submit`] will re-dial).
+    #[cfg(test)]
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.mux
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_poisoned()
+    }
+
+    /// Dial a fresh connection to this worker's endpoint and bring it to
+    /// the exact state of the original one: validated handshake, same
+    /// partition, mux spawned.
+    fn redial(&self) -> Result<Mux<ClientReply>, NetError> {
+        let peer = self.endpoint.to_string();
+        let mut conn = self
+            .endpoint
+            .connect_split()
+            .map_err(|source| NetError::Io {
+                peer: peer.clone(),
+                source,
+            })?;
+        let mut hello = read_hello(conn.reader(), &peer)?;
+        validate_hello(self.expect, &peer, &hello)?;
+        if hello.classes != self.classes {
+            hello = assign_partition(&mut conn, &peer, self.classes.clone())?;
+        }
+        if self.supports_batch && !hello.supports(wire::FEATURE_SCORE_BATCH) {
+            return Err(NetError::Handshake {
+                peer,
+                detail: "reconnected worker no longer advertises batch scoring".into(),
+            });
+        }
+        spawn_mux(conn, peer)
+    }
+}
+
+/// Narrow a handshaken connection's read timeout to the mux's stall poll
+/// and hand its halves to a freshly spawned multiplexer.
+fn spawn_mux(conn: SplitConn, peer: String) -> Result<Mux<ClientReply>, NetError> {
+    conn.set_read_timeout(Some(MUX_POLL_INTERVAL))
+        .map_err(|source| NetError::Io {
+            peer: peer.clone(),
+            source,
+        })?;
+    let (reader, writer, closer) = conn.into_mux_parts();
+    Ok(Mux::spawn(
+        peer,
+        reader,
+        writer,
+        closer,
+        MuxOptions {
+            max_payload: wire::MAX_FRAME_PAYLOAD,
+            reply_deadline: Some(IO_TIMEOUT),
+        },
+        |tag, payload: Vec<u8>| wire::decode_client_reply(tag, &payload),
+    ))
 }
 
 impl std::fmt::Debug for RemoteWorker {
@@ -78,8 +181,13 @@ pub(crate) fn connect_workers(
             "a remote backend needs at least one worker endpoint".into(),
         ));
     }
-    // One full reference walk, reused for every worker's handshake.
-    let ours = reference.fingerprint();
+    // One full reference walk, reused for every worker's handshake (and
+    // stored for re-validation on reconnect).
+    let expect = HandshakeExpect {
+        fingerprint: reference.fingerprint(),
+        n_classes: reference.n_classes(),
+        n_columns: reference.n_columns(),
+    };
     let mut conns = Vec::with_capacity(endpoints.len());
     for endpoint in endpoints {
         let peer = endpoint.to_string();
@@ -88,7 +196,7 @@ pub(crate) fn connect_workers(
             source,
         })?;
         let hello = read_hello(conn.reader(), &peer)?;
-        validate_hello(reference, ours, &peer, &hello)?;
+        validate_hello(expect, &peer, &hello)?;
         conns.push((endpoint.clone(), conn, hello));
     }
 
@@ -122,31 +230,13 @@ pub(crate) fn connect_workers(
     conns
         .into_iter()
         .map(|(endpoint, conn, hello)| {
-            let peer = endpoint.to_string();
-            // Handshake done: narrow the read timeout to the mux's stall
-            // poll and hand the halves to the multiplexer.
-            conn.set_read_timeout(Some(MUX_POLL_INTERVAL))
-                .map_err(|source| NetError::Io {
-                    peer: peer.clone(),
-                    source,
-                })?;
-            let (reader, writer, closer) = conn.into_mux_parts();
-            let mux = Mux::spawn(
-                peer,
-                reader,
-                writer,
-                closer,
-                MuxOptions {
-                    max_payload: wire::MAX_FRAME_PAYLOAD,
-                    reply_deadline: Some(IO_TIMEOUT),
-                },
-                |tag, payload: Vec<u8>| wire::decode_client_reply(tag, &payload),
-            );
+            let mux = spawn_mux(conn, endpoint.to_string())?;
             Ok(RemoteWorker {
                 endpoint,
                 supports_batch: hello.supports(wire::FEATURE_SCORE_BATCH),
                 classes: hello.classes,
-                mux,
+                expect,
+                mux: Mutex::new(mux),
             })
         })
         .collect()
@@ -218,7 +308,7 @@ impl RemoteBackend {
         let pending: Vec<_> = self
             .workers
             .iter()
-            .map(|worker| worker.mux.submit(id, request_bytes.clone()))
+            .map(|worker| worker.submit(id, request_bytes.clone()))
             .collect();
         // Await every reply before surfacing an error: each submitted
         // request either completes or fails on its own connection, and an
@@ -263,9 +353,14 @@ impl RemoteBackend {
     ) -> Result<Vec<Vec<f64>>, NetError> {
         let n_columns = self.reference.n_columns();
         let n_classes = self.reference.n_classes();
+        // A worker serving every class (a gateway, or a lone unpartitioned
+        // worker) answers with rows dense over all columns, so the chunk
+        // size must keep even that worst-case response under the frame
+        // budget.
+        let client_batch = CLIENT_BATCH.min(wire::max_batch_rows_for(n_columns));
         let mut rows = vec![vec![0.0f64; n_columns]; queries.len()];
-        for (chunk_index, chunk) in queries.chunks(CLIENT_BATCH).enumerate() {
-            let out = &mut rows[chunk_index * CLIENT_BATCH..][..chunk.len()];
+        for (chunk_index, chunk) in queries.chunks(client_batch).enumerate() {
+            let out = &mut rows[chunk_index * client_batch..][..chunk.len()];
             // Submit to every worker before waiting on any reply — the
             // same pipelining rule as `fan_out`, with one frame per worker
             // per chunk on the batch path.
@@ -276,14 +371,14 @@ impl RemoteBackend {
                     if worker.supports_batch {
                         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
                         let frame = wire::score_batch_request_bytes(id, chunk);
-                        Submitted::Batch(worker.mux.submit(id, frame))
+                        Submitted::Batch(worker.submit(id, frame))
                     } else {
                         Submitted::Singles(
                             chunk
                                 .iter()
                                 .map(|query| {
                                     let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                                    worker.mux.submit(id, wire::score_request_bytes(id, query))
+                                    worker.submit(id, wire::score_request_bytes(id, query))
                                 })
                                 .collect(),
                         )
@@ -359,7 +454,9 @@ impl RemoteBackend {
 
 /// How many queries ride in one client-side batch frame: enough to
 /// amortize the per-frame cost over many rows, small enough to bound the
-/// frame size and one lost frame's blast radius.
+/// frame size and one lost frame's blast radius. Further clamped per
+/// geometry by [`wire::max_batch_rows_for`] so the dense response can
+/// never exceed [`wire::MAX_FRAME_PAYLOAD`].
 const CLIENT_BATCH: usize = 64;
 
 /// Per-worker in-flight state of one batch chunk.
@@ -434,12 +531,7 @@ fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hello, NetErro
     }
 }
 
-fn validate_hello(
-    reference: &ReferenceSet,
-    ours: u64,
-    peer: &str,
-    hello: &Hello,
-) -> Result<(), NetError> {
+fn validate_hello(expect: HandshakeExpect, peer: &str, hello: &Hello) -> Result<(), NetError> {
     if hello.protocol != wire::PROTOCOL_VERSION {
         return Err(NetError::Handshake {
             peer: peer.to_string(),
@@ -450,25 +542,22 @@ fn validate_hello(
             ),
         });
     }
-    if hello.fingerprint != ours {
+    if hello.fingerprint != expect.fingerprint {
         return Err(NetError::Handshake {
             peer: peer.to_string(),
             detail: format!(
-                "reference-set fingerprint mismatch: ours {ours:#018x}, \
+                "reference-set fingerprint mismatch: ours {:#018x}, \
                  worker's {:#018x} — it serves a different artifact",
-                hello.fingerprint
+                expect.fingerprint, hello.fingerprint
             ),
         });
     }
-    if hello.n_classes != reference.n_classes() || hello.n_columns != reference.n_columns() {
+    if hello.n_classes != expect.n_classes || hello.n_columns != expect.n_columns {
         return Err(NetError::Handshake {
             peer: peer.to_string(),
             detail: format!(
                 "geometry mismatch: ours {}x{}, worker's {}x{}",
-                reference.n_classes(),
-                reference.n_columns(),
-                hello.n_classes,
-                hello.n_columns
+                expect.n_classes, expect.n_columns, hello.n_classes, hello.n_columns
             ),
         });
     }
@@ -538,6 +627,72 @@ impl SimilarityBackend for RemoteBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BackendConfig;
+    use crate::features::{FeatureKind, SampleFeatures};
+    use crate::shardnet::worker::ShardWorker;
+    use std::net::TcpListener;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn a_dropped_worker_connection_is_redialed_on_a_later_query() {
+        let train = vec![
+            SampleFeatures::extract(b"the velvet assembler executable body one"),
+            SampleFeatures::extract(b"the velvet assembler executable body two"),
+            SampleFeatures::extract(b"an openmalaria simulation binary payload"),
+        ];
+        let rs = Arc::new(ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train,
+            &[0, 0, 1],
+            &FeatureKind::ALL,
+        ));
+
+        // Every accepted connection answers exactly one request, then drops
+        // without a goodbye — the shape of an idle-reaped (or crashed and
+        // restarted) worker, repeatable across reconnects.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        let shard = Arc::new(ShardWorker::all_classes(rs.clone()));
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                let shard = Arc::clone(&shard);
+                std::thread::spawn(move || {
+                    let _ = shard.serve_requests(stream, "one-shot", Some(1));
+                });
+            }
+        });
+
+        let backend = RemoteBackend::connect(rs.clone(), &[Endpoint::Tcp(addr)]).expect("connect");
+        let indexed = BackendConfig::Indexed.build(rs.clone());
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"the velvet assembler executable redial probe",
+        ));
+        let mut expected = vec![0.0f64; rs.n_columns()];
+        indexed.max_scores_into(&query, &mut expected);
+
+        let mut row = vec![0.0f64; rs.n_columns()];
+        backend
+            .try_max_scores_into(&query, &mut row)
+            .expect("first query on the original connection");
+        assert_eq!(row, expected);
+
+        // The worker dropped the connection after that answer; wait for the
+        // mux to notice the EOF and poison itself...
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !backend.workers[0].is_poisoned() {
+            assert!(Instant::now() < deadline, "mux never noticed the EOF");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // ...then the next query must transparently re-dial instead of
+        // failing forever on the sticky poison.
+        let mut row = vec![0.0f64; rs.n_columns()];
+        backend
+            .try_max_scores_into(&query, &mut row)
+            .expect("query after the reconnect");
+        assert_eq!(row, expected);
+        assert_eq!(backend.endpoints().len(), 1, "still one worker");
+    }
 
     #[test]
     fn exact_cover_detection() {

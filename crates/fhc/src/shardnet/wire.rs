@@ -476,6 +476,25 @@ where
     frame
 }
 
+/// How many dense partial rows fit in one [`ScoreBatchResponse`] frame for
+/// a reference geometry of `n_columns` similarity columns.
+///
+/// Partial rows carry every owned `(column, score)` cell, zeros included
+/// (the merge never has to guess coverage), so the response to a `rows`-
+/// query batch costs `8 + 4 + rows * (4 + 12 * n_columns)` payload bytes —
+/// it is the *response*, not the request, that hits [`MAX_FRAME_PAYLOAD`]
+/// first on wide geometries. Every batch sender bounds its batch size with
+/// this, and the gateway rejects client batches above it, so a batch can
+/// never provoke an oversized response frame that the receiver would
+/// reject as corrupt (poisoning the connection). Always at least 1: a
+/// geometry whose single-row response overflows the frame budget cannot be
+/// served at all, batched or not.
+pub fn max_batch_rows_for(n_columns: usize) -> usize {
+    const RESPONSE_HEADER: usize = 8 + 4; // id + row count
+    let per_row = 4 + n_columns.saturating_mul(12); // cell count + cells
+    ((MAX_FRAME_PAYLOAD - RESPONSE_HEADER) / per_row).max(1)
+}
+
 /// A reply frame a pipelined client connection can receive.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientReply {
@@ -704,6 +723,45 @@ mod tests {
         hpcutil::write_frame(&mut bytes, TAG_SCORE_BATCH_RESPONSE, payload.as_bytes()).unwrap();
         let result = Frame::read_from(&mut Cursor::new(bytes), "test");
         assert!(matches!(result, Err(NetError::Protocol { .. })));
+    }
+
+    #[test]
+    fn batch_row_budget_keeps_responses_under_the_frame_limit() {
+        for n_columns in [1usize, 21, 21_800, 40_000, 1_000_000] {
+            let rows = max_batch_rows_for(n_columns);
+            assert!(rows >= 1, "budget must allow at least one row");
+            let payload = 12 + rows * (4 + 12 * n_columns);
+            assert!(
+                payload <= MAX_FRAME_PAYLOAD,
+                "{rows} dense rows of {n_columns} columns need {payload} bytes"
+            );
+            // The budget is tight: one more row would not fit.
+            let payload = 12 + (rows + 1) * (4 + 12 * n_columns);
+            assert!(
+                payload > MAX_FRAME_PAYLOAD || rows == usize::MAX,
+                "budget for {n_columns} columns leaves a row on the table"
+            );
+        }
+        // A geometry wide enough that the old fixed 64-query batches would
+        // overflow the response frame is now budgeted below 64.
+        assert!(max_batch_rows_for(30_000) < 64);
+
+        // An actually encoded response at the budget stays under the frame
+        // payload limit.
+        let n_columns = 200_000usize;
+        let rows = max_batch_rows_for(n_columns);
+        let dense_row: Vec<(u32, f64)> = (0..n_columns as u32).map(|c| (c, 0.5)).collect();
+        let frame = Frame::ScoreBatchResponse(ScoreBatchResponse {
+            id: 1,
+            rows: vec![dense_row; rows],
+        });
+        let wire_bytes = frame.to_wire_bytes();
+        // 5 bytes of header + payload + 8 bytes of checksum.
+        assert!(wire_bytes.len() - 13 <= MAX_FRAME_PAYLOAD);
+        assert!(matches!(
+            roundtrip(&frame),
+            Frame::ScoreBatchResponse(r) if r.rows.len() == rows
+        ));
     }
 
     #[test]

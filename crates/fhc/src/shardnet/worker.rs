@@ -11,7 +11,7 @@
 
 use crate::features::PreparedSampleFeatures;
 use crate::shardnet::wire::{self, Frame, Hello, ScoreBatchResponse, ScoreResponse};
-use crate::shardnet::{NetError, Transport};
+use crate::shardnet::{NetError, Transport, IO_TIMEOUT};
 use crate::similarity::ReferenceSet;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
@@ -23,9 +23,12 @@ use std::time::Duration;
 /// a machine that vanished without an RST, a process wedged mid-request —
 /// can therefore pin a serving thread for at most this long, instead of
 /// forever. Generous on purpose: clients hold persistent connections that
-/// legitimately idle between batches, and they reconnect-by-failing (the
-/// next query surfaces `WorkerLost`), so the deadline only needs to beat
-/// "forever", not a round trip.
+/// legitimately idle between batches. Closing one is safe because the
+/// mux-driven clients (`RemoteBackend`, the gateway's shard connections)
+/// **re-dial a closed connection on their next query** (see
+/// `RemoteWorker::submit`), so the reap costs at most the queries that
+/// were in flight — it never wedges a client — and the deadline only
+/// needs to beat "forever", not a round trip.
 pub const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// One shard-serving worker: a reference set plus the class partition it
@@ -217,8 +220,9 @@ fn validate_classes(
 }
 
 /// Accept-loop over a TCP listener: one thread per connection, errors
-/// logged to stderr, reads bounded by [`IDLE_TIMEOUT`]. Returns when the
-/// listener itself fails (e.g. it was closed out from under the loop).
+/// logged to stderr, reads bounded by [`IDLE_TIMEOUT`] and writes by
+/// [`IO_TIMEOUT`]. Returns when the listener itself fails (e.g. it was
+/// closed out from under the loop).
 pub fn serve_tcp(worker: Arc<ShardWorker>, listener: TcpListener) {
     for stream in listener.incoming() {
         match stream {
@@ -229,6 +233,9 @@ pub fn serve_tcp(worker: Arc<ShardWorker>, listener: TcpListener) {
                     .unwrap_or_else(|_| "tcp client".to_string());
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                // A client that stops reading must not pin this serving
+                // thread in write_all forever.
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let worker = Arc::clone(&worker);
                 std::thread::spawn(move || {
                     if let Err(e) = worker.serve_connection(stream, &peer) {
@@ -247,6 +254,7 @@ pub fn serve_unix(worker: Arc<ShardWorker>, listener: UnixListener) {
         match stream {
             Ok(stream) => {
                 let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let worker = Arc::clone(&worker);
                 std::thread::spawn(move || {
                     if let Err(e) = worker.serve_connection(stream, "unix client") {

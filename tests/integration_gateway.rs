@@ -21,8 +21,10 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 /// Spawn `n` loopback shard workers, each serving every class (the gateway
-/// assigns the round-robin partition at connect), optionally dying after
-/// `limit` requests per connection.
+/// assigns the round-robin partition at connect). With `Some(limit)` the
+/// worker accepts exactly one connection, answers `limit` requests on it,
+/// and then drops its listener entirely — it is truly dead afterwards, so
+/// the gateway's re-dial on the next query is refused rather than healed.
 fn spawn_workers(reference: &Arc<ReferenceSet>, n: usize, limit: Option<u64>) -> Vec<Endpoint> {
     (0..n)
         .map(|_| {
@@ -32,16 +34,9 @@ fn spawn_workers(reference: &Arc<ReferenceSet>, n: usize, limit: Option<u64>) ->
             std::thread::spawn(move || match limit {
                 None => worker::serve_tcp(shard, listener),
                 Some(limit) => {
-                    for stream in listener.incoming() {
-                        match stream {
-                            Ok(stream) => {
-                                let shard = Arc::clone(&shard);
-                                std::thread::spawn(move || {
-                                    let _ = shard.serve_requests(stream, "loopback", Some(limit));
-                                });
-                            }
-                            Err(_) => return,
-                        }
+                    if let Ok((stream, _)) = listener.accept() {
+                        drop(listener);
+                        let _ = shard.serve_requests(stream, "loopback", Some(limit));
                     }
                 }
             });
@@ -251,13 +246,16 @@ fn stored_artifact_opens_unchanged_behind_a_gateway() {
 
 /// A shard worker killed behind the gateway surfaces to the client as a
 /// typed network error — the gateway must relay the loss, not invent a
-/// row.
+/// row. The dead worker's listener is gone too, so the gateway's
+/// re-dial-on-poison cannot heal it (contrast with
+/// `a_lost_shard_connection_heals_behind_the_gateway`).
 #[test]
 fn a_killed_worker_behind_the_gateway_is_a_typed_error() {
     let reference = hand_built_reference(3);
-    // The dying worker answers exactly 2 requests per connection: the
-    // handshake survives and the first probe scores; the next batch hits a
-    // dead socket.
+    // The dying worker answers exactly 2 requests on its only connection,
+    // then drops both the socket and the listener: the handshake survives
+    // and the first probes score; the next batch hits a dead socket and
+    // the re-dial is refused.
     let mut workers = spawn_workers(&reference, 1, None);
     workers.extend(spawn_workers(&reference, 1, Some(2)));
     let front = spawn_gateway(&reference, &workers);

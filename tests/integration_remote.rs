@@ -40,7 +40,10 @@ fn spawn_loopback_workers(reference: &Arc<ReferenceSet>, n: usize) -> Vec<Endpoi
 }
 
 /// Spawn workers with explicit (worker-side) partitions, one per class
-/// list, optionally dying after `limit` requests per connection.
+/// list. With `Some(limit)` the worker accepts exactly one connection,
+/// answers `limit` requests on it, and then drops its listener — it is
+/// truly dead afterwards, so the client's re-dial on the next query is
+/// refused rather than healed.
 fn spawn_partitioned_workers(
     reference: &Arc<ReferenceSet>,
     partitions: &[Vec<usize>],
@@ -54,16 +57,24 @@ fn spawn_partitioned_workers(
             let worker = Arc::new(
                 ShardWorker::new(Arc::clone(reference), classes.clone()).expect("valid classes"),
             );
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    match stream {
-                        Ok(stream) => {
-                            let worker = Arc::clone(&worker);
-                            std::thread::spawn(move || {
-                                let _ = worker.serve_requests(stream, "loopback", limit);
-                            });
+            std::thread::spawn(move || match limit {
+                None => {
+                    for stream in listener.incoming() {
+                        match stream {
+                            Ok(stream) => {
+                                let worker = Arc::clone(&worker);
+                                std::thread::spawn(move || {
+                                    let _ = worker.serve_requests(stream, "loopback", None);
+                                });
+                            }
+                            Err(_) => return,
                         }
-                        Err(_) => return,
+                    }
+                }
+                Some(limit) => {
+                    if let Ok((stream, _)) = listener.accept() {
+                        drop(listener);
+                        let _ = worker.serve_requests(stream, "loopback", Some(limit));
                     }
                 }
             });
@@ -415,8 +426,9 @@ fn stored_artifact_opens_unchanged_under_a_remote_topology() {
 #[test]
 fn a_killed_worker_yields_a_typed_error_not_a_wrong_row() {
     let reference = hand_built_reference(3);
-    // Worker 1 dies after answering one request on its (single, persistent)
-    // connection; worker 0 stays healthy.
+    // Worker 1 dies after answering one request on its only connection and
+    // drops its listener, so the re-dial on the next query is refused too;
+    // worker 0 stays healthy.
     let partitions = vec![vec![0usize, 2], vec![1usize]];
     let endpoints = spawn_partitioned_workers(&reference, &partitions, None);
     let dying = spawn_partitioned_workers(&reference, &[vec![1usize]], Some(1));
