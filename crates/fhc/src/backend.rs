@@ -536,6 +536,34 @@ impl AnyBackend {
         }
     }
 
+    /// Whether this backend scores through a transport where batching
+    /// changes the wire shape: a whole batch travels in few
+    /// `ScoreBatchRequest` frames instead of one round trip per query.
+    pub fn scores_batches_remotely(&self) -> bool {
+        matches!(self, AnyBackend::Remote(_) | AnyBackend::Gateway(_))
+    }
+
+    /// Compute one dense similarity row per query, in query order.
+    ///
+    /// Transport backends ship the whole batch through their batched wire
+    /// path (chunked to the frame budget); in-process backends score per
+    /// query — they have no round trips to amortize. Like the other `try_*`
+    /// APIs, the batch either scores completely or the first failure is
+    /// returned.
+    pub fn try_feature_rows_prepared(
+        &self,
+        queries: &[PreparedSampleFeatures],
+    ) -> Result<Vec<Vec<f64>>, FhcError> {
+        match self {
+            AnyBackend::Remote(b) => Ok(b.try_feature_rows_prepared(queries)?),
+            AnyBackend::Gateway(b) => Ok(b.try_feature_rows_prepared(queries)?),
+            _ => queries
+                .iter()
+                .map(|q| self.try_feature_vector_prepared(q))
+                .collect(),
+        }
+    }
+
     /// The backend as a trait object (for code that is generic over
     /// backends without being generic over this enum).
     pub fn as_dyn(&self) -> &dyn SimilarityBackend {

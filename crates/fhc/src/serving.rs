@@ -273,12 +273,12 @@ impl TrainedClassifier {
     /// preparation cost up front). The similarity row is computed by the
     /// configured [`SimilarityBackend`].
     pub fn classify_prepared(&self, prepared: &PreparedSampleFeatures) -> Prediction {
-        self.predict_from_row(self.backend.feature_vector_prepared(prepared))
+        self.predict_from_row(&self.backend.feature_vector_prepared(prepared))
     }
 
     /// Forest vote + threshold over a computed similarity row.
-    fn predict_from_row(&self, row: Vec<f64>) -> Prediction {
-        let proba = Model::predict_proba(&self.forest, &row);
+    fn predict_from_row(&self, row: &[f64]) -> Prediction {
+        let proba = Model::predict_proba(&self.forest, row);
         let eval_label = apply_threshold(&proba, self.confidence_threshold);
         let confidence = proba.iter().cloned().fold(0.0f64, f64::max);
         let label = if eval_label == UNKNOWN_LABEL {
@@ -327,7 +327,7 @@ impl TrainedClassifier {
         prepared: &PreparedSampleFeatures,
     ) -> Result<Prediction, FhcError> {
         let row = self.backend.try_feature_vector_prepared(prepared)?;
-        Ok(self.predict_from_row(row))
+        Ok(self.predict_from_row(&row))
     }
 
     /// Fallible twin of [`TrainedClassifier::classify_features`].
@@ -347,6 +347,9 @@ impl TrainedClassifier {
         &self,
         samples: &[(String, Vec<u8>)],
     ) -> Result<Vec<(String, Prediction)>, FhcError> {
+        if self.backend.scores_batches_remotely() {
+            return self.try_classify_batch_remote(samples);
+        }
         // Short-circuit on the first failure: once any sample errors (e.g.
         // a shard worker died or timed out), the remaining samples are
         // skipped instead of each paying the same failing fan-out — on a
@@ -386,6 +389,27 @@ impl TrainedClassifier {
             "entries are only skipped after an error entry exists"
         );
         Ok(predictions)
+    }
+
+    /// [`TrainedClassifier::try_classify_batch`] for transport backends:
+    /// hashing and preparation run locally on the serving workers, then the
+    /// whole batch ships through the backend's batched wire path
+    /// (`ScoreBatchRequest` frames, chunked to the frame budget) instead of
+    /// paying a round-trip fan-out per sample. The forest vote over the
+    /// returned rows is parallel again. Order is preserved; any transport
+    /// failure fails the whole batch with the first typed error, matching
+    /// the per-sample path's contract.
+    fn try_classify_batch_remote(
+        &self,
+        samples: &[(String, Vec<u8>)],
+    ) -> Result<Vec<(String, Prediction)>, FhcError> {
+        let prepared = par_map_indexed(samples.len(), self.serving.parallel(), |i| {
+            PreparedSampleFeatures::prepare(&SampleFeatures::extract(&samples[i].1))
+        });
+        let rows = self.backend.try_feature_rows_prepared(&prepared)?;
+        Ok(par_map_indexed(rows.len(), self.serving.parallel(), |i| {
+            (samples[i].0.clone(), self.predict_from_row(&rows[i]))
+        }))
     }
 }
 

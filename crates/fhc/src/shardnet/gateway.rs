@@ -54,8 +54,9 @@ use hpcutil::PendingReply;
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Most responses a client connection may have outstanding before its
 /// reader stops decoding new requests. The bound is what creates
@@ -66,6 +67,18 @@ use std::sync::Arc;
 /// a peer that takes none. Far above any sane pipelining depth, so a
 /// well-behaved client never feels it.
 const CLIENT_PIPELINE_LIMIT: usize = 128;
+
+/// Bound on each shard's job queue. Several clients bursting at
+/// [`CLIENT_PIPELINE_LIMIT`] fit comfortably; past that, submitting blocks
+/// the client readers — backpressure all the way to the client sockets —
+/// instead of queueing unboundedly in front of a slow shard.
+const SHARD_QUEUE_DEPTH: usize = 1024;
+
+/// Bound on the in-flight record queue between one shard's batcher and its
+/// distributor. A distributor stuck waiting on a slow shard eventually
+/// blocks its batcher, which stops draining the shard queue — the same
+/// backpressure chain, one stage earlier.
+const INFLIGHT_DEPTH: usize = 256;
 
 /// Tunables for a [`Gateway`].
 #[derive(Debug, Clone)]
@@ -99,7 +112,7 @@ type RowResult = Result<Vec<(u32, f64)>, ShardFault>;
 /// One query enqueued to one shard's batcher.
 struct ShardJob {
     query: Arc<PreparedSampleFeatures>,
-    reply: Sender<RowResult>,
+    reply: SyncSender<RowResult>,
 }
 
 /// The gateway's handle on one shard: where to enqueue jobs, and the
@@ -107,7 +120,7 @@ struct ShardJob {
 struct ShardHandle {
     peer: String,
     classes: Vec<usize>,
-    queue: Sender<ShardJob>,
+    queue: SyncSender<ShardJob>,
 }
 
 /// A batch (or single request) submitted to a shard's mux, paired with the
@@ -139,6 +152,10 @@ pub struct Gateway {
     /// handshake.
     fingerprint: u64,
     shards: Vec<ShardHandle>,
+    /// One batcher thread per shard; each batcher joins its own
+    /// distributor on exit. Reaped in [`Drop`] after the shard queues
+    /// close.
+    batchers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -172,33 +189,39 @@ impl Gateway {
             0 => 0,
             n => reference.n_columns() / n,
         };
-        let shards = workers
-            .into_iter()
-            .map(|worker| {
-                let peer = worker.endpoint.to_string();
-                let classes = worker.classes.clone();
-                let (queue, jobs) = mpsc::channel::<ShardJob>();
-                // Clamp the batch per shard so its worst-case dense batch
-                // response stays under the frame budget even on wide
-                // geometries.
-                let max_batch = options
-                    .max_batch
-                    .min(wire::max_batch_rows_for(classes.len() * n_kinds));
-                std::thread::Builder::new()
-                    .name("gw-batcher".into())
-                    .spawn(move || batcher_loop(worker, jobs, max_batch))
-                    .expect("spawn gateway batcher thread");
-                ShardHandle {
-                    peer,
-                    classes,
-                    queue,
-                }
-            })
-            .collect();
+        let mut shards = Vec::with_capacity(workers.len());
+        let mut batchers = Vec::with_capacity(workers.len());
+        for worker in workers {
+            let peer = worker.endpoint.to_string();
+            let classes = worker.classes.clone();
+            let (queue, jobs) = mpsc::sync_channel::<ShardJob>(SHARD_QUEUE_DEPTH);
+            // Clamp the batch per shard so its worst-case dense batch
+            // response stays under the frame budget even on wide
+            // geometries.
+            let max_batch = options
+                .max_batch
+                .min(wire::max_batch_rows_for(classes.len() * n_kinds));
+            let batcher = std::thread::Builder::new()
+                .name("gw-batcher".into())
+                .spawn(move || batcher_loop(worker, jobs, max_batch))
+                .map_err(|e| NetError::Io {
+                    peer: peer.clone(),
+                    source: e,
+                })?;
+            // On an early return the half-built Gateway drops: shard queues
+            // close, the already-spawned batchers exit and are joined.
+            batchers.push(batcher);
+            shards.push(ShardHandle {
+                peer,
+                classes,
+                queue,
+            });
+        }
         Ok(Self {
             reference,
             fingerprint,
             shards,
+            batchers,
         })
     }
 
@@ -274,20 +297,34 @@ impl Gateway {
     }
 }
 
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Close every shard queue first so the batchers (and through them,
+        // their distributors) run dry and exit, then reap the threads.
+        self.shards.clear();
+        for batcher in self.batchers.drain(..) {
+            let _ = batcher.join();
+        }
+    }
+}
+
 /// Enqueue one query to every shard, returning the reply receivers in
-/// shard order. Sending never blocks on the network — the batcher threads
-/// do the waiting — which is what lets a client reader submit its whole
-/// burst before any row is collected. A send to a dead batcher is
-/// deliberately ignored here: the dropped reply sender surfaces the loss
-/// at collect time, attributed to the right peer.
+/// shard order. Sending never waits on the network — the batcher threads
+/// do that — though a shard queue at [`SHARD_QUEUE_DEPTH`] blocks here
+/// until its batcher drains a slot, which is the backpressure that keeps a
+/// slow shard from buffering an unbounded backlog. A send to a dead
+/// batcher is deliberately ignored: the dropped reply sender surfaces the
+/// loss at collect time, attributed to the right peer.
 fn submit_to_shards(
-    queues: &[Sender<ShardJob>],
+    queues: &[SyncSender<ShardJob>],
     query: &Arc<PreparedSampleFeatures>,
 ) -> Vec<Receiver<RowResult>> {
     queues
         .iter()
         .map(|queue| {
-            let (reply, rx) = mpsc::channel();
+            // Oneshot: each job is answered exactly once (row or fault), so
+            // capacity 1 means the sender can never block.
+            let (reply, rx) = mpsc::sync_channel(1);
             let _ = queue.send(ShardJob {
                 query: Arc::clone(query),
                 reply,
@@ -302,14 +339,25 @@ fn submit_to_shards(
 /// when every [`ShardHandle`] clone of the queue sender is gone.
 fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize) {
     let peer = worker.endpoint.to_string();
-    let (inflight_tx, inflight_rx) = mpsc::channel::<InFlight>();
-    let distributor = std::thread::Builder::new()
+    let (inflight_tx, inflight_rx) = mpsc::sync_channel::<InFlight>(INFLIGHT_DEPTH);
+    let spawned = std::thread::Builder::new()
         .name("gw-distributor".into())
         .spawn({
             let peer = peer.clone();
             move || distributor_loop(inflight_rx, &peer)
-        })
-        .expect("spawn gateway distributor thread");
+        });
+    let distributor = match spawned {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Without a distributor no reply can ever route; fault every
+            // job as it arrives until the shard queue closes.
+            let detail = format!("could not spawn the shard's distributor thread: {e}");
+            while let Ok(job) = jobs.recv() {
+                fault_jobs(vec![job], &peer, detail.clone());
+            }
+            return;
+        }
+    };
 
     let mut next_id = 0u64;
     'serve: while let Ok(first) = jobs.recv() {
@@ -461,7 +509,8 @@ where
     W: Write,
 {
     Frame::Hello(gateway.hello()).write_to(&mut writer, peer)?;
-    let queues: Vec<Sender<ShardJob>> = gateway.shards.iter().map(|s| s.queue.clone()).collect();
+    let queues: Vec<SyncSender<ShardJob>> =
+        gateway.shards.iter().map(|s| s.queue.clone()).collect();
     // Bounded on purpose (see [`CLIENT_PIPELINE_LIMIT`]): a client that
     // stops reading responses eventually blocks its own reader instead of
     // growing this queue without limit.
@@ -471,12 +520,12 @@ where
     // fit in one frame are rejected up front.
     let max_client_batch = wire::max_batch_rows_for(gateway.reference.n_columns());
     let reader_peer = peer.to_string();
-    std::thread::Builder::new()
-        .name("gw-client-reader".into())
-        .spawn(move || {
-            client_reader_loop(reader, &queues, &work_tx, max_client_batch, &reader_peer)
-        })
-        .expect("spawn gateway client reader thread");
+    // Detached on purpose: the reader is connection-scoped and exits when
+    // the caller closes the transport. If the spawn itself fails, the moved
+    // `work_tx` drops and the writer below sees a clean close immediately.
+    super::spawn_detached("gw-client-reader", move || {
+        client_reader_loop(reader, &queues, &work_tx, max_client_batch, &reader_peer)
+    });
 
     let mut answer = || -> Result<(), NetError> {
         // When the reader hangs up, buffered work still drains: every
@@ -519,7 +568,7 @@ where
 /// reader's clean-goodbye signal.
 fn client_reader_loop<R: Read>(
     mut reader: R,
-    queues: &[Sender<ShardJob>],
+    queues: &[SyncSender<ShardJob>],
     work: &SyncSender<ClientWork>,
     max_client_batch: usize,
     peer: &str,
@@ -616,7 +665,7 @@ pub fn serve_tcp(gateway: Arc<Gateway>, listener: TcpListener) {
                 // connection's writer in write_all forever.
                 let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let gateway = Arc::clone(&gateway);
-                std::thread::spawn(move || {
+                super::spawn_detached("gateway-conn", move || {
                     let reader = match stream.try_clone() {
                         Ok(reader) => reader,
                         Err(e) => {
@@ -645,7 +694,7 @@ pub fn serve_unix(gateway: Arc<Gateway>, listener: UnixListener) {
                 let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
                 let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let gateway = Arc::clone(&gateway);
-                std::thread::spawn(move || {
+                super::spawn_detached("gateway-conn", move || {
                     let reader = match stream.try_clone() {
                         Ok(reader) => reader,
                         Err(e) => {
@@ -862,7 +911,7 @@ mod tests {
         // half answers with an Error frame) without submitting anything.
         let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"overflow probe"));
         let frame_bytes = wire::score_batch_request_bytes(7, vec![&query; 3]);
-        let queues: Vec<Sender<ShardJob>> = Vec::new();
+        let queues: Vec<SyncSender<ShardJob>> = Vec::new();
         let (work_tx, work_rx) = mpsc::sync_channel::<ClientWork>(8);
         client_reader_loop(
             std::io::Cursor::new(frame_bytes),

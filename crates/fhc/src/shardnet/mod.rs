@@ -84,6 +84,27 @@ pub const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 /// a frame — it only bounds stall-detection latency.
 pub(crate) const MUX_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_secs(1);
 
+/// Spawn a named, deliberately-detached serving thread.
+///
+/// This is the **single** sanctioned detach point in the serving tier;
+/// everything else keeps its `JoinHandle`. It exists for per-connection
+/// threads whose lifetime is bounded by the peer socket (both directions
+/// carry deadlines, so the thread cannot outlive a dead peer by more than a
+/// timeout) and whose accept loop never returns to a place that could join
+/// them. Funneling every such spawn through here keeps the waiver count at
+/// one and gives each thread a name for debuggers.
+pub(crate) fn spawn_detached(name: &str, f: impl FnOnce() + Send + 'static) {
+    let spawned = std::thread::Builder::new()
+        .name(name.to_string())
+        // fhc-lint: allow(join_or_detach) -- sole sanctioned detach point: connection-scoped threads bounded by socket deadlines; the accept loop that spawns them never returns
+        .spawn(f);
+    if let Err(e) = spawned {
+        // Out of threads: shed this connection instead of crashing the
+        // accept loop; the peer sees a dropped socket and may retry.
+        eprintln!("shardnet: could not spawn {name}: {e}");
+    }
+}
+
 impl Endpoint {
     /// Open a connection to this endpoint, with [`IO_TIMEOUT`] applied to
     /// every read and write (and to the TCP connect itself).

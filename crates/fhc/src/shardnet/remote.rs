@@ -137,8 +137,8 @@ fn spawn_mux(conn: SplitConn, peer: String) -> Result<Mux<ClientReply>, NetError
             source,
         })?;
     let (reader, writer, closer) = conn.into_mux_parts();
-    Ok(Mux::spawn(
-        peer,
+    Mux::spawn(
+        peer.clone(),
         reader,
         writer,
         closer,
@@ -147,7 +147,8 @@ fn spawn_mux(conn: SplitConn, peer: String) -> Result<Mux<ClientReply>, NetError
             reply_deadline: Some(IO_TIMEOUT),
         },
         |tag, payload: Vec<u8>| wire::decode_client_reply(tag, &payload),
-    ))
+    )
+    .map_err(|e| net_error_from_mux(&peer, e))
 }
 
 impl std::fmt::Debug for RemoteWorker {
@@ -611,6 +612,7 @@ impl SimilarityBackend for RemoteBackend {
     /// [`TrainedClassifier::try_classify`](crate::serving::TrainedClassifier::try_classify)).
     fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
         self.fan_out(query, out).unwrap_or_else(|e| {
+            // fhc-lint: allow(no_panic) -- documented trait contract: the infallible API cannot express transport failure; remote serving goes through try_max_scores_into
             panic!("remote similarity backend failed (use the try_* serving APIs): {e}")
         });
     }
@@ -692,6 +694,109 @@ mod tests {
             .expect("query after the reconnect");
         assert_eq!(row, expected);
         assert_eq!(backend.endpoints().len(), 1, "still one worker");
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_reconnect_after_poison() {
+        let train = vec![
+            SampleFeatures::extract(b"the velvet assembler executable body one"),
+            SampleFeatures::extract(b"the velvet assembler executable body two"),
+            SampleFeatures::extract(b"an openmalaria simulation binary payload"),
+        ];
+        let rs = Arc::new(ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into()],
+            &train,
+            &[0, 0, 1],
+            &FeatureKind::ALL,
+        ));
+
+        // The first accepted connection answers one request and drops; every
+        // later one serves normally. Counting accepts makes the reconnect
+        // observable from the worker's side of the wire.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        let shard = Arc::new(ShardWorker::all_classes(rs.clone()));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let accept_count = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                let n = accept_count.fetch_add(1, Ordering::SeqCst);
+                let shard = Arc::clone(&shard);
+                std::thread::spawn(move || {
+                    let limit = if n == 0 { Some(1) } else { None };
+                    let _ = shard.serve_requests(stream, "reconnect-count", limit);
+                });
+            }
+        });
+
+        let backend = RemoteBackend::connect(rs.clone(), &[Endpoint::Tcp(addr)]).expect("connect");
+        let indexed = BackendConfig::Indexed.build(rs.clone());
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"the velvet assembler concurrent redial probe",
+        ));
+        let mut expected = vec![0.0f64; rs.n_columns()];
+        indexed.max_scores_into(&query, &mut expected);
+
+        let mut row = vec![0.0f64; rs.n_columns()];
+        backend
+            .try_max_scores_into(&query, &mut row)
+            .expect("first query on the original connection");
+        assert_eq!(row, expected);
+
+        // The one-shot connection dropped after that answer; wait for the
+        // mux to notice the EOF and poison itself.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !backend.workers[0].is_poisoned() {
+            assert!(Instant::now() < deadline, "mux never noticed the EOF");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            1,
+            "only the first dial so far"
+        );
+
+        // Hit the poisoned worker from many threads at once. The re-dial
+        // happens under the worker's mux lock, so exactly one caller pays
+        // for it; the rest queue behind the lock and submit on the fresh
+        // connection it installed.
+        const CALLERS: usize = 8;
+        let barrier = std::sync::Barrier::new(CALLERS);
+        let rows: Vec<Vec<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let mut row = vec![0.0f64; rs.n_columns()];
+                        backend
+                            .try_max_scores_into(&query, &mut row)
+                            .expect("query during the shared reconnect");
+                        row
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("caller thread"))
+                .collect()
+        });
+
+        for row in &rows {
+            assert_eq!(row.len(), expected.len());
+            assert!(
+                row.iter()
+                    .zip(&expected)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "row is not byte-identical after the reconnect"
+            );
+        }
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            2,
+            "exactly one reconnect served the whole caller burst"
+        );
     }
 
     #[test]

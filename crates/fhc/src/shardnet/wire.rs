@@ -184,8 +184,24 @@ pub enum Frame {
     Shutdown,
 }
 
+/// Write a collection length as the `u32` count every cell/query list on
+/// the wire uses.
+fn put_len_u32(w: &mut ByteWriter, len: usize) {
+    // fhc-lint: allow(no_panic) -- a list of u32::MAX entries cannot reach the wire: at >= 4 bytes per entry it overflows MAX_FRAME_PAYLOAD (and the u32 frame length header) long before the count does, so every encodable frame converts
+    let len = u32::try_from(len).expect("list longer than u32::MAX entries");
+    w.put_u32(len);
+}
+
+/// Assemble a complete wire frame (header + payload + checksum) in memory.
+fn frame_bytes(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 13);
+    // fhc-lint: allow(no_panic) -- Write for Vec<u8> is infallible, so hpcutil::write_frame, which only fails through its writer, cannot fail here
+    hpcutil::write_frame(&mut frame, tag, payload).expect("writing to a Vec cannot fail");
+    frame
+}
+
 fn encode_cells(w: &mut ByteWriter, cells: &[(u32, f64)]) {
-    w.put_u32(u32::try_from(cells.len()).expect("row wider than u32::MAX cells"));
+    put_len_u32(w, cells.len());
     for &(column, score) in cells {
         w.put_u32(column);
         w.put_f64(score);
@@ -245,11 +261,12 @@ fn decode_class_list(r: &mut ByteReader<'_>, n_classes: usize) -> Result<Vec<usi
                 "class id {class} out of range (reference set has {n_classes} classes)"
             )));
         }
-        if classes.last().is_some_and(|&prev| prev >= class) {
-            return Err(CodecError::new(format!(
-                "class ids must be strictly increasing (got {class} after {})",
-                classes.last().expect("non-empty")
-            )));
+        if let Some(&prev) = classes.last() {
+            if prev >= class {
+                return Err(CodecError::new(format!(
+                    "class ids must be strictly increasing (got {class} after {prev})"
+                )));
+            }
         }
         classes.push(class);
     }
@@ -297,14 +314,14 @@ impl Frame {
             }
             Frame::ScoreBatchRequest(batch) => {
                 w.put_u64(batch.id);
-                w.put_u32(u32::try_from(batch.queries.len()).expect("batch larger than u32::MAX"));
+                put_len_u32(&mut w, batch.queries.len());
                 for query in &batch.queries {
                     encode_prepared_features(&mut w, query);
                 }
             }
             Frame::ScoreBatchResponse(batch) => {
                 w.put_u64(batch.id);
-                w.put_u32(u32::try_from(batch.rows.len()).expect("batch larger than u32::MAX"));
+                put_len_u32(&mut w, batch.rows.len());
                 for row in &batch.rows {
                     encode_cells(&mut w, row);
                 }
@@ -424,10 +441,7 @@ impl Frame {
     /// Encode this frame into a standalone byte buffer (header + payload +
     /// checksum), exactly as [`Frame::write_to`] puts it on the wire.
     pub fn to_wire_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
-        hpcutil::write_frame(&mut buf, self.tag(), &self.encode_payload())
-            .expect("writing to a Vec cannot fail");
-        buf
+        frame_bytes(self.tag(), &self.encode_payload())
     }
 }
 
@@ -449,10 +463,7 @@ pub fn score_request_bytes(id: u64, query: &PreparedSampleFeatures) -> Vec<u8> {
     let mut payload = ByteWriter::new();
     payload.put_u64(id);
     encode_prepared_features(&mut payload, query);
-    let mut frame = Vec::with_capacity(payload.len() + 13);
-    hpcutil::write_frame(&mut frame, TAG_SCORE_REQUEST, payload.as_bytes())
-        .expect("writing to a Vec cannot fail");
-    frame
+    frame_bytes(TAG_SCORE_REQUEST, payload.as_bytes())
 }
 
 /// Encode a [`ScoreBatchRequest`] into its complete wire bytes without
@@ -466,14 +477,11 @@ where
     let queries = queries.into_iter();
     let mut payload = ByteWriter::new();
     payload.put_u64(id);
-    payload.put_u32(u32::try_from(queries.len()).expect("batch larger than u32::MAX"));
+    put_len_u32(&mut payload, queries.len());
     for query in queries {
         encode_prepared_features(&mut payload, query);
     }
-    let mut frame = Vec::with_capacity(payload.len() + 13);
-    hpcutil::write_frame(&mut frame, TAG_SCORE_BATCH_REQUEST, payload.as_bytes())
-        .expect("writing to a Vec cannot fail");
-    frame
+    frame_bytes(TAG_SCORE_BATCH_REQUEST, payload.as_bytes())
 }
 
 /// How many dense partial rows fit in one [`ScoreBatchResponse`] frame for

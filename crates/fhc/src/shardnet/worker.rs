@@ -106,6 +106,7 @@ impl ShardWorker {
         self.reference
             .partial_row_cells(classes, query)
             .into_iter()
+            // fhc-lint: allow(no_panic) -- a column index needs n_classes * kinds > u32::MAX to overflow, far beyond any loadable reference set; truncating instead would corrupt rows silently
             .map(|(column, score)| (u32::try_from(column).expect("column index fits u32"), score))
             .collect()
     }
@@ -237,7 +238,7 @@ pub fn serve_tcp(worker: Arc<ShardWorker>, listener: TcpListener) {
                 // thread in write_all forever.
                 let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let worker = Arc::clone(&worker);
-                std::thread::spawn(move || {
+                super::spawn_detached("shardd-conn", move || {
                     if let Err(e) = worker.serve_connection(stream, &peer) {
                         eprintln!("fhc-shardd: connection with {peer} failed: {e}");
                     }
@@ -256,7 +257,7 @@ pub fn serve_unix(worker: Arc<ShardWorker>, listener: UnixListener) {
                 let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
                 let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
                 let worker = Arc::clone(&worker);
-                std::thread::spawn(move || {
+                super::spawn_detached("shardd-conn", move || {
                     if let Err(e) = worker.serve_connection(stream, "unix client") {
                         eprintln!("fhc-shardd: unix connection failed: {e}");
                     }

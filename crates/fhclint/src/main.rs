@@ -1,0 +1,137 @@
+//! fhc-lint CLI: walk the workspace (or explicit files) and report
+//! violations of the shardnet review checklist. `--deny` turns unwaived
+//! violations into a nonzero exit, which is how CI gates on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fhclint::{lint_source, rules_for_path, Report, RULES};
+
+const USAGE: &str = "usage: fhc-lint [--workspace] [--deny] [--list-rules] [paths...]
+
+  --workspace   lint every crate source under the workspace root (default
+                when no paths are given)
+  --deny        exit nonzero when any unwaived violation remains
+  --list-rules  print the rule catalog and exit
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fhc-lint: unknown flag {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    if list_rules {
+        for rule in &RULES {
+            println!("{:<3} {:<18} {}", rule.id, rule.name, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if workspace || paths.is_empty() {
+        let root = match workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("fhc-lint: could not locate the workspace root (no Cargo.toml with [workspace] above the current directory)");
+                return ExitCode::from(2);
+            }
+        };
+        match fhclint::lint_workspace(&root) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("fhc-lint: workspace walk failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut violations = Vec::new();
+        let mut files_scanned = 0usize;
+        for path in &paths {
+            let label = path.to_string_lossy().replace('\\', "/");
+            let src = match std::fs::read_to_string(path) {
+                Ok(src) => src,
+                Err(err) => {
+                    eprintln!("fhc-lint: cannot read {label}: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            if rules_for_path(&label).is_empty() {
+                continue;
+            }
+            files_scanned += 1;
+            violations.extend(lint_source(&label, &src).violations);
+        }
+        Report {
+            violations,
+            files_scanned,
+        }
+    };
+
+    for violation in &report.violations {
+        if violation.waived.is_none() {
+            println!("{violation}");
+        }
+    }
+    for violation in &report.violations {
+        if let Some(reason) = &violation.waived {
+            println!("{violation} (reason: {reason})");
+        }
+    }
+
+    println!();
+    println!(
+        "{:<3} {:<18} {:>10} {:>8}",
+        "id", "rule", "violations", "waived"
+    );
+    for (rule, open, waived) in report.per_rule() {
+        println!(
+            "{:<3} {:<18} {:>10} {:>8}",
+            rule.id, rule.name, open, waived
+        );
+    }
+    println!(
+        "\n{} file(s) scanned: {} violation(s), {} waiver(s)",
+        report.files_scanned,
+        report.unwaived_count(),
+        report.waived_count()
+    );
+
+    if deny && report.unwaived_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Nearest ancestor of the current directory whose Cargo.toml declares a
+/// `[workspace]` section.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

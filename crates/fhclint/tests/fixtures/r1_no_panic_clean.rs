@@ -1,0 +1,30 @@
+// Fixture: R1 no_panic — clean. Typed error returns, lock-poison recovery
+// via unwrap_or_else (allowed: it does not panic), and one waived panic
+// with a mandatory reason.
+
+fn handle_frame(buf: &[u8]) -> Result<u64, FrameError> {
+    if buf.len() < 8 {
+        return Err(FrameError::truncated(buf.len()));
+    }
+    let header = [
+        buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6], buf[7],
+    ];
+    Ok(u64::from_le_bytes(header))
+}
+
+fn lock_state(state: &Mutex<State>) -> MutexGuard<'_, State> {
+    state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn route(tag: u8) -> Result<&'static str, FrameError> {
+    match tag {
+        1 => Ok("score"),
+        2 => Ok("batch"),
+        other => Err(FrameError::unknown_tag(other)),
+    }
+}
+
+fn documented_infallible(scores: &Prepared) -> f64 {
+    // fhc-lint: allow(no_panic) -- documented contract: the infallible API panics on transport failure; callers wanting errors use try_score
+    scores.total.expect("transport verified by caller")
+}

@@ -1,0 +1,29 @@
+// Fixture: R1 no_panic — deliberately violating. Four panic paths in
+// non-test daemon code, plus proof that test code stays exempt.
+
+fn handle_frame(buf: &[u8]) -> u64 {
+    let header: [u8; 8] = buf[..8].try_into().unwrap();
+    u64::from_le_bytes(header)
+}
+
+fn route(tag: u8) -> &'static str {
+    match tag {
+        1 => "score",
+        2 => "batch",
+        0 => unreachable!("tag zero is reserved"),
+        _ => panic!("unknown tag {tag}"),
+    }
+}
+
+fn deadline(opts: &Options) -> Duration {
+    opts.reply_deadline.expect("stall implies a deadline")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_here() {
+        let v: Vec<u8> = encode().unwrap();
+        assert!(!v.is_empty());
+    }
+}

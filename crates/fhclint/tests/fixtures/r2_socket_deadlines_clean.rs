@@ -1,0 +1,22 @@
+// Fixture: R2 socket_deadlines — clean. Both deadlines set on every
+// accepted socket, in the same function that accepts it.
+
+fn serve_tcp(worker: Worker, listener: TcpListener) -> Result<(), NetError> {
+    for stream in listener.incoming() {
+        let stream = stream.map_err(NetError::accept)?;
+        stream.set_read_timeout(Some(IDLE_TIMEOUT)).map_err(NetError::socket)?;
+        stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(NetError::socket)?;
+        let shard = worker.clone();
+        handle(shard, stream)?;
+    }
+    Ok(())
+}
+
+fn serve_unix(worker: Worker, listener: UnixListener) -> Result<(), NetError> {
+    loop {
+        let (stream, _addr) = listener.accept().map_err(NetError::accept)?;
+        stream.set_read_timeout(Some(IDLE_TIMEOUT)).map_err(NetError::socket)?;
+        stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(NetError::socket)?;
+        handle(worker.clone(), stream)?;
+    }
+}

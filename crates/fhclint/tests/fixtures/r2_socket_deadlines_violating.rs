@@ -1,0 +1,14 @@
+// Fixture: R2 socket_deadlines — deliberately violating. The accept loop
+// sets a read deadline but forgets the write deadline, which is exactly the
+// stalled-writer bug class: a peer that stops draining its socket pins the
+// serving thread forever.
+
+fn serve_tcp(worker: Worker, listener: TcpListener) -> Result<(), NetError> {
+    for stream in listener.incoming() {
+        let stream = stream.map_err(NetError::accept)?;
+        stream.set_read_timeout(Some(IDLE_TIMEOUT)).map_err(NetError::socket)?;
+        let shard = worker.clone();
+        handle(shard, stream)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+// Fixture: R3 bounded_channels — clean. Bounded queues with explicit
+// depths; the oneshot reply channel is sync_channel(1) so a single send
+// can never block.
+
+const QUEUE_DEPTH: usize = 1024;
+
+fn start_pipeline() -> SyncSender<Job> {
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(QUEUE_DEPTH);
+    let (done_tx, done_rx) = mpsc::sync_channel(1);
+    run_consumer(job_rx, done_tx, done_rx);
+    job_tx
+}

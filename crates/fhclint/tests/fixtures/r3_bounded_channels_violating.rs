@@ -1,0 +1,10 @@
+// Fixture: R3 bounded_channels — deliberately violating. Two unbounded
+// queues in a daemon path: a slow consumer lets the producer grow the heap
+// without ever exerting backpressure (the gateway bug class fixed in PR 6).
+
+fn start_pipeline() -> Sender<Job> {
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (done_tx, done_rx) = channel();
+    run_consumer(job_rx, done_tx, done_rx);
+    job_tx
+}

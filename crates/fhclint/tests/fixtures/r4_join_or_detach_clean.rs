@@ -1,0 +1,36 @@
+// Fixture: R4 join_or_detach — clean. Handles are stored and joined,
+// returned to the caller, or carry an explicit detach waiver with a reason.
+
+struct Pipeline {
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn start_pipeline(n: usize, worker: Worker) -> Pipeline {
+    let mut workers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let w = worker.clone();
+        workers.push(std::thread::spawn(move || w.run()));
+    }
+    Pipeline { workers }
+}
+
+fn run_and_wait(worker: Worker) {
+    let handle = std::thread::spawn(move || worker.run());
+    let _ = handle.join();
+}
+
+fn run_inline(worker: Worker) {
+    let _ = std::thread::spawn(move || worker.run()).join();
+}
+
+fn hand_back(worker: Worker) -> JoinHandle<()> {
+    std::thread::spawn(move || worker.run())
+}
+
+fn serve_forever(listener: Listener, worker: Worker) {
+    for conn in listener.connections() {
+        let w = worker.clone();
+        // fhc-lint: allow(join_or_detach) -- per-connection serving thread; lifetime is bounded by the peer socket and the accept loop never returns
+        std::thread::spawn(move || w.serve(conn));
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: R4 join_or_detach — deliberately violating. Handles dropped on
+// the floor: nobody observes a worker panic, and shutdown can't wait for
+// in-flight work.
+
+fn start_background(worker: Worker) {
+    std::thread::spawn(move || worker.run());
+}
+
+fn start_named(worker: Worker) {
+    std::thread::Builder::new()
+        .name("shard-worker".to_string())
+        .spawn(move || worker.run())
+        .expect("spawn worker thread");
+}
+
+fn start_discarded(worker: Worker) {
+    let _ = std::thread::spawn(move || worker.run());
+}

@@ -1,0 +1,41 @@
+// Fixture: R5 codec_symmetry — clean. put_* and get_* sequences mirror
+// exactly, including inside the per-row loop.
+
+fn encode_header(w: &mut ByteWriter, h: &Header) {
+    w.put_u32(h.version);
+    w.put_usize(h.rows);
+    w.put_u64(h.checksum);
+    w.put_str(&h.label);
+}
+
+fn decode_header(r: &mut ByteReader<'_>) -> Result<Header, CodecError> {
+    let version = r.get_u32()?;
+    let rows = r.get_usize()?;
+    let checksum = r.get_u64()?;
+    let label = r.get_str()?;
+    Ok(Header {
+        version,
+        rows,
+        checksum,
+        label,
+    })
+}
+
+fn encode_rows(w: &mut ByteWriter, rows: &[Row]) {
+    w.put_usize(rows.len());
+    for row in rows {
+        w.put_u32(row.id);
+        w.put_f64(row.score);
+    }
+}
+
+fn decode_rows(r: &mut ByteReader<'_>) -> Result<Vec<Row>, CodecError> {
+    let n = r.get_usize()?;
+    let mut rows = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let id = r.get_u32()?;
+        let score = r.get_f64()?;
+        rows.push(Row { id, score });
+    }
+    Ok(rows)
+}

@@ -1,0 +1,23 @@
+// Fixture: R5 codec_symmetry — deliberately violating. The decoder reads
+// the checksum before the row count: classic wire-format drift that only a
+// cross-version corpus test would otherwise catch.
+
+fn encode_header(w: &mut ByteWriter, h: &Header) {
+    w.put_u32(h.version);
+    w.put_usize(h.rows);
+    w.put_u64(h.checksum);
+    w.put_str(&h.label);
+}
+
+fn decode_header(r: &mut ByteReader<'_>) -> Result<Header, CodecError> {
+    let version = r.get_u32()?;
+    let checksum = r.get_u64()?;
+    let rows = r.get_usize()?;
+    let label = r.get_str()?;
+    Ok(Header {
+        version,
+        rows,
+        checksum,
+        label,
+    })
+}

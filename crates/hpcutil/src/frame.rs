@@ -89,7 +89,7 @@ pub fn read_frame<R: Read + ?Sized>(
     let mut header = [0u8; 5];
     r.read_exact(&mut header)?;
     let tag = header[0];
-    let len = u32::from_le_bytes(header[1..5].try_into().expect("fixed-size slice")) as usize;
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
     if len > max_payload {
         return Err(FrameError::Malformed(format!(
             "frame payload of {len} bytes exceeds the {max_payload}-byte limit"

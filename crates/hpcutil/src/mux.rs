@@ -37,7 +37,7 @@
 use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -135,7 +135,7 @@ impl Default for MuxOptions {
 /// Book-keeping protected by one short-lived lock: requests awaiting a
 /// reply, requests whose caller gave up, and the sticky first error.
 struct MuxState<R> {
-    pending: HashMap<u64, (Instant, Sender<Result<R, MuxError>>)>,
+    pending: HashMap<u64, (Instant, SyncSender<Result<R, MuxError>>)>,
     /// Ids whose [`PendingReply`] was dropped before the reply arrived; a
     /// late reply for one of these is discarded instead of treated as a
     /// protocol violation.
@@ -180,7 +180,7 @@ impl<R> Shared<R> {
     /// correlation ids cannot be trusted.
     fn deliver(&self, id: u64, reply: R) -> bool {
         enum Route<R> {
-            Waiter(Sender<Result<R, MuxError>>),
+            Waiter(SyncSender<Result<R, MuxError>>),
             Abandoned,
             Unknown,
         }
@@ -228,9 +228,15 @@ impl<R> Shared<R> {
 /// requests with [`MuxErrorKind::Closed`], and joins both I/O threads.
 pub struct Mux<R> {
     shared: Arc<Shared<R>>,
-    write_tx: Option<Sender<Vec<u8>>>,
+    write_tx: Option<SyncSender<Vec<u8>>>,
     threads: Vec<JoinHandle<()>>,
 }
+
+/// Bound on the writer thread's frame queue. A peer (or network) that stops
+/// draining writes eventually blocks submitters here instead of letting the
+/// queue grow without limit; the socket write deadline then converts a hard
+/// stall into a poison, which unblocks everyone with a typed error.
+const WRITE_QUEUE_DEPTH: usize = 1024;
 
 impl<R> std::fmt::Debug for Mux<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -254,6 +260,9 @@ impl<R: Send + 'static> Mux<R> {
     /// `closer` must unblock a thread stuck in `read`/`write` on the same
     /// stream (for sockets: `shutdown`); it is called at most once, on
     /// poison or drop, and must be idempotent-safe.
+    ///
+    /// Fails with [`MuxErrorKind::Io`] if an I/O thread cannot be spawned
+    /// (resource exhaustion); the half-started mux is torn down cleanly.
     pub fn spawn<D>(
         peer: impl Into<String>,
         reader: Box<dyn Read + Send>,
@@ -261,7 +270,7 @@ impl<R: Send + 'static> Mux<R> {
         closer: Box<dyn Fn() + Send + Sync>,
         options: MuxOptions,
         decode: D,
-    ) -> Self
+    ) -> Result<Self, MuxError>
     where
         D: Fn(u8, Vec<u8>) -> Result<(u64, R), MuxError> + Send + 'static,
     {
@@ -275,24 +284,40 @@ impl<R: Send + 'static> Mux<R> {
             closed: AtomicBool::new(false),
             peer: peer.into(),
         });
-        let (write_tx, write_rx) = channel::<Vec<u8>>();
+        let (write_tx, write_rx) = sync_channel::<Vec<u8>>(WRITE_QUEUE_DEPTH);
         let writer_shared = Arc::clone(&shared);
         let reader_shared = Arc::clone(&shared);
-        let threads = vec![
-            std::thread::Builder::new()
-                .name("mux-writer".into())
-                .spawn(move || writer_loop(writer, &write_rx, &writer_shared))
-                .expect("spawning the mux writer thread"),
-            std::thread::Builder::new()
-                .name("mux-reader".into())
-                .spawn(move || reader_loop(reader, &reader_shared, &decode, options))
-                .expect("spawning the mux reader thread"),
-        ];
-        Self {
+        let writer_thread = std::thread::Builder::new()
+            .name("mux-writer".into())
+            .spawn(move || writer_loop(writer, &write_rx, &writer_shared))
+            .map_err(|e| {
+                MuxError::new(MuxErrorKind::Io, format!("spawning the mux writer: {e}"))
+            })?;
+        let reader_thread = match std::thread::Builder::new()
+            .name("mux-reader".into())
+            .spawn(move || reader_loop(reader, &reader_shared, &decode, options))
+        {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Unwind the half-started mux: closing the queue stops the
+                // writer, the closer hook releases the stream.
+                drop(write_tx);
+                shared.poison(MuxError::new(
+                    MuxErrorKind::Closed,
+                    "mux spawn aborted before the reader thread started",
+                ));
+                let _ = writer_thread.join();
+                return Err(MuxError::new(
+                    MuxErrorKind::Io,
+                    format!("spawning the mux reader: {e}"),
+                ));
+            }
+        };
+        Ok(Self {
             shared,
             write_tx: Some(write_tx),
-            threads,
-        }
+            threads: vec![writer_thread, reader_thread],
+        })
     }
 
     /// Queue one pre-encoded request frame for writing and register `id`
@@ -303,7 +328,9 @@ impl<R: Send + 'static> Mux<R> {
     /// `id` must be unique among this mux's in-flight requests — the
     /// natural source is a per-connection or shared atomic counter.
     pub fn submit(&self, id: u64, frame_bytes: Vec<u8>) -> PendingReply<R> {
-        let (tx, rx) = channel();
+        // Oneshot: exactly one of deliver/poison ever sends, so capacity 1
+        // means the sender can never block.
+        let (tx, rx) = sync_channel(1);
         let pending = PendingReply {
             rx,
             id,
@@ -319,10 +346,13 @@ impl<R: Send + 'static> Mux<R> {
             let prev = st.pending.insert(id, (Instant::now(), tx));
             debug_assert!(prev.is_none(), "duplicate in-flight request id {id}");
         }
-        let sender = self
-            .write_tx
-            .as_ref()
-            .expect("write queue lives until drop");
+        // The queue exists from construction until drop; mid-drop, fail the
+        // request the same way a dead writer thread would.
+        let Some(sender) = self.write_tx.as_ref() else {
+            self.shared
+                .poison(MuxError::new(MuxErrorKind::Closed, "writer thread is gone"));
+            return pending;
+        };
         if sender.send(frame_bytes).is_err() {
             // The writer thread poisons before exiting, so this is already
             // (or is about to be) reflected in the pending map; make sure
@@ -436,7 +466,7 @@ fn frame_extent(buf: &[u8], max_payload: usize) -> Result<Option<usize>, MuxErro
     if buf.len() < HEADER_LEN {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(buf[1..5].try_into().expect("fixed-size slice")) as usize;
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
     if len > max_payload {
         return Err(MuxError::new(
             MuxErrorKind::Frame,
@@ -502,13 +532,14 @@ fn reader_loop<R>(
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.has_stalled(options.reply_deadline) {
-                    let deadline = options.reply_deadline.expect("stall implies a deadline");
-                    shared.poison(MuxError::new(
-                        MuxErrorKind::Stalled,
-                        format!("no reply within {deadline:?}"),
-                    ));
-                    return;
+                if let Some(deadline) = options.reply_deadline {
+                    if shared.has_stalled(Some(deadline)) {
+                        shared.poison(MuxError::new(
+                            MuxErrorKind::Stalled,
+                            format!("no reply within {deadline:?}"),
+                        ));
+                        return;
+                    }
                 }
             }
             Err(e) => {
@@ -563,6 +594,7 @@ mod tests {
                 Ok((id, (tag, payload)))
             },
         )
+        .expect("spawn mux threads")
     }
 
     fn request_bytes(tag: u8, id: u64, body: &[u8]) -> Vec<u8> {

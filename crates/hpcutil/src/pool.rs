@@ -16,11 +16,16 @@
 //! a job can never deadlock the pool by recursively fanning out into it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Bound on the shared job queue. Submitting past this depth blocks the
+/// producer until a worker drains a slot, so a stalled pool exerts
+/// backpressure instead of growing the heap without limit.
+const JOB_QUEUE_DEPTH: usize = 1024;
 
 /// A fixed-size pool of persistent worker threads consuming jobs from a
 /// shared queue.
@@ -29,7 +34,7 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// through [`WorkerPool::run_indexed`] with the shared state wrapped in
 /// `Arc`s. Dropping the pool closes the queue and joins every worker.
 pub struct WorkerPool {
-    sender: Option<Sender<Job>>,
+    sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -53,7 +58,7 @@ impl WorkerPool {
         } else {
             threads
         };
-        let (sender, receiver) = channel::<Job>();
+        let (sender, receiver) = sync_channel::<Job>(JOB_QUEUE_DEPTH);
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..threads)
             .map(|_| {
@@ -72,13 +77,17 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Enqueue one fire-and-forget job. Any idle worker picks it up.
+    /// Enqueue one fire-and-forget job. Any idle worker picks it up. Blocks
+    /// when the queue is at its bound (`JOB_QUEUE_DEPTH`, 1024) until a
+    /// worker frees a slot.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        self.sender
-            .as_ref()
-            .expect("pool sender lives until drop")
-            .send(Box::new(job))
-            .expect("pool workers live until drop");
+        // The sender exists from construction until drop, and the workers
+        // only stop receiving once it is dropped; if either invariant is
+        // mid-teardown the job is dropped rather than panicking the caller.
+        let Some(sender) = self.sender.as_ref() else {
+            return;
+        };
+        let _ = sender.send(Box::new(job));
     }
 
     /// Run `f(0..n)` across the pool and collect the results in index order,
@@ -104,7 +113,9 @@ impl WorkerPool {
             return (0..n).map(f).collect();
         }
         let f = Arc::new(f);
-        let (tx, rx) = channel::<(usize, R)>();
+        // Capacity n: every job sends exactly once, so no sender ever blocks
+        // even if the gatherer is slow to drain.
+        let (tx, rx) = sync_channel::<(usize, R)>(n);
         for i in 0..n {
             let f = Arc::clone(&f);
             let tx = tx.clone();
@@ -123,10 +134,11 @@ impl WorkerPool {
             received += 1;
         }
         assert_eq!(received, n, "a worker pool job panicked");
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every index produced exactly one result"))
-            .collect()
+        // Each job sends its own distinct index exactly once, so n receipts
+        // fill every slot; flatten is exact, not lossy.
+        let results: Vec<R> = slots.into_iter().flatten().collect();
+        debug_assert_eq!(results.len(), n);
+        results
     }
 }
 
@@ -178,7 +190,7 @@ mod tests {
     fn submit_runs_fire_and_forget_jobs() {
         let pool = WorkerPool::new(2);
         let counter = Arc::new(AtomicUsize::new(0));
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(10);
         for _ in 0..10 {
             let counter = Arc::clone(&counter);
             let tx = tx.clone();
