@@ -17,8 +17,8 @@ use fhc::serving::Prediction;
 use fhc::shardnet::wire::{self, Frame};
 use fhc::shardnet::worker::serve_tcp;
 use fhc::shardnet::{
-    gateway, Endpoint, Gateway, GatewayBackend, GatewayOptions, RemoteBackend, ShardWorker,
-    Transport,
+    gateway, Endpoint, FleetBackend, FleetShard, FleetTopology, Gateway, GatewayBackend,
+    GatewayOptions, RemoteBackend, ShardWorker, Transport,
 };
 use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
 use fhc_bench::{bench_config, bench_corpus};
@@ -433,6 +433,70 @@ fn bench_classify_batch(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The fleet tier's hedged requests vs a plain fleet, with one slow
+    // worker in both: shard 0's primary sits behind a simulated 10ms slow
+    // link, shard 1 is healthy. The unhedged fleet pays the slow link on
+    // every batch; the hedged fleet fires shard 0's loopback replica after
+    // the rolling-percentile deadline, so the slow primary stops defining
+    // the tail after the first few requests.
+    let slow = std::time::Duration::from_millis(10);
+    let parts = round_robin_partition(reference.n_classes(), 2);
+    let spawn_part = |classes: Vec<usize>| -> Endpoint {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+        let worker =
+            Arc::new(ShardWorker::new(reference.clone(), classes).expect("valid partition"));
+        std::thread::spawn(move || serve_tcp(worker, listener));
+        endpoint
+    };
+    let slow_primary = delayed_link(spawn_part(parts[0].clone()), slow);
+    let fast_replica = spawn_part(parts[0].clone());
+    let steady = spawn_part(parts[1].clone());
+    let hedged = FleetBackend::connect(
+        reference.clone(),
+        FleetTopology {
+            shards: vec![
+                FleetShard {
+                    primary: slow_primary.clone(),
+                    replicas: vec![fast_replica],
+                },
+                FleetShard::solo(steady.clone()),
+            ],
+        },
+    )
+    .expect("hedged fleet connects");
+    let unhedged = FleetBackend::connect(
+        reference.clone(),
+        FleetTopology {
+            shards: vec![FleetShard::solo(slow_primary), FleetShard::solo(steady)],
+        },
+    )
+    .expect("unhedged fleet connects");
+    let fleet_probes = &probes[..8];
+
+    let mut group = c.benchmark_group("serving/fleet");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fleet_probes.len() as u64));
+    group.bench_function("rows_unhedged_slow_primary", |b| {
+        b.iter(|| {
+            black_box(
+                unhedged
+                    .try_feature_rows_prepared(fleet_probes)
+                    .expect("fleet alive"),
+            )
+        })
+    });
+    group.bench_function("rows_hedged_slow_primary", |b| {
+        b.iter(|| {
+            black_box(
+                hedged
+                    .try_feature_rows_prepared(fleet_probes)
+                    .expect("fleet alive"),
+            )
+        })
+    });
     group.finish();
 
     // Artifact round trip: the cost of loading a model into a new process.

@@ -375,6 +375,256 @@ fn codec_err(e: CodecError) -> FhcError {
     FhcError::Artifact(e.to_string())
 }
 
+/// Magic prefix of a reference-set slice container
+/// ([`ReferenceSet::encode_slice`]).
+const SLICE_MAGIC: u64 = u64::from_le_bytes(*b"FHCSLICE");
+
+impl ReferenceSet {
+    /// Encode the reference samples of `classes` as one self-contained,
+    /// checksummed *slice*: a per-class sub-artifact in the version-3
+    /// prepared encoding, small enough to ship over the wire as a
+    /// [`PushSlice`](crate::shardnet::wire::PushSlice) frame.
+    ///
+    /// Every slice carries the full-set geometry — active kinds, *all*
+    /// class names, and the full set's [`ReferenceSet::fingerprint`] — plus
+    /// the prepared samples of its own classes only. Any subset of a set's
+    /// slices therefore reassembles (via [`ReferenceSet::from_slices`])
+    /// into a sparse set with the full column layout, which is what lets a
+    /// diskless shard worker serve its partition with slice-sized memory.
+    ///
+    /// `classes` must be non-empty, in range, and duplicate-free.
+    pub fn encode_slice(&self, classes: &[usize]) -> Result<Vec<u8>, FhcError> {
+        if classes.is_empty() {
+            return Err(FhcError::Artifact(
+                "a reference slice needs at least one class".into(),
+            ));
+        }
+        let mut sorted = classes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != classes.len() {
+            return Err(FhcError::Artifact(
+                "a reference slice cannot list a class twice".into(),
+            ));
+        }
+        if let Some(&bad) = sorted.iter().find(|&&c| c >= self.n_classes()) {
+            return Err(FhcError::Artifact(format!(
+                "slice class id {bad} out of range: the reference set has {} classes",
+                self.n_classes()
+            )));
+        }
+
+        let mut w = ByteWriter::new();
+        w.put_u64(self.fingerprint());
+        let kinds = self.kinds();
+        w.put_usize(kinds.len());
+        for &kind in kinds {
+            w.put_u8(encode_kind(kind));
+        }
+        w.put_usize(self.n_classes());
+        for name in self.class_names() {
+            w.put_str(name);
+        }
+        w.put_usize(sorted.len());
+        for &class in &sorted {
+            let samples = self.prepared_class_features(class);
+            w.put_usize(class);
+            w.put_usize(samples.len());
+            for features in samples {
+                encode_prepared_features(&mut w, features);
+            }
+        }
+        let payload = w.into_bytes();
+
+        let mut out = ByteWriter::new();
+        out.put_u64(SLICE_MAGIC);
+        out.put_u32(FORMAT_VERSION);
+        out.put_bytes(&payload);
+        out.put_u64(fnv1a64(&payload));
+        Ok(out.into_bytes())
+    }
+
+    /// Reassemble slices produced by [`ReferenceSet::encode_slice`] into a
+    /// reference set, returning it with the *declared* full-set fingerprint
+    /// every slice carried.
+    ///
+    /// Each slice is checksum-verified on its own; across slices the
+    /// declared fingerprint, active kinds, and class names must agree, and
+    /// no class may arrive twice. Classes no slice covers stay empty — the
+    /// set keeps the full column geometry but scores only what it holds,
+    /// exactly the sparse state a shard worker serving a partition needs.
+    /// If the slices happen to cover *every* class, the reassembled set's
+    /// own fingerprint is recomputed and must equal the declared one; a
+    /// partial set cannot be re-fingerprinted (the fingerprint walks every
+    /// sample), so there the declared value is trusted and integrity rides
+    /// on the per-slice checksums.
+    pub fn from_slices(slices: &[Vec<u8>]) -> Result<(Self, u64), FhcError> {
+        let first = decode_slice(slices.first().ok_or_else(|| {
+            FhcError::Artifact("cannot assemble a reference set from zero slices".into())
+        })?)?;
+        let mut prepared_by_class: Vec<Vec<PreparedSampleFeatures>> =
+            vec![Vec::new(); first.class_names.len()];
+        for slice in slices.iter().skip(1).map(|s| decode_slice(s)) {
+            let slice = slice?;
+            if slice.fingerprint != first.fingerprint {
+                return Err(FhcError::Artifact(format!(
+                    "slice fingerprint mismatch: {:#018x} vs {:#018x} — \
+                     the slices come from different reference sets",
+                    slice.fingerprint, first.fingerprint
+                )));
+            }
+            if slice.kinds != first.kinds || slice.class_names != first.class_names {
+                return Err(FhcError::Artifact(
+                    "slice geometry mismatch: kinds or class names differ across slices".into(),
+                ));
+            }
+            merge_slice_classes(&mut prepared_by_class, slice.owned)?;
+        }
+        merge_slice_classes(&mut prepared_by_class, first.owned)?;
+
+        let full = prepared_by_class.iter().all(|samples| !samples.is_empty());
+        let set =
+            ReferenceSet::from_prepared_parts(first.class_names, prepared_by_class, first.kinds);
+        if full {
+            let actual = set.fingerprint();
+            if actual != first.fingerprint {
+                return Err(FhcError::Artifact(format!(
+                    "reassembled reference set fingerprints to {actual:#018x}, \
+                     but the slices declared {:#018x}",
+                    first.fingerprint
+                )));
+            }
+        }
+        Ok((set, first.fingerprint))
+    }
+}
+
+/// One decoded slice container, pre-merge.
+struct DecodedSlice {
+    fingerprint: u64,
+    kinds: Vec<FeatureKind>,
+    class_names: Vec<String>,
+    /// `(class id, prepared samples)` for each class the slice owns.
+    owned: Vec<(usize, Vec<PreparedSampleFeatures>)>,
+}
+
+/// Place each owned class of a slice into the assembly, rejecting a class
+/// that two slices both claim.
+fn merge_slice_classes(
+    prepared_by_class: &mut [Vec<PreparedSampleFeatures>],
+    owned: Vec<(usize, Vec<PreparedSampleFeatures>)>,
+) -> Result<(), FhcError> {
+    for (class, samples) in owned {
+        let cell = &mut prepared_by_class[class];
+        if !cell.is_empty() {
+            return Err(FhcError::Artifact(format!(
+                "class {class} arrives in more than one slice"
+            )));
+        }
+        *cell = samples;
+    }
+    Ok(())
+}
+
+/// Validate a slice container (magic, version, checksum) and decode its
+/// payload.
+fn decode_slice(bytes: &[u8]) -> Result<DecodedSlice, FhcError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_u64().map_err(codec_err)?;
+    if magic != SLICE_MAGIC {
+        return Err(FhcError::Artifact(format!(
+            "bad magic {magic:#018x}: not a reference-set slice"
+        )));
+    }
+    let version = r.get_u32().map_err(codec_err)?;
+    if version != FORMAT_VERSION {
+        return Err(FhcError::Artifact(format!(
+            "unsupported slice format version {version} (this build writes {FORMAT_VERSION})"
+        )));
+    }
+    let payload = r.get_bytes().map_err(codec_err)?;
+    let checksum = r.get_u64().map_err(codec_err)?;
+    r.expect_end().map_err(codec_err)?;
+    let actual = fnv1a64(&payload);
+    if checksum != actual {
+        return Err(FhcError::Artifact(format!(
+            "slice checksum mismatch (stored {checksum:#018x}, computed {actual:#018x})"
+        )));
+    }
+    decode_slice_payload(&payload).map_err(codec_err)
+}
+
+fn decode_slice_payload(payload: &[u8]) -> Result<DecodedSlice, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let fingerprint = r.get_u64()?;
+    let n_kinds = r.get_usize()?;
+    if n_kinds == 0 || n_kinds > FeatureKind::ALL.len() {
+        return Err(CodecError::new(format!(
+            "invalid feature kind count {n_kinds}"
+        )));
+    }
+    let mut kinds = Vec::with_capacity(n_kinds);
+    for _ in 0..n_kinds {
+        kinds.push(decode_kind(r.get_u8()?)?);
+    }
+    let n_classes = r.get_usize()?;
+    if n_classes == 0 {
+        return Err(CodecError::new("slice declares zero classes"));
+    }
+    // Every class name costs at least its 4-byte length prefix, so the
+    // count is validated against the remaining payload before allocating.
+    if r.remaining() < n_classes.saturating_mul(4) {
+        return Err(CodecError::new(format!(
+            "slice claims {n_classes} classes but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut class_names = Vec::with_capacity(n_classes);
+    for _ in 0..n_classes {
+        class_names.push(r.get_str()?);
+    }
+    let n_owned = r.get_usize()?;
+    if n_owned == 0 || n_owned > n_classes {
+        return Err(CodecError::new(format!(
+            "slice owns {n_owned} of {n_classes} classes"
+        )));
+    }
+    let mut owned = Vec::with_capacity(n_owned);
+    for _ in 0..n_owned {
+        let class = r.get_usize()?;
+        if class >= n_classes {
+            return Err(CodecError::new(format!(
+                "slice owns class {class}, but only {n_classes} classes exist"
+            )));
+        }
+        let n_samples = r.get_usize()?;
+        if n_samples == 0 {
+            return Err(CodecError::new(format!(
+                "slice owns class {class} with zero reference samples"
+            )));
+        }
+        // Every prepared sample costs at least one byte.
+        if r.remaining() < n_samples {
+            return Err(CodecError::new(format!(
+                "class {class} claims {n_samples} samples but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            samples.push(decode_prepared_features(&mut r, FORMAT_VERSION)?);
+        }
+        owned.push((class, samples));
+    }
+    r.expect_end()?;
+    Ok(DecodedSlice {
+        fingerprint,
+        kinds,
+        class_names,
+        owned,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +671,105 @@ mod tests {
             let bytes = corpus.generate_bytes(spec);
             assert_eq!(restored.classify(&bytes), original.classify(&bytes));
         }
+    }
+
+    fn slice_reference() -> ReferenceSet {
+        use crate::features::SampleFeatures;
+        let train = vec![
+            SampleFeatures::extract(b"velvet assembler body sample number one"),
+            SampleFeatures::extract(b"velvet assembler body sample number two"),
+            SampleFeatures::extract(b"openmalaria epidemic simulation payload"),
+            SampleFeatures::extract(b"gromacs molecular dynamics trajectory"),
+        ];
+        ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into(), "Gromacs".into()],
+            &train,
+            &[0, 0, 1, 2],
+            &crate::features::FeatureKind::ALL,
+        )
+    }
+
+    #[test]
+    fn per_class_slices_reassemble_into_an_identical_full_set() {
+        let original = slice_reference();
+        let slices: Vec<Vec<u8>> = (0..original.n_classes())
+            .map(|class| original.encode_slice(&[class]).expect("slice encodes"))
+            .collect();
+        let (rebuilt, declared) = ReferenceSet::from_slices(&slices).expect("slices assemble");
+        assert_eq!(declared, original.fingerprint());
+        // Full coverage: the reassembled set re-fingerprints identically.
+        assert_eq!(rebuilt.fingerprint(), original.fingerprint());
+        assert_eq!(rebuilt.class_names(), original.class_names());
+        let query = crate::features::PreparedSampleFeatures::prepare(
+            &crate::features::SampleFeatures::extract(b"an unknown probe body"),
+        );
+        assert_eq!(
+            rebuilt.feature_vector_prepared(&query),
+            original.feature_vector_prepared(&query)
+        );
+    }
+
+    #[test]
+    fn a_partial_slice_set_keeps_full_geometry_and_scores_only_its_classes() {
+        let original = slice_reference();
+        let slice = original.encode_slice(&[1]).expect("slice encodes");
+        let (sparse, declared) = ReferenceSet::from_slices(&[slice]).expect("one slice assembles");
+        assert_eq!(declared, original.fingerprint());
+        assert_eq!(sparse.n_classes(), original.n_classes());
+        assert_eq!(sparse.n_columns(), original.n_columns());
+        assert!(!sparse.prepared_class_features(1).is_empty());
+        assert!(sparse.prepared_class_features(0).is_empty());
+        assert!(sparse.prepared_class_features(2).is_empty());
+        // The owned class scores exactly as the full set does.
+        let query = crate::features::PreparedSampleFeatures::prepare(
+            &crate::features::SampleFeatures::extract(b"openmalaria-like probe"),
+        );
+        let full_row = original.feature_vector_prepared(&query);
+        let sparse_row = sparse.feature_vector_prepared(&query);
+        let kinds = original.kinds().len();
+        for k in 0..kinds {
+            assert_eq!(
+                sparse_row[kinds + k],
+                full_row[kinds + k],
+                "class 1 column {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_and_mismatched_slices_are_rejected() {
+        let original = slice_reference();
+
+        // Argument validation.
+        assert!(original.encode_slice(&[]).is_err());
+        assert!(original.encode_slice(&[0, 0]).is_err());
+        assert!(original.encode_slice(&[99]).is_err());
+        assert!(ReferenceSet::from_slices(&[]).is_err());
+
+        // The same class arriving twice.
+        let slice = original.encode_slice(&[0]).expect("slice encodes");
+        assert!(ReferenceSet::from_slices(&[slice.clone(), slice.clone()]).is_err());
+
+        // A corrupted byte trips the per-slice checksum.
+        let mut corrupt = slice.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(ReferenceSet::from_slices(&[corrupt]).is_err());
+
+        // Slices from a different reference set (different fingerprint).
+        use crate::features::SampleFeatures;
+        let other = ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into(), "Gromacs".into()],
+            &[
+                SampleFeatures::extract(b"a completely different training corpus"),
+                SampleFeatures::extract(b"with different bytes in every sample"),
+                SampleFeatures::extract(b"and therefore a different fingerprint"),
+            ],
+            &[0, 1, 2],
+            &crate::features::FeatureKind::ALL,
+        );
+        let foreign = other.encode_slice(&[1]).expect("slice encodes");
+        assert!(ReferenceSet::from_slices(&[slice, foreign]).is_err());
     }
 
     /// Re-encode a classifier in the retired version-1 layout (original

@@ -56,7 +56,7 @@
 
 use crate::error::FhcError;
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
-use crate::shardnet::{Endpoint, GatewayBackend, RemoteBackend};
+use crate::shardnet::{Endpoint, FleetBackend, FleetTopology, GatewayBackend, RemoteBackend};
 use crate::similarity::ReferenceSet;
 use hpcutil::{in_parallel_worker, par_map_indexed, ParallelConfig, WorkerPool};
 use std::sync::Arc;
@@ -398,6 +398,12 @@ pub enum BackendConfig {
         /// The gateway endpoint to score through.
         endpoint: Endpoint,
     },
+    /// A self-healing shard fleet with replicas, hedged requests, and
+    /// reference push ([`FleetBackend`]).
+    Fleet {
+        /// The declared topology: shards and their replicas.
+        topology: FleetTopology,
+    },
 }
 
 impl BackendConfig {
@@ -424,6 +430,9 @@ impl BackendConfig {
             ),
             BackendConfig::Gateway { endpoint } => AnyBackend::Gateway(
                 GatewayBackend::connect(reference, endpoint).map_err(FhcError::Net)?,
+            ),
+            BackendConfig::Fleet { topology } => AnyBackend::Fleet(
+                FleetBackend::connect(reference, topology.clone()).map_err(FhcError::Net)?,
             ),
         })
     }
@@ -455,6 +464,7 @@ impl std::fmt::Display for BackendConfig {
                 f.write_str(")")
             }
             BackendConfig::Gateway { endpoint } => write!(f, "gateway({endpoint})"),
+            BackendConfig::Fleet { topology } => write!(f, "fleet({topology})"),
         }
     }
 }
@@ -493,9 +503,14 @@ impl std::str::FromStr for BackendConfig {
             let endpoint = spec.trim().parse::<Endpoint>()?;
             return Ok(BackendConfig::Gateway { endpoint });
         }
+        if let Some(spec) = s.strip_prefix("fleet:") {
+            let topology = spec.trim().parse::<FleetTopology>()?;
+            return Ok(BackendConfig::Fleet { topology });
+        }
         Err(format!(
             "unknown backend {s:?}: expected scan, indexed, sharded[:N], \
-             remote:EP[,EP...], or gateway:EP"
+             remote:EP[,EP...], gateway:EP, or \
+             fleet:EP[;replica=EP[,EP...]][;EP...]"
         ))
     }
 }
@@ -516,6 +531,8 @@ pub enum AnyBackend {
     Remote(RemoteBackend),
     /// Remote scoring through an `fhc-gateway` front door.
     Gateway(GatewayBackend),
+    /// A self-healing, replicated shard fleet.
+    Fleet(FleetBackend),
 }
 
 impl AnyBackend {
@@ -533,6 +550,9 @@ impl AnyBackend {
             AnyBackend::Gateway(b) => BackendConfig::Gateway {
                 endpoint: b.endpoint().clone(),
             },
+            AnyBackend::Fleet(b) => BackendConfig::Fleet {
+                topology: b.topology(),
+            },
         }
     }
 
@@ -540,7 +560,10 @@ impl AnyBackend {
     /// changes the wire shape: a whole batch travels in few
     /// `ScoreBatchRequest` frames instead of one round trip per query.
     pub fn scores_batches_remotely(&self) -> bool {
-        matches!(self, AnyBackend::Remote(_) | AnyBackend::Gateway(_))
+        matches!(
+            self,
+            AnyBackend::Remote(_) | AnyBackend::Gateway(_) | AnyBackend::Fleet(_)
+        )
     }
 
     /// Compute one dense similarity row per query, in query order.
@@ -557,6 +580,7 @@ impl AnyBackend {
         match self {
             AnyBackend::Remote(b) => Ok(b.try_feature_rows_prepared(queries)?),
             AnyBackend::Gateway(b) => Ok(b.try_feature_rows_prepared(queries)?),
+            AnyBackend::Fleet(b) => Ok(b.try_feature_rows_prepared(queries)?),
             _ => queries
                 .iter()
                 .map(|q| self.try_feature_vector_prepared(q))
@@ -573,6 +597,7 @@ impl AnyBackend {
             AnyBackend::Sharded(b) => b,
             AnyBackend::Remote(b) => b,
             AnyBackend::Gateway(b) => b,
+            AnyBackend::Fleet(b) => b,
         }
     }
 }
@@ -820,6 +845,13 @@ mod tests {
             .to_string(),
             "remote(tcp:127.0.0.1:9000,unix:/tmp/fhc.sock)"
         );
+        assert_eq!(
+            BackendConfig::Fleet {
+                topology: "h1:9000;replica=h1:9100;h2:9000".parse().unwrap(),
+            }
+            .to_string(),
+            "fleet(tcp:h1:9000;replica=tcp:h1:9100;tcp:h2:9000)"
+        );
         assert_eq!(BackendConfig::default(), BackendConfig::Indexed);
     }
 
@@ -850,23 +882,51 @@ mod tests {
                 Endpoint::Unix("/tmp/w.sock".into()),
             ])
         );
+        assert_eq!(
+            "fleet:127.0.0.1:9000;replica=127.0.0.1:9100;unix:/tmp/w.sock"
+                .parse::<BackendConfig>()
+                .unwrap(),
+            BackendConfig::Fleet {
+                topology: FleetTopology {
+                    shards: vec![
+                        crate::shardnet::FleetShard {
+                            primary: Endpoint::Tcp("127.0.0.1:9000".into()),
+                            replicas: vec![Endpoint::Tcp("127.0.0.1:9100".into())],
+                        },
+                        crate::shardnet::FleetShard::solo(Endpoint::Unix("/tmp/w.sock".into())),
+                    ],
+                },
+            }
+        );
         // Display forms reparse to the same configuration.
         for config in [
             BackendConfig::Scan,
             BackendConfig::Indexed,
             BackendConfig::Sharded { shards: 4 },
             BackendConfig::remote([Endpoint::Tcp("h:1".into())]),
+            BackendConfig::Fleet {
+                topology: "h:1;replica=h:2;h:3".parse().unwrap(),
+            },
         ] {
             // `sharded(4)`-style display is for humans; the parser speaks
             // the CLI spelling.
             let spelled = match &config {
                 BackendConfig::Sharded { shards } => format!("sharded:{shards}"),
                 BackendConfig::Remote { endpoints } => format!("remote:{}", endpoints[0]),
+                BackendConfig::Fleet { topology } => format!("fleet:{topology}"),
                 other => other.to_string(),
             };
             assert_eq!(spelled.parse::<BackendConfig>().unwrap(), config);
         }
-        for bad in ["bogus", "sharded:x", "remote:", "remote:nonsense"] {
+        for bad in [
+            "bogus",
+            "sharded:x",
+            "remote:",
+            "remote:nonsense",
+            "fleet:",
+            "fleet:replica=h:1",
+            "fleet:h:1;;h:2",
+        ] {
             assert!(bad.parse::<BackendConfig>().is_err(), "{bad:?} must fail");
         }
     }

@@ -23,6 +23,12 @@
 //! the wire. With `--listen` port `0` the chosen port is printed on the
 //! `listening on` line, so scripts (and the integration tests) can scrape
 //! it.
+//!
+//! Batch sizing is **adaptive**: each shard's batcher grows its pack
+//! target while its queue keeps filling packs and shrinks it back when
+//! the burst passes, so an idle gateway answers lone queries without
+//! batching delay while a loaded one amortizes framing across big packs.
+//! `--max-batch N` caps the adaptive target (it no longer fixes it).
 
 use fhc::serving::TrainedClassifier;
 use fhc::shardnet::gateway::{serve_tcp, serve_unix};

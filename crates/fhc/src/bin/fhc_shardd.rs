@@ -11,6 +11,7 @@
 //! fhc-shardd --artifact model.fhc --listen 127.0.0.1:0
 //! fhc-shardd --artifact model.fhc --listen 127.0.0.1:9000 --shard 0/2
 //! fhc-shardd --artifact model.fhc --uds /run/fhc/shard0.sock --classes 0,3,7
+//! fhc-shardd --diskless --listen 127.0.0.1:9000
 //! ```
 //!
 //! `--shard i/n` serves shard `i` of the same round-robin partition the
@@ -19,30 +20,39 @@
 //! partition over the wire. With `--listen` port `0` the chosen port is
 //! printed on the `listening on` line, so scripts (and the integration
 //! tests) can scrape it.
+//!
+//! `--diskless` starts with **no artifact at all**: the daemon advertises
+//! fingerprint `0` and waits for a fleet client to seed it over the wire
+//! with per-class reference slices (`PushSlice` frames). It then holds only
+//! its partition's samples in memory — the deployment mode for workers with
+//! no shared filesystem. Artifact-loaded daemons accept pushes too, which
+//! is how a fleet rolls a worker forward to a new artifact in place.
 
 use fhc::backend::round_robin_partition;
 use fhc::serving::TrainedClassifier;
-use fhc::shardnet::worker::{serve_tcp, serve_unix};
-use fhc::shardnet::ShardWorker;
+use fhc::shardnet::worker::{serve_host_tcp, serve_host_unix};
+use fhc::shardnet::{ShardWorker, WorkerHost};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 struct Args {
-    artifact: String,
+    artifact: Option<String>,
+    diskless: bool,
     listen: Option<String>,
     uds: Option<String>,
     classes: Option<Vec<usize>>,
     shard: Option<(usize, usize)>,
 }
 
-const USAGE: &str = "usage: fhc-shardd --artifact PATH \
+const USAGE: &str = "usage: fhc-shardd (--artifact PATH | --diskless) \
      (--listen HOST:PORT | --uds PATH) \
      [--classes A,B,... | --shard I/N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut artifact = None;
+    let mut diskless = false;
     let mut listen = None;
     let mut uds = None;
     let mut classes = None;
@@ -51,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--artifact" => artifact = Some(iter.next().ok_or("--artifact needs a path")?),
+            "--diskless" => diskless = true,
             "--listen" => listen = Some(iter.next().ok_or("--listen needs HOST:PORT")?),
             "--uds" => uds = Some(iter.next().ok_or("--uds needs a socket path")?),
             "--classes" => {
@@ -84,7 +95,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
-    let artifact = artifact.ok_or(USAGE)?;
+    if diskless == artifact.is_some() {
+        return Err(format!(
+            "exactly one of --artifact / --diskless is required\n{USAGE}"
+        ));
+    }
+    if diskless && (classes.is_some() || shard.is_some()) {
+        return Err("--diskless serves whatever partition is pushed to it; \
+             --classes / --shard do not apply"
+            .to_string());
+    }
     if listen.is_some() == uds.is_some() {
         return Err(format!(
             "exactly one of --listen / --uds is required\n{USAGE}"
@@ -95,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         artifact,
+        diskless,
         listen,
         uds,
         classes,
@@ -111,27 +132,41 @@ fn main() -> ExitCode {
         }
     };
 
-    let classifier = match TrainedClassifier::load(&args.artifact) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("fhc-shardd: cannot load artifact {}: {e}", args.artifact);
-            return ExitCode::FAILURE;
-        }
-    };
-    let reference = classifier.reference_shared();
-    let n_classes = reference.n_classes();
-
-    let classes = match (&args.classes, args.shard) {
-        (Some(list), _) => list.clone(),
-        (None, Some((i, n))) => round_robin_partition(n_classes, n).swap_remove(i),
-        (None, None) => (0..n_classes).collect(),
-    };
-    let worker = match ShardWorker::new(reference.clone(), classes) {
-        Ok(worker) => Arc::new(worker),
-        Err(e) => {
-            eprintln!("fhc-shardd: {e}");
-            return ExitCode::FAILURE;
-        }
+    // A diskless daemon has no reference until a fleet client pushes one:
+    // it announces 0/0 classes under fingerprint 0 and waits.
+    let (host, served, n_classes, fingerprint) = if args.diskless {
+        (Arc::new(WorkerHost::new(None)), 0, 0, 0)
+    } else {
+        let path = args.artifact.as_deref().unwrap_or_default();
+        let classifier = match TrainedClassifier::load(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fhc-shardd: cannot load artifact {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let reference = classifier.reference_shared();
+        let n_classes = reference.n_classes();
+        let classes = match (&args.classes, args.shard) {
+            (Some(list), _) => list.clone(),
+            (None, Some((i, n))) => round_robin_partition(n_classes, n).swap_remove(i),
+            (None, None) => (0..n_classes).collect(),
+        };
+        let worker = match ShardWorker::new(reference.clone(), classes) {
+            Ok(worker) => worker,
+            Err(e) => {
+                eprintln!("fhc-shardd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let served = worker.classes().len();
+        let fingerprint = reference.fingerprint();
+        (
+            Arc::new(WorkerHost::new(Some(worker))),
+            served,
+            n_classes,
+            fingerprint,
+        )
     };
 
     use std::io::Write as _;
@@ -139,10 +174,8 @@ fn main() -> ExitCode {
         // Scraped by scripts and the integration tests: keep the shape
         // "fhc-shardd listening on ADDR serving K/N classes ...".
         println!(
-            "fhc-shardd listening on {addr} serving {}/{} classes (fingerprint {:#018x})",
-            worker.classes().len(),
-            n_classes,
-            reference.fingerprint(),
+            "fhc-shardd listening on {addr} serving {served}/{n_classes} classes \
+             (fingerprint {fingerprint:#018x})",
         );
         let _ = std::io::stdout().flush();
     };
@@ -159,7 +192,7 @@ fn main() -> ExitCode {
             Ok(local) => announce(&local.to_string()),
             Err(_) => announce(addr),
         }
-        serve_tcp(worker, listener);
+        serve_host_tcp(host, listener);
     } else if let Some(path) = &args.uds {
         // A stale socket file from a previous run would fail the bind —
         // but only ever unlink an actual socket, so a mistyped `--uds
@@ -180,7 +213,7 @@ fn main() -> ExitCode {
             }
         };
         announce(&format!("unix:{path}"));
-        serve_unix(worker, listener);
+        serve_host_unix(host, listener);
     }
     // The accept loops only return when the listener fails.
     eprintln!("fhc-shardd: listener closed, exiting");

@@ -1,0 +1,1332 @@
+//! The elastic, self-healing shard fleet.
+//!
+//! [`RemoteBackend`](crate::shardnet::RemoteBackend) treats its worker list
+//! as a static, fully-healthy topology: every worker is a single point of
+//! failure for its classes, a lost connection surfaces as a typed error
+//! until the next query happens to redial, and the class partition is fixed
+//! at connect time. This module turns that list into a *fleet*:
+//!
+//! - **Membership & health** ([`FleetView`]): every endpoint carries a
+//!   health state. A failing node is marked down and its redials are gated
+//!   by capped exponential backoff — deterministic and jitter-free, driven
+//!   by an injected [`FleetClock`] so tests schedule it exactly.
+//! - **Replicas & hedged requests** ([`FleetShard::replicas`]): a shard may
+//!   list replica endpoints serving the same classes. A request goes to the
+//!   preferred node first; if no reply lands within a rolling
+//!   latency-percentile deadline, the same frame is *hedged* to the next
+//!   replica and the first valid response wins. The loser's reply is
+//!   drained through the mux's abandoned-id bookkeeping
+//!   ([`hpcutil::Mux`]), so a late duplicate can never corrupt another
+//!   request — and a node that fails outright fails over to its replicas
+//!   immediately, without waiting for the hedge deadline.
+//! - **Live re-partitioning** ([`FleetView::admit`] /
+//!   [`FleetView::evict`]): joining or leaving workers re-deal the classes
+//!   round-robin through the existing `Assign` frame. The exact-cover
+//!   invariant is checked *before* cutover and the member list is swapped
+//!   atomically: queries already in flight finish on the old view, new
+//!   queries see the new one, and a failed repartition leaves the old
+//!   fleet untouched.
+//! - **Reference push** ([`wire::PushSlice`]): a diskless worker — started
+//!   with no artifact — is seeded over the wire with per-class slices cut
+//!   by [`ReferenceSet::encode_slice`], so it joins holding only its
+//!   partition's samples. A worker advertising a stale fingerprint is
+//!   re-seeded the same way: rolling artifact upgrades ride the existing
+//!   fingerprint handshake.
+//!
+//! Scoring goes through [`FleetBackend`], whose rows are byte-identical to
+//! every other backend: the winning node scores through the same prepared
+//! index, and `merge_partial_row` rejects any cell outside the member's
+//! partition.
+
+use crate::backend::{round_robin_partition, SimilarityBackend};
+use crate::error::FhcError;
+use crate::features::PreparedSampleFeatures;
+use crate::shardnet::remote::{
+    assign_partition, is_exact_cover, merge_partial_row, net_error_from_mux, read_hello, spawn_mux,
+    validate_hello, HandshakeExpect, CLIENT_BATCH,
+};
+use crate::shardnet::wire::{self, ClientReply, Frame, Hello};
+use crate::shardnet::{Endpoint, NetError, SplitConn};
+use crate::similarity::ReferenceSet;
+use hpcutil::{Mux, PendingReply};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// How many latency samples each rolling window keeps. Small enough that
+/// the fleet adapts to a slowdown within a few dozen requests, large
+/// enough that one outlier cannot move a percentile on its own.
+const LATENCY_WINDOW: usize = 32;
+
+/// The rolling percentile a hedge deadline is derived from: a request
+/// still unanswered past this point of the shard's recent latency
+/// distribution is in the tail, and worth racing against a replica.
+const HEDGE_PERCENTILE: f64 = 0.9;
+
+/// Hedge deadline before any latency has been observed (a cold window).
+const HEDGE_COLD_START: Duration = Duration::from_millis(25);
+
+/// Lower clamp on the hedge deadline, so a microsecond-fast shard does not
+/// hedge every single request onto its replicas.
+const HEDGE_MIN: Duration = Duration::from_millis(1);
+
+/// Upper clamp on the hedge deadline, well under the mux reply deadline —
+/// a hedge that can never fire before the request is declared lost would
+/// be no hedge at all.
+const HEDGE_MAX: Duration = Duration::from_secs(1);
+
+/// How long one reply-poll iteration waits before checking the other
+/// in-flight hedges and the hedge deadline.
+const POLL_QUANTUM: Duration = Duration::from_micros(500);
+
+/// A source of monotonic time for the fleet's backoff scheduling.
+///
+/// Injected so reconnect gating is testable without real sleeps: tests
+/// drive a manual clock forward and observe exactly when a down node
+/// becomes dialable again. The serving default is [`SystemClock`].
+/// (Hedge deadlines intentionally stay on [`Instant::now`] — they measure
+/// real network waits, not scheduled ones.)
+pub trait FleetClock: Send + Sync + std::fmt::Debug {
+    /// The current monotonic instant.
+    fn now(&self) -> Instant;
+}
+
+/// The production [`FleetClock`]: [`Instant::now`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl FleetClock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// Capped exponential backoff for redialing a down node: the `n`-th
+/// consecutive failure schedules the next attempt `base * 2^(n-1)` later,
+/// clamped to `cap`. Deterministic on purpose — no jitter — so the redial
+/// schedule is exactly reproducible under an injected [`FleetClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay after the first failure.
+    pub base: Duration,
+    /// Upper bound on any delay.
+    pub cap: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The backoff deadline delay after `failures` consecutive failures
+    /// (at least one).
+    pub fn delay_for(&self, failures: u32) -> Duration {
+        let doublings = failures.saturating_sub(1).min(16);
+        self.base
+            .checked_mul(1u32 << doublings)
+            .map_or(self.cap, |delay| delay.min(self.cap))
+    }
+}
+
+/// One shard of the fleet: the primary endpoint plus any replica
+/// endpoints serving the same class partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetShard {
+    /// The shard's first-choice endpoint.
+    pub primary: Endpoint,
+    /// Endpoints serving the same classes, raced via hedged requests and
+    /// failed over to when the primary is down.
+    pub replicas: Vec<Endpoint>,
+}
+
+impl FleetShard {
+    /// A shard with no replicas.
+    pub fn solo(primary: Endpoint) -> Self {
+        Self {
+            primary,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Every endpoint of this shard, primary first.
+    pub fn endpoints(&self) -> impl Iterator<Item = &Endpoint> {
+        std::iter::once(&self.primary).chain(self.replicas.iter())
+    }
+}
+
+/// The declared shape of a fleet: one [`FleetShard`] per class partition.
+///
+/// Parsed from the `fleet:` backend spec
+/// ([`BackendConfig`](crate::backend::BackendConfig)): shards are
+/// `;`-separated endpoints, and a `replica=EP[,EP...]` item attaches
+/// replicas to the shard declared before it — e.g.
+/// `fleet:host1:9000;replica=host1:9100;host2:9000` is two shards, the
+/// first with one replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetTopology {
+    /// The shards, in declaration order. Classes are dealt round-robin
+    /// across them ([`round_robin_partition`]).
+    pub shards: Vec<FleetShard>,
+}
+
+impl std::str::FromStr for FleetTopology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut shards: Vec<FleetShard> = Vec::new();
+        for item in s.split(';') {
+            let item = item.trim();
+            if item.is_empty() {
+                return Err("empty item in fleet topology (stray ';'?)".into());
+            }
+            if let Some(list) = item.strip_prefix("replica=") {
+                let Some(shard) = shards.last_mut() else {
+                    return Err("replica= must follow the shard endpoint it replicates".into());
+                };
+                for endpoint in list.split(',') {
+                    shard.replicas.push(endpoint.trim().parse::<Endpoint>()?);
+                }
+            } else {
+                shards.push(FleetShard::solo(item.parse::<Endpoint>()?));
+            }
+        }
+        if shards.is_empty() {
+            return Err("a fleet needs at least one shard endpoint".into());
+        }
+        Ok(FleetTopology { shards })
+    }
+}
+
+impl std::fmt::Display for FleetTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{}", shard.primary)?;
+            for (j, replica) in shard.replicas.iter().enumerate() {
+                f.write_str(if j == 0 { ";replica=" } else { "," })?;
+                write!(f, "{replica}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One node's availability, as last observed by the fleet.
+#[derive(Debug, Clone, Copy)]
+enum Health {
+    /// Requests may be sent.
+    Healthy,
+    /// The node failed `failures` consecutive times; no redial before
+    /// `retry_at` (per the fleet's [`BackoffPolicy`] and [`FleetClock`]).
+    Down { failures: u32, retry_at: Instant },
+}
+
+/// A bounded rolling window of request latencies with percentile lookup —
+/// the statistic behind hedge deadlines and replica preference order.
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    samples: Mutex<VecDeque<Duration>>,
+}
+
+impl LatencyWindow {
+    fn record(&self, sample: Duration) {
+        let mut samples = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        if samples.len() == LATENCY_WINDOW {
+            samples.pop_front();
+        }
+        samples.push_back(sample);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the window, `None` while empty.
+    fn percentile(&self, q: f64) -> Option<Duration> {
+        let samples = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = samples.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    fn median(&self) -> Option<Duration> {
+        self.percentile(0.5)
+    }
+}
+
+/// One connected (or reconnecting) endpoint of a fleet member.
+#[derive(Debug)]
+struct FleetNode {
+    endpoint: Endpoint,
+    /// The member's class partition, re-asserted on every redial.
+    classes: Vec<usize>,
+    /// Whether this node was (last) seeded by reference push — redials
+    /// then push proactively instead of probing with an `Assign` first.
+    pushed: AtomicBool,
+    /// The live multiplexer; swapped for a fresh connection on redial.
+    mux: Mutex<Mux<ClientReply>>,
+    health: Mutex<Health>,
+    /// This node's own recent latencies, ordering replica preference.
+    window: LatencyWindow,
+}
+
+/// One shard of the live fleet: its class partition and its nodes
+/// (primary first).
+#[derive(Debug)]
+pub struct FleetMember {
+    classes: Vec<usize>,
+    nodes: Vec<FleetNode>,
+    /// Shard-level latencies of *winning* requests, setting the hedge
+    /// deadline.
+    window: LatencyWindow,
+}
+
+impl FleetMember {
+    /// The classes this member scores.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Node indices in preference order: by rising recent median latency,
+    /// untried nodes first in declaration order. The fleet therefore
+    /// routes around a *consistently* slow primary (its replica wins the
+    /// hedges, its median rises, it drops down the order) without any
+    /// configuration.
+    fn candidate_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&i| self.nodes[i].window.median().unwrap_or(Duration::ZERO));
+        order
+    }
+
+    /// The deadline after which an unanswered request is hedged onto the
+    /// next replica: twice the rolling [`HEDGE_PERCENTILE`] of this
+    /// shard's winning latencies, clamped to
+    /// [`HEDGE_MIN`]..=[`HEDGE_MAX`]; [`HEDGE_COLD_START`] while the
+    /// window is empty.
+    fn hedge_delay(&self) -> Duration {
+        self.window
+            .percentile(HEDGE_PERCENTILE)
+            .map_or(HEDGE_COLD_START, |p| {
+                p.saturating_mul(2).clamp(HEDGE_MIN, HEDGE_MAX)
+            })
+    }
+}
+
+/// The fleet's membership and health registry: the control plane behind
+/// [`FleetBackend`].
+///
+/// Holds the current member list (one [`FleetMember`] per shard, swapped
+/// atomically on [`FleetView::admit`]/[`FleetView::evict`]), every node's
+/// health and latency state, and the knobs that make failure handling
+/// deterministic: the [`BackoffPolicy`] and the injected [`FleetClock`].
+#[derive(Debug)]
+pub struct FleetView {
+    reference: Arc<ReferenceSet>,
+    expect: HandshakeExpect,
+    clock: Arc<dyn FleetClock>,
+    backoff: BackoffPolicy,
+    topology: Mutex<FleetTopology>,
+    members: RwLock<Vec<Arc<FleetMember>>>,
+}
+
+impl FleetView {
+    /// Connect the whole topology under the default clock and backoff.
+    ///
+    /// Classes are dealt round-robin across the shards; every node of a
+    /// shard (primary and replicas) is dialed, handshaken against
+    /// `reference`'s fingerprint and geometry, assigned its partition —
+    /// and, if it is a diskless or stale worker advertising
+    /// [`wire::FEATURE_REFERENCE_PUSH`], seeded with its partition's
+    /// slices first. Any unreachable node fails the connect; the fleet
+    /// heals *after* it is up, it does not start degraded.
+    pub fn connect(
+        reference: Arc<ReferenceSet>,
+        topology: FleetTopology,
+    ) -> Result<Self, NetError> {
+        Self::connect_with(
+            reference,
+            topology,
+            Arc::new(SystemClock),
+            BackoffPolicy::default(),
+        )
+    }
+
+    /// [`FleetView::connect`] with an explicit clock and backoff policy
+    /// (tests inject a manual clock here to schedule redials exactly).
+    pub fn connect_with(
+        reference: Arc<ReferenceSet>,
+        topology: FleetTopology,
+        clock: Arc<dyn FleetClock>,
+        backoff: BackoffPolicy,
+    ) -> Result<Self, NetError> {
+        let expect = HandshakeExpect {
+            fingerprint: reference.fingerprint(),
+            n_classes: reference.n_classes(),
+            n_columns: reference.n_columns(),
+        };
+        let members = build_members(&reference, expect, &topology.shards)?;
+        Ok(Self {
+            reference,
+            expect,
+            clock,
+            backoff,
+            topology: Mutex::new(topology),
+            members: RwLock::new(members),
+        })
+    }
+
+    /// The current member list. Queries operate on the snapshot they
+    /// took: a concurrent repartition swaps the list without disturbing
+    /// them.
+    pub fn members(&self) -> Vec<Arc<FleetMember>> {
+        self.members
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Number of shards currently serving.
+    pub fn n_shards(&self) -> usize {
+        self.members.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// The declared topology currently in effect.
+    pub fn topology(&self) -> FleetTopology {
+        self.topology
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Admit `shard` into the fleet and re-partition: the classes are
+    /// re-dealt over all shards (old and new), the exact-cover invariant
+    /// is checked, every node is brought to its new partition — pushed
+    /// nodes are re-seeded with their new slices — and only then is the
+    /// member list cut over. On any failure the old fleet keeps serving
+    /// unchanged.
+    pub fn admit(&self, shard: FleetShard) -> Result<(), NetError> {
+        let mut topology = self.topology.lock().unwrap_or_else(|p| p.into_inner());
+        let mut proposed = topology.clone();
+        proposed.shards.push(shard);
+        let members = build_members(&self.reference, self.expect, &proposed.shards)?;
+        *self.members.write().unwrap_or_else(|p| p.into_inner()) = members;
+        *topology = proposed;
+        Ok(())
+    }
+
+    /// Remove shard `index` from the fleet and re-partition the remaining
+    /// shards, with the same validate-then-cutover rule as
+    /// [`FleetView::admit`]. The last shard cannot be evicted.
+    pub fn evict(&self, index: usize) -> Result<(), NetError> {
+        let mut topology = self.topology.lock().unwrap_or_else(|p| p.into_inner());
+        if index >= topology.shards.len() {
+            return Err(NetError::Partition(format!(
+                "no shard {index} to evict: the fleet has {}",
+                topology.shards.len()
+            )));
+        }
+        if topology.shards.len() == 1 {
+            return Err(NetError::Partition(
+                "cannot evict the last shard of a fleet".into(),
+            ));
+        }
+        let mut proposed = topology.clone();
+        proposed.shards.remove(index);
+        let members = build_members(&self.reference, self.expect, &proposed.shards)?;
+        *self.members.write().unwrap_or_else(|p| p.into_inner()) = members;
+        *topology = proposed;
+        Ok(())
+    }
+
+    /// Record a node failure: mark it down and schedule its next redial
+    /// per the backoff policy.
+    fn mark_down(&self, node: &FleetNode) {
+        let mut health = node.health.lock().unwrap_or_else(|p| p.into_inner());
+        let failures = match *health {
+            Health::Down { failures, .. } => failures.saturating_add(1),
+            Health::Healthy => 1,
+        };
+        *health = Health::Down {
+            failures,
+            retry_at: self.clock.now() + self.backoff.delay_for(failures),
+        };
+    }
+
+    fn mark_up(&self, node: &FleetNode) {
+        *node.health.lock().unwrap_or_else(|p| p.into_inner()) = Health::Healthy;
+    }
+
+    /// Queue `bytes` on `node`, redialing a poisoned connection first —
+    /// unless the node is down and its backoff deadline has not passed,
+    /// in which case the submit is refused without touching the network.
+    fn node_submit(
+        &self,
+        node: &FleetNode,
+        id: u64,
+        bytes: &[u8],
+    ) -> Result<PendingReply<ClientReply>, NetError> {
+        {
+            let health = node.health.lock().unwrap_or_else(|p| p.into_inner());
+            if let Health::Down { failures, retry_at } = *health {
+                if self.clock.now() < retry_at {
+                    return Err(NetError::WorkerLost {
+                        peer: node.endpoint.to_string(),
+                        detail: format!(
+                            "node is down ({failures} consecutive failures) and its \
+                             backoff deadline has not passed"
+                        ),
+                    });
+                }
+            }
+        }
+        let mut mux = node.mux.lock().unwrap_or_else(|p| p.into_inner());
+        if mux.is_poisoned() {
+            match connect_node(
+                &self.reference,
+                self.expect,
+                &node.endpoint,
+                &node.classes,
+                node.pushed.load(Ordering::Relaxed),
+            ) {
+                Ok((fresh, pushed)) => {
+                    *mux = fresh;
+                    node.pushed.store(pushed, Ordering::Relaxed);
+                    self.mark_up(node);
+                }
+                Err(e) => {
+                    drop(mux);
+                    self.mark_down(node);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(mux.submit(id, bytes.to_vec()))
+    }
+
+    /// Race `bytes` across a member's nodes until one valid reply wins.
+    ///
+    /// The preferred node (see [`FleetMember::candidate_order`]) is tried
+    /// first. Every [`FleetMember::hedge_delay`] without a reply, the same
+    /// frame is fired at the next node — same id, distinct connection, so
+    /// the mux correlation stays exact. A node that *fails* (submit
+    /// refused, connection lost, remote error) is marked down and the next
+    /// node is tried immediately. The first `Ok` reply wins: its latency
+    /// feeds the windows and the losing replies are left to the abandoned-
+    /// id drain. Only when every node has failed does the last error
+    /// surface.
+    fn hedged_request(
+        &self,
+        member: &FleetMember,
+        id: u64,
+        bytes: &[u8],
+    ) -> Result<(String, ClientReply), NetError> {
+        let hedge_delay = member.hedge_delay();
+        let mut candidates = member.candidate_order().into_iter();
+        let mut in_flight: Vec<(usize, PendingReply<ClientReply>, Instant)> = Vec::new();
+        let mut last_err: Option<NetError> = None;
+        let started = Instant::now();
+        loop {
+            let hedge_due = in_flight.is_empty()
+                || started.elapsed() >= hedge_delay.saturating_mul(in_flight.len() as u32);
+            if hedge_due {
+                for node_index in candidates.by_ref() {
+                    match self.node_submit(&member.nodes[node_index], id, bytes) {
+                        Ok(pending) => {
+                            in_flight.push((node_index, pending, Instant::now()));
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+            }
+            if in_flight.is_empty() {
+                return Err(last_err
+                    .unwrap_or_else(|| NetError::Partition("shard has no reachable node".into())));
+            }
+            let mut i = 0;
+            while i < in_flight.len() {
+                let (node_index, pending, fired_at) = &mut in_flight[i];
+                match pending.poll_timeout(POLL_QUANTUM) {
+                    Some(Ok(reply)) => {
+                        let node = &member.nodes[*node_index];
+                        let elapsed = fired_at.elapsed();
+                        node.window.record(elapsed);
+                        member.window.record(elapsed);
+                        self.mark_up(node);
+                        return Ok((node.endpoint.to_string(), reply));
+                    }
+                    Some(Err(e)) => {
+                        let node = &member.nodes[*node_index];
+                        self.mark_down(node);
+                        last_err = Some(net_error_from_mux(&node.endpoint.to_string(), e));
+                        in_flight.swap_remove(i);
+                    }
+                    None => i += 1,
+                }
+            }
+        }
+    }
+}
+
+/// Dial, handshake, partition, and mux every node of every shard — the
+/// shared machinery of [`FleetView::connect`] and the repartition paths.
+/// The exact-cover invariant over the dealt partition is asserted before
+/// any connection is made.
+fn build_members(
+    reference: &ReferenceSet,
+    expect: HandshakeExpect,
+    shards: &[FleetShard],
+) -> Result<Vec<Arc<FleetMember>>, NetError> {
+    if shards.is_empty() {
+        return Err(NetError::Partition(
+            "a fleet needs at least one shard".into(),
+        ));
+    }
+    let partition = round_robin_partition(reference.n_classes(), shards.len());
+    if !is_exact_cover(
+        reference.n_classes(),
+        partition.iter().map(|c| c.as_slice()),
+    ) {
+        return Err(NetError::Partition(format!(
+            "fleet partition over {} shards does not cover every one of {} classes exactly once",
+            shards.len(),
+            reference.n_classes()
+        )));
+    }
+    shards
+        .iter()
+        .zip(partition)
+        .map(|(shard, classes)| {
+            let nodes = shard
+                .endpoints()
+                .map(|endpoint| {
+                    let (mux, pushed) = connect_node_auto(reference, expect, endpoint, &classes)?;
+                    Ok(FleetNode {
+                        endpoint: endpoint.clone(),
+                        classes: classes.clone(),
+                        pushed: AtomicBool::new(pushed),
+                        mux: Mutex::new(mux),
+                        health: Mutex::new(Health::Healthy),
+                        window: LatencyWindow::default(),
+                    })
+                })
+                .collect::<Result<Vec<_>, NetError>>()?;
+            Ok(Arc::new(FleetMember {
+                classes,
+                nodes,
+                window: LatencyWindow::default(),
+            }))
+        })
+        .collect()
+}
+
+/// [`connect_node`] with automatic push fallback: a worker whose
+/// fingerprint already matches is first brought over with a plain
+/// `Assign`; if it *rejects* the assignment — a previously seeded sparse
+/// worker missing some of the new classes does — the node is redialed
+/// once with a forced re-push.
+fn connect_node_auto(
+    reference: &ReferenceSet,
+    expect: HandshakeExpect,
+    endpoint: &Endpoint,
+    classes: &[usize],
+) -> Result<(Mux<ClientReply>, bool), NetError> {
+    match connect_node(reference, expect, endpoint, classes, false) {
+        Err(NetError::Remote { .. } | NetError::Partition(_)) => {
+            connect_node(reference, expect, endpoint, classes, true)
+        }
+        done => done,
+    }
+}
+
+/// Dial `endpoint` and bring it to serving state for `classes`: validated
+/// handshake, partition assigned, mux spawned. A worker advertising
+/// [`wire::FEATURE_REFERENCE_PUSH`] whose fingerprint does not match (a
+/// diskless worker advertises `0`; a stale one its old artifact's) is
+/// seeded with `classes`' slices first — as is any push-capable worker
+/// when `force_push` is set. Returns the mux and whether a push was
+/// performed.
+fn connect_node(
+    reference: &ReferenceSet,
+    expect: HandshakeExpect,
+    endpoint: &Endpoint,
+    classes: &[usize],
+    force_push: bool,
+) -> Result<(Mux<ClientReply>, bool), NetError> {
+    let peer = endpoint.to_string();
+    let mut conn = endpoint.connect_split().map_err(|source| NetError::Io {
+        peer: peer.clone(),
+        source,
+    })?;
+    let mut hello = read_hello(conn.reader(), &peer)?;
+    let must_push = force_push || hello.fingerprint != expect.fingerprint;
+    let mut pushed = false;
+    if must_push && hello.supports(wire::FEATURE_REFERENCE_PUSH) {
+        hello = push_reference(&mut conn, &peer, reference, expect, classes)?;
+        pushed = true;
+    }
+    validate_hello(expect, &peer, &hello)?;
+    if hello.classes != classes {
+        hello = assign_partition(&mut conn, &peer, classes.to_vec())?;
+    }
+    if !hello.supports(wire::FEATURE_SCORE_BATCH) {
+        return Err(NetError::Handshake {
+            peer,
+            detail: "fleet serving requires batch scoring; the worker does not advertise it".into(),
+        });
+    }
+    Ok((spawn_mux(conn, peer)?, pushed))
+}
+
+/// Ship `classes`' reference slices over `conn` — one
+/// [`wire::PushSlice`] per class, cut by [`ReferenceSet::encode_slice`] —
+/// and confirm the worker's [`wire::PushAck`]. Returns the refreshed
+/// handshake that follows the ack.
+fn push_reference(
+    conn: &mut SplitConn,
+    peer: &str,
+    reference: &ReferenceSet,
+    expect: HandshakeExpect,
+    classes: &[usize],
+) -> Result<Hello, NetError> {
+    if classes.is_empty() {
+        return Err(NetError::Partition(format!(
+            "shard {peer} would serve no classes; a diskless worker cannot be seeded \
+             with an empty partition (use at most one shard per class)"
+        )));
+    }
+    let total = u32::try_from(classes.len()).map_err(|_| {
+        NetError::Partition(format!(
+            "cannot push {} slices in one sequence",
+            classes.len()
+        ))
+    })?;
+    for (index, &class) in classes.iter().enumerate() {
+        let payload = reference
+            .encode_slice(&[class])
+            .map_err(|e| NetError::Protocol {
+                peer: peer.to_string(),
+                detail: format!("could not slice the reference set: {e}"),
+            })?;
+        if payload.len() > wire::MAX_FRAME_PAYLOAD - 64 {
+            return Err(NetError::Protocol {
+                peer: peer.to_string(),
+                detail: format!(
+                    "class {class}'s slice ({} bytes) exceeds the frame budget",
+                    payload.len()
+                ),
+            });
+        }
+        Frame::PushSlice(wire::PushSlice {
+            index: index as u32,
+            total,
+            payload,
+        })
+        .write_to(conn.writer(), peer)?;
+    }
+    match Frame::read_from(conn.reader(), peer)? {
+        Frame::PushAck(ack) => {
+            if ack.fingerprint != expect.fingerprint || ack.classes_loaded as usize != classes.len()
+            {
+                return Err(NetError::Handshake {
+                    peer: peer.to_string(),
+                    detail: format!(
+                        "push acknowledged fingerprint {:#018x} over {} classes; \
+                         expected {:#018x} over {}",
+                        ack.fingerprint,
+                        ack.classes_loaded,
+                        expect.fingerprint,
+                        classes.len()
+                    ),
+                });
+            }
+        }
+        Frame::Error(message) => {
+            return Err(NetError::Remote {
+                peer: peer.to_string(),
+                message,
+            });
+        }
+        unexpected => {
+            return Err(NetError::Protocol {
+                peer: peer.to_string(),
+                detail: format!("expected a push acknowledgement, got {unexpected:?}"),
+            });
+        }
+    }
+    read_hello(conn.reader(), peer)
+}
+
+/// Run `view.hedged_request` for every member concurrently and collect the
+/// per-member outcomes in member order. The scoped threads mean every
+/// member's primary is in flight at once — the same pipelining rule as
+/// [`RemoteBackend`](crate::shardnet::RemoteBackend), with per-member
+/// hedging layered on top.
+fn scatter(
+    view: &FleetView,
+    members: &[Arc<FleetMember>],
+    id: u64,
+    bytes: &[u8],
+) -> Vec<Result<(String, ClientReply), NetError>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = members
+            .iter()
+            .map(|member| scope.spawn(move || view.hedged_request(member, id, bytes)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle.join().unwrap_or_else(|_| {
+                    Err(NetError::Partition(
+                        "a hedged request thread panicked".into(),
+                    ))
+                })
+            })
+            .collect()
+    })
+}
+
+/// A [`SimilarityBackend`] scoring through a [`FleetView`]: the elastic,
+/// replicated counterpart of
+/// [`RemoteBackend`](crate::shardnet::RemoteBackend).
+///
+/// Built with [`FleetBackend::connect`] (or through the `fleet:` spec of
+/// [`BackendConfig`](crate::backend::BackendConfig)). Cloning shares the
+/// fleet. Rows are byte-identical to every in-process backend; use the
+/// `try_*` serving APIs — the infallible
+/// [`SimilarityBackend::max_scores_into`] panics on transport errors, and
+/// those only surface once *every* node of a shard is unreachable.
+#[derive(Debug, Clone)]
+pub struct FleetBackend {
+    reference: Arc<ReferenceSet>,
+    view: Arc<FleetView>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl FleetBackend {
+    /// Connect the fleet declared by `topology` over `reference`; see
+    /// [`FleetView::connect`].
+    pub fn connect(
+        reference: Arc<ReferenceSet>,
+        topology: FleetTopology,
+    ) -> Result<Self, NetError> {
+        let view = FleetView::connect(Arc::clone(&reference), topology)?;
+        Ok(Self::over(reference, Arc::new(view)))
+    }
+
+    /// A backend scoring through an existing (possibly shared) view.
+    pub fn over(reference: Arc<ReferenceSet>, view: Arc<FleetView>) -> Self {
+        Self {
+            reference,
+            view,
+            next_id: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The fleet control plane, for membership changes
+    /// ([`FleetView::admit`] / [`FleetView::evict`]) and introspection.
+    pub fn view(&self) -> &Arc<FleetView> {
+        &self.view
+    }
+
+    /// The topology currently serving.
+    pub fn topology(&self) -> FleetTopology {
+        self.view.topology()
+    }
+
+    /// Fan one query out across the fleet — hedged per member — and
+    /// max-merge the winning partial rows into `out`.
+    fn fan_out(&self, query: &PreparedSampleFeatures, out: &mut [f64]) -> Result<(), NetError> {
+        assert_eq!(out.len(), self.reference.n_columns(), "row width mismatch");
+        out.fill(0.0);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let request_bytes = wire::score_request_bytes(id, query);
+        let members = self.view.members();
+        let replies = scatter(&self.view, &members, id, &request_bytes);
+        let n_classes = self.reference.n_classes();
+        for (member, outcome) in members.iter().zip(replies) {
+            let (peer, reply) = outcome?;
+            let response = match reply {
+                ClientReply::Score(response) => response,
+                ClientReply::Batch(_) => {
+                    return Err(NetError::Protocol {
+                        peer,
+                        detail: "batch response answering a single-query request".into(),
+                    });
+                }
+            };
+            merge_partial_row(&peer, &member.classes, n_classes, response.cells, out)?;
+        }
+        Ok(())
+    }
+
+    /// Score a whole slice of prepared queries and return their dense,
+    /// max-merged rows — the batch counterpart of
+    /// [`try_max_scores_into`](SimilarityBackend::try_max_scores_into),
+    /// riding [`wire::ScoreBatchRequest`] frames with per-member hedging
+    /// and failover. Fleet workers always advertise batch scoring (it is
+    /// required at connect), so there is no single-frame fallback path.
+    pub fn try_feature_rows_prepared(
+        &self,
+        queries: &[PreparedSampleFeatures],
+    ) -> Result<Vec<Vec<f64>>, NetError> {
+        let n_columns = self.reference.n_columns();
+        let n_classes = self.reference.n_classes();
+        let client_batch = CLIENT_BATCH.min(wire::max_batch_rows_for(n_columns));
+        let mut rows = vec![vec![0.0f64; n_columns]; queries.len()];
+        let members = self.view.members();
+        for (chunk_index, chunk) in queries.chunks(client_batch).enumerate() {
+            let out = &mut rows[chunk_index * client_batch..][..chunk.len()];
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let bytes = wire::score_batch_request_bytes(id, chunk);
+            let replies = scatter(&self.view, &members, id, &bytes);
+            for (member, outcome) in members.iter().zip(replies) {
+                let (peer, reply) = outcome?;
+                let batch = match reply {
+                    ClientReply::Batch(batch) => batch,
+                    ClientReply::Score(_) => {
+                        return Err(NetError::Protocol {
+                            peer,
+                            detail: "single response answering a batch request".into(),
+                        });
+                    }
+                };
+                if batch.rows.len() != chunk.len() {
+                    return Err(NetError::Protocol {
+                        peer,
+                        detail: format!(
+                            "batch response carries {} rows for {} queries",
+                            batch.rows.len(),
+                            chunk.len()
+                        ),
+                    });
+                }
+                for (cells, row) in batch.rows.into_iter().zip(out.iter_mut()) {
+                    merge_partial_row(&peer, &member.classes, n_classes, cells, row)?;
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+impl SimilarityBackend for FleetBackend {
+    fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    /// Infallible scoring is impossible over a network; this panics once
+    /// every node of a shard is unreachable. Serve fleets through the
+    /// `try_*` APIs.
+    fn max_scores_into(&self, query: &PreparedSampleFeatures, out: &mut [f64]) {
+        self.fan_out(query, out).unwrap_or_else(|e| {
+            // fhc-lint: allow(no_panic) -- documented trait contract: the infallible API cannot express transport failure; fleet serving goes through try_max_scores_into
+            panic!("fleet similarity backend failed (use the try_* serving APIs): {e}")
+        });
+    }
+
+    fn try_max_scores_into(
+        &self,
+        query: &PreparedSampleFeatures,
+        out: &mut [f64],
+    ) -> Result<(), FhcError> {
+        self.fan_out(query, out).map_err(FhcError::Net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendConfig;
+    use crate::features::{FeatureKind, SampleFeatures};
+    use crate::shardnet::worker::{serve_host_tcp, ShardWorker, WorkerHost};
+    use std::net::TcpListener;
+
+    fn reference() -> Arc<ReferenceSet> {
+        let train = vec![
+            SampleFeatures::extract(b"the velvet assembler executable body one"),
+            SampleFeatures::extract(b"the velvet assembler executable body two"),
+            SampleFeatures::extract(b"an openmalaria simulation binary payload"),
+            SampleFeatures::extract(b"a gromacs molecular dynamics trajectory dump"),
+        ];
+        Arc::new(ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into(), "Gromacs".into()],
+            &train,
+            &[0, 0, 1, 2],
+            &FeatureKind::ALL,
+        ))
+    }
+
+    fn queries() -> Vec<PreparedSampleFeatures> {
+        (0..5)
+            .map(|i| {
+                PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+                    format!("fleet probe body number {i}").as_bytes(),
+                ))
+            })
+            .collect()
+    }
+
+    fn expected_rows(rs: &Arc<ReferenceSet>, queries: &[PreparedSampleFeatures]) -> Vec<Vec<f64>> {
+        let scan = BackendConfig::Scan.build(Arc::clone(rs));
+        queries
+            .iter()
+            .map(|q| scan.feature_vector_prepared(q))
+            .collect()
+    }
+
+    /// Serve an artifact-loaded worker host over loopback TCP; returns its
+    /// endpoint.
+    fn spawn_host(host: Arc<WorkerHost>) -> Endpoint {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || serve_host_tcp(host, listener));
+        Endpoint::Tcp(addr)
+    }
+
+    fn spawn_loaded_worker(rs: &Arc<ReferenceSet>) -> Endpoint {
+        spawn_host(Arc::new(WorkerHost::new(Some(ShardWorker::all_classes(
+            Arc::clone(rs),
+        )))))
+    }
+
+    fn spawn_diskless_worker() -> Endpoint {
+        spawn_host(Arc::new(WorkerHost::new(None)))
+    }
+
+    #[test]
+    fn backoff_doubles_deterministically_and_caps() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(1),
+        };
+        assert_eq!(policy.delay_for(1), Duration::from_millis(50));
+        assert_eq!(policy.delay_for(2), Duration::from_millis(100));
+        assert_eq!(policy.delay_for(3), Duration::from_millis(200));
+        assert_eq!(policy.delay_for(5), Duration::from_millis(800));
+        assert_eq!(policy.delay_for(6), Duration::from_secs(1));
+        assert_eq!(policy.delay_for(60), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn topology_parses_replicas_and_round_trips_through_display() {
+        let spec = "host1:9000;replica=host1:9100,host2:9100;host2:9000";
+        let topology: FleetTopology = spec.parse().expect("parse");
+        assert_eq!(topology.shards.len(), 2);
+        assert_eq!(topology.shards[0].replicas.len(), 2);
+        assert_eq!(topology.shards[1].replicas.len(), 0);
+        assert_eq!(
+            topology.to_string(),
+            "tcp:host1:9000;replica=tcp:host1:9100,tcp:host2:9100;tcp:host2:9000"
+        );
+        let reparsed: FleetTopology = topology.to_string().parse().expect("reparse");
+        assert_eq!(reparsed, topology);
+
+        assert!("".parse::<FleetTopology>().is_err());
+        assert!("replica=host:1".parse::<FleetTopology>().is_err());
+        assert!("host:1;;host:2".parse::<FleetTopology>().is_err());
+    }
+
+    #[test]
+    fn latency_window_percentiles_roll() {
+        let window = LatencyWindow::default();
+        assert_eq!(window.percentile(0.9), None);
+        for ms in 1..=10u64 {
+            window.record(Duration::from_millis(ms));
+        }
+        assert_eq!(window.median(), Some(Duration::from_millis(6)));
+        assert_eq!(window.percentile(0.9), Some(Duration::from_millis(9)));
+        // The window is bounded: old samples roll off.
+        for _ in 0..LATENCY_WINDOW {
+            window.record(Duration::from_millis(100));
+        }
+        assert_eq!(window.median(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn fleet_rows_match_scan_and_survive_admit_and_evict() {
+        let rs = reference();
+        let queries = queries();
+        let expected = expected_rows(&rs, &queries);
+
+        let first = spawn_loaded_worker(&rs);
+        let backend = FleetBackend::connect(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard::solo(first)],
+            },
+        )
+        .expect("connect single-shard fleet");
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+
+        // Admit a second (diskless!) shard: classes re-deal, exact cover
+        // holds, rows stay byte-identical.
+        let second = spawn_diskless_worker();
+        backend
+            .view()
+            .admit(FleetShard::solo(second))
+            .expect("admit");
+        let members = backend.view().members();
+        assert_eq!(members.len(), 2);
+        assert!(is_exact_cover(
+            rs.n_classes(),
+            members.iter().map(|m| m.classes())
+        ));
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+
+        // Evict the first shard: the diskless survivor is re-seeded with
+        // every class and still serves identical rows.
+        backend.view().evict(0).expect("evict");
+        assert_eq!(backend.view().n_shards(), 1);
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+        // The last shard is protected.
+        assert!(backend.view().evict(0).is_err());
+    }
+
+    #[test]
+    fn a_diskless_worker_is_seeded_by_push_and_serves_identical_rows() {
+        let rs = reference();
+        let queries = queries();
+        let expected = expected_rows(&rs, &queries);
+        let endpoint = spawn_diskless_worker();
+        let backend = FleetBackend::connect(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard::solo(endpoint.clone())],
+            },
+        )
+        .expect("connect pushes the reference set");
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+        // A second fleet client finds the worker already seeded (matching
+        // fingerprint) and connects without re-pushing.
+        let again = FleetBackend::connect(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard::solo(endpoint)],
+            },
+        )
+        .expect("reconnect to the seeded worker");
+        assert_eq!(
+            again.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+    }
+
+    #[test]
+    fn a_stale_worker_is_upgraded_by_push_on_connect() {
+        let rs = reference();
+        // A worker loaded with a *different* (stale) artifact.
+        let stale_train = vec![SampleFeatures::extract(b"an entirely different corpus")];
+        let stale = Arc::new(ReferenceSet::new(
+            vec!["Other".into()],
+            &stale_train,
+            &[0],
+            &FeatureKind::ALL,
+        ));
+        let endpoint = spawn_host(Arc::new(WorkerHost::new(Some(ShardWorker::all_classes(
+            stale,
+        )))));
+
+        let queries = queries();
+        let expected = expected_rows(&rs, &queries);
+        let backend = FleetBackend::connect(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard::solo(endpoint)],
+            },
+        )
+        .expect("connect upgrades the stale worker over the wire");
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+    }
+
+    #[test]
+    fn a_dead_primary_fails_over_to_its_replica_with_no_surfaced_error() {
+        let rs = reference();
+        let queries = queries();
+        let expected = expected_rows(&rs, &queries);
+
+        // The primary accepts connections but drops them after the
+        // handshake (a request budget of zero) — every query on it fails.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind flaky primary");
+        let addr = listener.local_addr().unwrap().to_string();
+        let flaky = Arc::new(ShardWorker::all_classes(Arc::clone(&rs)));
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { return };
+                let flaky = Arc::clone(&flaky);
+                std::thread::spawn(move || {
+                    let _ = flaky.serve_requests(stream, "flaky", Some(0));
+                });
+            }
+        });
+        let replica = spawn_loaded_worker(&rs);
+
+        let backend = FleetBackend::connect(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard {
+                    primary: Endpoint::Tcp(addr),
+                    replicas: vec![replica],
+                }],
+            },
+        )
+        .expect("connect");
+        // Every batch completes through the replica; no error surfaces.
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+    }
+
+    /// A manual clock: starts at a real instant, advances only on demand.
+    #[derive(Debug)]
+    struct ManualClock {
+        base: Instant,
+        offset: Mutex<Duration>,
+    }
+
+    impl ManualClock {
+        fn new() -> Self {
+            Self {
+                base: Instant::now(),
+                offset: Mutex::new(Duration::ZERO),
+            }
+        }
+
+        fn advance(&self, by: Duration) {
+            *self.offset.lock().unwrap() += by;
+        }
+    }
+
+    impl FleetClock for ManualClock {
+        fn now(&self) -> Instant {
+            self.base + *self.offset.lock().unwrap()
+        }
+    }
+
+    #[test]
+    fn a_down_node_is_gated_by_the_deterministic_backoff_schedule() {
+        let rs = reference();
+        // One connection total: the fleet handshakes successfully, after
+        // which the listener is gone — the first query poisons the mux and
+        // every redial fails.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind one-shot worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        let worker = Arc::new(ShardWorker::all_classes(Arc::clone(&rs)));
+        std::thread::spawn(move || {
+            if let Some(Ok(stream)) = listener.incoming().next() {
+                let _ = worker.serve_requests(stream, "one-shot", Some(0));
+            }
+        });
+
+        let clock = Arc::new(ManualClock::new());
+        let view = FleetView::connect_with(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard::solo(Endpoint::Tcp(addr))],
+            },
+            Arc::clone(&clock) as Arc<dyn FleetClock>,
+            BackoffPolicy {
+                base: Duration::from_secs(60),
+                cap: Duration::from_secs(600),
+            },
+        )
+        .expect("connect");
+        let backend = FleetBackend::over(Arc::clone(&rs), Arc::new(view));
+        let query =
+            PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"backoff probe body"));
+
+        // First query: the connection is found dead, the redial fails
+        // (listener gone), the node is marked down.
+        let first = backend.try_feature_rows_prepared(std::slice::from_ref(&query));
+        assert!(first.is_err(), "the lone node is dead");
+
+        // Second query, clock unmoved: refused by the backoff gate —
+        // deterministically, without touching the network.
+        let gated = backend
+            .try_feature_rows_prepared(std::slice::from_ref(&query))
+            .expect_err("backoff must gate the redial");
+        assert!(
+            gated.to_string().contains("backoff deadline"),
+            "expected a backoff refusal, got: {gated}"
+        );
+
+        // Advance past the first backoff step: the redial is attempted
+        // again (and fails against the closed listener with a dial error,
+        // not a backoff refusal).
+        clock.advance(Duration::from_secs(61));
+        let redialed = backend
+            .try_feature_rows_prepared(std::slice::from_ref(&query))
+            .expect_err("the worker is still gone");
+        assert!(
+            !redialed.to_string().contains("backoff deadline"),
+            "expected a real redial attempt, got: {redialed}"
+        );
+
+        // And the failure doubled the gate: one more step is not enough.
+        clock.advance(Duration::from_secs(61));
+        let gated_again = backend
+            .try_feature_rows_prepared(std::slice::from_ref(&query))
+            .expect_err("still down");
+        assert!(
+            gated_again.to_string().contains("backoff deadline"),
+            "expected the doubled backoff to gate, got: {gated_again}"
+        );
+    }
+
+    #[test]
+    fn without_a_replica_the_typed_net_error_contract_is_unchanged() {
+        let rs = reference();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind one-shot worker");
+        let addr = listener.local_addr().unwrap().to_string();
+        let worker = Arc::new(ShardWorker::all_classes(Arc::clone(&rs)));
+        std::thread::spawn(move || {
+            if let Some(Ok(stream)) = listener.incoming().next() {
+                let _ = worker.serve_requests(stream, "one-shot", Some(0));
+            }
+        });
+        let backend = FleetBackend::connect(
+            Arc::clone(&rs),
+            FleetTopology {
+                shards: vec![FleetShard::solo(Endpoint::Tcp(addr))],
+            },
+        )
+        .expect("connect");
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"probe"));
+        let mut out = vec![0.0; rs.n_columns()];
+        let err = backend
+            .try_max_scores_into(&query, &mut out)
+            .expect_err("the lone worker is gone");
+        assert!(
+            matches!(err, FhcError::Net(_)),
+            "fleet errors stay typed: {err:?}"
+        );
+    }
+}

@@ -83,18 +83,47 @@ const INFLIGHT_DEPTH: usize = 256;
 /// Tunables for a [`Gateway`].
 #[derive(Debug, Clone)]
 pub struct GatewayOptions {
-    /// Most queries packed into one batch frame per shard. Bounds both the
-    /// frame size and the head-of-line latency a burst can add; the
-    /// default comfortably amortizes framing overhead. Clamped per shard
-    /// by [`wire::max_batch_rows_for`] over the shard's partition width,
-    /// so the dense batch *response* can never exceed
-    /// [`wire::MAX_FRAME_PAYLOAD`].
+    /// **Cap** on the adaptive batch target: the most queries ever packed
+    /// into one batch frame per shard. The actual target floats between
+    /// `MIN_BATCH_TARGET` and this cap with load (see
+    /// `next_batch_target`), so an idle gateway keeps head-of-line
+    /// latency low while a loaded one amortizes framing across large
+    /// packs. Clamped per shard by [`wire::max_batch_rows_for`] over the
+    /// shard's partition width, so the dense batch *response* can never
+    /// exceed [`wire::MAX_FRAME_PAYLOAD`].
     pub max_batch: usize,
 }
 
 impl Default for GatewayOptions {
     fn default() -> Self {
-        Self { max_batch: 64 }
+        Self { max_batch: 256 }
+    }
+}
+
+/// Floor of the adaptive batch target: even a freshly idle shard packs up
+/// to this many queued queries into one frame, since a pack this small
+/// costs no measurable head-of-line latency.
+const MIN_BATCH_TARGET: usize = 8;
+
+/// The load-adaptive batch target, advanced after every pack.
+///
+/// `drained` is how many queries the last pack actually took (bounded by
+/// the `current` target). A pack that *filled* its target means the queue
+/// had more waiting — the target doubles toward `cap` so the next frame
+/// amortizes better. A pack under half the target means the burst has
+/// passed — the target halves toward the floor so a lone query stops
+/// waiting on a big-batch drain. In between, the target holds. Pure and
+/// deterministic, so the growth/shrink schedule is unit-testable without a
+/// gateway.
+fn next_batch_target(current: usize, drained: usize, cap: usize) -> usize {
+    let cap = cap.max(1);
+    let floor = MIN_BATCH_TARGET.min(cap);
+    if drained >= current {
+        current.saturating_mul(2).clamp(floor, cap)
+    } else if drained < current / 2 {
+        (current / 2).clamp(floor, cap)
+    } else {
+        current.clamp(floor, cap)
     }
 }
 
@@ -360,16 +389,22 @@ fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize
     };
 
     let mut next_id = 0u64;
+    // The batch target adapts to load between MIN_BATCH_TARGET and
+    // max_batch; an idle gateway sends small frames fast, a loaded one
+    // packs big frames.
+    let mut target = MIN_BATCH_TARGET.min(max_batch);
     'serve: while let Ok(first) = jobs.recv() {
         // The coalescing moment: everything already queued — from any
-        // client connection — rides in this frame, up to max_batch.
+        // client connection — rides in this frame, up to the current
+        // adaptive target.
         let mut pack = vec![first];
-        while pack.len() < max_batch {
+        while pack.len() < target {
             match jobs.try_recv() {
                 Ok(job) => pack.push(job),
                 Err(_) => break,
             }
         }
+        target = next_batch_target(target, pack.len(), max_batch);
         if worker.supports_batch {
             let id = next_id;
             next_id += 1;
@@ -936,6 +971,36 @@ mod tests {
             ),
         }
         assert!(work_rx.recv().is_err(), "reader stops after the rejection");
+    }
+
+    #[test]
+    fn the_batch_target_grows_under_load_and_shrinks_when_idle() {
+        let cap = 256;
+        // Sustained load: a filled pack doubles the target until the cap.
+        let mut target = MIN_BATCH_TARGET;
+        let mut growth = vec![target];
+        for _ in 0..8 {
+            target = next_batch_target(target, target, cap);
+            growth.push(target);
+        }
+        assert_eq!(growth, vec![8, 16, 32, 64, 128, 256, 256, 256, 256]);
+
+        // Load passes: near-empty packs halve back down to the floor.
+        let mut shrink = vec![target];
+        for _ in 0..8 {
+            target = next_batch_target(target, 1, cap);
+            shrink.push(target);
+        }
+        assert_eq!(shrink, vec![256, 128, 64, 32, 16, 8, 8, 8, 8]);
+
+        // A half-full pack holds steady.
+        assert_eq!(next_batch_target(64, 40, cap), 64);
+
+        // The target respects a cap below the floor (narrow geometries).
+        assert_eq!(next_batch_target(3, 3, 3), 3);
+        assert_eq!(next_batch_target(8, 8, 5), 5);
+        // And never collapses to zero even with a degenerate cap.
+        assert_eq!(next_batch_target(1, 0, 1), 1);
     }
 
     #[test]

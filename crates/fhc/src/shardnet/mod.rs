@@ -44,14 +44,16 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::str::FromStr;
 
+pub mod fleet;
 pub mod gateway;
 pub mod remote;
 pub mod wire;
 pub mod worker;
 
+pub use fleet::{BackoffPolicy, FleetBackend, FleetShard, FleetTopology, FleetView};
 pub use gateway::{Gateway, GatewayBackend, GatewayOptions};
 pub use remote::RemoteBackend;
-pub use worker::ShardWorker;
+pub use worker::{ShardWorker, WorkerHost};
 
 /// Where a shard worker listens.
 ///

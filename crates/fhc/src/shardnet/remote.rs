@@ -42,10 +42,10 @@ use std::sync::{Arc, Mutex};
 /// [`RemoteWorker::submit`]. Captured at first connect, after validation
 /// against the local reference set.
 #[derive(Debug, Clone, Copy)]
-struct HandshakeExpect {
-    fingerprint: u64,
-    n_classes: usize,
-    n_columns: usize,
+pub(crate) struct HandshakeExpect {
+    pub(crate) fingerprint: u64,
+    pub(crate) n_classes: usize,
+    pub(crate) n_columns: usize,
 }
 
 /// One connected shard worker: its validated partition and the multiplexer
@@ -130,7 +130,7 @@ impl RemoteWorker {
 
 /// Narrow a handshaken connection's read timeout to the mux's stall poll
 /// and hand its halves to a freshly spawned multiplexer.
-fn spawn_mux(conn: SplitConn, peer: String) -> Result<Mux<ClientReply>, NetError> {
+pub(crate) fn spawn_mux(conn: SplitConn, peer: String) -> Result<Mux<ClientReply>, NetError> {
     conn.set_read_timeout(Some(MUX_POLL_INTERVAL))
         .map_err(|source| NetError::Io {
             peer: peer.clone(),
@@ -458,7 +458,7 @@ impl RemoteBackend {
 /// frame size and one lost frame's blast radius. Further clamped per
 /// geometry by [`wire::max_batch_rows_for`] so the dense response can
 /// never exceed [`wire::MAX_FRAME_PAYLOAD`].
-const CLIENT_BATCH: usize = 64;
+pub(crate) const CLIENT_BATCH: usize = 64;
 
 /// Per-worker in-flight state of one batch chunk.
 enum Submitted {
@@ -475,7 +475,7 @@ enum Waited {
 /// Max-merge one worker's partial `(column, score)` cells into a dense
 /// row, rejecting any cell outside the worker's own partition — a buggy
 /// or malicious worker cannot corrupt other shards' scores.
-fn merge_partial_row(
+pub(crate) fn merge_partial_row(
     peer: &str,
     classes: &[usize],
     n_classes: usize,
@@ -518,7 +518,7 @@ pub(crate) fn net_error_from_mux(peer: &str, e: MuxError) -> NetError {
     }
 }
 
-fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hello, NetError> {
+pub(crate) fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hello, NetError> {
     match Frame::read_from(conn, peer)? {
         Frame::Hello(hello) => Ok(hello),
         Frame::Error(message) => Err(NetError::Remote {
@@ -532,7 +532,11 @@ fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hello, NetErro
     }
 }
 
-fn validate_hello(expect: HandshakeExpect, peer: &str, hello: &Hello) -> Result<(), NetError> {
+pub(crate) fn validate_hello(
+    expect: HandshakeExpect,
+    peer: &str,
+    hello: &Hello,
+) -> Result<(), NetError> {
     if hello.protocol != wire::PROTOCOL_VERSION {
         return Err(NetError::Handshake {
             peer: peer.to_string(),
@@ -566,7 +570,10 @@ fn validate_hello(expect: HandshakeExpect, peer: &str, hello: &Hello) -> Result<
 }
 
 /// Whether the class lists cover `0..n_classes` exactly once each.
-fn is_exact_cover<'a>(n_classes: usize, lists: impl Iterator<Item = &'a [usize]>) -> bool {
+pub(crate) fn is_exact_cover<'a>(
+    n_classes: usize,
+    lists: impl Iterator<Item = &'a [usize]>,
+) -> bool {
     let mut seen = vec![false; n_classes];
     for list in lists {
         for &class in list {
@@ -579,7 +586,7 @@ fn is_exact_cover<'a>(n_classes: usize, lists: impl Iterator<Item = &'a [usize]>
 }
 
 /// Send an `Assign` and return the worker's refreshed handshake.
-fn assign_partition(
+pub(crate) fn assign_partition(
     conn: &mut SplitConn,
     peer: &str,
     classes: Vec<usize>,

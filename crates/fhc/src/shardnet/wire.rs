@@ -18,7 +18,9 @@
 //!   | --- ScoreResponse -------> |   partial max-score row (col, score)
 //!   | <-- ScoreBatchRequest ---- |   many queries, one frame (only if the
 //!   | --- ScoreBatchResponse --> |   worker advertised the batch feature)
-//!   |            ...             |
+//!   | <-- PushSlice x N -------- |   optional: client ships the reference
+//!   | --- PushAck + Hello -----> |   set in slices (push feature only);
+//!   |            ...             |   the fresh Hello confirms the install
 //!   | <-- Shutdown ------------- |   clean goodbye (or just EOF)
 //! ```
 //!
@@ -46,7 +48,10 @@ use std::io::{Read, Write};
 ///
 /// Version history: v1 carried single-query frames only; v2 added the
 /// [`Hello::features`] field and the batched
-/// [`ScoreBatchRequest`]/[`ScoreBatchResponse`] frames.
+/// [`ScoreBatchRequest`]/[`ScoreBatchResponse`] frames. The reference-push
+/// frames ([`PushSlice`]/[`PushAck`]) ride v2 behind
+/// [`FEATURE_REFERENCE_PUSH`] — a worker that does not advertise the bit
+/// never sees them.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 // Score requests travel in the artifact's prepared-feature encoding, so a
@@ -67,6 +72,14 @@ const _: () = assert!(
 /// back to one [`ScoreRequest`] per query against a worker that does not.
 pub const FEATURE_SCORE_BATCH: u32 = 1 << 0;
 
+/// [`Hello::features`] bit: the worker accepts [`PushSlice`] frames — a
+/// client may ship it per-class reference slices instead of the worker
+/// loading an artifact from disk. A diskless worker (started with no
+/// artifact) advertises this with `fingerprint == 0` and an empty class
+/// list; a seeded worker advertises it too, so a fleet can roll a new
+/// artifact onto running workers through the same frames.
+pub const FEATURE_REFERENCE_PUSH: u32 = 1 << 1;
+
 /// Upper bound on a frame payload this implementation will read. Score
 /// requests and responses are a few KiB; anything near this limit is a
 /// corrupt length prefix, not a real message.
@@ -80,6 +93,8 @@ const TAG_ERROR: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_SCORE_BATCH_REQUEST: u8 = 7;
 const TAG_SCORE_BATCH_RESPONSE: u8 = 8;
+const TAG_PUSH_SLICE: u8 = 9;
+const TAG_PUSH_ACK: u8 = 10;
 
 /// The worker's handshake: everything a client needs to decide whether this
 /// worker can score for it.
@@ -161,6 +176,35 @@ pub struct ScoreBatchResponse {
     pub rows: Vec<Vec<(u32, f64)>>,
 }
 
+/// One reference-set slice in flight to a worker that advertised
+/// [`FEATURE_REFERENCE_PUSH`]: the `index`-th of `total` slices of one
+/// artifact push, each carrying a self-checksummed
+/// [`ReferenceSet::encode_slice`](crate::similarity::ReferenceSet) container.
+/// After the final slice (`index == total - 1`) the worker assembles the
+/// set, installs it, and answers with a [`PushAck`] followed by a refreshed
+/// [`Hello`] advertising the new fingerprint — the same confirmation shape
+/// an [`Assign`] uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushSlice {
+    /// Zero-based position of this slice within the push.
+    pub index: u32,
+    /// Total number of slices in the push (at least 1).
+    pub total: u32,
+    /// The encoded slice container (see `ReferenceSet::encode_slice`).
+    pub payload: Vec<u8>,
+}
+
+/// The worker's confirmation that a [`PushSlice`] sequence was assembled
+/// and installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushAck {
+    /// Fingerprint of the *full* reference set the slices declared (what
+    /// the worker now advertises in its handshake).
+    pub fingerprint: u64,
+    /// How many classes the pushed slices populated with samples.
+    pub classes_loaded: u32,
+}
+
 /// Every message of the shard-serving protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -178,6 +222,11 @@ pub enum Frame {
     ScoreBatchRequest(ScoreBatchRequest),
     /// Worker → client: one partial row per batched query.
     ScoreBatchResponse(ScoreBatchResponse),
+    /// Client → worker: one reference-set slice (requires the worker to
+    /// have advertised [`FEATURE_REFERENCE_PUSH`]).
+    PushSlice(PushSlice),
+    /// Worker → client: a pushed reference set was assembled and installed.
+    PushAck(PushAck),
     /// Either side: a fatal error message, connection closes after.
     Error(String),
     /// Client → worker: clean goodbye.
@@ -282,6 +331,8 @@ impl Frame {
             Frame::ScoreResponse(_) => TAG_SCORE_RESPONSE,
             Frame::ScoreBatchRequest(_) => TAG_SCORE_BATCH_REQUEST,
             Frame::ScoreBatchResponse(_) => TAG_SCORE_BATCH_RESPONSE,
+            Frame::PushSlice(_) => TAG_PUSH_SLICE,
+            Frame::PushAck(_) => TAG_PUSH_ACK,
             Frame::Error(_) => TAG_ERROR,
             Frame::Shutdown => TAG_SHUTDOWN,
         }
@@ -325,6 +376,15 @@ impl Frame {
                 for row in &batch.rows {
                     encode_cells(&mut w, row);
                 }
+            }
+            Frame::PushSlice(slice) => {
+                w.put_u32(slice.index);
+                w.put_u32(slice.total);
+                w.put_bytes(&slice.payload);
+            }
+            Frame::PushAck(ack) => {
+                w.put_u64(ack.fingerprint);
+                w.put_u32(ack.classes_loaded);
             }
             Frame::Error(message) => w.put_str(message),
             Frame::Shutdown => {}
@@ -399,6 +459,32 @@ impl Frame {
                     rows.push(decode_cells(&mut r)?);
                 }
                 Frame::ScoreBatchResponse(ScoreBatchResponse { id, rows })
+            }
+            TAG_PUSH_SLICE => {
+                let index = r.get_u32()?;
+                let total = r.get_u32()?;
+                if total == 0 || index >= total {
+                    return Err(CodecError::new(format!(
+                        "push slice {index} of {total} is out of sequence"
+                    )));
+                }
+                // `get_bytes` validates the blob length against the
+                // remaining payload before copying, so a hostile length
+                // prefix cannot force a huge reservation.
+                let payload = r.get_bytes()?;
+                Frame::PushSlice(PushSlice {
+                    index,
+                    total,
+                    payload,
+                })
+            }
+            TAG_PUSH_ACK => {
+                let fingerprint = r.get_u64()?;
+                let classes_loaded = r.get_u32()?;
+                Frame::PushAck(PushAck {
+                    fingerprint,
+                    classes_loaded,
+                })
             }
             TAG_ERROR => Frame::Error(r.get_str()?),
             TAG_SHUTDOWN => Frame::Shutdown,
@@ -594,12 +680,35 @@ mod tests {
                 id: 43,
                 rows: vec![vec![(0, 100.0), (3, 61.25)], vec![], vec![(7, 9.5)]],
             }),
+            Frame::PushSlice(PushSlice {
+                index: 2,
+                total: 5,
+                payload: b"a delta-varint slice blob".to_vec(),
+            }),
+            Frame::PushAck(PushAck {
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                classes_loaded: 4,
+            }),
             Frame::Error("reference set mismatch".into()),
             Frame::Shutdown,
         ];
         for frame in &frames {
             assert_eq!(&roundtrip(frame), frame);
         }
+    }
+
+    #[test]
+    fn push_slice_rejects_an_out_of_sequence_index() {
+        // index >= total can never appear in a valid sequence; the decoder
+        // rejects it before the payload blob is even looked at.
+        let mut payload = ByteWriter::new();
+        payload.put_u32(5); // index
+        payload.put_u32(5); // total
+        payload.put_bytes(b"ignored");
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, TAG_PUSH_SLICE, payload.as_bytes()).unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
     }
 
     #[test]

@@ -10,12 +10,12 @@
 //! [`ShardWorker::serve_connection`] directly over in-process streams.
 
 use crate::features::PreparedSampleFeatures;
-use crate::shardnet::wire::{self, Frame, Hello, ScoreBatchResponse, ScoreResponse};
+use crate::shardnet::wire::{self, Frame, Hello, PushAck, ScoreBatchResponse, ScoreResponse};
 use crate::shardnet::{NetError, Transport, IO_TIMEOUT};
 use crate::similarity::ReferenceSet;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// How long an accepted connection may sit idle (no complete frame
@@ -31,6 +31,14 @@ use std::time::Duration;
 /// needs to beat "forever", not a round trip.
 pub const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 
+/// Upper bound on the slice count one [`wire::PushSlice`] sequence may
+/// declare. Each slice payload is already capped by
+/// [`wire::MAX_FRAME_PAYLOAD`]; bounding the count keeps a hostile client
+/// from declaring a `u32::MAX`-slice push and growing the worker's
+/// reassembly buffer without limit. Real pushes carry one slice per class,
+/// so this is far above any reachable artifact.
+pub const MAX_PUSH_SLICES: usize = 4096;
+
 /// One shard-serving worker: a reference set plus the class partition it
 /// scores.
 #[derive(Debug, Clone)]
@@ -41,6 +49,13 @@ pub struct ShardWorker {
     /// it is a full walk of every reference hash, far too expensive to
     /// recompute per handshake.
     fingerprint: u64,
+    /// For a worker bootstrapped from pushed slices
+    /// ([`ShardWorker::from_pushed`]): the classes actually populated with
+    /// reference samples. An `Assign` outside this set is rejected — a
+    /// sparse worker silently scoring an absent class would return
+    /// all-zero cells instead of real similarities. `None` for
+    /// artifact-loaded workers, where every class is scoreable.
+    available: Option<Vec<usize>>,
 }
 
 impl ShardWorker {
@@ -53,6 +68,7 @@ impl ShardWorker {
             reference,
             classes,
             fingerprint,
+            available: None,
         })
     }
 
@@ -65,6 +81,25 @@ impl ShardWorker {
             reference,
             classes,
             fingerprint,
+            available: None,
+        }
+    }
+
+    /// A worker serving a *sparse* reference set reassembled from pushed
+    /// slices ([`ReferenceSet::from_slices`]): it scores exactly the
+    /// populated classes and advertises `declared_fingerprint` — the
+    /// fingerprint of the full set the slices were cut from, which is what
+    /// clients validate against. (A sparse set's own fingerprint walk
+    /// would differ, because the unpushed classes are empty.)
+    pub fn from_pushed(reference: Arc<ReferenceSet>, declared_fingerprint: u64) -> Self {
+        let classes: Vec<usize> = (0..reference.n_classes())
+            .filter(|&class| !reference.prepared_class_features(class).is_empty())
+            .collect();
+        Self {
+            reference,
+            classes: classes.clone(),
+            fingerprint: declared_fingerprint,
+            available: Some(classes),
         }
     }
 
@@ -77,6 +112,25 @@ impl ShardWorker {
     /// can narrow it with an `Assign` frame without affecting others).
     pub fn classes(&self) -> &[usize] {
         &self.classes
+    }
+
+    /// Range-check an `Assign`ed class list and, for a pushed worker,
+    /// reject classes whose slices were never pushed (see
+    /// [`ShardWorker::from_pushed`]).
+    fn validate_assignment(&self, classes: Vec<usize>) -> Result<Vec<usize>, NetError> {
+        let narrowed = validate_classes(&self.reference, classes)?;
+        if let Some(available) = &self.available {
+            if let Some(&missing) = narrowed
+                .iter()
+                .find(|c| available.binary_search(c).is_err())
+            {
+                return Err(NetError::Partition(format!(
+                    "class {missing} was not pushed to this worker: \
+                     push its slice before assigning it"
+                )));
+            }
+        }
+        Ok(narrowed)
     }
 
     /// The handshake advertising `classes` as the served partition. Workers
@@ -157,18 +211,16 @@ impl ShardWorker {
                         .write_to(&mut stream, peer)?;
                     served += 1;
                 }
-                Ok(Frame::Assign(assign)) => {
-                    match validate_classes(&self.reference, assign.classes) {
-                        Ok(narrowed) => {
-                            classes = narrowed;
-                            Frame::Hello(self.hello_for(&classes)).write_to(&mut stream, peer)?;
-                        }
-                        Err(e) => {
-                            let _ = Frame::Error(e.to_string()).write_to(&mut stream, peer);
-                            return Err(e);
-                        }
+                Ok(Frame::Assign(assign)) => match self.validate_assignment(assign.classes) {
+                    Ok(narrowed) => {
+                        classes = narrowed;
+                        Frame::Hello(self.hello_for(&classes)).write_to(&mut stream, peer)?;
                     }
-                }
+                    Err(e) => {
+                        let _ = Frame::Error(e.to_string()).write_to(&mut stream, peer);
+                        return Err(e);
+                    }
+                },
                 Ok(Frame::Shutdown) => return Ok(()),
                 Ok(unexpected) => {
                     let detail = format!("unexpected frame {unexpected:?} from client");
@@ -201,6 +253,231 @@ impl ShardWorker {
                 }
             }
         }
+    }
+}
+
+/// The daemon-wide worker slot behind `fhc-shardd`: it serves the same
+/// protocol as [`ShardWorker::serve_connection`] *plus* the reference-push
+/// extension ([`wire::PushSlice`]), so a worker process can start
+/// **diskless** — no artifact on disk — and be seeded (or upgraded) with
+/// slice-sized sub-artifacts over the wire by a fleet control plane.
+///
+/// The installed [`ShardWorker`] is shared across connections through an
+/// `RwLock` slot. A completed push builds a fresh worker from the slices
+/// and swaps it in: connections accepted afterwards serve the new set,
+/// while connections already mid-conversation keep their `Arc` to the old
+/// one — a rolling upgrade, caught on reconnect by the fingerprint
+/// handshake.
+#[derive(Debug)]
+pub struct WorkerHost {
+    slot: RwLock<Option<Arc<ShardWorker>>>,
+}
+
+/// A partially received push: the declared slice count and the payloads
+/// accepted so far, in order.
+struct PushBuffer {
+    total: u32,
+    slices: Vec<Vec<u8>>,
+}
+
+impl WorkerHost {
+    /// A host serving `initial` — `None` starts diskless, answering
+    /// handshakes with fingerprint `0` and no classes until a push seeds
+    /// it.
+    pub fn new(initial: Option<ShardWorker>) -> Self {
+        Self {
+            slot: RwLock::new(initial.map(Arc::new)),
+        }
+    }
+
+    /// The currently installed worker, if any.
+    pub fn worker(&self) -> Option<Arc<ShardWorker>> {
+        self.slot.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Swap `worker` into the slot, returning the shared handle.
+    fn install(&self, worker: ShardWorker) -> Arc<ShardWorker> {
+        let worker = Arc::new(worker);
+        *self.slot.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&worker));
+        worker
+    }
+
+    /// The handshake for a connection currently serving `worker` over
+    /// `classes`. Host connections additionally advertise
+    /// [`wire::FEATURE_REFERENCE_PUSH`]; an empty slot advertises
+    /// fingerprint `0` and no classes, which is how a fleet client
+    /// recognizes a worker awaiting its seed push.
+    fn hello(worker: Option<&ShardWorker>, classes: &[usize]) -> Hello {
+        match worker {
+            Some(worker) => {
+                let mut hello = worker.hello_for(classes);
+                hello.features |= wire::FEATURE_REFERENCE_PUSH;
+                hello
+            }
+            None => Hello {
+                protocol: wire::PROTOCOL_VERSION,
+                features: wire::FEATURE_SCORE_BATCH | wire::FEATURE_REFERENCE_PUSH,
+                fingerprint: 0,
+                n_classes: 0,
+                n_columns: 0,
+                classes: Vec::new(),
+            },
+        }
+    }
+
+    /// Serve one connection until the client says goodbye: the
+    /// [`ShardWorker::serve_connection`] protocol extended with
+    /// [`wire::PushSlice`] reassembly. Score and `Assign` frames on an
+    /// unseeded host are protocol errors (push first); a completed push
+    /// answers with [`wire::PushAck`] followed by a refreshed handshake,
+    /// the same confirmation shape as an `Assign`.
+    pub fn serve_connection(&self, mut stream: impl Transport, peer: &str) -> Result<(), NetError> {
+        let mut worker = self.worker();
+        let mut classes: Vec<usize> = worker.as_ref().map_or_else(Vec::new, |w| w.classes.clone());
+        Frame::Hello(Self::hello(worker.as_deref(), &classes)).write_to(&mut stream, peer)?;
+        let mut push: Option<PushBuffer> = None;
+        loop {
+            match Frame::read_from(&mut stream, peer) {
+                Ok(Frame::PushSlice(slice)) => {
+                    let buffer = push.get_or_insert_with(|| PushBuffer {
+                        total: slice.total,
+                        slices: Vec::new(),
+                    });
+                    if slice.total != buffer.total
+                        || slice.index as usize != buffer.slices.len()
+                        || buffer.total as usize > MAX_PUSH_SLICES
+                    {
+                        let detail = format!(
+                            "push slice {}/{} arrived out of order (have {} of {}, cap {})",
+                            slice.index,
+                            slice.total,
+                            buffer.slices.len(),
+                            buffer.total,
+                            MAX_PUSH_SLICES
+                        );
+                        let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                        return Err(NetError::Protocol {
+                            peer: peer.to_string(),
+                            detail,
+                        });
+                    }
+                    buffer.slices.push(slice.payload);
+                    let complete = if buffer.slices.len() == buffer.total as usize {
+                        push.take()
+                    } else {
+                        None
+                    };
+                    if let Some(complete) = complete {
+                        match ReferenceSet::from_slices(&complete.slices) {
+                            Ok((set, declared)) => {
+                                let fresh =
+                                    self.install(ShardWorker::from_pushed(Arc::new(set), declared));
+                                classes = fresh.classes.clone();
+                                // The count cannot exceed MAX_PUSH_SLICES, but
+                                // saturate rather than panic the serving thread:
+                                // a saturated ack fails the pusher's validation.
+                                Frame::PushAck(PushAck {
+                                    fingerprint: declared,
+                                    classes_loaded: u32::try_from(classes.len())
+                                        .unwrap_or(u32::MAX),
+                                })
+                                .write_to(&mut stream, peer)?;
+                                Frame::Hello(Self::hello(Some(&fresh), &classes))
+                                    .write_to(&mut stream, peer)?;
+                                worker = Some(fresh);
+                            }
+                            Err(e) => {
+                                let detail = format!("pushed slices did not assemble: {e}");
+                                let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                                return Err(NetError::Protocol {
+                                    peer: peer.to_string(),
+                                    detail,
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(Frame::ScoreRequest(request)) => match &worker {
+                    Some(w) => {
+                        let cells = w.partial_row(&classes, &request.query);
+                        Frame::ScoreResponse(ScoreResponse {
+                            id: request.id,
+                            cells,
+                        })
+                        .write_to(&mut stream, peer)?;
+                    }
+                    None => return self.refuse_unseeded(&mut stream, peer),
+                },
+                Ok(Frame::ScoreBatchRequest(batch)) => match &worker {
+                    Some(w) => {
+                        let rows = batch
+                            .queries
+                            .iter()
+                            .map(|query| w.partial_row(&classes, query))
+                            .collect();
+                        Frame::ScoreBatchResponse(ScoreBatchResponse { id: batch.id, rows })
+                            .write_to(&mut stream, peer)?;
+                    }
+                    None => return self.refuse_unseeded(&mut stream, peer),
+                },
+                Ok(Frame::Assign(assign)) => match &worker {
+                    Some(w) => match w.validate_assignment(assign.classes) {
+                        Ok(narrowed) => {
+                            classes = narrowed;
+                            Frame::Hello(Self::hello(Some(w), &classes))
+                                .write_to(&mut stream, peer)?;
+                        }
+                        Err(e) => {
+                            let _ = Frame::Error(e.to_string()).write_to(&mut stream, peer);
+                            return Err(e);
+                        }
+                    },
+                    None => return self.refuse_unseeded(&mut stream, peer),
+                },
+                Ok(Frame::Shutdown) => return Ok(()),
+                Ok(unexpected) => {
+                    let detail = format!("unexpected frame {unexpected:?} from client");
+                    let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                    return Err(NetError::Protocol {
+                        peer: peer.to_string(),
+                        detail,
+                    });
+                }
+                // Same quiet-close rules as `ShardWorker::serve_requests`.
+                Err(NetError::Io { ref source, .. })
+                    if source.kind() == std::io::ErrorKind::UnexpectedEof =>
+                {
+                    return Ok(());
+                }
+                Err(NetError::Io { ref source, .. })
+                    if matches!(
+                        source.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(());
+                }
+                Err(e) => {
+                    let _ = Frame::Error(e.to_string()).write_to(&mut stream, peer);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Answer a scoring or assignment frame on an unseeded host with a
+    /// typed refusal.
+    fn refuse_unseeded(
+        &self,
+        stream: &mut (impl Transport + ?Sized),
+        peer: &str,
+    ) -> Result<(), NetError> {
+        let detail = "no reference set installed: push one before scoring".to_string();
+        let _ = Frame::Error(detail.clone()).write_to(stream, peer);
+        Err(NetError::Protocol {
+            peer: peer.to_string(),
+            detail,
+        })
     }
 }
 
@@ -259,6 +536,50 @@ pub fn serve_unix(worker: Arc<ShardWorker>, listener: UnixListener) {
                 let worker = Arc::clone(&worker);
                 super::spawn_detached("shardd-conn", move || {
                     if let Err(e) = worker.serve_connection(stream, "unix client") {
+                        eprintln!("fhc-shardd: unix connection failed: {e}");
+                    }
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// [`serve_tcp`] for a push-capable [`WorkerHost`]: same per-connection
+/// threading and timeouts, with the host slot shared across connections.
+pub fn serve_host_tcp(host: Arc<WorkerHost>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "tcp client".to_string());
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                let host = Arc::clone(&host);
+                super::spawn_detached("shardd-conn", move || {
+                    if let Err(e) = host.serve_connection(stream, &peer) {
+                        eprintln!("fhc-shardd: connection with {peer} failed: {e}");
+                    }
+                });
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// [`serve_unix`] for a push-capable [`WorkerHost`]; see [`serve_host_tcp`].
+pub fn serve_host_unix(host: Arc<WorkerHost>, listener: UnixListener) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                let host = Arc::clone(&host);
+                super::spawn_detached("shardd-conn", move || {
+                    if let Err(e) = host.serve_connection(stream, "unix client") {
                         eprintln!("fhc-shardd: unix connection failed: {e}");
                     }
                 });

@@ -1,0 +1,258 @@
+//! End-to-end loopback test of fleet serving across real daemon processes.
+//!
+//! Trains a small classifier, saves the artifact, and drives
+//! `BackendConfig::Fleet` against real `fhc-shardd` processes on loopback
+//! TCP. Covers the three failure-semantics rows the fleet promises:
+//! killing a primary with a replica behind it must be invisible (hedged
+//! failover, byte-identical predictions, zero surfaced errors); killing a
+//! shard with no replica must surface as a typed `FhcError::Net`, never a
+//! wrong or partial prediction; and a `--diskless` worker — seeded
+//! entirely over the wire by reference push — must serve byte-identical
+//! predictions, including after being killed and restarted on the same
+//! address (the rejoin path: backoff gate, redial, re-push). This is the
+//! test CI runs explicitly so the fleet path cannot silently rot.
+
+use corpus::{Catalog, CorpusBuilder};
+use fhc::backend::BackendConfig;
+use fhc::config::FhcConfig;
+use fhc::error::FhcError;
+use fhc::pipeline::{FuzzyHashClassifier, PipelineConfig};
+use fhc::serving::{Prediction, TrainedClassifier};
+use fhc::shardnet::{Endpoint, FleetShard, FleetTopology};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Scrape the bound address from the daemon's announcement line
+/// ("fhc-shardd listening on ADDR ...").
+fn scrape_endpoint(child: &mut Child) -> Endpoint {
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announcement");
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    addr.parse::<Endpoint>()
+        .unwrap_or_else(|e| panic!("bad announced address {addr:?}: {e}"))
+}
+
+/// Spawn one artifact-loaded `fhc-shardd` on an OS-assigned loopback port,
+/// serving every class (the fleet client assigns partitions over the wire).
+fn spawn_shardd(artifact: &std::path::Path) -> (Child, Endpoint) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fhc-shardd"))
+        .arg("--artifact")
+        .arg(artifact)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn fhc-shardd");
+    let endpoint = scrape_endpoint(&mut child);
+    (child, endpoint)
+}
+
+/// Spawn one `fhc-shardd --diskless` on `addr` ("127.0.0.1:0" for an
+/// OS-assigned port): no artifact on disk, seeded over the wire by push.
+fn spawn_diskless(addr: &str) -> (Child, Endpoint) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fhc-shardd"))
+        .arg("--diskless")
+        .arg("--listen")
+        .arg(addr)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn fhc-shardd --diskless");
+    let endpoint = scrape_endpoint(&mut child);
+    (child, endpoint)
+}
+
+struct KillOnDrop(Vec<Child>);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+struct Trained {
+    trained: TrainedClassifier,
+    config: FhcConfig,
+    artifact: std::path::PathBuf,
+    batch: Vec<(String, Vec<u8>)>,
+    expected: Vec<(String, Prediction)>,
+}
+
+/// Train once, save the artifact, and precompute the reference
+/// predictions every fleet variant must match byte-for-byte.
+fn train(tag: &str) -> Trained {
+    let corpus = CorpusBuilder::new(53).build(&Catalog::paper().scaled(0.02));
+    let config = FhcConfig::new().pipeline(PipelineConfig {
+        seed: 53,
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let trained = FuzzyHashClassifier::with_config(config.clone())
+        .fit(&corpus)
+        .expect("fit succeeds");
+    let artifact = std::env::temp_dir().join(format!("fhc-fleet-{tag}-{}.fhc", std::process::id()));
+    trained.save(&artifact).expect("save artifact");
+    let batch: Vec<(String, Vec<u8>)> = corpus
+        .samples()
+        .iter()
+        .step_by(29)
+        .map(|s| (s.install_path(), corpus.generate_bytes(s)))
+        .collect();
+    assert!(batch.len() >= 4, "need a real batch");
+    let expected = trained.classify_batch(&batch);
+    Trained {
+        trained,
+        config,
+        artifact,
+        batch,
+        expected,
+    }
+}
+
+#[test]
+fn a_killed_primary_fails_over_invisibly_and_a_bare_shard_loss_is_typed() {
+    let t = train("failover");
+
+    // Shard 0 has a replica; shard 1 stands alone.
+    let (primary, primary_ep) = spawn_shardd(&t.artifact);
+    let (replica, replica_ep) = spawn_shardd(&t.artifact);
+    let (bare, bare_ep) = spawn_shardd(&t.artifact);
+    let mut guard = KillOnDrop(vec![primary, replica, bare]);
+
+    let topology = FleetTopology {
+        shards: vec![
+            FleetShard {
+                primary: primary_ep,
+                replicas: vec![replica_ep],
+            },
+            FleetShard::solo(bare_ep),
+        ],
+    };
+    let fleet_config = t.config.backend(BackendConfig::Fleet {
+        topology: topology.clone(),
+    });
+    let served = TrainedClassifier::load_with(&t.artifact, &fleet_config)
+        .expect("artifact opens against the running fleet");
+    assert_eq!(served.backend_config(), BackendConfig::Fleet { topology });
+
+    // Healthy fleet: byte-identical to the in-process backend.
+    assert_eq!(
+        served.try_classify_batch(&t.batch).expect("fleet healthy"),
+        t.expected
+    );
+
+    // Kill the primary. Its replica must absorb every query: identical
+    // predictions, zero surfaced errors.
+    guard.0[0].kill().expect("kill primary");
+    guard.0[0].wait().expect("reap primary");
+    assert_eq!(
+        served
+            .try_classify_batch(&t.batch)
+            .expect("replica absorbs the primary loss"),
+        t.expected
+    );
+
+    // Kill the replica-less shard: the typed error contract is unchanged —
+    // a degraded fleet answers correctly or fails loudly, never wrongly.
+    guard.0[2].kill().expect("kill bare shard");
+    guard.0[2].wait().expect("reap bare shard");
+    let mut saw_typed_error = false;
+    for (name, bytes) in t.batch.iter().take(4) {
+        match served.try_classify(bytes) {
+            Ok(prediction) => {
+                let (_, expected) = t
+                    .expected
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("in batch");
+                assert_eq!(&prediction, expected, "degraded but wrong: {name}");
+            }
+            Err(FhcError::Net(_)) => saw_typed_error = true,
+            Err(other) => panic!("expected FhcError::Net, got {other}"),
+        }
+    }
+    assert!(
+        saw_typed_error,
+        "losing a replica-less shard must surface as a typed error"
+    );
+
+    drop(guard);
+    std::fs::remove_file(&t.artifact).ok();
+}
+
+#[test]
+fn a_diskless_worker_is_seeded_by_push_and_rejoins_after_a_restart() {
+    let t = train("diskless");
+
+    // Two diskless daemons: no artifact on disk anywhere near them. The
+    // fleet client pushes each one only its partition's reference slices.
+    let (d0, ep0) = spawn_diskless("127.0.0.1:0");
+    let (d1, ep1) = spawn_diskless("127.0.0.1:0");
+    let rejoin_addr = match &ep1 {
+        Endpoint::Tcp(addr) => addr.clone(),
+        other => panic!("expected a TCP endpoint, got {other}"),
+    };
+    let mut guard = KillOnDrop(vec![d0, d1]);
+
+    let topology = FleetTopology {
+        shards: vec![FleetShard::solo(ep0), FleetShard::solo(ep1)],
+    };
+    let fleet_config = t.config.backend(BackendConfig::Fleet { topology });
+    let served = TrainedClassifier::load_with(&t.artifact, &fleet_config)
+        .expect("connect seeds both diskless workers by push");
+    assert_eq!(
+        served.try_classify_batch(&t.batch).expect("fleet healthy"),
+        t.expected
+    );
+
+    // Kill one diskless worker. With no replica its classes are dark, and
+    // the fleet must say so with a typed error.
+    guard.0[1].kill().expect("kill diskless worker");
+    guard.0[1].wait().expect("reap diskless worker");
+    match served.try_classify(&t.batch[0].1) {
+        Err(FhcError::Net(_)) => {}
+        Ok(_) => panic!("half-dark fleet answered instead of erroring"),
+        Err(other) => panic!("expected FhcError::Net, got {other}"),
+    }
+
+    // Restart it on the same address, memory empty again. The fleet must
+    // redial once the backoff gate opens, re-push the slices, and serve
+    // byte-identical predictions — no client restart, no artifact on disk.
+    let (d1_again, _) = spawn_diskless(&rejoin_addr);
+    guard.0.push(d1_again);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match served.try_classify_batch(&t.batch) {
+            Ok(predictions) => {
+                assert_eq!(predictions, t.expected);
+                break;
+            }
+            Err(FhcError::Net(_)) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(other) => panic!("restarted worker never rejoined: {other}"),
+        }
+    }
+
+    // The reference never left the client: predictions still match the
+    // in-process classifier that trained it.
+    assert_eq!(t.trained.classify_batch(&t.batch), t.expected);
+
+    drop(guard);
+    std::fs::remove_file(&t.artifact).ok();
+}

@@ -9,8 +9,8 @@
 
 use fhc::features::{PreparedSampleFeatures, SampleFeatures};
 use fhc::shardnet::wire::{
-    Assign, Frame, Hello, ScoreBatchRequest, ScoreBatchResponse, ScoreRequest, ScoreResponse,
-    PROTOCOL_VERSION,
+    Assign, Frame, Hello, PushAck, PushSlice, ScoreBatchRequest, ScoreBatchResponse, ScoreRequest,
+    ScoreResponse, PROTOCOL_VERSION,
 };
 use fhc::shardnet::NetError;
 use rand::{Rng, SeedableRng};
@@ -52,7 +52,7 @@ fn random_cells(rng: &mut ChaCha8Rng) -> Vec<(u32, f64)> {
 }
 
 fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
-    match rng.gen_range(0u32..8) {
+    match rng.gen_range(0u32..10) {
         0 => {
             let n_classes = rng.gen_range(1usize..40);
             Frame::Hello(Hello {
@@ -95,6 +95,19 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
                 rows: (0..n_rows).map(|_| random_cells(rng)).collect(),
             })
         }
+        7 => {
+            let total = rng.gen_range(1u32..64);
+            let len = rng.gen_range(0usize..512);
+            Frame::PushSlice(PushSlice {
+                index: rng.gen_range(0..total),
+                total,
+                payload: (0..len).map(|_| rng.gen::<u8>()).collect(),
+            })
+        }
+        8 => Frame::PushAck(PushAck {
+            fingerprint: rng.gen(),
+            classes_loaded: rng.gen_range(0u32..10_000),
+        }),
         _ => Frame::Shutdown,
     }
 }
@@ -102,7 +115,7 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
 #[test]
 fn every_frame_type_roundtrips_for_random_payloads() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0001);
-    let mut seen_tags = [false; 8];
+    let mut seen_tags = [false; 10];
     for case in 0..CASES {
         let frame = random_frame(&mut rng);
         seen_tags[match &frame {
@@ -114,6 +127,8 @@ fn every_frame_type_roundtrips_for_random_payloads() {
             Frame::Shutdown => 5,
             Frame::ScoreBatchRequest(_) => 6,
             Frame::ScoreBatchResponse(_) => 7,
+            Frame::PushSlice(_) => 8,
+            Frame::PushAck(_) => 9,
         }] = true;
         let bytes = frame.to_wire_bytes();
         let decoded = Frame::read_from(&mut Cursor::new(&bytes), "test")
@@ -244,6 +259,42 @@ fn malformed_payloads_are_protocol_errors() {
     payload.put_u32(u32::MAX); // rows "to follow"
     let mut bytes = Vec::new();
     hpcutil::write_frame(&mut bytes, 8, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A push slice claiming index >= total (out of sequence).
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(3); // index
+    payload.put_u32(3); // total
+    payload.put_bytes(b"slice bytes");
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 9, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A push slice claiming a zero-length sequence.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(0); // index
+    payload.put_u32(0); // total
+    payload.put_bytes(b"");
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 9, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A push slice whose blob length overruns the payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(0); // index
+    payload.put_u32(1); // total
+    payload.put_u32(u32::MAX); // blob bytes "to follow"
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 9, payload.as_bytes()).unwrap();
     assert!(matches!(
         Frame::read_from(&mut Cursor::new(bytes), "test"),
         Err(NetError::Protocol { .. })

@@ -25,6 +25,9 @@
 //!   join inline) or carry an explicit detach waiver.
 //! - `codec_symmetry` (R5): the `put_*` call sequence in each `encode_X` fn
 //!   must mirror the `get_*` sequence in its paired `decode_X` fn.
+//! - `bounded_retry` (R6): a `loop`/`while` body that dials connections
+//!   (`connect*`/`*dial*` calls) must reference a backoff or deadline
+//!   binding — an unbounded hot redial loop hammers a dead peer.
 //!
 //! Waivers: `// fhc-lint: allow(rule_name) -- reason` on the flagged line or
 //! on its own line directly above. The reason is mandatory; a malformed
@@ -39,7 +42,7 @@ use std::path::{Path, PathBuf};
 // ---------------------------------------------------------------------------
 
 /// The rule catalog. Order here fixes report order.
-pub const RULES: [RuleInfo; 6] = [
+pub const RULES: [RuleInfo; 7] = [
     RuleInfo {
         id: "R1",
         name: "no_panic",
@@ -64,6 +67,11 @@ pub const RULES: [RuleInfo; 6] = [
         id: "R5",
         name: "codec_symmetry",
         summary: "encode_X put_* sequence must mirror decode_X get_* sequence",
+    },
+    RuleInfo {
+        id: "R6",
+        name: "bounded_retry",
+        summary: "retry loops that dial connections must be bounded by a backoff/deadline",
     },
     RuleInfo {
         id: "W0",
@@ -91,6 +99,7 @@ pub struct RuleSet {
     pub bounded_channels: bool,
     pub join_or_detach: bool,
     pub codec_symmetry: bool,
+    pub bounded_retry: bool,
 }
 
 impl RuleSet {
@@ -101,6 +110,7 @@ impl RuleSet {
             bounded_channels: true,
             join_or_detach: true,
             codec_symmetry: true,
+            bounded_retry: true,
         }
     }
 
@@ -137,6 +147,7 @@ pub fn rules_for_path(path: &str) -> RuleSet {
         bounded_channels: daemon_core,
         join_or_detach: daemon_core,
         codec_symmetry: codec,
+        bounded_retry: daemon_core,
     }
 }
 
@@ -707,7 +718,7 @@ pub fn lint_source_with(path: &str, src: &str, rules: RuleSet) -> FileReport {
     // sets: a waiver that silently fails to parse would hide a real finding.
     for bad in &lexed.bad_waivers {
         out.push(Violation {
-            rule: &RULES[5],
+            rule: &RULES[6],
             path: path.to_string(),
             line: bad.line,
             message: bad.detail.clone(),
@@ -744,6 +755,9 @@ pub fn lint_source_with(path: &str, src: &str, rules: RuleSet) -> FileReport {
     }
     if rules.codec_symmetry {
         rule_codec_symmetry(&ctx, &mut out);
+    }
+    if rules.bounded_retry {
+        rule_bounded_retry(&ctx, &mut out);
     }
 
     // Apply waivers: a waiver covers its own line (trailing comment) or, when
@@ -1113,6 +1127,86 @@ fn rule_codec_symmetry(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+// --- R6: bounded_retry -----------------------------------------------------
+
+fn rule_bounded_retry(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    // A `loop` / `while` body that dials a connection (any `connect*` or
+    // `*dial*` call) is a retry loop: it must reference a backoff or
+    // deadline binding somewhere between the keyword and the closing
+    // brace, or it will hammer a dead peer at full speed. `for` loops are
+    // exempt — iterating a fixed endpoint list dials each peer once.
+    let mut i = 0usize;
+    while i < ctx.tokens.len() {
+        let Some(kw) = ctx.ident(i) else {
+            i += 1;
+            continue;
+        };
+        if kw != "loop" && kw != "while" {
+            i += 1;
+            continue;
+        }
+        // The loop body's `{` is the first top-level brace after the
+        // keyword; `(`/`[` groups in a `while` condition are skipped.
+        let mut j = i + 1;
+        let mut group = 0usize;
+        let open = loop {
+            match ctx.punct(j) {
+                None if j >= ctx.tokens.len() => break None,
+                Some("(") | Some("[") => group += 1,
+                Some(")") | Some("]") => group = group.saturating_sub(1),
+                Some("{") if group == 0 => break Some(j),
+                Some(";") if group == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        while close < ctx.tokens.len() {
+            match ctx.punct(close) {
+                Some("{") => depth += 1,
+                Some("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        if !ctx.is_test_at(i) {
+            let mut dial_at: Option<u32> = None;
+            let mut bounded = false;
+            for t in i..=close.min(ctx.tokens.len().saturating_sub(1)) {
+                let Some(name) = ctx.ident(t) else { continue };
+                if name.contains("backoff") || name.contains("deadline") {
+                    bounded = true;
+                } else if (name.starts_with("connect") || name.contains("dial"))
+                    && ctx.punct(skip_turbofish(ctx, t + 1)) == Some("(")
+                    && dial_at.is_none()
+                {
+                    dial_at = Some(ctx.tokens[t].line);
+                }
+            }
+            if let (Some(line), false) = (dial_at, bounded) {
+                out.push(ctx.violation(
+                    &RULES[5],
+                    line,
+                    format!(
+                        "`{kw}` body redials connections with no backoff/deadline bound — gate the redial or waive with a reason"
+                    ),
+                ));
+            }
+        }
+        i = open + 1;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Workspace walking and reporting
 // ---------------------------------------------------------------------------
@@ -1385,6 +1479,77 @@ mod tests {
     }
 
     #[test]
+    fn r6_hot_redial_loop_flagged() {
+        let src = "
+            fn redial(ep: &Endpoint) -> SplitConn {
+                loop {
+                    if let Ok(conn) = ep.connect_split() {
+                        return conn;
+                    }
+                }
+            }
+        ";
+        let v = unwaived(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule.name, "bounded_retry");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn r6_backoff_or_deadline_bound_ok() {
+        let src = "
+            fn redial(ep: &Endpoint, backoff: &BackoffPolicy) -> Result<SplitConn, E> {
+                let mut failures = 0u32;
+                loop {
+                    match ep.connect_split() {
+                        Ok(conn) => return Ok(conn),
+                        Err(_) => {
+                            failures += 1;
+                            std::thread::sleep(backoff.delay_for(failures));
+                        }
+                    }
+                }
+            }
+            fn poll(ep: &Endpoint, deadline: Instant) -> Result<SplitConn, E> {
+                while Instant::now() < deadline {
+                    if let Ok(conn) = ep.connect_split() {
+                        return Ok(conn);
+                    }
+                }
+                Err(E::Timeout)
+            }
+            fn sweep(eps: &[Endpoint]) {
+                for ep in eps {
+                    let _ = ep.connect_split();
+                }
+            }
+            fn drain(rx: &Receiver<Job>) {
+                while let Ok(job) = rx.recv() {
+                    job.run();
+                }
+            }
+        ";
+        assert!(unwaived(src).is_empty());
+    }
+
+    #[test]
+    fn r6_waiver_suppresses_with_reason() {
+        let src = "
+            fn redial(ep: &Endpoint) -> SplitConn {
+                loop {
+                    // fhc-lint: allow(bounded_retry) -- caller enforces an overall attempt budget
+                    if let Ok(conn) = ep.connect_split() {
+                        return conn;
+                    }
+                }
+            }
+        ";
+        let all = run(src);
+        assert_eq!(all.len(), 1, "{all:?}");
+        assert!(all[0].waived.is_some());
+    }
+
+    #[test]
     fn exempt_paths_have_no_rules() {
         assert!(rules_for_path("crates/fhc/tests/remote_serving.rs").is_empty());
         assert!(rules_for_path("crates/fhc/examples/demo.rs").is_empty());
@@ -1395,11 +1560,11 @@ mod tests {
     #[test]
     fn daemon_paths_get_full_rules() {
         let r = rules_for_path("crates/fhc/src/shardnet/mux_client.rs");
-        assert!(r.no_panic && r.socket_deadlines && r.bounded_channels);
+        assert!(r.no_panic && r.socket_deadlines && r.bounded_channels && r.bounded_retry);
         let r = rules_for_path("crates/hpcutil/src/mux.rs");
         assert!(r.no_panic && r.codec_symmetry);
         let r = rules_for_path("crates/hpcutil/src/codec.rs");
-        assert!(!r.no_panic && r.codec_symmetry);
+        assert!(!r.no_panic && r.codec_symmetry && !r.bounded_retry);
         let r = rules_for_path("crates/fhc/src/bin/fhc_shardd.rs");
         assert!(r.no_panic);
         assert!(rules_for_path("crates/fhc/src/serving.rs").is_empty());

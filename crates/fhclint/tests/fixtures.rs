@@ -99,11 +99,25 @@ fn r5_accepts_clean_fixture() {
 }
 
 #[test]
+fn r6_catches_violating_fixture() {
+    assert_eq!(
+        unwaived_of("r6_bounded_retry_violating.rs", "bounded_retry"),
+        1
+    );
+}
+
+#[test]
+fn r6_accepts_clean_fixture() {
+    assert_clean("r6_bounded_retry_clean.rs");
+}
+
+#[test]
 fn violating_fixtures_flag_only_their_own_rule() {
     for (fixture, rule) in [
         ("r2_socket_deadlines_violating.rs", "socket_deadlines"),
         ("r3_bounded_channels_violating.rs", "bounded_channels"),
         ("r5_codec_symmetry_violating.rs", "codec_symmetry"),
+        ("r6_bounded_retry_violating.rs", "bounded_retry"),
     ] {
         let stray: Vec<_> = lint_fixture(fixture)
             .into_iter()

@@ -1,0 +1,37 @@
+// Fixture: R6 bounded_retry — clean. Every loop that dials is bounded:
+// the first by an exponential backoff schedule, the second by a wall-clock
+// deadline, and the `for` sweep dials each endpoint exactly once.
+
+fn redial(endpoint: &Endpoint, backoff: &BackoffPolicy) -> Result<SplitConn, NetError> {
+    let mut failures = 0u32;
+    loop {
+        match endpoint.connect_split() {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                failures += 1;
+                if failures > MAX_REDIALS {
+                    return Err(NetError::worker_lost(endpoint, e));
+                }
+                std::thread::sleep(backoff.delay_for(failures));
+            }
+        }
+    }
+}
+
+fn wait_for(endpoint: &Endpoint, deadline: Instant) -> Result<SplitConn, NetError> {
+    while Instant::now() < deadline {
+        if let Ok(conn) = endpoint.connect_split() {
+            return Ok(conn);
+        }
+        std::thread::sleep(PROBE_PAUSE);
+    }
+    Err(NetError::timed_out(endpoint))
+}
+
+fn sweep(endpoints: &[Endpoint]) -> Vec<Result<SplitConn, NetError>> {
+    let mut out = Vec::with_capacity(endpoints.len());
+    for endpoint in endpoints {
+        out.push(endpoint.connect_split().map_err(NetError::dial));
+    }
+    out
+}

@@ -1,0 +1,13 @@
+// Fixture: R6 bounded_retry — deliberately violating. The redial loop
+// retries a dead peer with a fixed pause and no backoff or deadline, so a
+// worker that never comes back is hammered at a constant rate forever and
+// the caller never learns the peer is gone.
+
+fn redial(endpoint: &Endpoint) -> SplitConn {
+    loop {
+        match endpoint.connect_split() {
+            Ok(conn) => return conn,
+            Err(_) => std::thread::sleep(RETRY_PAUSE),
+        }
+    }
+}

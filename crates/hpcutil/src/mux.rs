@@ -34,10 +34,10 @@
 //! Without a read timeout on the underlying stream (or with a deadline of
 //! `None`) the reader blocks indefinitely and stalls are never detected.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -132,14 +132,32 @@ impl Default for MuxOptions {
     }
 }
 
+/// How many abandoned request ids the mux remembers. Hedged requests
+/// abandon their losing duplicate as a matter of course, so the set must
+/// not grow without bound on a long-lived connection; the oldest entries
+/// are reaped once the cap is hit. A late reply for a *reaped* id is still
+/// discarded quietly — the submit high-water mark (see
+/// [`MuxState::high_water`]) proves the id was once ours.
+const ABANDONED_LIMIT: usize = 1024;
+
 /// Book-keeping protected by one short-lived lock: requests awaiting a
 /// reply, requests whose caller gave up, and the sticky first error.
 struct MuxState<R> {
     pending: HashMap<u64, (Instant, SyncSender<Result<R, MuxError>>)>,
     /// Ids whose [`PendingReply`] was dropped before the reply arrived; a
     /// late reply for one of these is discarded instead of treated as a
-    /// protocol violation.
+    /// protocol violation. Bounded by [`ABANDONED_LIMIT`].
     abandoned: HashSet<u64>,
+    /// Insertion order of `abandoned`, for oldest-first reaping. May hold
+    /// stale entries for ids already drained by a late reply; reaping
+    /// skips those.
+    abandoned_order: VecDeque<u64>,
+    /// The highest request id ever submitted on this mux. A reply whose id
+    /// is neither pending nor abandoned but at or below this mark belongs
+    /// to a reaped abandoned request (or is a duplicate of an answered
+    /// one) and is discarded quietly; an id *above* it was invented by the
+    /// peer and poisons the connection.
+    high_water: Option<u64>,
     poisoned: Option<MuxError>,
 }
 
@@ -165,6 +183,7 @@ impl<R> Shared<R> {
             let err = st.poisoned.get_or_insert(err).clone();
             let drained: Vec<_> = st.pending.drain().map(|(_, (_, tx))| tx).collect();
             st.abandoned.clear();
+            st.abandoned_order.clear();
             (err, drained)
         };
         for tx in drained {
@@ -175,20 +194,28 @@ impl<R> Shared<R> {
         }
     }
 
-    /// Route one decoded reply to its waiter. Returns `false` (after
-    /// poisoning) when the id was never submitted — a stream that invents
-    /// correlation ids cannot be trusted.
+    /// Route one decoded reply to its waiter. A reply for an abandoned id
+    /// — or for an id at or below the submit high-water mark whose
+    /// abandoned entry was already reaped or drained — is discarded
+    /// quietly. Returns `false` (after poisoning) only when the id was
+    /// *never* submitted — a stream that invents correlation ids cannot be
+    /// trusted.
     fn deliver(&self, id: u64, reply: R) -> bool {
         enum Route<R> {
             Waiter(SyncSender<Result<R, MuxError>>),
-            Abandoned,
+            Discard,
             Unknown,
         }
         let route = {
             let mut st = self.lock();
             match st.pending.remove(&id) {
                 Some((_, tx)) => Route::Waiter(tx),
-                None if st.abandoned.remove(&id) => Route::Abandoned,
+                None if st.abandoned.remove(&id) => Route::Discard,
+                // The id was once submitted here but is no longer tracked:
+                // its abandoned entry was reaped at ABANDONED_LIMIT, or
+                // the peer answered it twice. Either way this is a stale
+                // duplicate of our own traffic, not an invented id.
+                None if st.high_water.is_some_and(|hw| id <= hw) => Route::Discard,
                 None => Route::Unknown,
             }
         };
@@ -199,7 +226,7 @@ impl<R> Shared<R> {
                 let _ = tx.send(Ok(reply));
                 true
             }
-            Route::Abandoned => true,
+            Route::Discard => true,
             Route::Unknown => {
                 self.poison(MuxError::new(
                     MuxErrorKind::Decode,
@@ -278,6 +305,8 @@ impl<R: Send + 'static> Mux<R> {
             state: Mutex::new(MuxState {
                 pending: HashMap::new(),
                 abandoned: HashSet::new(),
+                abandoned_order: VecDeque::new(),
+                high_water: None,
                 poisoned: None,
             }),
             closer,
@@ -325,8 +354,12 @@ impl<R: Send + 'static> Mux<R> {
     /// on the mux threads while the caller does other work (or
     /// [`PendingReply::wait`]s).
     ///
-    /// `id` must be unique among this mux's in-flight requests — the
-    /// natural source is a per-connection or shared atomic counter.
+    /// `id` must be unique among this mux's in-flight *and* abandoned
+    /// requests — the natural source is a per-connection or shared atomic
+    /// counter. A submit that reuses such an id is rejected with a typed
+    /// [`MuxErrorKind::Decode`] error (through the returned handle, without
+    /// poisoning the connection): registering it anyway could cross-wire
+    /// the old request's late reply into the new caller.
     pub fn submit(&self, id: u64, frame_bytes: Vec<u8>) -> PendingReply<R> {
         // Oneshot: exactly one of deliver/poison ever sends, so capacity 1
         // means the sender can never block.
@@ -343,8 +376,15 @@ impl<R: Send + 'static> Mux<R> {
                 let _ = tx.send(Err(err.clone()));
                 return pending;
             }
-            let prev = st.pending.insert(id, (Instant::now(), tx));
-            debug_assert!(prev.is_none(), "duplicate in-flight request id {id}");
+            if st.pending.contains_key(&id) || st.abandoned.contains(&id) {
+                let _ = tx.send(Err(MuxError::new(
+                    MuxErrorKind::Decode,
+                    format!("request id {id} is already in flight or awaiting reply drain"),
+                )));
+                return pending;
+            }
+            st.high_water = Some(st.high_water.map_or(id, |hw| hw.max(id)));
+            st.pending.insert(id, (Instant::now(), tx));
         }
         // The queue exists from construction until drop; mid-drop, fail the
         // request the same way a dead writer thread would.
@@ -426,6 +466,32 @@ impl<R> PendingReply<R> {
             )),
         }
     }
+
+    /// Wait up to `timeout` for the reply without consuming the handle —
+    /// the primitive a *hedged* request is built from: poll the primary
+    /// for its hedge deadline, fire the replica on `None`, then alternate
+    /// polls until one connection answers and drop the loser (its late
+    /// reply is drained quietly).
+    ///
+    /// Returns `Some` the first time the reply (or the connection's
+    /// failure) arrives; the handle is spent after that — keep the result,
+    /// further polls would time out forever.
+    pub fn poll_timeout(&mut self, timeout: Duration) -> Option<Result<R, MuxError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => {
+                self.waited = true;
+                Some(result)
+            }
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                self.waited = true;
+                Some(Err(MuxError::new(
+                    MuxErrorKind::Closed,
+                    "reply channel closed without a reply",
+                )))
+            }
+        }
+    }
 }
 
 impl<R> Drop for PendingReply<R> {
@@ -436,6 +502,17 @@ impl<R> Drop for PendingReply<R> {
         let mut st = self.shared.lock();
         if st.pending.remove(&self.id).is_some() {
             st.abandoned.insert(self.id);
+            st.abandoned_order.push_back(self.id);
+            // Reap oldest-first past the cap; entries already drained by a
+            // late reply are skipped (their set entry is gone).
+            while st.abandoned.len() > ABANDONED_LIMIT {
+                match st.abandoned_order.pop_front() {
+                    Some(old) => {
+                        st.abandoned.remove(&old);
+                    }
+                    None => break,
+                }
+            }
         }
     }
 }
@@ -768,6 +845,147 @@ mod tests {
             .wait()
             .expect_err("decode rejection");
         assert_eq!(err.kind, MuxErrorKind::Decode);
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_late_reply_for_a_reaped_abandoned_id_is_discarded_quietly() {
+        // More abandons than the cap, so the first id is reaped from the
+        // abandoned set before its late reply arrives.
+        const FLOOD: usize = ABANDONED_LIMIT + 8;
+        let (addr, server) = frame_server(move |mut stream| {
+            // Stash the first request, swallow the abandon flood, then
+            // answer the stashed request long after its caller gave up —
+            // and was reaped. Echo everything after that.
+            let first = read_frame(&mut stream, 1 << 20).expect("first request");
+            for _ in 0..FLOOD {
+                let _ = read_frame(&mut stream, 1 << 20).expect("flood request");
+            }
+            write_frame(&mut stream, first.0, &first.1).expect("late echo");
+            while let Ok((tag, payload)) = read_frame(&mut stream, 1 << 20) {
+                write_frame(&mut stream, tag, &payload).expect("echo");
+            }
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        drop(mux.submit(1, request_bytes(3, 1, b"will be reaped")));
+        for i in 0..FLOOD as u64 {
+            drop(mux.submit(1000 + i, request_bytes(3, 1000 + i, b"flood")));
+        }
+        // A fresh request still round-trips — the late reply for the
+        // reaped id 1 was discarded via the high-water mark instead of
+        // poisoning the connection.
+        let (_, payload) = mux
+            .submit(50_000, request_bytes(3, 50_000, b"fresh"))
+            .wait()
+            .expect("fresh request after the reaped late reply");
+        assert_eq!(&payload[8..], b"fresh");
+        assert!(!mux.is_poisoned(), "reaped late reply must not poison");
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_reused_id_is_rejected_while_abandoned_and_safe_after_the_drain() {
+        let (addr, server) = frame_server(|mut stream| {
+            // Swallow the first request (tag 4); echo everything else on
+            // command (tag 3).
+            while let Ok((tag, payload)) = read_frame(&mut stream, 1 << 20) {
+                if tag == 3 {
+                    write_frame(&mut stream, tag, &payload).expect("echo");
+                }
+            }
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        // Abandon id 7 with its reply still outstanding (the server
+        // swallows tag 4, so nothing ever drains it).
+        drop(mux.submit(7, request_bytes(4, 7, b"abandoned")));
+        // Reusing the id now would let the old request's late reply
+        // cross-wire into the new caller: typed rejection, no poison.
+        let err = mux
+            .submit(7, request_bytes(3, 7, b"reused too early"))
+            .wait()
+            .expect_err("reuse while abandoned must be rejected");
+        assert_eq!(err.kind, MuxErrorKind::Decode);
+        assert!(err.detail.contains("already in flight"));
+        assert!(!mux.is_poisoned(), "a rejected reuse must not poison");
+        // A duplicate of a *pending* id is rejected the same way.
+        let pending = mux.submit(9, request_bytes(4, 9, b"still in flight"));
+        let err = mux
+            .submit(9, request_bytes(3, 9, b"duplicate"))
+            .wait()
+            .expect_err("duplicate of a pending id must be rejected");
+        assert_eq!(err.kind, MuxErrorKind::Decode);
+        drop(pending);
+        // Other ids are unaffected throughout.
+        let (_, payload) = mux
+            .submit(8, request_bytes(3, 8, b"unaffected"))
+            .wait()
+            .expect("fresh id still round-trips");
+        assert_eq!(&payload[8..], b"unaffected");
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_drained_duplicate_reply_does_not_corrupt_a_later_reused_id() {
+        // The hedge-loser shape: a request is abandoned, its late reply
+        // drains, and the id is then reused for a fresh request. The fresh
+        // caller must get *its own* reply, never the stale one.
+        let (addr, server) = frame_server(|mut stream| {
+            while let Ok((tag, payload)) = read_frame(&mut stream, 1 << 20) {
+                if tag == 3 {
+                    write_frame(&mut stream, tag, &payload).expect("echo");
+                }
+            }
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        // Abandon id 5; the echo arrives afterwards and is drained.
+        drop(mux.submit(5, request_bytes(3, 5, b"stale loser reply")));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while mux.shared.lock().abandoned.contains(&5) {
+            assert!(Instant::now() < deadline, "late reply never drained");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!mux.is_poisoned(), "drained duplicate must not poison");
+        // Reuse the id: the new request correlates to the new reply.
+        let (_, payload) = mux
+            .submit(5, request_bytes(3, 5, b"fresh winner reply"))
+            .wait()
+            .expect("reused id after the drain");
+        assert_eq!(&payload[8..], b"fresh winner reply");
+        drop(mux);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn poll_timeout_times_out_then_delivers() {
+        let (addr, server) = frame_server(|mut stream| {
+            // Answer only the second request ever received; swallow the
+            // first (tag 4) to force the poll timeout path.
+            while let Ok((tag, payload)) = read_frame(&mut stream, 1 << 20) {
+                if tag == 3 {
+                    write_frame(&mut stream, tag, &payload).expect("echo");
+                }
+            }
+        });
+        let mux = connect_mux(&addr, MuxOptions::default());
+        let mut slow = mux.submit(1, request_bytes(4, 1, b"never answered"));
+        assert!(
+            slow.poll_timeout(Duration::from_millis(50)).is_none(),
+            "an unanswered request polls to None"
+        );
+        let mut fast = mux.submit(2, request_bytes(3, 2, b"hedge"));
+        let reply = loop {
+            if let Some(reply) = fast.poll_timeout(Duration::from_millis(50)) {
+                break reply;
+            }
+        };
+        let (_, payload) = reply.expect("hedged reply");
+        assert_eq!(&payload[8..], b"hedge");
+        // Dropping the loser abandons it quietly.
+        drop(slow);
+        assert!(!mux.is_poisoned());
         drop(mux);
         server.join().expect("server thread");
     }
