@@ -10,15 +10,16 @@
 //! the index existed).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fhc::artifact::ArtifactDelta;
 use fhc::backend::{round_robin_partition, BackendConfig};
 use fhc::features::{PreparedSampleFeatures, SampleFeatures};
 use fhc::pipeline::FuzzyHashClassifier;
 use fhc::serving::Prediction;
 use fhc::shardnet::wire::{self, Frame};
-use fhc::shardnet::worker::serve_tcp;
+use fhc::shardnet::worker::{serve_host_tcp, serve_tcp};
 use fhc::shardnet::{
-    gateway, Endpoint, FleetBackend, FleetShard, FleetTopology, Gateway, GatewayBackend,
-    GatewayOptions, RemoteBackend, ShardWorker, Transport,
+    gateway, Endpoint, FleetBackend, FleetShard, FleetTopology, FleetView, Gateway, GatewayBackend,
+    GatewayOptions, RemoteBackend, ShardWorker, TenantHost, Transport,
 };
 use fhc::threshold::{apply_threshold, UNKNOWN_LABEL};
 use fhc_bench::{bench_config, bench_corpus};
@@ -497,6 +498,113 @@ fn bench_classify_batch(c: &mut Criterion) {
             )
         })
     });
+    group.finish();
+
+    // Multi-tenant serving: tenant selection happens once per connection
+    // at handshake time, so a daemon hosting several reference sets must
+    // serve per-query traffic at the same speed as a single-tenant one —
+    // this pair of labels keeps that a recorded number, not an assumption.
+    let spawn_host = |host: TenantHost| -> Endpoint {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+        let host = Arc::new(host);
+        std::thread::spawn(move || serve_host_tcp(host, listener));
+        endpoint
+    };
+    let single_ep = spawn_host(TenantHost::single(Some(ShardWorker::all_classes(
+        reference.clone(),
+    ))));
+    let multi_ep = {
+        let mut host = TenantHost::new();
+        for name in ["acme", "beta", "gamma", "delta"] {
+            host.register(name, Some(ShardWorker::all_classes(reference.clone())))
+                .expect("register tenant");
+        }
+        spawn_host(host)
+    };
+    let one_tenant = RemoteBackend::connect(reference.clone(), std::slice::from_ref(&single_ep))
+        .expect("single-tenant daemon serves the default tenant");
+    let four_tenants = RemoteBackend::connect_tenant(
+        reference.clone(),
+        std::slice::from_ref(&multi_ep),
+        Some("gamma"),
+    )
+    .expect("multi-tenant daemon routes the connection");
+
+    // Rolling upgrades: evolve the last reference class by one sample, so
+    // the delta carries a single class slice. Each iteration resets the
+    // push-capable worker to the base set (identical cost in both
+    // variants), then upgrades it to the target through an admit — by a
+    // full per-class re-seed, or by the registered delta. The gap between
+    // the two medians is what shipping a delta instead of every class
+    // slice buys on the wire.
+    let mut evolved = (*reference).clone();
+    let last = reference.n_classes() - 1;
+    evolved
+        .add_samples(
+            last,
+            vec![PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+                b"a freshly observed variant of the final reference class",
+            ))],
+        )
+        .expect("extend the last class");
+    let target = Arc::new(evolved);
+    let delta = ArtifactDelta::between(&reference, &target).expect("diff the evolution");
+    let upgradeable = spawn_host(TenantHost::single(None)); // diskless, push-capable
+    let healthy = {
+        // Already holds the target set, so connecting never re-pushes it.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let endpoint = Endpoint::Tcp(listener.local_addr().unwrap().to_string());
+        let worker = Arc::new(ShardWorker::all_classes(target.clone()));
+        std::thread::spawn(move || serve_tcp(worker, listener));
+        endpoint
+    };
+    let upgrade = |with_delta: bool| {
+        FleetView::connect(
+            reference.clone(),
+            FleetTopology {
+                shards: vec![FleetShard::solo(upgradeable.clone())],
+            },
+        )
+        .expect("reset the worker to the base set by full push");
+        let view = FleetView::connect(
+            target.clone(),
+            FleetTopology {
+                shards: vec![FleetShard::solo(healthy.clone())],
+            },
+        )
+        .expect("target fleet connects");
+        if with_delta {
+            view.register_delta(delta.clone()).expect("register delta");
+        }
+        view.admit(FleetShard::solo(upgradeable.clone()))
+            .expect("admit upgrades the stale worker");
+    };
+
+    let mut group = c.benchmark_group("serving/tenant");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("rows_1_tenant_daemon", |b| {
+        b.iter(|| {
+            black_box(
+                one_tenant
+                    .try_feature_rows_prepared(&probes)
+                    .expect("daemon alive"),
+            )
+        })
+    });
+    group.bench_function("rows_4_tenant_daemon", |b| {
+        b.iter(|| {
+            black_box(
+                four_tenants
+                    .try_feature_rows_prepared(&probes)
+                    .expect("daemon alive"),
+            )
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("upgrade_full_push", |b| b.iter(|| upgrade(false)));
+    group.bench_function("upgrade_delta_patch", |b| b.iter(|| upgrade(true)));
     group.finish();
 
     // Artifact round trip: the cost of loading a model into a new process.

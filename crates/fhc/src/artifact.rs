@@ -625,6 +625,269 @@ fn decode_slice_payload(payload: &[u8]) -> Result<DecodedSlice, CodecError> {
     })
 }
 
+/// Magic prefix of an artifact-delta container ([`ArtifactDelta`]).
+const DELTA_MAGIC: u64 = u64::from_le_bytes(*b"FHCDELTA");
+
+/// A checksummed patch between two reference sets, layered on the
+/// per-class slice codec: retire these classes (by name), then add these
+/// slices — [`ReferenceSet::encode_slice`] outputs of the *target* set.
+///
+/// A delta names its base by fingerprint, so it can never be applied to
+/// the wrong set: [`ArtifactDelta::apply`] refuses a base whose declared
+/// fingerprint differs (the stale-base rejection), and after patching a
+/// fully-held set the evolved fingerprint must recompute to the declared
+/// target. Changed classes travel as retire-then-re-add, so a delta's
+/// size tracks what actually changed — which is what lets a fleet patch
+/// a diskless worker over the wire
+/// ([`PushDelta`](crate::shardnet::wire::PushDelta)) instead of
+/// re-pushing every class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactDelta {
+    /// Fingerprint the base set must declare for the delta to apply.
+    pub base_fingerprint: u64,
+    /// Fingerprint the evolved set declares (and, when fully held,
+    /// recomputes to) after applying.
+    pub target_fingerprint: u64,
+    /// Class names retired from the base, in application order.
+    pub retire_classes: Vec<String>,
+    /// Per-class slices of the target set added after the retires, in
+    /// application order.
+    pub add_slices: Vec<Vec<u8>>,
+}
+
+impl ArtifactDelta {
+    /// Diff two reference sets into the minimal retire/add patch: classes
+    /// are matched by name and compared by content (the class's slice of
+    /// the fingerprint input), so removed and changed classes retire,
+    /// while new and changed classes add. When the surviving base order
+    /// cannot reproduce the target's class order (a reorder), the delta
+    /// falls back to full replacement — correct, just not minimal.
+    pub fn between(base: &ReferenceSet, target: &ReferenceSet) -> Result<Self, FhcError> {
+        if base.kinds() != target.kinds() {
+            return Err(FhcError::Artifact(
+                "cannot diff reference sets with different active feature kinds".into(),
+            ));
+        }
+        let base_keys: Vec<u64> = (0..base.n_classes())
+            .map(|c| base.class_content_key(c))
+            .collect();
+        let target_keys: Vec<u64> = (0..target.n_classes())
+            .map(|c| target.class_content_key(c))
+            .collect();
+        let mut retire: Vec<String> = Vec::new();
+        for (c, name) in base.class_names().iter().enumerate() {
+            let unchanged = target
+                .class_id(name)
+                .is_some_and(|t| target_keys[t] == base_keys[c]);
+            if !unchanged {
+                retire.push(name.clone());
+            }
+        }
+        let mut add: Vec<usize> = Vec::new();
+        for (t, name) in target.class_names().iter().enumerate() {
+            let unchanged = base
+                .class_id(name)
+                .is_some_and(|b| base_keys[b] == target_keys[t]);
+            if !unchanged {
+                add.push(t);
+            }
+        }
+        // Application order is survivors-then-adds; if that is not the
+        // target's class order, replace everything.
+        let mut final_names: Vec<&String> = base
+            .class_names()
+            .iter()
+            .filter(|name| !retire.contains(name))
+            .collect();
+        final_names.extend(add.iter().map(|&t| &target.class_names()[t]));
+        if final_names.into_iter().ne(target.class_names()) {
+            retire = base.class_names().to_vec();
+            add = (0..target.n_classes()).collect();
+        }
+        if let Some(&empty) = add
+            .iter()
+            .find(|&&t| target.prepared_class_features(t).is_empty())
+        {
+            return Err(FhcError::Artifact(format!(
+                "cannot diff: target class {:?} has no reference samples",
+                target.class_names()[empty]
+            )));
+        }
+        let add_slices = add
+            .iter()
+            .map(|&t| target.encode_slice(&[t]))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            base_fingerprint: base.fingerprint(),
+            target_fingerprint: target.fingerprint(),
+            retire_classes: retire,
+            add_slices,
+        })
+    }
+
+    /// Patch `base` (declaring fingerprint `declared`) into the target
+    /// set: verify the base matches, retire by name, add each slice's
+    /// classes, and return the evolved set with its new declared
+    /// fingerprint.
+    ///
+    /// A fully-held result (every class non-empty) is re-fingerprinted
+    /// and must equal the declared target. A *partially*-held base — a
+    /// shard worker's sparse slice assembly — cannot be re-fingerprinted
+    /// (the fingerprint walks every sample), so there the declared value
+    /// is trusted and integrity rides on the per-slice checksums, exactly
+    /// as in [`ReferenceSet::from_slices`].
+    pub fn apply(
+        &self,
+        base: &ReferenceSet,
+        declared: u64,
+    ) -> Result<(ReferenceSet, u64), FhcError> {
+        if declared != self.base_fingerprint {
+            return Err(FhcError::Artifact(format!(
+                "stale base: the delta patches {:#018x}, but the base set declares {declared:#018x}",
+                self.base_fingerprint
+            )));
+        }
+        let mut evolved = base.clone();
+        for name in &self.retire_classes {
+            let class = evolved.class_id(name).ok_or_else(|| {
+                FhcError::Artifact(format!(
+                    "delta retires class {name:?}, which the base set does not hold"
+                ))
+            })?;
+            evolved.retire_class(class)?;
+        }
+        for bytes in &self.add_slices {
+            let DecodedSlice {
+                fingerprint,
+                kinds,
+                class_names,
+                owned,
+            } = decode_slice(bytes)?;
+            if fingerprint != self.target_fingerprint {
+                return Err(FhcError::Artifact(format!(
+                    "delta add-slice declares fingerprint {fingerprint:#018x}, \
+                     but the delta targets {:#018x}",
+                    self.target_fingerprint
+                )));
+            }
+            if kinds != evolved.kinds() {
+                return Err(FhcError::Artifact(
+                    "delta add-slice has different active feature kinds than the base".into(),
+                ));
+            }
+            for (class, samples) in owned {
+                evolved.add_class(class_names[class].clone(), samples)?;
+            }
+        }
+        if evolved.n_classes() == 0 {
+            return Err(FhcError::Artifact(
+                "the delta retires every class and adds none".into(),
+            ));
+        }
+        let full = (0..evolved.n_classes()).all(|c| !evolved.prepared_class_features(c).is_empty());
+        if full {
+            let actual = evolved.fingerprint();
+            if actual != self.target_fingerprint {
+                return Err(FhcError::Artifact(format!(
+                    "patched reference set fingerprints to {actual:#018x}, \
+                     but the delta declared {:#018x}",
+                    self.target_fingerprint
+                )));
+            }
+        }
+        Ok((evolved, self.target_fingerprint))
+    }
+
+    /// Encode into the checksummed delta container (same container shape
+    /// as artifacts and slices: magic, version, length-prefixed payload,
+    /// FNV-1a checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.base_fingerprint);
+        w.put_u64(self.target_fingerprint);
+        w.put_usize(self.retire_classes.len());
+        for name in &self.retire_classes {
+            w.put_str(name);
+        }
+        w.put_usize(self.add_slices.len());
+        for slice in &self.add_slices {
+            w.put_bytes(slice);
+        }
+        let payload = w.into_bytes();
+        let mut out = ByteWriter::new();
+        out.put_u64(DELTA_MAGIC);
+        out.put_u32(FORMAT_VERSION);
+        out.put_bytes(&payload);
+        out.put_u64(fnv1a64(&payload));
+        out.into_bytes()
+    }
+
+    /// Decode a delta container, validating magic, version, checksum, and
+    /// every count against the remaining payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FhcError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u64().map_err(codec_err)?;
+        if magic != DELTA_MAGIC {
+            return Err(FhcError::Artifact(format!(
+                "bad magic {magic:#018x}: not an artifact delta"
+            )));
+        }
+        let version = r.get_u32().map_err(codec_err)?;
+        if version != FORMAT_VERSION {
+            return Err(FhcError::Artifact(format!(
+                "unsupported delta format version {version} (this build writes {FORMAT_VERSION})"
+            )));
+        }
+        let payload = r.get_bytes().map_err(codec_err)?;
+        let checksum = r.get_u64().map_err(codec_err)?;
+        r.expect_end().map_err(codec_err)?;
+        let actual = fnv1a64(&payload);
+        if checksum != actual {
+            return Err(FhcError::Artifact(format!(
+                "delta checksum mismatch (stored {checksum:#018x}, computed {actual:#018x})"
+            )));
+        }
+        Self::decode_payload(&payload).map_err(codec_err)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let base_fingerprint = r.get_u64()?;
+        let target_fingerprint = r.get_u64()?;
+        let n_retire = r.get_usize()?;
+        // Every retired name costs at least its 4-byte length prefix.
+        if r.remaining() < n_retire.saturating_mul(4) {
+            return Err(CodecError::new(format!(
+                "delta retires {n_retire} classes but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut retire_classes = Vec::with_capacity(n_retire);
+        for _ in 0..n_retire {
+            retire_classes.push(r.get_str()?);
+        }
+        let n_add = r.get_usize()?;
+        // Every add slice costs at least its 4-byte length prefix.
+        if r.remaining() < n_add.saturating_mul(4) {
+            return Err(CodecError::new(format!(
+                "delta adds {n_add} slices but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut add_slices = Vec::with_capacity(n_add);
+        for _ in 0..n_add {
+            add_slices.push(r.get_bytes()?);
+        }
+        r.expect_end()?;
+        Ok(Self {
+            base_fingerprint,
+            target_fingerprint,
+            retire_classes,
+            add_slices,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +1033,144 @@ mod tests {
         );
         let foreign = other.encode_slice(&[1]).expect("slice encodes");
         assert!(ReferenceSet::from_slices(&[slice, foreign]).is_err());
+    }
+
+    fn extract_prepared(bodies: &[&[u8]]) -> Vec<PreparedSampleFeatures> {
+        bodies
+            .iter()
+            .map(|b| PreparedSampleFeatures::prepare(&SampleFeatures::extract(b)))
+            .collect()
+    }
+
+    #[test]
+    fn delta_patches_base_to_target_identically() {
+        let base = slice_reference();
+        // Target: OpenMalaria retired, Gromacs extended (changed content),
+        // Hmmer brand new. A changed class re-travels as retire + add, so
+        // only order-preserving mutations stay incremental.
+        let mut target = base.clone();
+        target.retire_class(1).expect("retire OpenMalaria");
+        target
+            .add_samples(
+                1,
+                extract_prepared(&[b"gromacs molecular dynamics second trajectory"]),
+            )
+            .expect("extend Gromacs");
+        target
+            .add_class(
+                "Hmmer".into(),
+                extract_prepared(&[b"hmmer profile hidden markov model search"]),
+            )
+            .expect("add Hmmer");
+
+        let delta = ArtifactDelta::between(&base, &target).expect("diff");
+        // Velvet is untouched, so it must not travel.
+        assert_eq!(delta.retire_classes, vec!["OpenMalaria", "Gromacs"]);
+        assert_eq!(delta.add_slices.len(), 2, "Gromacs re-add + Hmmer");
+        assert_eq!(delta.base_fingerprint, base.fingerprint());
+        assert_eq!(delta.target_fingerprint, target.fingerprint());
+
+        // Container round-trip.
+        let decoded = ArtifactDelta::decode(&delta.encode()).expect("decode");
+        assert_eq!(decoded, delta);
+
+        // Applying reproduces the target exactly.
+        let (evolved, declared) = decoded.apply(&base, base.fingerprint()).expect("apply");
+        assert_eq!(declared, target.fingerprint());
+        assert_eq!(evolved.fingerprint(), target.fingerprint());
+        assert_eq!(evolved.class_names(), target.class_names());
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"a probe resembling nothing in particular",
+        ));
+        assert_eq!(
+            evolved.feature_vector_prepared(&query),
+            target.feature_vector_prepared(&query)
+        );
+    }
+
+    #[test]
+    fn delta_between_identical_sets_is_empty() {
+        let base = slice_reference();
+        let delta = ArtifactDelta::between(&base, &base).expect("diff");
+        assert!(delta.retire_classes.is_empty());
+        assert!(delta.add_slices.is_empty());
+        assert_eq!(delta.base_fingerprint, delta.target_fingerprint);
+        let (evolved, _) = delta.apply(&base, base.fingerprint()).expect("apply");
+        assert_eq!(evolved.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn delta_reorder_falls_back_to_full_replacement() {
+        let base = slice_reference();
+        // Same content, different class order: survivors cannot reproduce
+        // it, so everything must travel.
+        let reordered = ReferenceSet::from_prepared_parts(
+            vec!["Gromacs".into(), "Velvet".into(), "OpenMalaria".into()],
+            vec![
+                base.prepared_class_features(2).to_vec(),
+                base.prepared_class_features(0).to_vec(),
+                base.prepared_class_features(1).to_vec(),
+            ],
+            base.kinds().to_vec(),
+        );
+        let delta = ArtifactDelta::between(&base, &reordered).expect("diff");
+        assert_eq!(delta.retire_classes.len(), base.n_classes());
+        assert_eq!(delta.add_slices.len(), reordered.n_classes());
+        let (evolved, _) = delta.apply(&base, base.fingerprint()).expect("apply");
+        assert_eq!(evolved.fingerprint(), reordered.fingerprint());
+        assert_eq!(evolved.class_names(), reordered.class_names());
+    }
+
+    #[test]
+    fn stale_or_mismatched_deltas_are_rejected() {
+        let base = slice_reference();
+        let mut target = base.clone();
+        target
+            .add_class(
+                "Hmmer".into(),
+                extract_prepared(&[b"hmmer profile hidden markov model search"]),
+            )
+            .expect("add Hmmer");
+        let delta = ArtifactDelta::between(&base, &target).expect("diff");
+
+        // Stale base: wrong declared fingerprint.
+        let stale = delta.apply(&base, base.fingerprint() ^ 1);
+        match stale {
+            Err(FhcError::Artifact(message)) => {
+                assert!(message.contains("stale base"), "got {message:?}")
+            }
+            other => panic!("expected a stale-base rejection, got {other:?}"),
+        }
+
+        // Applying to the wrong set entirely (already-patched target).
+        assert!(delta.apply(&target, target.fingerprint()).is_err());
+
+        // A delta retiring a class the base does not hold.
+        let bad = ArtifactDelta {
+            base_fingerprint: base.fingerprint(),
+            target_fingerprint: base.fingerprint(),
+            retire_classes: vec!["NotAClass".into()],
+            add_slices: Vec::new(),
+        };
+        assert!(bad.apply(&base, base.fingerprint()).is_err());
+
+        // Container corruption and truncation fail cleanly.
+        let good = delta.encode();
+        let mut corrupt = good.clone();
+        let mid = good.len() / 2;
+        corrupt[mid] ^= 0x10;
+        assert!(ArtifactDelta::decode(&corrupt).is_err());
+        for cut in [0, 4, 8, 12, 20, good.len() / 2, good.len() - 1] {
+            assert!(ArtifactDelta::decode(&good[..cut]).is_err(), "cut {cut}");
+        }
+
+        // Bad magic / version.
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(ArtifactDelta::decode(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[8] = 0xEE;
+        assert!(ArtifactDelta::decode(&bad_version).is_err());
     }
 
     /// Re-encode a classifier in the retired version-1 layout (original

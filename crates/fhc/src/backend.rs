@@ -391,26 +391,36 @@ pub enum BackendConfig {
     Remote {
         /// The worker endpoints to fan out across.
         endpoints: Vec<Endpoint>,
+        /// The tenant to select on every worker (`tenant=NAME` in the
+        /// spec); `None` expects the default tenant.
+        tenant: Option<String>,
     },
     /// A batching `fhc-gateway` front door fronting the shard fleet
     /// ([`GatewayBackend`]).
     Gateway {
         /// The gateway endpoint to score through.
         endpoint: Endpoint,
+        /// The tenant to select on the gateway; `None` expects the
+        /// default tenant.
+        tenant: Option<String>,
     },
     /// A self-healing shard fleet with replicas, hedged requests, and
     /// reference push ([`FleetBackend`]).
     Fleet {
         /// The declared topology: shards and their replicas.
         topology: FleetTopology,
+        /// The tenant to select on every fleet node; `None` expects the
+        /// default tenant.
+        tenant: Option<String>,
     },
 }
 
 impl BackendConfig {
-    /// A remote configuration over `endpoints`.
+    /// A remote configuration over `endpoints` (default tenant).
     pub fn remote(endpoints: impl IntoIterator<Item = Endpoint>) -> Self {
         BackendConfig::Remote {
             endpoints: endpoints.into_iter().collect(),
+            tenant: None,
         }
     }
 
@@ -425,14 +435,17 @@ impl BackendConfig {
             BackendConfig::Sharded { shards } => {
                 AnyBackend::Sharded(ShardedBackend::new(reference, *shards))
             }
-            BackendConfig::Remote { endpoints } => AnyBackend::Remote(
-                RemoteBackend::connect(reference, endpoints).map_err(FhcError::Net)?,
+            BackendConfig::Remote { endpoints, tenant } => AnyBackend::Remote(
+                RemoteBackend::connect_tenant(reference, endpoints, tenant.as_deref())
+                    .map_err(FhcError::Net)?,
             ),
-            BackendConfig::Gateway { endpoint } => AnyBackend::Gateway(
-                GatewayBackend::connect(reference, endpoint).map_err(FhcError::Net)?,
+            BackendConfig::Gateway { endpoint, tenant } => AnyBackend::Gateway(
+                GatewayBackend::connect_tenant(reference, endpoint, tenant.as_deref())
+                    .map_err(FhcError::Net)?,
             ),
-            BackendConfig::Fleet { topology } => AnyBackend::Fleet(
-                FleetBackend::connect(reference, topology.clone()).map_err(FhcError::Net)?,
+            BackendConfig::Fleet { topology, tenant } => AnyBackend::Fleet(
+                FleetBackend::connect_tenant(reference, topology.clone(), tenant.as_deref())
+                    .map_err(FhcError::Net)?,
             ),
         })
     }
@@ -453,7 +466,7 @@ impl std::fmt::Display for BackendConfig {
             BackendConfig::Indexed => f.write_str("indexed"),
             BackendConfig::Sharded { shards: 0 } => f.write_str("sharded(auto)"),
             BackendConfig::Sharded { shards } => write!(f, "sharded({shards})"),
-            BackendConfig::Remote { endpoints } => {
+            BackendConfig::Remote { endpoints, tenant } => {
                 f.write_str("remote(")?;
                 for (i, endpoint) in endpoints.iter().enumerate() {
                     if i > 0 {
@@ -461,10 +474,25 @@ impl std::fmt::Display for BackendConfig {
                     }
                     write!(f, "{endpoint}")?;
                 }
+                if let Some(tenant) = tenant {
+                    write!(f, ";tenant={tenant}")?;
+                }
                 f.write_str(")")
             }
-            BackendConfig::Gateway { endpoint } => write!(f, "gateway({endpoint})"),
-            BackendConfig::Fleet { topology } => write!(f, "fleet({topology})"),
+            BackendConfig::Gateway { endpoint, tenant } => {
+                write!(f, "gateway({endpoint}")?;
+                if let Some(tenant) = tenant {
+                    write!(f, ";tenant={tenant}")?;
+                }
+                f.write_str(")")
+            }
+            BackendConfig::Fleet { topology, tenant } => {
+                write!(f, "fleet({topology}")?;
+                if let Some(tenant) = tenant {
+                    write!(f, ";tenant={tenant}")?;
+                }
+                f.write_str(")")
+            }
         }
     }
 }
@@ -476,6 +504,12 @@ impl std::str::FromStr for BackendConfig {
     /// `sharded:N` (`N = 0` or `sharded` alone means auto), or
     /// `remote:EP[,EP...]` with endpoints as accepted by
     /// `Endpoint` parsing (`tcp:HOST:PORT`, `HOST:PORT`, `unix:PATH`).
+    ///
+    /// The networked specs accept a `;tenant=NAME` item anywhere in their
+    /// `;`-separated payload — `remote:h:9000;tenant=acme`,
+    /// `gateway:h:7000;tenant=acme`,
+    /// `fleet:h:9000;replica=h:9100;tenant=acme` — selecting that tenant
+    /// on every handshake. Without it the default tenant is expected.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "scan" => return Ok(BackendConfig::Scan),
@@ -490,29 +524,58 @@ impl std::str::FromStr for BackendConfig {
             return Ok(BackendConfig::Sharded { shards });
         }
         if let Some(list) = s.strip_prefix("remote:") {
-            let endpoints = list
+            let (rest, tenant) = split_tenant(list)?;
+            let endpoints = rest
                 .split(',')
                 .map(|e| e.trim().parse::<Endpoint>())
                 .collect::<Result<Vec<_>, _>>()?;
             if endpoints.is_empty() {
                 return Err("remote backend needs at least one endpoint".into());
             }
-            return Ok(BackendConfig::Remote { endpoints });
+            return Ok(BackendConfig::Remote { endpoints, tenant });
         }
         if let Some(spec) = s.strip_prefix("gateway:") {
-            let endpoint = spec.trim().parse::<Endpoint>()?;
-            return Ok(BackendConfig::Gateway { endpoint });
+            let (rest, tenant) = split_tenant(spec)?;
+            let endpoint = rest.trim().parse::<Endpoint>()?;
+            return Ok(BackendConfig::Gateway { endpoint, tenant });
         }
         if let Some(spec) = s.strip_prefix("fleet:") {
-            let topology = spec.trim().parse::<FleetTopology>()?;
-            return Ok(BackendConfig::Fleet { topology });
+            let (rest, tenant) = split_tenant(spec)?;
+            let topology = rest.trim().parse::<FleetTopology>()?;
+            return Ok(BackendConfig::Fleet { topology, tenant });
         }
         Err(format!(
             "unknown backend {s:?}: expected scan, indexed, sharded[:N], \
              remote:EP[,EP...], gateway:EP, or \
-             fleet:EP[;replica=EP[,EP...]][;EP...]"
+             fleet:EP[;replica=EP[,EP...]][;EP...], \
+             each optionally with ;tenant=NAME"
         ))
     }
+}
+
+/// Extract one `tenant=NAME` item from a `;`-separated backend payload,
+/// returning the payload with the item removed and the validated name.
+/// More than one `tenant=` item, or a malformed name, is an error.
+fn split_tenant(payload: &str) -> Result<(String, Option<String>), String> {
+    let mut tenant: Option<String> = None;
+    let mut rest: Vec<&str> = Vec::new();
+    for item in payload.split(';') {
+        if let Some(name) = item.trim().strip_prefix("tenant=") {
+            if tenant.is_some() {
+                return Err("tenant= may appear at most once in a backend spec".into());
+            }
+            if !crate::shardnet::wire::valid_tenant(name) {
+                return Err(format!(
+                    "invalid tenant {name:?}: want 1..={} characters of [A-Za-z0-9._-]",
+                    crate::shardnet::wire::MAX_TENANT_LEN
+                ));
+            }
+            tenant = Some(name.to_string());
+        } else {
+            rest.push(item);
+        }
+    }
+    Ok((rest.join(";"), tenant))
 }
 
 /// A concrete backend chosen at runtime — the closed set of
@@ -546,12 +609,15 @@ impl AnyBackend {
             },
             AnyBackend::Remote(b) => BackendConfig::Remote {
                 endpoints: b.endpoints(),
+                tenant: b.tenant().map(str::to_string),
             },
             AnyBackend::Gateway(b) => BackendConfig::Gateway {
                 endpoint: b.endpoint().clone(),
+                tenant: b.tenant().map(str::to_string),
             },
             AnyBackend::Fleet(b) => BackendConfig::Fleet {
                 topology: b.topology(),
+                tenant: b.tenant().map(str::to_string),
             },
         }
     }
@@ -848,9 +914,18 @@ mod tests {
         assert_eq!(
             BackendConfig::Fleet {
                 topology: "h1:9000;replica=h1:9100;h2:9000".parse().unwrap(),
+                tenant: None,
             }
             .to_string(),
             "fleet(tcp:h1:9000;replica=tcp:h1:9100;tcp:h2:9000)"
+        );
+        assert_eq!(
+            BackendConfig::Gateway {
+                endpoint: Endpoint::Tcp("127.0.0.1:7000".into()),
+                tenant: Some("acme".into()),
+            }
+            .to_string(),
+            "gateway(tcp:127.0.0.1:7000;tenant=acme)"
         );
         assert_eq!(BackendConfig::default(), BackendConfig::Indexed);
     }
@@ -896,6 +971,7 @@ mod tests {
                         crate::shardnet::FleetShard::solo(Endpoint::Unix("/tmp/w.sock".into())),
                     ],
                 },
+                tenant: None,
             }
         );
         // Display forms reparse to the same configuration.
@@ -906,14 +982,15 @@ mod tests {
             BackendConfig::remote([Endpoint::Tcp("h:1".into())]),
             BackendConfig::Fleet {
                 topology: "h:1;replica=h:2;h:3".parse().unwrap(),
+                tenant: None,
             },
         ] {
             // `sharded(4)`-style display is for humans; the parser speaks
             // the CLI spelling.
             let spelled = match &config {
                 BackendConfig::Sharded { shards } => format!("sharded:{shards}"),
-                BackendConfig::Remote { endpoints } => format!("remote:{}", endpoints[0]),
-                BackendConfig::Fleet { topology } => format!("fleet:{topology}"),
+                BackendConfig::Remote { endpoints, .. } => format!("remote:{}", endpoints[0]),
+                BackendConfig::Fleet { topology, .. } => format!("fleet:{topology}"),
                 other => other.to_string(),
             };
             assert_eq!(spelled.parse::<BackendConfig>().unwrap(), config);
@@ -929,6 +1006,77 @@ mod tests {
         ] {
             assert!(bad.parse::<BackendConfig>().is_err(), "{bad:?} must fail");
         }
+    }
+
+    #[test]
+    fn backend_config_tenant_selector_parses_and_round_trips() {
+        // tenant= may sit anywhere in the `;`-separated payload.
+        let remote = "remote:127.0.0.1:9000;tenant=acme"
+            .parse::<BackendConfig>()
+            .unwrap();
+        assert_eq!(
+            remote,
+            BackendConfig::Remote {
+                endpoints: vec![Endpoint::Tcp("127.0.0.1:9000".into())],
+                tenant: Some("acme".into()),
+            }
+        );
+        let gateway = "gateway:tenant=acme;127.0.0.1:7000"
+            .parse::<BackendConfig>()
+            .unwrap();
+        assert_eq!(
+            gateway,
+            BackendConfig::Gateway {
+                endpoint: Endpoint::Tcp("127.0.0.1:7000".into()),
+                tenant: Some("acme".into()),
+            }
+        );
+        let fleet = "fleet:h:1;replica=h:2;tenant=org.lab-7;h:3"
+            .parse::<BackendConfig>()
+            .unwrap();
+        assert_eq!(
+            fleet,
+            BackendConfig::Fleet {
+                topology: "h:1;replica=h:2;h:3".parse().unwrap(),
+                tenant: Some("org.lab-7".into()),
+            }
+        );
+        // Display forms with tenants reparse to the same configuration.
+        for config in [remote, gateway, fleet] {
+            let spelled = match &config {
+                BackendConfig::Remote { endpoints, tenant } => {
+                    format!(
+                        "remote:{};tenant={}",
+                        endpoints[0],
+                        tenant.as_ref().unwrap()
+                    )
+                }
+                BackendConfig::Gateway { endpoint, tenant } => {
+                    format!("gateway:{};tenant={}", endpoint, tenant.as_ref().unwrap())
+                }
+                BackendConfig::Fleet { topology, tenant } => {
+                    format!("fleet:{};tenant={}", topology, tenant.as_ref().unwrap())
+                }
+                other => other.to_string(),
+            };
+            assert_eq!(spelled.parse::<BackendConfig>().unwrap(), config);
+        }
+        // Malformed or duplicated tenants are rejected with a clear message.
+        for bad in [
+            "remote:h:1;tenant=",
+            "remote:h:1;tenant=has space",
+            "remote:h:1;tenant=a;tenant=b",
+            "gateway:h:1;tenant=semi;colon",
+            "fleet:h:1;tenant=\u{e9}clair",
+        ] {
+            let err = bad.parse::<BackendConfig>().unwrap_err();
+            assert!(
+                err.contains("tenant") || err.contains("endpoint"),
+                "{bad:?} must fail mentioning the tenant or endpoint: {err}"
+            );
+        }
+        let overlong = format!("remote:h:1;tenant={}", "t".repeat(65));
+        assert!(overlong.parse::<BackendConfig>().is_err());
     }
 
     #[test]

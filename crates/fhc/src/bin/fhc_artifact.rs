@@ -1,0 +1,124 @@
+//! `fhc-artifact` — offline delta tooling for trained artifacts.
+//!
+//! `diff` compares two trained artifacts and writes the checksummed
+//! [`ArtifactDelta`] that patches the base's reference set into the
+//! target's; `apply` patches a base artifact with such a delta and writes
+//! the evolved artifact. Together they make a reference-set update a
+//! small file to ship instead of a full artifact — the offline
+//! counterpart of the fleet's `PushDelta` wire path.
+//!
+//! ```text
+//! fhc-artifact diff --base v1.fhc --target v2.fhc --out v1-to-v2.fhcd
+//! fhc-artifact apply --base v1.fhc --delta v1-to-v2.fhcd --out v2.fhc
+//! ```
+//!
+//! `apply` refuses a delta whose base fingerprint does not match the
+//! given artifact (the stale-base rejection), and refuses a delta that
+//! adds, retires, or reorders classes: that changes the geometry the
+//! forest was fitted against, so the evolved corpus needs a refit, not a
+//! patch. Sample-only evolution (`ReferenceSet::add_samples`) patches
+//! cleanly; the written artifact serves byte-identical rows to one
+//! rebuilt from the evolved corpus.
+
+use fhc::artifact::ArtifactDelta;
+use fhc::serving::TrainedClassifier;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fhc-artifact diff --base PATH --target PATH --out PATH\n\
+       fhc-artifact apply --base PATH --delta PATH --out PATH";
+
+struct Flags {
+    base: String,
+    second: String,
+    out: String,
+}
+
+/// Parse `--base`, `--out`, and the subcommand's second input flag
+/// (`--target` for diff, `--delta` for apply).
+fn parse_flags(second_flag: &str, args: impl Iterator<Item = String>) -> Result<Flags, String> {
+    let mut base = None;
+    let mut second = None;
+    let mut out = None;
+    let mut iter = args;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--base" => base = Some(iter.next().ok_or("--base needs a path")?),
+            "--out" => out = Some(iter.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag == second_flag => {
+                second = Some(iter.next().ok_or(format!("{second_flag} needs a path"))?)
+            }
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(Flags {
+        base: base.ok_or(USAGE)?,
+        second: second.ok_or(USAGE)?,
+        out: out.ok_or(USAGE)?,
+    })
+}
+
+fn load(path: &str) -> Result<TrainedClassifier, String> {
+    TrainedClassifier::load(path).map_err(|e| format!("cannot load artifact {path}: {e}"))
+}
+
+fn diff(flags: Flags) -> Result<(), String> {
+    let base = load(&flags.base)?;
+    let target = load(&flags.second)?;
+    let delta = ArtifactDelta::between(base.reference(), target.reference())
+        .map_err(|e| format!("cannot diff: {e}"))?;
+    let encoded = delta.encode();
+    std::fs::write(&flags.out, &encoded)
+        .map_err(|e| format!("cannot write delta {}: {e}", flags.out))?;
+    println!(
+        "fhc-artifact diff {:#018x} -> {:#018x}: {} classes retired, {} slices added, \
+         {} bytes written to {}",
+        delta.base_fingerprint,
+        delta.target_fingerprint,
+        delta.retire_classes.len(),
+        delta.add_slices.len(),
+        encoded.len(),
+        flags.out
+    );
+    Ok(())
+}
+
+fn apply(flags: Flags) -> Result<(), String> {
+    let mut base = load(&flags.base)?;
+    let bytes = std::fs::read(&flags.second)
+        .map_err(|e| format!("cannot read delta {}: {e}", flags.second))?;
+    let delta = ArtifactDelta::decode(&bytes)
+        .map_err(|e| format!("cannot decode delta {}: {e}", flags.second))?;
+    let declared = base.reference().fingerprint();
+    let (evolved, fingerprint) = delta
+        .apply(base.reference(), declared)
+        .map_err(|e| format!("cannot apply delta: {e}"))?;
+    debug_assert_eq!(fingerprint, delta.target_fingerprint);
+    base.try_set_reference(std::sync::Arc::new(evolved))
+        .map_err(|e| format!("cannot serve the evolved reference set: {e}"))?;
+    base.save(&flags.out)
+        .map_err(|e| format!("cannot write artifact {}: {e}", flags.out))?;
+    println!(
+        "fhc-artifact apply {:#018x} -> {:#018x}: evolved artifact written to {}",
+        delta.base_fingerprint, fingerprint, flags.out
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let outcome = match args.next().as_deref() {
+        Some("diff") => parse_flags("--target", args).and_then(diff),
+        Some("apply") => parse_flags("--delta", args).and_then(apply),
+        Some("--help") | Some("-h") => Err(USAGE.to_string()),
+        Some(other) => Err(format!("unknown subcommand: {other}\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -44,11 +44,12 @@ struct Args {
     uds: Option<String>,
     workers: Vec<Endpoint>,
     max_batch: usize,
+    tenant: Option<String>,
 }
 
 const USAGE: &str = "usage: fhc-gateway --artifact PATH \
      (--listen HOST:PORT | --uds PATH) \
-     --workers EP[,EP...] [--max-batch N]";
+     --workers EP[,EP...] [--max-batch N] [--tenant NAME]";
 
 fn parse_args() -> Result<Args, String> {
     let mut artifact = None;
@@ -56,12 +57,14 @@ fn parse_args() -> Result<Args, String> {
     let mut uds = None;
     let mut workers = None;
     let mut max_batch = GatewayOptions::default().max_batch;
+    let mut tenant = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--artifact" => artifact = Some(iter.next().ok_or("--artifact needs a path")?),
             "--listen" => listen = Some(iter.next().ok_or("--listen needs HOST:PORT")?),
             "--uds" => uds = Some(iter.next().ok_or("--uds needs a socket path")?),
+            "--tenant" => tenant = Some(iter.next().ok_or("--tenant needs a tenant name")?),
             "--workers" => {
                 let list = iter
                     .next()
@@ -102,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
         uds,
         workers,
         max_batch,
+        tenant,
     })
 }
 
@@ -130,6 +134,7 @@ fn main() -> ExitCode {
         &args.workers,
         GatewayOptions {
             max_batch: args.max_batch,
+            tenant: args.tenant.clone(),
         },
     ) {
         Ok(gateway) => Arc::new(gateway),
@@ -141,12 +146,14 @@ fn main() -> ExitCode {
 
     use std::io::Write as _;
     let n_workers = gateway.n_shards();
+    let tenant = gateway.tenant().to_string();
     let announce = |addr: &str| {
         // Scraped by scripts and the integration tests: keep the shape
-        // "fhc-gateway listening on ADDR fronting K workers ...".
+        // "fhc-gateway listening on ADDR fronting K workers ..." — new
+        // fields are appended so the word positions stay stable.
         println!(
             "fhc-gateway listening on {addr} fronting {n_workers} workers \
-             over {n_classes} classes (fingerprint {fingerprint:#018x})",
+             over {n_classes} classes (fingerprint {fingerprint:#018x}) tenant {tenant}",
         );
         let _ = std::io::stdout().flush();
     };

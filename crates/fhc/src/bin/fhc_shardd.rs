@@ -27,11 +27,27 @@
 //! its partition's samples in memory — the deployment mode for workers with
 //! no shared filesystem. Artifact-loaded daemons accept pushes too, which
 //! is how a fleet rolls a worker forward to a new artifact in place.
+//!
+//! **Multi-tenant serving**: `--tenant NAME=PATH` registers an extra
+//! artifact under the tenant id `NAME`, and `--tenant NAME` (no path)
+//! registers a diskless tenant slot, each repeatable:
+//!
+//! ```text
+//! fhc-shardd --artifact shared.fhc --tenant acme=acme.fhc --tenant beta \
+//!     --listen 127.0.0.1:9000
+//! ```
+//!
+//! `--artifact` / `--diskless` name the **default** tenant. A client
+//! selects its tenant in the handshake (`tenant=NAME` in the backend
+//! spec); one selecting an unregistered tenant is refused with a typed
+//! error naming the tenants this daemon serves. Each tenant's reference
+//! set evolves independently — a push (full or delta) to one tenant never
+//! disturbs another.
 
 use fhc::backend::round_robin_partition;
 use fhc::serving::TrainedClassifier;
 use fhc::shardnet::worker::{serve_host_tcp, serve_host_unix};
-use fhc::shardnet::{ShardWorker, WorkerHost};
+use fhc::shardnet::{ShardWorker, TenantHost};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::process::ExitCode;
@@ -40,19 +56,22 @@ use std::sync::Arc;
 struct Args {
     artifact: Option<String>,
     diskless: bool,
+    /// Extra `(tenant, artifact path)` slots; `None` paths are diskless.
+    tenants: Vec<(String, Option<String>)>,
     listen: Option<String>,
     uds: Option<String>,
     classes: Option<Vec<usize>>,
     shard: Option<(usize, usize)>,
 }
 
-const USAGE: &str = "usage: fhc-shardd (--artifact PATH | --diskless) \
+const USAGE: &str = "usage: fhc-shardd (--artifact PATH | --diskless | --tenant NAME[=PATH]) \
      (--listen HOST:PORT | --uds PATH) \
-     [--classes A,B,... | --shard I/N]";
+     [--classes A,B,... | --shard I/N] [--tenant NAME[=PATH] ...]";
 
 fn parse_args() -> Result<Args, String> {
     let mut artifact = None;
     let mut diskless = false;
+    let mut tenants: Vec<(String, Option<String>)> = Vec::new();
     let mut listen = None;
     let mut uds = None;
     let mut classes = None;
@@ -62,6 +81,14 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--artifact" => artifact = Some(iter.next().ok_or("--artifact needs a path")?),
             "--diskless" => diskless = true,
+            "--tenant" => {
+                let spec = iter.next().ok_or("--tenant needs NAME or NAME=PATH")?;
+                let (name, path) = match spec.split_once('=') {
+                    Some((name, path)) => (name.to_string(), Some(path.to_string())),
+                    None => (spec, None),
+                };
+                tenants.push((name, path));
+            }
             "--listen" => listen = Some(iter.next().ok_or("--listen needs HOST:PORT")?),
             "--uds" => uds = Some(iter.next().ok_or("--uds needs a socket path")?),
             "--classes" => {
@@ -95,15 +122,27 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
-    if diskless == artifact.is_some() {
+    if diskless && artifact.is_some() {
         return Err(format!(
-            "exactly one of --artifact / --diskless is required\n{USAGE}"
+            "--artifact and --diskless are mutually exclusive\n{USAGE}"
         ));
     }
-    if diskless && (classes.is_some() || shard.is_some()) {
-        return Err("--diskless serves whatever partition is pushed to it; \
-             --classes / --shard do not apply"
-            .to_string());
+    if !diskless && artifact.is_none() && tenants.is_empty() {
+        return Err(format!(
+            "one of --artifact / --diskless / --tenant is required\n{USAGE}"
+        ));
+    }
+    if classes.is_some() || shard.is_some() {
+        if diskless {
+            return Err("--diskless serves whatever partition is pushed to it; \
+                 --classes / --shard do not apply"
+                .to_string());
+        }
+        if artifact.is_none() {
+            return Err(
+                "--classes / --shard partition the default tenant's --artifact only".to_string(),
+            );
+        }
     }
     if listen.is_some() == uds.is_some() {
         return Err(format!(
@@ -116,11 +155,31 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         artifact,
         diskless,
+        tenants,
         listen,
         uds,
         classes,
         shard,
     })
+}
+
+/// Load an artifact and build its serving worker, optionally restricted
+/// to a class partition (`--classes` / `--shard`).
+fn load_worker(
+    path: &str,
+    classes: &Option<Vec<usize>>,
+    shard: Option<(usize, usize)>,
+) -> Result<ShardWorker, String> {
+    let classifier =
+        TrainedClassifier::load(path).map_err(|e| format!("cannot load artifact {path}: {e}"))?;
+    let reference = classifier.reference_shared();
+    let n_classes = reference.n_classes();
+    let classes = match (classes, shard) {
+        (Some(list), _) => list.clone(),
+        (None, Some((i, n))) => round_robin_partition(n_classes, n).swap_remove(i),
+        (None, None) => (0..n_classes).collect(),
+    };
+    ShardWorker::new(reference, classes).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -132,50 +191,73 @@ fn main() -> ExitCode {
         }
     };
 
-    // A diskless daemon has no reference until a fleet client pushes one:
-    // it announces 0/0 classes under fingerprint 0 and waits.
-    let (host, served, n_classes, fingerprint) = if args.diskless {
-        (Arc::new(WorkerHost::new(None)), 0, 0, 0)
-    } else {
-        let path = args.artifact.as_deref().unwrap_or_default();
-        let classifier = match TrainedClassifier::load(path) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("fhc-shardd: cannot load artifact {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let reference = classifier.reference_shared();
-        let n_classes = reference.n_classes();
-        let classes = match (&args.classes, args.shard) {
-            (Some(list), _) => list.clone(),
-            (None, Some((i, n))) => round_robin_partition(n_classes, n).swap_remove(i),
-            (None, None) => (0..n_classes).collect(),
-        };
-        let worker = match ShardWorker::new(reference.clone(), classes) {
-            Ok(worker) => worker,
+    // The default tenant comes from --artifact / --diskless; every
+    // --tenant NAME[=PATH] adds an independent slot. A diskless slot has
+    // no reference until a fleet client pushes one: it announces 0/0
+    // classes under fingerprint 0 and waits.
+    let mut host = TenantHost::new();
+    let default_worker = if args.diskless {
+        Some(None)
+    } else if let Some(path) = &args.artifact {
+        match load_worker(path, &args.classes, args.shard) {
+            Ok(worker) => Some(Some(worker)),
             Err(e) => {
                 eprintln!("fhc-shardd: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        let served = worker.classes().len();
-        let fingerprint = reference.fingerprint();
-        (
-            Arc::new(WorkerHost::new(Some(worker))),
-            served,
-            n_classes,
-            fingerprint,
-        )
+        }
+    } else {
+        None
     };
+    if let Some(initial) = default_worker {
+        if let Err(e) = host.register(fhc::shardnet::wire::DEFAULT_TENANT, initial) {
+            eprintln!("fhc-shardd: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for (name, path) in &args.tenants {
+        let initial = match path {
+            // Tenant artifacts always serve all their classes; --classes /
+            // --shard partition the default tenant only.
+            Some(path) => match load_worker(path, &None, None) {
+                Ok(worker) => Some(worker),
+                Err(e) => {
+                    eprintln!("fhc-shardd: tenant {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        if let Err(e) = host.register(name, initial) {
+            eprintln!("fhc-shardd: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let tenant_list = host.served_list();
+    // The announce line reports the slot a tenant-unaware client would be
+    // greeted with (the default tenant when registered, else the first).
+    let (served, n_classes, fingerprint) = host
+        .initial_slot()
+        .and_then(|(_, slot)| {
+            slot.worker().map(|w| {
+                (
+                    w.classes().len(),
+                    w.reference().n_classes(),
+                    w.reference().fingerprint(),
+                )
+            })
+        })
+        .unwrap_or_default();
+    let host = Arc::new(host);
 
     use std::io::Write as _;
     let announce = |addr: &str| {
         // Scraped by scripts and the integration tests: keep the shape
-        // "fhc-shardd listening on ADDR serving K/N classes ...".
+        // "fhc-shardd listening on ADDR serving K/N classes ..." — new
+        // fields are appended so the word positions stay stable.
         println!(
             "fhc-shardd listening on {addr} serving {served}/{n_classes} classes \
-             (fingerprint {fingerprint:#018x})",
+             (fingerprint {fingerprint:#018x}) tenants [{tenant_list}]",
         );
         let _ = std::io::stdout().flush();
     };

@@ -27,7 +27,7 @@ use crate::config::FhcConfig;
 use crate::error::FhcError;
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use crate::serving::TrainedClassifier;
-use crate::similarity::ReferenceSet;
+use crate::similarity::{CandidateCache, ReferenceSet};
 use crate::split::{two_phase_split, SplitConfig, TwoPhaseSplit};
 use crate::threshold::{
     apply_threshold_batch, best_threshold, default_threshold_grid, known_to_eval, sweep_thresholds,
@@ -41,6 +41,7 @@ use mlcore::gridsearch::{GridSearch, ParamGrid};
 use mlcore::model::Model;
 use mlcore::report::ClassificationReport;
 use mlcore::split::{split_groups, stratified_split};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Configuration of the full pipeline.
@@ -290,7 +291,13 @@ impl FuzzyHashClassifier {
             &pipeline.feature_kinds,
         ));
         let backend = self.config.backend.build(reference.clone());
-        let x_train = backend.feature_matrix_prepared(&train_prepared, self.config.parallel);
+        // The training matrix goes through the local indexed walk — every
+        // backend produces byte-identical rows (the workspace equivalence
+        // suites pin that invariant), and walking locally captures the
+        // per-query candidate lists so threshold tuning below replays them
+        // against its inner reference subsets instead of re-walking.
+        let (x_train, candidate_cache) =
+            reference.feature_matrix_caching(&train_prepared, self.config.parallel);
         let train_ds = Dataset::from_rows(
             x_train,
             train_labels.clone(),
@@ -318,6 +325,8 @@ impl FuzzyHashClassifier {
             &known_id,
             &forest_params,
             &seeds,
+            &reference,
+            &candidate_cache,
         )?;
 
         // ---- Final model ------------------------------------------------------
@@ -404,13 +413,92 @@ impl FuzzyHashClassifier {
         })
     }
 
+    /// Cheaply re-tune the confidence threshold of an existing fit — the
+    /// companion of [`ReferenceSet::add_samples`]-style evolution, where
+    /// similarity maxima move but the column geometry (and therefore the
+    /// forest) is unchanged. Re-runs *only* the inner threshold fold over
+    /// the fit's training split: no grid search, no final-forest refit, and
+    /// one cached candidate walk feeds every inner matrix by projection.
+    /// Writes the new curve and threshold into `fit.classifier` and returns
+    /// the threshold.
+    ///
+    /// On an unchanged corpus this reproduces the fit's own tuning
+    /// byte-identically (the pipeline suite asserts it), so it is safe to
+    /// call speculatively.
+    pub fn retune_threshold(
+        &self,
+        corpus: &Corpus,
+        features: &[SampleFeatures],
+        fit: &mut FitOutcome,
+    ) -> Result<f64, FhcError> {
+        if features.len() != corpus.n_samples() {
+            return Err(FhcError::InvalidConfig(
+                "features must cover every corpus sample",
+            ));
+        }
+        let pipeline = &self.config.pipeline;
+        if pipeline.thresholds.is_empty() {
+            return Err(FhcError::InvalidConfig("threshold grid must not be empty"));
+        }
+        let seeds = SeedSequence::new(pipeline.seed);
+        let split = fit.split.clone();
+        let forest_params = fit.classifier.forest_params().clone();
+        let mut known_id = vec![usize::MAX; corpus.n_classes()];
+        for (id, &class) in split.known_classes.iter().enumerate() {
+            known_id[class] = id;
+        }
+        let known_class_names: Vec<String> = split
+            .known_classes
+            .iter()
+            .map(|&c| corpus.class_names()[c].clone())
+            .collect();
+        let train_prepared: Vec<PreparedSampleFeatures> =
+            par_map_indexed(split.train.len(), self.config.parallel, |j| {
+                PreparedSampleFeatures::prepare(&features[split.train[j]])
+            });
+        let mut prepared_by_sample: Vec<Option<&PreparedSampleFeatures>> =
+            vec![None; features.len()];
+        for (j, &i) in split.train.iter().enumerate() {
+            prepared_by_sample[i] = Some(&train_prepared[j]);
+        }
+        let train_labels: Vec<usize> = split
+            .train
+            .iter()
+            .map(|&i| known_id[corpus.samples()[i].class_index])
+            .collect();
+        let reference = ReferenceSet::from_prepared(
+            known_class_names,
+            &train_prepared,
+            &train_labels,
+            &pipeline.feature_kinds,
+        );
+        let cache = reference.candidate_cache(&train_prepared, self.config.parallel);
+        let (curve, threshold) = self.tune_threshold(
+            corpus,
+            &split,
+            &prepared_by_sample,
+            &known_id,
+            &forest_params,
+            &seeds,
+            &reference,
+            &cache,
+        )?;
+        fit.classifier.confidence_threshold = threshold;
+        fit.classifier.threshold_curve = curve;
+        Ok(threshold)
+    }
+
     /// Tune the confidence threshold inside the training set by holding out
     /// part of the known classes as pseudo-unknown.
     ///
     /// `prepared` maps corpus sample index -> the prepared query hashes
     /// computed once by [`FuzzyHashClassifier::fit_with_features`]
     /// (`Some` for every training sample); the inner fits reuse that batch
-    /// instead of re-preparing their query rows.
+    /// instead of re-preparing their query rows. `reference` is the
+    /// full-train reference set and `cache` the candidate lists captured by
+    /// one walk of the training batch against it (aligned with
+    /// `split.train`); the inner matrices are projections of that walk, so
+    /// no fold re-walks the gram index.
     #[allow(clippy::too_many_arguments)]
     fn tune_threshold(
         &self,
@@ -420,6 +508,8 @@ impl FuzzyHashClassifier {
         known_id: &[usize],
         forest_params: &RandomForestParams,
         seeds: &SeedSequence,
+        reference: &ReferenceSet,
+        cache: &CandidateCache,
     ) -> Result<(Vec<ThresholdPoint>, f64), FhcError> {
         let pipeline = &self.config.pipeline;
         let n_known = split.known_classes.len();
@@ -492,15 +582,61 @@ impl FuzzyHashClassifier {
             .map(|&k| corpus.class_names()[split.known_classes[k]].clone())
             .collect();
 
-        let inner_reference = Arc::new(ReferenceSet::from_prepared(
+        let inner_reference = ReferenceSet::from_prepared(
             inner_class_names.clone(),
             &inner_train_prepared,
             &inner_train_labels,
             &pipeline.feature_kinds,
-        ));
-        let inner_backend = self.config.backend.build(inner_reference.clone());
-        let x_inner_train =
-            inner_backend.feature_matrix_prepared(&inner_train_prepared, self.config.parallel);
+        );
+
+        // Both inner matrices are projections of the one cached candidate
+        // walk over the full-train reference: the walk's `(query, kind)`
+        // candidate lists are mapped onto the inner reference's coordinates
+        // and re-scored there, byte-identical to walking the inner gram
+        // index from scratch (candidate surfacing is a pairwise predicate).
+        // Corpus sample index -> position in `split.train` (= cache row).
+        let mut train_pos = vec![usize::MAX; prepared.len()];
+        for (j, &i) in split.train.iter().enumerate() {
+            train_pos[i] = j;
+        }
+        // Position in `split.train` -> the sample's (class, within-class)
+        // coordinates in the full-train reference, mirroring the grouping
+        // order of `ReferenceSet::from_prepared`.
+        let mut full_counts = vec![0u32; n_known];
+        let full_coord: Vec<(u32, u32)> = split
+            .train
+            .iter()
+            .map(|&i| {
+                let k = known_id[corpus.samples()[i].class_index];
+                let s = full_counts[k];
+                full_counts[k] += 1;
+                (k as u32, s)
+            })
+            .collect();
+        // Full-train (class, sample) -> inner-reference (class, sample),
+        // for the samples the inner reference keeps.
+        let mut inner_counts = vec![0u32; inner_known.len()];
+        let mut inner_of_full: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+        for &i in &inner_train_samples {
+            let (k, s_full) = full_coord[train_pos[i]];
+            let ik = inner_id[k as usize] as u32;
+            let s_inner = inner_counts[ik as usize];
+            inner_counts[ik as usize] += 1;
+            inner_of_full.insert((k, s_full), (ik, s_inner));
+        }
+        let project_rows = |samples: &[usize]| -> Vec<Vec<f64>> {
+            par_map_indexed(samples.len(), self.config.parallel, |idx| {
+                let i = samples[idx];
+                let query = prepared[i].expect("training sample is prepared");
+                let candidates =
+                    reference.project_candidates(cache, train_pos[i], &inner_reference, |c, s| {
+                        inner_of_full.get(&(c, s)).copied()
+                    });
+                inner_reference.feature_vector_from_candidates(query, &candidates)
+            })
+        };
+
+        let x_inner_train = project_rows(&inner_train_samples);
         let inner_ds = Dataset::from_rows(
             x_inner_train,
             inner_train_labels,
@@ -510,12 +646,7 @@ impl FuzzyHashClassifier {
         let inner_forest =
             RandomForest::fit(&inner_ds, forest_params, seeds.derive("inner-forest"))?;
 
-        let inner_val_prepared: Vec<PreparedSampleFeatures> = inner_val_samples
-            .iter()
-            .map(|&i| prepared[i].expect("training sample is prepared").clone())
-            .collect();
-        let x_val =
-            inner_backend.feature_matrix_prepared(&inner_val_prepared, self.config.parallel);
+        let x_val = project_rows(&inner_val_samples);
         let probas = inner_forest.predict_proba_batch(&x_val);
         let y_val: Vec<usize> = inner_val_samples
             .iter()

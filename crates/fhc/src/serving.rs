@@ -174,6 +174,39 @@ impl TrainedClassifier {
         Arc::clone(&self.reference)
     }
 
+    /// Swap the reference set for an evolved one — the serving half of a
+    /// delta update (`fhc-artifact apply`): the similarity backend is
+    /// rebuilt over the new set while the fitted forest and tuned
+    /// threshold carry over unchanged.
+    ///
+    /// Only geometry-preserving evolution qualifies: the class names (in
+    /// order), column count, and feature kinds must all match the current
+    /// reference set — i.e. an [`ReferenceSet::add_samples`]-style
+    /// evolution. Adding, retiring, or reordering classes changes the
+    /// label space and row geometry the forest was fitted against; that
+    /// is a refit, and this refuses with an error saying so. On error the
+    /// classifier is left unchanged.
+    pub fn try_set_reference(&mut self, reference: Arc<ReferenceSet>) -> Result<(), FhcError> {
+        if reference.class_names() != self.reference.class_names()
+            || reference.n_columns() != self.reference.n_columns()
+            || reference.kinds() != self.reference.kinds()
+        {
+            return Err(FhcError::Artifact(format!(
+                "evolved reference set changes the fitted geometry \
+                 ({} classes / {} columns -> {} classes / {} columns): \
+                 refit required, the forest cannot consume the new rows",
+                self.reference.n_classes(),
+                self.reference.n_columns(),
+                reference.n_classes(),
+                reference.n_columns()
+            )));
+        }
+        let backend = self.backend.config().try_build(Arc::clone(&reference))?;
+        self.reference = reference;
+        self.backend = backend;
+        Ok(())
+    }
+
     /// The serving parallelism configuration.
     pub fn serving_config(&self) -> ServingConfig {
         self.serving

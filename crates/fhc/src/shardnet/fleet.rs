@@ -32,24 +32,36 @@
 //!   partition's samples. A worker advertising a stale fingerprint is
 //!   re-seeded the same way: rolling artifact upgrades ride the existing
 //!   fingerprint handshake.
+//! - **Delta push** ([`wire::PushDelta`]): when an [`ArtifactDelta`] whose
+//!   base matches a stale worker's advertised fingerprint has been
+//!   registered ([`FleetView::register_delta`]), the upgrade ships only the
+//!   delta — retired class names plus added slices — instead of the full
+//!   set. Any delta failure (a sparse worker missing a retired class, an
+//!   unexpected base) falls back to the full push on a fresh dial, so the
+//!   delta path is strictly an optimization, never a new failure mode.
+//! - **Tenants**: a fleet built over a non-default tenant selects it on
+//!   every dial and redial ([`FleetView::connect_tenant`]); a worker
+//!   answering for the wrong tenant surfaces as the typed
+//!   [`NetError::Tenant`], never as a silent empty row.
 //!
 //! Scoring goes through [`FleetBackend`], whose rows are byte-identical to
 //! every other backend: the winning node scores through the same prepared
 //! index, and `merge_partial_row` rejects any cell outside the member's
 //! partition.
 
+use crate::artifact::ArtifactDelta;
 use crate::backend::{round_robin_partition, SimilarityBackend};
 use crate::error::FhcError;
 use crate::features::PreparedSampleFeatures;
 use crate::shardnet::remote::{
-    assign_partition, is_exact_cover, merge_partial_row, net_error_from_mux, read_hello, spawn_mux,
-    validate_hello, HandshakeExpect, CLIENT_BATCH,
+    assign_partition, is_exact_cover, merge_partial_row, net_error_from_mux, read_hello,
+    select_tenant, spawn_mux, validate_hello, HandshakeExpect, CLIENT_BATCH,
 };
 use crate::shardnet::wire::{self, ClientReply, Frame, Hello};
 use crate::shardnet::{Endpoint, NetError, SplitConn};
 use crate::similarity::ReferenceSet;
 use hpcutil::{Mux, PendingReply};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -335,6 +347,10 @@ pub struct FleetView {
     backoff: BackoffPolicy,
     topology: Mutex<FleetTopology>,
     members: RwLock<Vec<Arc<FleetMember>>>,
+    /// Registered artifact deltas, keyed by base fingerprint: a stale
+    /// worker advertising a registered base is upgraded by delta push
+    /// instead of a full re-seed.
+    deltas: RwLock<BTreeMap<u64, Arc<ArtifactDelta>>>,
 }
 
 impl FleetView {
@@ -359,6 +375,24 @@ impl FleetView {
         )
     }
 
+    /// [`FleetView::connect`] against a named tenant: every dial and
+    /// redial selects `tenant` on the worker's
+    /// [`TenantHost`](crate::shardnet::TenantHost) before handshaking.
+    /// `None` expects the default tenant.
+    pub fn connect_tenant(
+        reference: Arc<ReferenceSet>,
+        topology: FleetTopology,
+        tenant: Option<&str>,
+    ) -> Result<Self, NetError> {
+        Self::connect_with_tenant(
+            reference,
+            topology,
+            Arc::new(SystemClock),
+            BackoffPolicy::default(),
+            tenant,
+        )
+    }
+
     /// [`FleetView::connect`] with an explicit clock and backoff policy
     /// (tests inject a manual clock here to schedule redials exactly).
     pub fn connect_with(
@@ -367,12 +401,24 @@ impl FleetView {
         clock: Arc<dyn FleetClock>,
         backoff: BackoffPolicy,
     ) -> Result<Self, NetError> {
+        Self::connect_with_tenant(reference, topology, clock, backoff, None)
+    }
+
+    /// The fully-explicit constructor: clock, backoff, and tenant.
+    pub fn connect_with_tenant(
+        reference: Arc<ReferenceSet>,
+        topology: FleetTopology,
+        clock: Arc<dyn FleetClock>,
+        backoff: BackoffPolicy,
+        tenant: Option<&str>,
+    ) -> Result<Self, NetError> {
         let expect = HandshakeExpect {
             fingerprint: reference.fingerprint(),
             n_classes: reference.n_classes(),
             n_columns: reference.n_columns(),
+            tenant: tenant.map(str::to_string),
         };
-        let members = build_members(&reference, expect, &topology.shards)?;
+        let members = build_members(&reference, &expect, &topology.shards, &BTreeMap::new())?;
         Ok(Self {
             reference,
             expect,
@@ -380,7 +426,35 @@ impl FleetView {
             backoff,
             topology: Mutex::new(topology),
             members: RwLock::new(members),
+            deltas: RwLock::new(BTreeMap::new()),
         })
+    }
+
+    /// Register an [`ArtifactDelta`] for stale-worker upgrades: a worker
+    /// whose advertised fingerprint equals the delta's base is brought to
+    /// the serving set by [`wire::PushDelta`] instead of a full re-seed.
+    /// The delta must target the fleet's own reference set.
+    pub fn register_delta(&self, delta: ArtifactDelta) -> Result<(), NetError> {
+        if delta.target_fingerprint != self.reference.fingerprint() {
+            return Err(NetError::Partition(format!(
+                "delta targets fingerprint {:#018x}, but this fleet serves {:#018x}",
+                delta.target_fingerprint,
+                self.reference.fingerprint()
+            )));
+        }
+        self.deltas
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(delta.base_fingerprint, Arc::new(delta));
+        Ok(())
+    }
+
+    /// A snapshot of the registered deltas for a (re)connect attempt.
+    fn deltas_snapshot(&self) -> BTreeMap<u64, Arc<ArtifactDelta>> {
+        self.deltas
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// The current member list. Queries operate on the snapshot they
@@ -406,6 +480,12 @@ impl FleetView {
             .clone()
     }
 
+    /// The tenant every dial selects on its worker, or `None` for the
+    /// default tenant.
+    pub fn tenant(&self) -> Option<&str> {
+        self.expect.tenant.as_deref()
+    }
+
     /// Admit `shard` into the fleet and re-partition: the classes are
     /// re-dealt over all shards (old and new), the exact-cover invariant
     /// is checked, every node is brought to its new partition — pushed
@@ -416,7 +496,12 @@ impl FleetView {
         let mut topology = self.topology.lock().unwrap_or_else(|p| p.into_inner());
         let mut proposed = topology.clone();
         proposed.shards.push(shard);
-        let members = build_members(&self.reference, self.expect, &proposed.shards)?;
+        let members = build_members(
+            &self.reference,
+            &self.expect,
+            &proposed.shards,
+            &self.deltas_snapshot(),
+        )?;
         *self.members.write().unwrap_or_else(|p| p.into_inner()) = members;
         *topology = proposed;
         Ok(())
@@ -440,7 +525,12 @@ impl FleetView {
         }
         let mut proposed = topology.clone();
         proposed.shards.remove(index);
-        let members = build_members(&self.reference, self.expect, &proposed.shards)?;
+        let members = build_members(
+            &self.reference,
+            &self.expect,
+            &proposed.shards,
+            &self.deltas_snapshot(),
+        )?;
         *self.members.write().unwrap_or_else(|p| p.into_inner()) = members;
         *topology = proposed;
         Ok(())
@@ -491,10 +581,11 @@ impl FleetView {
         if mux.is_poisoned() {
             match connect_node(
                 &self.reference,
-                self.expect,
+                &self.expect,
                 &node.endpoint,
                 &node.classes,
                 node.pushed.load(Ordering::Relaxed),
+                &self.deltas_snapshot(),
             ) {
                 Ok((fresh, pushed)) => {
                     *mux = fresh;
@@ -582,8 +673,9 @@ impl FleetView {
 /// any connection is made.
 fn build_members(
     reference: &ReferenceSet,
-    expect: HandshakeExpect,
+    expect: &HandshakeExpect,
     shards: &[FleetShard],
+    deltas: &BTreeMap<u64, Arc<ArtifactDelta>>,
 ) -> Result<Vec<Arc<FleetMember>>, NetError> {
     if shards.is_empty() {
         return Err(NetError::Partition(
@@ -608,7 +700,8 @@ fn build_members(
             let nodes = shard
                 .endpoints()
                 .map(|endpoint| {
-                    let (mux, pushed) = connect_node_auto(reference, expect, endpoint, &classes)?;
+                    let (mux, pushed) =
+                        connect_node_auto(reference, expect, endpoint, &classes, deltas)?;
                     Ok(FleetNode {
                         endpoint: endpoint.clone(),
                         classes: classes.clone(),
@@ -635,31 +728,36 @@ fn build_members(
 /// once with a forced re-push.
 fn connect_node_auto(
     reference: &ReferenceSet,
-    expect: HandshakeExpect,
+    expect: &HandshakeExpect,
     endpoint: &Endpoint,
     classes: &[usize],
+    deltas: &BTreeMap<u64, Arc<ArtifactDelta>>,
 ) -> Result<(Mux<ClientReply>, bool), NetError> {
-    match connect_node(reference, expect, endpoint, classes, false) {
+    match connect_node(reference, expect, endpoint, classes, false, deltas) {
         Err(NetError::Remote { .. } | NetError::Partition(_)) => {
-            connect_node(reference, expect, endpoint, classes, true)
+            connect_node(reference, expect, endpoint, classes, true, deltas)
         }
         done => done,
     }
 }
 
 /// Dial `endpoint` and bring it to serving state for `classes`: validated
-/// handshake, partition assigned, mux spawned. A worker advertising
+/// handshake (tenant selected first when the fleet serves a non-default
+/// one), partition assigned, mux spawned. A worker advertising
 /// [`wire::FEATURE_REFERENCE_PUSH`] whose fingerprint does not match (a
 /// diskless worker advertises `0`; a stale one its old artifact's) is
 /// seeded with `classes`' slices first — as is any push-capable worker
-/// when `force_push` is set. Returns the mux and whether a push was
-/// performed.
+/// when `force_push` is set. When the stale fingerprint matches a
+/// registered delta's base, the upgrade ships the delta instead
+/// ([`wire::PushDelta`]); any delta failure falls back to the full push
+/// on a fresh dial. Returns the mux and whether a push was performed.
 fn connect_node(
     reference: &ReferenceSet,
-    expect: HandshakeExpect,
+    expect: &HandshakeExpect,
     endpoint: &Endpoint,
     classes: &[usize],
     force_push: bool,
+    deltas: &BTreeMap<u64, Arc<ArtifactDelta>>,
 ) -> Result<(Mux<ClientReply>, bool), NetError> {
     let peer = endpoint.to_string();
     let mut conn = endpoint.connect_split().map_err(|source| NetError::Io {
@@ -667,9 +765,29 @@ fn connect_node(
         source,
     })?;
     let mut hello = read_hello(conn.reader(), &peer)?;
+    if hello.tenant != expect.tenant_name() {
+        hello = select_tenant(&mut conn, &peer, expect.tenant_name())?;
+    }
     let must_push = force_push || hello.fingerprint != expect.fingerprint;
     let mut pushed = false;
-    if must_push && hello.supports(wire::FEATURE_REFERENCE_PUSH) {
+    if must_push && !force_push && hello.supports(wire::FEATURE_DELTA_PUSH) {
+        if let Some(delta) = deltas
+            .get(&hello.fingerprint)
+            .filter(|d| d.target_fingerprint == expect.fingerprint)
+        {
+            match push_delta(&mut conn, &peer, delta, expect) {
+                Ok(fresh) => {
+                    hello = fresh;
+                    pushed = true;
+                }
+                // The worker refused or dropped the delta (a sparse
+                // worker missing a retired class does); fall back to the
+                // full push on a fresh dial.
+                Err(_) => return connect_node(reference, expect, endpoint, classes, true, deltas),
+            }
+        }
+    }
+    if must_push && !pushed && hello.supports(wire::FEATURE_REFERENCE_PUSH) {
         hello = push_reference(&mut conn, &peer, reference, expect, classes)?;
         pushed = true;
     }
@@ -694,7 +812,7 @@ fn push_reference(
     conn: &mut SplitConn,
     peer: &str,
     reference: &ReferenceSet,
-    expect: HandshakeExpect,
+    expect: &HandshakeExpect,
     classes: &[usize],
 ) -> Result<Hello, NetError> {
     if classes.is_empty() {
@@ -765,6 +883,60 @@ fn push_reference(
     read_hello(conn.reader(), peer)
 }
 
+/// Ship a registered [`ArtifactDelta`] over `conn` as a chunked
+/// [`wire::PushDelta`] sequence and confirm the worker's
+/// [`wire::DeltaAck`]. Returns the refreshed handshake that follows the
+/// ack. Callers treat any error as "fall back to the full push".
+fn push_delta(
+    conn: &mut SplitConn,
+    peer: &str,
+    delta: &ArtifactDelta,
+    expect: &HandshakeExpect,
+) -> Result<Hello, NetError> {
+    let encoded = delta.encode();
+    let chunk_size = wire::MAX_FRAME_PAYLOAD - 64;
+    let total = u32::try_from(encoded.len().div_ceil(chunk_size)).map_err(|_| {
+        NetError::Partition(format!(
+            "cannot push a {}-byte delta in one sequence",
+            encoded.len()
+        ))
+    })?;
+    for (index, chunk) in encoded.chunks(chunk_size).enumerate() {
+        Frame::PushDelta(wire::PushDelta {
+            index: index as u32,
+            total,
+            payload: chunk.to_vec(),
+        })
+        .write_to(conn.writer(), peer)?;
+    }
+    match Frame::read_from(conn.reader(), peer)? {
+        Frame::DeltaAck(ack) => {
+            if ack.fingerprint != expect.fingerprint {
+                return Err(NetError::Handshake {
+                    peer: peer.to_string(),
+                    detail: format!(
+                        "delta acknowledged fingerprint {:#018x}; expected {:#018x}",
+                        ack.fingerprint, expect.fingerprint
+                    ),
+                });
+            }
+        }
+        Frame::Error(message) => {
+            return Err(NetError::Remote {
+                peer: peer.to_string(),
+                message,
+            });
+        }
+        unexpected => {
+            return Err(NetError::Protocol {
+                peer: peer.to_string(),
+                detail: format!("expected a delta acknowledgement, got {unexpected:?}"),
+            });
+        }
+    }
+    read_hello(conn.reader(), peer)
+}
+
 /// Run `view.hedged_request` for every member concurrently and collect the
 /// per-member outcomes in member order. The scoped threads mean every
 /// member's primary is in flight at once — the same pipelining rule as
@@ -822,6 +994,17 @@ impl FleetBackend {
         Ok(Self::over(reference, Arc::new(view)))
     }
 
+    /// [`FleetBackend::connect`] against a named tenant; see
+    /// [`FleetView::connect_tenant`].
+    pub fn connect_tenant(
+        reference: Arc<ReferenceSet>,
+        topology: FleetTopology,
+        tenant: Option<&str>,
+    ) -> Result<Self, NetError> {
+        let view = FleetView::connect_tenant(Arc::clone(&reference), topology, tenant)?;
+        Ok(Self::over(reference, Arc::new(view)))
+    }
+
     /// A backend scoring through an existing (possibly shared) view.
     pub fn over(reference: Arc<ReferenceSet>, view: Arc<FleetView>) -> Self {
         Self {
@@ -840,6 +1023,12 @@ impl FleetBackend {
     /// The topology currently serving.
     pub fn topology(&self) -> FleetTopology {
         self.view.topology()
+    }
+
+    /// The tenant selected at connect time, or `None` for the default
+    /// tenant; see [`FleetView::tenant`].
+    pub fn tenant(&self) -> Option<&str> {
+        self.view.tenant()
     }
 
     /// Fan one query out across the fleet — hedged per member — and
@@ -947,7 +1136,7 @@ mod tests {
     use super::*;
     use crate::backend::BackendConfig;
     use crate::features::{FeatureKind, SampleFeatures};
-    use crate::shardnet::worker::{serve_host_tcp, ShardWorker, WorkerHost};
+    use crate::shardnet::worker::{serve_host_tcp, ShardWorker, TenantHost};
     use std::net::TcpListener;
 
     fn reference() -> Arc<ReferenceSet> {
@@ -985,7 +1174,7 @@ mod tests {
 
     /// Serve an artifact-loaded worker host over loopback TCP; returns its
     /// endpoint.
-    fn spawn_host(host: Arc<WorkerHost>) -> Endpoint {
+    fn spawn_host(host: Arc<TenantHost>) -> Endpoint {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback worker");
         let addr = listener.local_addr().unwrap().to_string();
         std::thread::spawn(move || serve_host_tcp(host, listener));
@@ -993,13 +1182,13 @@ mod tests {
     }
 
     fn spawn_loaded_worker(rs: &Arc<ReferenceSet>) -> Endpoint {
-        spawn_host(Arc::new(WorkerHost::new(Some(ShardWorker::all_classes(
-            Arc::clone(rs),
-        )))))
+        spawn_host(Arc::new(TenantHost::single(Some(
+            ShardWorker::all_classes(Arc::clone(rs)),
+        ))))
     }
 
     fn spawn_diskless_worker() -> Endpoint {
-        spawn_host(Arc::new(WorkerHost::new(None)))
+        spawn_host(Arc::new(TenantHost::single(None)))
     }
 
     #[test]
@@ -1143,9 +1332,9 @@ mod tests {
             &[0],
             &FeatureKind::ALL,
         ));
-        let endpoint = spawn_host(Arc::new(WorkerHost::new(Some(ShardWorker::all_classes(
-            stale,
-        )))));
+        let endpoint = spawn_host(Arc::new(TenantHost::single(Some(
+            ShardWorker::all_classes(stale),
+        ))));
 
         let queries = queries();
         let expected = expected_rows(&rs, &queries);
@@ -1156,6 +1345,117 @@ mod tests {
             },
         )
         .expect("connect upgrades the stale worker over the wire");
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+    }
+
+    #[test]
+    fn a_stale_worker_with_a_registered_delta_is_upgraded_by_delta_push() {
+        let base = reference();
+        // Evolve by appending a class: order-preserving, so the delta is
+        // genuinely incremental (no retires, one added slice).
+        let mut evolved = (*base).clone();
+        evolved
+            .add_class(
+                "Hmmer".into(),
+                vec![PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+                    b"a hmmer profile hidden markov search image",
+                ))],
+            )
+            .expect("append a class");
+        let target = Arc::new(evolved);
+        let delta = ArtifactDelta::between(&base, &target).expect("diff");
+        assert!(delta.retire_classes.is_empty());
+        assert_eq!(delta.add_slices.len(), 1);
+
+        let queries = queries();
+        let expected = expected_rows(&target, &queries);
+        let fresh = spawn_loaded_worker(&target);
+        let backend = FleetBackend::connect(
+            Arc::clone(&target),
+            FleetTopology {
+                shards: vec![FleetShard::solo(fresh)],
+            },
+        )
+        .expect("connect over the evolved set");
+
+        // A delta targeting anything but this fleet's reference set is
+        // refused at registration.
+        let backwards = ArtifactDelta::between(&target, &base).expect("reverse diff");
+        assert!(backend.view().register_delta(backwards).is_err());
+        backend.view().register_delta(delta).expect("register");
+
+        // Admit a worker still loaded with the base artifact: it
+        // advertises the delta's base fingerprint, so the upgrade rides
+        // PushDelta — and the patched worker serves byte-identical rows.
+        let stale = spawn_loaded_worker(&base);
+        backend
+            .view()
+            .admit(FleetShard::solo(stale))
+            .expect("admit upgrades the stale worker by delta");
+        assert_eq!(backend.view().n_shards(), 2);
+        assert_eq!(
+            backend.try_feature_rows_prepared(&queries).expect("rows"),
+            expected
+        );
+    }
+
+    #[test]
+    fn a_sparse_worker_that_cannot_apply_the_delta_falls_back_to_full_push() {
+        let base = reference();
+        // Seed two diskless workers from a fleet over the *base* set: each
+        // ends up holding only its partition's slices (a sparse base).
+        let d0 = spawn_diskless_worker();
+        let d1 = spawn_diskless_worker();
+        let old = FleetBackend::connect(
+            Arc::clone(&base),
+            FleetTopology {
+                shards: vec![FleetShard::solo(d0.clone()), FleetShard::solo(d1)],
+            },
+        )
+        .expect("seed the diskless pair with base slices");
+        drop(old);
+
+        // Evolve in place: extending a middle class re-travels it as
+        // retire+add, which breaks order preservation, so the delta falls
+        // back to full replacement — it retires classes a sparse worker
+        // does not hold.
+        let mut evolved = (*base).clone();
+        evolved
+            .add_samples(
+                0,
+                vec![PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+                    b"the velvet assembler executable body three",
+                ))],
+            )
+            .expect("extend class 0");
+        let target = Arc::new(evolved);
+        let delta = ArtifactDelta::between(&base, &target).expect("diff");
+        assert!(!delta.retire_classes.is_empty());
+
+        let queries = queries();
+        let expected = expected_rows(&target, &queries);
+        let fresh = spawn_loaded_worker(&target);
+        let backend = FleetBackend::connect(
+            Arc::clone(&target),
+            FleetTopology {
+                shards: vec![FleetShard::solo(fresh)],
+            },
+        )
+        .expect("connect over the evolved set");
+        backend.view().register_delta(delta).expect("register");
+
+        // The sparse worker advertises the base fingerprint, the delta
+        // push fails on it (it cannot retire classes it never held), and
+        // the connect falls back to a full push — admit succeeds and the
+        // rows stay byte-identical.
+        backend
+            .view()
+            .admit(FleetShard::solo(d0))
+            .expect("admit falls back to the full push");
+        assert_eq!(backend.view().n_shards(), 2);
         assert_eq!(
             backend.try_feature_rows_prepared(&queries).expect("rows"),
             expected

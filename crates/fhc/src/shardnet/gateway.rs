@@ -92,11 +92,20 @@ pub struct GatewayOptions {
     /// shard's partition width, so the dense batch *response* can never
     /// exceed [`wire::MAX_FRAME_PAYLOAD`].
     pub max_batch: usize,
+    /// The tenant this gateway serves, on both sides of the hop: it is
+    /// selected on every worker handshake and advertised in the gateway's
+    /// own client [`Hello`]. `None` means the default tenant
+    /// ([`wire::DEFAULT_TENANT`]). A gateway fronts exactly one tenant;
+    /// run one gateway per tenant to multiplex.
+    pub tenant: Option<String>,
 }
 
 impl Default for GatewayOptions {
     fn default() -> Self {
-        Self { max_batch: 256 }
+        Self {
+            max_batch: 256,
+            tenant: None,
+        }
     }
 }
 
@@ -180,6 +189,8 @@ pub struct Gateway {
     /// Computed once: a full reference walk, served on every client
     /// handshake.
     fingerprint: u64,
+    /// The tenant this gateway serves (see [`GatewayOptions::tenant`]).
+    tenant: String,
     shards: Vec<ShardHandle>,
     /// One batcher thread per shard; each batcher joins its own
     /// distributor on exit. Reaped in [`Drop`] after the shard queues
@@ -210,7 +221,21 @@ impl Gateway {
                 "gateway max_batch must be at least 1".into(),
             ));
         }
-        let workers = connect_workers(&reference, endpoints)?;
+        let tenant = options
+            .tenant
+            .clone()
+            .unwrap_or_else(|| wire::DEFAULT_TENANT.to_string());
+        if !wire::valid_tenant(&tenant) {
+            return Err(NetError::Tenant {
+                peer: "gateway".into(),
+                tenant,
+                detail: format!(
+                    "not a valid tenant id (want 1..={} characters of [A-Za-z0-9._-])",
+                    wire::MAX_TENANT_LEN
+                ),
+            });
+        }
+        let workers = connect_workers(&reference, endpoints, options.tenant.as_deref())?;
         let fingerprint = reference.fingerprint();
         // Columns per class across the active views; a shard's dense
         // partial row carries classes * kinds cells.
@@ -249,6 +274,7 @@ impl Gateway {
         Ok(Self {
             reference,
             fingerprint,
+            tenant,
             shards,
             batchers,
         })
@@ -257,6 +283,11 @@ impl Gateway {
     /// The reference set the fleet serves.
     pub fn reference(&self) -> &ReferenceSet {
         &self.reference
+    }
+
+    /// The tenant this gateway serves.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
     }
 
     /// Number of shard workers behind this gateway.
@@ -275,6 +306,7 @@ impl Gateway {
             n_classes: self.reference.n_classes(),
             n_columns: self.reference.n_columns(),
             classes: (0..self.reference.n_classes()).collect(),
+            tenant: self.tenant.clone(),
         }
     }
 
@@ -514,6 +546,12 @@ enum ClientWork {
         id: u64,
         queries: Vec<Vec<Receiver<RowResult>>>,
     },
+    /// A tenant-select [`Hello`] from the client: confirmed with the
+    /// gateway's own greeting when the tenant matches, refused with a
+    /// typed error otherwise (a gateway fronts exactly one tenant).
+    Greet {
+        tenant: String,
+    },
     Fail {
         detail: String,
     },
@@ -580,6 +618,17 @@ where
                     Frame::ScoreBatchResponse(ScoreBatchResponse { id, rows })
                         .write_to(&mut writer, peer)?;
                 }
+                ClientWork::Greet { tenant } => {
+                    if tenant == gateway.tenant {
+                        Frame::Hello(gateway.hello()).write_to(&mut writer, peer)?;
+                    } else {
+                        return Err(NetError::Tenant {
+                            peer: peer.to_string(),
+                            tenant,
+                            detail: format!("this gateway serves only tenant {:?}", gateway.tenant),
+                        });
+                    }
+                }
                 ClientWork::Fail { detail } => {
                     return Err(NetError::Protocol {
                         peer: peer.to_string(),
@@ -642,6 +691,18 @@ fn client_reader_loop<R: Read>(
                     .send(ClientWork::Batch {
                         id: batch.id,
                         queries,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(Frame::Hello(request)) => {
+                // A tenant-select exchange; the writer half confirms or
+                // refuses it in request order.
+                if work
+                    .send(ClientWork::Greet {
+                        tenant: request.tenant,
                     })
                     .is_err()
                 {
@@ -768,7 +829,19 @@ impl GatewayBackend {
     /// Connect to the gateway at `endpoint` and validate its handshake
     /// against `reference` (fingerprint, geometry, protocol version).
     pub fn connect(reference: Arc<ReferenceSet>, endpoint: &Endpoint) -> Result<Self, NetError> {
-        let inner = RemoteBackend::connect(reference, std::slice::from_ref(endpoint))?;
+        Self::connect_tenant(reference, endpoint, None)
+    }
+
+    /// [`GatewayBackend::connect`] against a named tenant: the handshake
+    /// selects (and then enforces) `tenant` on the gateway, which must
+    /// have been started to serve it. `None` means the default tenant.
+    pub fn connect_tenant(
+        reference: Arc<ReferenceSet>,
+        endpoint: &Endpoint,
+        tenant: Option<&str>,
+    ) -> Result<Self, NetError> {
+        let inner =
+            RemoteBackend::connect_tenant(reference, std::slice::from_ref(endpoint), tenant)?;
         Ok(Self {
             inner,
             endpoint: endpoint.clone(),
@@ -778,6 +851,12 @@ impl GatewayBackend {
     /// The gateway endpoint this backend scores through.
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// The tenant selected at connect time, or `None` for the default
+    /// tenant.
+    pub fn tenant(&self) -> Option<&str> {
+        self.inner.tenant()
     }
 
     /// Batch row scoring through the gateway: the whole slice rides as
@@ -966,6 +1045,7 @@ mod tests {
                 match other {
                     ClientWork::Row { .. } => "Row",
                     ClientWork::Batch { .. } => "Batch",
+                    ClientWork::Greet { .. } => "Greet",
                     ClientWork::Fail { .. } => unreachable!(),
                 }
             ),
@@ -1006,7 +1086,14 @@ mod tests {
     #[test]
     fn a_zero_max_batch_is_rejected_up_front() {
         let rs = reference();
-        let err = Gateway::connect(rs, &[], GatewayOptions { max_batch: 0 });
+        let err = Gateway::connect(
+            rs,
+            &[],
+            GatewayOptions {
+                max_batch: 0,
+                tenant: None,
+            },
+        );
         assert!(matches!(err, Err(NetError::Partition(_))));
     }
 

@@ -53,7 +53,7 @@ pub mod worker;
 pub use fleet::{BackoffPolicy, FleetBackend, FleetShard, FleetTopology, FleetView};
 pub use gateway::{Gateway, GatewayBackend, GatewayOptions};
 pub use remote::RemoteBackend;
-pub use worker::{ShardWorker, WorkerHost};
+pub use worker::{ShardWorker, TenantHost, WorkerHost};
 
 /// Where a shard worker listens.
 ///
@@ -331,6 +331,18 @@ pub enum NetError {
         /// The error message it sent.
         message: String,
     },
+    /// A handshake named a tenant the other side does not serve, or a
+    /// worker answered for a different tenant than the one selected. Never
+    /// a generic decode error or a silent empty row: the offending tenant
+    /// travels in the error.
+    Tenant {
+        /// The peer the conversation was with.
+        peer: String,
+        /// The tenant that was requested or wrongly answered for.
+        tenant: String,
+        /// What went wrong (unknown tenant, mismatched greeting, ...).
+        detail: String,
+    },
 }
 
 impl NetError {
@@ -358,6 +370,13 @@ impl fmt::Display for NetError {
             }
             NetError::Remote { peer, message } => {
                 write!(f, "remote error from {peer}: {message}")
+            }
+            NetError::Tenant {
+                peer,
+                tenant,
+                detail,
+            } => {
+                write!(f, "tenant {tenant:?} rejected by {peer}: {detail}")
             }
         }
     }

@@ -41,11 +41,23 @@ use std::sync::{Arc, Mutex};
 /// The handshake values a reconnected worker must reproduce; see
 /// [`RemoteWorker::submit`]. Captured at first connect, after validation
 /// against the local reference set.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct HandshakeExpect {
     pub(crate) fingerprint: u64,
     pub(crate) n_classes: usize,
     pub(crate) n_columns: usize,
+    /// The tenant this connection must be served by. `None` means the
+    /// client did not select one and expects the wire default
+    /// ([`wire::DEFAULT_TENANT`]); `Some` is selected over the wire after
+    /// each (re)connect and verified against every greeting.
+    pub(crate) tenant: Option<String>,
+}
+
+impl HandshakeExpect {
+    /// The tenant name every greeting on this connection must carry.
+    pub(crate) fn tenant_name(&self) -> &str {
+        self.tenant.as_deref().unwrap_or(wire::DEFAULT_TENANT)
+    }
 }
 
 /// One connected shard worker: its validated partition and the multiplexer
@@ -114,7 +126,12 @@ impl RemoteWorker {
                 source,
             })?;
         let mut hello = read_hello(conn.reader(), &peer)?;
-        validate_hello(self.expect, &peer, &hello)?;
+        if let Some(tenant) = &self.expect.tenant {
+            if hello.tenant != *tenant {
+                hello = select_tenant(&mut conn, &peer, tenant)?;
+            }
+        }
+        validate_hello(&self.expect, &peer, &hello)?;
         if hello.classes != self.classes {
             hello = assign_partition(&mut conn, &peer, self.classes.clone())?;
         }
@@ -176,6 +193,7 @@ impl std::fmt::Debug for RemoteWorker {
 pub(crate) fn connect_workers(
     reference: &ReferenceSet,
     endpoints: &[Endpoint],
+    tenant: Option<&str>,
 ) -> Result<Vec<RemoteWorker>, NetError> {
     if endpoints.is_empty() {
         return Err(NetError::Partition(
@@ -188,6 +206,7 @@ pub(crate) fn connect_workers(
         fingerprint: reference.fingerprint(),
         n_classes: reference.n_classes(),
         n_columns: reference.n_columns(),
+        tenant: tenant.map(str::to_string),
     };
     let mut conns = Vec::with_capacity(endpoints.len());
     for endpoint in endpoints {
@@ -196,8 +215,13 @@ pub(crate) fn connect_workers(
             peer: peer.clone(),
             source,
         })?;
-        let hello = read_hello(conn.reader(), &peer)?;
-        validate_hello(expect, &peer, &hello)?;
+        let mut hello = read_hello(conn.reader(), &peer)?;
+        if let Some(tenant) = tenant {
+            if hello.tenant != tenant {
+                hello = select_tenant(&mut conn, &peer, tenant)?;
+            }
+        }
+        validate_hello(&expect, &peer, &hello)?;
         conns.push((endpoint.clone(), conn, hello));
     }
 
@@ -236,7 +260,7 @@ pub(crate) fn connect_workers(
                 endpoint,
                 supports_batch: hello.supports(wire::FEATURE_SCORE_BATCH),
                 classes: hello.classes,
-                expect,
+                expect: expect.clone(),
                 mux: Mutex::new(mux),
             })
         })
@@ -265,7 +289,19 @@ impl RemoteBackend {
     /// they serve exactly `reference` (see `connect_workers` for the
     /// handshake and partition rules).
     pub fn connect(reference: Arc<ReferenceSet>, endpoints: &[Endpoint]) -> Result<Self, NetError> {
-        let workers = connect_workers(&reference, endpoints)?
+        Self::connect_tenant(reference, endpoints, None)
+    }
+
+    /// [`RemoteBackend::connect`] bound to a specific tenant on each
+    /// worker daemon: the tenant is selected over the wire after every
+    /// (re)connect, and a worker greeting for any other tenant is a typed
+    /// [`NetError::Tenant`].
+    pub fn connect_tenant(
+        reference: Arc<ReferenceSet>,
+        endpoints: &[Endpoint],
+        tenant: Option<&str>,
+    ) -> Result<Self, NetError> {
+        let workers = connect_workers(&reference, endpoints, tenant)?
             .into_iter()
             .map(Arc::new)
             .collect();
@@ -289,6 +325,15 @@ impl RemoteBackend {
     /// The endpoints this backend is connected to, in worker order.
     pub fn endpoints(&self) -> Vec<Endpoint> {
         self.workers.iter().map(|w| w.endpoint.clone()).collect()
+    }
+
+    /// The tenant selected at connect time, or `None` for the default
+    /// tenant. Every worker shares one handshake expectation, so the
+    /// first worker's answer is the backend's.
+    pub fn tenant(&self) -> Option<&str> {
+        self.workers
+            .first()
+            .and_then(|w| w.expect.tenant.as_deref())
     }
 
     /// Fan one query out to every worker and max-merge the partial rows
@@ -533,10 +578,21 @@ pub(crate) fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hel
 }
 
 pub(crate) fn validate_hello(
-    expect: HandshakeExpect,
+    expect: &HandshakeExpect,
     peer: &str,
     hello: &Hello,
 ) -> Result<(), NetError> {
+    let tenant = expect.tenant_name();
+    if hello.tenant != tenant {
+        return Err(NetError::Tenant {
+            peer: peer.to_string(),
+            tenant: tenant.to_string(),
+            detail: format!(
+                "worker answered for tenant {:?} instead of the selected {tenant:?}",
+                hello.tenant
+            ),
+        });
+    }
     if hello.protocol != wire::PROTOCOL_VERSION {
         return Err(NetError::Handshake {
             peer: peer.to_string(),
@@ -583,6 +639,51 @@ pub(crate) fn is_exact_cover<'a>(
         }
     }
     seen.into_iter().all(|s| s)
+}
+
+/// Select `tenant` on a freshly handshaken connection: send a client
+/// [`Hello`] naming it and return the tenant's own greeting. A worker
+/// rejection (an `Error` frame — the unknown-tenant path) and a greeting
+/// for any other tenant both surface as typed [`NetError::Tenant`]s.
+pub(crate) fn select_tenant(
+    conn: &mut SplitConn,
+    peer: &str,
+    tenant: &str,
+) -> Result<Hello, NetError> {
+    Frame::Hello(Hello {
+        protocol: wire::PROTOCOL_VERSION,
+        features: 0,
+        fingerprint: 0,
+        n_classes: 0,
+        n_columns: 0,
+        classes: Vec::new(),
+        tenant: tenant.to_string(),
+    })
+    .write_to(conn.writer(), peer)?;
+    match Frame::read_from(conn.reader(), peer)? {
+        Frame::Hello(hello) => {
+            if hello.tenant != tenant {
+                return Err(NetError::Tenant {
+                    peer: peer.to_string(),
+                    tenant: tenant.to_string(),
+                    detail: format!(
+                        "worker confirmed tenant {:?} instead of the selected {tenant:?}",
+                        hello.tenant
+                    ),
+                });
+            }
+            Ok(hello)
+        }
+        Frame::Error(message) => Err(NetError::Tenant {
+            peer: peer.to_string(),
+            tenant: tenant.to_string(),
+            detail: message,
+        }),
+        unexpected => Err(NetError::Protocol {
+            peer: peer.to_string(),
+            detail: format!("expected a tenant greeting, got {unexpected:?}"),
+        }),
+    }
 }
 
 /// Send an `Assign` and return the worker's refreshed handshake.

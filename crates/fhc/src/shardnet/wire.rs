@@ -11,7 +11,10 @@
 //! ```text
 //! worker                     client
 //!   | --- Hello ---------------> |   on connect (version, feature bits,
-//!   |                            |   fingerprint, class partition)
+//!   |                            |   tenant, fingerprint, partition)
+//!   | <-- Hello ---------------- |   optional: client selects a tenant
+//!   | --- Hello / Error -------> |   that tenant's greeting, or a typed
+//!   |                            |   rejection naming the unknown tenant
 //!   | <-- Assign --------------- |   optional: client re-partitions
 //!   | --- Hello ---------------> |   confirms the new partition
 //!   | <-- ScoreRequest --------- |   prepared query hashes, request id
@@ -20,7 +23,10 @@
 //!   | --- ScoreBatchResponse --> |   worker advertised the batch feature)
 //!   | <-- PushSlice x N -------- |   optional: client ships the reference
 //!   | --- PushAck + Hello -----> |   set in slices (push feature only);
-//!   |            ...             |   the fresh Hello confirms the install
+//!   |                            |   the fresh Hello confirms the install
+//!   | <-- PushDelta x N -------- |   optional: client patches the installed
+//!   | --- DeltaAck + Hello ----> |   set with an artifact delta (delta
+//!   |            ...             |   feature only)
 //!   | <-- Shutdown ------------- |   clean goodbye (or just EOF)
 //! ```
 //!
@@ -48,11 +54,13 @@ use std::io::{Read, Write};
 ///
 /// Version history: v1 carried single-query frames only; v2 added the
 /// [`Hello::features`] field and the batched
-/// [`ScoreBatchRequest`]/[`ScoreBatchResponse`] frames. The reference-push
-/// frames ([`PushSlice`]/[`PushAck`]) ride v2 behind
-/// [`FEATURE_REFERENCE_PUSH`] — a worker that does not advertise the bit
-/// never sees them.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// [`ScoreBatchRequest`]/[`ScoreBatchResponse`] frames; the reference-push
+/// frames ([`PushSlice`]/[`PushAck`]) rode v2 behind
+/// [`FEATURE_REFERENCE_PUSH`]. v3 added the [`Hello::tenant`] field (a
+/// daemon now hosts many reference sets keyed by tenant) and the
+/// [`PushDelta`]/[`DeltaAck`] frames behind [`FEATURE_DELTA_PUSH`] — a
+/// worker that does not advertise the bit never sees them.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // Score requests travel in the artifact's prepared-feature encoding, so a
 // bump of the artifact format that changes `encode_prepared_features` is a
@@ -61,7 +69,7 @@ pub const PROTOCOL_VERSION: u32 = 2;
 // pairing — whoever bumps FORMAT_VERSION must revisit PROTOCOL_VERSION (or
 // prove the prepared encoding unchanged) and update both numbers here.
 const _: () = assert!(
-    FORMAT_VERSION == 3 && PROTOCOL_VERSION == 2,
+    FORMAT_VERSION == 3 && PROTOCOL_VERSION == 3,
     "artifact FORMAT_VERSION changed: the ScoreRequest prepared-feature \
      encoding may have changed with it; bump wire::PROTOCOL_VERSION \
      accordingly and update this assertion"
@@ -80,6 +88,45 @@ pub const FEATURE_SCORE_BATCH: u32 = 1 << 0;
 /// artifact onto running workers through the same frames.
 pub const FEATURE_REFERENCE_PUSH: u32 = 1 << 1;
 
+/// [`Hello::features`] bit: the worker accepts [`PushDelta`] frames — a
+/// client may patch the worker's installed reference set with an
+/// [`ArtifactDelta`](crate::artifact::ArtifactDelta) instead of re-pushing
+/// the whole set. Only meaningful alongside [`FEATURE_REFERENCE_PUSH`]: a
+/// delta needs an installed base to patch.
+pub const FEATURE_DELTA_PUSH: u32 = 1 << 2;
+
+/// The tenant a connection serves when neither side selects one. Every v2
+/// deployment implicitly served this tenant, so a single-artifact daemon
+/// and a tenant-unaware client keep interoperating unchanged.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Longest tenant id the wire accepts. Tenant names are routing keys, not
+/// documents; the bound keeps hostile handshakes from smuggling megabytes
+/// through the tenant field.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Whether `name` is a well-formed tenant id: 1..=[`MAX_TENANT_LEN`]
+/// characters drawn from `[A-Za-z0-9._-]`. Enforced on *decode* (a
+/// malformed tenant in a handshake is a protocol error, not a lookup miss)
+/// and by every registry construction site.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_LEN
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Clip a hostile tenant string for an error message: long ids are the
+/// attack being reported, so the report must not echo them whole.
+fn truncate_for_display(name: &str) -> &str {
+    let end = name
+        .char_indices()
+        .nth(MAX_TENANT_LEN)
+        .map_or(name.len(), |(at, _)| at);
+    &name[..end]
+}
+
 /// Upper bound on a frame payload this implementation will read. Score
 /// requests and responses are a few KiB; anything near this limit is a
 /// corrupt length prefix, not a real message.
@@ -95,6 +142,8 @@ const TAG_SCORE_BATCH_REQUEST: u8 = 7;
 const TAG_SCORE_BATCH_RESPONSE: u8 = 8;
 const TAG_PUSH_SLICE: u8 = 9;
 const TAG_PUSH_ACK: u8 = 10;
+const TAG_PUSH_DELTA: u8 = 11;
+const TAG_DELTA_ACK: u8 = 12;
 
 /// The worker's handshake: everything a client needs to decide whether this
 /// worker can score for it.
@@ -116,6 +165,13 @@ pub struct Hello {
     /// The known-class ids this worker scores (strictly increasing —
     /// enforced on decode, so consumers may binary-search it).
     pub classes: Vec<usize>,
+    /// The tenant whose reference set this handshake describes. A worker's
+    /// greeting names the tenant the connection is bound to (initially
+    /// [`DEFAULT_TENANT`]); a *client-sent* Hello re-binds the connection
+    /// to another tenant slot, and the worker answers with that tenant's
+    /// own Hello — or an [`Frame::Error`] naming the unknown tenant.
+    /// Malformed ids (see [`valid_tenant`]) are rejected on decode.
+    pub tenant: String,
 }
 
 impl Hello {
@@ -205,6 +261,36 @@ pub struct PushAck {
     pub classes_loaded: u32,
 }
 
+/// One chunk of an [`ArtifactDelta`](crate::artifact::ArtifactDelta) in
+/// flight to a worker that advertised [`FEATURE_DELTA_PUSH`]: the
+/// `index`-th of `total` chunks of one encoded delta container. After the
+/// final chunk the worker reassembles the container, applies the delta to
+/// its installed reference set (rejecting a stale base fingerprint as a
+/// typed error), and answers with a [`DeltaAck`] followed by a refreshed
+/// [`Hello`] — the same confirmation shape a [`PushSlice`] push uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushDelta {
+    /// Zero-based position of this chunk within the delta push.
+    pub index: u32,
+    /// Total number of chunks in the push (at least 1).
+    pub total: u32,
+    /// This chunk of the encoded delta container (see
+    /// [`ArtifactDelta::encode`](crate::artifact::ArtifactDelta::encode)).
+    pub payload: Vec<u8>,
+}
+
+/// The worker's confirmation that a [`PushDelta`] sequence was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaAck {
+    /// Fingerprint of the reference set the worker serves *after* the
+    /// patch (the delta's declared target).
+    pub fingerprint: u64,
+    /// How many classes the delta added.
+    pub classes_added: u32,
+    /// How many classes the delta retired.
+    pub classes_retired: u32,
+}
+
 /// Every message of the shard-serving protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -227,6 +313,11 @@ pub enum Frame {
     PushSlice(PushSlice),
     /// Worker → client: a pushed reference set was assembled and installed.
     PushAck(PushAck),
+    /// Client → worker: one chunk of an encoded artifact delta (requires
+    /// the worker to have advertised [`FEATURE_DELTA_PUSH`]).
+    PushDelta(PushDelta),
+    /// Worker → client: a pushed delta was applied to the installed set.
+    DeltaAck(DeltaAck),
     /// Either side: a fatal error message, connection closes after.
     Error(String),
     /// Client → worker: clean goodbye.
@@ -333,6 +424,8 @@ impl Frame {
             Frame::ScoreBatchResponse(_) => TAG_SCORE_BATCH_RESPONSE,
             Frame::PushSlice(_) => TAG_PUSH_SLICE,
             Frame::PushAck(_) => TAG_PUSH_ACK,
+            Frame::PushDelta(_) => TAG_PUSH_DELTA,
+            Frame::DeltaAck(_) => TAG_DELTA_ACK,
             Frame::Error(_) => TAG_ERROR,
             Frame::Shutdown => TAG_SHUTDOWN,
         }
@@ -348,6 +441,7 @@ impl Frame {
                 w.put_usize(hello.n_classes);
                 w.put_usize(hello.n_columns);
                 encode_class_list(&mut w, &hello.classes);
+                w.put_str(&hello.tenant);
             }
             Frame::Assign(assign) => {
                 // An Assign cannot validate ids against n_classes on its own,
@@ -386,6 +480,16 @@ impl Frame {
                 w.put_u64(ack.fingerprint);
                 w.put_u32(ack.classes_loaded);
             }
+            Frame::PushDelta(delta) => {
+                w.put_u32(delta.index);
+                w.put_u32(delta.total);
+                w.put_bytes(&delta.payload);
+            }
+            Frame::DeltaAck(ack) => {
+                w.put_u64(ack.fingerprint);
+                w.put_u32(ack.classes_added);
+                w.put_u32(ack.classes_retired);
+            }
             Frame::Error(message) => w.put_str(message),
             Frame::Shutdown => {}
         }
@@ -402,6 +506,14 @@ impl Frame {
                 let n_classes = r.get_usize()?;
                 let n_columns = r.get_usize()?;
                 let classes = decode_class_list(&mut r, n_classes)?;
+                let tenant = r.get_str()?;
+                if !valid_tenant(&tenant) {
+                    return Err(CodecError::new(format!(
+                        "malformed tenant id {:?} in handshake (want 1..={MAX_TENANT_LEN} \
+                         characters of [A-Za-z0-9._-])",
+                        truncate_for_display(&tenant)
+                    )));
+                }
                 Frame::Hello(Hello {
                     protocol,
                     features,
@@ -409,6 +521,7 @@ impl Frame {
                     n_classes,
                     n_columns,
                     classes,
+                    tenant,
                 })
             }
             TAG_ASSIGN => {
@@ -484,6 +597,33 @@ impl Frame {
                 Frame::PushAck(PushAck {
                     fingerprint,
                     classes_loaded,
+                })
+            }
+            TAG_PUSH_DELTA => {
+                let index = r.get_u32()?;
+                let total = r.get_u32()?;
+                if total == 0 || index >= total {
+                    return Err(CodecError::new(format!(
+                        "push delta chunk {index} of {total} is out of sequence"
+                    )));
+                }
+                // As with PushSlice, `get_bytes` validates the blob length
+                // against the remaining payload before copying.
+                let payload = r.get_bytes()?;
+                Frame::PushDelta(PushDelta {
+                    index,
+                    total,
+                    payload,
+                })
+            }
+            TAG_DELTA_ACK => {
+                let fingerprint = r.get_u64()?;
+                let classes_added = r.get_u32()?;
+                let classes_retired = r.get_u32()?;
+                Frame::DeltaAck(DeltaAck {
+                    fingerprint,
+                    classes_added,
+                    classes_retired,
                 })
             }
             TAG_ERROR => Frame::Error(r.get_str()?),
@@ -660,6 +800,7 @@ mod tests {
                 n_classes: 7,
                 n_columns: 21,
                 classes: vec![0, 2, 4, 6],
+                tenant: "acme-prod.v2".into(),
             }),
             Frame::Assign(Assign {
                 classes: vec![1, 3, 5],
@@ -689,6 +830,16 @@ mod tests {
                 fingerprint: 0xDEAD_BEEF_CAFE_F00D,
                 classes_loaded: 4,
             }),
+            Frame::PushDelta(PushDelta {
+                index: 0,
+                total: 3,
+                payload: b"a checksummed delta container chunk".to_vec(),
+            }),
+            Frame::DeltaAck(DeltaAck {
+                fingerprint: 0xFEED_FACE_0123_4567,
+                classes_added: 2,
+                classes_retired: 1,
+            }),
             Frame::Error("reference set mismatch".into()),
             Frame::Shutdown,
         ];
@@ -712,6 +863,53 @@ mod tests {
     }
 
     #[test]
+    fn push_delta_rejects_an_out_of_sequence_index() {
+        let mut payload = ByteWriter::new();
+        payload.put_u32(3); // index
+        payload.put_u32(3); // total
+        payload.put_bytes(b"ignored");
+        let mut bytes = Vec::new();
+        hpcutil::write_frame(&mut bytes, TAG_PUSH_DELTA, payload.as_bytes()).unwrap();
+        let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+        assert!(matches!(result, Err(NetError::Protocol { .. })));
+    }
+
+    #[test]
+    fn tenant_ids_validate_on_decode() {
+        assert!(valid_tenant(DEFAULT_TENANT));
+        assert!(valid_tenant("acme-prod.v2"));
+        assert!(valid_tenant("A_1"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant("sneaky/../path"));
+        assert!(!valid_tenant(&"x".repeat(MAX_TENANT_LEN + 1)));
+
+        // A structurally valid Hello frame carrying a malformed tenant is
+        // a protocol error, and the report names (a clipped view of) it.
+        for bad in ["", "has space", &"x".repeat(400) as &str] {
+            let mut payload = ByteWriter::new();
+            payload.put_u32(PROTOCOL_VERSION);
+            payload.put_u32(0); // features
+            payload.put_u64(7); // fingerprint
+            payload.put_usize(1); // n_classes
+            payload.put_usize(3); // n_columns
+            payload.put_usize(1); // class-list length
+            payload.put_usize(0); // class 0
+            payload.put_str(bad);
+            let mut bytes = Vec::new();
+            hpcutil::write_frame(&mut bytes, TAG_HELLO, payload.as_bytes()).unwrap();
+            let result = Frame::read_from(&mut Cursor::new(bytes), "test");
+            match result {
+                Err(NetError::Protocol { detail, .. }) => {
+                    assert!(detail.contains("malformed tenant"), "got {detail:?}");
+                    assert!(detail.len() < 300, "report echoes the whole hostile id");
+                }
+                other => panic!("tenant {bad:?} must be a protocol error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn score_request_write_helper_matches_owned_frame() {
         let query = sample_query();
         let mut via_helper = Vec::new();
@@ -730,6 +928,7 @@ mod tests {
                 n_classes: 3,
                 n_columns: 9,
                 classes,
+                tenant: DEFAULT_TENANT.into(),
             })
         };
         // Out of range: class 3 with n_classes = 3.
@@ -780,6 +979,7 @@ mod tests {
             n_classes: 2,
             n_columns: 6,
             classes: vec![0, 1],
+            tenant: DEFAULT_TENANT.into(),
         };
         assert!(hello.supports(FEATURE_SCORE_BATCH));
         hello.features = 0;

@@ -9,10 +9,14 @@
 //! binary wraps a worker in an accept loop; tests drive
 //! [`ShardWorker::serve_connection`] directly over in-process streams.
 
+use crate::artifact::ArtifactDelta;
 use crate::features::PreparedSampleFeatures;
-use crate::shardnet::wire::{self, Frame, Hello, PushAck, ScoreBatchResponse, ScoreResponse};
+use crate::shardnet::wire::{
+    self, DeltaAck, Frame, Hello, PushAck, ScoreBatchResponse, ScoreResponse,
+};
 use crate::shardnet::{NetError, Transport, IO_TIMEOUT};
 use crate::similarity::ReferenceSet;
+use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::sync::{Arc, RwLock};
@@ -143,6 +147,7 @@ impl ShardWorker {
             n_classes: self.reference.n_classes(),
             n_columns: self.reference.n_columns(),
             classes: classes.to_vec(),
+            tenant: wire::DEFAULT_TENANT.to_string(),
         }
     }
 
@@ -256,18 +261,15 @@ impl ShardWorker {
     }
 }
 
-/// The daemon-wide worker slot behind `fhc-shardd`: it serves the same
-/// protocol as [`ShardWorker::serve_connection`] *plus* the reference-push
-/// extension ([`wire::PushSlice`]), so a worker process can start
-/// **diskless** — no artifact on disk — and be seeded (or upgraded) with
-/// slice-sized sub-artifacts over the wire by a fleet control plane.
+/// One tenant's worker slot: the swappable [`ShardWorker`] serving a
+/// single reference set, shared across connections through an `RwLock`.
 ///
-/// The installed [`ShardWorker`] is shared across connections through an
-/// `RwLock` slot. A completed push builds a fresh worker from the slices
-/// and swaps it in: connections accepted afterwards serve the new set,
-/// while connections already mid-conversation keep their `Arc` to the old
-/// one — a rolling upgrade, caught on reconnect by the fingerprint
-/// handshake.
+/// A completed push (or delta patch) builds a fresh worker and swaps it
+/// in: connections accepted afterwards serve the new set, while
+/// connections already mid-conversation keep their `Arc` to the old one —
+/// a rolling upgrade, caught on reconnect by the fingerprint handshake.
+/// The serving loop lives on [`TenantHost`], which routes each connection
+/// to the slot of the tenant it selected.
 #[derive(Debug)]
 pub struct WorkerHost {
     slot: RwLock<Option<Arc<ShardWorker>>>,
@@ -301,43 +303,185 @@ impl WorkerHost {
         *self.slot.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&worker));
         worker
     }
+}
 
-    /// The handshake for a connection currently serving `worker` over
-    /// `classes`. Host connections additionally advertise
-    /// [`wire::FEATURE_REFERENCE_PUSH`]; an empty slot advertises
-    /// fingerprint `0` and no classes, which is how a fleet client
-    /// recognizes a worker awaiting its seed push.
-    fn hello(worker: Option<&ShardWorker>, classes: &[usize]) -> Hello {
-        match worker {
-            Some(worker) => {
-                let mut hello = worker.hello_for(classes);
-                hello.features |= wire::FEATURE_REFERENCE_PUSH;
-                hello
-            }
+/// The daemon-wide tenant registry behind `fhc-shardd`: many [`WorkerHost`]
+/// slots keyed by tenant name, serving one shared protocol loop. A
+/// connection starts bound to [`wire::DEFAULT_TENANT`] (or the first
+/// registered tenant) and may re-bind by sending a client [`Hello`] naming
+/// another tenant; every subsequent score, assign, push, and delta frame
+/// routes to the bound tenant's slot. An unknown tenant is a typed
+/// [`NetError::Tenant`] naming the offender — never a silent empty row.
+///
+/// Beyond routing, the host extends [`ShardWorker::serve_connection`] with
+/// the push extensions: [`wire::PushSlice`] reassembly (a worker process
+/// can start **diskless** and be seeded over the wire) and
+/// [`wire::PushDelta`] patching (an installed set evolves in place through
+/// an [`ArtifactDelta`] instead of a full re-push).
+#[derive(Debug, Default)]
+pub struct TenantHost {
+    tenants: BTreeMap<String, Arc<WorkerHost>>,
+}
+
+/// A partially received delta push: the declared chunk count and the
+/// chunks accepted so far, in order (same shape as a slice push).
+struct DeltaBuffer {
+    total: u32,
+    chunks: Vec<Vec<u8>>,
+}
+
+impl TenantHost {
+    /// An empty registry; populate it with [`TenantHost::register`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The single-tenant host every pre-tenant deployment ran: `initial`
+    /// (or a diskless slot) registered under [`wire::DEFAULT_TENANT`].
+    pub fn single(initial: Option<ShardWorker>) -> Self {
+        let mut host = Self::new();
+        host.register(wire::DEFAULT_TENANT, initial)
+            // fhc-lint: allow(no_panic) -- DEFAULT_TENANT is a valid constant id and the registry is empty, so registration cannot fail
+            .expect("registering the default tenant in an empty registry");
+        host
+    }
+
+    /// Register tenant `name` serving `initial` (`None` starts the slot
+    /// diskless, awaiting a seed push). Rejects malformed tenant ids and
+    /// duplicates as typed errors.
+    pub fn register(&mut self, name: &str, initial: Option<ShardWorker>) -> Result<(), NetError> {
+        if !wire::valid_tenant(name) {
+            return Err(NetError::Tenant {
+                peer: "local registry".to_string(),
+                tenant: name.to_string(),
+                detail: format!(
+                    "malformed tenant id (want 1..={} characters of [A-Za-z0-9._-])",
+                    wire::MAX_TENANT_LEN
+                ),
+            });
+        }
+        if self.tenants.contains_key(name) {
+            return Err(NetError::Tenant {
+                peer: "local registry".to_string(),
+                tenant: name.to_string(),
+                detail: "tenant registered twice".to_string(),
+            });
+        }
+        self.tenants
+            .insert(name.to_string(), Arc::new(WorkerHost::new(initial)));
+        Ok(())
+    }
+
+    /// The slot serving `tenant`, if registered.
+    pub fn slot(&self, tenant: &str) -> Option<&Arc<WorkerHost>> {
+        self.tenants.get(tenant)
+    }
+
+    /// The registered tenant names, sorted.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.tenants.keys().map(String::as_str)
+    }
+
+    /// The binding a fresh connection starts with: the default tenant if
+    /// registered, otherwise the first tenant in name order.
+    pub fn initial_slot(&self) -> Option<(String, Arc<WorkerHost>)> {
+        if let Some(slot) = self.tenants.get(wire::DEFAULT_TENANT) {
+            return Some((wire::DEFAULT_TENANT.to_string(), Arc::clone(slot)));
+        }
+        self.tenants
+            .iter()
+            .next()
+            .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+    }
+
+    /// The sorted tenant list, comma-joined (rejection messages and the
+    /// daemon's announce line).
+    pub fn served_list(&self) -> String {
+        self.tenants
+            .keys()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The handshake for a connection bound to `tenant`, currently serving
+    /// `worker` over `classes`. Host connections additionally advertise
+    /// [`wire::FEATURE_REFERENCE_PUSH`] and [`wire::FEATURE_DELTA_PUSH`];
+    /// an empty slot advertises fingerprint `0` and no classes, which is
+    /// how a fleet client recognizes a worker awaiting its seed push.
+    fn hello(worker: Option<&ShardWorker>, classes: &[usize], tenant: &str) -> Hello {
+        let mut hello = match worker {
+            Some(worker) => worker.hello_for(classes),
             None => Hello {
                 protocol: wire::PROTOCOL_VERSION,
-                features: wire::FEATURE_SCORE_BATCH | wire::FEATURE_REFERENCE_PUSH,
+                features: wire::FEATURE_SCORE_BATCH,
                 fingerprint: 0,
                 n_classes: 0,
                 n_columns: 0,
                 classes: Vec::new(),
+                tenant: String::new(),
             },
-        }
+        };
+        hello.features |= wire::FEATURE_REFERENCE_PUSH | wire::FEATURE_DELTA_PUSH;
+        hello.tenant = tenant.to_string();
+        hello
     }
 
     /// Serve one connection until the client says goodbye: the
-    /// [`ShardWorker::serve_connection`] protocol extended with
-    /// [`wire::PushSlice`] reassembly. Score and `Assign` frames on an
-    /// unseeded host are protocol errors (push first); a completed push
-    /// answers with [`wire::PushAck`] followed by a refreshed handshake,
-    /// the same confirmation shape as an `Assign`.
+    /// [`ShardWorker::serve_connection`] protocol extended with tenant
+    /// selection, [`wire::PushSlice`] reassembly, and [`wire::PushDelta`]
+    /// patching. Score and `Assign` frames on an unseeded slot are
+    /// protocol errors (push first); a completed push answers with
+    /// [`wire::PushAck`] (a completed delta with [`wire::DeltaAck`])
+    /// followed by a refreshed handshake, the same confirmation shape as
+    /// an `Assign`.
     pub fn serve_connection(&self, mut stream: impl Transport, peer: &str) -> Result<(), NetError> {
-        let mut worker = self.worker();
+        let Some((mut tenant, mut slot)) = self.initial_slot() else {
+            let detail = "no tenants registered on this host".to_string();
+            let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+            return Err(NetError::Protocol {
+                peer: peer.to_string(),
+                detail,
+            });
+        };
+        let mut worker = slot.worker();
         let mut classes: Vec<usize> = worker.as_ref().map_or_else(Vec::new, |w| w.classes.clone());
-        Frame::Hello(Self::hello(worker.as_deref(), &classes)).write_to(&mut stream, peer)?;
+        Frame::Hello(Self::hello(worker.as_deref(), &classes, &tenant))
+            .write_to(&mut stream, peer)?;
         let mut push: Option<PushBuffer> = None;
+        let mut delta: Option<DeltaBuffer> = None;
         loop {
             match Frame::read_from(&mut stream, peer) {
+                Ok(Frame::Hello(request)) => {
+                    // A client-sent Hello selects a tenant: re-bind the
+                    // connection to that slot and confirm with its own
+                    // greeting. In-progress pushes die with the binding.
+                    match self.tenants.get(&request.tenant) {
+                        Some(selected) => {
+                            tenant = request.tenant;
+                            slot = Arc::clone(selected);
+                            worker = slot.worker();
+                            classes = worker.as_ref().map_or_else(Vec::new, |w| w.classes.clone());
+                            push = None;
+                            delta = None;
+                            Frame::Hello(Self::hello(worker.as_deref(), &classes, &tenant))
+                                .write_to(&mut stream, peer)?;
+                        }
+                        None => {
+                            let detail = format!(
+                                "unknown tenant {:?}: this endpoint serves [{}]",
+                                request.tenant,
+                                self.served_list()
+                            );
+                            let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                            return Err(NetError::Tenant {
+                                peer: peer.to_string(),
+                                tenant: request.tenant,
+                                detail,
+                            });
+                        }
+                    }
+                }
                 Ok(Frame::PushSlice(slice)) => {
                     let buffer = push.get_or_insert_with(|| PushBuffer {
                         total: slice.total,
@@ -371,7 +515,7 @@ impl WorkerHost {
                         match ReferenceSet::from_slices(&complete.slices) {
                             Ok((set, declared)) => {
                                 let fresh =
-                                    self.install(ShardWorker::from_pushed(Arc::new(set), declared));
+                                    slot.install(ShardWorker::from_pushed(Arc::new(set), declared));
                                 classes = fresh.classes.clone();
                                 // The count cannot exceed MAX_PUSH_SLICES, but
                                 // saturate rather than panic the serving thread:
@@ -382,12 +526,90 @@ impl WorkerHost {
                                         .unwrap_or(u32::MAX),
                                 })
                                 .write_to(&mut stream, peer)?;
-                                Frame::Hello(Self::hello(Some(&fresh), &classes))
+                                Frame::Hello(Self::hello(Some(&fresh), &classes, &tenant))
                                     .write_to(&mut stream, peer)?;
                                 worker = Some(fresh);
                             }
                             Err(e) => {
                                 let detail = format!("pushed slices did not assemble: {e}");
+                                let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                                return Err(NetError::Protocol {
+                                    peer: peer.to_string(),
+                                    detail,
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(Frame::PushDelta(chunk)) => {
+                    let buffer = delta.get_or_insert_with(|| DeltaBuffer {
+                        total: chunk.total,
+                        chunks: Vec::new(),
+                    });
+                    if chunk.total != buffer.total
+                        || chunk.index as usize != buffer.chunks.len()
+                        || buffer.total as usize > MAX_PUSH_SLICES
+                    {
+                        let detail = format!(
+                            "push delta chunk {}/{} arrived out of order (have {} of {}, cap {})",
+                            chunk.index,
+                            chunk.total,
+                            buffer.chunks.len(),
+                            buffer.total,
+                            MAX_PUSH_SLICES
+                        );
+                        let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                        return Err(NetError::Protocol {
+                            peer: peer.to_string(),
+                            detail,
+                        });
+                    }
+                    buffer.chunks.push(chunk.payload);
+                    let complete = if buffer.chunks.len() == buffer.total as usize {
+                        delta.take()
+                    } else {
+                        None
+                    };
+                    if let Some(complete) = complete {
+                        let Some(base) = worker.as_deref() else {
+                            let detail =
+                                "no reference set installed: seed this tenant with a full \
+                                 push before applying deltas"
+                                    .to_string();
+                            let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
+                            return Err(NetError::Protocol {
+                                peer: peer.to_string(),
+                                detail,
+                            });
+                        };
+                        let encoded: Vec<u8> = complete.chunks.concat();
+                        let applied = ArtifactDelta::decode(&encoded).and_then(|parsed| {
+                            parsed
+                                .apply(base.reference(), base.fingerprint)
+                                .map(|(set, target)| (parsed, set, target))
+                        });
+                        match applied {
+                            Ok((parsed, set, target)) => {
+                                let fresh =
+                                    slot.install(ShardWorker::from_pushed(Arc::new(set), target));
+                                classes = fresh.classes.clone();
+                                Frame::DeltaAck(DeltaAck {
+                                    fingerprint: target,
+                                    classes_added: u32::try_from(parsed.add_slices.len())
+                                        .unwrap_or(u32::MAX),
+                                    classes_retired: u32::try_from(parsed.retire_classes.len())
+                                        .unwrap_or(u32::MAX),
+                                })
+                                .write_to(&mut stream, peer)?;
+                                Frame::Hello(Self::hello(Some(&fresh), &classes, &tenant))
+                                    .write_to(&mut stream, peer)?;
+                                worker = Some(fresh);
+                            }
+                            Err(e) => {
+                                // A stale base fingerprint lands here: the
+                                // message names both fingerprints, and the
+                                // installed set is left untouched.
+                                let detail = format!("pushed delta did not apply: {e}");
                                 let _ = Frame::Error(detail.clone()).write_to(&mut stream, peer);
                                 return Err(NetError::Protocol {
                                     peer: peer.to_string(),
@@ -406,7 +628,7 @@ impl WorkerHost {
                         })
                         .write_to(&mut stream, peer)?;
                     }
-                    None => return self.refuse_unseeded(&mut stream, peer),
+                    None => return refuse_unseeded(&mut stream, peer),
                 },
                 Ok(Frame::ScoreBatchRequest(batch)) => match &worker {
                     Some(w) => {
@@ -418,13 +640,13 @@ impl WorkerHost {
                         Frame::ScoreBatchResponse(ScoreBatchResponse { id: batch.id, rows })
                             .write_to(&mut stream, peer)?;
                     }
-                    None => return self.refuse_unseeded(&mut stream, peer),
+                    None => return refuse_unseeded(&mut stream, peer),
                 },
                 Ok(Frame::Assign(assign)) => match &worker {
                     Some(w) => match w.validate_assignment(assign.classes) {
                         Ok(narrowed) => {
                             classes = narrowed;
-                            Frame::Hello(Self::hello(Some(w), &classes))
+                            Frame::Hello(Self::hello(Some(w), &classes, &tenant))
                                 .write_to(&mut stream, peer)?;
                         }
                         Err(e) => {
@@ -432,7 +654,7 @@ impl WorkerHost {
                             return Err(e);
                         }
                     },
-                    None => return self.refuse_unseeded(&mut stream, peer),
+                    None => return refuse_unseeded(&mut stream, peer),
                 },
                 Ok(Frame::Shutdown) => return Ok(()),
                 Ok(unexpected) => {
@@ -464,21 +686,17 @@ impl WorkerHost {
             }
         }
     }
+}
 
-    /// Answer a scoring or assignment frame on an unseeded host with a
-    /// typed refusal.
-    fn refuse_unseeded(
-        &self,
-        stream: &mut (impl Transport + ?Sized),
-        peer: &str,
-    ) -> Result<(), NetError> {
-        let detail = "no reference set installed: push one before scoring".to_string();
-        let _ = Frame::Error(detail.clone()).write_to(stream, peer);
-        Err(NetError::Protocol {
-            peer: peer.to_string(),
-            detail,
-        })
-    }
+/// Answer a scoring or assignment frame on an unseeded slot with a typed
+/// refusal.
+fn refuse_unseeded(stream: &mut (impl Transport + ?Sized), peer: &str) -> Result<(), NetError> {
+    let detail = "no reference set installed: push one before scoring".to_string();
+    let _ = Frame::Error(detail.clone()).write_to(stream, peer);
+    Err(NetError::Protocol {
+        peer: peer.to_string(),
+        detail,
+    })
 }
 
 /// Sort, dedup, and range-check a class list against `reference`.
@@ -545,9 +763,10 @@ pub fn serve_unix(worker: Arc<ShardWorker>, listener: UnixListener) {
     }
 }
 
-/// [`serve_tcp`] for a push-capable [`WorkerHost`]: same per-connection
-/// threading and timeouts, with the host slot shared across connections.
-pub fn serve_host_tcp(host: Arc<WorkerHost>, listener: TcpListener) {
+/// [`serve_tcp`] for a push-capable, multi-tenant [`TenantHost`]: same
+/// per-connection threading and timeouts, with the tenant registry shared
+/// across connections.
+pub fn serve_host_tcp(host: Arc<TenantHost>, listener: TcpListener) {
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {
@@ -570,8 +789,8 @@ pub fn serve_host_tcp(host: Arc<WorkerHost>, listener: TcpListener) {
     }
 }
 
-/// [`serve_unix`] for a push-capable [`WorkerHost`]; see [`serve_host_tcp`].
-pub fn serve_host_unix(host: Arc<WorkerHost>, listener: UnixListener) {
+/// [`serve_unix`] for a push-capable [`TenantHost`]; see [`serve_host_tcp`].
+pub fn serve_host_unix(host: Arc<TenantHost>, listener: UnixListener) {
     for stream in listener.incoming() {
         match stream {
             Ok(stream) => {

@@ -37,18 +37,19 @@
 //! ([`ReferenceSet::feature_vector_scan`] keeps the plain `ssdeep::compare`
 //! path as a verification oracle).
 
+use crate::error::FhcError;
 use crate::features::{FeatureKind, PreparedSampleFeatures, SampleFeatures};
 use hpcutil::codec::fnv1a64;
-use hpcutil::{par_map_indexed, ByteWriter};
+use hpcutil::{par_map_indexed, ByteWriter, ParallelConfig};
 use ssdeep::compare::MIN_COMMON_SUBSTRING;
 use ssdeep::{compare_prepared_min, FuzzyHash, PreparedHash};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// CSR posting lists over the unique sorted window keys of one signature
 /// channel (primary or double) at one block size: `postings[starts[i] ..
 /// starts[i + 1]]` are the entry ids of the reference hashes containing
 /// `keys[i]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct GramPostings {
     keys: Vec<u64>,
     starts: Vec<u32>,
@@ -76,6 +77,96 @@ impl GramPostings {
             starts,
             postings,
         }
+    }
+
+    /// The bucket a rebuild creates for a block size none of whose hashes
+    /// carry window keys: no keys, no postings, the single sentinel start.
+    fn empty() -> Self {
+        Self::build(Vec::new())
+    }
+
+    /// Shift every posting id at or past `at` up by `by` — the id-space
+    /// splice that precedes inserting `by` new entries at `at`. The shift
+    /// is monotone, so every posting list stays sorted in place.
+    fn shift_from(&mut self, at: u32, by: u32) {
+        for entry in &mut self.postings {
+            if *entry >= at {
+                *entry += by;
+            }
+        }
+    }
+
+    /// Merge raw `(window key, entry id)` pairs into the lists — a linear
+    /// two-stream merge, no global re-sort. The caller guarantees the new
+    /// entry ids are fresh (just spliced into the id space), so the result
+    /// is exactly [`GramPostings::build`] over the union of pairs.
+    fn merge(&mut self, mut pairs: Vec<(u64, u32)>) {
+        pairs.sort_unstable();
+        pairs.dedup(); // a signature can repeat a 7-gram; index each once
+        if pairs.is_empty() {
+            return;
+        }
+        fn push(
+            keys: &mut Vec<u64>,
+            starts: &mut Vec<u32>,
+            postings: &mut Vec<u32>,
+            pair: (u64, u32),
+        ) {
+            if keys.last() != Some(&pair.0) {
+                keys.push(pair.0);
+                starts.push(postings.len() as u32);
+            }
+            postings.push(pair.1);
+        }
+        let mut keys = Vec::with_capacity(self.keys.len() + pairs.len());
+        let mut starts = Vec::with_capacity(self.keys.len() + pairs.len() + 1);
+        let mut postings = Vec::with_capacity(self.postings.len() + pairs.len());
+        let mut new = pairs.iter().copied().peekable();
+        for (i, &key) in self.keys.iter().enumerate() {
+            for &entry in &self.postings[self.starts[i] as usize..self.starts[i + 1] as usize] {
+                while let Some(pair) = new.next_if(|&pair| pair < (key, entry)) {
+                    push(&mut keys, &mut starts, &mut postings, pair);
+                }
+                push(&mut keys, &mut starts, &mut postings, (key, entry));
+            }
+        }
+        for pair in new {
+            push(&mut keys, &mut starts, &mut postings, pair);
+        }
+        starts.push(postings.len() as u32);
+        *self = Self {
+            keys,
+            starts,
+            postings,
+        };
+    }
+
+    /// Renumber every posting through `map` (`None` drops it), dropping
+    /// keys whose lists empty out — a rebuild never emits a key with no
+    /// postings. `map` must be monotone on the ids it keeps so the lists
+    /// stay sorted.
+    fn retain_map(&mut self, map: impl Fn(u32) -> Option<u32>) {
+        let mut keys = Vec::with_capacity(self.keys.len());
+        let mut starts = Vec::with_capacity(self.keys.len() + 1);
+        let mut postings = Vec::with_capacity(self.postings.len());
+        for (i, &key) in self.keys.iter().enumerate() {
+            let begin = postings.len();
+            for &entry in &self.postings[self.starts[i] as usize..self.starts[i + 1] as usize] {
+                if let Some(mapped) = map(entry) {
+                    postings.push(mapped);
+                }
+            }
+            if postings.len() > begin {
+                keys.push(key);
+                starts.push(begin as u32);
+            }
+        }
+        starts.push(postings.len() as u32);
+        *self = Self {
+            keys,
+            starts,
+            postings,
+        };
     }
 
     /// Append the entry ids of every reference hash sharing a window key
@@ -119,7 +210,7 @@ impl GramPostings {
 /// *not* surfaced scores exactly 0 without being touched. The candidates
 /// that are surfaced go through the full budget-pruned comparison, keeping
 /// the rows byte-identical to the scan oracle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct KindGramIndex {
     /// One entry per reference hash of this kind:
     /// `(known-class id, sample index within the class)`, in class-major
@@ -175,6 +266,157 @@ impl KindGramIndex {
             double: finish(double),
             degenerate: degenerate.into_iter().collect(),
         }
+    }
+
+    /// Entry id of `(class, sample)`, if that sample carries this kind's
+    /// view. Entries are class-major and sorted, so a tuple binary search
+    /// finds it.
+    fn entry_of(&self, class: u32, sample: u32) -> Option<u32> {
+        self.entries
+            .binary_search(&(class, sample))
+            .ok()
+            .map(|pos| pos as u32)
+    }
+
+    /// One past the last entry id of `class` — the splice point for
+    /// appending that class's samples (entries are class-major).
+    fn class_end(&self, class: u32) -> u32 {
+        self.entries.partition_point(|&(c, _)| c <= class) as u32
+    }
+
+    /// The posting bucket of `block_size` in one channel, inserting an
+    /// empty bucket at its sorted position if absent — mirroring
+    /// [`KindGramIndex::build`], where every sample claims its block-size
+    /// bucket even when its signature carries no window keys.
+    fn channel_slot(channel: &mut Vec<(u64, GramPostings)>, block_size: u64) -> &mut GramPostings {
+        let pos = match channel.binary_search_by_key(&block_size, |&(b, _)| b) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                channel.insert(pos, (block_size, GramPostings::empty()));
+                pos
+            }
+        };
+        &mut channel[pos].1
+    }
+
+    /// Splice the hashes of `samples` — new samples of `class` whose
+    /// within-class indices start at `sample_offset` — into the index
+    /// without rebuilding it. Entry ids stay dense and class-major:
+    /// existing ids at or past the class's end shift up by the number of
+    /// inserted hashes, and the fresh ids fill the gap in sample order, so
+    /// the result is structurally identical to a from-scratch
+    /// [`KindGramIndex::build`] over the grown reference set.
+    fn insert_samples(
+        &mut self,
+        class: u32,
+        sample_offset: u32,
+        samples: &[PreparedSampleFeatures],
+        kind: FeatureKind,
+    ) {
+        let with_view: Vec<(u32, &PreparedHash)> = samples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.get(kind).map(|h| (sample_offset + i as u32, h)))
+            .collect();
+        let added = with_view.len() as u32;
+        if added == 0 {
+            return;
+        }
+        let at = self.class_end(class);
+        for (_, postings) in self.primary.iter_mut().chain(self.double.iter_mut()) {
+            postings.shift_from(at, added);
+        }
+        for (_, entries) in &mut self.degenerate {
+            for entry in entries.iter_mut() {
+                if *entry >= at {
+                    *entry += added;
+                }
+            }
+        }
+        let new_entries: Vec<(u32, u32)> = with_view.iter().map(|&(s, _)| (class, s)).collect();
+        self.entries.splice(at as usize..at as usize, new_entries);
+        let mut primary_new: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut double_new: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut degenerate_new: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (offset, &(_, hash)) in with_view.iter().enumerate() {
+            let entry = at + offset as u32;
+            let block_size = hash.block_size();
+            let primary_pairs = primary_new.entry(block_size).or_default();
+            for &key in hash.primary().keys() {
+                primary_pairs.push((key, entry));
+            }
+            let double_pairs = double_new.entry(block_size).or_default();
+            for &key in hash.double().keys() {
+                double_pairs.push((key, entry));
+            }
+            if hash.primary().eliminated().len() < MIN_COMMON_SUBSTRING
+                && hash.hash().signature().len() >= MIN_COMMON_SUBSTRING
+            {
+                degenerate_new.entry(block_size).or_default().push(entry);
+            }
+        }
+        for (block_size, pairs) in primary_new {
+            Self::channel_slot(&mut self.primary, block_size).merge(pairs);
+        }
+        for (block_size, pairs) in double_new {
+            Self::channel_slot(&mut self.double, block_size).merge(pairs);
+        }
+        for (block_size, new) in degenerate_new {
+            let list = match self
+                .degenerate
+                .binary_search_by_key(&block_size, |&(b, _)| b)
+            {
+                Ok(pos) => &mut self.degenerate[pos].1,
+                Err(pos) => {
+                    self.degenerate.insert(pos, (block_size, Vec::new()));
+                    &mut self.degenerate[pos].1
+                }
+            };
+            // Every fresh id lives in `at..at + added` and no surviving id
+            // does (they were shifted past it), so one splice keeps the
+            // list sorted.
+            let pos = list.partition_point(|&entry| entry < at);
+            list.splice(pos..pos, new);
+        }
+    }
+
+    /// Drop every entry of `class` and renumber the survivors down into a
+    /// dense id space, as if the class had never been indexed. `remaining`
+    /// is the set of block sizes still present among the surviving hashes:
+    /// a rebuild keeps a (possibly key-less) bucket for exactly those, so
+    /// buckets claimed only by the retired class are dropped.
+    fn retire_class(&mut self, class: u32, remaining: &BTreeSet<u64>) {
+        let lo = self.entries.partition_point(|&(c, _)| c < class) as u32;
+        let hi = self.class_end(class);
+        let removed = hi - lo;
+        self.entries.drain(lo as usize..hi as usize);
+        for entry in &mut self.entries[lo as usize..] {
+            entry.0 -= 1;
+        }
+        let map = |entry: u32| {
+            if entry < lo {
+                Some(entry)
+            } else if entry < hi {
+                None
+            } else {
+                Some(entry - removed)
+            }
+        };
+        for (_, postings) in self.primary.iter_mut().chain(self.double.iter_mut()) {
+            postings.retain_map(map);
+        }
+        self.primary.retain(|&(b, _)| remaining.contains(&b));
+        self.double.retain(|&(b, _)| remaining.contains(&b));
+        for (_, entries) in &mut self.degenerate {
+            entries.retain_mut(|entry| match map(*entry) {
+                Some(mapped) => {
+                    *entry = mapped;
+                    true
+                }
+                None => false,
+            });
+        }
+        self.degenerate.retain(|(_, entries)| !entries.is_empty());
     }
 
     /// Probe one channel: the postings at `block_size` against the query
@@ -316,6 +558,122 @@ impl ReferenceSet {
             kinds,
             index,
         }
+    }
+
+    /// Append a brand-new known class with its prepared reference samples,
+    /// updating the inverted gram index in place — no refit, no rebuild.
+    /// The evolved set is structurally identical to rebuilding from scratch
+    /// over the grown corpus (the equivalence suite asserts it), so every
+    /// backend keeps scoring byte-identically. Returns the new class's
+    /// known-class id (always the current [`ReferenceSet::n_classes`]);
+    /// note the column count grows, so a forest fitted against the old
+    /// geometry needs refitting before it can consume new rows.
+    pub fn add_class(
+        &mut self,
+        name: String,
+        samples: Vec<PreparedSampleFeatures>,
+    ) -> Result<usize, FhcError> {
+        if self.class_id(&name).is_some() {
+            return Err(FhcError::Artifact(format!(
+                "cannot add class {name:?}: the reference set already has it"
+            )));
+        }
+        let class = self.n_classes();
+        for kind_idx in 0..self.kinds.len() {
+            let kind = self.kinds[kind_idx];
+            self.index[kind_idx].insert_samples(class as u32, 0, &samples, kind);
+        }
+        self.class_names.push(name);
+        self.prepared_by_class.push(samples);
+        Ok(class)
+    }
+
+    /// Append prepared reference samples to an existing known class,
+    /// splicing their hashes into the inverted gram index in place. Column
+    /// geometry is unchanged; only the class's similarity maxima can move,
+    /// so a cheap threshold re-tune
+    /// ([`crate::pipeline::FuzzyHashClassifier::retune_threshold`]) is all
+    /// the fitted classifier needs.
+    pub fn add_samples(
+        &mut self,
+        class: usize,
+        samples: Vec<PreparedSampleFeatures>,
+    ) -> Result<(), FhcError> {
+        if class >= self.n_classes() {
+            return Err(FhcError::Artifact(format!(
+                "cannot add samples to class {class}: the reference set has {} classes",
+                self.n_classes()
+            )));
+        }
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let offset = self.prepared_by_class[class].len() as u32;
+        for kind_idx in 0..self.kinds.len() {
+            let kind = self.kinds[kind_idx];
+            self.index[kind_idx].insert_samples(class as u32, offset, &samples, kind);
+        }
+        self.prepared_by_class[class].extend(samples);
+        Ok(())
+    }
+
+    /// Remove a known class and every one of its reference samples,
+    /// renumbering the inverted gram index in place. Every later class
+    /// shifts down by one id (the label space stays dense), so the caller
+    /// owns remapping anything keyed by class id; returns the retired
+    /// class's name.
+    pub fn retire_class(&mut self, class: usize) -> Result<String, FhcError> {
+        if class >= self.n_classes() {
+            return Err(FhcError::Artifact(format!(
+                "cannot retire class {class}: the reference set has {} classes",
+                self.n_classes()
+            )));
+        }
+        for kind_idx in 0..self.kinds.len() {
+            let kind = self.kinds[kind_idx];
+            let remaining: BTreeSet<u64> = self
+                .prepared_by_class
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| c != class)
+                .flat_map(|(_, samples)| {
+                    samples
+                        .iter()
+                        .filter_map(move |s| s.get(kind).map(|h| h.block_size()))
+                })
+                .collect();
+            self.index[kind_idx].retire_class(class as u32, &remaining);
+        }
+        self.prepared_by_class.remove(class);
+        Ok(self.class_names.remove(class))
+    }
+
+    /// The known-class id of `name`, if present.
+    pub fn class_id(&self, name: &str) -> Option<usize> {
+        self.class_names.iter().position(|n| n == name)
+    }
+
+    /// A stable digest of one class's reference content (its slice of the
+    /// [`ReferenceSet::fingerprint`] input: name, sample count, every
+    /// sample's fuzzy hashes). Two classes with equal keys serve
+    /// identically, which is what [`crate::artifact::ArtifactDelta`] diffs
+    /// on.
+    pub(crate) fn class_content_key(&self, class: usize) -> u64 {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.class_names[class]);
+        w.put_usize(self.prepared_by_class[class].len());
+        for sample in &self.prepared_by_class[class] {
+            w.put_str(&sample.file.hash().to_string());
+            w.put_str(&sample.strings.hash().to_string());
+            match &sample.symbols {
+                None => w.put_bool(false),
+                Some(prepared) => {
+                    w.put_bool(true);
+                    w.put_str(&prepared.hash().to_string());
+                }
+            }
+        }
+        fnv1a64(w.as_bytes())
     }
 
     /// Known class names.
@@ -509,14 +867,29 @@ impl ReferenceSet {
         query: &PreparedHash,
         classes: Option<&[usize]>,
         scratch: &mut Vec<u32>,
+        emit: impl FnMut(usize, u32),
+    ) {
+        self.index[kind_idx].candidates(query, classes, scratch);
+        self.kind_scores_from_entries(kind_idx, query, scratch, emit);
+    }
+
+    /// The comparison half of [`ReferenceSet::kind_scores_into`]: run the
+    /// budget-pruned comparisons over an explicit sorted candidate entry
+    /// list, skipping the gram-index walk. This is what lets a cached or
+    /// projected candidate list ([`CandidateCache`]) reproduce a row
+    /// byte-identically without re-walking the index.
+    fn kind_scores_from_entries(
+        &self,
+        kind_idx: usize,
+        query: &PreparedHash,
+        entries: &[u32],
         mut emit: impl FnMut(usize, u32),
     ) {
         let kind = self.kinds[kind_idx];
         let index = &self.index[kind_idx];
-        index.candidates(query, classes, scratch);
         let mut current_class = usize::MAX;
         let mut best = 0u32;
-        for &entry in scratch.iter() {
+        for &entry in entries {
             let (class, sample) = index.entries[entry as usize];
             let (class, sample) = (class as usize, sample as usize);
             if class != current_class {
@@ -575,6 +948,136 @@ impl ReferenceSet {
             .unwrap_or(0)
     }
 
+    /// Compute the similarity rows of a prepared query batch through the
+    /// inverted index while capturing each query's per-kind candidate
+    /// lists into a [`CandidateCache`]. Rows are byte-identical to
+    /// [`ReferenceSet::feature_vector_prepared`]; the cache is what lets
+    /// threshold tuning replay the same walks against a reference subset
+    /// ([`ReferenceSet::project_candidates`]) instead of re-walking.
+    pub fn feature_matrix_caching(
+        &self,
+        queries: &[PreparedSampleFeatures],
+        parallel: ParallelConfig,
+    ) -> (Vec<Vec<f64>>, CandidateCache) {
+        let scored = par_map_indexed(queries.len(), parallel, |i| {
+            let sample = &queries[i];
+            let mut row = vec![0.0; self.n_columns()];
+            let mut lists = Vec::with_capacity(self.kinds.len());
+            for (kind_idx, &kind) in self.kinds.iter().enumerate() {
+                let mut entries = Vec::new();
+                if let Some(query) = sample.get(kind) {
+                    self.index[kind_idx].candidates(query, None, &mut entries);
+                    self.kind_scores_from_entries(kind_idx, query, &entries, |class, score| {
+                        row[self.column_index(kind_idx, class)] = f64::from(score);
+                    });
+                }
+                lists.push(entries);
+            }
+            (row, lists)
+        });
+        let mut rows = Vec::with_capacity(scored.len());
+        let mut cached = Vec::with_capacity(scored.len());
+        for (row, lists) in scored {
+            rows.push(row);
+            cached.push(lists);
+        }
+        (rows, CandidateCache { rows: cached })
+    }
+
+    /// Capture a prepared query batch's per-kind candidate lists without
+    /// scoring any rows — the walk half of
+    /// [`ReferenceSet::feature_matrix_caching`], for callers (threshold
+    /// re-tuning) that only need the projections.
+    pub fn candidate_cache(
+        &self,
+        queries: &[PreparedSampleFeatures],
+        parallel: ParallelConfig,
+    ) -> CandidateCache {
+        let rows = par_map_indexed(queries.len(), parallel, |i| {
+            self.kinds
+                .iter()
+                .enumerate()
+                .map(|(kind_idx, &kind)| {
+                    let mut entries = Vec::new();
+                    if let Some(query) = queries[i].get(kind) {
+                        self.index[kind_idx].candidates(query, None, &mut entries);
+                    }
+                    entries
+                })
+                .collect()
+        });
+        CandidateCache { rows }
+    }
+
+    /// Project one cached query's candidate lists (computed against `self`)
+    /// onto `subset`, a reference set whose samples are drawn from `self`'s
+    /// with the same active kinds: `map(class, sample)` names the subset's
+    /// `(class, sample)` coordinates of one of `self`'s reference samples,
+    /// or `None` where the subset dropped it.
+    ///
+    /// Candidate surfacing is a pairwise `(query, reference hash)`
+    /// predicate — shared window key, or the degenerate fast path — so the
+    /// projected lists are exactly what walking the subset's own gram index
+    /// would surface, without walking it. The equivalence suite asserts
+    /// that identity.
+    pub fn project_candidates(
+        &self,
+        cache: &CandidateCache,
+        query: usize,
+        subset: &ReferenceSet,
+        map: impl Fn(u32, u32) -> Option<(u32, u32)>,
+    ) -> Vec<Vec<u32>> {
+        assert_eq!(
+            self.kinds, subset.kinds,
+            "projection requires identical active kinds"
+        );
+        (0..self.kinds.len())
+            .map(|kind_idx| {
+                let mut projected: Vec<u32> = cache.rows[query][kind_idx]
+                    .iter()
+                    .filter_map(|&entry| {
+                        let (class, sample) = self.index[kind_idx].entries[entry as usize];
+                        let (class, sample) = map(class, sample)?;
+                        subset.index[kind_idx].entry_of(class, sample)
+                    })
+                    .collect();
+                projected.sort_unstable();
+                projected
+            })
+            .collect()
+    }
+
+    /// The full similarity row of one prepared query scored over explicit
+    /// per-kind candidate entry lists (from
+    /// [`ReferenceSet::project_candidates`]) instead of a fresh gram-index
+    /// walk. Byte-identical to [`ReferenceSet::feature_vector_prepared`]
+    /// when the lists are what the walk would surface.
+    pub fn feature_vector_from_candidates(
+        &self,
+        sample: &PreparedSampleFeatures,
+        candidates: &[Vec<u32>],
+    ) -> Vec<f64> {
+        assert_eq!(
+            candidates.len(),
+            self.kinds.len(),
+            "one candidate list per active kind"
+        );
+        let mut row = vec![0.0; self.n_columns()];
+        for (kind_idx, &kind) in self.kinds.iter().enumerate() {
+            if let Some(query) = sample.get(kind) {
+                self.kind_scores_from_entries(
+                    kind_idx,
+                    query,
+                    &candidates[kind_idx],
+                    |class, score| {
+                        row[self.column_index(kind_idx, class)] = f64::from(score);
+                    },
+                );
+            }
+        }
+        row
+    }
+
     /// Feature matrix of a batch of samples (rows computed in parallel — the
     /// dominant cost of the whole pipeline), through the precomputed index
     /// with the default training parallelism. For an explicit parallel
@@ -593,6 +1096,31 @@ impl ReferenceSet {
         par_map_indexed(samples.len(), crate::config::default_parallel(), |i| {
             self.feature_vector_scan(&samples[i])
         })
+    }
+}
+
+/// Per-query, per-kind candidate entry lists captured during a full-set
+/// gram-index walk ([`ReferenceSet::feature_matrix_caching`]). Threshold
+/// tuning's inner folds score the same queries against reference *subsets*;
+/// because candidate membership is a pairwise predicate, the cached lists
+/// project exactly onto any subset ([`ReferenceSet::project_candidates`]),
+/// so refit — incremental or full — stops recomputing identical walks.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateCache {
+    /// `rows[query][kind_idx]` = sorted candidate entry ids in the source
+    /// reference set (empty when the query lacks the kind's view).
+    rows: Vec<Vec<Vec<u32>>>,
+}
+
+impl CandidateCache {
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no queries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 }
 
@@ -868,6 +1396,216 @@ mod tests {
         // index (a pure gram lookup would have missed it).
         let row = rs.feature_vector(&probes[0]);
         assert_eq!(row[0], 100.0);
+    }
+
+    fn prepare_all(samples: &[SampleFeatures]) -> Vec<PreparedSampleFeatures> {
+        samples
+            .iter()
+            .map(PreparedSampleFeatures::prepare)
+            .collect()
+    }
+
+    /// Assert an evolved set is indistinguishable from rebuilding from
+    /// scratch over the same final corpus: identical index structure
+    /// (CSR posting lists, entry numbering, degenerate lists), identical
+    /// fingerprint, and byte-identical rows — with the scan oracle as the
+    /// independent referee.
+    fn assert_matches_rebuild(rs: &ReferenceSet, probes: &[SampleFeatures], what: &str) {
+        let twin = ReferenceSet::from_prepared_parts(
+            rs.class_names.clone(),
+            rs.prepared_by_class.clone(),
+            rs.kinds.clone(),
+        );
+        assert_eq!(rs.index, twin.index, "{what}: index structure diverged");
+        assert_eq!(rs.fingerprint(), twin.fingerprint(), "{what}: fingerprint");
+        for (i, probe) in probes.iter().enumerate() {
+            let row = rs.feature_vector(probe);
+            assert_eq!(row, twin.feature_vector(probe), "{what}: probe {i} row");
+            assert_eq!(row, rs.feature_vector_scan(probe), "{what}: probe {i} scan");
+        }
+    }
+
+    #[test]
+    fn evolved_set_matches_a_from_scratch_rebuild() {
+        let (mut rs, _) = reference();
+        let probes = vec![
+            make_sample("velvet", 9),
+            make_sample("openmalaria", 4),
+            make_sample("quantumespresso", 1),
+            make_sample("gromacs", 2),
+        ];
+        rs.add_class(
+            "QuantumEspresso".into(),
+            prepare_all(&[
+                make_sample("quantumespresso", 0),
+                make_sample("quantumespresso", 2),
+            ]),
+        )
+        .expect("new class");
+        assert_matches_rebuild(&rs, &probes, "add_class");
+        rs.add_samples(0, prepare_all(&[make_sample("velvet", 5)]))
+            .expect("grow first class");
+        assert_matches_rebuild(&rs, &probes, "add_samples first class");
+        rs.add_samples(
+            1,
+            prepare_all(&[make_sample("openmalaria", 7), make_sample("openmalaria", 8)]),
+        )
+        .expect("grow middle class");
+        assert_matches_rebuild(&rs, &probes, "add_samples middle class");
+        let retired = rs.retire_class(1).expect("retire middle class");
+        assert_eq!(retired, "OpenMalaria");
+        assert_matches_rebuild(&rs, &probes, "retire middle class");
+        rs.retire_class(0).expect("retire first class");
+        assert_matches_rebuild(&rs, &probes, "retire first class");
+        assert_eq!(rs.class_names(), ["QuantumEspresso"]);
+        assert_eq!(rs.class_id("QuantumEspresso"), Some(0));
+    }
+
+    /// The evolution ops must stay rebuild-identical on the adversarial
+    /// corpus too: run-heavy degenerate hashes (no window keys — their
+    /// buckets exist key-less), factor-of-two block-size pairings, and
+    /// near-`u64::MAX` block sizes whose buckets are solely owned by one
+    /// class (retiring it must drop the bucket, as a rebuild would).
+    #[test]
+    fn evolution_matches_rebuild_on_degenerate_and_factor_two_hashes() {
+        let probes = vec![
+            parts_sample(3, "AAAAAAAAAA", "AAAAA"),
+            parts_sample(6, "QRSTUVWXABCDEFGH", "ABCDEFGHIJKLMNOP"),
+            parts_sample(12, "ABCDEFGHIJKLMNOP", "QRSTUVWX"),
+            parts_sample(48, "MNBVCXZLKJHGFDSA", "POIUYTRE"),
+            parts_sample(u64::MAX, "ABCDEFGHIJKL", "ABCDEF"),
+            parts_sample(192, "zzzzyyyyxxxxwwww", "vvvvuuuu"),
+        ];
+        let mut rs = ReferenceSet::new(
+            vec!["a".into()],
+            &[parts_sample(6, "ABCDEFGHIJKLMNOP", "ABCDEFGH")],
+            &[0],
+            &FeatureKind::ALL,
+        );
+        rs.add_class(
+            "b".into(),
+            prepare_all(&[
+                parts_sample(3, "AAAAAAAAAA", "AAAAA"),
+                parts_sample(12, "ABCDEFGHIJKLMNOP", "QRSTUVWX"),
+            ]),
+        )
+        .expect("class with a degenerate hash");
+        assert_matches_rebuild(&rs, &probes, "add degenerate class");
+        rs.add_class(
+            "c".into(),
+            prepare_all(&[
+                parts_sample(u64::MAX, "ABCDEFGHIJKL", "ABCDEF"),
+                parts_sample(3, "ABCDE", "AB"),
+            ]),
+        )
+        .expect("class with huge block sizes");
+        assert_matches_rebuild(&rs, &probes, "add huge-block-size class");
+        rs.add_samples(
+            0,
+            prepare_all(&[
+                parts_sample(3, "AAAAAAAAAB", "AAAAA"),
+                parts_sample(24, "QRSTUVWXABCDEFGH", "MNBVCXZL"),
+            ]),
+        )
+        .expect("grow first class with a degenerate");
+        assert_matches_rebuild(&rs, &probes, "add degenerate samples");
+        rs.retire_class(2).expect("retire the sole u64::MAX owner");
+        assert_matches_rebuild(&rs, &probes, "retire sole bucket owner");
+        rs.retire_class(1).expect("retire the degenerate class");
+        assert_matches_rebuild(&rs, &probes, "retire degenerate class");
+    }
+
+    #[test]
+    fn evolution_rejects_bad_arguments() {
+        let (mut rs, _) = reference();
+        assert!(matches!(
+            rs.add_class("Velvet".into(), Vec::new()),
+            Err(FhcError::Artifact(_))
+        ));
+        assert!(matches!(
+            rs.add_samples(9, Vec::new()),
+            Err(FhcError::Artifact(_))
+        ));
+        assert!(matches!(rs.retire_class(2), Err(FhcError::Artifact(_))));
+        rs.add_samples(0, Vec::new()).expect("empty add is a no-op");
+        assert_eq!(rs.n_classes(), 2);
+    }
+
+    /// The candidate cache must project onto reference subsets exactly:
+    /// the projected lists equal what the subset's own gram-index walk
+    /// would surface, and the rows scored from them are byte-identical to
+    /// the subset's direct rows.
+    #[test]
+    fn cached_candidates_project_onto_subsets() {
+        let train = vec![
+            make_sample("velvet", 0),
+            make_sample("velvet", 1),
+            make_sample("velvet", 2),
+            make_sample("openmalaria", 0),
+            make_sample("openmalaria", 1),
+            parts_sample(3, "AAAAAAAAAA", "AAAAA"),
+            parts_sample(6, "ABCDEFGHIJKLMNOP", "ABCDEFGH"),
+        ];
+        let labels = vec![0, 0, 0, 1, 1, 2, 2];
+        let full = ReferenceSet::new(
+            vec!["Velvet".into(), "OpenMalaria".into(), "Weird".into()],
+            &train,
+            &labels,
+            &FeatureKind::ALL,
+        );
+        let queries = prepare_all(&[
+            train[1].clone(),
+            make_sample("velvet", 7),
+            parts_sample(3, "AAAAAAAAAA", "AAAAA"),
+            make_sample("gromacs", 1),
+        ]);
+        let (rows, cache) =
+            full.feature_matrix_caching(&queries, crate::config::default_parallel());
+        assert_eq!(cache.len(), queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            assert_eq!(
+                rows[i],
+                full.feature_vector_prepared(query),
+                "cached row {i}"
+            );
+        }
+        // Subset: drop OpenMalaria entirely and Velvet's middle sample —
+        // the shape threshold tuning's inner reference takes.
+        let subset = ReferenceSet::from_prepared_parts(
+            vec!["Velvet".into(), "Weird".into()],
+            vec![
+                vec![
+                    full.prepared_by_class[0][0].clone(),
+                    full.prepared_by_class[0][2].clone(),
+                ],
+                full.prepared_by_class[2].clone(),
+            ],
+            full.kinds.clone(),
+        );
+        let map = |class: u32, sample: u32| match (class, sample) {
+            (0, 0) => Some((0, 0)),
+            (0, 2) => Some((0, 1)),
+            (2, sample) => Some((1, sample)),
+            _ => None,
+        };
+        for (i, query) in queries.iter().enumerate() {
+            let projected = full.project_candidates(&cache, i, &subset, map);
+            for (kind_idx, &kind) in subset.kinds.iter().enumerate() {
+                let mut fresh = Vec::new();
+                if let Some(hash) = query.get(kind) {
+                    subset.index[kind_idx].candidates(hash, None, &mut fresh);
+                }
+                assert_eq!(
+                    projected[kind_idx], fresh,
+                    "query {i} kind {kind_idx}: projection is not the subset walk"
+                );
+            }
+            assert_eq!(
+                subset.feature_vector_from_candidates(query, &projected),
+                subset.feature_vector_prepared(query),
+                "query {i}: projected row diverged"
+            );
+        }
     }
 
     #[test]

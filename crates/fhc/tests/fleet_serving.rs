@@ -145,10 +145,17 @@ fn a_killed_primary_fails_over_invisibly_and_a_bare_shard_loss_is_typed() {
     };
     let fleet_config = t.config.backend(BackendConfig::Fleet {
         topology: topology.clone(),
+        tenant: None,
     });
     let served = TrainedClassifier::load_with(&t.artifact, &fleet_config)
         .expect("artifact opens against the running fleet");
-    assert_eq!(served.backend_config(), BackendConfig::Fleet { topology });
+    assert_eq!(
+        served.backend_config(),
+        BackendConfig::Fleet {
+            topology,
+            tenant: None,
+        }
+    );
 
     // Healthy fleet: byte-identical to the in-process backend.
     assert_eq!(
@@ -212,7 +219,10 @@ fn a_diskless_worker_is_seeded_by_push_and_rejoins_after_a_restart() {
     let topology = FleetTopology {
         shards: vec![FleetShard::solo(ep0), FleetShard::solo(ep1)],
     };
-    let fleet_config = t.config.backend(BackendConfig::Fleet { topology });
+    let fleet_config = t.config.backend(BackendConfig::Fleet {
+        topology,
+        tenant: None,
+    });
     let served = TrainedClassifier::load_with(&t.artifact, &fleet_config)
         .expect("connect seeds both diskless workers by push");
     assert_eq!(

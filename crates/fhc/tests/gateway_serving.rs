@@ -117,12 +117,16 @@ fn gateway_daemon_serves_byte_identical_predictions_and_relays_worker_loss() {
     // Reopen the stored artifact through the gateway.
     let gateway_config = config.backend(BackendConfig::Gateway {
         endpoint: front.clone(),
+        tenant: None,
     });
     let served = TrainedClassifier::load_with(&artifact, &gateway_config)
         .expect("artifact opens against the running gateway");
     assert_eq!(
         served.backend_config(),
-        BackendConfig::Gateway { endpoint: front }
+        BackendConfig::Gateway {
+            endpoint: front,
+            tenant: None,
+        }
     );
 
     // Byte-identical predictions vs the local indexed backend — first

@@ -9,8 +9,8 @@
 
 use fhc::features::{PreparedSampleFeatures, SampleFeatures};
 use fhc::shardnet::wire::{
-    Assign, Frame, Hello, PushAck, PushSlice, ScoreBatchRequest, ScoreBatchResponse, ScoreRequest,
-    ScoreResponse, PROTOCOL_VERSION,
+    Assign, DeltaAck, Frame, Hello, PushAck, PushDelta, PushSlice, ScoreBatchRequest,
+    ScoreBatchResponse, ScoreRequest, ScoreResponse, MAX_TENANT_LEN, PROTOCOL_VERSION,
 };
 use fhc::shardnet::NetError;
 use rand::{Rng, SeedableRng};
@@ -21,6 +21,16 @@ const CASES: usize = 40;
 
 fn random_classes(rng: &mut ChaCha8Rng, n_classes: usize) -> Vec<usize> {
     (0..n_classes).filter(|_| rng.gen_bool(0.4)).collect()
+}
+
+/// A tenant id that passes `wire::valid_tenant`: 1..=64 chars of
+/// `[A-Za-z0-9._-]`.
+fn random_tenant(rng: &mut ChaCha8Rng) -> String {
+    const CHARSET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789._-";
+    let len = rng.gen_range(1..MAX_TENANT_LEN + 1);
+    (0..len)
+        .map(|_| char::from(CHARSET[rng.gen_range(0..CHARSET.len())]))
+        .collect()
 }
 
 fn random_string(rng: &mut ChaCha8Rng, max_len: usize) -> String {
@@ -52,7 +62,7 @@ fn random_cells(rng: &mut ChaCha8Rng) -> Vec<(u32, f64)> {
 }
 
 fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
-    match rng.gen_range(0u32..10) {
+    match rng.gen_range(0u32..12) {
         0 => {
             let n_classes = rng.gen_range(1usize..40);
             Frame::Hello(Hello {
@@ -62,6 +72,7 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
                 n_classes,
                 n_columns: n_classes * rng.gen_range(1usize..4),
                 classes: random_classes(rng, n_classes),
+                tenant: random_tenant(rng),
             })
         }
         1 => {
@@ -108,6 +119,20 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
             fingerprint: rng.gen(),
             classes_loaded: rng.gen_range(0u32..10_000),
         }),
+        9 => {
+            let total = rng.gen_range(1u32..64);
+            let len = rng.gen_range(0usize..512);
+            Frame::PushDelta(PushDelta {
+                index: rng.gen_range(0..total),
+                total,
+                payload: (0..len).map(|_| rng.gen::<u8>()).collect(),
+            })
+        }
+        10 => Frame::DeltaAck(DeltaAck {
+            fingerprint: rng.gen(),
+            classes_added: rng.gen_range(0u32..10_000),
+            classes_retired: rng.gen_range(0u32..10_000),
+        }),
         _ => Frame::Shutdown,
     }
 }
@@ -115,8 +140,10 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
 #[test]
 fn every_frame_type_roundtrips_for_random_payloads() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0001);
-    let mut seen_tags = [false; 10];
-    for case in 0..CASES {
+    let mut seen_tags = [false; 12];
+    // Twice the usual case count: with twelve variants, forty draws leave
+    // a realistic chance of missing one and failing the coverage check.
+    for case in 0..CASES * 2 {
         let frame = random_frame(&mut rng);
         seen_tags[match &frame {
             Frame::Hello(_) => 0,
@@ -129,6 +156,8 @@ fn every_frame_type_roundtrips_for_random_payloads() {
             Frame::ScoreBatchResponse(_) => 7,
             Frame::PushSlice(_) => 8,
             Frame::PushAck(_) => 9,
+            Frame::PushDelta(_) => 10,
+            Frame::DeltaAck(_) => 11,
         }] = true;
         let bytes = frame.to_wire_bytes();
         let decoded = Frame::read_from(&mut Cursor::new(&bytes), "test")
@@ -311,6 +340,179 @@ fn malformed_payloads_are_protocol_errors() {
         Frame::read_from(&mut Cursor::new(bytes), "test"),
         Err(NetError::Protocol { .. })
     ));
+
+    // A push delta claiming index >= total (out of sequence).
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(2); // index
+    payload.put_u32(2); // total
+    payload.put_bytes(b"delta bytes");
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 11, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A push delta claiming a zero-length sequence.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(0); // index
+    payload.put_u32(0); // total
+    payload.put_bytes(b"");
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 11, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A push delta whose blob length overruns the payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(0); // index
+    payload.put_u32(1); // total
+    payload.put_u32(u32::MAX); // blob bytes "to follow"
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 11, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // A delta ack with trailing garbage after its fixed-size payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(7); // fingerprint
+    payload.put_u32(1); // classes added
+    payload.put_u32(1); // classes retired
+    payload.put_u8(0xEE);
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 12, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+}
+
+/// A raw Hello frame wrapping `tenant` verbatim, bypassing the encoder's
+/// type-level guarantees so malformed ids reach the decoder.
+fn raw_hello_with_tenant(tenant: &str) -> Vec<u8> {
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u32(PROTOCOL_VERSION);
+    payload.put_u32(0); // features
+    payload.put_u64(7); // fingerprint
+    payload.put_usize(1); // n_classes
+    payload.put_usize(3); // n_columns
+    payload.put_usize(1); // one class entry
+    payload.put_usize(0);
+    payload.put_str(tenant);
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 1, payload.as_bytes()).unwrap();
+    bytes
+}
+
+#[test]
+fn malformed_tenant_ids_are_rejected_on_decode() {
+    // Every structurally broken shape: empty, over-long, and each
+    // forbidden character class.
+    let over_long = "x".repeat(MAX_TENANT_LEN + 1);
+    let fixed: Vec<String> = vec![
+        String::new(),
+        over_long,
+        "has space".into(),
+        "sneaky/../path".into(),
+        "new\nline".into(),
+        "nul\0byte".into(),
+        "ünïcode".into(),
+    ];
+    for tenant in &fixed {
+        match Frame::read_from(&mut Cursor::new(raw_hello_with_tenant(tenant)), "test") {
+            Err(NetError::Protocol { detail, .. }) => assert!(
+                detail.contains("malformed tenant"),
+                "error names the violation for {tenant:?}: {detail}"
+            ),
+            other => panic!("tenant {tenant:?} decoded as {other:?}"),
+        }
+    }
+
+    // Randomized: a valid tenant with one character replaced by a
+    // forbidden byte must always be rejected.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0006);
+    const FORBIDDEN: &[u8] = b" /\\\t\n\r:;@#$%^&*()+=[]{}|<>?,'\"`~";
+    for _ in 0..CASES {
+        let mut tenant = random_tenant(&mut rng).into_bytes();
+        let at = rng.gen_range(0..tenant.len());
+        tenant[at] = FORBIDDEN[rng.gen_range(0..FORBIDDEN.len())];
+        let tenant = String::from_utf8(tenant).expect("single-byte substitution stays UTF-8");
+        match Frame::read_from(&mut Cursor::new(raw_hello_with_tenant(&tenant)), "test") {
+            Err(NetError::Protocol { .. }) => {}
+            other => panic!("corrupted tenant {tenant:?} decoded as {other:?}"),
+        }
+    }
+
+    // And valid ids survive: the round-trip suite covers random ones, but
+    // pin the boundary lengths explicitly.
+    for tenant in ["a", &"t".repeat(MAX_TENANT_LEN)] {
+        match Frame::read_from(&mut Cursor::new(raw_hello_with_tenant(tenant)), "test") {
+            Ok(Frame::Hello(hello)) => assert_eq!(hello.tenant, tenant),
+            other => panic!("valid tenant {tenant:?} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn delta_payloads_reject_every_cut_and_random_corruption() {
+    use fhc::artifact::ArtifactDelta;
+    use fhc::features::FeatureKind;
+    use fhc::similarity::ReferenceSet;
+
+    // A real delta between two small reference sets: retire one class,
+    // append another.
+    let train = vec![
+        SampleFeatures::extract(b"the velvet assembler executable body one"),
+        SampleFeatures::extract(b"an openmalaria simulation binary payload"),
+    ];
+    let base = ReferenceSet::new(
+        vec!["Velvet".into(), "OpenMalaria".into()],
+        &train,
+        &[0, 1],
+        &FeatureKind::ALL,
+    );
+    let target_train = vec![
+        train[0].clone(),
+        SampleFeatures::extract(b"a gromacs molecular dynamics trajectory dump"),
+    ];
+    let target = ReferenceSet::new(
+        vec!["Velvet".into(), "Gromacs".into()],
+        &target_train,
+        &[0, 1],
+        &FeatureKind::ALL,
+    );
+    let delta = ArtifactDelta::between(&base, &target).expect("cut a delta");
+    let encoded = delta.encode();
+    assert_eq!(
+        ArtifactDelta::decode(&encoded).expect("round-trip"),
+        delta,
+        "the delta codec must round-trip before corruption testing means anything"
+    );
+
+    // Every truncation point is rejected; none panics.
+    for cut in 0..encoded.len() {
+        assert!(
+            ArtifactDelta::decode(&encoded[..cut]).is_err(),
+            "cut at {cut}/{} decoded",
+            encoded.len()
+        );
+    }
+
+    // Random single-bit corruption is caught by the payload checksum.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0007);
+    for case in 0..CASES {
+        let mut bad = encoded.clone();
+        let flip = rng.gen_range(0..bad.len());
+        bad[flip] ^= 1 << rng.gen_range(0u32..8);
+        assert!(
+            ArtifactDelta::decode(&bad).is_err(),
+            "case {case}: flip at byte {flip} decoded"
+        );
+    }
 }
 
 #[test]

@@ -428,7 +428,16 @@ fn scan_string(bytes: &[char], open: usize, line: &mut u32, line_has_token: &mut
     let mut i = open + 1;
     while i < bytes.len() {
         match bytes[i] {
-            '\\' => i += 2,
+            // An escaped newline (string continuation) still ends a source
+            // line — skipping it uncounted would shift every line number
+            // reported after the string, detaching waivers from their code.
+            '\\' => {
+                if bytes.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                    *line_has_token = false;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -1336,6 +1345,39 @@ mod tests {
             }
         "##;
         assert!(unwaived(src).is_empty());
+    }
+
+    #[test]
+    fn lexer_counts_lines_through_string_continuations() {
+        // A `\`-newline continuation inside a string literal still ends a
+        // source line; miscounting it shifts every later violation line and
+        // detaches standalone waivers from the code they cover.
+        let src = "
+            fn f() {
+                let s = \"split \\
+                         string\";
+                let x = maybe().unwrap();
+                let _ = (s, x);
+            }
+        ";
+        let v = unwaived(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule.name, "no_panic");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn waiver_covers_a_method_call_on_its_own_line() {
+        let src = "
+            fn f() {
+                maybe()
+                    // fhc-lint: allow(no_panic) -- invariant: cannot fail on an empty registry
+                    .expect(\"fresh state\");
+            }
+        ";
+        let all = run(src);
+        assert_eq!(all.len(), 1, "{all:?}");
+        assert!(all[0].waived.is_some(), "{all:?}");
     }
 
     #[test]

@@ -227,12 +227,16 @@ fn stored_artifact_opens_unchanged_behind_a_gateway() {
     let front = spawn_gateway(&reference, &workers);
     let config = FhcConfig::new().backend(BackendConfig::Gateway {
         endpoint: front.clone(),
+        tenant: None,
     });
     let reopened = TrainedClassifier::load_with(&path, &config).expect("load behind gateway");
     std::fs::remove_file(&path).ok();
     assert_eq!(
         reopened.backend_config(),
-        BackendConfig::Gateway { endpoint: front }
+        BackendConfig::Gateway {
+            endpoint: front,
+            tenant: None,
+        }
     );
 
     // Identical artifact bytes (the backend is runtime-only) and identical
@@ -302,7 +306,8 @@ fn gateway_backend_config_parses_and_displays() {
     assert_eq!(
         config,
         BackendConfig::Gateway {
-            endpoint: Endpoint::Tcp("127.0.0.1:7000".into())
+            endpoint: Endpoint::Tcp("127.0.0.1:7000".into()),
+            tenant: None,
         }
     );
     assert_eq!(config.to_string(), "gateway(tcp:127.0.0.1:7000)");
@@ -310,7 +315,8 @@ fn gateway_backend_config_parses_and_displays() {
     assert_eq!(
         uds,
         BackendConfig::Gateway {
-            endpoint: Endpoint::Unix("/run/fhc/gw.sock".into())
+            endpoint: Endpoint::Unix("/run/fhc/gw.sock".into()),
+            tenant: None,
         }
     );
     assert!("gateway:".parse::<BackendConfig>().is_err());

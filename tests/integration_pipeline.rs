@@ -98,6 +98,27 @@ fn pipeline_is_deterministic_for_a_seed() {
 }
 
 #[test]
+fn retune_threshold_reproduces_the_fit_on_an_unchanged_corpus() {
+    let corpus = small_corpus(7);
+    let classifier = FuzzyHashClassifier::with_config(FhcConfig::new().seed(11));
+    let features = classifier.extract_features(&corpus);
+    let mut fit = classifier
+        .fit_with_features(&corpus, &features)
+        .expect("fit succeeds");
+    let fitted_threshold = fit.classifier.confidence_threshold();
+    let fitted_curve = fit.classifier.threshold_curve().to_vec();
+
+    // Nothing changed, so the cheap re-tune must land exactly where the
+    // fit's own tuning did — same threshold, same measured curve.
+    let retuned = classifier
+        .retune_threshold(&corpus, &features, &mut fit)
+        .expect("retune succeeds");
+    assert_eq!(retuned, fitted_threshold);
+    assert_eq!(fit.classifier.confidence_threshold(), fitted_threshold);
+    assert_eq!(fit.classifier.threshold_curve(), fitted_curve.as_slice());
+}
+
+#[test]
 fn unknown_class_precision_recall_are_reasonable() {
     let corpus = small_corpus(42);
     let outcome = FuzzyHashClassifier::with_config(FhcConfig::new().seed(42))

@@ -105,6 +105,7 @@ fn spawn_batchless_worker(reference: &Arc<ReferenceSet>) -> Endpoint {
                     n_classes: reference.n_classes(),
                     n_columns: reference.n_columns(),
                     classes: (0..reference.n_classes()).collect(),
+                    tenant: wire::DEFAULT_TENANT.to_string(),
                 };
                 if Frame::Hello(hello).write_to(&mut stream, peer).is_err() {
                     return;
