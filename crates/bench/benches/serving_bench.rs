@@ -457,22 +457,21 @@ fn bench_classify_batch(c: &mut Criterion) {
     let steady = spawn_part(parts[1].clone());
     let hedged = FleetBackend::connect(
         reference.clone(),
-        FleetTopology {
-            shards: vec![
-                FleetShard {
-                    primary: slow_primary.clone(),
-                    replicas: vec![fast_replica],
-                },
-                FleetShard::solo(steady.clone()),
-            ],
-        },
+        FleetTopology::new(vec![
+            FleetShard {
+                primary: slow_primary.clone(),
+                replicas: vec![fast_replica],
+            },
+            FleetShard::solo(steady.clone()),
+        ]),
     )
     .expect("hedged fleet connects");
     let unhedged = FleetBackend::connect(
         reference.clone(),
-        FleetTopology {
-            shards: vec![FleetShard::solo(slow_primary), FleetShard::solo(steady)],
-        },
+        FleetTopology::new(vec![
+            FleetShard::solo(slow_primary),
+            FleetShard::solo(steady),
+        ]),
     )
     .expect("unhedged fleet connects");
     let fleet_probes = &probes[..8];
@@ -562,16 +561,12 @@ fn bench_classify_batch(c: &mut Criterion) {
     let upgrade = |with_delta: bool| {
         FleetView::connect(
             reference.clone(),
-            FleetTopology {
-                shards: vec![FleetShard::solo(upgradeable.clone())],
-            },
+            FleetTopology::new(vec![FleetShard::solo(upgradeable.clone())]),
         )
         .expect("reset the worker to the base set by full push");
         let view = FleetView::connect(
             target.clone(),
-            FleetTopology {
-                shards: vec![FleetShard::solo(healthy.clone())],
-            },
+            FleetTopology::new(vec![FleetShard::solo(healthy.clone())]),
         )
         .expect("target fleet connects");
         if with_delta {

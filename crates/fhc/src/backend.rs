@@ -962,15 +962,13 @@ mod tests {
                 .parse::<BackendConfig>()
                 .unwrap(),
             BackendConfig::Fleet {
-                topology: FleetTopology {
-                    shards: vec![
-                        crate::shardnet::FleetShard {
-                            primary: Endpoint::Tcp("127.0.0.1:9000".into()),
-                            replicas: vec![Endpoint::Tcp("127.0.0.1:9100".into())],
-                        },
-                        crate::shardnet::FleetShard::solo(Endpoint::Unix("/tmp/w.sock".into())),
-                    ],
-                },
+                topology: FleetTopology::new(vec![
+                    crate::shardnet::FleetShard {
+                        primary: Endpoint::Tcp("127.0.0.1:9000".into()),
+                        replicas: vec![Endpoint::Tcp("127.0.0.1:9100".into())],
+                    },
+                    crate::shardnet::FleetShard::solo(Endpoint::Unix("/tmp/w.sock".into())),
+                ]),
                 tenant: None,
             }
         );

@@ -1,0 +1,123 @@
+//! `fhc-chaos` — the seeded chaos soak, as a command.
+//!
+//! Runs the same harness as the `chaos_soak` integration test: in-process
+//! serving stacks (remote fan-out, replicated fleet, batching gateway,
+//! named tenant) hammered with deterministic failpoint schedules, checking
+//! that every query returns rows byte-identical to the scan oracle or a
+//! typed net error — and that the stacks converge once the schedule
+//! clears.
+//!
+//! ```text
+//! cargo run -p fhc --features failpoints --bin fhc-chaos -- --seed 42
+//! fhc-chaos --seed 42 --rounds 500 --queries 8 --verbose
+//! ```
+//!
+//! Every round derives from `--seed`, so a violation printed by one run
+//! replays exactly by passing the same seed back. Without the
+//! `failpoints` feature the binary still builds, but only to tell you the
+//! registry is compiled out (exit code 2).
+
+use std::process::ExitCode;
+
+// Without the feature, `soak` never reads the parsed values — but the
+// flags must still parse, so the CLI surface is identical either way.
+#[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+struct Args {
+    seed: u64,
+    rounds: u64,
+    queries: usize,
+    verbose: bool,
+}
+
+const USAGE: &str = "usage: fhc-chaos [--seed N] [--rounds N] [--queries N] [--verbose]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut seed = 0xC4A05u64;
+    let mut rounds = 200u64;
+    let mut queries = 5usize;
+    let mut verbose = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = iter.next().ok_or("--seed needs a number")?;
+                seed = value
+                    .parse()
+                    .map_err(|e| format!("invalid --seed {value:?}: {e}"))?;
+            }
+            "--rounds" => {
+                let value = iter.next().ok_or("--rounds needs a count")?;
+                rounds = value
+                    .parse()
+                    .map_err(|e| format!("invalid --rounds {value:?}: {e}"))?;
+            }
+            "--queries" => {
+                let value = iter.next().ok_or("--queries needs a count")?;
+                queries = value
+                    .parse()
+                    .map_err(|e| format!("invalid --queries {value:?}: {e}"))?;
+            }
+            "--verbose" => verbose = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        seed,
+        rounds,
+        queries,
+        verbose,
+    })
+}
+
+#[cfg(feature = "failpoints")]
+fn soak(args: &Args) -> ExitCode {
+    let config = fhc::chaos::ChaosConfig {
+        seed: args.seed,
+        rounds: args.rounds,
+        queries: args.queries,
+        verbose: args.verbose,
+    };
+    println!(
+        "fhc-chaos: {} rounds from seed {} ({} queries per round)",
+        config.rounds, config.seed, config.queries
+    );
+    match fhc::chaos::run(&config) {
+        Ok(report) => {
+            println!(
+                "fhc-chaos: clean — {} rounds, {} byte-identical rows, \
+                 {} typed errors, {} refused connects (replay with --seed {})",
+                report.rounds,
+                report.clean_rows,
+                report.typed_errors,
+                report.refused_connects,
+                config.seed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("fhc-chaos: {violation}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn soak(_args: &Args) -> ExitCode {
+    eprintln!(
+        "fhc-chaos: failpoints are compiled out of this build; nothing to inject.\n\
+         rebuild with: cargo run -p fhc --features failpoints --bin fhc-chaos"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    soak(&args)
+}

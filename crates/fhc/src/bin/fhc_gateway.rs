@@ -45,11 +45,35 @@ struct Args {
     workers: Vec<Endpoint>,
     max_batch: usize,
     tenant: Option<String>,
+    quotas: Vec<(String, u32)>,
+    max_inflight: Option<usize>,
+    failpoints: Option<String>,
 }
 
 const USAGE: &str = "usage: fhc-gateway --artifact PATH \
      (--listen HOST:PORT | --uds PATH) \
-     --workers EP[,EP...] [--max-batch N] [--tenant NAME]";
+     --workers EP[,EP...] [--max-batch N] [--tenant NAME] \
+     [--quota TENANT=RPS ...] [--max-inflight N] [--failpoints SPEC]";
+
+/// Arm the failpoint registry from `--failpoints` (or the
+/// `FHC_FAILPOINTS` environment variable; the flag wins). A bad spec is a
+/// usage error; a spec handed to a build compiled without the
+/// `failpoints` feature warns and serves normally, since the registry is
+/// compiled out and nothing could ever fire.
+fn arm_failpoints(flag: Option<&str>) -> Result<(), String> {
+    let env = std::env::var("FHC_FAILPOINTS").ok();
+    let Some(spec) = flag.or(env.as_deref()) else {
+        return Ok(());
+    };
+    if !hpcutil::failpoint::compiled() {
+        eprintln!(
+            "fhc-gateway: failpoints are compiled out; {spec:?} cannot take effect \
+             (rebuild with --features failpoints)"
+        );
+        return Ok(());
+    }
+    hpcutil::failpoint::configure(spec).map_err(|e| format!("invalid failpoint spec {spec:?}: {e}"))
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut artifact = None;
@@ -58,6 +82,9 @@ fn parse_args() -> Result<Args, String> {
     let mut workers = None;
     let mut max_batch = GatewayOptions::default().max_batch;
     let mut tenant = None;
+    let mut quotas: Vec<(String, u32)> = Vec::new();
+    let mut max_inflight = None;
+    let mut failpoints = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -85,6 +112,32 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--max-batch must be at least 1".to_string());
                 }
             }
+            "--quota" => {
+                let spec = iter.next().ok_or("--quota needs TENANT=RPS")?;
+                let (tenant, rps) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("invalid --quota {spec:?}: expected TENANT=RPS"))?;
+                let rps = rps
+                    .parse::<u32>()
+                    .map_err(|e| format!("invalid --quota rate {rps:?}: {e}"))?;
+                if rps == 0 {
+                    return Err("--quota must allow at least 1 request per second".to_string());
+                }
+                quotas.push((tenant.to_string(), rps));
+            }
+            "--max-inflight" => {
+                let value = iter.next().ok_or("--max-inflight needs a count")?;
+                let limit = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid --max-inflight {value:?}: {e}"))?;
+                if limit == 0 {
+                    return Err("--max-inflight must be at least 1".to_string());
+                }
+                max_inflight = Some(limit);
+            }
+            "--failpoints" => {
+                failpoints = Some(iter.next().ok_or("--failpoints needs a spec string")?)
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -106,6 +159,9 @@ fn parse_args() -> Result<Args, String> {
         workers,
         max_batch,
         tenant,
+        quotas,
+        max_inflight,
+        failpoints,
     })
 }
 
@@ -117,6 +173,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Err(msg) = arm_failpoints(args.failpoints.as_deref()) {
+        eprintln!("fhc-gateway: {msg}");
+        return ExitCode::from(2);
+    }
 
     let classifier = match TrainedClassifier::load(&args.artifact) {
         Ok(c) => c,
@@ -135,6 +195,8 @@ fn main() -> ExitCode {
         GatewayOptions {
             max_batch: args.max_batch,
             tenant: args.tenant.clone(),
+            quotas: args.quotas.clone(),
+            max_inflight: args.max_inflight,
         },
     ) {
         Ok(gateway) => Arc::new(gateway),

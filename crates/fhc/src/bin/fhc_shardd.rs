@@ -62,11 +62,32 @@ struct Args {
     uds: Option<String>,
     classes: Option<Vec<usize>>,
     shard: Option<(usize, usize)>,
+    failpoints: Option<String>,
 }
 
 const USAGE: &str = "usage: fhc-shardd (--artifact PATH | --diskless | --tenant NAME[=PATH]) \
      (--listen HOST:PORT | --uds PATH) \
-     [--classes A,B,... | --shard I/N] [--tenant NAME[=PATH] ...]";
+     [--classes A,B,... | --shard I/N] [--tenant NAME[=PATH] ...] [--failpoints SPEC]";
+
+/// Arm the failpoint registry from `--failpoints` (or the
+/// `FHC_FAILPOINTS` environment variable; the flag wins). A bad spec is a
+/// usage error; a spec handed to a build compiled without the
+/// `failpoints` feature warns and serves normally, since the registry is
+/// compiled out and nothing could ever fire.
+fn arm_failpoints(flag: Option<&str>) -> Result<(), String> {
+    let env = std::env::var("FHC_FAILPOINTS").ok();
+    let Some(spec) = flag.or(env.as_deref()) else {
+        return Ok(());
+    };
+    if !hpcutil::failpoint::compiled() {
+        eprintln!(
+            "fhc-shardd: failpoints are compiled out; {spec:?} cannot take effect \
+             (rebuild with --features failpoints)"
+        );
+        return Ok(());
+    }
+    hpcutil::failpoint::configure(spec).map_err(|e| format!("invalid failpoint spec {spec:?}: {e}"))
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut artifact = None;
@@ -76,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
     let mut uds = None;
     let mut classes = None;
     let mut shard = None;
+    let mut failpoints = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -117,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("shard index {i} out of range for {n} shards"));
                 }
                 shard = Some((i, n));
+            }
+            "--failpoints" => {
+                failpoints = Some(iter.next().ok_or("--failpoints needs a spec string")?)
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
@@ -160,6 +185,7 @@ fn parse_args() -> Result<Args, String> {
         uds,
         classes,
         shard,
+        failpoints,
     })
 }
 
@@ -190,6 +216,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Err(msg) = arm_failpoints(args.failpoints.as_deref()) {
+        eprintln!("fhc-shardd: {msg}");
+        return ExitCode::from(2);
+    }
 
     // The default tenant comes from --artifact / --diskless; every
     // --tenant NAME[=PATH] adds an independent slot. A diskless slot has

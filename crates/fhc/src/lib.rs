@@ -112,6 +112,8 @@ pub mod ablation;
 pub mod artifact;
 pub mod backend;
 pub mod baselines;
+#[cfg(feature = "failpoints")]
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod experiments;

@@ -1,0 +1,72 @@
+//! Every deadline the serving tier runs on, in one place.
+//!
+//! The constants below used to be scattered across the client, mux, and
+//! daemon layers; chaos and soak configurations need to reason about their
+//! *ordering*, so they live together with the hierarchy spelled out:
+//!
+//! ```text
+//! MUX_POLL_INTERVAL  (1s)  <  IO_TIMEOUT  (30s)  <  IDLE_TIMEOUT  (300s)
+//! ```
+//!
+//! * A mux reader wakes at least every [`MUX_POLL_INTERVAL`] to check owed
+//!   replies, so a stall is detected within one poll of [`IO_TIMEOUT`].
+//! * A client declares a worker lost once an owed reply has waited
+//!   [`IO_TIMEOUT`]; every connect and write is bounded by the same value.
+//!   Fleet hedge deadlines (see [`fleet`](crate::shardnet::fleet)) clamp
+//!   well below it — a hedge that cannot fire before the request is
+//!   declared lost would be no hedge at all.
+//! * A server reaps a *silent* client after [`IDLE_TIMEOUT`]; it is an
+//!   order of magnitude above [`IO_TIMEOUT`] so a server never reaps a
+//!   client that is merely waiting out its own reply deadline.
+//!
+//! Anything that violates this ordering is a bug: e.g. an idle timeout at
+//! or below the reply deadline would let a server reap clients with replies
+//! legitimately in flight.
+
+use std::time::Duration;
+
+/// Client-side deadline for a worker to answer an in-flight request (and
+/// for the TCP connect and every write).
+///
+/// Client connections are driven by a [`hpcutil::Mux`], whose reader
+/// thread reads *continuously*; an idle connection with nothing in flight
+/// is normal and never times out. What must not hang is an **owed reply**:
+/// a stalled worker — wedged, SIGSTOPped, partitioned without an RST —
+/// surfaces as a [`NetError::WorkerLost`](crate::shardnet::NetError) once
+/// a request has waited this long, instead of blocking the caller forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket read timeout under a [`hpcutil::Mux`] reader thread: how often
+/// the reader wakes to check in-flight requests against [`IO_TIMEOUT`].
+/// The mux reassembles frames from raw reads, so this timeout never tears
+/// a frame — it only bounds stall-detection latency.
+pub const MUX_POLL_INTERVAL: Duration = Duration::from_secs(1);
+
+/// Server-side read deadline on every accepted connection (shard worker
+/// and gateway accept loops alike): a connection with no traffic for this
+/// long is presumed abandoned and reaped, bounding the daemon's open-
+/// connection count against clients that vanish without a goodbye. It
+/// exists to reap dead *clients*, not slow ones — hence well above
+/// [`IO_TIMEOUT`].
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_deadline_hierarchy_holds() {
+        assert!(
+            MUX_POLL_INTERVAL < IO_TIMEOUT,
+            "stall checks must fire well within the reply deadline"
+        );
+        assert!(
+            IO_TIMEOUT < IDLE_TIMEOUT,
+            "a server must never reap a client still inside its reply deadline"
+        );
+        // An order of magnitude of slack on each step, so jitter cannot
+        // invert the hierarchy in practice.
+        assert!(MUX_POLL_INTERVAL * 10 <= IO_TIMEOUT);
+        assert!(IO_TIMEOUT * 10 <= IDLE_TIMEOUT);
+    }
+}

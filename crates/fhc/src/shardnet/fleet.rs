@@ -146,6 +146,58 @@ impl BackoffPolicy {
     }
 }
 
+/// Tunable timing knobs of a fleet, declared inline in the `fleet:` spec.
+///
+/// `;hedge_ms=COLD,MIN,MAX` sets the hedge deadline's cold-start value and
+/// its lower/upper clamps; `;backoff_ms=BASE,CAP` sets the redial
+/// [`BackoffPolicy`]. The defaults are the serving constants
+/// (`HEDGE_COLD_START`, `HEDGE_MIN`, `HEDGE_MAX`,
+/// [`BackoffPolicy::default`]), and [`FleetTopology`]'s `Display` emits a
+/// tuning item only when it differs from the default — a spec written
+/// without tunings round-trips unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTuning {
+    /// Hedge deadline before any latency has been observed (a cold
+    /// window).
+    pub hedge_cold: Duration,
+    /// Lower clamp on the hedge deadline.
+    pub hedge_min: Duration,
+    /// Upper clamp on the hedge deadline.
+    pub hedge_max: Duration,
+    /// Redial backoff for down nodes.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for FleetTuning {
+    fn default() -> Self {
+        Self {
+            hedge_cold: HEDGE_COLD_START,
+            hedge_min: HEDGE_MIN,
+            hedge_max: HEDGE_MAX,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+/// Parse `spec` as exactly `want` comma-separated millisecond values.
+fn parse_ms_list(spec: &str, want: usize, item: &str) -> Result<Vec<u64>, String> {
+    let values: Vec<u64> = spec
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("invalid {item} value {v:?}: expected whole milliseconds"))
+        })
+        .collect::<Result<_, _>>()?;
+    if values.len() != want {
+        return Err(format!(
+            "{item} takes {want} comma-separated millisecond values, got {}",
+            values.len()
+        ));
+    }
+    Ok(values)
+}
+
 /// One shard of the fleet: the primary endpoint plus any replica
 /// endpoints serving the same class partition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +237,20 @@ pub struct FleetTopology {
     /// The shards, in declaration order. Classes are dealt round-robin
     /// across them ([`round_robin_partition`]).
     pub shards: Vec<FleetShard>,
+    /// The fleet's timing knobs; [`FleetTuning::default`] unless the spec
+    /// says otherwise. `hedge_ms=` and `backoff_ms=` items may appear
+    /// anywhere in the `;`-separated list.
+    pub tuning: FleetTuning,
+}
+
+impl FleetTopology {
+    /// A topology over `shards` with default tuning.
+    pub fn new(shards: Vec<FleetShard>) -> Self {
+        Self {
+            shards,
+            tuning: FleetTuning::default(),
+        }
+    }
 }
 
 impl std::str::FromStr for FleetTopology {
@@ -192,6 +258,7 @@ impl std::str::FromStr for FleetTopology {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut shards: Vec<FleetShard> = Vec::new();
+        let mut tuning = FleetTuning::default();
         for item in s.split(';') {
             let item = item.trim();
             if item.is_empty() {
@@ -204,6 +271,29 @@ impl std::str::FromStr for FleetTopology {
                 for endpoint in list.split(',') {
                     shard.replicas.push(endpoint.trim().parse::<Endpoint>()?);
                 }
+            } else if let Some(spec) = item.strip_prefix("hedge_ms=") {
+                let ms = parse_ms_list(spec, 3, "hedge_ms")?;
+                tuning.hedge_cold = Duration::from_millis(ms[0]);
+                tuning.hedge_min = Duration::from_millis(ms[1]);
+                tuning.hedge_max = Duration::from_millis(ms[2]);
+                if tuning.hedge_min > tuning.hedge_max {
+                    return Err(format!(
+                        "hedge_ms clamps are inverted: min {}ms > max {}ms",
+                        ms[1], ms[2]
+                    ));
+                }
+            } else if let Some(spec) = item.strip_prefix("backoff_ms=") {
+                let ms = parse_ms_list(spec, 2, "backoff_ms")?;
+                if ms[0] > ms[1] {
+                    return Err(format!(
+                        "backoff_ms is inverted: base {}ms > cap {}ms",
+                        ms[0], ms[1]
+                    ));
+                }
+                tuning.backoff = BackoffPolicy {
+                    base: Duration::from_millis(ms[0]),
+                    cap: Duration::from_millis(ms[1]),
+                };
             } else {
                 shards.push(FleetShard::solo(item.parse::<Endpoint>()?));
             }
@@ -211,7 +301,7 @@ impl std::str::FromStr for FleetTopology {
         if shards.is_empty() {
             return Err("a fleet needs at least one shard endpoint".into());
         }
-        Ok(FleetTopology { shards })
+        Ok(FleetTopology { shards, tuning })
     }
 }
 
@@ -226,6 +316,29 @@ impl std::fmt::Display for FleetTopology {
                 f.write_str(if j == 0 { ";replica=" } else { "," })?;
                 write!(f, "{replica}")?;
             }
+        }
+        let default = FleetTuning::default();
+        if (
+            self.tuning.hedge_cold,
+            self.tuning.hedge_min,
+            self.tuning.hedge_max,
+        ) != (default.hedge_cold, default.hedge_min, default.hedge_max)
+        {
+            write!(
+                f,
+                ";hedge_ms={},{},{}",
+                self.tuning.hedge_cold.as_millis(),
+                self.tuning.hedge_min.as_millis(),
+                self.tuning.hedge_max.as_millis()
+            )?;
+        }
+        if self.tuning.backoff != default.backoff {
+            write!(
+                f,
+                ";backoff_ms={},{}",
+                self.tuning.backoff.base.as_millis(),
+                self.tuning.backoff.cap.as_millis()
+            )?;
         }
         Ok(())
     }
@@ -299,6 +412,8 @@ pub struct FleetMember {
     /// Shard-level latencies of *winning* requests, setting the hedge
     /// deadline.
     window: LatencyWindow,
+    /// The fleet's timing knobs, inherited from its topology.
+    tuning: FleetTuning,
 }
 
 impl FleetMember {
@@ -320,14 +435,16 @@ impl FleetMember {
 
     /// The deadline after which an unanswered request is hedged onto the
     /// next replica: twice the rolling [`HEDGE_PERCENTILE`] of this
-    /// shard's winning latencies, clamped to
-    /// [`HEDGE_MIN`]..=[`HEDGE_MAX`]; [`HEDGE_COLD_START`] while the
-    /// window is empty.
+    /// shard's winning latencies, clamped to the tuning's
+    /// `hedge_min..=hedge_max`; its `hedge_cold` while the window is
+    /// empty (the defaults are [`HEDGE_MIN`], [`HEDGE_MAX`],
+    /// [`HEDGE_COLD_START`]).
     fn hedge_delay(&self) -> Duration {
         self.window
             .percentile(HEDGE_PERCENTILE)
-            .map_or(HEDGE_COLD_START, |p| {
-                p.saturating_mul(2).clamp(HEDGE_MIN, HEDGE_MAX)
+            .map_or(self.tuning.hedge_cold, |p| {
+                p.saturating_mul(2)
+                    .clamp(self.tuning.hedge_min, self.tuning.hedge_max)
             })
     }
 }
@@ -367,12 +484,8 @@ impl FleetView {
         reference: Arc<ReferenceSet>,
         topology: FleetTopology,
     ) -> Result<Self, NetError> {
-        Self::connect_with(
-            reference,
-            topology,
-            Arc::new(SystemClock),
-            BackoffPolicy::default(),
-        )
+        let backoff = topology.tuning.backoff;
+        Self::connect_with(reference, topology, Arc::new(SystemClock), backoff)
     }
 
     /// [`FleetView::connect`] against a named tenant: every dial and
@@ -384,13 +497,8 @@ impl FleetView {
         topology: FleetTopology,
         tenant: Option<&str>,
     ) -> Result<Self, NetError> {
-        Self::connect_with_tenant(
-            reference,
-            topology,
-            Arc::new(SystemClock),
-            BackoffPolicy::default(),
-            tenant,
-        )
+        let backoff = topology.tuning.backoff;
+        Self::connect_with_tenant(reference, topology, Arc::new(SystemClock), backoff, tenant)
     }
 
     /// [`FleetView::connect`] with an explicit clock and backoff policy
@@ -418,7 +526,13 @@ impl FleetView {
             n_columns: reference.n_columns(),
             tenant: tenant.map(str::to_string),
         };
-        let members = build_members(&reference, &expect, &topology.shards, &BTreeMap::new())?;
+        let members = build_members(
+            &reference,
+            &expect,
+            &topology.shards,
+            &BTreeMap::new(),
+            topology.tuning,
+        )?;
         Ok(Self {
             reference,
             expect,
@@ -501,7 +615,12 @@ impl FleetView {
             &self.expect,
             &proposed.shards,
             &self.deltas_snapshot(),
+            proposed.tuning,
         )?;
+        // Failpoint: a fault between validation and cutover must leave the
+        // old fleet serving unchanged — the invariant the chaos soak
+        // checks on this site.
+        crate::shardnet::inject("fleet.cutover", "fleet")?;
         *self.members.write().unwrap_or_else(|p| p.into_inner()) = members;
         *topology = proposed;
         Ok(())
@@ -530,7 +649,9 @@ impl FleetView {
             &self.expect,
             &proposed.shards,
             &self.deltas_snapshot(),
+            proposed.tuning,
         )?;
+        crate::shardnet::inject("fleet.cutover", "fleet")?;
         *self.members.write().unwrap_or_else(|p| p.into_inner()) = members;
         *topology = proposed;
         Ok(())
@@ -563,6 +684,9 @@ impl FleetView {
         id: u64,
         bytes: &[u8],
     ) -> Result<PendingReply<ClientReply>, NetError> {
+        // Failpoint: a refused submit exercises the hedge machinery — the
+        // caller fails over to the next candidate node immediately.
+        crate::shardnet::inject("fleet.hedge", &node.endpoint.to_string())?;
         {
             let health = node.health.lock().unwrap_or_else(|p| p.into_inner());
             if let Health::Down { failures, retry_at } = *health {
@@ -676,6 +800,7 @@ fn build_members(
     expect: &HandshakeExpect,
     shards: &[FleetShard],
     deltas: &BTreeMap<u64, Arc<ArtifactDelta>>,
+    tuning: FleetTuning,
 ) -> Result<Vec<Arc<FleetMember>>, NetError> {
     if shards.is_empty() {
         return Err(NetError::Partition(
@@ -716,6 +841,7 @@ fn build_members(
                 classes,
                 nodes,
                 window: LatencyWindow::default(),
+                tuning,
             }))
         })
         .collect()
@@ -828,6 +954,7 @@ fn push_reference(
         ))
     })?;
     for (index, &class) in classes.iter().enumerate() {
+        crate::shardnet::inject("fleet.push_slice", peer)?;
         let payload = reference
             .encode_slice(&[class])
             .map_err(|e| NetError::Protocol {
@@ -893,6 +1020,10 @@ fn push_delta(
     delta: &ArtifactDelta,
     expect: &HandshakeExpect,
 ) -> Result<Hello, NetError> {
+    // Failpoint: any delta failure must fall back to the full push on a
+    // fresh dial — the delta path is an optimization, never a new failure
+    // mode.
+    crate::shardnet::inject("fleet.delta_apply", peer)?;
     let encoded = delta.encode();
     let chunk_size = wire::MAX_FRAME_PAYLOAD - 64;
     let total = u32::try_from(encoded.len().div_ceil(chunk_size)).map_err(|_| {
@@ -1045,6 +1176,12 @@ impl FleetBackend {
             let (peer, reply) = outcome?;
             let response = match reply {
                 ClientReply::Score(response) => response,
+                ClientReply::Overload(o) => {
+                    return Err(NetError::Overload {
+                        peer,
+                        retry_after_ms: o.retry_after_ms,
+                    });
+                }
                 ClientReply::Batch(_) => {
                     return Err(NetError::Protocol {
                         peer,
@@ -1081,6 +1218,12 @@ impl FleetBackend {
                 let (peer, reply) = outcome?;
                 let batch = match reply {
                     ClientReply::Batch(batch) => batch,
+                    ClientReply::Overload(o) => {
+                        return Err(NetError::Overload {
+                            peer,
+                            retry_after_ms: o.retry_after_ms,
+                        });
+                    }
                     ClientReply::Score(_) => {
                         return Err(NetError::Protocol {
                             peer,
@@ -1225,6 +1368,50 @@ mod tests {
     }
 
     #[test]
+    fn topology_tuning_parses_and_round_trips_through_display() {
+        // Default tuning: nothing extra in the display form.
+        let plain: FleetTopology = "host1:9000".parse().expect("parse");
+        assert_eq!(plain.tuning, FleetTuning::default());
+        assert_eq!(plain.to_string(), "tcp:host1:9000");
+
+        // Tuned spec: values land in the right knobs, and Display emits
+        // them back so the string round-trips.
+        let spec = "host1:9000;replica=host1:9100;hedge_ms=5,1,40;backoff_ms=10,200";
+        let tuned: FleetTopology = spec.parse().expect("parse tuned");
+        assert_eq!(tuned.tuning.hedge_cold, Duration::from_millis(5));
+        assert_eq!(tuned.tuning.hedge_min, Duration::from_millis(1));
+        assert_eq!(tuned.tuning.hedge_max, Duration::from_millis(40));
+        assert_eq!(
+            tuned.tuning.backoff,
+            BackoffPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(200),
+            }
+        );
+        assert_eq!(
+            tuned.to_string(),
+            "tcp:host1:9000;replica=tcp:host1:9100;hedge_ms=5,1,40;backoff_ms=10,200"
+        );
+        let reparsed: FleetTopology = tuned.to_string().parse().expect("reparse");
+        assert_eq!(reparsed, tuned);
+
+        // Tuning items may appear anywhere, including before any shard.
+        let leading: FleetTopology = "backoff_ms=10,200;host1:9000".parse().expect("parse");
+        assert_eq!(leading.tuning.backoff.base, Duration::from_millis(10));
+
+        // Malformed tunings are rejected with a reason, not defaulted.
+        for bad in [
+            "host:1;hedge_ms=5,1",          // wrong arity
+            "host:1;hedge_ms=5,40,1",       // inverted clamps
+            "host:1;hedge_ms=a,b,c",        // not milliseconds
+            "host:1;backoff_ms=200,10",     // base above cap
+            "host:1;backoff_ms=10,200,300", // wrong arity
+        ] {
+            assert!(bad.parse::<FleetTopology>().is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
     fn latency_window_percentiles_roll() {
         let window = LatencyWindow::default();
         assert_eq!(window.percentile(0.9), None);
@@ -1249,9 +1436,7 @@ mod tests {
         let first = spawn_loaded_worker(&rs);
         let backend = FleetBackend::connect(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard::solo(first)],
-            },
+            FleetTopology::new(vec![FleetShard::solo(first)]),
         )
         .expect("connect single-shard fleet");
         assert_eq!(
@@ -1297,9 +1482,7 @@ mod tests {
         let endpoint = spawn_diskless_worker();
         let backend = FleetBackend::connect(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard::solo(endpoint.clone())],
-            },
+            FleetTopology::new(vec![FleetShard::solo(endpoint.clone())]),
         )
         .expect("connect pushes the reference set");
         assert_eq!(
@@ -1310,9 +1493,7 @@ mod tests {
         // fingerprint) and connects without re-pushing.
         let again = FleetBackend::connect(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard::solo(endpoint)],
-            },
+            FleetTopology::new(vec![FleetShard::solo(endpoint)]),
         )
         .expect("reconnect to the seeded worker");
         assert_eq!(
@@ -1340,9 +1521,7 @@ mod tests {
         let expected = expected_rows(&rs, &queries);
         let backend = FleetBackend::connect(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard::solo(endpoint)],
-            },
+            FleetTopology::new(vec![FleetShard::solo(endpoint)]),
         )
         .expect("connect upgrades the stale worker over the wire");
         assert_eq!(
@@ -1375,9 +1554,7 @@ mod tests {
         let fresh = spawn_loaded_worker(&target);
         let backend = FleetBackend::connect(
             Arc::clone(&target),
-            FleetTopology {
-                shards: vec![FleetShard::solo(fresh)],
-            },
+            FleetTopology::new(vec![FleetShard::solo(fresh)]),
         )
         .expect("connect over the evolved set");
 
@@ -1411,9 +1588,7 @@ mod tests {
         let d1 = spawn_diskless_worker();
         let old = FleetBackend::connect(
             Arc::clone(&base),
-            FleetTopology {
-                shards: vec![FleetShard::solo(d0.clone()), FleetShard::solo(d1)],
-            },
+            FleetTopology::new(vec![FleetShard::solo(d0.clone()), FleetShard::solo(d1)]),
         )
         .expect("seed the diskless pair with base slices");
         drop(old);
@@ -1440,9 +1615,7 @@ mod tests {
         let fresh = spawn_loaded_worker(&target);
         let backend = FleetBackend::connect(
             Arc::clone(&target),
-            FleetTopology {
-                shards: vec![FleetShard::solo(fresh)],
-            },
+            FleetTopology::new(vec![FleetShard::solo(fresh)]),
         )
         .expect("connect over the evolved set");
         backend.view().register_delta(delta).expect("register");
@@ -1486,12 +1659,10 @@ mod tests {
 
         let backend = FleetBackend::connect(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard {
-                    primary: Endpoint::Tcp(addr),
-                    replicas: vec![replica],
-                }],
-            },
+            FleetTopology::new(vec![FleetShard {
+                primary: Endpoint::Tcp(addr),
+                replicas: vec![replica],
+            }]),
         )
         .expect("connect");
         // Every batch completes through the replica; no error surfaces.
@@ -1549,9 +1720,7 @@ mod tests {
         let clock = Arc::new(ManualClock::new());
         let view = FleetView::connect_with(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard::solo(Endpoint::Tcp(addr))],
-            },
+            FleetTopology::new(vec![FleetShard::solo(Endpoint::Tcp(addr))]),
             Arc::clone(&clock) as Arc<dyn FleetClock>,
             BackoffPolicy {
                 base: Duration::from_secs(60),
@@ -1614,9 +1783,7 @@ mod tests {
         });
         let backend = FleetBackend::connect(
             Arc::clone(&rs),
-            FleetTopology {
-                shards: vec![FleetShard::solo(Endpoint::Tcp(addr))],
-            },
+            FleetTopology::new(vec![FleetShard::solo(Endpoint::Tcp(addr))]),
         )
         .expect("connect");
         let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"probe"));

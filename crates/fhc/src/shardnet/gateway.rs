@@ -54,9 +54,11 @@ use hpcutil::PendingReply;
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Most responses a client connection may have outstanding before its
 /// reader stops decoding new requests. The bound is what creates
@@ -98,6 +100,19 @@ pub struct GatewayOptions {
     /// ([`wire::DEFAULT_TENANT`]). A gateway fronts exactly one tenant;
     /// run one gateway per tenant to multiplex.
     pub tenant: Option<String>,
+    /// Per-tenant request-rate quotas, `(tenant, requests_per_second)`.
+    /// A gateway fronts exactly one tenant, so only the entry naming its
+    /// own tenant arms a `TokenBucket`; entries for other tenants are
+    /// inert here, which lets a fleet of per-tenant gateways share one
+    /// flag set. Each admitted query costs one token (a batch of `k`
+    /// costs `k`); an empty bucket answers with a wire
+    /// [`Overload`](wire::Overload) frame instead of scoring.
+    pub quotas: Vec<(String, u32)>,
+    /// Global ceiling on queries admitted but not yet answered, across
+    /// every client connection. `None` means unlimited. At the ceiling
+    /// the gateway sheds — again as a typed `Overload` frame — rather
+    /// than queueing without bound in front of a saturated fleet.
+    pub max_inflight: Option<usize>,
 }
 
 impl Default for GatewayOptions {
@@ -105,6 +120,8 @@ impl Default for GatewayOptions {
         Self {
             max_batch: 256,
             tenant: None,
+            quotas: Vec::new(),
+            max_inflight: None,
         }
     }
 }
@@ -133,6 +150,146 @@ fn next_batch_target(current: usize, drained: usize, cap: usize) -> usize {
         (current / 2).clamp(floor, cap)
     } else {
         current.clamp(floor, cap)
+    }
+}
+
+/// What a shed request is told to wait when the rejection has no natural
+/// deadline (the inflight ceiling, unlike an empty token bucket, gives no
+/// refill schedule to quote). Queries complete in milliseconds, so a short
+/// backoff is honest.
+const INFLIGHT_RETRY_MS: u32 = 25;
+
+/// A token-bucket rate limiter: `capacity` tokens, refilled continuously
+/// at `refill_per_sec`. Admission takes one token per query; an empty
+/// bucket reports how long until enough tokens will have dripped back in,
+/// which becomes the `retry_after_ms` the client is told on the wire.
+struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    state: Mutex<BucketState>,
+}
+
+struct BucketState {
+    tokens: f64,
+    refilled_at: Instant,
+}
+
+impl TokenBucket {
+    fn new(rps: u32, now: Instant) -> Self {
+        Self {
+            capacity: f64::from(rps),
+            refill_per_sec: f64::from(rps),
+            state: Mutex::new(BucketState {
+                tokens: f64::from(rps),
+                refilled_at: now,
+            }),
+        }
+    }
+
+    /// Take `n` tokens, or report how many milliseconds until they will be
+    /// available. A request wider than the whole bucket is charged a full
+    /// bucket instead of being unadmittable forever.
+    fn try_take(&self, n: usize, now: Instant) -> Result<(), u32> {
+        let cost = (n as f64).min(self.capacity);
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let elapsed = now.saturating_duration_since(state.refilled_at);
+        state.tokens =
+            (state.tokens + elapsed.as_secs_f64() * self.refill_per_sec).min(self.capacity);
+        state.refilled_at = now;
+        if state.tokens >= cost {
+            state.tokens -= cost;
+            return Ok(());
+        }
+        let deficit = cost - state.tokens;
+        let wait_ms = (deficit / self.refill_per_sec * 1000.0).ceil();
+        Err((wait_ms as u32).max(1))
+    }
+}
+
+/// The gateway-wide count of admitted-but-unanswered queries, checked
+/// against [`GatewayOptions::max_inflight`].
+struct InflightGauge {
+    current: AtomicUsize,
+    limit: usize,
+}
+
+impl InflightGauge {
+    /// Reserve `n` slots, or refuse without touching the gauge. The CAS
+    /// loop keeps concurrent reader threads from conspiring past the
+    /// limit.
+    fn try_admit(self: &Arc<Self>, n: usize) -> Option<InflightGuard> {
+        let mut current = self.current.load(Ordering::Relaxed);
+        loop {
+            if current.saturating_add(n) > self.limit {
+                return None;
+            }
+            match self.current.compare_exchange_weak(
+                current,
+                current + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(InflightGuard {
+                        gauge: Arc::clone(self),
+                        n,
+                    })
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// Releases its reservation on drop, so every exit path — merged rows
+/// written, shard fault, client hangup with work still queued — returns
+/// the slots.
+struct InflightGuard {
+    gauge: Arc<InflightGauge>,
+    n: usize,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.gauge.current.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+/// The gateway's armed admission controls; both `None` when unconfigured,
+/// which keeps the admit check on the hot path to two `Option` tests.
+struct Admission {
+    bucket: Option<TokenBucket>,
+    inflight: Option<Arc<InflightGauge>>,
+}
+
+impl Admission {
+    fn from_options(options: &GatewayOptions, tenant: &str, now: Instant) -> Self {
+        let bucket = options
+            .quotas
+            .iter()
+            .find(|(quota_tenant, _)| quota_tenant == tenant)
+            .map(|&(_, rps)| TokenBucket::new(rps, now));
+        let inflight = options.max_inflight.map(|limit| {
+            Arc::new(InflightGauge {
+                current: AtomicUsize::new(0),
+                limit,
+            })
+        });
+        Self { bucket, inflight }
+    }
+
+    /// Admit `n` queries or say how long the client should wait. The
+    /// bucket is charged before the gauge is consulted: a shed request
+    /// still spends its quota, so a client hammering an overloaded
+    /// gateway drains its own allowance, not its neighbours' service.
+    fn try_admit(&self, n: usize) -> Result<Option<InflightGuard>, u32> {
+        if let Some(bucket) = &self.bucket {
+            bucket.try_take(n, Instant::now())?;
+        }
+        match &self.inflight {
+            None => Ok(None),
+            Some(gauge) => gauge.try_admit(n).map(Some).ok_or(INFLIGHT_RETRY_MS),
+        }
     }
 }
 
@@ -191,6 +348,9 @@ pub struct Gateway {
     fingerprint: u64,
     /// The tenant this gateway serves (see [`GatewayOptions::tenant`]).
     tenant: String,
+    /// Armed admission controls (quota bucket, inflight gauge); shared
+    /// with every connection's reader thread.
+    admission: Arc<Admission>,
     shards: Vec<ShardHandle>,
     /// One batcher thread per shard; each batcher joins its own
     /// distributor on exit. Reaped in [`Drop`] after the shard queues
@@ -221,6 +381,16 @@ impl Gateway {
                 "gateway max_batch must be at least 1".into(),
             ));
         }
+        if let Some((tenant, _)) = options.quotas.iter().find(|&&(_, rps)| rps == 0) {
+            return Err(NetError::Partition(format!(
+                "quota for tenant {tenant:?} must be at least 1 request per second"
+            )));
+        }
+        if options.max_inflight == Some(0) {
+            return Err(NetError::Partition(
+                "gateway max_inflight must be at least 1".into(),
+            ));
+        }
         let tenant = options
             .tenant
             .clone()
@@ -235,6 +405,7 @@ impl Gateway {
                 ),
             });
         }
+        let admission = Arc::new(Admission::from_options(&options, &tenant, Instant::now()));
         let workers = connect_workers(&reference, endpoints, options.tenant.as_deref())?;
         let fingerprint = reference.fingerprint();
         // Columns per class across the active views; a shard's dense
@@ -275,6 +446,7 @@ impl Gateway {
             reference,
             fingerprint,
             tenant,
+            admission,
             shards,
             batchers,
         })
@@ -297,11 +469,13 @@ impl Gateway {
 
     /// The handshake the gateway answers clients with: it presents as one
     /// worker serving every class, so the real fleet partition never
-    /// leaks past the gateway.
+    /// leaks past the gateway. [`wire::FEATURE_OVERLOAD`] is advertised
+    /// because the gateway may answer any request with a wire
+    /// [`Overload`](wire::Overload) frame when admission sheds it.
     fn hello(&self) -> Hello {
         Hello {
             protocol: wire::PROTOCOL_VERSION,
-            features: wire::FEATURE_SCORE_BATCH,
+            features: wire::FEATURE_SCORE_BATCH | wire::FEATURE_OVERLOAD,
             fingerprint: self.fingerprint,
             n_classes: self.reference.n_classes(),
             n_columns: self.reference.n_columns(),
@@ -437,6 +611,12 @@ fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize
             }
         }
         target = next_batch_target(target, pack.len(), max_batch);
+        // Failpoint: losing a pack at the coalescing moment must fault
+        // exactly the queries it carried, never wedge the batcher.
+        if let Err(e) = crate::shardnet::inject("gateway.coalesce", &peer) {
+            fault_jobs(pack, &peer, e.to_string());
+            continue;
+        }
         if worker.supports_batch {
             let id = next_id;
             next_id += 1;
@@ -477,6 +657,15 @@ fn batcher_loop(worker: RemoteWorker, jobs: Receiver<ShardJob>, max_batch: usize
 /// query with `WorkerLost`.
 fn distributor_loop(inflight: Receiver<InFlight>, peer: &str) {
     for entry in inflight {
+        // Failpoint: a distributor that cannot route a reply faults the
+        // batch it was for; the abandoned `pending` is simply dropped.
+        if let Err(e) = crate::shardnet::inject("gateway.distribute", peer) {
+            match entry {
+                InFlight::Batch { jobs, .. } => fault_jobs(jobs, peer, e.to_string()),
+                InFlight::Single { job, .. } => fault_jobs(vec![job], peer, e.to_string()),
+            }
+            continue;
+        }
         match entry {
             InFlight::Batch { pending, jobs } => match pending.wait() {
                 Ok(ClientReply::Batch(response)) if response.rows.len() == jobs.len() => {
@@ -499,6 +688,14 @@ fn distributor_loop(inflight: Receiver<InFlight>, peer: &str) {
                         "single-row reply answering a batch request".into(),
                     );
                 }
+                Ok(ClientReply::Overload(o)) => {
+                    // A worker shedding load behind the gateway is a shard
+                    // fault for the queries in flight, not something to
+                    // propagate as the gateway's own overload.
+                    let detail =
+                        format!("shard shed the batch: retry after {}ms", o.retry_after_ms);
+                    fault_jobs(jobs, peer, detail);
+                }
                 Err(e) => {
                     let detail = e.to_string();
                     fault_jobs(jobs, peer, detail);
@@ -514,6 +711,11 @@ fn distributor_loop(inflight: Receiver<InFlight>, peer: &str) {
                         peer,
                         "batch reply answering a single-query request".into(),
                     );
+                }
+                Ok(ClientReply::Overload(o)) => {
+                    let detail =
+                        format!("shard shed the query: retry after {}ms", o.retry_after_ms);
+                    fault_jobs(vec![job], peer, detail);
                 }
                 Err(e) => {
                     let detail = e.to_string();
@@ -541,10 +743,21 @@ enum ClientWork {
     Row {
         id: u64,
         replies: Vec<Receiver<RowResult>>,
+        /// Inflight reservation, released when the row is answered (or
+        /// the connection dies with the work still queued).
+        guard: Option<InflightGuard>,
     },
     Batch {
         id: u64,
         queries: Vec<Vec<Receiver<RowResult>>>,
+        guard: Option<InflightGuard>,
+    },
+    /// Admission shed this request: answer it with a wire
+    /// [`Overload`](wire::Overload) frame — the connection stays open and
+    /// later requests are admitted on their own merits.
+    Reject {
+        id: u64,
+        retry_after_ms: u32,
     },
     /// A tenant-select [`Hello`] from the client: confirmed with the
     /// gateway's own greeting when the tenant matches, refused with a
@@ -593,11 +806,19 @@ where
     // fit in one frame are rejected up front.
     let max_client_batch = wire::max_batch_rows_for(gateway.reference.n_columns());
     let reader_peer = peer.to_string();
+    let admission = Arc::clone(&gateway.admission);
     // Detached on purpose: the reader is connection-scoped and exits when
     // the caller closes the transport. If the spawn itself fails, the moved
     // `work_tx` drops and the writer below sees a clean close immediately.
     super::spawn_detached("gw-client-reader", move || {
-        client_reader_loop(reader, &queues, &work_tx, max_client_batch, &reader_peer)
+        client_reader_loop(
+            reader,
+            &queues,
+            &work_tx,
+            &admission,
+            max_client_batch,
+            &reader_peer,
+        )
     });
 
     let mut answer = || -> Result<(), NetError> {
@@ -605,17 +826,23 @@ where
         // already-submitted request is answered before the clean close.
         for work in &work_rx {
             match work {
-                ClientWork::Row { id, replies } => {
+                ClientWork::Row { id, replies, guard } => {
                     let cells = gateway.collect_full_row(replies)?;
                     Frame::ScoreResponse(ScoreResponse { id, cells })
                         .write_to(&mut writer, peer)?;
+                    drop(guard);
                 }
-                ClientWork::Batch { id, queries } => {
+                ClientWork::Batch { id, queries, guard } => {
                     let rows = queries
                         .into_iter()
                         .map(|replies| gateway.collect_full_row(replies))
                         .collect::<Result<Vec<_>, _>>()?;
                     Frame::ScoreBatchResponse(ScoreBatchResponse { id, rows })
+                        .write_to(&mut writer, peer)?;
+                    drop(guard);
+                }
+                ClientWork::Reject { id, retry_after_ms } => {
+                    Frame::Overload(wire::Overload { id, retry_after_ms })
                         .write_to(&mut writer, peer)?;
                 }
                 ClientWork::Greet { tenant } => {
@@ -654,6 +881,7 @@ fn client_reader_loop<R: Read>(
     mut reader: R,
     queues: &[SyncSender<ShardJob>],
     work: &SyncSender<ClientWork>,
+    admission: &Admission,
     max_client_batch: usize,
     peer: &str,
 ) {
@@ -661,8 +889,22 @@ fn client_reader_loop<R: Read>(
         match Frame::read_from(&mut reader, peer) {
             Ok(Frame::ScoreRequest(request)) => {
                 let wire::ScoreRequest { id, query } = *request;
+                let guard = match admission.try_admit(1) {
+                    Ok(guard) => guard,
+                    Err(retry_after_ms) => {
+                        // Shed before submitting anything; the connection
+                        // stays open for the retry.
+                        if work
+                            .send(ClientWork::Reject { id, retry_after_ms })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                };
                 let replies = submit_to_shards(queues, &Arc::new(query));
-                if work.send(ClientWork::Row { id, replies }).is_err() {
+                if work.send(ClientWork::Row { id, replies, guard }).is_err() {
                     return;
                 }
             }
@@ -679,6 +921,21 @@ fn client_reader_loop<R: Read>(
                 return;
             }
             Ok(Frame::ScoreBatchRequest(batch)) => {
+                // A batch of k queries costs k admission tokens and k
+                // inflight slots: quota cannot be dodged by batching.
+                let guard = match admission.try_admit(batch.queries.len().max(1)) {
+                    Ok(guard) => guard,
+                    Err(retry_after_ms) => {
+                        let rejected = ClientWork::Reject {
+                            id: batch.id,
+                            retry_after_ms,
+                        };
+                        if work.send(rejected).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
                 // Submit the whole batch before handing it to the writer:
                 // the shard batchers see the burst at once and pack it
                 // into few wire frames.
@@ -691,6 +948,7 @@ fn client_reader_loop<R: Read>(
                     .send(ClientWork::Batch {
                         id: batch.id,
                         queries,
+                        guard,
                     })
                     .is_err()
                 {
@@ -1031,6 +1289,7 @@ mod tests {
             std::io::Cursor::new(frame_bytes),
             &queues,
             &work_tx,
+            &open_admission(),
             2,
             "test client",
         );
@@ -1040,17 +1299,193 @@ mod tests {
                 detail.contains("overflow the response frame"),
                 "error names the violation: {detail}"
             ),
-            other => panic!(
-                "expected a Fail work item, got a {}",
-                match other {
-                    ClientWork::Row { .. } => "Row",
-                    ClientWork::Batch { .. } => "Batch",
-                    ClientWork::Greet { .. } => "Greet",
-                    ClientWork::Fail { .. } => unreachable!(),
-                }
-            ),
+            other => panic!("expected a Fail work item, got a {}", work_name(&other)),
         }
         assert!(work_rx.recv().is_err(), "reader stops after the rejection");
+    }
+
+    fn open_admission() -> Admission {
+        Admission {
+            bucket: None,
+            inflight: None,
+        }
+    }
+
+    fn work_name(work: &ClientWork) -> &'static str {
+        match work {
+            ClientWork::Row { .. } => "Row",
+            ClientWork::Batch { .. } => "Batch",
+            ClientWork::Greet { .. } => "Greet",
+            ClientWork::Fail { .. } => "Fail",
+            ClientWork::Reject { .. } => "Reject",
+        }
+    }
+
+    #[test]
+    fn the_token_bucket_refills_on_schedule() {
+        let start = Instant::now();
+        let bucket = TokenBucket::new(10, start);
+        // A full bucket admits its capacity immediately...
+        assert_eq!(bucket.try_take(10, start), Ok(()));
+        // ...then an empty one quotes the refill schedule: 1 token at 10
+        // rps is 100ms away.
+        assert_eq!(bucket.try_take(1, start), Err(100));
+        // 5 tokens would take 500ms.
+        assert_eq!(bucket.try_take(5, start), Err(500));
+        // After 250ms, 2.5 tokens dripped back: 2 admits, 3 does not.
+        let later = start + std::time::Duration::from_millis(250);
+        assert_eq!(bucket.try_take(2, later), Ok(()));
+        assert!(bucket.try_take(3, later).is_err());
+        // A request wider than the bucket is charged a full bucket, never
+        // left unadmittable.
+        let refilled = start + std::time::Duration::from_secs(10);
+        assert_eq!(bucket.try_take(500, refilled), Ok(()));
+        // The quoted wait is never zero.
+        assert!(bucket.try_take(1, refilled).unwrap_err() >= 1);
+    }
+
+    #[test]
+    fn an_exhausted_quota_sheds_with_a_typed_rejection() {
+        // Quota of 2 rps, three single queries in one burst: the first two
+        // are admitted, the third is shed — and the reader keeps going
+        // (the connection is not torn down by a rejection).
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"quota probe"));
+        let mut frames = Vec::new();
+        for id in 0..3u64 {
+            frames.extend_from_slice(&wire::score_request_bytes(id, &query));
+        }
+        let admission = Admission {
+            bucket: Some(TokenBucket::new(2, Instant::now())),
+            inflight: None,
+        };
+        let queues: Vec<SyncSender<ShardJob>> = Vec::new();
+        let (work_tx, work_rx) = mpsc::sync_channel::<ClientWork>(8);
+        client_reader_loop(
+            std::io::Cursor::new(frames),
+            &queues,
+            &work_tx,
+            &admission,
+            64,
+            "test client",
+        );
+        drop(work_tx);
+        let work: Vec<ClientWork> = work_rx.into_iter().collect();
+        assert_eq!(work.len(), 3, "every request is answered, shed or not");
+        assert!(matches!(work[0], ClientWork::Row { id: 0, .. }));
+        assert!(matches!(work[1], ClientWork::Row { id: 1, .. }));
+        match &work[2] {
+            ClientWork::Reject { id, retry_after_ms } => {
+                assert_eq!(*id, 2);
+                assert!(*retry_after_ms >= 1, "a rejection always quotes a wait");
+            }
+            other => panic!(
+                "expected the third request shed, got a {}",
+                work_name(other)
+            ),
+        }
+    }
+
+    #[test]
+    fn the_inflight_ceiling_sheds_and_recovers() {
+        // Ceiling of 2; a batch of 2 fills it, a following single query is
+        // shed while the batch's guard is alive, and admitted again once
+        // the guard drops.
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(b"inflight probe"));
+        let mut frames = Vec::new();
+        frames.extend_from_slice(&wire::score_batch_request_bytes(0, vec![&query; 2]));
+        frames.extend_from_slice(&wire::score_request_bytes(1, &query));
+        let gauge = Arc::new(InflightGauge {
+            current: AtomicUsize::new(0),
+            limit: 2,
+        });
+        let admission = Admission {
+            bucket: None,
+            inflight: Some(Arc::clone(&gauge)),
+        };
+        let queues: Vec<SyncSender<ShardJob>> = Vec::new();
+        let (work_tx, work_rx) = mpsc::sync_channel::<ClientWork>(8);
+        client_reader_loop(
+            std::io::Cursor::new(frames),
+            &queues,
+            &work_tx,
+            &admission,
+            64,
+            "test client",
+        );
+        drop(work_tx);
+        let mut work = work_rx.into_iter();
+        let batch = work.next().expect("the batch work item");
+        assert!(matches!(batch, ClientWork::Batch { id: 0, .. }));
+        assert_eq!(gauge.current.load(Ordering::Relaxed), 2, "ceiling reached");
+        match work.next().expect("the shed single query") {
+            ClientWork::Reject { id, retry_after_ms } => {
+                assert_eq!(id, 1);
+                assert_eq!(retry_after_ms, INFLIGHT_RETRY_MS);
+            }
+            other => panic!(
+                "expected the single query shed, got a {}",
+                work_name(&other)
+            ),
+        }
+        // Answering (here: dropping) the batch releases its reservation.
+        drop(batch);
+        assert_eq!(gauge.current.load(Ordering::Relaxed), 0);
+        assert!(gauge.try_admit(2).is_some(), "slots admit again");
+    }
+
+    #[test]
+    fn a_shed_client_query_surfaces_as_a_typed_overload_error() {
+        // End to end through real sockets: quota of 1 rps on the served
+        // tenant, so a burst's first query scores byte-identically and a
+        // follow-up is shed as NetError::Overload — never a wrong row,
+        // and the connection survives to serve again after the refill.
+        let rs = reference();
+        let endpoints = vec![spawn_worker(rs.clone())];
+        let options = GatewayOptions {
+            quotas: vec![(wire::DEFAULT_TENANT.to_string(), 1)],
+            ..GatewayOptions::default()
+        };
+        let gateway = Gateway::connect(rs.clone(), &endpoints, options).expect("connect");
+        let front = spawn_gateway(gateway);
+        let backend = GatewayBackend::connect(rs.clone(), &front).expect("dial gateway");
+
+        let indexed = BackendConfig::Indexed.build(rs.clone());
+        let query = PreparedSampleFeatures::prepare(&SampleFeatures::extract(
+            b"the velvet assembler executable overload probe",
+        ));
+        let mut expected = vec![0.0f64; rs.n_columns()];
+        indexed.max_scores_into(&query, &mut expected);
+
+        let mut row = vec![0.0f64; rs.n_columns()];
+        backend
+            .try_max_scores_into(&query, &mut row)
+            .expect("the in-quota query scores");
+        assert_eq!(row, expected, "in-quota row stays byte-identical");
+
+        let mut retry_after = None;
+        for _ in 0..5 {
+            let mut shed = vec![f64::NAN; rs.n_columns()];
+            match backend.try_max_scores_into(&query, &mut shed) {
+                Err(FhcError::Net(NetError::Overload { retry_after_ms, .. })) => {
+                    retry_after = Some(retry_after_ms);
+                    break;
+                }
+                // The bucket may have refilled between queries on a slow
+                // machine; a success must still be byte-identical.
+                Ok(()) => assert_eq!(shed, expected, "admitted row stays byte-identical"),
+                Err(other) => panic!("expected a typed overload, got {other}"),
+            }
+        }
+        let retry_after = retry_after.expect("a burst past 1 rps must be shed");
+        assert!(retry_after >= 1, "the rejection quotes a wait");
+
+        // The same connection heals once the bucket refills.
+        std::thread::sleep(std::time::Duration::from_millis(1100));
+        let mut healed = vec![0.0f64; rs.n_columns()];
+        backend
+            .try_max_scores_into(&query, &mut healed)
+            .expect("the refilled bucket admits again");
+        assert_eq!(healed, expected, "healed row stays byte-identical");
     }
 
     #[test]
@@ -1091,7 +1526,30 @@ mod tests {
             &[],
             GatewayOptions {
                 max_batch: 0,
-                tenant: None,
+                ..GatewayOptions::default()
+            },
+        );
+        assert!(matches!(err, Err(NetError::Partition(_))));
+    }
+
+    #[test]
+    fn degenerate_admission_options_are_rejected_up_front() {
+        let rs = reference();
+        let err = Gateway::connect(
+            rs.clone(),
+            &[],
+            GatewayOptions {
+                quotas: vec![("acme".into(), 0)],
+                ..GatewayOptions::default()
+            },
+        );
+        assert!(matches!(err, Err(NetError::Partition(_))));
+        let err = Gateway::connect(
+            rs,
+            &[],
+            GatewayOptions {
+                max_inflight: Some(0),
+                ..GatewayOptions::default()
             },
         );
         assert!(matches!(err, Err(NetError::Partition(_))));

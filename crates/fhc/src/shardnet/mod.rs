@@ -44,13 +44,14 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::str::FromStr;
 
+pub mod deadlines;
 pub mod fleet;
 pub mod gateway;
 pub mod remote;
 pub mod wire;
 pub mod worker;
 
-pub use fleet::{BackoffPolicy, FleetBackend, FleetShard, FleetTopology, FleetView};
+pub use fleet::{BackoffPolicy, FleetBackend, FleetShard, FleetTopology, FleetTuning, FleetView};
 pub use gateway::{Gateway, GatewayBackend, GatewayOptions};
 pub use remote::RemoteBackend;
 pub use worker::{ShardWorker, TenantHost, WorkerHost};
@@ -67,24 +68,31 @@ pub enum Endpoint {
     Unix(PathBuf),
 }
 
-/// Client-side deadline for a worker to answer an in-flight request (and
-/// for the TCP connect and every write).
-///
-/// Client connections are driven by a [`hpcutil::Mux`], whose reader
-/// thread reads *continuously*; an idle connection with nothing in flight
-/// is normal and never times out. What must not hang is an **owed reply**:
-/// a stalled worker — wedged, SIGSTOPped, partitioned without an RST —
-/// surfaces as a [`NetError::WorkerLost`] once a request has waited this
-/// long, instead of blocking the caller forever. Workers bound their reads
-/// with the much longer [`worker::IDLE_TIMEOUT`], which exists to reap
-/// dead *clients*, not slow ones.
-pub const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+pub use deadlines::IO_TIMEOUT;
+pub(crate) use deadlines::MUX_POLL_INTERVAL;
 
-/// Socket read timeout under a [`hpcutil::Mux`] reader thread: how often
-/// the reader wakes to check in-flight requests against [`IO_TIMEOUT`].
-/// The mux reassembles frames from raw reads, so this timeout never tears
-/// a frame — it only bounds stall-detection latency.
-pub(crate) const MUX_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_secs(1);
+/// Check a named failpoint and map an injected fault to the typed
+/// [`NetError`] a real fault at that site would produce. Compiles to an
+/// inlined `None` check (one relaxed atomic load when the `failpoints`
+/// feature is on, nothing at all when it is off).
+#[inline]
+pub(crate) fn inject(site: &'static str, peer: &str) -> Result<(), NetError> {
+    // fhc-lint: allow(failpoint_named) -- pass-through helper: every caller's site argument is a literal R7 checks at the call site
+    match hpcutil::failpoint::hit(site) {
+        None => Ok(()),
+        Some(hpcutil::failpoint::Fault::CloseConn) => Err(NetError::WorkerLost {
+            peer: peer.to_string(),
+            detail: format!("failpoint {site}: injected connection loss"),
+        }),
+        Some(_) => Err(NetError::Io {
+            peer: peer.to_string(),
+            source: std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                format!("failpoint {site}: injected i/o failure"),
+            ),
+        }),
+    }
+}
 
 /// Spawn a named, deliberately-detached serving thread.
 ///
@@ -331,6 +339,16 @@ pub enum NetError {
         /// The error message it sent.
         message: String,
     },
+    /// The peer is shedding load: a gateway's per-tenant quota or global
+    /// in-flight ceiling rejected the request *before* any scoring ran.
+    /// Deliberate and non-retried by the serving backends — the peer told
+    /// us when to come back, and hammering it sooner defeats the point.
+    Overload {
+        /// The peer that shed the request.
+        peer: String,
+        /// How long the peer asked us to wait before retrying.
+        retry_after_ms: u32,
+    },
     /// A handshake named a tenant the other side does not serve, or a
     /// worker answered for a different tenant than the one selected. Never
     /// a generic decode error or a silent empty row: the offending tenant
@@ -370,6 +388,12 @@ impl fmt::Display for NetError {
             }
             NetError::Remote { peer, message } => {
                 write!(f, "remote error from {peer}: {message}")
+            }
+            NetError::Overload {
+                peer,
+                retry_after_ms,
+            } => {
+                write!(f, "{peer} is shedding load: retry after {retry_after_ms}ms")
             }
             NetError::Tenant {
                 peer,

@@ -118,6 +118,10 @@ impl RemoteWorker {
     /// partition, mux spawned.
     fn redial(&self) -> Result<Mux<ClientReply>, NetError> {
         let peer = self.endpoint.to_string();
+        // Failpoint: a redial that fails leaves the poisoned mux in place,
+        // so the caller gets the original typed error and the *next* query
+        // tries again — the reconnect gate the chaos soak leans on.
+        crate::shardnet::inject("remote.redial", &peer)?;
         let mut conn = self
             .endpoint
             .connect_split()
@@ -354,8 +358,11 @@ impl RemoteBackend {
         let pending: Vec<_> = self
             .workers
             .iter()
-            .map(|worker| worker.submit(id, request_bytes.clone()))
-            .collect();
+            .map(|worker| {
+                crate::shardnet::inject("remote.batch_send", &worker.endpoint.to_string())?;
+                Ok(worker.submit(id, request_bytes.clone()))
+            })
+            .collect::<Result<_, NetError>>()?;
         // Await every reply before surfacing an error: each submitted
         // request either completes or fails on its own connection, and an
         // early return would abandon replies for no gain.
@@ -367,6 +374,12 @@ impl RemoteBackend {
             let peer = worker.endpoint.to_string();
             let response = match reply.map_err(|e| net_error_from_mux(&peer, e))? {
                 ClientReply::Score(response) => response,
+                ClientReply::Overload(o) => {
+                    return Err(NetError::Overload {
+                        peer,
+                        retry_after_ms: o.retry_after_ms,
+                    });
+                }
                 ClientReply::Batch(_) => {
                     return Err(NetError::Protocol {
                         peer,
@@ -414,7 +427,8 @@ impl RemoteBackend {
                 .workers
                 .iter()
                 .map(|worker| {
-                    if worker.supports_batch {
+                    crate::shardnet::inject("remote.batch_send", &worker.endpoint.to_string())?;
+                    Ok(if worker.supports_batch {
                         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
                         let frame = wire::score_batch_request_bytes(id, chunk);
                         Submitted::Batch(worker.submit(id, frame))
@@ -428,9 +442,9 @@ impl RemoteBackend {
                                 })
                                 .collect(),
                         )
-                    }
+                    })
                 })
-                .collect();
+                .collect::<Result<_, NetError>>()?;
             // Await every reply before surfacing an error, as in
             // `fan_out`.
             let waited: Vec<Waited> = submitted
@@ -448,6 +462,12 @@ impl RemoteBackend {
                     Waited::Batch(reply) => {
                         let batch = match reply.map_err(|e| net_error_from_mux(&peer, e))? {
                             ClientReply::Batch(batch) => batch,
+                            ClientReply::Overload(o) => {
+                                return Err(NetError::Overload {
+                                    peer,
+                                    retry_after_ms: o.retry_after_ms,
+                                });
+                            }
                             ClientReply::Score(_) => {
                                 return Err(NetError::Protocol {
                                     peer,
@@ -473,6 +493,12 @@ impl RemoteBackend {
                         for (reply, row) in replies.into_iter().zip(out.iter_mut()) {
                             let response = match reply.map_err(|e| net_error_from_mux(&peer, e))? {
                                 ClientReply::Score(response) => response,
+                                ClientReply::Overload(o) => {
+                                    return Err(NetError::Overload {
+                                        peer,
+                                        retry_after_ms: o.retry_after_ms,
+                                    });
+                                }
                                 ClientReply::Batch(_) => {
                                     return Err(NetError::Protocol {
                                         peer,
@@ -564,6 +590,7 @@ pub(crate) fn net_error_from_mux(peer: &str, e: MuxError) -> NetError {
 }
 
 pub(crate) fn read_hello(conn: &mut (dyn Read + Send), peer: &str) -> Result<Hello, NetError> {
+    crate::shardnet::inject("remote.handshake", peer)?;
     match Frame::read_from(conn, peer)? {
         Frame::Hello(hello) => Ok(hello),
         Frame::Error(message) => Err(NetError::Remote {

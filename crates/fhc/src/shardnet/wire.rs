@@ -59,7 +59,9 @@ use std::io::{Read, Write};
 /// [`FEATURE_REFERENCE_PUSH`]. v3 added the [`Hello::tenant`] field (a
 /// daemon now hosts many reference sets keyed by tenant) and the
 /// [`PushDelta`]/[`DeltaAck`] frames behind [`FEATURE_DELTA_PUSH`] — a
-/// worker that does not advertise the bit never sees them.
+/// worker that does not advertise the bit never sees them. The
+/// [`Overload`] frame rides v3 the same way, behind [`FEATURE_OVERLOAD`]:
+/// a peer that does not advertise the bit never sends it.
 pub const PROTOCOL_VERSION: u32 = 3;
 
 // Score requests travel in the artifact's prepared-feature encoding, so a
@@ -94,6 +96,15 @@ pub const FEATURE_REFERENCE_PUSH: u32 = 1 << 1;
 /// the whole set. Only meaningful alongside [`FEATURE_REFERENCE_PUSH`]: a
 /// delta needs an installed base to patch.
 pub const FEATURE_DELTA_PUSH: u32 = 1 << 2;
+
+/// [`Hello::features`] bit: the serving side may answer an individual
+/// request with an [`Overload`] frame instead of scoring it — a typed,
+/// id-correlated load-shedding rejection carrying a retry hint. Unlike
+/// [`Frame::Error`], an overload rejection is **not fatal**: the
+/// connection stays open and every other in-flight request proceeds, so a
+/// client can keep serving in-quota traffic on the same mux. Advertised by
+/// gateways enforcing admission control ([`crate::shardnet::gateway`]).
+pub const FEATURE_OVERLOAD: u32 = 1 << 3;
 
 /// The tenant a connection serves when neither side selects one. Every v2
 /// deployment implicitly served this tenant, so a single-artifact daemon
@@ -144,6 +155,7 @@ const TAG_PUSH_SLICE: u8 = 9;
 const TAG_PUSH_ACK: u8 = 10;
 const TAG_PUSH_DELTA: u8 = 11;
 const TAG_DELTA_ACK: u8 = 12;
+const TAG_OVERLOAD: u8 = 13;
 
 /// The worker's handshake: everything a client needs to decide whether this
 /// worker can score for it.
@@ -291,6 +303,22 @@ pub struct DeltaAck {
     pub classes_retired: u32,
 }
 
+/// Server → client: the request identified by `id` was shed by admission
+/// control (quota exhausted or inflight ceiling hit) instead of scored.
+///
+/// Carried behind [`FEATURE_OVERLOAD`]. Correlated by request id like a
+/// score reply, so it rides a pipelined connection without disturbing any
+/// other in-flight request — the typed, non-fatal alternative to
+/// [`Frame::Error`] (which poisons the whole connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overload {
+    /// The request this rejection answers.
+    pub id: u64,
+    /// The server's hint for when capacity should be available again, in
+    /// milliseconds. Clients must not retry the same work sooner.
+    pub retry_after_ms: u32,
+}
+
 /// Every message of the shard-serving protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -316,6 +344,9 @@ pub enum Frame {
     /// Client → worker: one chunk of an encoded artifact delta (requires
     /// the worker to have advertised [`FEATURE_DELTA_PUSH`]).
     PushDelta(PushDelta),
+    /// Server → client: the identified request was shed by admission
+    /// control (requires [`FEATURE_OVERLOAD`]); the connection stays open.
+    Overload(Overload),
     /// Worker → client: a pushed delta was applied to the installed set.
     DeltaAck(DeltaAck),
     /// Either side: a fatal error message, connection closes after.
@@ -334,10 +365,8 @@ fn put_len_u32(w: &mut ByteWriter, len: usize) {
 
 /// Assemble a complete wire frame (header + payload + checksum) in memory.
 fn frame_bytes(tag: u8, payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(payload.len() + 13);
-    // fhc-lint: allow(no_panic) -- Write for Vec<u8> is infallible, so hpcutil::write_frame, which only fails through its writer, cannot fail here
-    hpcutil::write_frame(&mut frame, tag, payload).expect("writing to a Vec cannot fail");
-    frame
+    // fhc-lint: allow(no_panic) -- encode_frame only fails for payloads over u32::MAX bytes, and every encoder bounds its payload by MAX_FRAME_PAYLOAD first
+    hpcutil::encode_frame(tag, payload).expect("payload bounded by MAX_FRAME_PAYLOAD")
 }
 
 fn encode_cells(w: &mut ByteWriter, cells: &[(u32, f64)]) {
@@ -426,6 +455,7 @@ impl Frame {
             Frame::PushAck(_) => TAG_PUSH_ACK,
             Frame::PushDelta(_) => TAG_PUSH_DELTA,
             Frame::DeltaAck(_) => TAG_DELTA_ACK,
+            Frame::Overload(_) => TAG_OVERLOAD,
             Frame::Error(_) => TAG_ERROR,
             Frame::Shutdown => TAG_SHUTDOWN,
         }
@@ -489,6 +519,10 @@ impl Frame {
                 w.put_u64(ack.fingerprint);
                 w.put_u32(ack.classes_added);
                 w.put_u32(ack.classes_retired);
+            }
+            Frame::Overload(overload) => {
+                w.put_u64(overload.id);
+                w.put_u32(overload.retry_after_ms);
             }
             Frame::Error(message) => w.put_str(message),
             Frame::Shutdown => {}
@@ -626,6 +660,11 @@ impl Frame {
                     classes_retired,
                 })
             }
+            TAG_OVERLOAD => {
+                let id = r.get_u64()?;
+                let retry_after_ms = r.get_u32()?;
+                Frame::Overload(Overload { id, retry_after_ms })
+            }
             TAG_ERROR => Frame::Error(r.get_str()?),
             TAG_SHUTDOWN => Frame::Shutdown,
             other => return Err(CodecError::new(format!("unknown frame tag {other}"))),
@@ -736,6 +775,10 @@ pub enum ClientReply {
     Score(ScoreResponse),
     /// Partial rows answering a [`ScoreBatchRequest`].
     Batch(ScoreBatchResponse),
+    /// The request was shed by admission control ([`FEATURE_OVERLOAD`]).
+    /// Correlated like any reply — the mux and every other in-flight
+    /// request on the connection are unaffected.
+    Overload(Overload),
 }
 
 /// Decode one verified frame arriving on a pipelined client connection into
@@ -747,6 +790,7 @@ pub fn decode_client_reply(tag: u8, payload: &[u8]) -> Result<(u64, ClientReply)
     match Frame::decode(tag, payload) {
         Ok(Frame::ScoreResponse(response)) => Ok((response.id, ClientReply::Score(response))),
         Ok(Frame::ScoreBatchResponse(response)) => Ok((response.id, ClientReply::Batch(response))),
+        Ok(Frame::Overload(overload)) => Ok((overload.id, ClientReply::Overload(overload))),
         Ok(Frame::Error(message)) => Err(MuxError::new(MuxErrorKind::Remote, message)),
         Ok(unexpected) => Err(MuxError::new(
             MuxErrorKind::Decode,
@@ -757,18 +801,18 @@ pub fn decode_client_reply(tag: u8, payload: &[u8]) -> Result<(u64, ClientReply)
 }
 
 /// Write pre-encoded frame bytes (as produced by [`score_request_bytes`] or
-/// [`Frame::to_wire_bytes`]) to `w` in one `write_all`.
+/// [`Frame::to_wire_bytes`]) to `w` in one `write_all`. Routed through
+/// [`hpcutil::write_assembled_frame`] so the `frame.write` failpoint covers
+/// encode-once-send-many paths exactly like per-frame writers.
 pub fn write_raw_frame<W: Write + ?Sized>(
     w: &mut W,
     frame_bytes: &[u8],
     peer: &str,
 ) -> Result<(), NetError> {
-    w.write_all(frame_bytes)
-        .and_then(|()| w.flush())
-        .map_err(|source| NetError::Io {
-            peer: peer.to_string(),
-            source,
-        })
+    hpcutil::write_assembled_frame(w, frame_bytes).map_err(|source| NetError::Io {
+        peer: peer.to_string(),
+        source,
+    })
 }
 
 #[cfg(test)]
@@ -839,6 +883,10 @@ mod tests {
                 fingerprint: 0xFEED_FACE_0123_4567,
                 classes_added: 2,
                 classes_retired: 1,
+            }),
+            Frame::Overload(Overload {
+                id: 77,
+                retry_after_ms: 1500,
             }),
             Frame::Error("reference set mismatch".into()),
             Frame::Shutdown,
@@ -1008,6 +1056,20 @@ mod tests {
         let (id, reply) = decode_client_reply(bytes[0], &bytes[5..bytes.len() - 8]).unwrap();
         assert_eq!(id, 9);
         assert!(matches!(reply, ClientReply::Batch(_)));
+
+        // An overload rejection routes by id like any reply — it must NOT
+        // poison the mux the way an Error frame does.
+        let shed = Frame::Overload(Overload {
+            id: 12,
+            retry_after_ms: 250,
+        });
+        let bytes = shed.to_wire_bytes();
+        let (id, reply) = decode_client_reply(bytes[0], &bytes[5..bytes.len() - 8]).unwrap();
+        assert_eq!(id, 12);
+        assert!(matches!(
+            reply,
+            ClientReply::Overload(o) if o.retry_after_ms == 250
+        ));
 
         // A worker error frame is fatal and surfaces as Remote.
         let bytes = Frame::Error("shard on fire".into()).to_wire_bytes();

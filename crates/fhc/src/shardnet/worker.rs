@@ -20,10 +20,12 @@ use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
 
 /// How long an accepted connection may sit idle (no complete frame
-/// arriving) before the worker closes it quietly. A dead or hung client —
+/// arriving) before the worker closes it quietly. Lives in
+/// [`deadlines`](crate::shardnet::deadlines) with the rest of the serving
+/// deadline hierarchy; re-exported here because it is the *worker's*
+/// accept-loop deadline. A dead or hung client —
 /// a machine that vanished without an RST, a process wedged mid-request —
 /// can therefore pin a serving thread for at most this long, instead of
 /// forever. Generous on purpose: clients hold persistent connections that
@@ -33,7 +35,7 @@ use std::time::Duration;
 /// `RemoteWorker::submit`), so the reap costs at most the queries that
 /// were in flight — it never wedges a client — and the deadline only
 /// needs to beat "forever", not a round trip.
-pub const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+pub use crate::shardnet::deadlines::IDLE_TIMEOUT;
 
 /// Upper bound on the slice count one [`wire::PushSlice`] sequence may
 /// declare. Each slice payload is already capped by

@@ -1398,6 +1398,56 @@ mod tests {
         assert_eq!(row[0], 100.0);
     }
 
+    /// Mirror of the workspace `hot_gram_oracle` suite: every reference
+    /// shares one 7-byte window, so that gram's posting list holds every
+    /// entry of every class and the candidate set degenerates to
+    /// "everyone". The index must still match the scan oracle exactly.
+    #[test]
+    fn indexed_matches_scan_when_every_reference_shares_a_hot_gram() {
+        let flanks = [("QxWv", "jKpT"), ("ZeRu", "bNdF"), ("LmCy", "sVgH")];
+        let mut references = Vec::new();
+        let mut labels = Vec::new();
+        for (class, (left, right)) in flanks.iter().enumerate() {
+            for (a, b) in [(left, right), (right, left)] {
+                references.push(parts_sample(
+                    96,
+                    &format!("{a}HOTGRAM{b}"),
+                    &format!("{b}HOTGRAM{a}"),
+                ));
+                labels.push(class);
+            }
+        }
+        let rs = ReferenceSet::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            &references,
+            &labels,
+            &FeatureKind::ALL,
+        );
+        let probes = [
+            references[0].clone(),
+            parts_sample(96, "HOTGRAM", "HOTGRAM"),
+            parts_sample(96, "McVnHOTGRAMrGhZ", "kWsEHOTGRAMpLiU"),
+            parts_sample(48, "NoMatchFlankXyz", "HOTGRAMabcd"),
+            parts_sample(96, "UtterlyUnrelated", "zyxwvuts"),
+        ];
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(
+                rs.feature_vector(probe),
+                rs.feature_vector_scan(probe),
+                "probe {i}: index and scan disagree on the hot-gram corpus"
+            );
+        }
+        // The corpus is genuinely hot: the bare window scores against every
+        // class, so the shared posting list really admits everyone.
+        let hot = rs.feature_vector(&probes[1]);
+        for class in 0..rs.n_classes() {
+            assert!(
+                (0..rs.kinds().len()).any(|k| hot[k * rs.n_classes() + class] != 0.0),
+                "the bare HOTGRAM probe must score against class {class}"
+            );
+        }
+    }
+
     fn prepare_all(samples: &[SampleFeatures]) -> Vec<PreparedSampleFeatures> {
         samples
             .iter()

@@ -134,15 +134,13 @@ fn a_killed_primary_fails_over_invisibly_and_a_bare_shard_loss_is_typed() {
     let (bare, bare_ep) = spawn_shardd(&t.artifact);
     let mut guard = KillOnDrop(vec![primary, replica, bare]);
 
-    let topology = FleetTopology {
-        shards: vec![
-            FleetShard {
-                primary: primary_ep,
-                replicas: vec![replica_ep],
-            },
-            FleetShard::solo(bare_ep),
-        ],
-    };
+    let topology = FleetTopology::new(vec![
+        FleetShard {
+            primary: primary_ep,
+            replicas: vec![replica_ep],
+        },
+        FleetShard::solo(bare_ep),
+    ]);
     let fleet_config = t.config.backend(BackendConfig::Fleet {
         topology: topology.clone(),
         tenant: None,
@@ -216,9 +214,7 @@ fn a_diskless_worker_is_seeded_by_push_and_rejoins_after_a_restart() {
     };
     let mut guard = KillOnDrop(vec![d0, d1]);
 
-    let topology = FleetTopology {
-        shards: vec![FleetShard::solo(ep0), FleetShard::solo(ep1)],
-    };
+    let topology = FleetTopology::new(vec![FleetShard::solo(ep0), FleetShard::solo(ep1)]);
     let fleet_config = t.config.backend(BackendConfig::Fleet {
         topology,
         tenant: None,

@@ -56,8 +56,12 @@ fn spawn_shardd(artifact: &std::path::Path, shard: usize, of: usize) -> (Child, 
 }
 
 /// Spawn one `fhc-gateway` fronting `workers` on an OS-assigned loopback
-/// port.
-fn spawn_gateway(artifact: &std::path::Path, workers: &[Endpoint]) -> (Child, Endpoint) {
+/// port, with any extra CLI flags appended.
+fn spawn_gateway_with(
+    artifact: &std::path::Path,
+    workers: &[Endpoint],
+    extra: &[&str],
+) -> (Child, Endpoint) {
     let list = workers
         .iter()
         .map(|e| e.to_string())
@@ -70,12 +74,19 @@ fn spawn_gateway(artifact: &std::path::Path, workers: &[Endpoint]) -> (Child, En
         .arg("127.0.0.1:0")
         .arg("--workers")
         .arg(list)
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
         .expect("spawn fhc-gateway");
     let endpoint = scrape_endpoint(&mut child);
     (child, endpoint)
+}
+
+/// Spawn one `fhc-gateway` fronting `workers` on an OS-assigned loopback
+/// port.
+fn spawn_gateway(artifact: &std::path::Path, workers: &[Endpoint]) -> (Child, Endpoint) {
+    spawn_gateway_with(artifact, workers, &[])
 }
 
 struct KillOnDrop(Vec<Child>);
@@ -188,6 +199,105 @@ fn gateway_daemon_serves_byte_identical_predictions_and_relays_worker_loss() {
     assert!(
         saw_typed_error,
         "killing a worker behind the gateway must surface as a typed error"
+    );
+
+    drop(guard);
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
+fn gateway_daemon_sheds_over_quota_clients_with_a_typed_overload() {
+    use fhc::shardnet::NetError;
+
+    // Train once, small but real.
+    let corpus = CorpusBuilder::new(59).build(&Catalog::paper().scaled(0.02));
+    let config = FhcConfig::new().pipeline(PipelineConfig {
+        seed: 59,
+        forest: mlcore::forest::RandomForestParams {
+            n_estimators: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let trained = FuzzyHashClassifier::with_config(config.clone())
+        .fit(&corpus)
+        .expect("fit succeeds");
+    let artifact =
+        std::env::temp_dir().join(format!("fhc-overload-test-{}.fhc", std::process::id()));
+    trained.save(&artifact).expect("save artifact");
+
+    // One shard daemon behind two gateways over the same workers: one with
+    // a 1 rps quota on its own tenant ("default"), one whose only quota
+    // names a tenant it does not serve — that quota must be inert.
+    let (shard0, endpoint0) = spawn_shardd(&artifact, 0, 1);
+    let (quotaed, quotaed_front) = spawn_gateway_with(
+        &artifact,
+        std::slice::from_ref(&endpoint0),
+        &["--quota", "default=1", "--max-inflight", "64"],
+    );
+    let (open, open_front) = spawn_gateway_with(
+        &artifact,
+        std::slice::from_ref(&endpoint0),
+        &["--quota", "ghost-tenant=1"],
+    );
+    let guard = KillOnDrop(vec![shard0, quotaed, open]);
+
+    let open_config = |front: Endpoint| {
+        config.clone().backend(BackendConfig::Gateway {
+            endpoint: front,
+            tenant: None,
+        })
+    };
+    let throttled = TrainedClassifier::load_with(&artifact, &open_config(quotaed_front))
+        .expect("artifact opens against the quotaed gateway");
+    let unthrottled = TrainedClassifier::load_with(&artifact, &open_config(open_front))
+        .expect("artifact opens against the open gateway");
+
+    let sample = &corpus.samples()[0];
+    let bytes = corpus.generate_bytes(sample);
+    let expected = trained.classify(&bytes);
+
+    // In quota: the first request through the fresh bucket serves a
+    // byte-identical prediction.
+    assert_eq!(
+        throttled
+            .try_classify(&bytes)
+            .expect("first request is in quota"),
+        expected
+    );
+
+    // Burst past 1 rps: at least one request must shed with the typed,
+    // retry-hinted Overload — and every non-shed answer stays correct.
+    let mut shed = 0usize;
+    for _ in 0..10 {
+        match throttled.try_classify(&bytes) {
+            Ok(prediction) => assert_eq!(prediction, expected, "over quota but wrong"),
+            Err(FhcError::Net(NetError::Overload { retry_after_ms, .. })) => {
+                assert!(retry_after_ms > 0, "retry hint must be non-zero");
+                shed += 1;
+            }
+            Err(other) => panic!("expected a typed Overload, got {other}"),
+        }
+    }
+    assert!(shed > 0, "a 10-request burst at 1 rps must shed");
+
+    // The same burst against the gateway whose quota names a foreign
+    // tenant is never shed: a quota binds only the tenant it names.
+    for i in 0..10 {
+        assert_eq!(
+            unthrottled
+                .try_classify(&bytes)
+                .unwrap_or_else(|e| panic!("foreign-tenant quota shed request {i}: {e}")),
+            expected
+        );
+    }
+
+    // And shedding is shedding, not poison: once the bucket refills, the
+    // same connection serves byte-identical predictions again.
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    assert_eq!(
+        throttled.try_classify(&bytes).expect("bucket refilled"),
+        expected
     );
 
     drop(guard);

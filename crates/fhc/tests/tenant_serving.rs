@@ -319,9 +319,7 @@ fn a_delta_patched_worker_serves_byte_identically_and_the_cli_round_trips() {
     let mut served = TrainedClassifier::load(&v2b).expect("load the patched artifact");
     served
         .try_set_backend(BackendConfig::Fleet {
-            topology: FleetTopology {
-                shards: vec![FleetShard::solo(diskless_ep)],
-            },
+            topology: FleetTopology::new(vec![FleetShard::solo(diskless_ep)]),
             tenant: None,
         })
         .expect("connect seeds the diskless worker by full push");

@@ -9,7 +9,7 @@
 
 use fhc::features::{PreparedSampleFeatures, SampleFeatures};
 use fhc::shardnet::wire::{
-    Assign, DeltaAck, Frame, Hello, PushAck, PushDelta, PushSlice, ScoreBatchRequest,
+    Assign, DeltaAck, Frame, Hello, Overload, PushAck, PushDelta, PushSlice, ScoreBatchRequest,
     ScoreBatchResponse, ScoreRequest, ScoreResponse, MAX_TENANT_LEN, PROTOCOL_VERSION,
 };
 use fhc::shardnet::NetError;
@@ -62,7 +62,7 @@ fn random_cells(rng: &mut ChaCha8Rng) -> Vec<(u32, f64)> {
 }
 
 fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
-    match rng.gen_range(0u32..12) {
+    match rng.gen_range(0u32..13) {
         0 => {
             let n_classes = rng.gen_range(1usize..40);
             Frame::Hello(Hello {
@@ -133,6 +133,10 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
             classes_added: rng.gen_range(0u32..10_000),
             classes_retired: rng.gen_range(0u32..10_000),
         }),
+        11 => Frame::Overload(Overload {
+            id: rng.gen(),
+            retry_after_ms: rng.gen(),
+        }),
         _ => Frame::Shutdown,
     }
 }
@@ -140,9 +144,10 @@ fn random_frame(rng: &mut ChaCha8Rng) -> Frame {
 #[test]
 fn every_frame_type_roundtrips_for_random_payloads() {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF4A3_0001);
-    let mut seen_tags = [false; 12];
-    // Twice the usual case count: with twelve variants, forty draws leave
-    // a realistic chance of missing one and failing the coverage check.
+    let mut seen_tags = [false; 13];
+    // Twice the usual case count: with thirteen variants, forty draws
+    // leave a realistic chance of missing one and failing the coverage
+    // check.
     for case in 0..CASES * 2 {
         let frame = random_frame(&mut rng);
         seen_tags[match &frame {
@@ -158,6 +163,7 @@ fn every_frame_type_roundtrips_for_random_payloads() {
             Frame::PushAck(_) => 9,
             Frame::PushDelta(_) => 10,
             Frame::DeltaAck(_) => 11,
+            Frame::Overload(_) => 12,
         }] = true;
         let bytes = frame.to_wire_bytes();
         let decoded = Frame::read_from(&mut Cursor::new(&bytes), "test")
@@ -389,6 +395,65 @@ fn malformed_payloads_are_protocol_errors() {
         Frame::read_from(&mut Cursor::new(bytes), "test"),
         Err(NetError::Protocol { .. })
     ));
+
+    // An overload rejection with trailing garbage after its fixed-size
+    // payload.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(9); // id
+    payload.put_u32(40); // retry_after_ms
+    payload.put_u8(0xEE);
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 13, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+
+    // An overload rejection cut short of its retry hint.
+    let mut payload = hpcutil::ByteWriter::new();
+    payload.put_u64(9); // id, but no retry_after_ms follows
+    let mut bytes = Vec::new();
+    hpcutil::write_frame(&mut bytes, 13, payload.as_bytes()).unwrap();
+    assert!(matches!(
+        Frame::read_from(&mut Cursor::new(bytes), "test"),
+        Err(NetError::Protocol { .. })
+    ));
+}
+
+#[test]
+fn every_bit_corruption_of_small_frames_is_typed() {
+    // The random-flip suite samples large frames; here every bit of each
+    // small frame's encoding is flipped in turn, exhaustively. The frame
+    // checksum covers tag, length, and payload, so no single-bit flip may
+    // ever decode — silently misparsing an Overload (or mangling its retry
+    // hint) would turn load shedding into data corruption.
+    let frames = [
+        Frame::Overload(Overload {
+            id: 0xDEAD_BEEF,
+            retry_after_ms: 25,
+        }),
+        Frame::Shutdown,
+        Frame::Error("shed".into()),
+        Frame::PushAck(PushAck {
+            fingerprint: 7,
+            classes_loaded: 3,
+        }),
+    ];
+    for frame in &frames {
+        let bytes = frame.to_wire_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                match Frame::read_from(&mut Cursor::new(&bad), "test") {
+                    Err(
+                        NetError::Frame { .. } | NetError::Io { .. } | NetError::Protocol { .. },
+                    ) => {}
+                    other => panic!("{frame:?}: flip {byte}.{bit} gave {other:?}"),
+                }
+            }
+        }
+    }
 }
 
 /// A raw Hello frame wrapping `tenant` verbatim, bypassing the encoder's

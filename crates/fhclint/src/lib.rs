@@ -28,6 +28,10 @@
 //! - `bounded_retry` (R6): a `loop`/`while` body that dials connections
 //!   (`connect*`/`*dial*` calls) must reference a backoff or deadline
 //!   binding — an unbounded hot redial loop hammers a dead peer.
+//! - `failpoint_named` (R7): every `failpoint::hit(..)` / shardnet
+//!   `inject(..)` call must name its site as a bare string literal that is
+//!   registered in `hpcutil::failpoint::SITES` — computed names defeat
+//!   grep, and unregistered names make `--failpoints` specs silently inert.
 //!
 //! Waivers: `// fhc-lint: allow(rule_name) -- reason` on the flagged line or
 //! on its own line directly above. The reason is mandatory; a malformed
@@ -42,7 +46,7 @@ use std::path::{Path, PathBuf};
 // ---------------------------------------------------------------------------
 
 /// The rule catalog. Order here fixes report order.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         id: "R1",
         name: "no_panic",
@@ -74,6 +78,11 @@ pub const RULES: [RuleInfo; 7] = [
         summary: "retry loops that dial connections must be bounded by a backoff/deadline",
     },
     RuleInfo {
+        id: "R7",
+        name: "failpoint_named",
+        summary: "failpoint sites must be string literals registered in hpcutil::failpoint::SITES",
+    },
+    RuleInfo {
         id: "W0",
         name: "waiver_syntax",
         summary: "fhc-lint waivers must name a known rule and give a reason",
@@ -100,6 +109,7 @@ pub struct RuleSet {
     pub join_or_detach: bool,
     pub codec_symmetry: bool,
     pub bounded_retry: bool,
+    pub failpoint_named: bool,
 }
 
 impl RuleSet {
@@ -111,6 +121,7 @@ impl RuleSet {
             join_or_detach: true,
             codec_symmetry: true,
             bounded_retry: true,
+            failpoint_named: true,
         }
     }
 
@@ -148,6 +159,7 @@ pub fn rules_for_path(path: &str) -> RuleSet {
         join_or_detach: daemon_core,
         codec_symmetry: codec,
         bounded_retry: daemon_core,
+        failpoint_named: daemon_core,
     }
 }
 
@@ -340,9 +352,17 @@ pub fn lex(src: &str) -> Lexed {
         }
         if c == '"' {
             let end = scan_string(&bytes, i, &mut line, &mut line_has_token);
+            // Keep the literal's raw content (escapes verbatim): R7 matches
+            // failpoint site names against the registry by text. Other rules
+            // key off Ident/Punct tokens and never read Str text.
+            let content_end = if bytes.get(end.wrapping_sub(1)) == Some(&'"') {
+                end - 1
+            } else {
+                end // unterminated at EOF
+            };
             tokens.push(Tok {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: bytes[i + 1..content_end.max(i + 1)].iter().collect(),
                 line,
             });
             line_has_token = true;
@@ -727,7 +747,7 @@ pub fn lint_source_with(path: &str, src: &str, rules: RuleSet) -> FileReport {
     // sets: a waiver that silently fails to parse would hide a real finding.
     for bad in &lexed.bad_waivers {
         out.push(Violation {
-            rule: &RULES[6],
+            rule: &RULES[7],
             path: path.to_string(),
             line: bad.line,
             message: bad.detail.clone(),
@@ -767,6 +787,9 @@ pub fn lint_source_with(path: &str, src: &str, rules: RuleSet) -> FileReport {
     }
     if rules.bounded_retry {
         rule_bounded_retry(&ctx, &mut out);
+    }
+    if rules.failpoint_named {
+        rule_failpoint_named(&ctx, &mut out);
     }
 
     // Apply waivers: a waiver covers its own line (trailing comment) or, when
@@ -1216,6 +1239,55 @@ fn rule_bounded_retry(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+// --- R7: failpoint_named ---------------------------------------------------
+
+fn rule_failpoint_named(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    // Every failpoint reference — `failpoint::hit("site")` or the shardnet
+    // `inject("site", peer)` wrapper — must name its site as a bare string
+    // literal registered in `hpcutil::failpoint::SITES`. Literals keep the
+    // registry greppable from a violation report; registry membership keeps
+    // a `--failpoints` spec (validated against the same list) from naming a
+    // site that nothing ever hits.
+    for i in 0..ctx.tokens.len() {
+        let Some(name) = ctx.ident(i) else { continue };
+        if name != "hit" && name != "inject" {
+            continue;
+        }
+        if ctx.punct(i + 1) != Some("(") {
+            continue;
+        }
+        // `fn hit(..)` / `fn inject(..)` are definitions, not references.
+        if ctx.ident(i.wrapping_sub(1)) == Some("fn") {
+            continue;
+        }
+        if ctx.is_test_at(i) {
+            continue;
+        }
+        let line = ctx.tokens[i].line;
+        match ctx.tokens.get(i + 2) {
+            Some(t) if t.kind == TokKind::Str => {
+                let site = t.text.as_str();
+                if !hpcutil::failpoint::SITES.contains(&site) {
+                    out.push(ctx.violation(
+                        &RULES[6],
+                        line,
+                        format!(
+                            "unknown failpoint site {site:?} — register it in hpcutil::failpoint::SITES"
+                        ),
+                    ));
+                }
+            }
+            _ => out.push(ctx.violation(
+                &RULES[6],
+                line,
+                format!(
+                    "{name}(..) takes a computed site name — failpoint sites must be bare string literals from hpcutil::failpoint::SITES"
+                ),
+            )),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Workspace walking and reporting
 // ---------------------------------------------------------------------------
@@ -1589,6 +1661,61 @@ mod tests {
         let all = run(src);
         assert_eq!(all.len(), 1, "{all:?}");
         assert!(all[0].waived.is_some());
+    }
+
+    #[test]
+    fn r7_unknown_site_flagged_registered_site_ok() {
+        let src = "
+            fn probe() { let _ = crate::failpoint::hit(\"frame.read\"); }
+            fn typo() { let _ = crate::failpoint::hit(\"frame.reed\"); }
+        ";
+        let v = unwaived(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule.name, "failpoint_named");
+        assert!(v[0].message.contains("frame.reed"), "{}", v[0].message);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn r7_inject_wrapper_checked_like_hit() {
+        let src = "
+            fn fan_out(peer: &str) -> Result<(), NetError> {
+                crate::shardnet::inject(\"fleet.hedge\", peer)?;
+                crate::shardnet::inject(\"fleet.teleport\", peer)
+            }
+        ";
+        let v = unwaived(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("fleet.teleport"));
+    }
+
+    #[test]
+    fn r7_computed_site_name_flagged_and_waivable() {
+        let src = "
+            fn relay(site: &str) { let _ = hpcutil::failpoint::hit(site); }
+            fn pass_through(site: &str) {
+                // fhc-lint: allow(failpoint_named) -- pass-through helper; every caller's literal is checked
+                let _ = hpcutil::failpoint::hit(site);
+            }
+        ";
+        let all = run(src);
+        assert_eq!(all.len(), 2, "{all:?}");
+        let open: Vec<_> = all.iter().filter(|v| v.waived.is_none()).collect();
+        assert_eq!(open.len(), 1, "{open:?}");
+        assert!(open[0].message.contains("computed site name"));
+    }
+
+    #[test]
+    fn r7_skips_definitions_and_test_code() {
+        let src = "
+            fn hit(site: &str) -> Option<Fault> { lookup(site) }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn dynamic() { let _ = crate::failpoint::hit(&format!(\"x{}\", 1)); }
+            }
+        ";
+        assert!(unwaived(src).is_empty());
     }
 
     #[test]

@@ -59,12 +59,10 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Write one frame (tag + length-prefixed payload + checksum) to `w`.
-///
-/// The frame is assembled in memory and written with a single `write_all`,
-/// so concurrent writers that serialize at a higher level never interleave
-/// partial frames.
-pub fn write_frame<W: Write + ?Sized>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
+/// Assemble one frame (tag + length-prefixed payload + checksum) into a
+/// standalone buffer. Pure serialization: no transport is involved, so no
+/// failpoint fires here — inject on the *write* instead.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32"))?;
     let mut buf = Vec::with_capacity(1 + 4 + payload.len() + 8);
@@ -73,7 +71,56 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, tag: u8, payload: &[u8]) -> io:
     buf.extend_from_slice(payload);
     let checksum = fnv1a64(&buf);
     buf.extend_from_slice(&checksum.to_le_bytes());
-    w.write_all(&buf)?;
+    Ok(buf)
+}
+
+/// Write one frame (tag + length-prefixed payload + checksum) to `w`.
+///
+/// The frame is assembled in memory and written with a single `write_all`,
+/// so concurrent writers that serialize at a higher level never interleave
+/// partial frames.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let buf = encode_frame(tag, payload)?;
+    write_assembled_frame(w, &buf)
+}
+
+/// Write pre-assembled frame bytes (as produced by [`encode_frame`]) to `w`
+/// in one `write_all`. This is the transport boundary every outbound frame
+/// crosses — including senders that encode once and fan the same buffer out
+/// to many peers — so the `frame.write` failpoint lives here.
+pub fn write_assembled_frame<W: Write + ?Sized>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    // Failpoint: mutate or abort the fully-assembled (already checksummed)
+    // frame, so injected corruption is always *detectable* corruption —
+    // the receiver sees a checksum mismatch or a torn stream, never a
+    // plausible frame with wrong bytes.
+    match crate::failpoint::hit("frame.write") {
+        None => {}
+        Some(crate::failpoint::Fault::CorruptByte(i)) if !frame.is_empty() => {
+            let mut corrupted = frame.to_vec();
+            let index = i % corrupted.len();
+            corrupted[index] ^= 0x40;
+            w.write_all(&corrupted)?;
+            return w.flush();
+        }
+        Some(crate::failpoint::Fault::TruncateAfter(n)) => {
+            // A write torn mid-frame: the prefix reaches the peer, then the
+            // connection dies from the writer's point of view.
+            let cut = n.min(frame.len());
+            w.write_all(&frame[..cut])?;
+            let _ = w.flush();
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint frame.write: write truncated mid-frame",
+            ));
+        }
+        Some(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint frame.write: injected write failure",
+            ));
+        }
+    }
+    w.write_all(frame)?;
     w.flush()
 }
 
@@ -86,6 +133,24 @@ pub fn read_frame<R: Read + ?Sized>(
     r: &mut R,
     max_payload: usize,
 ) -> Result<(u8, Vec<u8>), FrameError> {
+    // Failpoint: fail or starve the read before any byte is consumed, so
+    // an injected fault never leaves the stream mid-frame for a retry to
+    // misparse.
+    match crate::failpoint::hit("frame.read") {
+        None => {}
+        Some(crate::failpoint::Fault::CloseConn) => {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "failpoint frame.read: connection closed",
+            )));
+        }
+        Some(_) => {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "failpoint frame.read: injected read failure",
+            )));
+        }
+    }
     let mut header = [0u8; 5];
     r.read_exact(&mut header)?;
     let tag = header[0];
@@ -101,6 +166,14 @@ pub fn read_frame<R: Read + ?Sized>(
     r.read_exact(&mut checksum)?;
     let stored = u64::from_le_bytes(checksum);
     let actual = fnv1a64_continue(fnv1a64(&header), &payload);
+    // Failpoint: force the verification down the mismatch path — the exact
+    // behavior a frame corrupted in transit produces (any configured
+    // action behaves the same here; only the schedule matters).
+    if crate::failpoint::hit("frame.checksum").is_some() {
+        return Err(FrameError::Malformed(
+            "failpoint frame.checksum: injected checksum mismatch".into(),
+        ));
+    }
     if stored != actual {
         return Err(FrameError::Malformed(format!(
             "frame checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"

@@ -22,11 +22,16 @@
 //! * [`mux`] — a thread-based connection multiplexer: many caller threads
 //!   pipeline request/reply frames over one stream, correlated by request
 //!   id, with no mutex held across a round trip.
+//! * [`failpoint`] — deterministic fault injection behind the `failpoints`
+//!   feature: named sites in the transport layers where chaos tests inject
+//!   I/O errors, delays, corruption, truncation, and dropped connections
+//!   on seeded schedules. Compiled to a no-op by default.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod failpoint;
 pub mod frame;
 pub mod mux;
 pub mod par;
@@ -36,7 +41,7 @@ pub mod table;
 pub mod timing;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
-pub use frame::{read_frame, write_frame, FrameError};
+pub use frame::{encode_frame, read_frame, write_assembled_frame, write_frame, FrameError};
 pub use mux::{Mux, MuxError, MuxErrorKind, MuxOptions, PendingReply};
 pub use par::{in_parallel_worker, par_map, par_map_indexed, ParallelConfig};
 pub use pool::WorkerPool;

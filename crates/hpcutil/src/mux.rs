@@ -526,6 +526,23 @@ fn writer_loop<R>(mut writer: Box<dyn Write + Send>, rx: &Receiver<Vec<u8>>, sha
                 Err(_) => break,
             }
         }
+        // Failpoint: corrupt the coalesced write (detectable downstream via
+        // the frame checksum) or kill the writer thread as a transport
+        // failure would.
+        match crate::failpoint::hit("mux.writer") {
+            None => {}
+            Some(crate::failpoint::Fault::CorruptByte(i)) => {
+                let index = i % buf.len();
+                buf[index] ^= 0x40;
+            }
+            Some(_) => {
+                shared.poison(MuxError::new(
+                    MuxErrorKind::Io,
+                    "failpoint mux.writer: injected write failure",
+                ));
+                return;
+            }
+        }
         if let Err(e) = writer.write_all(&buf).and_then(|()| writer.flush()) {
             shared.poison(MuxError::new(
                 MuxErrorKind::Io,
@@ -600,6 +617,15 @@ fn reader_loop<R>(
                     return;
                 }
             }
+        }
+        // Failpoint: fail the reader thread before the next read, exactly
+        // as a dropped or reset connection would surface here.
+        if crate::failpoint::hit("mux.reader").is_some() {
+            shared.poison(MuxError::new(
+                MuxErrorKind::Io,
+                "failpoint mux.reader: injected read failure",
+            ));
+            return;
         }
         match reader.read(&mut chunk) {
             Ok(0) => {

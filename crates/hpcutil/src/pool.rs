@@ -152,6 +152,12 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
         };
         match job {
             Ok(job) => {
+                // Failpoint: only the Delay action is meaningful here (it
+                // stalls this worker before the job runs, simulating a
+                // scheduling hiccup); hit() sleeps internally and any other
+                // configured fault is deliberately ignored — a pool job has
+                // no transport to fail.
+                let _ = crate::failpoint::hit("pool.job");
                 // Keep the worker alive across job panics; the gather side
                 // detects the missing result through the closed channel.
                 let _ = catch_unwind(AssertUnwindSafe(job));
